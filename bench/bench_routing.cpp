@@ -1,0 +1,132 @@
+// Experiment E2 — P-Grid routing cost (paper Section 2.1):
+//
+//   "Retrieve(key) is intuitively efficient, i.e., O(log(|Π|)), measured in
+//    terms of the number of messages required for resolving a search
+//    request, for both balanced and unbalanced trees."
+//
+// Sweeps the network size from 2^4 to 2^12 peers and measures lookup hop
+// counts on (a) a balanced trie with uniform keys and (b) an unbalanced
+// (storage-adaptive) trie with heavily skewed keys. Both must scale
+// logarithmically.
+//
+//   $ ./bench/bench_routing
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "pgrid/pgrid_builder.h"
+#include "pgrid/pgrid_peer.h"
+
+using namespace gridvine;
+
+namespace {
+
+struct Overlay {
+  Overlay(size_t n, int key_depth, uint64_t seed)
+      : net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(seed)) {
+    PGridPeer::Options opts;
+    opts.key_depth = key_depth;
+    opts.request_timeout = 60.0;
+    for (size_t i = 0; i < n; ++i) {
+      owned.push_back(
+          std::make_unique<PGridPeer>(&sim, &net, Rng(seed * 131 + i), opts));
+      peers.push_back(owned.back().get());
+    }
+  }
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<PGridPeer>> owned;
+  std::vector<PGridPeer*> peers;
+};
+
+struct HopStats {
+  double mean = 0;
+  int max = 0;
+  double p99 = 0;
+};
+
+/// Inserts `keys` directly at responsible peers, then issues one Retrieve per
+/// sampled key from a random peer and collects hop counts.
+HopStats MeasureHops(Overlay* o, const std::vector<Key>& keys, Rng* rng,
+                     size_t lookups) {
+  for (const Key& k : keys) {
+    for (auto* p : o->peers) {
+      if (p->path().IsPrefixOf(k)) {
+        p->InsertLocal(k, "v");
+        break;
+      }
+    }
+  }
+  std::vector<int> hops;
+  for (size_t i = 0; i < lookups; ++i) {
+    const Key& k = keys[i % keys.size()];
+    PGridPeer* issuer = o->peers[size_t(
+        rng->UniformInt(0, int64_t(o->peers.size()) - 1))];
+    bool done = false;
+    issuer->Retrieve(k, [&](Result<PGridPeer::LookupResult> r) {
+      if (r.ok()) hops.push_back(r->hops);
+      done = true;
+    });
+    while (!done && o->sim.pending() > 0) o->sim.Run(1);
+  }
+  HopStats stats;
+  if (hops.empty()) return stats;
+  std::sort(hops.begin(), hops.end());
+  long total = 0;
+  for (int h : hops) total += h;
+  stats.mean = double(total) / double(hops.size());
+  stats.max = hops.back();
+  stats.p99 = hops[size_t(0.99 * double(hops.size() - 1))];
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const int kKeyDepth = 20;
+  const size_t kLookups = 2000;
+  std::printf("E2: routing hops vs. network size (O(log N) expected)\n\n");
+  std::printf("  %-7s %7s | %-25s | %-25s\n", "", "", "balanced trie",
+              "adaptive trie, skewed keys");
+  std::printf("  %-7s %7s | %7s %7s %7s | %7s %7s %7s\n", "peers", "log2N",
+              "mean", "p99", "max", "mean", "p99", "max");
+
+  for (int exp = 4; exp <= 12; ++exp) {
+    size_t n = size_t(1) << exp;
+
+    // (a) Balanced trie, uniform keys.
+    Overlay balanced(n, kKeyDepth, 1);
+    Rng rng_b(17);
+    PGridBuilder::BuildBalanced(balanced.peers, &rng_b);
+    std::vector<Key> uniform_keys;
+    for (int i = 0; i < 500; ++i) {
+      uniform_keys.push_back(UniformHash("key" + std::to_string(i), kKeyDepth));
+    }
+    Rng lookup_rng(exp);
+    HopStats hb = MeasureHops(&balanced, uniform_keys, &lookup_rng, kLookups);
+
+    // (b) Adaptive trie over skewed keys (order-preserving hash of numeric
+    // strings concentrates mass in the digit band).
+    Overlay adaptive(n, kKeyDepth, 2);
+    OrderPreservingHash oph(kKeyDepth);
+    std::vector<Key> skewed_keys;
+    for (int i = 0; i < 2000; ++i) {
+      skewed_keys.push_back(oph(std::to_string(i)));
+    }
+    Rng rng_a(18);
+    PGridBuilder::BuildAdaptive(adaptive.peers, skewed_keys, &rng_a);
+    Rng lookup_rng2(exp + 100);
+    HopStats ha = MeasureHops(&adaptive, skewed_keys, &lookup_rng2, kLookups);
+
+    std::printf("  %-7zu %7.1f | %7.2f %7.1f %7d | %7.2f %7.1f %7d\n", n,
+                std::log2(double(n)), hb.mean, hb.p99, hb.max, ha.mean,
+                ha.p99, ha.max);
+  }
+  std::printf("\n  (hops counted on the request path; 0 = issuer was "
+              "responsible)\n");
+  return 0;
+}

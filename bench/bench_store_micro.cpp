@@ -1,0 +1,138 @@
+// Experiment E8 — microbenchmarks of the local database DB_p and the hash
+// functions (paper Section 2.2: each peer's local store supports selection,
+// projection and join; every triple is hashed three times on insert).
+//
+// google-benchmark binary; run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "store/binding_codec.h"
+#include "store/triple_store.h"
+
+namespace gridvine {
+namespace {
+
+Triple MakeTriple(int i) {
+  return Triple(Term::Uri("ebi:P" + std::to_string(100000 + i % 500)),
+                Term::Uri("EMBL#Attr" + std::to_string(i % 8)),
+                Term::Literal("value " + std::to_string(i % 64)));
+}
+
+TripleStore BuildStore(int n) {
+  TripleStore store;
+  for (int i = 0; i < n; ++i) store.Insert(MakeTriple(i)).ok();
+  return store;
+}
+
+void BM_TripleInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TripleStore store;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(store.Insert(MakeTriple(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TripleInsert)->Arg(1000)->Arg(10000);
+
+void BM_SelectByPredicate(benchmark::State& state) {
+  TripleStore store = BuildStore(int(state.range(0)));
+  TriplePattern pattern(Term::Var("s"), Term::Uri("EMBL#Attr3"),
+                        Term::Var("o"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Select(pattern));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectByPredicate)->Arg(1000)->Arg(10000);
+
+void BM_SelectBySubject(benchmark::State& state) {
+  TripleStore store = BuildStore(int(state.range(0)));
+  TriplePattern pattern(Term::Uri("ebi:P100042"), Term::Var("p"),
+                        Term::Var("o"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Select(pattern));
+  }
+}
+BENCHMARK(BM_SelectBySubject)->Arg(1000)->Arg(10000);
+
+void BM_SelectWithLikePattern(benchmark::State& state) {
+  TripleStore store = BuildStore(int(state.range(0)));
+  TriplePattern pattern(Term::Var("s"), Term::Uri("EMBL#Attr3"),
+                        Term::Literal("%value 1%"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Select(pattern));
+  }
+}
+BENCHMARK(BM_SelectWithLikePattern)->Arg(1000)->Arg(10000);
+
+void BM_SelfJoin(benchmark::State& state) {
+  TripleStore store = BuildStore(int(state.range(0)));
+  TriplePattern left(Term::Var("x"), Term::Uri("EMBL#Attr1"), Term::Var("a"));
+  TriplePattern right(Term::Var("x"), Term::Uri("EMBL#Attr2"), Term::Var("b"));
+  for (auto _ : state) {
+    auto l = store.MatchPattern(left);
+    auto r = store.MatchPattern(right);
+    benchmark::DoNotOptimize(TripleStore::Join(l, r));
+  }
+}
+BENCHMARK(BM_SelfJoin)->Arg(1000)->Arg(5000);
+
+void BM_OrderPreservingHash(benchmark::State& state) {
+  OrderPreservingHash h(int(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h("EMBL#Organism" + std::to_string(i++ % 1000)));
+  }
+}
+BENCHMARK(BM_OrderPreservingHash)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_UniformHash(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        UniformHash("EMBL#Organism" + std::to_string(i++ % 1000), 32));
+  }
+}
+BENCHMARK(BM_UniformHash);
+
+void BM_LikeMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LikeMatch("Aspergillus niger strain CBS 513.88", "%niger%strain%"));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_TripleSerializeParse(benchmark::State& state) {
+  Triple t = MakeTriple(7);
+  for (auto _ : state) {
+    std::string s = t.Serialize();
+    benchmark::DoNotOptimize(Triple::Parse(s));
+  }
+}
+BENCHMARK(BM_TripleSerializeParse);
+
+void BM_BindingCodec(benchmark::State& state) {
+  std::vector<BindingSet> rows;
+  for (int i = 0; i < 64; ++i) {
+    BindingSet row;
+    row["x"] = Term::Uri("ebi:P" + std::to_string(i));
+    row["o"] = Term::Literal("Aspergillus niger");
+    rows.push_back(row);
+  }
+  for (auto _ : state) {
+    std::string s = SerializeBindings(rows);
+    benchmark::DoNotOptimize(ParseBindings(s));
+  }
+}
+BENCHMARK(BM_BindingCodec);
+
+}  // namespace
+}  // namespace gridvine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every experiment bench,
+# leaving test_output.txt and bench_output.txt at the repository root —
+# the complete reproduction in one command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. See EXPERIMENTS.md for the paper-vs-measured interpretation."

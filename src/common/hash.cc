@@ -1,0 +1,110 @@
+#include "common/hash.h"
+
+#include <cctype>
+
+namespace gridvine {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+// Murmur3 fmix64 finalizer: FNV-1a's raw high bits avalanche poorly on short
+// inputs, so mix before emitting key bits.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+Key UniformHash(std::string_view data, int depth) {
+  // Chain FNV blocks when more than 64 bits are requested.
+  std::string bits;
+  bits.reserve(static_cast<size_t>(depth));
+  uint64_t h = Mix64(Fnv1a64(data));
+  int produced = 0;
+  int round = 0;
+  while (produced < depth) {
+    int take = depth - produced < 64 ? depth - produced : 64;
+    // Take the MOST significant bits so that a deeper hash of the same data
+    // extends the shallower one (prefix property used by the overlay).
+    Key part = Key::FromUint(take == 64 ? h : (h >> (64 - take)), take);
+    bits += part.bits();
+    produced += take;
+    ++round;
+    h = Mix64(Fnv1a64(std::string(data) + "#" + std::to_string(round)));
+  }
+  return Key::FromBits(bits).value();
+}
+
+namespace {
+
+// Normalizes a character into the ordered alphabet used for the fraction
+// digits: terminator / below-'0' characters (0), '0'-'9' (1..10), the
+// punctuation band between '9' and 'a' (11), 'a'-'z' (12..37), above (38).
+// The mapping is monotone in (case-folded) ASCII, which is what makes the
+// hash order-preserving; characters within one band collide by design.
+constexpr int kRadix = 39;
+
+int CharDigit(unsigned char c) {
+  c = static_cast<unsigned char>(std::tolower(c));
+  if (c < '0') return 0;
+  if (c <= '9') return 1 + (c - '0');
+  if (c < 'a') return 11;  // punctuation between digits and letters
+  if (c <= 'z') return 12 + (c - 'a');
+  return kRadix - 1;
+}
+
+}  // namespace
+
+Key OrderPreservingHash::SubtreeFor(std::string_view value_prefix) const {
+  // Low bound: the prefix itself (implicitly padded with terminators, the
+  // minimal digit). High bound: padded with '~', which maps to the maximal
+  // digit bucket.
+  Key low = (*this)(value_prefix);
+  std::string high(value_prefix);
+  high.append(24, '~');  // kMaxDigits worth of maximal padding
+  Key high_key = (*this)(high);
+  return low.Prefix(low.CommonPrefixLength(high_key));
+}
+
+Key OrderPreservingHash::operator()(std::string_view data) const {
+  // Interpret the string as the fraction sum_i digit_i / radix^(i+1) and emit
+  // `depth_` bits of its binary expansion using exact long multiplication on
+  // the digit vector (avoids double rounding, preserving order for long
+  // shared prefixes).
+  constexpr size_t kMaxDigits = 24;  // 24 digits * log2(38) > 125 bits
+  int digits[kMaxDigits];
+  size_t n = data.size() < kMaxDigits ? data.size() : kMaxDigits;
+  for (size_t i = 0; i < n; ++i) {
+    digits[i] = CharDigit(static_cast<unsigned char>(data[i]));
+  }
+  for (size_t i = n; i < kMaxDigits; ++i) digits[i] = 0;
+
+  std::string bits;
+  bits.reserve(static_cast<size_t>(depth_));
+  for (int b = 0; b < depth_; ++b) {
+    // Multiply the fractional number by 2; the carry out is the next bit.
+    int carry = 0;
+    for (size_t i = kMaxDigits; i-- > 0;) {
+      int v = digits[i] * 2 + carry;
+      digits[i] = v % kRadix;
+      carry = v / kRadix;
+    }
+    bits.push_back(carry ? '1' : '0');
+  }
+  return Key::FromBits(bits).value();
+}
+
+}  // namespace gridvine

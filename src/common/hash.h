@@ -1,0 +1,52 @@
+#ifndef GRIDVINE_COMMON_HASH_H_
+#define GRIDVINE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/key.h"
+
+namespace gridvine {
+
+/// 64-bit FNV-1a hash, the building block for the uniform hash.
+uint64_t Fnv1a64(std::string_view data);
+
+/// Maps `data` to a `depth`-bit Key with (approximately) uniform distribution.
+/// Used where load balance matters more than order (e.g. replica salts).
+Key UniformHash(std::string_view data, int depth);
+
+/// The order-preserving hash Hash() of the paper (Section 2.2): maps strings
+/// to binary keys such that s1 < s2 (lexicographically, case-insensitive on
+/// ASCII) implies Hash(s1) <= Hash(s2). It works by interpreting the first
+/// characters of the string as digits of a fraction in [0, 1) over a printable
+/// alphabet and emitting the binary expansion of that fraction.
+///
+/// Order preservation lets the trie place lexicographically close data items
+/// on nearby peers, enabling prefix/range-style constraints; the price is key
+/// skew, which P-Grid's unbalanced trie absorbs (measured in experiment E7).
+class OrderPreservingHash {
+ public:
+  /// `depth` is the number of key bits produced per call.
+  explicit OrderPreservingHash(int depth) : depth_(depth) {}
+
+  /// Hashes a string to a `depth()`-bit key.
+  Key operator()(std::string_view data) const;
+
+  /// The deepest key-space subtree that contains the keys of ALL strings
+  /// starting with `value_prefix`: the common key prefix of the range's low
+  /// bound (`value_prefix` padded with minimal characters) and high bound
+  /// (padded with maximal ones). Order preservation makes "value LIKE
+  /// 'abc%'" resolvable by multicasting to this subtree (possibly a slight
+  /// superset of the exact interval).
+  Key SubtreeFor(std::string_view value_prefix) const;
+
+  int depth() const { return depth_; }
+
+ private:
+  int depth_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_COMMON_HASH_H_

@@ -1,0 +1,70 @@
+#include "common/key.h"
+
+#include <algorithm>
+
+namespace gridvine {
+
+Result<Key> Key::FromBits(const std::string& bits) {
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return Status::InvalidArgument("key bits must be '0'/'1', got: " + bits);
+    }
+  }
+  return Key(bits);
+}
+
+Key Key::FromUint(uint64_t value, int num_bits) {
+  if (num_bits < 0) num_bits = 0;
+  if (num_bits > 64) num_bits = 64;
+  std::string bits;
+  bits.reserve(static_cast<size_t>(num_bits));
+  for (int i = num_bits - 1; i >= 0; --i) {
+    bits.push_back(((value >> i) & 1u) ? '1' : '0');
+  }
+  return Key(std::move(bits));
+}
+
+Key Key::WithBit(int b) const {
+  std::string bits = bits_;
+  bits.push_back(b ? '1' : '0');
+  return Key(std::move(bits));
+}
+
+Key Key::Prefix(int n) const {
+  n = std::clamp(n, 0, length());
+  return Key(bits_.substr(0, static_cast<size_t>(n)));
+}
+
+Key Key::WithFlippedBit(int i) const {
+  std::string bits = bits_;
+  size_t idx = static_cast<size_t>(i);
+  bits[idx] = bits[idx] == '1' ? '0' : '1';
+  return Key(std::move(bits));
+}
+
+bool Key::IsPrefixOf(const Key& other) const {
+  if (length() > other.length()) return false;
+  return other.bits_.compare(0, bits_.size(), bits_) == 0;
+}
+
+int Key::CommonPrefixLength(const Key& other) const {
+  int n = std::min(length(), other.length());
+  int i = 0;
+  while (i < n && bits_[static_cast<size_t>(i)] ==
+                      other.bits_[static_cast<size_t>(i)]) {
+    ++i;
+  }
+  return i;
+}
+
+double Key::ToFraction() const {
+  double f = 0.0;
+  double w = 0.5;
+  for (char c : bits_) {
+    if (c == '1') f += w;
+    w *= 0.5;
+  }
+  return f;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,85 @@
+#ifndef GRIDVINE_COMMON_KEY_H_
+#define GRIDVINE_COMMON_KEY_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+
+namespace gridvine {
+
+/// A key in the P-Grid binary key space: a finite bit string, also used for
+/// peer paths π(p). Keys are ordered lexicographically on their bits, which —
+/// combined with the order-preserving hash — gives the overlay its search-tree
+/// semantics.
+///
+/// Bits are stored as a std::string of '0'/'1' characters. This favours
+/// debuggability over raw speed; key lengths in GridVine are tens of bits so
+/// the cost is irrelevant next to simulated network latencies.
+class Key {
+ public:
+  /// The empty key (the root of the trie; prefix of every key).
+  Key() = default;
+
+  /// Parses a key from a string of '0'/'1' characters.
+  static Result<Key> FromBits(const std::string& bits);
+
+  /// Builds a key from the `num_bits` most significant bits of `value`
+  /// (num_bits <= 64). The MSB of the selected window becomes bit 0.
+  static Key FromUint(uint64_t value, int num_bits);
+
+  /// Number of bits.
+  int length() const { return static_cast<int>(bits_.size()); }
+  bool empty() const { return bits_.empty(); }
+
+  /// Bit at position i (0 = most significant). Precondition: i < length().
+  int bit(int i) const { return bits_[static_cast<size_t>(i)] == '1' ? 1 : 0; }
+
+  /// Returns a copy with `b` (0/1) appended.
+  Key WithBit(int b) const;
+
+  /// Returns the first `n` bits (n clamped to length()).
+  Key Prefix(int n) const;
+
+  /// Returns a copy with bit i flipped. Precondition: i < length().
+  Key WithFlippedBit(int i) const;
+
+  /// True if this key is a prefix of (or equal to) `other`.
+  bool IsPrefixOf(const Key& other) const;
+
+  /// Length of the longest common prefix with `other`.
+  int CommonPrefixLength(const Key& other) const;
+
+  /// The key interpreted as a binary fraction in [0, 1): 0.b0 b1 b2 ...
+  double ToFraction() const;
+
+  /// The underlying '0'/'1' string, e.g. "0110".
+  const std::string& bits() const { return bits_; }
+  std::string ToString() const { return bits_; }
+
+  bool operator==(const Key& other) const { return bits_ == other.bits_; }
+  bool operator!=(const Key& other) const { return bits_ != other.bits_; }
+  /// Lexicographic bit order; a proper prefix sorts before its extensions.
+  bool operator<(const Key& other) const { return bits_ < other.bits_; }
+
+ private:
+  explicit Key(std::string bits) : bits_(std::move(bits)) {}
+
+  std::string bits_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Key& k) {
+  return os << (k.empty() ? "<root>" : k.bits());
+}
+
+/// Hash functor so Key can be used in unordered containers.
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    return std::hash<std::string>()(k.bits());
+  }
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_COMMON_KEY_H_

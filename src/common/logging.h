@@ -1,0 +1,44 @@
+#ifndef GRIDVINE_COMMON_LOGGING_H_
+#define GRIDVINE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gridvine {
+
+/// Log severities, coarsest filter wins.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded. Defaults to
+/// kWarning so tests and benches stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gridvine
+
+#define GV_LOG(level)                                                  \
+  ::gridvine::internal::LogMessage(::gridvine::LogLevel::k##level,     \
+                                   __FILE__, __LINE__)
+
+#endif  // GRIDVINE_COMMON_LOGGING_H_

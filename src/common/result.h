@@ -1,0 +1,84 @@
+#ifndef GRIDVINE_COMMON_RESULT_H_
+#define GRIDVINE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gridvine {
+
+/// Either a value of type T or a non-OK Status explaining why the value could
+/// not be produced (Arrow's arrow::Result idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common, successful case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing a Result from an
+  /// OK status is a programming error and is converted to kInternal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access the value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace gridvine
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration, e.g.
+///   GV_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define GV_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                             \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).value()
+
+#define GV_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define GV_ASSIGN_OR_RETURN_CONCAT(x, y) GV_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define GV_ASSIGN_OR_RETURN(lhs, rexpr)                                       \
+  GV_ASSIGN_OR_RETURN_IMPL(GV_ASSIGN_OR_RETURN_CONCAT(_gv_result_, __LINE__), \
+                           lhs, rexpr)
+
+#endif  // GRIDVINE_COMMON_RESULT_H_

@@ -1,0 +1,87 @@
+#ifndef GRIDVINE_COMMON_RNG_H_
+#define GRIDVINE_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gridvine {
+
+/// Deterministic random source used throughout the simulator. Every component
+/// takes its Rng (or a seed) explicitly so whole-network experiments are
+/// reproducible bit-for-bit from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(std::clamp(p, 0.0, 1.0))(engine_);
+  }
+
+  /// Log-normal sample with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Exponential sample with the given rate.
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Zipf-distributed rank in [0, n): P(k) ∝ 1/(k+1)^s. Inverse-CDF over a
+  /// lazily built table would be faster; rejection-free linear scan is fine
+  /// for the n (tens to thousands) used in workload generation.
+  size_t Zipf(size_t n, double s) {
+    assert(n > 0);
+    double norm = 0;
+    for (size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+    double u = UniformDouble(0.0, norm);
+    double acc = 0;
+    for (size_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(double(k), s);
+      if (u <= acc) return k - 1;
+    }
+    return n - 1;
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& PickOne(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[static_cast<size_t>(UniformInt(0, int64_t(v.size()) - 1))];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Derives an independent child generator; used to give each peer its own
+  /// stream so adding a peer does not perturb the others' randomness.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_COMMON_RNG_H_

@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gridvine {
+
+void SampleStats::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = samples_.size() <= 1;
+}
+
+void SampleStats::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Min() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double SampleStats::Max() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / double(samples_.size());
+}
+
+double SampleStats::Stddev() const {
+  if (samples_.size() < 2) return 0;
+  double mean = Mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / double(samples_.size()));
+}
+
+double SampleStats::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  p = std::clamp(p, 0.0, 1.0);
+  size_t idx = size_t(p * double(samples_.size() - 1) + 0.5);
+  return samples_[idx];
+}
+
+double SampleStats::FractionAtMost(double bound) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), bound);
+  return double(it - samples_.begin()) / double(samples_.size());
+}
+
+double SampleStats::Gini() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  double total = 0;
+  for (double v : samples_) total += v;
+  if (total <= 0) return 0;
+  double weighted = 0;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    weighted += double(i + 1) * samples_[i];
+  }
+  double n = double(samples_.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+std::string SampleStats::Summary() const {
+  std::ostringstream out;
+  out << "n=" << count();
+  if (!empty()) {
+    out << " mean=" << Mean() << " p50=" << Median()
+        << " p95=" << Percentile(0.95) << " max=" << Max();
+  }
+  return out.str();
+}
+
+const std::vector<double>& SampleStats::sorted() const {
+  EnsureSorted();
+  return samples_;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  std::sort(edges_.begin(), edges_.end());
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::Add(double value) {
+  size_t bucket =
+      size_t(std::upper_bound(edges_.begin(), edges_.end(), value) -
+             edges_.begin());
+  ++counts_[bucket];
+  ++total_;
+}
+
+std::string Histogram::Format(int bar_width) const {
+  std::ostringstream out;
+  uint64_t max_count = 1;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  auto row = [&](const std::string& label, uint64_t count) {
+    int bar = int(double(bar_width) * double(count) / double(max_count));
+    out << "  " << label;
+    for (size_t pad = label.size(); pad < 18; ++pad) out << ' ';
+    out << count;
+    out << "  ";
+    for (int i = 0; i < bar; ++i) out << '#';
+    out << "\n";
+  };
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    std::ostringstream label;
+    if (b == 0) {
+      label << "< " << edges_.front();
+    } else if (b == counts_.size() - 1) {
+      label << ">= " << edges_.back();
+    } else {
+      label << "[" << edges_[b - 1] << ", " << edges_[b] << ")";
+    }
+    row(label.str(), counts_[b]);
+  }
+  return out.str();
+}
+
+}  // namespace gridvine

@@ -1,0 +1,75 @@
+#ifndef GRIDVINE_COMMON_STATS_H_
+#define GRIDVINE_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gridvine {
+
+/// Accumulates scalar samples and answers the distribution questions the
+/// experiment harnesses keep asking (percentiles, CDF fractions, moments).
+/// Samples are kept; queries sort lazily. Not thread-safe (the simulator is
+/// single-threaded).
+class SampleStats {
+ public:
+  SampleStats() = default;
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Population standard deviation; 0 with fewer than 2 samples.
+  double Stddev() const;
+
+  /// p in [0, 1]; nearest-rank on the sorted samples. 0 when empty.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(0.5); }
+
+  /// Fraction of samples <= bound (a CDF point). 0 when empty.
+  double FractionAtMost(double bound) const;
+
+  /// Gini coefficient of the (non-negative) samples; 0 = perfectly even.
+  double Gini() const;
+
+  /// "n=5 mean=1.2 p50=1.0 p95=3.4 max=4.0" — for quick logging.
+  std::string Summary() const;
+
+  /// The sorted samples (for custom post-processing).
+  const std::vector<double>& sorted() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bucket histogram for printing latency/size distributions in bench
+/// output.
+class Histogram {
+ public:
+  /// Buckets: [edges[0], edges[1]), [edges[1], edges[2]), ...; samples below
+  /// the first edge and at/above the last land in two open-ended buckets.
+  explicit Histogram(std::vector<double> edges);
+
+  void Add(double value);
+  size_t total() const { return total_; }
+
+  /// One line per bucket: "[lo, hi)  count  ####".
+  std::string Format(int bar_width = 40) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<uint64_t> counts_;  // edges.size() + 1 buckets
+  size_t total_ = 0;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_COMMON_STATS_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace gridvine {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kNetworkError:
+      return "NetworkError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+}  // namespace gridvine

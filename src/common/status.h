@@ -1,0 +1,134 @@
+#ifndef GRIDVINE_COMMON_STATUS_H_
+#define GRIDVINE_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gridvine {
+
+/// Error categories used across the GridVine code base. The set mirrors the
+/// usual database-system vocabulary (RocksDB/Arrow style): a small closed enum
+/// plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kTimeout = 5,
+  kUnavailable = 6,
+  kNetworkError = 7,
+  kCorruption = 8,
+  kNotImplemented = 9,
+  kInternal = 10,
+};
+
+/// Returns a stable human-readable name for a status code ("OK", "NotFound"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail. Cheap to copy in the OK case (no
+/// allocation); carries a code and message otherwise. GridVine never throws
+/// exceptions across public API boundaries — everything that can fail returns
+/// a Status or a Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr means OK; shared so copies are cheap.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace gridvine
+
+/// Propagates a non-OK Status to the caller.
+#define GV_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::gridvine::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#endif  // GRIDVINE_COMMON_STATUS_H_

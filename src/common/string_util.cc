@@ -1,0 +1,121 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gridvine {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  // Dynamic programming over (value position, pattern position); greedy
+  // two-pointer with backtracking is equivalent and allocation-free.
+  size_t v = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_v = 0;
+  while (v < value.size()) {
+    if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_v = v;
+    } else if (p < pattern.size() && pattern[p] == value[v]) {
+      ++p;
+      ++v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - double(EditDistance(a, b)) / double(longest);
+}
+
+std::set<std::string> Trigrams(std::string_view s) {
+  std::string padded = "$$" + ToLower(s) + "$$";
+  std::set<std::string> out;
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    out.insert(padded.substr(i, 3));
+  }
+  return out;
+}
+
+double TrigramSimilarity(std::string_view a, std::string_view b) {
+  std::set<std::string> ta = Trigrams(a);
+  std::set<std::string> tb = Trigrams(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  size_t common = 0;
+  for (const auto& t : ta) common += tb.count(t);
+  return 2.0 * double(common) / double(ta.size() + tb.size());
+}
+
+double JaccardSimilarity(const std::set<std::string>& a,
+                         const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t common = 0;
+  for (const auto& x : a) common += b.count(x);
+  size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 1.0 : double(common) / double(uni);
+}
+
+}  // namespace gridvine

@@ -1,0 +1,48 @@
+#ifndef GRIDVINE_COMMON_STRING_UTIL_H_
+#define GRIDVINE_COMMON_STRING_UTIL_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridvine {
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a delimiter string.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// SQL-LIKE style matching where '%' matches any run of characters. Used by
+/// the local database selection operator for patterns such as "%Aspergillus%".
+/// Matching is case-sensitive; no escape character or '_' wildcard.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Levenshtein edit distance.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Edit similarity in [0, 1]: 1 − dist / max(len); 1.0 for two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// The set of letter trigrams of the lower-cased string, padded with '$' at
+/// both ends (so "go" yields {"$$g","$go","go$","o$$"}).
+std::set<std::string> Trigrams(std::string_view s);
+
+/// Dice coefficient over trigram sets in [0, 1].
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two string sets; 1.0 if both empty.
+double JaccardSimilarity(const std::set<std::string>& a,
+                         const std::set<std::string>& b);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_COMMON_STRING_UTIL_H_

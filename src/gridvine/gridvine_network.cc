@@ -1,0 +1,193 @@
+#include "gridvine/gridvine_network.h"
+
+namespace gridvine {
+
+GridVineNetwork::GridVineNetwork(Options options)
+    : options_(options), rng_(options.seed) {
+  network_ = std::make_unique<Network>(&sim_, MakeLatency(), rng_.Fork(),
+                                       options_.loss_probability);
+  options_.peer.key_depth = options_.key_depth;
+  options_.overlay.key_depth = options_.key_depth;
+  for (size_t i = 0; i < options_.num_peers; ++i) {
+    peers_.push_back(std::make_unique<GridVinePeer>(
+        &sim_, network_.get(), rng_.Fork(), options_.peer, options_.overlay));
+  }
+  Rng wire_rng = rng_.Fork();
+  PGridBuilder::BuildBalanced(overlay_peers(), &wire_rng,
+                              options_.refs_per_level);
+}
+
+std::unique_ptr<LatencyModel> GridVineNetwork::MakeLatency() {
+  switch (options_.latency) {
+    case LatencyKind::kConstant:
+      return std::make_unique<ConstantLatency>(options_.latency_param);
+    case LatencyKind::kUniform:
+      return std::make_unique<UniformLatency>(0, 2 * options_.latency_param);
+    case LatencyKind::kWan:
+      return std::make_unique<WanLatency>(
+          options_.latency_param, options_.wan_mu, options_.wan_sigma,
+          options_.wan_straggler_prob, options_.wan_straggler_mean);
+  }
+  return std::make_unique<ConstantLatency>(options_.latency_param);
+}
+
+std::vector<PGridPeer*> GridVineNetwork::overlay_peers() {
+  std::vector<PGridPeer*> out;
+  out.reserve(peers_.size());
+  for (auto& p : peers_) out.push_back(p->overlay());
+  return out;
+}
+
+void GridVineNetwork::RebuildOverlayAdaptive(const std::vector<Key>& sample) {
+  Rng wire_rng = rng_.Fork();
+  PGridBuilder::BuildAdaptive(overlay_peers(), sample, &wire_rng,
+                              options_.refs_per_level);
+}
+
+void GridVineNetwork::PumpUntil(const bool* done) {
+  while (!*done && sim_.pending() > 0) {
+    sim_.Run(1);
+  }
+}
+
+Status GridVineNetwork::InsertTriple(size_t peer_idx, const Triple& triple) {
+  bool done = false;
+  Status result;
+  peers_[peer_idx]->InsertTriple(triple, [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+Status GridVineNetwork::RemoveTriple(size_t peer_idx, const Triple& triple) {
+  bool done = false;
+  Status result;
+  peers_[peer_idx]->RemoveTriple(triple, [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+Status GridVineNetwork::InsertSchema(size_t peer_idx, const Schema& schema) {
+  bool done = false;
+  Status result;
+  peers_[peer_idx]->InsertSchema(schema, [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+Status GridVineNetwork::InsertMapping(size_t peer_idx,
+                                      const SchemaMapping& mapping) {
+  bool done = false;
+  Status result;
+  peers_[peer_idx]->InsertMapping(mapping, [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+Status GridVineNetwork::UpsertMapping(size_t peer_idx,
+                                      const SchemaMapping& mapping) {
+  bool done = false;
+  Status result;
+  peers_[peer_idx]->UpsertMapping(mapping, [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+Status GridVineNetwork::PublishDegree(size_t peer_idx,
+                                      const std::string& domain,
+                                      const std::string& schema, int in_degree,
+                                      int out_degree) {
+  bool done = false;
+  Status result;
+  peers_[peer_idx]->PublishDegree(domain, schema, in_degree, out_degree,
+                                  [&](Status s) {
+                                    result = std::move(s);
+                                    done = true;
+                                  });
+  PumpUntil(&done);
+  return result;
+}
+
+Result<Schema> GridVineNetwork::FetchSchema(size_t peer_idx,
+                                            const std::string& name) {
+  bool done = false;
+  Result<Schema> result = Status::Internal("not completed");
+  peers_[peer_idx]->FetchSchema(name, [&](Result<Schema> r) {
+    result = std::move(r);
+    done = true;
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+Result<std::vector<SchemaMapping>> GridVineNetwork::FetchMappingsFor(
+    size_t peer_idx, const std::string& schema) {
+  bool done = false;
+  Result<std::vector<SchemaMapping>> result = Status::Internal("not completed");
+  peers_[peer_idx]->FetchMappingsFor(
+      schema, [&](Result<std::vector<SchemaMapping>> r) {
+        result = std::move(r);
+        done = true;
+      });
+  PumpUntil(&done);
+  return result;
+}
+
+Result<std::vector<GridVinePeer::DegreeRecord>>
+GridVineNetwork::FetchDomainDegrees(size_t peer_idx,
+                                    const std::string& domain) {
+  bool done = false;
+  Result<std::vector<GridVinePeer::DegreeRecord>> result =
+      Status::Internal("not completed");
+  peers_[peer_idx]->FetchDomainDegrees(
+      domain, [&](Result<std::vector<GridVinePeer::DegreeRecord>> r) {
+        result = std::move(r);
+        done = true;
+      });
+  PumpUntil(&done);
+  return result;
+}
+
+GridVinePeer::QueryResult GridVineNetwork::SearchFor(
+    size_t peer_idx, const TriplePatternQuery& query,
+    const GridVinePeer::QueryOptions& options) {
+  bool done = false;
+  GridVinePeer::QueryResult result;
+  peers_[peer_idx]->SearchFor(query, options,
+                              [&](GridVinePeer::QueryResult r) {
+                                result = std::move(r);
+                                done = true;
+                              });
+  PumpUntil(&done);
+  return result;
+}
+
+GridVinePeer::ConjunctiveResult GridVineNetwork::SearchForConjunctive(
+    size_t peer_idx, const ConjunctiveQuery& query,
+    const GridVinePeer::QueryOptions& options) {
+  bool done = false;
+  GridVinePeer::ConjunctiveResult result;
+  peers_[peer_idx]->SearchForConjunctive(
+      query, options, [&](GridVinePeer::ConjunctiveResult r) {
+        result = std::move(r);
+        done = true;
+      });
+  PumpUntil(&done);
+  return result;
+}
+
+}  // namespace gridvine

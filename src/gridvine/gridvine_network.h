@@ -1,0 +1,108 @@
+#ifndef GRIDVINE_GRIDVINE_GRIDVINE_NETWORK_H_
+#define GRIDVINE_GRIDVINE_GRIDVINE_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "gridvine/gridvine_peer.h"
+#include "pgrid/pgrid_builder.h"
+#include "sim/latency.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace gridvine {
+
+/// Owns a complete simulated GridVine deployment: the event loop, the
+/// transport, and N GridVine peers wired into a P-Grid overlay. This is the
+/// top-level entry point used by examples, tests and the experiment benches.
+///
+/// Asynchronous operations of GridVinePeer are also exposed as synchronous
+/// helpers that pump the simulator until the operation completes — the
+/// natural shape for experiment scripts.
+class GridVineNetwork {
+ public:
+  enum class LatencyKind { kConstant, kUniform, kWan };
+
+  struct Options {
+    size_t num_peers = 16;
+    int key_depth = 16;
+    uint64_t seed = 1;
+    LatencyKind latency = LatencyKind::kConstant;
+    /// kConstant: the latency; kUniform: [0, 2x]; kWan: the base delay.
+    SimTime latency_param = 0.02;
+    /// kWan only: parameters of the log-normal variable delay component,
+    /// plus the straggler mixture (overloaded-host extra delay).
+    double wan_mu = -3.2;
+    double wan_sigma = 1.1;
+    double wan_straggler_prob = 0.0;
+    SimTime wan_straggler_mean = 4.0;
+    double loss_probability = 0.0;
+    int refs_per_level = 2;
+    PGridPeer::Options overlay;
+    GridVinePeer::Options peer;
+  };
+
+  explicit GridVineNetwork(Options options);
+
+  GridVineNetwork(const GridVineNetwork&) = delete;
+  GridVineNetwork& operator=(const GridVineNetwork&) = delete;
+
+  Simulator* sim() { return &sim_; }
+  Network* network() { return network_.get(); }
+  Rng* rng() { return &rng_; }
+
+  size_t size() const { return peers_.size(); }
+  GridVinePeer* peer(size_t i) { return peers_[i].get(); }
+  std::vector<PGridPeer*> overlay_peers();
+
+  /// Rewires the overlay into a trie adapted to `sample` keys (storage
+  /// balance under skewed key distributions, experiment E7). Existing
+  /// overlay storage is NOT redistributed — call before inserting data.
+  void RebuildOverlayAdaptive(const std::vector<Key>& sample);
+
+  // --- Synchronous wrappers (pump the simulator until completion) ----------
+
+  Status InsertTriple(size_t peer_idx, const Triple& triple);
+  Status RemoveTriple(size_t peer_idx, const Triple& triple);
+  Status InsertSchema(size_t peer_idx, const Schema& schema);
+  Status InsertMapping(size_t peer_idx, const SchemaMapping& mapping);
+  Status UpsertMapping(size_t peer_idx, const SchemaMapping& mapping);
+  Status PublishDegree(size_t peer_idx, const std::string& domain,
+                       const std::string& schema, int in_degree,
+                       int out_degree);
+
+  Result<Schema> FetchSchema(size_t peer_idx, const std::string& name);
+  Result<std::vector<SchemaMapping>> FetchMappingsFor(
+      size_t peer_idx, const std::string& schema);
+  Result<std::vector<GridVinePeer::DegreeRecord>> FetchDomainDegrees(
+      size_t peer_idx, const std::string& domain);
+
+  GridVinePeer::QueryResult SearchFor(
+      size_t peer_idx, const TriplePatternQuery& query,
+      const GridVinePeer::QueryOptions& options = {});
+  GridVinePeer::ConjunctiveResult SearchForConjunctive(
+      size_t peer_idx, const ConjunctiveQuery& query,
+      const GridVinePeer::QueryOptions& options = {});
+
+  /// Runs the event loop until idle (drains in-flight maintenance traffic).
+  void Settle() { sim_.Run(); }
+
+ private:
+  std::unique_ptr<LatencyModel> MakeLatency();
+
+  /// Pumps the simulator one event at a time until `*done` or idle.
+  void PumpUntil(const bool* done);
+
+  Options options_;
+  Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<GridVinePeer>> peers_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_GRIDVINE_GRIDVINE_NETWORK_H_

@@ -1,0 +1,693 @@
+#include "gridvine/gridvine_peer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "query/planner.h"
+#include "query/reformulation.h"
+#include "store/binding_codec.h"
+
+namespace gridvine {
+
+namespace {
+
+/// Record-type prefixes distinguishing non-triple values in overlay storage.
+bool IsStructuredRecord(const std::string& value) {
+  return StartsWith(value, "schema|") || StartsWith(value, "mapping|") ||
+         StartsWith(value, "conn|");
+}
+
+/// Aggregates N update acknowledgements into one status callback: the first
+/// error wins; OK once all arrive.
+class AckAggregator {
+ public:
+  AckAggregator(int expected, GridVinePeer::StatusCallback cb)
+      : remaining_(expected), cb_(std::move(cb)) {}
+
+  PGridPeer::UpdateCallback MakeCallback() {
+    auto self = shared_from_this_;
+    return [this, self](Result<PGridPeer::UpdateOutcome> r) {
+      if (!r.ok() && first_error_.ok()) first_error_ = r.status();
+      if (--remaining_ == 0) {
+        cb_(first_error_);
+      }
+    };
+  }
+
+  /// Creates an aggregator kept alive by its own callbacks.
+  static std::shared_ptr<AckAggregator> Create(
+      int expected, GridVinePeer::StatusCallback cb) {
+    auto agg = std::make_shared<AckAggregator>(expected, std::move(cb));
+    agg->shared_from_this_ = agg;
+    return agg;
+  }
+
+ private:
+  std::shared_ptr<AckAggregator> shared_from_this_;
+  int remaining_;
+  Status first_error_;
+  GridVinePeer::StatusCallback cb_;
+};
+
+}  // namespace
+
+GridVinePeer::GridVinePeer(Simulator* sim, Network* network, Rng rng,
+                           Options options,
+                           PGridPeer::Options overlay_options)
+    : sim_(sim),
+      network_(network),
+      rng_(rng),
+      options_(options),
+      hash_(options.key_depth) {
+  overlay_options.key_depth = options.key_depth;
+  overlay_ = std::make_unique<PGridPeer>(sim, network, rng_.Fork(),
+                                         overlay_options);
+  overlay_->SetExtensionHandler(
+      [this](NodeId origin, std::shared_ptr<const MessageBody> payload,
+             int hops) { OnExtensionMessage(origin, std::move(payload), hops); });
+  overlay_->SetStorageListener(
+      [this](UpdateOp op, const Key& key, const std::string& value) {
+        OnStorageChange(op, key, value);
+      });
+}
+
+// --- Storage mirroring --------------------------------------------------------
+
+void GridVinePeer::OnStorageChange(UpdateOp op, const Key& /*key*/,
+                                   const std::string& value) {
+  if (IsStructuredRecord(value)) return;
+  auto triple = Triple::Parse(value);
+  if (!triple.ok()) return;  // unknown record type: not DB_p material
+  if (op == UpdateOp::kInsert) {
+    // A triple indexed three times may land on this peer up to three times;
+    // TripleStore::Insert is idempotent so DB_p stays duplicate-free.
+    local_db_.Insert(*triple).ok();
+  } else {
+    local_db_.Erase(*triple);
+  }
+}
+
+// --- Mediation-layer updates ---------------------------------------------------
+
+void GridVinePeer::InsertTriple(const Triple& triple, StatusCallback cb) {
+  Status valid = triple.Validate();
+  if (!valid.ok()) {
+    cb(valid);
+    return;
+  }
+  std::string value = triple.Serialize();
+  auto agg = AckAggregator::Create(3, std::move(cb));
+  // Update(t) = Update(Hash(s), t), Update(Hash(p), t), Update(Hash(o), t).
+  overlay_->Update(KeyFor(triple.subject().value()), value,
+                   agg->MakeCallback());
+  overlay_->Update(KeyFor(triple.predicate().value()), value,
+                   agg->MakeCallback());
+  overlay_->Update(KeyFor(triple.object().value()), value,
+                   agg->MakeCallback());
+}
+
+void GridVinePeer::RemoveTriple(const Triple& triple, StatusCallback cb) {
+  std::string value = triple.Serialize();
+  auto agg = AckAggregator::Create(3, std::move(cb));
+  overlay_->Remove(KeyFor(triple.subject().value()), value,
+                   agg->MakeCallback());
+  overlay_->Remove(KeyFor(triple.predicate().value()), value,
+                   agg->MakeCallback());
+  overlay_->Remove(KeyFor(triple.object().value()), value,
+                   agg->MakeCallback());
+}
+
+void GridVinePeer::InsertSchema(const Schema& schema, StatusCallback cb) {
+  Status valid = schema.Validate();
+  if (!valid.ok()) {
+    cb(valid);
+    return;
+  }
+  overlay_->Update(KeyFor(schema.name()), schema.Serialize(),
+                   [cb](Result<PGridPeer::UpdateOutcome> r) {
+                     cb(r.ok() ? Status::OK() : r.status());
+                   });
+}
+
+namespace {
+
+/// A mapping must be discoverable from every schema that can traverse it:
+/// bidirectional equivalences reformulate both ways, and subsumptions are
+/// always traversable backwards (the sound specialization direction), so
+/// both kinds are indexed under the target schema's key space too.
+bool StoredAtBothKeySpaces(const SchemaMapping& mapping) {
+  return mapping.bidirectional() ||
+         mapping.type() == MappingType::kSubsumption;
+}
+
+}  // namespace
+
+void GridVinePeer::InsertMapping(const SchemaMapping& mapping,
+                                 StatusCallback cb) {
+  std::string value = mapping.Serialize();
+  int copies = StoredAtBothKeySpaces(mapping) ? 2 : 1;
+  auto agg = AckAggregator::Create(copies, std::move(cb));
+  overlay_->Update(KeyFor(mapping.source_schema()), value,
+                   agg->MakeCallback());
+  if (StoredAtBothKeySpaces(mapping)) {
+    overlay_->Update(KeyFor(mapping.target_schema()), value,
+                     agg->MakeCallback());
+  }
+}
+
+void GridVinePeer::UpsertMapping(const SchemaMapping& mapping,
+                                 StatusCallback cb) {
+  // Fetch current records at the source key space, remove any with the same
+  // id, then insert the new state. (Bidirectional copies are refreshed too.)
+  FetchMappingsFor(
+      mapping.source_schema(),
+      [this, mapping, cb](Result<std::vector<SchemaMapping>> existing) {
+        std::vector<std::string> stale;
+        if (existing.ok()) {
+          for (const auto& m : *existing) {
+            if (m.id() == mapping.id() &&
+                m.Serialize() != mapping.Serialize()) {
+              stale.push_back(m.Serialize());
+            }
+          }
+        }
+        int ops = int(stale.size()) * (StoredAtBothKeySpaces(mapping) ? 2 : 1);
+        auto agg = AckAggregator::Create(ops + 1, cb);
+        for (const auto& value : stale) {
+          overlay_->Remove(KeyFor(mapping.source_schema()), value,
+                           agg->MakeCallback());
+          if (StoredAtBothKeySpaces(mapping)) {
+            overlay_->Remove(KeyFor(mapping.target_schema()), value,
+                             agg->MakeCallback());
+          }
+        }
+        InsertMapping(mapping, [agg](Status s) {
+          agg->MakeCallback()(
+              s.ok() ? Result<PGridPeer::UpdateOutcome>(
+                           PGridPeer::UpdateOutcome{})
+                     : Result<PGridPeer::UpdateOutcome>(s));
+        });
+      });
+}
+
+// --- Mediation-layer lookups ----------------------------------------------------
+
+void GridVinePeer::FetchSchema(const std::string& name,
+                               std::function<void(Result<Schema>)> cb) {
+  overlay_->Retrieve(
+      KeyFor(name), [name, cb](Result<PGridPeer::LookupResult> r) {
+        if (!r.ok()) {
+          cb(r.status());
+          return;
+        }
+        for (const auto& value : r->values) {
+          if (!StartsWith(value, "schema|")) continue;
+          auto schema = Schema::Parse(value);
+          if (schema.ok() && schema->name() == name) {
+            cb(std::move(schema));
+            return;
+          }
+        }
+        cb(Status::NotFound("schema not in network: " + name));
+      });
+}
+
+void GridVinePeer::FetchMappingsFor(
+    const std::string& schema,
+    std::function<void(Result<std::vector<SchemaMapping>>)> cb) {
+  overlay_->Retrieve(
+      KeyFor(schema), [cb](Result<PGridPeer::LookupResult> r) {
+        if (!r.ok()) {
+          cb(r.status());
+          return;
+        }
+        std::vector<SchemaMapping> mappings;
+        for (const auto& value : r->values) {
+          if (!StartsWith(value, "mapping|")) continue;
+          auto m = SchemaMapping::Parse(value);
+          if (m.ok()) mappings.push_back(std::move(m).value());
+        }
+        cb(std::move(mappings));
+      });
+}
+
+// --- Connectivity registry ------------------------------------------------------
+
+void GridVinePeer::PublishDegree(const std::string& domain,
+                                 const std::string& schema, int in_degree,
+                                 int out_degree, StatusCallback cb) {
+  std::string record = "conn|" + schema + "|" + std::to_string(in_degree) +
+                       "|" + std::to_string(out_degree) + "|" +
+                       std::to_string(next_version_++);
+  auto prev_key = std::make_pair(domain, schema);
+  auto it = published_degrees_.find(prev_key);
+  int ops = it != published_degrees_.end() ? 2 : 1;
+  auto agg = AckAggregator::Create(ops, std::move(cb));
+  if (it != published_degrees_.end()) {
+    overlay_->Remove(KeyFor(domain), it->second, agg->MakeCallback());
+  }
+  overlay_->Update(KeyFor(domain), record, agg->MakeCallback());
+  published_degrees_[prev_key] = record;
+}
+
+void GridVinePeer::FetchDomainDegrees(
+    const std::string& domain,
+    std::function<void(Result<std::vector<DegreeRecord>>)> cb) {
+  overlay_->Retrieve(
+      KeyFor(domain), [cb](Result<PGridPeer::LookupResult> r) {
+        if (!r.ok()) {
+          cb(r.status());
+          return;
+        }
+        // Keep the latest version per schema.
+        std::map<std::string, DegreeRecord> latest;
+        for (const auto& value : r->values) {
+          if (!StartsWith(value, "conn|")) continue;
+          auto parts = Split(value, '|');
+          if (parts.size() != 5) continue;
+          DegreeRecord rec;
+          rec.schema = parts[1];
+          rec.in_degree = std::atoi(parts[2].c_str());
+          rec.out_degree = std::atoi(parts[3].c_str());
+          rec.version = std::strtoull(parts[4].c_str(), nullptr, 10);
+          auto it = latest.find(rec.schema);
+          if (it == latest.end() || it->second.version < rec.version) {
+            latest[rec.schema] = rec;
+          }
+        }
+        std::vector<DegreeRecord> out;
+        out.reserve(latest.size());
+        for (auto& [_, rec] : latest) out.push_back(rec);
+        cb(std::move(out));
+      });
+}
+
+// --- Query engine ---------------------------------------------------------------
+
+uint64_t GridVinePeer::StartQuery(
+    const TriplePatternQuery& query, const QueryOptions& options,
+    std::function<void(PendingQuery&)> on_finish) {
+  ++counters_.queries_issued;
+  uint64_t qid = (uint64_t(id()) << 32) | next_query_id_++;
+  PendingQuery p;
+  p.query = query;
+  p.options = options;
+  p.started = sim_->Now();
+  p.on_finish = std::move(on_finish);
+  p.visited.insert(query.SchemaName());
+  pending_queries_.emplace(qid, std::move(p));
+
+  int max_hops = options.max_hops >= 0 ? options.max_hops
+                                       : options_.max_reformulation_hops;
+  SimTime timeout =
+      options.timeout > 0 ? options.timeout : options_.query_timeout;
+
+  PendingQuery& pq = pending_queries_.at(qid);
+  pq.outstanding = 1;
+  int ttl = options.reformulate &&
+                    options.mode == ReformulationMode::kRecursive
+                ? max_hops
+                : 0;
+  DispatchQuery(qid, query, id(), options.mode, ttl, {query.SchemaName()},
+                0, 1.0, options.sound_only);
+
+  if (options.reformulate && options.mode == ReformulationMode::kIterative) {
+    IterativeExpand(qid, query, {query.SchemaName()}, 0, 0, 1.0);
+  }
+
+  sim_->Schedule(timeout, [this, qid] { FinishQuery(qid); });
+  return qid;
+}
+
+void GridVinePeer::SearchFor(const TriplePatternQuery& query,
+                             const QueryOptions& options, QueryCallback cb) {
+  Status valid = query.Validate();
+  if (!valid.ok()) {
+    QueryResult res;
+    res.status = valid;
+    cb(std::move(res));
+    return;
+  }
+  std::string var = query.distinguished_var();
+  StartQuery(query, options, [this, var, cb](PendingQuery& p) {
+    QueryResult res;
+    res.status = Status::OK();
+    res.schemas_answered = p.schemas_answered.size();
+    res.reformulations = p.reformulations;
+    res.latency = sim_->Now() - p.started;
+    res.first_result_latency = p.first_result;
+    // Deduplicate by (schema, value); earliest arrival wins.
+    std::map<std::pair<std::string, std::string>, ResultItem> dedup;
+    for (const RowBatch& batch : p.batches) {
+      for (const BindingSet& row : batch.rows) {
+        auto it = row.find(var);
+        if (it == row.end()) continue;
+        auto key = std::make_pair(batch.schema, it->second.value());
+        auto found = dedup.find(key);
+        if (found != dedup.end() && found->second.arrival <= batch.arrival) {
+          continue;
+        }
+        ResultItem item;
+        item.value = it->second;
+        item.schema = batch.schema;
+        item.mapping_path_len = batch.mapping_path_len;
+        item.confidence = batch.confidence;
+        item.arrival = batch.arrival;
+        dedup[key] = std::move(item);
+      }
+    }
+    res.items.reserve(dedup.size());
+    for (auto& [_, item] : dedup) res.items.push_back(std::move(item));
+    std::sort(res.items.begin(), res.items.end(),
+              [](const ResultItem& a, const ResultItem& b) {
+                return a.arrival < b.arrival;
+              });
+    cb(std::move(res));
+  });
+}
+
+void GridVinePeer::DispatchQuery(uint64_t qid, const TriplePatternQuery& query,
+                                 NodeId reply_to, ReformulationMode mode,
+                                 int ttl, std::vector<std::string> visited,
+                                 int path_len, double confidence,
+                                 bool sound_only) {
+  auto routing = query.pattern().RoutingConstant();
+  auto range_prefix = query.pattern().ObjectRangePrefix();
+  // Routing-policy override (ablation): only the issuer's own dispatch.
+  if (reply_to == id()) {
+    auto it = pending_queries_.find(qid);
+    if (it != pending_queries_.end() &&
+        it->second.options.routing_position.has_value() &&
+        query.pattern().IsExactConstant(
+            *it->second.options.routing_position)) {
+      routing = it->second.options.routing_position;
+    }
+  }
+  if (!routing.has_value() && !range_prefix.has_value()) {
+    // Cannot route an all-variable pattern: the branch dies silently; the
+    // origin's timeout (or outstanding counter) handles it.
+    auto it = pending_queries_.find(qid);
+    if (it != pending_queries_.end() && reply_to == id()) {
+      --it->second.outstanding;
+      MaybeFinishIterative(qid);
+    }
+    return;
+  }
+  auto req = std::make_shared<QueryRequest>();
+  req->query_id = qid;
+  req->query = query.Serialize();
+  req->reply_to = reply_to;
+  req->mode = mode;
+  req->ttl = ttl;
+  req->visited_schemas = std::move(visited);
+  req->mapping_path_len = path_len;
+  req->confidence = confidence;
+  req->sound_only = sound_only;
+  if (routing.has_value()) {
+    overlay_->Route(KeyFor(query.pattern().at(*routing).value()),
+                    std::move(req));
+    return;
+  }
+  // No exact constant, but a prefix-constrained literal ("Asp%..."): the
+  // order-preserving hash maps the value range to a key-space subtree;
+  // multicast the query there. The number of responders is unknown, so the
+  // origin must collect until its window closes.
+  auto it = pending_queries_.find(qid);
+  if (it != pending_queries_.end() && reply_to == id()) {
+    it->second.used_range_dispatch = true;
+  }
+  overlay_->RouteRange(hash_.SubtreeFor(*range_prefix), std::move(req));
+}
+
+void GridVinePeer::IterativeExpand(uint64_t qid,
+                                   const TriplePatternQuery& query,
+                                   std::set<std::string> /*visited*/,
+                                   int depth, int path_len,
+                                   double confidence) {
+  auto it = pending_queries_.find(qid);
+  if (it == pending_queries_.end() || it->second.closed) return;
+  int max_hops = it->second.options.max_hops >= 0
+                     ? it->second.options.max_hops
+                     : options_.max_reformulation_hops;
+  if (depth >= max_hops) return;
+
+  ++it->second.outstanding;  // the mapping fetch itself
+  FetchMappingsFor(
+      query.SchemaName(),
+      [this, qid, query, depth, path_len,
+       confidence](Result<std::vector<SchemaMapping>> fetched) {
+        auto it2 = pending_queries_.find(qid);
+        if (it2 == pending_queries_.end() || it2->second.closed) return;
+        PendingQuery& p = it2->second;
+        --p.outstanding;
+        if (fetched.ok()) {
+          std::string schema = query.SchemaName();
+          for (const SchemaMapping& m : OrientMappingsFrom(
+                   schema, *fetched, p.options.sound_only)) {
+            if (p.visited.count(m.target_schema())) continue;
+            auto reformed = Reformulate(query, m);
+            if (!reformed.ok()) continue;
+            p.visited.insert(m.target_schema());
+            ++p.reformulations;
+            ++p.outstanding;
+            DispatchQuery(qid, *reformed, id(), ReformulationMode::kIterative,
+                          0, {}, path_len + 1, confidence * m.confidence(),
+                          p.options.sound_only);
+            IterativeExpand(qid, *reformed, {}, depth + 1, path_len + 1,
+                            confidence * m.confidence());
+          }
+        }
+        MaybeFinishIterative(qid);
+      });
+}
+
+void GridVinePeer::MaybeFinishIterative(uint64_t qid) {
+  auto it = pending_queries_.find(qid);
+  if (it == pending_queries_.end() || it->second.closed) return;
+  PendingQuery& p = it->second;
+  if (p.used_range_dispatch) return;  // unknown responder count: wait out
+  bool iterative = !p.options.reformulate ||
+                   p.options.mode == ReformulationMode::kIterative;
+  if (iterative && p.outstanding <= 0) FinishQuery(qid);
+}
+
+void GridVinePeer::FinishQuery(uint64_t qid) {
+  auto it = pending_queries_.find(qid);
+  if (it == pending_queries_.end() || it->second.closed) return;
+  it->second.closed = true;
+  PendingQuery p = std::move(it->second);
+  pending_queries_.erase(it);
+  p.on_finish(p);
+}
+
+// --- Message handling -------------------------------------------------------------
+
+void GridVinePeer::OnExtensionMessage(
+    NodeId /*origin*/, std::shared_ptr<const MessageBody> payload,
+    int /*hops*/) {
+  if (auto* req = dynamic_cast<const QueryRequest*>(payload.get())) {
+    HandleQueryRequest(*req);
+  } else if (auto* resp = dynamic_cast<const QueryResponse*>(payload.get())) {
+    HandleQueryResponse(*resp);
+  } else {
+    GV_LOG(Warning) << "gridvine peer " << id() << ": unknown payload "
+                    << payload->TypeTag();
+  }
+}
+
+void GridVinePeer::HandleQueryRequest(const QueryRequest& req) {
+  auto query = TriplePatternQuery::Parse(req.query);
+  if (!query.ok()) {
+    GV_LOG(Warning) << "bad query payload: " << query.status();
+    return;
+  }
+  std::string schema = query->SchemaName();
+
+  if (req.mode == ReformulationMode::kRecursive) {
+    // A schema is processed once per query at any given peer.
+    auto seen_key = std::make_pair(req.query_id, schema);
+    if (recursive_seen_.count(seen_key)) return;
+    recursive_seen_.insert(seen_key);
+  }
+
+  ++counters_.queries_answered;
+  auto rows = local_db_.MatchPattern(query->pattern());
+  auto resp = std::make_shared<QueryResponse>();
+  resp->query_id = req.query_id;
+  resp->schema = schema;
+  resp->rows = SerializeBindings(rows);
+  resp->mapping_path_len = req.mapping_path_len;
+  resp->confidence = req.confidence;
+  resp->responder = id();
+  overlay_->SendDirect(req.reply_to, std::move(resp));
+
+  if (req.mode != ReformulationMode::kRecursive || req.ttl <= 0) return;
+
+  // Recursive mode: this peer reformulates and forwards on behalf of the
+  // issuer (paper Section 4, "successive reformulations are delegated to
+  // intermediate peers").
+  TriplePatternQuery q = std::move(query).value();
+  auto visited = req.visited_schemas;
+  if (std::find(visited.begin(), visited.end(), schema) == visited.end()) {
+    visited.push_back(schema);
+  }
+  uint64_t qid = req.query_id;
+  NodeId reply_to = req.reply_to;
+  int ttl = req.ttl;
+  int path_len = req.mapping_path_len;
+  double confidence = req.confidence;
+  bool sound_only = req.sound_only;
+  FetchMappingsFor(
+      schema, [this, q, visited, qid, reply_to, ttl, path_len, confidence,
+               sound_only](Result<std::vector<SchemaMapping>> fetched) {
+        if (!fetched.ok()) return;
+        std::string schema = q.SchemaName();
+        for (const SchemaMapping& m :
+             OrientMappingsFrom(schema, *fetched, sound_only)) {
+          if (std::find(visited.begin(), visited.end(),
+                        m.target_schema()) != visited.end()) {
+            continue;
+          }
+          auto reformed = Reformulate(q, m);
+          if (!reformed.ok()) continue;
+          ++counters_.reformulations_performed;
+          auto next_visited = visited;
+          next_visited.push_back(m.target_schema());
+          DispatchQuery(qid, *reformed, reply_to,
+                        ReformulationMode::kRecursive, ttl - 1, next_visited,
+                        path_len + 1, confidence * m.confidence(),
+                        sound_only);
+        }
+      });
+}
+
+void GridVinePeer::HandleQueryResponse(const QueryResponse& resp) {
+  auto it = pending_queries_.find(resp.query_id);
+  if (it == pending_queries_.end() || it->second.closed) return;
+  PendingQuery& p = it->second;
+
+  auto rows = ParseBindings(resp.rows);
+  if (rows.ok()) {
+    RowBatch batch;
+    batch.schema = resp.schema;
+    batch.mapping_path_len = resp.mapping_path_len;
+    batch.confidence = resp.confidence;
+    batch.arrival = sim_->Now() - p.started;
+    batch.rows = std::move(rows).value();
+    if (!batch.rows.empty() && p.first_result < 0) {
+      p.first_result = batch.arrival;
+    }
+    p.schemas_answered.insert(resp.schema);
+    if (p.options.on_answer) {
+      p.options.on_answer(batch.schema, batch.rows.size(), batch.arrival);
+    }
+    p.batches.push_back(std::move(batch));
+  }
+
+  bool iterative = !p.options.reformulate ||
+                   p.options.mode == ReformulationMode::kIterative;
+  if (iterative && !p.used_range_dispatch) {
+    --p.outstanding;
+    MaybeFinishIterative(resp.query_id);
+  }
+}
+
+// --- Conjunctive queries ------------------------------------------------------------
+
+void GridVinePeer::SearchForConjunctive(
+    const ConjunctiveQuery& query, const QueryOptions& options,
+    std::function<void(ConjunctiveResult)> cb) {
+  Status valid = query.Validate();
+  if (!valid.ok()) {
+    ConjunctiveResult res;
+    res.status = valid;
+    cb(std::move(res));
+    return;
+  }
+
+  // Sequentially resolve each pattern (cheapest first, join-connected where
+  // possible — see query/planner.h); join binding sets as they arrive.
+  struct State {
+    ConjunctiveQuery query;
+    std::vector<size_t> order;
+    QueryOptions options;
+    std::function<void(ConjunctiveResult)> cb;
+    std::vector<BindingSet> acc;
+    size_t next_pattern = 0;
+    SimTime started = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->query = query;
+  state->order = PlanConjunctive(query);
+  state->options = options;
+  state->cb = std::move(cb);
+  state->started = sim_->Now();
+
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, state, step]() {
+    if (state->next_pattern >= state->query.patterns().size()) {
+      ConjunctiveResult res;
+      res.status = Status::OK();
+      res.latency = sim_->Now() - state->started;
+      // Restrict to distinguished variables, deduplicated.
+      std::set<std::string> row_keys;
+      for (const BindingSet& row : state->acc) {
+        BindingSet restricted;
+        for (const auto& var : state->query.distinguished_vars()) {
+          auto it = row.find(var);
+          if (it != row.end()) restricted[var] = it->second;
+        }
+        std::string key = SerializeBindings({restricted});
+        if (row_keys.insert(key).second) {
+          res.rows.push_back(std::move(restricted));
+        }
+      }
+      state->cb(std::move(res));
+      return;
+    }
+
+    const TriplePattern& pattern =
+        state->query.patterns()[state->order[state->next_pattern]];
+    ++state->next_pattern;
+    // Pick any variable as the distinguished one; rows carry all bindings.
+    auto vars = pattern.Variables();
+    TriplePatternQuery sub(vars.empty() ? "none" : vars[0], pattern);
+    if (!vars.empty() && sub.Validate().ok()) {
+      StartQuery(sub, state->options, [this, state, step](PendingQuery& p) {
+        // Union the rows of all batches (dedup by serialized form).
+        std::vector<BindingSet> rows;
+        std::set<std::string> seen;
+        for (const RowBatch& batch : p.batches) {
+          for (const BindingSet& row : batch.rows) {
+            std::string key = SerializeBindings({row});
+            if (seen.insert(key).second) rows.push_back(row);
+          }
+        }
+        state->acc = state->next_pattern == 1
+                         ? std::move(rows)
+                         : TripleStore::Join(state->acc, rows);
+        if (state->acc.empty()) {
+          // Short-circuit: conjunction already empty.
+          ConjunctiveResult res;
+          res.status = Status::OK();
+          res.latency = sim_->Now() - state->started;
+          state->cb(std::move(res));
+          return;
+        }
+        (*step)();
+      });
+    } else {
+      // Fully constant pattern (existence check) is not supported in the
+      // distributed engine; treat as unsatisfiable rather than guessing.
+      ConjunctiveResult res;
+      res.status = Status::NotImplemented(
+          "conjunctive patterns must contain at least one variable");
+      state->cb(std::move(res));
+    }
+  };
+  (*step)();
+}
+
+}  // namespace gridvine

@@ -1,0 +1,287 @@
+#ifndef GRIDVINE_GRIDVINE_GRIDVINE_PEER_H_
+#define GRIDVINE_GRIDVINE_GRIDVINE_PEER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "gridvine/messages.h"
+#include "mapping/mapping_graph.h"
+#include "mapping/schema_mapping.h"
+#include "pgrid/pgrid_peer.h"
+#include "query/query.h"
+#include "rdf/triple.h"
+#include "schema/schema.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "store/triple_store.h"
+
+namespace gridvine {
+
+/// A complete GridVine peer: the semantic mediation layer stacked on a P-Grid
+/// overlay peer (the paper's Figure 1). It provides the mediation-layer
+/// primitives —
+///
+///   Update(data)      -> InsertTriple   (indexed 3x: subject/predicate/object)
+///   Update(schema)    -> InsertSchema   (at Hash(schema name))
+///   Update(mapping)   -> InsertMapping  (at the source-schema key space)
+///   Update(connectivity) -> PublishDegree (at Hash(domain))
+///   SearchFor(query)  -> SearchFor      (with optional reformulation,
+///                                        iterative or recursive)
+///
+/// — and maintains the local relational database DB_p mirroring the overlay
+/// entries this peer is responsible for.
+class GridVinePeer {
+ public:
+  struct Options {
+    /// Bits of overlay keys produced by the order-preserving hash.
+    int key_depth = 16;
+    /// Window a query waits for (more) answers before reporting.
+    SimTime query_timeout = 10.0;
+    /// Max mappings chained during reformulation (iterative BFS depth and
+    /// recursive TTL).
+    int max_reformulation_hops = 6;
+  };
+
+  using StatusCallback = std::function<void(Status)>;
+
+  GridVinePeer(Simulator* sim, Network* network, Rng rng, Options options,
+               PGridPeer::Options overlay_options);
+
+  GridVinePeer(const GridVinePeer&) = delete;
+  GridVinePeer& operator=(const GridVinePeer&) = delete;
+
+  /// The underlying overlay peer (construction, routing introspection).
+  PGridPeer* overlay() { return overlay_.get(); }
+  const PGridPeer* overlay() const { return overlay_.get(); }
+  NodeId id() const { return overlay_->id(); }
+
+  /// The local database DB_p: every triple this peer stores at the overlay
+  /// layer, kept in sync automatically (including replication traffic).
+  const TripleStore& local_db() const { return local_db_; }
+
+  /// The hasher defining this network's key space.
+  const OrderPreservingHash& hasher() const { return hash_; }
+
+  // --- Mediation-layer updates ---------------------------------------------
+
+  /// Inserts a triple: three overlay updates keyed by the hash of its
+  /// subject, predicate and object. The callback fires once all three are
+  /// acknowledged (first error wins, remaining acks ignored).
+  void InsertTriple(const Triple& triple, StatusCallback cb);
+
+  /// Removes a triple (three overlay deletes).
+  void RemoveTriple(const Triple& triple, StatusCallback cb);
+
+  /// Publishes a schema definition at Hash(schema name).
+  void InsertSchema(const Schema& schema, StatusCallback cb);
+
+  /// Publishes a mapping at its source schema's key space — and, when the
+  /// mapping is bidirectional, at the target schema's key space too.
+  void InsertMapping(const SchemaMapping& mapping, StatusCallback cb);
+
+  /// Replaces the stored record of `mapping` (matched by id) with the given
+  /// state — how deprecation becomes visible to the whole network.
+  void UpsertMapping(const SchemaMapping& mapping, StatusCallback cb);
+
+  // --- Mediation-layer lookups ---------------------------------------------
+
+  /// Fetches a schema definition by name.
+  void FetchSchema(const std::string& name,
+                   std::function<void(Result<Schema>)> cb);
+
+  /// Fetches all mappings stored at `schema`'s key space (deprecated ones
+  /// included; callers filter).
+  void FetchMappingsFor(const std::string& schema,
+                        std::function<void(Result<std::vector<SchemaMapping>>)> cb);
+
+  // --- Connectivity registry (Section 3.1) ---------------------------------
+
+  /// One schema's degree record in a domain's connectivity registry.
+  struct DegreeRecord {
+    std::string schema;
+    int in_degree = 0;
+    int out_degree = 0;
+    uint64_t version = 0;
+  };
+
+  /// Publishes (schema, in, out) under Hash(domain), superseding this peer's
+  /// previous record for the schema (version counter).
+  void PublishDegree(const std::string& domain, const std::string& schema,
+                     int in_degree, int out_degree, StatusCallback cb);
+
+  /// Retrieves the registry for `domain`: latest record per schema.
+  void FetchDomainDegrees(
+      const std::string& domain,
+      std::function<void(Result<std::vector<DegreeRecord>>)> cb);
+
+  // --- Query resolution (Sections 2.3 and 4) --------------------------------
+
+  struct QueryOptions {
+    /// Reformulate through schema mappings at all? (false = Section 2.3
+    /// single-schema resolution.)
+    bool reformulate = false;
+    ReformulationMode mode = ReformulationMode::kIterative;
+    /// Override of Options::max_reformulation_hops when >= 0.
+    int max_hops = -1;
+    /// Override of Options::query_timeout when > 0.
+    SimTime timeout = -1;
+    /// Ablation knob: route by this position instead of the most-specific
+    /// constant (ignored unless that position holds an exact constant).
+    /// Only affects the original dispatch at the issuing peer.
+    std::optional<TriplePos> routing_position;
+    /// Only traverse sound mapping directions: excludes generalizing
+    /// (forward subsumption) reformulations — precision over recall. See
+    /// OrientMappingsFrom in query/reformulation.h.
+    bool sound_only = false;
+    /// Streaming hook: invoked for each batch of answer rows as it arrives
+    /// (before the final aggregate callback) — how the paper's demo
+    /// "monitors the list of results received for each query" live.
+    /// Arguments: schema that answered, rows in the batch, arrival time.
+    std::function<void(const std::string& schema, size_t rows,
+                       SimTime arrival)>
+        on_answer;
+  };
+
+  /// One value of the distinguished variable, with provenance.
+  struct ResultItem {
+    Term value;
+    std::string schema;        ///< schema of the matching data
+    int mapping_path_len = 0;  ///< mappings applied to reach that schema
+    double confidence = 1.0;
+    SimTime arrival = 0;       ///< simulated time the answer arrived
+  };
+
+  struct QueryResult {
+    Status status;             ///< OK if the (original) query was resolved
+    std::vector<ResultItem> items;
+    size_t schemas_answered = 0;
+    size_t reformulations = 0;
+    SimTime latency = 0;       ///< issue-to-completion simulated seconds
+    SimTime first_result_latency = -1;  ///< -1 when no results
+  };
+  using QueryCallback = std::function<void(QueryResult)>;
+
+  /// Resolves SearchFor(x? : pattern). Items are deduplicated by
+  /// (value, schema). With reformulation enabled the result aggregates
+  /// answers from every schema reachable through non-deprecated mappings.
+  void SearchFor(const TriplePatternQuery& query, const QueryOptions& options,
+                 QueryCallback cb);
+
+  /// Resolves a conjunctive query by iteratively resolving each pattern and
+  /// joining the binding sets (paper Section 2.3). Returns the distinct
+  /// binding rows restricted to the distinguished variables.
+  struct ConjunctiveResult {
+    Status status;
+    std::vector<BindingSet> rows;
+    SimTime latency = 0;
+  };
+  void SearchForConjunctive(const ConjunctiveQuery& query,
+                            const QueryOptions& options,
+                            std::function<void(ConjunctiveResult)> cb);
+
+  /// Statistics for experiments.
+  struct Counters {
+    uint64_t queries_issued = 0;
+    uint64_t queries_answered = 0;  // as destination
+    uint64_t reformulations_performed = 0;  // as recursive intermediary
+  };
+  const Counters& counters() const { return counters_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// One destination's answer to one (possibly reformulated) pattern.
+  struct RowBatch {
+    std::string schema;
+    int mapping_path_len = 0;
+    double confidence = 1.0;
+    SimTime arrival = 0;
+    std::vector<BindingSet> rows;
+  };
+
+  struct PendingQuery {
+    TriplePatternQuery query;
+    QueryOptions options;
+    SimTime started = 0;
+    // Aggregation state.
+    std::vector<RowBatch> batches;
+    std::set<std::string> schemas_answered;
+    std::set<std::string> visited;  // schemas covered (iterative expansion)
+    size_t reformulations = 0;
+    SimTime first_result = -1;
+    // Iterative-mode bookkeeping: branches still expected to answer.
+    int outstanding = 0;
+    // Range (multicast) dispatches have an unknown number of responders:
+    // such a query only completes at its timeout.
+    bool used_range_dispatch = false;
+    bool closed = false;
+    // Invoked exactly once when the query completes (early or at timeout).
+    std::function<void(PendingQuery&)> on_finish;
+  };
+
+  Key KeyFor(const std::string& term_value) const { return hash_(term_value); }
+
+  /// Core engine shared by SearchFor and SearchForConjunctive: resolves one
+  /// pattern (with optional reformulation) and hands the accumulated batches
+  /// to `on_finish`.
+  uint64_t StartQuery(const TriplePatternQuery& query,
+                      const QueryOptions& options,
+                      std::function<void(PendingQuery&)> on_finish);
+
+  /// Fans one (possibly reformulated) pattern out to its destination.
+  /// `reply_to` is the peer that must receive the answer.
+  void DispatchQuery(uint64_t qid, const TriplePatternQuery& query,
+                     NodeId reply_to, ReformulationMode mode, int ttl,
+                     std::vector<std::string> visited, int path_len,
+                     double confidence, bool sound_only);
+
+  /// Iterative engine: fetch mappings of `schema`, reformulate, recurse.
+  void IterativeExpand(uint64_t qid, const TriplePatternQuery& query,
+                       std::set<std::string> visited, int depth,
+                       int path_len, double confidence);
+
+  void FinishQuery(uint64_t qid);
+  void MaybeFinishIterative(uint64_t qid);
+
+  /// Extension dispatch from the overlay.
+  void OnExtensionMessage(NodeId origin,
+                          std::shared_ptr<const MessageBody> payload,
+                          int hops);
+  void HandleQueryRequest(const QueryRequest& req);
+  void HandleQueryResponse(const QueryResponse& resp);
+
+  /// Storage listener keeping DB_p in sync.
+  void OnStorageChange(UpdateOp op, const Key& key, const std::string& value);
+
+  Simulator* sim_;
+  Network* network_;
+  Rng rng_;
+  Options options_;
+  OrderPreservingHash hash_;
+  std::unique_ptr<PGridPeer> overlay_;
+  TripleStore local_db_;
+  std::unordered_map<uint64_t, PendingQuery> pending_queries_;
+  /// Recursive-mode duplicate suppression: (query id, schema) already handled
+  /// at this peer.
+  std::set<std::pair<uint64_t, std::string>> recursive_seen_;
+  /// Last published connectivity record per (domain, schema), for supersede.
+  std::map<std::pair<std::string, std::string>, std::string> published_degrees_;
+  uint64_t next_version_ = 1;
+  uint64_t next_query_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_GRIDVINE_GRIDVINE_PEER_H_

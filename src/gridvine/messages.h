@@ -1,0 +1,66 @@
+#ifndef GRIDVINE_GRIDVINE_MESSAGES_H_
+#define GRIDVINE_GRIDVINE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace gridvine {
+
+/// How a query spreads across schemas (paper Section 4): with `kIterative`
+/// the issuing peer looks up mapping paths and reformulates by itself; with
+/// `kRecursive` successive reformulations are delegated to the intermediate
+/// (destination) peers.
+enum class ReformulationMode { kIterative, kRecursive };
+
+/// A triple-pattern query travelling to the peer responsible for its routing
+/// key. Carried inside a RoutedEnvelope.
+struct QueryRequest : MessageBody {
+  uint64_t query_id = 0;
+  /// TriplePatternQuery::Serialize() payload.
+  std::string query;
+  /// Where answers must be sent (the original issuer).
+  NodeId reply_to = kInvalidNode;
+  /// kRecursive requests are reformulated and re-routed by the destination.
+  ReformulationMode mode = ReformulationMode::kIterative;
+  /// Remaining reformulation budget (recursive mode).
+  int ttl = 0;
+  /// Schemas already covered on this branch (recursive mode, loop guard).
+  std::vector<std::string> visited_schemas;
+  /// Number of mappings applied so far to derive this query.
+  int mapping_path_len = 0;
+  /// Product of applied mapping confidences.
+  double confidence = 1.0;
+  /// Restrict recursive reformulation to sound mapping directions.
+  bool sound_only = false;
+
+  std::string TypeTag() const override { return "gv.query"; }
+  size_t SizeBytes() const override {
+    size_t n = 48 + query.size();
+    for (const auto& s : visited_schemas) n += s.size() + 2;
+    return n;
+  }
+};
+
+/// Answer rows flowing straight back to the issuer.
+struct QueryResponse : MessageBody {
+  uint64_t query_id = 0;
+  /// Schema the answering data was expressed in.
+  std::string schema;
+  /// SerializeBindings() payload.
+  std::string rows;
+  int mapping_path_len = 0;
+  double confidence = 1.0;
+  NodeId responder = kInvalidNode;
+
+  std::string TypeTag() const override { return "gv.query_resp"; }
+  size_t SizeBytes() const override {
+    return 32 + schema.size() + rows.size();
+  }
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_GRIDVINE_MESSAGES_H_

@@ -1,0 +1,44 @@
+#include "mapping/path_materializer.h"
+
+namespace gridvine {
+
+Result<SchemaMapping> PathMaterializer::MaterializePath(
+    const std::vector<SchemaMapping>& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("cannot materialize an empty path");
+  }
+  SchemaMapping composed = path[0];
+  for (size_t i = 1; i < path.size(); ++i) {
+    GV_ASSIGN_OR_RETURN(composed, composed.Compose(path[i]));
+  }
+  SchemaMapping shortcut("shortcut-" + composed.source_schema() + "-" +
+                             composed.target_schema(),
+                         composed.source_schema(), composed.target_schema());
+  shortcut.set_type(composed.type());
+  shortcut.set_provenance(MappingProvenance::kAutomatic);
+  shortcut.set_confidence(composed.confidence());
+  for (const auto& [src, dst] : composed.correspondences()) {
+    GV_RETURN_NOT_OK(shortcut.AddCorrespondence(src, dst));
+  }
+  return shortcut;
+}
+
+std::vector<SchemaMapping> PathMaterializer::SelectAndMaterialize(
+    const MappingGraph& graph) const {
+  std::vector<SchemaMapping> out;
+  std::vector<std::string> schemas = graph.Schemas();
+  for (const auto& src : schemas) {
+    for (const auto& dst : schemas) {
+      if (src == dst || out.size() >= options_.max_shortcuts) continue;
+      auto path = graph.FindPath(src, dst, options_.max_path_len);
+      if (!path.ok() || int(path->size()) < options_.min_path_len) continue;
+      auto shortcut = MaterializePath(*path);
+      if (!shortcut.ok()) continue;
+      if (shortcut->size() < options_.min_correspondences) continue;
+      out.push_back(std::move(shortcut).value());
+    }
+  }
+  return out;
+}
+
+}  // namespace gridvine

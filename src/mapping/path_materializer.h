@@ -1,0 +1,58 @@
+#ifndef GRIDVINE_MAPPING_PATH_MATERIALIZER_H_
+#define GRIDVINE_MAPPING_PATH_MATERIALIZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "mapping/mapping_graph.h"
+#include "mapping/schema_mapping.h"
+
+namespace gridvine {
+
+/// Materializes composed "shortcut" mappings: when two schemas are only
+/// connected through a long chain of mappings, queries pay one reformulation
+/// round trip per hop. Composing the chain into a single stored mapping
+/// (paper Section 3's transitive closures, used constructively) turns the
+/// chain into a direct edge — a natural extension the demo's "new mapping
+/// paths gradually replace deprecated ones" storyline points at.
+///
+/// Shortcuts inherit `provenance = automatic` and the product of the chain's
+/// confidences, so the Bayesian assessor treats them like any other
+/// automatic mapping.
+class PathMaterializer {
+ public:
+  struct Options {
+    /// Only chains of at least this many mappings become shortcuts.
+    int min_path_len = 3;
+    /// Chains longer than this are not searched (BFS bound).
+    int max_path_len = 6;
+    /// Global cap on shortcuts produced per invocation.
+    size_t max_shortcuts = 32;
+    /// Shortcuts whose composed correspondence set would be smaller than
+    /// this are skipped (they would reformulate almost nothing).
+    size_t min_correspondences = 1;
+  };
+
+  explicit PathMaterializer(Options options) : options_(options) {}
+  PathMaterializer() : PathMaterializer(Options()) {}
+
+  /// Composes a concrete mapping chain into one mapping with id
+  /// "shortcut-<src>-<dst>". Fails on an empty or broken chain.
+  static Result<SchemaMapping> MaterializePath(
+      const std::vector<SchemaMapping>& path);
+
+  /// Finds distant schema pairs in `graph` and returns their shortcut
+  /// mappings (not inserted anywhere; the caller publishes them). Pairs are
+  /// scanned in deterministic order until `max_shortcuts` is reached.
+  std::vector<SchemaMapping> SelectAndMaterialize(
+      const MappingGraph& graph) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_MAPPING_PATH_MATERIALIZER_H_

@@ -1,0 +1,129 @@
+#include "mapping/schema_mapping.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "schema/schema.h"
+
+namespace gridvine {
+
+Status SchemaMapping::AddCorrespondence(const std::string& source_attr_uri,
+                                        const std::string& target_attr_uri) {
+  if (Schema::SchemaOfUri(source_attr_uri) != source_schema_) {
+    return Status::InvalidArgument("correspondence source " + source_attr_uri +
+                                   " not in schema " + source_schema_);
+  }
+  if (Schema::SchemaOfUri(target_attr_uri) != target_schema_) {
+    return Status::InvalidArgument("correspondence target " + target_attr_uri +
+                                   " not in schema " + target_schema_);
+  }
+  correspondences_[source_attr_uri] = target_attr_uri;
+  return Status::OK();
+}
+
+std::optional<std::string> SchemaMapping::MapAttribute(
+    const std::string& source_attr_uri) const {
+  auto it = correspondences_.find(source_attr_uri);
+  if (it == correspondences_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> SchemaMapping::MapAttributeReverse(
+    const std::string& target_attr_uri) const {
+  for (const auto& [src, dst] : correspondences_) {
+    if (dst == target_attr_uri) return src;
+  }
+  return std::nullopt;
+}
+
+SchemaMapping SchemaMapping::Reversed() const {
+  SchemaMapping out(id_ + "~rev", target_schema_, source_schema_);
+  out.type_ = type_;
+  out.provenance_ = provenance_;
+  out.bidirectional_ = bidirectional_;
+  out.deprecated_ = deprecated_;
+  out.confidence_ = confidence_;
+  for (const auto& [src, dst] : correspondences_) {
+    out.correspondences_[dst] = src;
+  }
+  return out;
+}
+
+Result<SchemaMapping> SchemaMapping::Compose(const SchemaMapping& other) const {
+  if (target_schema_ != other.source_schema_) {
+    return Status::InvalidArgument("cannot compose " + target_schema_ +
+                                   " with " + other.source_schema_);
+  }
+  SchemaMapping out(id_ + "*" + other.id_, source_schema_,
+                    other.target_schema_);
+  // Composition weakens equivalence to the weaker of the two relations.
+  out.type_ = (type_ == MappingType::kSubsumption ||
+               other.type_ == MappingType::kSubsumption)
+                  ? MappingType::kSubsumption
+                  : MappingType::kEquivalence;
+  out.provenance_ = MappingProvenance::kAutomatic;
+  out.confidence_ = confidence_ * other.confidence_;
+  for (const auto& [src, mid] : correspondences_) {
+    auto dst = other.MapAttribute(mid);
+    if (dst.has_value()) out.correspondences_[src] = *dst;
+  }
+  return out;
+}
+
+std::string SchemaMapping::Serialize() const {
+  std::ostringstream out;
+  out << "mapping|" << id_ << "|" << source_schema_ << "|" << target_schema_
+      << "|" << (type_ == MappingType::kEquivalence ? "equiv" : "subsume")
+      << "|" << (provenance_ == MappingProvenance::kManual ? "manual" : "auto")
+      << "|" << (bidirectional_ ? 1 : 0) << "|" << (deprecated_ ? 1 : 0) << "|"
+      << confidence_ << "|";
+  bool first = true;
+  for (const auto& [src, dst] : correspondences_) {
+    if (!first) out << ";";
+    first = false;
+    out << src << ">" << dst;
+  }
+  return out.str();
+}
+
+Result<SchemaMapping> SchemaMapping::Parse(const std::string& line) {
+  std::vector<std::string> parts = Split(line, '|');
+  if (parts.size() != 10 || parts[0] != "mapping") {
+    return Status::Corruption("not a mapping record: " + line);
+  }
+  SchemaMapping m(parts[1], parts[2], parts[3]);
+  if (parts[4] == "equiv") {
+    m.type_ = MappingType::kEquivalence;
+  } else if (parts[4] == "subsume") {
+    m.type_ = MappingType::kSubsumption;
+  } else {
+    return Status::Corruption("bad mapping type: " + parts[4]);
+  }
+  if (parts[5] == "manual") {
+    m.provenance_ = MappingProvenance::kManual;
+  } else if (parts[5] == "auto") {
+    m.provenance_ = MappingProvenance::kAutomatic;
+  } else {
+    return Status::Corruption("bad provenance: " + parts[5]);
+  }
+  m.bidirectional_ = parts[6] == "1";
+  m.deprecated_ = parts[7] == "1";
+  char* end = nullptr;
+  m.confidence_ = std::strtod(parts[8].c_str(), &end);
+  if (end == parts[8].c_str() || *end != '\0') {
+    return Status::Corruption("bad confidence: " + parts[8]);
+  }
+  if (!parts[9].empty()) {
+    for (const auto& corr : Split(parts[9], ';')) {
+      size_t gt = corr.find('>');
+      if (gt == std::string::npos) {
+        return Status::Corruption("bad correspondence: " + corr);
+      }
+      m.correspondences_[corr.substr(0, gt)] = corr.substr(gt + 1);
+    }
+  }
+  return m;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,109 @@
+#ifndef GRIDVINE_MAPPING_SCHEMA_MAPPING_H_
+#define GRIDVINE_MAPPING_SCHEMA_MAPPING_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace gridvine {
+
+/// Semantic relationship expressed by a mapping (paper Section 3): GridVine
+/// supports both equivalence and inclusion (subsumption) GAV mappings.
+enum class MappingType {
+  kEquivalence,  ///< source attribute ≡ target attribute
+  kSubsumption,  ///< source attribute ⊑ target attribute
+};
+
+/// Who created the mapping. Manual mappings are treated as ground truth by
+/// the Bayesian quality analysis; automatic ones get probabilistic
+/// correctness values (Section 3.2).
+enum class MappingProvenance { kManual, kAutomatic };
+
+/// A pairwise GAV schema mapping: a set of attribute correspondences from a
+/// source schema to a target schema. Queries posed against the source schema
+/// are reformulated by substituting each source predicate with its
+/// correspondent (view unfolding).
+class SchemaMapping {
+ public:
+  SchemaMapping() = default;
+  SchemaMapping(std::string id, std::string source_schema,
+                std::string target_schema)
+      : id_(std::move(id)),
+        source_schema_(std::move(source_schema)),
+        target_schema_(std::move(target_schema)) {}
+
+  const std::string& id() const { return id_; }
+  const std::string& source_schema() const { return source_schema_; }
+  const std::string& target_schema() const { return target_schema_; }
+
+  MappingType type() const { return type_; }
+  void set_type(MappingType t) { type_ = t; }
+
+  MappingProvenance provenance() const { return provenance_; }
+  void set_provenance(MappingProvenance p) { provenance_ = p; }
+
+  /// Bidirectional mappings (equivalences) reformulate queries both ways and
+  /// are indexed under both schemas' key spaces.
+  bool bidirectional() const { return bidirectional_; }
+  void set_bidirectional(bool b) { bidirectional_ = b; }
+
+  bool deprecated() const { return deprecated_; }
+  void set_deprecated(bool d) { deprecated_ = d; }
+
+  /// Creator's confidence in [0, 1] (1.0 for manual mappings).
+  double confidence() const { return confidence_; }
+  void set_confidence(double c) { confidence_ = c; }
+
+  /// Adds the correspondence source attribute URI -> target attribute URI.
+  /// Both must be full URIs ("Schema#Attr") belonging to the respective
+  /// schemas.
+  Status AddCorrespondence(const std::string& source_attr_uri,
+                           const std::string& target_attr_uri);
+
+  /// Maps a source attribute URI to the corresponding target URI.
+  std::optional<std::string> MapAttribute(
+      const std::string& source_attr_uri) const;
+  /// Inverse direction (only meaningful for bidirectional mappings; the
+  /// inverse of a non-injective correspondence returns any preimage).
+  std::optional<std::string> MapAttributeReverse(
+      const std::string& target_attr_uri) const;
+
+  const std::map<std::string, std::string>& correspondences() const {
+    return correspondences_;
+  }
+  size_t size() const { return correspondences_.size(); }
+
+  /// The mapping with source/target and correspondences swapped.
+  SchemaMapping Reversed() const;
+
+  /// Composition this ∘ other: a mapping source() -> other.target(), chaining
+  /// correspondences; attributes without a complete chain are dropped.
+  /// Error if target_schema() != other.source_schema().
+  Result<SchemaMapping> Compose(const SchemaMapping& other) const;
+
+  /// Line format:
+  /// "mapping|id|src|dst|type|prov|bidi|depr|conf|sA>tA;sB>tB;..."
+  std::string Serialize() const;
+  static Result<SchemaMapping> Parse(const std::string& line);
+
+  bool operator==(const SchemaMapping& other) const {
+    return id_ == other.id_;
+  }
+
+ private:
+  std::string id_;
+  std::string source_schema_;
+  std::string target_schema_;
+  MappingType type_ = MappingType::kEquivalence;
+  MappingProvenance provenance_ = MappingProvenance::kManual;
+  bool bidirectional_ = false;
+  bool deprecated_ = false;
+  double confidence_ = 1.0;
+  std::map<std::string, std::string> correspondences_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_MAPPING_SCHEMA_MAPPING_H_

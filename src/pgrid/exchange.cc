@@ -1,0 +1,114 @@
+#include "pgrid/exchange.h"
+
+#include <algorithm>
+
+namespace gridvine {
+
+void ExchangeProtocol::RunRandomEncounters(size_t count) {
+  if (peers_.size() < 2) return;
+  for (size_t i = 0; i < count; ++i) {
+    size_t a = size_t(rng_.UniformInt(0, int64_t(peers_.size()) - 1));
+    size_t b = size_t(rng_.UniformInt(0, int64_t(peers_.size()) - 2));
+    if (b >= a) ++b;
+    Encounter(peers_[a], peers_[b]);
+  }
+}
+
+void ExchangeProtocol::Encounter(PGridPeer* p, PGridPeer* q) {
+  const Key& pp = p->path();
+  const Key& pq = q->path();
+  int l = pp.CommonPrefixLength(pq);
+
+  if (l == pp.length() && l == pq.length()) {
+    // Identical paths (possibly both empty): split or replicate.
+    size_t joint = p->StorageSize() + q->StorageSize();
+    bool can_deepen = pp.length() < p->options().key_depth;
+    if (joint > options_.max_local_keys && can_deepen) {
+      Split(p, q);
+    } else {
+      // Become replicas and synchronize content.
+      p->routing()->AddReplica(q->id());
+      q->routing()->AddReplica(p->id());
+      for (const auto& [k, v] : p->storage()) q->InsertLocal(k, v);
+      for (const auto& [k, v] : q->storage()) p->InsertLocal(k, v);
+    }
+  } else if (l == pp.length()) {
+    // π(p) is a proper prefix of π(q): p specializes away from q.
+    Specialize(p, q);
+  } else if (l == pq.length()) {
+    Specialize(q, p);
+  } else {
+    // Paths diverge: swap routing knowledge.
+    ExchangeRefs(p, q);
+  }
+  TransferData(p, q);
+}
+
+double ExchangeProtocol::SpecializedFraction() const {
+  if (peers_.empty()) return 0.0;
+  size_t specialized = 0;
+  for (const PGridPeer* p : peers_) {
+    if (!p->path().empty()) ++specialized;
+  }
+  return double(specialized) / double(peers_.size());
+}
+
+void ExchangeProtocol::Split(PGridPeer* p, PGridPeer* q) {
+  int level = p->path().length();
+  Key path0 = p->path().WithBit(0);
+  Key path1 = q->path().WithBit(1);
+  p->SetPath(path0);
+  q->SetPath(path1);
+  p->routing()->AddRef(level, q->id());
+  q->routing()->AddRef(level, p->id());
+  // Former replicas now cover only half the region each; drop the link (the
+  // peers will re-pair with same-path peers in later encounters).
+  p->routing()->RemoveReplica(q->id());
+  q->routing()->RemoveReplica(p->id());
+  ++splits_;
+}
+
+void ExchangeProtocol::Specialize(PGridPeer* shorter, PGridPeer* longer) {
+  int level = shorter->path().length();
+  int partner_bit = longer->path().bit(level);
+  shorter->SetPath(shorter->path().WithBit(1 - partner_bit));
+  shorter->routing()->AddRef(level, longer->id());
+  longer->routing()->AddRef(level, shorter->id());
+}
+
+void ExchangeProtocol::ExchangeRefs(PGridPeer* p, PGridPeer* q) {
+  int l = p->path().CommonPrefixLength(q->path());
+  // At the divergence level each peer is (a member of) the other's
+  // complementary subtree.
+  p->routing()->AddRef(l, q->id());
+  q->routing()->AddRef(l, p->id());
+  // Gossip refs for shallower levels: a ref useful to p at level < l is
+  // useful to q as well (same prefix up to l).
+  for (int level = 0; level < l; ++level) {
+    for (NodeId r : p->routing()->RefsAt(level)) {
+      q->routing()->AddRef(level, r);
+    }
+    for (NodeId r : q->routing()->RefsAt(level)) {
+      p->routing()->AddRef(level, r);
+    }
+  }
+}
+
+void ExchangeProtocol::TransferData(PGridPeer* p, PGridPeer* q) {
+  auto hand_over = [](PGridPeer* from, PGridPeer* to) {
+    std::vector<std::pair<Key, std::string>> moved;
+    for (const auto& [k, v] : from->storage()) {
+      if (!from->IsResponsibleFor(k) && to->IsResponsibleFor(k)) {
+        moved.emplace_back(k, v);
+      }
+    }
+    for (const auto& [k, v] : moved) {
+      from->EraseLocal(k, v);
+      to->InsertLocal(k, v);
+    }
+  };
+  hand_over(p, q);
+  hand_over(q, p);
+}
+
+}  // namespace gridvine

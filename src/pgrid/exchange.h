@@ -1,0 +1,74 @@
+#ifndef GRIDVINE_PGRID_EXCHANGE_H_
+#define GRIDVINE_PGRID_EXCHANGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/key.h"
+#include "common/rng.h"
+#include "pgrid/pgrid_peer.h"
+
+namespace gridvine {
+
+/// The self-organizing P-Grid construction protocol (Aberer, CoopIS'01):
+/// peers start with empty paths and their own data; random pairwise
+/// encounters progressively split the key space. On meeting, two peers
+///
+///  * with identical paths either *split* (extend their paths with
+///    complementary bits, partition the data, reference each other at the new
+///    level) when they jointly hold enough data, or become *replicas* and
+///    synchronize;
+///  * where one path prefixes the other: the shorter-path peer specializes
+///    into the complementary subtree of the longer one and they cross-link;
+///  * with diverging paths: exchange routing references at the divergence
+///    level (and for all shallower levels where either is short of refs).
+///
+/// In every encounter the pair also hands over stored entries that the
+/// partner (but not the holder) is responsible for — this is how data drains
+/// to its responsible peers as paths refine.
+///
+/// The protocol runs as a bootstrap phase (direct object interaction, no
+/// simulated messages): the aim is reproducing the *resulting structure*, and
+/// running it out-of-band keeps experiments on the constructed overlay clean.
+class ExchangeProtocol {
+ public:
+  struct Options {
+    /// A pair with identical paths splits while their combined relevant data
+    /// exceeds this (and the key depth allows).
+    size_t max_local_keys = 64;
+    /// Refs a peer tries to keep per level during construction.
+    int refs_per_level = 2;
+  };
+
+  ExchangeProtocol(std::vector<PGridPeer*> peers, Rng rng, Options options)
+      : peers_(std::move(peers)), rng_(rng), options_(options) {}
+
+  /// Executes `count` encounters between uniformly random peer pairs.
+  void RunRandomEncounters(size_t count);
+
+  /// One encounter between two specific peers (exposed for tests).
+  void Encounter(PGridPeer* p, PGridPeer* q);
+
+  /// Fraction of peers with a non-empty path (progress metric).
+  double SpecializedFraction() const;
+
+  /// Number of splits performed so far.
+  uint64_t splits() const { return splits_; }
+
+ private:
+  void Split(PGridPeer* p, PGridPeer* q);
+  void Specialize(PGridPeer* shorter, PGridPeer* longer);
+  void ExchangeRefs(PGridPeer* p, PGridPeer* q);
+  /// Moves entries each peer holds but the *other* is responsible for.
+  void TransferData(PGridPeer* p, PGridPeer* q);
+
+  std::vector<PGridPeer*> peers_;
+  Rng rng_;
+  Options options_;
+  uint64_t splits_ = 0;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_PGRID_EXCHANGE_H_

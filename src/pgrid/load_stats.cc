@@ -1,0 +1,33 @@
+#include "pgrid/load_stats.h"
+
+#include <algorithm>
+
+namespace gridvine {
+
+LoadStats ComputeLoadStats(const std::vector<PGridPeer*>& peers) {
+  LoadStats stats;
+  if (peers.empty()) return stats;
+  std::vector<size_t> loads;
+  loads.reserve(peers.size());
+  for (const PGridPeer* p : peers) {
+    loads.push_back(p->StorageSize());
+    stats.total += p->StorageSize();
+    stats.max = std::max(stats.max, p->StorageSize());
+  }
+  stats.mean = double(stats.total) / double(peers.size());
+  stats.max_over_mean = stats.mean > 0 ? double(stats.max) / stats.mean : 0;
+
+  // Gini via the sorted-rank formula.
+  std::sort(loads.begin(), loads.end());
+  double n = double(loads.size());
+  double weighted = 0;
+  for (size_t i = 0; i < loads.size(); ++i) {
+    weighted += double(i + 1) * double(loads[i]);
+  }
+  if (stats.total > 0) {
+    stats.gini = (2.0 * weighted) / (n * double(stats.total)) - (n + 1.0) / n;
+  }
+  return stats;
+}
+
+}  // namespace gridvine

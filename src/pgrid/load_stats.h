@@ -1,0 +1,26 @@
+#ifndef GRIDVINE_PGRID_LOAD_STATS_H_
+#define GRIDVINE_PGRID_LOAD_STATS_H_
+
+#include <vector>
+
+#include "pgrid/pgrid_peer.h"
+
+namespace gridvine {
+
+/// Summary statistics over per-peer index loads (number of stored entries),
+/// used by the load-balancing experiment (E7).
+struct LoadStats {
+  size_t total = 0;
+  size_t max = 0;
+  double mean = 0;
+  double max_over_mean = 0;
+  /// Gini coefficient in [0, 1): 0 = perfectly even load.
+  double gini = 0;
+};
+
+/// Computes load statistics from the peers' current storage sizes.
+LoadStats ComputeLoadStats(const std::vector<PGridPeer*>& peers);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_PGRID_LOAD_STATS_H_

@@ -1,0 +1,187 @@
+#ifndef GRIDVINE_PGRID_MESSAGES_H_
+#define GRIDVINE_PGRID_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/key.h"
+#include "common/status.h"
+#include "sim/network.h"
+
+namespace gridvine {
+
+/// Kinds of mutation carried by an UpdateRequest. The paper folds insertion,
+/// modification and deletion into the single Update() primitive; we
+/// distinguish insert/delete and express modification as delete+insert.
+enum class UpdateOp { kInsert, kDelete };
+
+/// Routed lookup: travels peer-to-peer via prefix routing until it reaches a
+/// peer responsible for `key`, which answers the `origin` directly.
+struct RetrieveRequest : MessageBody {
+  uint64_t request_id = 0;
+  Key key;
+  NodeId origin = kInvalidNode;
+  int hops = 0;
+
+  std::string TypeTag() const override { return "pgrid.retrieve"; }
+  size_t SizeBytes() const override {
+    return 24 + static_cast<size_t>(key.length()) / 8;
+  }
+};
+
+/// Answer to a RetrieveRequest, sent straight back to the origin.
+struct RetrieveResponse : MessageBody {
+  uint64_t request_id = 0;
+  Key key;
+  Status status;
+  std::vector<std::string> values;
+  int hops = 0;
+  NodeId responder = kInvalidNode;
+
+  std::string TypeTag() const override { return "pgrid.retrieve_resp"; }
+  size_t SizeBytes() const override {
+    size_t n = 32;
+    for (const auto& v : values) n += v.size() + 4;
+    return n;
+  }
+};
+
+/// Routed mutation; like RetrieveRequest but carries a value and an op.
+struct UpdateRequest : MessageBody {
+  uint64_t request_id = 0;
+  Key key;
+  std::string value;
+  UpdateOp op = UpdateOp::kInsert;
+  NodeId origin = kInvalidNode;
+  int hops = 0;
+
+  std::string TypeTag() const override { return "pgrid.update"; }
+  size_t SizeBytes() const override {
+    return 24 + static_cast<size_t>(key.length()) / 8 + value.size();
+  }
+};
+
+/// Acknowledgement of an UpdateRequest, sent straight back to the origin.
+struct UpdateAck : MessageBody {
+  uint64_t request_id = 0;
+  Status status;
+  int hops = 0;
+  NodeId responder = kInvalidNode;
+
+  std::string TypeTag() const override { return "pgrid.update_ack"; }
+};
+
+/// Wraps an application-level payload that must be delivered to the peer
+/// responsible for `key` (prefix routing). Lets upper layers (the semantic
+/// mediation layer) execute logic *at* the destination rather than pulling
+/// raw values — e.g. evaluating a triple-pattern selection on the
+/// destination's local database.
+struct RoutedEnvelope : MessageBody {
+  Key key;
+  NodeId origin = kInvalidNode;
+  int hops = 0;
+  std::shared_ptr<const MessageBody> payload;
+
+  std::string TypeTag() const override {
+    return "pgrid.routed/" + (payload ? payload->TypeTag() : "null");
+  }
+  size_t SizeBytes() const override {
+    return 16 + (payload ? payload->SizeBytes() : 0);
+  }
+};
+
+/// Multicast of an application payload to EVERY peer whose region intersects
+/// the subtree `prefix` (P-Grid's "shower" broadcast): the envelope first
+/// routes toward the subtree, then splits level by level along the receiving
+/// peers' paths. `min_level` marks the shallowest level the receiving peer
+/// may still split at — the splitting discipline that delivers to each
+/// region exactly once. Used for range queries over the order-preserving
+/// key space.
+struct RangeEnvelope : MessageBody {
+  Key prefix;
+  int min_level = 0;
+  NodeId origin = kInvalidNode;
+  int hops = 0;
+  std::shared_ptr<const MessageBody> payload;
+
+  std::string TypeTag() const override {
+    return "pgrid.range/" + (payload ? payload->TypeTag() : "null");
+  }
+  size_t SizeBytes() const override {
+    return 20 + (payload ? payload->SizeBytes() : 0);
+  }
+};
+
+/// Point-to-point application payload (e.g. query answers flowing straight
+/// back to the query origin).
+struct DirectEnvelope : MessageBody {
+  std::shared_ptr<const MessageBody> payload;
+
+  std::string TypeTag() const override {
+    return "pgrid.direct/" + (payload ? payload->TypeTag() : "null");
+  }
+  size_t SizeBytes() const override {
+    return 4 + (payload ? payload->SizeBytes() : 0);
+  }
+};
+
+/// Liveness/identity probe used by overlay maintenance. The response carries
+/// the responder's current path so the prober can (re)classify the peer
+/// against its own routing invariant.
+struct PingRequest : MessageBody {
+  uint64_t nonce = 0;
+  NodeId origin = kInvalidNode;
+
+  std::string TypeTag() const override { return "pgrid.ping"; }
+  size_t SizeBytes() const override { return 12; }
+};
+
+struct PingResponse : MessageBody {
+  uint64_t nonce = 0;
+  Key path;
+  NodeId responder = kInvalidNode;
+
+  std::string TypeTag() const override { return "pgrid.pong"; }
+  size_t SizeBytes() const override {
+    return 16 + static_cast<size_t>(path.length()) / 8;
+  }
+};
+
+/// Asks a peer for routing-table candidates (ref gossip); the response lists
+/// the responder's references and replicas, which the requester then probes
+/// before adopting.
+struct RefsRequest : MessageBody {
+  uint64_t nonce = 0;
+  NodeId origin = kInvalidNode;
+
+  std::string TypeTag() const override { return "pgrid.refs_req"; }
+  size_t SizeBytes() const override { return 12; }
+};
+
+struct RefsResponse : MessageBody {
+  uint64_t nonce = 0;
+  Key responder_path;
+  std::vector<NodeId> candidates;
+  NodeId responder = kInvalidNode;
+
+  std::string TypeTag() const override { return "pgrid.refs_resp"; }
+  size_t SizeBytes() const override { return 16 + candidates.size() * 4; }
+};
+
+/// One-way replication of a mutation from a responsible peer to its replicas
+/// σ(p); fire-and-forget (probabilistic consistency, as in the paper).
+struct ReplicaUpdate : MessageBody {
+  Key key;
+  std::string value;
+  UpdateOp op = UpdateOp::kInsert;
+
+  std::string TypeTag() const override { return "pgrid.replica_update"; }
+  size_t SizeBytes() const override {
+    return 8 + static_cast<size_t>(key.length()) / 8 + value.size();
+  }
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_PGRID_MESSAGES_H_

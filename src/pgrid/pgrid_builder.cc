@@ -1,0 +1,119 @@
+#include "pgrid/pgrid_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+
+namespace gridvine {
+
+void PGridBuilder::BuildBalanced(const std::vector<PGridPeer*>& peers,
+                                 Rng* rng, int refs_per_level) {
+  if (peers.empty()) return;
+  size_t n = peers.size();
+  int depth = 0;
+  while ((size_t(1) << (depth + 1)) <= n) ++depth;
+  size_t leaves = size_t(1) << depth;
+  for (size_t i = 0; i < n; ++i) {
+    peers[i]->SetPath(Key::FromUint(i % leaves, depth));
+  }
+  WireRouting(peers, rng, refs_per_level);
+}
+
+void PGridBuilder::BuildAdaptive(const std::vector<PGridPeer*>& peers,
+                                 const std::vector<Key>& sample, Rng* rng,
+                                 int refs_per_level) {
+  if (peers.empty()) return;
+  if (sample.empty()) {
+    BuildBalanced(peers, rng, refs_per_level);
+    return;
+  }
+
+  // Recursive proportional split. Each frame owns a set of peers and the
+  // sample keys under the current prefix; with >1 peer the space is split at
+  // the next bit and peers are allocated proportionally to sample mass.
+  std::function<void(std::vector<PGridPeer*>, std::vector<Key>, Key)> split =
+      [&](std::vector<PGridPeer*> group, std::vector<Key> keys, Key prefix) {
+        if (group.size() <= 1 ||
+            (!keys.empty() && prefix.length() >= keys[0].length())) {
+          for (PGridPeer* p : group) p->SetPath(prefix);
+          return;
+        }
+        std::vector<Key> zeros, ones;
+        for (const Key& k : keys) {
+          if (k.length() > prefix.length() && k.bit(prefix.length()) == 1) {
+            ones.push_back(k);
+          } else {
+            zeros.push_back(k);
+          }
+        }
+        double frac1 =
+            keys.empty() ? 0.5 : double(ones.size()) / double(keys.size());
+        auto n1 = size_t(std::lround(frac1 * double(group.size())));
+        n1 = std::clamp<size_t>(n1, 1, group.size() - 1);
+        std::vector<PGridPeer*> g1(group.begin(),
+                                   group.begin() + ptrdiff_t(n1));
+        std::vector<PGridPeer*> g0(group.begin() + ptrdiff_t(n1), group.end());
+        split(std::move(g0), std::move(zeros), prefix.WithBit(0));
+        split(std::move(g1), std::move(ones), prefix.WithBit(1));
+      };
+
+  std::vector<PGridPeer*> shuffled = peers;
+  rng->Shuffle(&shuffled);
+  split(shuffled, sample, Key());
+  WireRouting(peers, rng, refs_per_level);
+}
+
+void PGridBuilder::WireRouting(const std::vector<PGridPeer*>& peers, Rng* rng,
+                               int refs_per_level) {
+  for (PGridPeer* p : peers) {
+    // Reset the level structure and drop stale links: when paths are
+    // reassigned wholesale (e.g. balanced -> adaptive rebuild), refs wired
+    // for the old topology would violate the complementary-subtree
+    // invariant and create routing loops.
+    p->routing()->SetPath(p->path());
+    p->routing()->ClearLinks();
+  }
+  // Index peers by path string so complementary-subtree candidates can be
+  // found with a prefix range scan instead of a full pass per level.
+  std::vector<std::pair<std::string, PGridPeer*>> by_path;
+  by_path.reserve(peers.size());
+  for (PGridPeer* q : peers) by_path.emplace_back(q->path().bits(), q);
+  std::sort(by_path.begin(), by_path.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto for_each_with_prefix = [&](const std::string& prefix,
+                                  const std::function<void(PGridPeer*)>& fn) {
+    auto lo = std::lower_bound(
+        by_path.begin(), by_path.end(), prefix,
+        [](const auto& e, const std::string& v) { return e.first < v; });
+    for (auto it = lo; it != by_path.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      fn(it->second);
+    }
+  };
+
+  for (PGridPeer* p : peers) {
+    const Key& path = p->path();
+    for (int level = 0; level < path.length(); ++level) {
+      // Complementary subtree at `level`: same first `level` bits, opposite
+      // bit at `level`.
+      std::string prefix =
+          path.Prefix(level).bits() + (path.bit(level) ? '0' : '1');
+      std::vector<NodeId> candidates;
+      for_each_with_prefix(prefix, [&](PGridPeer* q) {
+        if (q != p) candidates.push_back(q->id());
+      });
+      rng->Shuffle(&candidates);
+      int take = std::min<int>(refs_per_level, int(candidates.size()));
+      for (int i = 0; i < take; ++i) {
+        p->routing()->AddRef(level, candidates[size_t(i)]);
+      }
+    }
+    // Replica set: identical paths.
+    for_each_with_prefix(path.bits(), [&](PGridPeer* q) {
+      if (q != p && q->path() == path) p->routing()->AddReplica(q->id());
+    });
+  }
+}
+
+}  // namespace gridvine

@@ -1,0 +1,511 @@
+#include "pgrid/pgrid_peer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gridvine {
+
+PGridPeer::PGridPeer(Simulator* sim, Network* network, Rng rng,
+                     Options options)
+    : sim_(sim),
+      network_(network),
+      rng_(rng),
+      options_(options),
+      id_(kInvalidNode),
+      routing_(options.max_refs_per_level) {
+  id_ = network_->AddNode(this);
+}
+
+bool PGridPeer::IsResponsibleFor(const Key& key) const {
+  const Key& p = routing_.path();
+  return p.IsPrefixOf(key) || key.IsPrefixOf(p);
+}
+
+std::vector<std::string> PGridPeer::LocalLookup(const Key& key) const {
+  std::vector<std::string> out;
+  for (auto it = storage_.lower_bound(key); it != storage_.end(); ++it) {
+    if (!key.IsPrefixOf(it->first)) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void PGridPeer::InsertLocal(const Key& key, const std::string& value) {
+  // Idempotent insert: skip an identical (key, value) pair.
+  if (!present_.emplace(key.bits(), value).second) return;
+  storage_.emplace(key, value);
+  if (storage_listener_) storage_listener_(UpdateOp::kInsert, key, value);
+}
+
+bool PGridPeer::EraseLocal(const Key& key, const std::string& value) {
+  if (present_.erase({key.bits(), value}) == 0) return false;
+  auto range = storage_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == value) {
+      storage_.erase(it);
+      break;
+    }
+  }
+  if (storage_listener_) storage_listener_(UpdateOp::kDelete, key, value);
+  return true;
+}
+
+std::vector<std::pair<Key, std::string>> PGridPeer::EvictForeignEntries() {
+  std::vector<std::pair<Key, std::string>> evicted;
+  for (auto it = storage_.begin(); it != storage_.end();) {
+    if (!IsResponsibleFor(it->first)) {
+      evicted.emplace_back(it->first, it->second);
+      present_.erase({it->first.bits(), it->second});
+      if (storage_listener_) {
+        storage_listener_(UpdateOp::kDelete, it->first, it->second);
+      }
+      it = storage_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void PGridPeer::ApplyLocal(UpdateOp op, const Key& key,
+                           const std::string& value) {
+  if (op == UpdateOp::kInsert) {
+    InsertLocal(key, value);
+  } else {
+    EraseLocal(key, value);
+  }
+}
+
+void PGridPeer::ReplicateToSiblings(UpdateOp op, const Key& key,
+                                    const std::string& value) {
+  if (!options_.replicate_updates) return;
+  for (NodeId replica : routing_.replicas()) {
+    auto msg = std::make_shared<ReplicaUpdate>();
+    msg->key = key;
+    msg->value = value;
+    msg->op = op;
+    network_->Send(id_, replica, msg);
+  }
+}
+
+// --- Client-side operations -------------------------------------------------
+
+void PGridPeer::Retrieve(const Key& key, RetrieveCallback cb) {
+  ++counters_.retrieves_issued;
+  if (IsResponsibleFor(key)) {
+    ++counters_.local_answers;
+    LookupResult res;
+    res.values = LocalLookup(key);
+    res.responder = id_;
+    cb(std::move(res));
+    return;
+  }
+  uint64_t rid = NextRequestId();
+  Pending p;
+  p.kind = Pending::Kind::kRetrieve;
+  p.retrieve_cb = std::move(cb);
+  p.key = key;
+  p.started = sim_->Now();
+  pending_.emplace(rid, std::move(p));
+  SendRetrieveAttempt(rid);
+}
+
+void PGridPeer::SendRetrieveAttempt(uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  ++p.attempts;
+  auto next = routing_.NextHop(p.key, &rng_);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    FailPending(request_id,
+                Status::Unavailable("no route toward key " + p.key.bits()));
+    return;
+  }
+  auto req = std::make_shared<RetrieveRequest>();
+  req->request_id = request_id;
+  req->key = p.key;
+  req->origin = id_;
+  req->hops = 1;
+  network_->Send(id_, *next, req);
+  ArmTimeout(request_id);
+}
+
+void PGridPeer::Update(const Key& key, const std::string& value,
+                       UpdateCallback cb) {
+  ++counters_.updates_issued;
+  if (IsResponsibleFor(key)) {
+    ++counters_.local_answers;
+    ApplyLocal(UpdateOp::kInsert, key, value);
+    ReplicateToSiblings(UpdateOp::kInsert, key, value);
+    UpdateOutcome out;
+    out.responder = id_;
+    cb(std::move(out));
+    return;
+  }
+  uint64_t rid = NextRequestId();
+  Pending p;
+  p.kind = Pending::Kind::kUpdate;
+  p.update_cb = std::move(cb);
+  p.key = key;
+  p.value = value;
+  p.op = UpdateOp::kInsert;
+  p.started = sim_->Now();
+  pending_.emplace(rid, std::move(p));
+  SendUpdateAttempt(rid);
+}
+
+void PGridPeer::Remove(const Key& key, const std::string& value,
+                       UpdateCallback cb) {
+  ++counters_.updates_issued;
+  if (IsResponsibleFor(key)) {
+    ++counters_.local_answers;
+    ApplyLocal(UpdateOp::kDelete, key, value);
+    ReplicateToSiblings(UpdateOp::kDelete, key, value);
+    UpdateOutcome out;
+    out.responder = id_;
+    cb(std::move(out));
+    return;
+  }
+  uint64_t rid = NextRequestId();
+  Pending p;
+  p.kind = Pending::Kind::kUpdate;
+  p.update_cb = std::move(cb);
+  p.key = key;
+  p.value = value;
+  p.op = UpdateOp::kDelete;
+  p.started = sim_->Now();
+  pending_.emplace(rid, std::move(p));
+  SendUpdateAttempt(rid);
+}
+
+void PGridPeer::SendUpdateAttempt(uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  ++p.attempts;
+  auto next = routing_.NextHop(p.key, &rng_);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    FailPending(request_id,
+                Status::Unavailable("no route toward key " + p.key.bits()));
+    return;
+  }
+  auto req = std::make_shared<UpdateRequest>();
+  req->request_id = request_id;
+  req->key = p.key;
+  req->value = p.value;
+  req->op = p.op;
+  req->origin = id_;
+  req->hops = 1;
+  network_->Send(id_, *next, req);
+  ArmTimeout(request_id);
+}
+
+void PGridPeer::ArmTimeout(uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  int attempt_at_arm = it->second.attempts;
+  sim_->Schedule(options_.request_timeout, [this, request_id, attempt_at_arm] {
+    auto it2 = pending_.find(request_id);
+    // Already answered, or a newer attempt owns the timeout.
+    if (it2 == pending_.end() || it2->second.attempts != attempt_at_arm) return;
+    ++counters_.timeouts;
+    if (it2->second.attempts > options_.max_retries) {
+      FailPending(request_id, Status::Timeout("request timed out after " +
+                                              std::to_string(attempt_at_arm) +
+                                              " attempt(s)"));
+      return;
+    }
+    if (it2->second.kind == Pending::Kind::kRetrieve) {
+      SendRetrieveAttempt(request_id);
+    } else {
+      SendUpdateAttempt(request_id);
+    }
+  });
+}
+
+void PGridPeer::FailPending(uint64_t request_id, Status status) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.kind == Pending::Kind::kRetrieve) {
+    p.retrieve_cb(std::move(status));
+  } else {
+    p.update_cb(std::move(status));
+  }
+}
+
+// --- Extension interface ------------------------------------------------------
+
+void PGridPeer::Route(const Key& key,
+                      std::shared_ptr<const MessageBody> payload) {
+  if (IsResponsibleFor(key)) {
+    if (extension_handler_) extension_handler_(id_, std::move(payload), 0);
+    return;
+  }
+  auto env = std::make_shared<RoutedEnvelope>();
+  env->key = key;
+  env->origin = id_;
+  env->hops = 1;
+  env->payload = std::move(payload);
+  auto next = routing_.NextHop(key, &rng_);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    return;  // fire-and-forget: the payload protocol's timeout handles loss
+  }
+  network_->Send(id_, *next, env);
+}
+
+void PGridPeer::SendDirect(NodeId to,
+                           std::shared_ptr<const MessageBody> payload) {
+  if (to == id_) {
+    if (extension_handler_) extension_handler_(id_, std::move(payload), -1);
+    return;
+  }
+  auto env = std::make_shared<DirectEnvelope>();
+  env->payload = std::move(payload);
+  network_->Send(id_, to, env);
+}
+
+void PGridPeer::RouteRange(const Key& prefix,
+                           std::shared_ptr<const MessageBody> payload) {
+  RangeEnvelope env;
+  env.prefix = prefix;
+  env.min_level = prefix.length();
+  env.origin = id_;
+  env.hops = 0;
+  env.payload = std::move(payload);
+  if (IsResponsibleFor(prefix)) {
+    // Already inside (or covering) the subtree: shower from here.
+    ShowerRange(env);
+    return;
+  }
+  auto next = routing_.NextHop(prefix, &rng_);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    return;
+  }
+  auto msg = std::make_shared<RangeEnvelope>(env);
+  msg->hops = 1;
+  network_->Send(id_, *next, msg);
+}
+
+void PGridPeer::ShowerRange(const RangeEnvelope& env) {
+  // Deliver locally: this peer owns part (or all) of the subtree.
+  if (extension_handler_) extension_handler_(env.origin, env.payload, env.hops);
+  // Split: each ref at level l >= min_level covers the complementary
+  // subtree at l, which lies entirely inside `prefix`; handing it
+  // min_level = l + 1 partitions the remainder without overlap.
+  for (int level = std::max(env.min_level, env.prefix.length());
+       level < routing_.path().length(); ++level) {
+    const auto& refs = routing_.RefsAt(level);
+    if (refs.empty()) continue;  // region unreachable (no live ref known)
+    auto msg = std::make_shared<RangeEnvelope>(env);
+    msg->min_level = level + 1;
+    msg->hops = env.hops + 1;
+    network_->Send(id_, rng_.PickOne(refs), msg);
+  }
+}
+
+void PGridPeer::HandleRangeEnvelope(NodeId from, const RangeEnvelope& env) {
+  const Key& path = routing_.path();
+  bool in_region = env.prefix.IsPrefixOf(path) || path.IsPrefixOf(env.prefix);
+  if (in_region) {
+    ShowerRange(env);
+    return;
+  }
+  if (env.hops >= options_.max_hops) return;
+  auto next = routing_.NextHop(env.prefix, &rng_, /*exclude=*/from);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    return;
+  }
+  ++counters_.forwards;
+  auto fwd = std::make_shared<RangeEnvelope>(env);
+  fwd->hops = env.hops + 1;
+  network_->Send(id_, *next, fwd);
+}
+
+void PGridPeer::HandleRoutedEnvelope(NodeId from, const RoutedEnvelope& env) {
+  if (IsResponsibleFor(env.key)) {
+    if (extension_handler_) extension_handler_(env.origin, env.payload, env.hops);
+    return;
+  }
+  if (env.hops >= options_.max_hops) return;
+  auto next = routing_.NextHop(env.key, &rng_, /*exclude=*/from);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    return;
+  }
+  ++counters_.forwards;
+  auto fwd = std::make_shared<RoutedEnvelope>(env);
+  fwd->hops = env.hops + 1;
+  network_->Send(id_, *next, fwd);
+}
+
+// --- Message handling --------------------------------------------------------
+
+void PGridPeer::OnMessage(NodeId from, std::shared_ptr<const MessageBody> body) {
+  if (auto* renv = dynamic_cast<const RoutedEnvelope*>(body.get())) {
+    HandleRoutedEnvelope(from, *renv);
+  } else if (auto* range = dynamic_cast<const RangeEnvelope*>(body.get())) {
+    HandleRangeEnvelope(from, *range);
+  } else if (auto* denv = dynamic_cast<const DirectEnvelope*>(body.get())) {
+    if (extension_handler_) extension_handler_(from, denv->payload, -1);
+  } else if (auto* rreq = dynamic_cast<const RetrieveRequest*>(body.get())) {
+    HandleRetrieveRequest(from, *rreq);
+  } else if (auto* rresp = dynamic_cast<const RetrieveResponse*>(body.get())) {
+    HandleRetrieveResponse(*rresp);
+  } else if (auto* ureq = dynamic_cast<const UpdateRequest*>(body.get())) {
+    HandleUpdateRequest(from, *ureq);
+  } else if (auto* uack = dynamic_cast<const UpdateAck*>(body.get())) {
+    HandleUpdateAck(*uack);
+  } else if (auto* rupd = dynamic_cast<const ReplicaUpdate*>(body.get())) {
+    HandleReplicaUpdate(*rupd);
+  } else if (auto* ping = dynamic_cast<const PingRequest*>(body.get())) {
+    auto pong = std::make_shared<PingResponse>();
+    pong->nonce = ping->nonce;
+    pong->path = routing_.path();
+    pong->responder = id_;
+    network_->Send(id_, ping->origin, pong);
+  } else if (auto* rreq2 = dynamic_cast<const RefsRequest*>(body.get())) {
+    auto resp = std::make_shared<RefsResponse>();
+    resp->nonce = rreq2->nonce;
+    resp->responder_path = routing_.path();
+    resp->responder = id_;
+    for (int level = 0; level < routing_.levels(); ++level) {
+      for (NodeId ref : routing_.RefsAt(level)) {
+        resp->candidates.push_back(ref);
+      }
+    }
+    for (NodeId rep : routing_.replicas()) resp->candidates.push_back(rep);
+    network_->Send(id_, rreq2->origin, resp);
+  } else {
+    for (auto& handler : protocol_handlers_) {
+      if (handler(from, *body)) return;
+    }
+    GV_LOG(Warning) << "peer " << id_ << ": unknown message "
+                    << body->TypeTag();
+  }
+}
+
+void PGridPeer::HandleRetrieveRequest(NodeId from, const RetrieveRequest& req) {
+  if (IsResponsibleFor(req.key)) {
+    auto resp = std::make_shared<RetrieveResponse>();
+    resp->request_id = req.request_id;
+    resp->key = req.key;
+    resp->values = LocalLookup(req.key);
+    resp->hops = req.hops;
+    resp->responder = id_;
+    network_->Send(id_, req.origin, resp);
+    return;
+  }
+  if (req.hops >= options_.max_hops) {
+    auto resp = std::make_shared<RetrieveResponse>();
+    resp->request_id = req.request_id;
+    resp->key = req.key;
+    resp->status = Status::NetworkError("hop limit exceeded");
+    resp->hops = req.hops;
+    resp->responder = id_;
+    network_->Send(id_, req.origin, resp);
+    return;
+  }
+  auto next = routing_.NextHop(req.key, &rng_, /*exclude=*/from);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    auto resp = std::make_shared<RetrieveResponse>();
+    resp->request_id = req.request_id;
+    resp->key = req.key;
+    resp->status = Status::Unavailable("routing dead end at peer " +
+                                       std::to_string(id_));
+    resp->hops = req.hops;
+    resp->responder = id_;
+    network_->Send(id_, req.origin, resp);
+    return;
+  }
+  ++counters_.forwards;
+  auto fwd = std::make_shared<RetrieveRequest>(req);
+  fwd->hops = req.hops + 1;
+  network_->Send(id_, *next, fwd);
+}
+
+void PGridPeer::HandleRetrieveResponse(const RetrieveResponse& resp) {
+  auto it = pending_.find(resp.request_id);
+  if (it == pending_.end()) return;  // late duplicate after timeout/answer
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (!resp.status.ok()) {
+    p.retrieve_cb(resp.status);
+    return;
+  }
+  LookupResult res;
+  res.values = resp.values;
+  res.hops = resp.hops;
+  res.rtt = sim_->Now() - p.started;
+  res.responder = resp.responder;
+  p.retrieve_cb(std::move(res));
+}
+
+void PGridPeer::HandleUpdateRequest(NodeId from, const UpdateRequest& req) {
+  if (IsResponsibleFor(req.key)) {
+    ApplyLocal(req.op, req.key, req.value);
+    ReplicateToSiblings(req.op, req.key, req.value);
+    auto ack = std::make_shared<UpdateAck>();
+    ack->request_id = req.request_id;
+    ack->hops = req.hops;
+    ack->responder = id_;
+    network_->Send(id_, req.origin, ack);
+    return;
+  }
+  if (req.hops >= options_.max_hops) {
+    auto ack = std::make_shared<UpdateAck>();
+    ack->request_id = req.request_id;
+    ack->status = Status::NetworkError("hop limit exceeded");
+    ack->hops = req.hops;
+    ack->responder = id_;
+    network_->Send(id_, req.origin, ack);
+    return;
+  }
+  auto next = routing_.NextHop(req.key, &rng_, /*exclude=*/from);
+  if (!next.has_value()) {
+    ++counters_.routing_dead_ends;
+    auto ack = std::make_shared<UpdateAck>();
+    ack->request_id = req.request_id;
+    ack->status = Status::Unavailable("routing dead end at peer " +
+                                      std::to_string(id_));
+    ack->hops = req.hops;
+    ack->responder = id_;
+    network_->Send(id_, req.origin, ack);
+    return;
+  }
+  ++counters_.forwards;
+  auto fwd = std::make_shared<UpdateRequest>(req);
+  fwd->hops = req.hops + 1;
+  network_->Send(id_, *next, fwd);
+}
+
+void PGridPeer::HandleUpdateAck(const UpdateAck& ack) {
+  auto it = pending_.find(ack.request_id);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (!ack.status.ok()) {
+    p.update_cb(ack.status);
+    return;
+  }
+  UpdateOutcome out;
+  out.hops = ack.hops;
+  out.rtt = sim_->Now() - p.started;
+  out.responder = ack.responder;
+  p.update_cb(std::move(out));
+}
+
+void PGridPeer::HandleReplicaUpdate(const ReplicaUpdate& upd) {
+  ApplyLocal(upd.op, upd.key, upd.value);
+}
+
+}  // namespace gridvine

@@ -1,0 +1,236 @@
+#ifndef GRIDVINE_PGRID_PGRID_PEER_H_
+#define GRIDVINE_PGRID_PGRID_PEER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/key.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "pgrid/messages.h"
+#include "pgrid/routing_table.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace gridvine {
+
+/// A logical P-Grid peer: owns a path π(p) (its slice of the binary key
+/// space), a routing table with per-level references into complementary
+/// subtrees, a replica set σ(p), and the local key-value storage backing the
+/// overlay primitives Retrieve(key) and Update(key, value) of the paper
+/// (Section 2.1).
+///
+/// All operations are asynchronous: results are delivered through callbacks
+/// once the simulated network round trips complete. Failures surface as
+/// non-OK Status (timeout after retries, routing dead ends).
+class PGridPeer : public NetworkNode {
+ public:
+  struct Options {
+    /// Bits of a full-depth key in this overlay instance.
+    int key_depth = 16;
+    /// Cap on routing references kept per level.
+    int max_refs_per_level = 4;
+    /// Seconds before an outstanding request attempt is abandoned.
+    SimTime request_timeout = 8.0;
+    /// Additional attempts after the first one times out.
+    int max_retries = 2;
+    /// Push mutations to replicas σ(p)?
+    bool replicate_updates = true;
+    /// Hard bound on forwarding chain length (loop safety net).
+    int max_hops = 64;
+  };
+
+  /// Successful lookup payload.
+  struct LookupResult {
+    std::vector<std::string> values;
+    int hops = 0;
+    SimTime rtt = 0;  // issue-to-answer simulated seconds
+    NodeId responder = kInvalidNode;
+  };
+  using RetrieveCallback = std::function<void(Result<LookupResult>)>;
+
+  /// Successful update acknowledgement payload.
+  struct UpdateOutcome {
+    int hops = 0;
+    SimTime rtt = 0;
+    NodeId responder = kInvalidNode;
+  };
+  using UpdateCallback = std::function<void(Result<UpdateOutcome>)>;
+
+  /// The peer registers itself with `network` on construction.
+  PGridPeer(Simulator* sim, Network* network, Rng rng, Options options);
+
+  PGridPeer(const PGridPeer&) = delete;
+  PGridPeer& operator=(const PGridPeer&) = delete;
+
+  // --- Overlay primitives -------------------------------------------------
+
+  /// Looks up all values stored under `key` (or, for a shorter key, under any
+  /// stored key it prefixes). Responsible-locally lookups answer immediately.
+  void Retrieve(const Key& key, RetrieveCallback cb);
+
+  /// Inserts `value` under `key` at the responsible peer (and its replicas).
+  /// Idempotent: an identical (key, value) pair is stored once.
+  void Update(const Key& key, const std::string& value, UpdateCallback cb);
+
+  /// Deletes the (key, value) pair at the responsible peer (and replicas).
+  void Remove(const Key& key, const std::string& value, UpdateCallback cb);
+
+  // --- Extension interface (used by the mediation layer) -------------------
+
+  /// Invoked when an application payload reaches this peer: either a routed
+  /// envelope that this peer is responsible for (`origin` = issuing peer,
+  /// `hops` = forwards taken) or a direct send (`hops` = -1).
+  using ExtensionHandler = std::function<void(
+      NodeId origin, std::shared_ptr<const MessageBody> payload, int hops)>;
+  void SetExtensionHandler(ExtensionHandler handler) {
+    extension_handler_ = std::move(handler);
+  }
+
+  /// Routes `payload` to the peer responsible for `key` (delivered to its
+  /// extension handler). Fire-and-forget: any acknowledgement or response is
+  /// the payload protocol's business. Delivers locally (hops = 0) when this
+  /// peer is itself responsible.
+  void Route(const Key& key, std::shared_ptr<const MessageBody> payload);
+
+  /// Sends `payload` directly to node `to`'s extension handler.
+  void SendDirect(NodeId to, std::shared_ptr<const MessageBody> payload);
+
+  /// Multicasts `payload` to every peer responsible for part of the subtree
+  /// `prefix` (each distinct region delivered once; replicas of a region do
+  /// not double-receive). Fire-and-forget, like Route.
+  void RouteRange(const Key& prefix,
+                  std::shared_ptr<const MessageBody> payload);
+
+  /// Observes every local storage mutation (including replica pushes and
+  /// bootstrap inserts); lets the mediation layer mirror overlay storage
+  /// into its local triple database DB_p.
+  using StorageListener =
+      std::function<void(UpdateOp op, const Key& key, const std::string&)>;
+  void SetStorageListener(StorageListener listener) {
+    storage_listener_ = std::move(listener);
+  }
+
+  /// Auxiliary protocol hook: messages the peer does not handle natively
+  /// (maintenance responses, construction-protocol traffic, ...) are offered
+  /// to each registered handler in order until one returns true. Used by
+  /// MaintenanceAgent and OnlineExchangeAgent.
+  using ProtocolHandler =
+      std::function<bool(NodeId from, const MessageBody& body)>;
+  void AddProtocolHandler(ProtocolHandler handler) {
+    protocol_handlers_.push_back(std::move(handler));
+  }
+
+  /// Sends a raw message to a known node id (maintenance probes).
+  void SendMessage(NodeId to, std::shared_ptr<const MessageBody> body) {
+    network_->Send(id_, to, std::move(body));
+  }
+
+  // --- NetworkNode --------------------------------------------------------
+
+  void OnMessage(NodeId from, std::shared_ptr<const MessageBody> body) override;
+
+  // --- Identity / bootstrap ----------------------------------------------
+  // These are construction-time hooks used by PGridBuilder and the exchange
+  // protocol; applications use only the primitives above.
+
+  NodeId id() const { return id_; }
+  const Key& path() const { return routing_.path(); }
+  void SetPath(const Key& path) { routing_.SetPath(path); }
+  RoutingTable* routing() { return &routing_; }
+  const RoutingTable& routing() const { return routing_; }
+
+  /// True if `key` falls in this peer's subtree (π(p) prefixes it, or it
+  /// prefixes π(p) for short range-style keys).
+  bool IsResponsibleFor(const Key& key) const;
+
+  /// Stores a pair locally, bypassing routing (bootstrap / replication).
+  void InsertLocal(const Key& key, const std::string& value);
+  /// Drops a pair locally; true if something was removed.
+  bool EraseLocal(const Key& key, const std::string& value);
+
+  /// Ordered local storage (key → value, duplicates by value allowed).
+  const std::multimap<Key, std::string>& storage() const { return storage_; }
+  size_t StorageSize() const { return storage_.size(); }
+  /// Moves out entries NOT belonging to this peer's current path (used when
+  /// a path is extended during construction); returns them.
+  std::vector<std::pair<Key, std::string>> EvictForeignEntries();
+
+  /// Operation counters for experiments.
+  struct Counters {
+    uint64_t retrieves_issued = 0;
+    uint64_t updates_issued = 0;
+    uint64_t forwards = 0;
+    uint64_t local_answers = 0;
+    uint64_t routing_dead_ends = 0;
+    uint64_t timeouts = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Pending {
+    enum class Kind { kRetrieve, kUpdate } kind;
+    RetrieveCallback retrieve_cb;
+    UpdateCallback update_cb;
+    Key key;
+    std::string value;
+    UpdateOp op = UpdateOp::kInsert;
+    int attempts = 0;
+    SimTime started = 0;
+  };
+
+  uint64_t NextRequestId() { return (uint64_t(id_) << 32) | next_seq_++; }
+
+  /// Collects stored values for `key` (exact or prefix semantics).
+  std::vector<std::string> LocalLookup(const Key& key) const;
+  void ApplyLocal(UpdateOp op, const Key& key, const std::string& value);
+  void ReplicateToSiblings(UpdateOp op, const Key& key,
+                           const std::string& value);
+
+  void SendRetrieveAttempt(uint64_t request_id);
+  void SendUpdateAttempt(uint64_t request_id);
+  void ArmTimeout(uint64_t request_id);
+  void FailPending(uint64_t request_id, Status status);
+
+  void HandleRoutedEnvelope(NodeId from, const RoutedEnvelope& env);
+  void HandleRangeEnvelope(NodeId from, const RangeEnvelope& env);
+  /// Local delivery + level-wise splitting of a range multicast.
+  void ShowerRange(const RangeEnvelope& env);
+  void HandleRetrieveRequest(NodeId from, const RetrieveRequest& req);
+  void HandleRetrieveResponse(const RetrieveResponse& resp);
+  void HandleUpdateRequest(NodeId from, const UpdateRequest& req);
+  void HandleUpdateAck(const UpdateAck& ack);
+  void HandleReplicaUpdate(const ReplicaUpdate& upd);
+
+  Simulator* sim_;
+  Network* network_;
+  Rng rng_;
+  Options options_;
+  NodeId id_;
+  RoutingTable routing_;
+  std::multimap<Key, std::string> storage_;
+  /// Exact (key, value) presence index: keeps InsertLocal's idempotence
+  /// check O(log n) even when the order-preserving hash piles thousands of
+  /// entries onto one key (clustered URIs).
+  std::set<std::pair<std::string, std::string>> present_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  uint32_t next_seq_ = 0;
+  Counters counters_;
+  ExtensionHandler extension_handler_;
+  StorageListener storage_listener_;
+  std::vector<ProtocolHandler> protocol_handlers_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_PGRID_PGRID_PEER_H_

@@ -1,0 +1,79 @@
+#include "pgrid/routing_table.h"
+
+#include <algorithm>
+
+namespace gridvine {
+
+void RoutingTable::SetPath(const Key& path) {
+  path_ = path;
+  refs_.resize(static_cast<size_t>(path.length()));
+}
+
+bool RoutingTable::AddRef(int level, NodeId id) {
+  if (level < 0 || level >= levels()) return false;
+  auto& lst = refs_[static_cast<size_t>(level)];
+  if (static_cast<int>(lst.size()) >= max_refs_per_level_) return false;
+  if (std::find(lst.begin(), lst.end(), id) != lst.end()) return false;
+  lst.push_back(id);
+  return true;
+}
+
+void RoutingTable::ClearLinks() {
+  for (auto& lst : refs_) lst.clear();
+  replicas_.clear();
+}
+
+void RoutingTable::RemoveRef(NodeId id) {
+  for (auto& lst : refs_) {
+    lst.erase(std::remove(lst.begin(), lst.end(), id), lst.end());
+  }
+}
+
+const std::vector<NodeId>& RoutingTable::RefsAt(int level) const {
+  static const std::vector<NodeId> kEmpty;
+  if (level < 0 || level >= levels()) return kEmpty;
+  return refs_[static_cast<size_t>(level)];
+}
+
+int RoutingTable::DivergenceLevel(const Key& key) const {
+  int l = path_.CommonPrefixLength(key);
+  // A key shorter than the path that matches it entirely also belongs to
+  // this peer's subtree neighbourhood; treat as local.
+  if (l >= key.length()) return path_.length();
+  return l;
+}
+
+std::optional<NodeId> RoutingTable::NextHop(const Key& key, Rng* rng,
+                                            NodeId exclude) const {
+  int l = DivergenceLevel(key);
+  if (l >= path_.length()) return std::nullopt;  // our subtree: local
+  const auto& lst = refs_[static_cast<size_t>(l)];
+  if (lst.empty()) return std::nullopt;
+  // Prefer an alternative to `exclude` when one exists.
+  std::vector<NodeId> candidates;
+  candidates.reserve(lst.size());
+  for (NodeId id : lst) {
+    if (id != exclude) candidates.push_back(id);
+  }
+  if (candidates.empty()) candidates = lst;
+  return rng->PickOne(candidates);
+}
+
+void RoutingTable::AddReplica(NodeId id) {
+  if (std::find(replicas_.begin(), replicas_.end(), id) == replicas_.end()) {
+    replicas_.push_back(id);
+  }
+}
+
+void RoutingTable::RemoveReplica(NodeId id) {
+  replicas_.erase(std::remove(replicas_.begin(), replicas_.end(), id),
+                  replicas_.end());
+}
+
+size_t RoutingTable::TotalRefs() const {
+  size_t n = 0;
+  for (const auto& lst : refs_) n += lst.size();
+  return n;
+}
+
+}  // namespace gridvine

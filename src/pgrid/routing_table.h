@@ -1,0 +1,80 @@
+#ifndef GRIDVINE_PGRID_ROUTING_TABLE_H_
+#define GRIDVINE_PGRID_ROUTING_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/key.h"
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace gridvine {
+
+/// A P-Grid peer's routing state: for each level l of its path π(p), a set of
+/// references to peers whose paths share the first l bits of π(p) and differ
+/// at bit l (the "complementary subtree" at that level), plus the replica set
+/// σ(p) of peers with the same path.
+///
+/// The level-wise invariant is exactly what makes greedy prefix routing
+/// resolve any key in at most |π(p)| forwards.
+class RoutingTable {
+ public:
+  /// `max_refs_per_level` caps fan-out; additional refs are ignored. More
+  /// refs give routing more alternatives under churn at modest memory cost.
+  explicit RoutingTable(int max_refs_per_level = 4)
+      : max_refs_per_level_(max_refs_per_level) {}
+
+  /// Sets the owning peer's path; resizes the level structure and drops refs
+  /// that became inconsistent with the new path (those at levels >= length
+  /// never existed; levels shorten only during re-balancing).
+  void SetPath(const Key& path);
+  const Key& path() const { return path_; }
+
+  /// Adds a reference at `level` (0-based bit index into the path); ignored
+  /// when the level is out of range, the table is full at that level, or the
+  /// ref is a duplicate. Returns true if stored.
+  bool AddRef(int level, NodeId id);
+
+  /// Removes a reference wherever it appears (e.g. observed dead).
+  void RemoveRef(NodeId id);
+
+  /// Drops every reference and replica link (used when the peer's region is
+  /// reassigned wholesale and existing links no longer satisfy the
+  /// complementary-subtree invariant).
+  void ClearLinks();
+
+  const std::vector<NodeId>& RefsAt(int level) const;
+
+  /// Picks the next hop for `key`: the divergence level l of `key` against
+  /// π(p) selects the ref list; a uniformly random entry is returned (random
+  /// choice spreads load over alternatives and lets retries explore different
+  /// paths under churn). Excludes `exclude` if other options exist.
+  /// Returns nullopt when the key belongs to this peer's subtree or no ref
+  /// is known at the divergence level.
+  std::optional<NodeId> NextHop(const Key& key, Rng* rng,
+                                NodeId exclude = kInvalidNode) const;
+
+  /// Divergence level of `key` against the path, or path length if the key
+  /// lies in this peer's subtree.
+  int DivergenceLevel(const Key& key) const;
+
+  void AddReplica(NodeId id);
+  void RemoveReplica(NodeId id);
+  const std::vector<NodeId>& replicas() const { return replicas_; }
+
+  int levels() const { return static_cast<int>(refs_.size()); }
+  int max_refs_per_level() const { return max_refs_per_level_; }
+
+  /// Total number of stored references across levels.
+  size_t TotalRefs() const;
+
+ private:
+  int max_refs_per_level_;
+  Key path_;
+  std::vector<std::vector<NodeId>> refs_;  // refs_[l] = complementary subtree
+  std::vector<NodeId> replicas_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_PGRID_ROUTING_TABLE_H_

@@ -1,0 +1,58 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <climits>
+#include <set>
+
+namespace gridvine {
+
+PatternCost ClassifyPattern(const TriplePattern& pattern) {
+  if (pattern.IsExactConstant(TriplePos::kSubject)) {
+    return PatternCost::kExactSubject;
+  }
+  if (pattern.IsExactConstant(TriplePos::kObject)) {
+    return PatternCost::kExactObject;
+  }
+  if (pattern.IsExactConstant(TriplePos::kPredicate)) {
+    return PatternCost::kExactPredicate;
+  }
+  if (pattern.ObjectRangePrefix().has_value()) return PatternCost::kRange;
+  return PatternCost::kUnroutable;
+}
+
+std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query) {
+  const auto& patterns = query.patterns();
+  std::vector<size_t> remaining;
+  for (size_t i = 0; i < patterns.size(); ++i) remaining.push_back(i);
+
+  std::vector<size_t> order;
+  std::set<std::string> bound_vars;
+  while (!remaining.empty()) {
+    // Among the remaining patterns, prefer (a) connected to already-bound
+    // variables, then (b) the cheapest class, then (c) original position
+    // (stability).
+    size_t best_slot = 0;
+    int best_rank = INT_MAX;
+    for (size_t slot = 0; slot < remaining.size(); ++slot) {
+      const TriplePattern& p = patterns[remaining[slot]];
+      bool connected = order.empty();  // first pattern: no requirement
+      for (const auto& var : p.Variables()) {
+        if (bound_vars.count(var)) connected = true;
+      }
+      int rank = int(ClassifyPattern(p)) + (connected ? 0 : 10);
+      if (rank < best_rank) {
+        best_rank = rank;
+        best_slot = slot;
+      }
+    }
+    size_t chosen = remaining[best_slot];
+    remaining.erase(remaining.begin() + ptrdiff_t(best_slot));
+    order.push_back(chosen);
+    for (const auto& var : patterns[chosen].Variables()) {
+      bound_vars.insert(var);
+    }
+  }
+  return order;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,36 @@
+#ifndef GRIDVINE_QUERY_PLANNER_H_
+#define GRIDVINE_QUERY_PLANNER_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace gridvine {
+
+/// How cheaply (and how selectively) one triple pattern can be resolved in
+/// the distributed engine, best first. The ordering doubles as a selectivity
+/// estimate: an exact subject names one resource; an exact object value is
+/// rarer than a predicate shared by a whole relation; a range ("abc%")
+/// multicast costs more than any single lookup; a pattern with no routable
+/// constant cannot start a conjunction at all.
+enum class PatternCost {
+  kExactSubject = 0,
+  kExactObject = 1,
+  kExactPredicate = 2,
+  kRange = 3,
+  kUnroutable = 4,
+};
+
+/// Classifies one pattern.
+PatternCost ClassifyPattern(const TriplePattern& pattern);
+
+/// Execution order for a conjunctive query's patterns: cheapest/most
+/// selective first, with the constraint that every pattern after the first
+/// shares a variable with some earlier pattern where possible (keeps the
+/// running join bounded instead of building cross products). Returns indexes
+/// into `query.patterns()`.
+std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_PLANNER_H_

@@ -1,0 +1,81 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+#include "schema/schema.h"
+
+namespace gridvine {
+
+Status TriplePatternQuery::Validate() const {
+  if (distinguished_var_.empty()) {
+    return Status::InvalidArgument("empty distinguished variable");
+  }
+  auto vars = pattern_.Variables();
+  if (std::find(vars.begin(), vars.end(), distinguished_var_) == vars.end()) {
+    return Status::InvalidArgument("distinguished variable ?" +
+                                   distinguished_var_ +
+                                   " not in pattern " + pattern_.ToString());
+  }
+  return Status::OK();
+}
+
+std::string TriplePatternQuery::SchemaName() const {
+  if (!pattern_.predicate().IsUri()) return "";
+  return Schema::SchemaOfUri(pattern_.predicate().value());
+}
+
+std::string TriplePatternQuery::Serialize() const {
+  return distinguished_var_ + "\x1e" + pattern_.Serialize();
+}
+
+Result<TriplePatternQuery> TriplePatternQuery::Parse(const std::string& data) {
+  size_t sep = data.find('\x1e');
+  if (sep == std::string::npos) {
+    return Status::Corruption("missing query separator");
+  }
+  GV_ASSIGN_OR_RETURN(TriplePattern pattern,
+                      TriplePattern::Parse(data.substr(sep + 1)));
+  TriplePatternQuery q(data.substr(0, sep), std::move(pattern));
+  GV_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (patterns_.empty()) {
+    return Status::InvalidArgument("conjunctive query has no patterns");
+  }
+  if (distinguished_vars_.empty()) {
+    return Status::InvalidArgument("no distinguished variables");
+  }
+  for (const auto& var : distinguished_vars_) {
+    bool found = false;
+    for (const auto& p : patterns_) {
+      auto vars = p.Variables();
+      if (std::find(vars.begin(), vars.end(), var) != vars.end()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("distinguished variable ?" + var +
+                                     " not bound by any pattern");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "SearchFor(";
+  for (size_t i = 0; i < distinguished_vars_.size(); ++i) {
+    if (i) out += ", ";
+    out += distinguished_vars_[i] + "?";
+  }
+  out += " : ";
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (i) out += " AND ";
+    out += patterns_[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace gridvine

@@ -1,0 +1,84 @@
+#ifndef GRIDVINE_QUERY_QUERY_H_
+#define GRIDVINE_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_pattern.h"
+
+namespace gridvine {
+
+/// The paper's basic query form, SearchFor(x? : (s, p, o)): a triple pattern
+/// plus the distinguished variable whose bindings the query returns.
+class TriplePatternQuery {
+ public:
+  TriplePatternQuery() = default;
+  TriplePatternQuery(std::string distinguished_var, TriplePattern pattern)
+      : distinguished_var_(std::move(distinguished_var)),
+        pattern_(std::move(pattern)) {}
+
+  const std::string& distinguished_var() const { return distinguished_var_; }
+  const TriplePattern& pattern() const { return pattern_; }
+
+  /// Replaces the pattern (reformulation produces a new query this way).
+  TriplePatternQuery WithPattern(TriplePattern pattern) const {
+    return TriplePatternQuery(distinguished_var_, std::move(pattern));
+  }
+
+  /// The distinguished variable must occur in the pattern.
+  Status Validate() const;
+
+  /// The schema this query is posed against: the schema part of its
+  /// predicate URI ("" when the predicate is a variable).
+  std::string SchemaName() const;
+
+  /// Serialization "var\x1e<pattern serialization>".
+  std::string Serialize() const;
+  static Result<TriplePatternQuery> Parse(const std::string& data);
+
+  std::string ToString() const {
+    return "SearchFor(" + distinguished_var_ + "? : " + pattern_.ToString() +
+           ")";
+  }
+
+  bool operator==(const TriplePatternQuery& other) const {
+    return distinguished_var_ == other.distinguished_var_ &&
+           pattern_ == other.pattern_;
+  }
+
+ private:
+  std::string distinguished_var_;
+  TriplePattern pattern_;
+};
+
+/// A conjunctive query: a set of triple patterns sharing variables, resolved
+/// by iteratively matching each pattern and joining the binding sets (paper
+/// Section 2.3, last paragraph).
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(std::vector<std::string> distinguished_vars,
+                   std::vector<TriplePattern> patterns)
+      : distinguished_vars_(std::move(distinguished_vars)),
+        patterns_(std::move(patterns)) {}
+
+  const std::vector<std::string>& distinguished_vars() const {
+    return distinguished_vars_;
+  }
+  const std::vector<TriplePattern>& patterns() const { return patterns_; }
+
+  /// Each distinguished variable must occur in some pattern; at least one
+  /// pattern.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> distinguished_vars_;
+  std::vector<TriplePattern> patterns_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_QUERY_H_

@@ -1,0 +1,182 @@
+#include "query/rdql_parser.h"
+
+#include <cctype>
+
+namespace gridvine {
+
+namespace {
+
+/// Minimal recursive-descent scanner over the query text. Error messages
+/// carry the character offset to make malformed queries easy to fix.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes a case-insensitive keyword; false (no consumption) otherwise.
+  bool ConsumeKeyword(const std::string& keyword) {
+    SkipSpace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    // Keyword must not run into an identifier character.
+    size_t after = pos_ + keyword.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument("RDQL parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  /// ?name — letters, digits, '_' after the '?'.
+  Result<std::string> ParseVarName() {
+    SkipSpace();
+    if (!ConsumeChar('?')) return Error("expected '?variable'");
+    std::string name;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      name.push_back(text_[pos_++]);
+    }
+    if (name.empty()) return Error("empty variable name after '?'");
+    return name;
+  }
+
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("expected term");
+    char c = text_[pos_];
+    if (c == '?') {
+      GV_ASSIGN_OR_RETURN(std::string name, ParseVarName());
+      return Term::Var(name);
+    }
+    if (c == '<') {
+      ++pos_;
+      std::string uri;
+      while (pos_ < text_.size() && text_[pos_] != '>') {
+        uri.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) return Error("unterminated URI (missing '>')");
+      ++pos_;  // '>'
+      if (uri.empty()) return Error("empty URI");
+      return Term::Uri(uri);
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string lit;
+      bool escaped = false;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_++];
+        if (escaped) {
+          lit.push_back(d);
+          escaped = false;
+        } else if (d == '\\') {
+          escaped = true;
+        } else if (d == '"') {
+          return Term::Literal(lit);
+        } else {
+          lit.push_back(d);
+        }
+      }
+      return Error("unterminated literal (missing '\"')");
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<TriplePattern> ParsePattern() {
+    if (!ConsumeChar('(')) return Error("expected '(' to start a pattern");
+    GV_ASSIGN_OR_RETURN(Term s, ParseTerm());
+    if (!ConsumeChar(',')) return Error("expected ',' after subject");
+    GV_ASSIGN_OR_RETURN(Term p, ParseTerm());
+    if (!ConsumeChar(',')) return Error("expected ',' after predicate");
+    GV_ASSIGN_OR_RETURN(Term o, ParseTerm());
+    if (!ConsumeChar(')')) return Error("expected ')' to close the pattern");
+    return TriplePattern(std::move(s), std::move(p), std::move(o));
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseRdql(const std::string& text) {
+  Scanner scan(text);
+  if (!scan.ConsumeKeyword("SELECT")) {
+    return scan.Error("query must start with SELECT");
+  }
+  std::vector<std::string> vars;
+  do {
+    GV_ASSIGN_OR_RETURN(std::string name, scan.ParseVarName());
+    vars.push_back(std::move(name));
+  } while (scan.ConsumeChar(','));
+
+  if (!scan.ConsumeKeyword("WHERE")) {
+    return scan.Error("expected WHERE after the variable list");
+  }
+  std::vector<TriplePattern> patterns;
+  do {
+    GV_ASSIGN_OR_RETURN(TriplePattern p, scan.ParsePattern());
+    patterns.push_back(std::move(p));
+  } while (scan.ConsumeChar(','));
+
+  if (!scan.AtEnd()) {
+    return scan.Error("trailing input after the pattern list");
+  }
+  ConjunctiveQuery query(std::move(vars), std::move(patterns));
+  GV_RETURN_NOT_OK(query.Validate());
+  return query;
+}
+
+Result<TriplePatternQuery> ParseRdqlSingle(const std::string& text) {
+  GV_ASSIGN_OR_RETURN(ConjunctiveQuery cq, ParseRdql(text));
+  if (cq.patterns().size() != 1) {
+    return Status::InvalidArgument(
+        "expected a single triple pattern, got " +
+        std::to_string(cq.patterns().size()));
+  }
+  if (cq.distinguished_vars().size() != 1) {
+    return Status::InvalidArgument(
+        "expected a single distinguished variable, got " +
+        std::to_string(cq.distinguished_vars().size()));
+  }
+  TriplePatternQuery q(cq.distinguished_vars()[0], cq.patterns()[0]);
+  GV_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+}  // namespace gridvine

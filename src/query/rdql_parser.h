@@ -1,0 +1,37 @@
+#ifndef GRIDVINE_QUERY_RDQL_PARSER_H_
+#define GRIDVINE_QUERY_RDQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/query.h"
+
+namespace gridvine {
+
+/// Parser for a compact RDQL-style query syntax (the paper cites RDQL [8] as
+/// the triple-pattern query model). Grammar:
+///
+///   query    := SELECT varlist WHERE patterns
+///   varlist  := var (',' var)*
+///   patterns := pattern (',' pattern)*
+///   pattern  := '(' term ',' term ',' term ')'
+///   term     := '?'name | '<'uri'>' | '"'literal'"'
+///
+/// Keywords are case-insensitive; whitespace is free-form; literals support
+/// backslash escapes (\" and \\) and may contain '%' LIKE wildcards.
+///
+/// Examples:
+///   SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
+///   SELECT ?x, ?l WHERE (?x, <EMBL#Organism>, "%niger%"),
+///                       (?x, <EMBL#Length>, ?l)
+///
+/// The result is validated (each selected variable must occur in a pattern).
+Result<ConjunctiveQuery> ParseRdql(const std::string& text);
+
+/// Convenience for the single-pattern single-variable case (the paper's
+/// SearchFor form). Fails when the query has several patterns or variables.
+Result<TriplePatternQuery> ParseRdqlSingle(const std::string& text);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_RDQL_PARSER_H_

@@ -1,0 +1,104 @@
+#include "query/reformulation.h"
+
+#include <queue>
+#include <set>
+
+namespace gridvine {
+
+Result<TriplePatternQuery> Reformulate(const TriplePatternQuery& query,
+                                       const SchemaMapping& mapping) {
+  if (mapping.deprecated()) {
+    return Status::InvalidArgument("mapping " + mapping.id() +
+                                   " is deprecated");
+  }
+  const Term& pred = query.pattern().predicate();
+  if (!pred.IsUri()) {
+    return Status::InvalidArgument(
+        "cannot reformulate query with variable predicate");
+  }
+  if (query.SchemaName() != mapping.source_schema()) {
+    return Status::InvalidArgument("query schema " + query.SchemaName() +
+                                   " does not match mapping source " +
+                                   mapping.source_schema());
+  }
+  auto mapped = mapping.MapAttribute(pred.value());
+  if (!mapped.has_value()) {
+    return Status::NotFound("no correspondence for predicate " + pred.value() +
+                            " in mapping " + mapping.id());
+  }
+  TriplePattern new_pattern =
+      query.pattern().With(TriplePos::kPredicate, Term::Uri(*mapped));
+  return query.WithPattern(std::move(new_pattern));
+}
+
+Result<TriplePatternQuery> ReformulateAlongPath(
+    const TriplePatternQuery& query, const std::vector<SchemaMapping>& path) {
+  TriplePatternQuery cur = query;
+  for (const SchemaMapping& m : path) {
+    GV_ASSIGN_OR_RETURN(cur, Reformulate(cur, m));
+  }
+  return cur;
+}
+
+std::vector<SchemaMapping> OrientMappingsFrom(
+    const std::string& schema, const std::vector<SchemaMapping>& mappings,
+    bool sound_only) {
+  std::vector<SchemaMapping> out;
+  for (const SchemaMapping& m : mappings) {
+    if (m.deprecated()) continue;
+    if (m.source_schema() == schema) {
+      bool generalizing = m.type() == MappingType::kSubsumption;
+      if (!(sound_only && generalizing)) out.push_back(m);
+    }
+    if (m.target_schema() == schema) {
+      // Reversed traversal: equivalences when declared bidirectional;
+      // subsumptions always (broad -> narrow is sound).
+      if (m.bidirectional() || m.type() == MappingType::kSubsumption) {
+        out.push_back(m.Reversed());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ReformulatedQuery> ExpandQuery(const TriplePatternQuery& query,
+                                           const MappingGraph& graph,
+                                           int max_hops) {
+  std::vector<ReformulatedQuery> out;
+  std::string home = query.SchemaName();
+  if (home.empty()) return out;
+
+  struct Frontier {
+    TriplePatternQuery query;
+    std::vector<std::string> mapping_ids;
+    double confidence;
+    int depth;
+  };
+  std::set<std::string> visited = {home};
+  std::queue<Frontier> frontier;
+  frontier.push({query, {}, 1.0, 0});
+
+  while (!frontier.empty()) {
+    Frontier cur = frontier.front();
+    frontier.pop();
+    if (cur.depth >= max_hops) continue;
+    std::string cur_schema = cur.query.SchemaName();
+    for (const SchemaMapping& m : graph.MappingsFrom(cur_schema)) {
+      if (visited.count(m.target_schema())) continue;
+      auto reformed = Reformulate(cur.query, m);
+      if (!reformed.ok()) continue;  // partial mapping: prune this branch
+      visited.insert(m.target_schema());
+      ReformulatedQuery rq;
+      rq.query = std::move(reformed).value();
+      rq.mapping_ids = cur.mapping_ids;
+      rq.mapping_ids.push_back(m.id());
+      rq.schema = m.target_schema();
+      rq.confidence = cur.confidence * m.confidence();
+      frontier.push({rq.query, rq.mapping_ids, rq.confidence, cur.depth + 1});
+      out.push_back(std::move(rq));
+    }
+  }
+  return out;
+}
+
+}  // namespace gridvine

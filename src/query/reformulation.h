@@ -1,0 +1,61 @@
+#ifndef GRIDVINE_QUERY_REFORMULATION_H_
+#define GRIDVINE_QUERY_REFORMULATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "mapping/mapping_graph.h"
+#include "mapping/schema_mapping.h"
+#include "query/query.h"
+
+namespace gridvine {
+
+/// Rewrites `query` from its schema into `mapping.target_schema()` by
+/// substituting the predicate with its correspondent (view unfolding over a
+/// GAV attribute correspondence — the operation of the paper's Figure 2).
+/// Fails when the query's predicate is a variable, belongs to a different
+/// schema, has no correspondence, or the mapping is deprecated.
+Result<TriplePatternQuery> Reformulate(const TriplePatternQuery& query,
+                                       const SchemaMapping& mapping);
+
+/// Chains Reformulate along a path of mappings.
+Result<TriplePatternQuery> ReformulateAlongPath(
+    const TriplePatternQuery& query, const std::vector<SchemaMapping>& path);
+
+/// Orients raw mappings (as fetched from a schema's key space) so each can
+/// reformulate a query posed *against* `schema`:
+///
+///  * forward, when `schema` is the mapping's source — for subsumption
+///    mappings (source ⊑ target) this *generalizes* the query: the target
+///    schema may return a superset of sound answers;
+///  * reversed, when `schema` is the target and the mapping is bidirectional
+///    (equivalences), or when the mapping is a subsumption — specializing a
+///    query from the broader to the narrower attribute is always sound.
+///
+/// With `sound_only`, the generalizing direction (forward subsumption) is
+/// excluded, trading recall for precision.
+std::vector<SchemaMapping> OrientMappingsFrom(
+    const std::string& schema, const std::vector<SchemaMapping>& mappings,
+    bool sound_only = false);
+
+/// One reformulated query together with how it was derived.
+struct ReformulatedQuery {
+  TriplePatternQuery query;
+  std::vector<std::string> mapping_ids;  ///< path of mappings applied
+  std::string schema;                    ///< schema the query now targets
+  double confidence = 1.0;               ///< product of mapping confidences
+};
+
+/// Expands `query` into every distinct reformulation reachable through
+/// non-deprecated mappings of `graph`, visiting each schema at most once
+/// (BFS, at most `max_hops` mappings deep). The original query is NOT
+/// included. Branches whose predicate loses its correspondence are pruned
+/// silently — exactly what happens in the live system when a mapping only
+/// covers part of a schema.
+std::vector<ReformulatedQuery> ExpandQuery(const TriplePatternQuery& query,
+                                           const MappingGraph& graph,
+                                           int max_hops);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_REFORMULATION_H_

@@ -1,0 +1,37 @@
+#ifndef GRIDVINE_RDF_NTRIPLES_H_
+#define GRIDVINE_RDF_NTRIPLES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple.h"
+
+namespace gridvine {
+
+/// W3C N-Triples-style serialization (the natural interchange format for
+/// the RDF data GridVine shares — e.g. exports from a bioinformatic
+/// repository):
+///
+///   <subject> <predicate> "literal object" .
+///   <subject> <predicate> <object-uri> .
+///
+/// Literals support the \" \\ \n \t escapes. '#' starts a line comment;
+/// blank lines are skipped. Datatype/language annotations are not supported
+/// (GridVine's mediation layer stores plain literals).
+
+/// One triple per line; inverse of ParseNTriplesLine.
+std::string ToNTriplesLine(const Triple& triple);
+
+Result<Triple> ParseNTriplesLine(const std::string& line);
+
+/// Whole-document forms.
+std::string ToNTriples(const std::vector<Triple>& triples);
+
+/// Parses a document; fails on the first malformed line (the error message
+/// carries the 1-based line number).
+Result<std::vector<Triple>> ParseNTriples(const std::string& text);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_RDF_NTRIPLES_H_

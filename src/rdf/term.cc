@@ -1,0 +1,17 @@
+#include "rdf/term.h"
+
+namespace gridvine {
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kUri:
+      return "<" + value_ + ">";
+    case TermKind::kLiteral:
+      return "\"" + value_ + "\"";
+    case TermKind::kVariable:
+      return "?" + value_;
+  }
+  return value_;
+}
+
+}  // namespace gridvine

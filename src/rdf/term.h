@@ -1,0 +1,69 @@
+#ifndef GRIDVINE_RDF_TERM_H_
+#define GRIDVINE_RDF_TERM_H_
+
+#include <ostream>
+#include <string>
+
+namespace gridvine {
+
+/// Kind of an RDF term as used in triples and triple patterns.
+enum class TermKind {
+  kUri,      ///< Resource identifier, e.g. "EMBL#Organism" or "gv://0110/ab12#seq1".
+  kLiteral,  ///< A value, e.g. "Aspergillus niger".
+  kVariable, ///< A query variable, e.g. "?x" (patterns only, never in triples).
+};
+
+/// An RDF term: a tagged string. Immutable value type.
+class Term {
+ public:
+  /// Default-constructed term is the empty literal (needed for containers).
+  Term() : kind_(TermKind::kLiteral) {}
+
+  static Term Uri(std::string value) {
+    return Term(TermKind::kUri, std::move(value));
+  }
+  static Term Literal(std::string value) {
+    return Term(TermKind::kLiteral, std::move(value));
+  }
+  /// `name` without the leading '?'.
+  static Term Var(std::string name) {
+    return Term(TermKind::kVariable, std::move(name));
+  }
+
+  TermKind kind() const { return kind_; }
+  bool IsUri() const { return kind_ == TermKind::kUri; }
+  bool IsLiteral() const { return kind_ == TermKind::kLiteral; }
+  bool IsVariable() const { return kind_ == TermKind::kVariable; }
+  /// A constant is anything that is not a variable.
+  bool IsConstant() const { return !IsVariable(); }
+
+  /// The URI, literal value, or variable name (without '?').
+  const std::string& value() const { return value_; }
+
+  /// Human-readable form: <uri>, "literal", or ?var.
+  std::string ToString() const;
+
+  bool operator==(const Term& other) const {
+    return kind_ == other.kind_ && value_ == other.value_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    return value_ < other.value_;
+  }
+
+ private:
+  Term(TermKind kind, std::string value)
+      : kind_(kind), value_(std::move(value)) {}
+
+  TermKind kind_;
+  std::string value_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.ToString();
+}
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_RDF_TERM_H_

@@ -1,0 +1,173 @@
+#include "rdf/triple.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace gridvine {
+
+const char* TriplePosName(TriplePos pos) {
+  switch (pos) {
+    case TriplePos::kSubject:
+      return "subject";
+    case TriplePos::kPredicate:
+      return "predicate";
+    case TriplePos::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+const Term& Triple::at(TriplePos pos) const {
+  switch (pos) {
+    case TriplePos::kSubject:
+      return subject_;
+    case TriplePos::kPredicate:
+      return predicate_;
+    case TriplePos::kObject:
+      return object_;
+  }
+  return subject_;
+}
+
+Status Triple::Validate() const {
+  if (!subject_.IsUri()) {
+    return Status::InvalidArgument("triple subject must be a URI, got " +
+                                   subject_.ToString());
+  }
+  if (!predicate_.IsUri()) {
+    return Status::InvalidArgument("triple predicate must be a URI, got " +
+                                   predicate_.ToString());
+  }
+  if (object_.IsVariable()) {
+    return Status::InvalidArgument("triple object must be constant, got " +
+                                   object_.ToString());
+  }
+  if (subject_.value().empty() || predicate_.value().empty()) {
+    return Status::InvalidArgument("triple subject/predicate must be non-empty");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+char KindTag(TermKind kind) {
+  switch (kind) {
+    case TermKind::kUri:
+      return 'U';
+    case TermKind::kLiteral:
+      return 'L';
+    case TermKind::kVariable:
+      return 'V';
+  }
+  return '?';
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '\t') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Splits on unescaped tabs and unescapes fields.
+Result<std::vector<std::string>> UnescapeSplit(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool escaped = false;
+  for (char c : line) {
+    if (escaped) {
+      cur.push_back(c);
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '\t') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (escaped) return Status::Corruption("dangling escape in: " + line);
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Term> ParseTerm(const std::string& field) {
+  if (field.size() < 2 || field[1] != ':') {
+    return Status::Corruption("malformed term field: " + field);
+  }
+  std::string value = field.substr(2);
+  switch (field[0]) {
+    case 'U':
+      return Term::Uri(std::move(value));
+    case 'L':
+      return Term::Literal(std::move(value));
+    case 'V':
+      return Term::Var(std::move(value));
+    default:
+      return Status::Corruption("unknown term kind tag: " + field);
+  }
+}
+
+}  // namespace
+
+std::string Triple::Serialize() const {
+  std::string out;
+  out.push_back(KindTag(subject_.kind()));
+  out.push_back(':');
+  out += Escape(subject_.value());
+  out.push_back('\t');
+  out.push_back(KindTag(predicate_.kind()));
+  out.push_back(':');
+  out += Escape(predicate_.value());
+  out.push_back('\t');
+  out.push_back(KindTag(object_.kind()));
+  out.push_back(':');
+  out += Escape(object_.value());
+  return out;
+}
+
+Result<std::vector<Term>> ParseTermFields(const std::string& line) {
+  GV_ASSIGN_OR_RETURN(auto fields, UnescapeSplit(line));
+  if (fields.size() != 3) {
+    return Status::Corruption("expected 3 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  std::vector<Term> terms;
+  terms.reserve(3);
+  for (const auto& f : fields) {
+    GV_ASSIGN_OR_RETURN(Term t, ParseTerm(f));
+    terms.push_back(std::move(t));
+  }
+  return terms;
+}
+
+Result<Triple> Triple::Parse(const std::string& line) {
+  GV_ASSIGN_OR_RETURN(auto terms, ParseTermFields(line));
+  Triple t(terms[0], terms[1], terms[2]);
+  GV_RETURN_NOT_OK(t.Validate());
+  return t;
+}
+
+bool Triple::operator<(const Triple& other) const {
+  if (subject_ != other.subject_) return subject_ < other.subject_;
+  if (predicate_ != other.predicate_) return predicate_ < other.predicate_;
+  return object_ < other.object_;
+}
+
+std::string MakeGlobalId(const std::string& peer_path,
+                         const std::string& local_name) {
+  std::ostringstream hex;
+  hex << std::hex << std::setw(16) << std::setfill('0')
+      << Fnv1a64(local_name);
+  return "gv://" + (peer_path.empty() ? std::string("root") : peer_path) +
+         "-" + hex.str() + "/" + local_name;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,121 @@
+#include "rdf/triple_pattern.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gridvine {
+
+const Term& TriplePattern::at(TriplePos pos) const {
+  switch (pos) {
+    case TriplePos::kSubject:
+      return subject_;
+    case TriplePos::kPredicate:
+      return predicate_;
+    case TriplePos::kObject:
+      return object_;
+  }
+  return subject_;
+}
+
+TriplePattern TriplePattern::With(TriplePos pos, Term term) const {
+  TriplePattern out = *this;
+  switch (pos) {
+    case TriplePos::kSubject:
+      out.subject_ = std::move(term);
+      break;
+    case TriplePos::kPredicate:
+      out.predicate_ = std::move(term);
+      break;
+    case TriplePos::kObject:
+      out.object_ = std::move(term);
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+bool TermMatches(const Term& pattern_term, const Term& data_term) {
+  if (pattern_term.IsVariable()) return true;
+  if (pattern_term.IsLiteral() &&
+      pattern_term.value().find('%') != std::string::npos) {
+    return data_term.IsLiteral() &&
+           LikeMatch(data_term.value(), pattern_term.value());
+  }
+  return pattern_term == data_term;
+}
+
+}  // namespace
+
+bool TriplePattern::Matches(const Triple& t) const {
+  if (!TermMatches(subject_, t.subject())) return false;
+  if (!TermMatches(predicate_, t.predicate())) return false;
+  if (!TermMatches(object_, t.object())) return false;
+  // Repeated variables must bind consistently, e.g. (?x, p, ?x).
+  auto binding_of = [&](TriplePos pos) -> const Term& { return t.at(pos); };
+  const TriplePos kAll[] = {TriplePos::kSubject, TriplePos::kPredicate,
+                            TriplePos::kObject};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = i + 1; j < 3; ++j) {
+      const Term& a = at(kAll[i]);
+      const Term& b = at(kAll[j]);
+      if (a.IsVariable() && b.IsVariable() && a.value() == b.value() &&
+          binding_of(kAll[i]) != binding_of(kAll[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> out;
+  for (TriplePos pos : {TriplePos::kSubject, TriplePos::kPredicate,
+                        TriplePos::kObject}) {
+    const Term& t = at(pos);
+    if (t.IsVariable() &&
+        std::find(out.begin(), out.end(), t.value()) == out.end()) {
+      out.push_back(t.value());
+    }
+  }
+  return out;
+}
+
+bool TriplePattern::IsExactConstant(TriplePos pos) const {
+  const Term& t = at(pos);
+  if (t.IsVariable()) return false;
+  if (t.IsLiteral() && t.value().find('%') != std::string::npos) return false;
+  return true;
+}
+
+std::optional<TriplePos> TriplePattern::RoutingConstant() const {
+  // A subject names one resource; an object value is usually rarer than a
+  // predicate (every triple of a relation shares the predicate), hence the
+  // specificity order subject > object > predicate.
+  if (IsExactConstant(TriplePos::kSubject)) return TriplePos::kSubject;
+  if (IsExactConstant(TriplePos::kObject)) return TriplePos::kObject;
+  if (IsExactConstant(TriplePos::kPredicate)) return TriplePos::kPredicate;
+  return std::nullopt;
+}
+
+std::optional<std::string> TriplePattern::ObjectRangePrefix() const {
+  if (!object_.IsLiteral()) return std::nullopt;
+  size_t wildcard = object_.value().find('%');
+  if (wildcard == std::string::npos || wildcard == 0) return std::nullopt;
+  return object_.value().substr(0, wildcard);
+}
+
+std::string TriplePattern::Serialize() const {
+  // Reuse Triple's field encoding by building a pseudo-triple: the kinds tag
+  // each field, so variables survive the round trip.
+  Triple t(subject_, predicate_, object_);
+  return t.Serialize();
+}
+
+Result<TriplePattern> TriplePattern::Parse(const std::string& line) {
+  GV_ASSIGN_OR_RETURN(auto terms, ParseTermFields(line));
+  return TriplePattern(terms[0], terms[1], terms[2]);
+}
+
+}  // namespace gridvine

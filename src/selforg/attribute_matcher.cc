@@ -1,0 +1,80 @@
+#include "selforg/attribute_matcher.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gridvine {
+
+namespace {
+
+/// Case-folds and strips separators so "organism_name", "OrganismName" and
+/// "organism-name" normalize identically.
+std::string NormalizeName(const std::string& local) {
+  std::string out;
+  for (char c : ToLower(local)) {
+    if (c != '_' && c != '-' && c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double AttributeMatcher::Score(const std::string& source_attr_uri,
+                               const std::string& target_attr_uri,
+                               const ValueSets& source_values,
+                               const ValueSets& target_values) const {
+  std::string a = NormalizeName(Schema::LocalOfUri(source_attr_uri));
+  std::string b = NormalizeName(Schema::LocalOfUri(target_attr_uri));
+  double lexical = std::max(EditSimilarity(a, b), TrigramSimilarity(a, b));
+
+  auto sit = source_values.find(source_attr_uri);
+  auto tit = target_values.find(target_attr_uri);
+  bool have_values = sit != source_values.end() && !sit->second.empty() &&
+                     tit != target_values.end() && !tit->second.empty();
+  if (!have_values) {
+    // No instance evidence: rely on the lexical component alone.
+    return lexical;
+  }
+  double value_sim = JaccardSimilarity(sit->second, tit->second);
+  double total_weight = options_.lexical_weight + options_.value_weight;
+  return (options_.lexical_weight * lexical +
+          options_.value_weight * value_sim) /
+         (total_weight > 0 ? total_weight : 1.0);
+}
+
+std::vector<AttributeMatcher::Correspondence> AttributeMatcher::Match(
+    const Schema& source, const Schema& target,
+    const ValueSets& source_values, const ValueSets& target_values) const {
+  // Score every pair, then assign greedily best-first one-to-one.
+  std::vector<Correspondence> candidates;
+  for (const auto& sa : source.AttributeUris()) {
+    for (const auto& ta : target.AttributeUris()) {
+      double score = Score(sa, ta, source_values, target_values);
+      if (score >= options_.threshold) {
+        candidates.push_back(Correspondence{sa, ta, score});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Correspondence& a, const Correspondence& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.source_attr_uri != b.source_attr_uri) {
+                return a.source_attr_uri < b.source_attr_uri;
+              }
+              return a.target_attr_uri < b.target_attr_uri;
+            });
+  std::set<std::string> used_src, used_dst;
+  std::vector<Correspondence> out;
+  for (const auto& c : candidates) {
+    if (used_src.count(c.source_attr_uri) || used_dst.count(c.target_attr_uri)) {
+      continue;
+    }
+    used_src.insert(c.source_attr_uri);
+    used_dst.insert(c.target_attr_uri);
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,71 @@
+#ifndef GRIDVINE_SELFORG_ATTRIBUTE_MATCHER_H_
+#define GRIDVINE_SELFORG_ATTRIBUTE_MATCHER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace gridvine {
+
+/// Induces attribute correspondences between two schemas using the paper's
+/// Section 4 recipe: "a combination of lexicographical measures and set
+/// distance measures between the predicates defined in both schemas".
+///
+///  * Lexical: max of normalized edit similarity and trigram (Dice)
+///    similarity of the attribute *local* names, case-folded and with
+///    '_'/'-' separators removed.
+///  * Set distance: Jaccard similarity of the sets of object values observed
+///    under the two predicates (shared instance references make these sets
+///    overlap when the attributes mean the same thing).
+///
+/// The final score is a weighted blend; pairs are accepted greedily
+/// best-first, one-to-one, above a threshold.
+class AttributeMatcher {
+ public:
+  struct Options {
+    double lexical_weight = 0.5;
+    double value_weight = 0.5;
+    /// Minimum blended score for a correspondence to be emitted.
+    double threshold = 0.45;
+  };
+
+  /// Default-configured matcher (definition below the class: a nested
+  /// Options cannot appear as an in-class default argument).
+  AttributeMatcher();
+  explicit AttributeMatcher(Options options) : options_(options) {}
+
+  /// Observed object values per attribute URI (may be empty: the matcher
+  /// then relies on the lexical component alone, renormalized).
+  using ValueSets = std::map<std::string, std::set<std::string>>;
+
+  struct Correspondence {
+    std::string source_attr_uri;
+    std::string target_attr_uri;
+    double score = 0;
+  };
+
+  /// Scores one attribute pair (exposed for tests and diagnostics).
+  double Score(const std::string& source_attr_uri,
+               const std::string& target_attr_uri,
+               const ValueSets& source_values,
+               const ValueSets& target_values) const;
+
+  /// Produces one-to-one correspondences from `source` to `target`.
+  std::vector<Correspondence> Match(const Schema& source, const Schema& target,
+                                    const ValueSets& source_values,
+                                    const ValueSets& target_values) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+inline AttributeMatcher::AttributeMatcher() : options_(Options()) {}
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SELFORG_ATTRIBUTE_MATCHER_H_

@@ -1,0 +1,15 @@
+#include "selforg/connectivity.h"
+
+namespace gridvine {
+
+double ConnectivityIndicator(
+    const std::vector<std::pair<int, int>>& degrees) {
+  if (degrees.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [in, out] : degrees) {
+    sum += double(in) * double(out) - double(out);
+  }
+  return sum / double(degrees.size());
+}
+
+}  // namespace gridvine

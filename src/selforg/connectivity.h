@@ -1,0 +1,23 @@
+#ifndef GRIDVINE_SELFORG_CONNECTIVITY_H_
+#define GRIDVINE_SELFORG_CONNECTIVITY_H_
+
+#include <utility>
+#include <vector>
+
+namespace gridvine {
+
+/// The connectivity indicator of paper Section 3.1:
+///
+///   ci = Σ_{j,k} (jk − k) p_jk
+///
+/// where p_jk is the probability that a schema has in-degree j and out-degree
+/// k. Over an observed degree sequence this is the empirical mean of
+/// (j·k − k). The criterion derives from the generating-function analysis of
+/// directed random graphs (Newman et al.; the paper's ODBASE'04 reference):
+/// ci >= 0 signals the emergence of a giant (strongly) connected component;
+/// while ci < 0 the mediation layer cannot be globally interoperable.
+double ConnectivityIndicator(const std::vector<std::pair<int, int>>& degrees);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SELFORG_CONNECTIVITY_H_

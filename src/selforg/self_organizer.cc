@@ -1,0 +1,234 @@
+#include "selforg/self_organizer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "selforg/connectivity.h"
+
+namespace gridvine {
+
+SelfOrganizer::SelfOrganizer(GridVineNetwork* net, Options options)
+    : net_(net), options_(options), rng_(options.seed) {}
+
+void SelfOrganizer::RegisterSchemaOwner(const std::string& schema,
+                                        size_t peer_idx) {
+  owners_[schema] = peer_idx;
+}
+
+size_t SelfOrganizer::OwnerOf(const std::string& schema) const {
+  auto it = owners_.find(schema);
+  return it == owners_.end() ? 0 : it->second;
+}
+
+MappingGraph SelfOrganizer::BuildGraphView() {
+  MappingGraph graph;
+  for (const auto& [schema, owner] : owners_) {
+    graph.AddSchema(schema);
+    auto mappings = net_->FetchMappingsFor(owner, schema);
+    if (!mappings.ok()) continue;
+    for (const auto& m : *mappings) graph.AddMapping(m);
+  }
+  return graph;
+}
+
+Status SelfOrganizer::PublishAllDegrees() {
+  MappingGraph graph = BuildGraphView();
+  for (const auto& [schema, owner] : owners_) {
+    GV_RETURN_NOT_OK(net_->PublishDegree(owner, options_.domain, schema,
+                                         graph.InDegree(schema),
+                                         graph.OutDegree(schema)));
+  }
+  return Status::OK();
+}
+
+Result<double> SelfOrganizer::ComputeIndicator() {
+  size_t reader = owners_.empty() ? 0 : owners_.begin()->second;
+  auto records = net_->FetchDomainDegrees(reader, options_.domain);
+  if (!records.ok()) return records.status();
+  if (records->empty()) {
+    return Status::NotFound("connectivity registry empty for domain " +
+                            options_.domain);
+  }
+  std::vector<std::pair<int, int>> degrees;
+  degrees.reserve(records->size());
+  for (const auto& rec : *records) {
+    degrees.emplace_back(rec.in_degree, rec.out_degree);
+  }
+  return ConnectivityIndicator(degrees);
+}
+
+AttributeMatcher::ValueSets SelfOrganizer::SampleValueSets(
+    const Schema& schema) {
+  AttributeMatcher::ValueSets sets;
+  size_t issuer = OwnerOf(schema.name());
+  for (const auto& attr : schema.AttributeUris()) {
+    TriplePatternQuery q(
+        "o", TriplePattern(Term::Var("s"), Term::Uri(attr), Term::Var("o")));
+    auto res = net_->SearchFor(issuer, q);
+    if (!res.status.ok()) continue;
+    std::set<std::string>& values = sets[attr];
+    for (const auto& item : res.items) {
+      if (int(values.size()) >= options_.value_sample_limit) break;
+      values.insert(item.value.value());
+    }
+  }
+  return sets;
+}
+
+std::set<std::string> SelfOrganizer::SampleSubjects(const Schema& schema) {
+  std::set<std::string> subjects;
+  size_t issuer = OwnerOf(schema.name());
+  for (const auto& attr : schema.AttributeUris()) {
+    TriplePatternQuery q(
+        "s", TriplePattern(Term::Var("s"), Term::Uri(attr), Term::Var("o")));
+    auto res = net_->SearchFor(issuer, q);
+    if (!res.status.ok()) continue;
+    for (const auto& item : res.items) {
+      if (int(subjects.size()) >= options_.value_sample_limit) break;
+      subjects.insert(item.value.value());
+    }
+  }
+  return subjects;
+}
+
+std::vector<std::pair<std::string, std::string>>
+SelfOrganizer::SelectCandidatePairs(const MappingGraph& graph, int count) {
+  // Instance evidence: schemas sharing subject references are describing the
+  // same entities (the paper's "shared references to the same protein
+  // sequence"), making them prime mapping candidates.
+  std::map<std::string, std::set<std::string>> subjects;
+  std::map<std::string, Schema> schemas;
+  for (const auto& [name, owner] : owners_) {
+    auto schema = net_->FetchSchema(owner, name);
+    if (!schema.ok()) continue;
+    schemas[name] = *schema;
+    subjects[name] = SampleSubjects(*schema);
+  }
+
+  struct Candidate {
+    std::string a, b;
+    size_t shared;
+  };
+  std::vector<Candidate> candidates;
+  for (auto ia = schemas.begin(); ia != schemas.end(); ++ia) {
+    for (auto ib = std::next(ia); ib != schemas.end(); ++ib) {
+      const std::string& a = ia->first;
+      const std::string& b = ib->first;
+      // Skip pairs already linked by an active mapping in either direction.
+      bool linked = false;
+      for (const auto& m : graph.MappingsFrom(a)) {
+        if (m.target_schema() == b) linked = true;
+      }
+      for (const auto& m : graph.MappingsFrom(b)) {
+        if (m.target_schema() == a) linked = true;
+      }
+      if (linked) continue;
+      size_t shared = 0;
+      for (const auto& s : subjects[a]) shared += subjects[b].count(s);
+      candidates.push_back(Candidate{a, b, shared});
+    }
+  }
+  // Highest shared-reference count first; shuffle equals for tie-breaking.
+  rng_.Shuffle(&candidates);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& x, const Candidate& y) {
+                     return x.shared > y.shared;
+                   });
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& c : candidates) {
+    if (int(out.size()) >= count) break;
+    out.emplace_back(c.a, c.b);
+  }
+  return out;
+}
+
+Result<SchemaMapping> SelfOrganizer::CreateMapping(const std::string& source,
+                                                   const std::string& target) {
+  auto src = net_->FetchSchema(OwnerOf(source), source);
+  if (!src.ok()) return src.status();
+  auto dst = net_->FetchSchema(OwnerOf(target), target);
+  if (!dst.ok()) return dst.status();
+
+  AttributeMatcher matcher(options_.matcher);
+  auto correspondences = matcher.Match(*src, *dst, SampleValueSets(*src),
+                                       SampleValueSets(*dst));
+  if (correspondences.empty()) {
+    return Status::NotFound("no attribute correspondences found between " +
+                            source + " and " + target);
+  }
+  SchemaMapping m("auto-" + source + "-" + target + "-" +
+                      std::to_string(next_mapping_seq_++),
+                  source, target);
+  m.set_provenance(MappingProvenance::kAutomatic);
+  m.set_bidirectional(true);  // attribute alignments are symmetric evidence
+  double score_sum = 0;
+  for (const auto& c : correspondences) {
+    GV_RETURN_NOT_OK(m.AddCorrespondence(c.source_attr_uri, c.target_attr_uri));
+    score_sum += c.score;
+  }
+  m.set_confidence(score_sum / double(correspondences.size()));
+  GV_RETURN_NOT_OK(net_->InsertMapping(OwnerOf(source), m));
+  return m;
+}
+
+SelfOrganizer::RoundReport SelfOrganizer::RunRound() {
+  RoundReport report;
+
+  // Step 1+2: publish degrees, read the indicator back from the registry.
+  PublishAllDegrees().ok();
+  auto ci = ComputeIndicator();
+  report.ci_before = ci.ok() ? *ci : 0.0;
+
+  // Step 3: create mappings while the mediation layer is under-connected.
+  // ci < 0 is the paper's criterion; a schema with no mappings at all is a
+  // degenerate under-connected case the indicator alone cannot flag (an
+  // all-zero degree sequence gives ci = 0).
+  MappingGraph pre_graph = BuildGraphView();
+  bool has_isolated_schema = false;
+  for (const auto& schema : pre_graph.Schemas()) {
+    if (pre_graph.InDegree(schema) + pre_graph.OutDegree(schema) == 0) {
+      has_isolated_schema = true;
+      break;
+    }
+  }
+  if (!ci.ok() || *ci < 0 || has_isolated_schema) {
+    MappingGraph graph = std::move(pre_graph);
+    for (const auto& [a, b] :
+         SelectCandidatePairs(graph, options_.creations_per_round)) {
+      auto created = CreateMapping(a, b);
+      if (created.ok()) {
+        ++report.mappings_created;
+        report.created_ids.push_back(created->id());
+      }
+    }
+  }
+
+  // Step 4: assess automatic mappings; deprecate the bad ones.
+  MappingGraph graph = BuildGraphView();
+  MappingAssessor assessor(options_.assessor);
+  auto assessment = assessor.Assess(graph);
+  for (const auto& [id, posterior] : assessment.posterior) {
+    if (posterior >= options_.deprecate_below) continue;
+    auto m = graph.Get(id);
+    if (!m.ok()) continue;
+    SchemaMapping deprecated = *m;
+    deprecated.set_deprecated(true);
+    deprecated.set_confidence(posterior);
+    if (net_->UpsertMapping(OwnerOf(deprecated.source_schema()), deprecated)
+            .ok()) {
+      ++report.mappings_deprecated;
+      report.deprecated_ids.push_back(id);
+    }
+  }
+
+  // Refresh the registry and report the post-round state.
+  PublishAllDegrees().ok();
+  auto ci_after = ComputeIndicator();
+  report.ci_after = ci_after.ok() ? *ci_after : 0.0;
+  MappingGraph final_graph = BuildGraphView();
+  report.scc_fraction_after = final_graph.LargestSccFraction();
+  report.active_mappings = final_graph.active_mapping_count();
+  return report;
+}
+
+}  // namespace gridvine

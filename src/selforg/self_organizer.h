@@ -1,0 +1,113 @@
+#ifndef GRIDVINE_SELFORG_SELF_ORGANIZER_H_
+#define GRIDVINE_SELFORG_SELF_ORGANIZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gridvine/gridvine_network.h"
+#include "mapping/mapping_graph.h"
+#include "selforg/attribute_matcher.h"
+#include "selforg/mapping_assessor.h"
+
+namespace gridvine {
+
+/// Drives the self-organization loop of paper Section 3 over a live GridVine
+/// deployment:
+///
+///   1. every schema owner publishes its (in, out) degrees to Hash(domain);
+///   2. the connectivity indicator ci is derived from the registry;
+///   3. while ci < 0 (no giant component), additional mappings are created
+///      automatically: a schema pair is selected (preferring pairs sharing
+///      instance references, i.e. schemas describing the same entities), the
+///      attributes are aligned with lexical + value-set measures, and the
+///      mapping is inserted into the network;
+///   4. the Bayesian cycle analysis assesses automatic mappings and
+///      deprecates those whose posterior correctness falls below threshold,
+///      making room for new mapping paths.
+///
+/// Each RunRound() performs one such round. All state flows through the DHT
+/// (schema/mapping/degree records) exactly as individual peers would do it;
+/// the organizer itself holds only the owner assignment (which peer is
+/// responsible for which schema).
+class SelfOrganizer {
+ public:
+  struct Options {
+    std::string domain = "bio";
+    /// Matcher configuration for automatic mapping creation.
+    AttributeMatcher::Options matcher;
+    /// Assessor configuration for deprecation.
+    MappingAssessor::Options assessor;
+    /// Mappings created per round while ci < 0.
+    int creations_per_round = 2;
+    /// Posterior below which an automatic mapping is deprecated.
+    double deprecate_below = 0.45;
+    /// How many object values per attribute are sampled for the set-distance
+    /// measure (queries the live network).
+    int value_sample_limit = 64;
+    /// Reformulation hops used when sampling attribute values.
+    uint64_t seed = 42;
+  };
+
+  SelfOrganizer(GridVineNetwork* net, Options options);
+
+  /// Declares that `peer_idx` owns (stores/publishes) `schema`.
+  void RegisterSchemaOwner(const std::string& schema, size_t peer_idx);
+
+  /// Publishes current degrees for every registered schema (step 1).
+  Status PublishAllDegrees();
+
+  /// Crawls the mediation layer through the DHT: domain registry ->
+  /// schema list -> per-schema mapping records. Returns the graph view.
+  MappingGraph BuildGraphView();
+
+  /// The connectivity indicator from the *registry* (what peers actually
+  /// see), not from an omniscient graph.
+  Result<double> ComputeIndicator();
+
+  struct RoundReport {
+    double ci_before = 0;
+    double ci_after = 0;
+    double scc_fraction_after = 0;
+    size_t mappings_created = 0;
+    size_t mappings_deprecated = 0;
+    size_t active_mappings = 0;
+    std::vector<std::string> created_ids;
+    std::vector<std::string> deprecated_ids;
+  };
+
+  /// One full self-organization round (steps 1-4).
+  RoundReport RunRound();
+
+  /// Automatic mapping creation between two specific schemas (step 3's
+  /// inner operation; exposed for tests and ablations).
+  Result<SchemaMapping> CreateMapping(const std::string& source,
+                                      const std::string& target);
+
+  /// Samples the value sets of every attribute of `schema` by querying the
+  /// live network.
+  AttributeMatcher::ValueSets SampleValueSets(const Schema& schema);
+
+  /// Selects up to `count` disconnected-ish schema pairs to map, preferring
+  /// pairs that share instance references (co-described subjects).
+  std::vector<std::pair<std::string, std::string>> SelectCandidatePairs(
+      const MappingGraph& graph, int count);
+
+  size_t OwnerOf(const std::string& schema) const;
+
+ private:
+  /// Subjects observed under any attribute of `schema` (instance sample).
+  std::set<std::string> SampleSubjects(const Schema& schema);
+
+  GridVineNetwork* net_;
+  Options options_;
+  Rng rng_;
+  std::map<std::string, size_t> owners_;
+  uint64_t next_mapping_seq_ = 1;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SELFORG_SELF_ORGANIZER_H_

@@ -1,0 +1,33 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+
+namespace gridvine {
+
+bool ChurnModel::IsPinned(NodeId id) const {
+  return std::find(options_.pinned.begin(), options_.pinned.end(), id) !=
+         options_.pinned.end();
+}
+
+void ChurnModel::Start() {
+  running_ = true;
+  for (NodeId id = 0; id < network_->size(); ++id) {
+    if (IsPinned(id)) continue;
+    ScheduleNext(id, /*currently_alive=*/true);
+  }
+}
+
+void ChurnModel::ScheduleNext(NodeId id, bool currently_alive) {
+  double mean = currently_alive ? options_.mean_session_seconds
+                                : options_.mean_downtime_seconds;
+  double delay = rng_.Exponential(1.0 / std::max(mean, 1e-9));
+  sim_->Schedule(delay, [this, id, currently_alive]() {
+    if (!running_) return;
+    bool next_alive = !currently_alive;
+    network_->SetAlive(id, next_alive);
+    ++transitions_;
+    ScheduleNext(id, next_alive);
+  });
+}
+
+}  // namespace gridvine

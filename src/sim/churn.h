@@ -1,0 +1,53 @@
+#ifndef GRIDVINE_SIM_CHURN_H_
+#define GRIDVINE_SIM_CHURN_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace gridvine {
+
+/// Drives peer churn: alternates each managed node between online sessions
+/// and offline gaps with exponentially distributed durations, the standard
+/// model for P2P membership dynamics. P-Grid's replica sets σ(p) are what
+/// keep lookups succeeding under this process (tested in integration tests).
+class ChurnModel {
+ public:
+  struct Options {
+    double mean_session_seconds = 600.0;
+    double mean_downtime_seconds = 60.0;
+    /// Nodes never taken down (e.g. the experiment's query issuers).
+    std::vector<NodeId> pinned;
+  };
+
+  ChurnModel(Simulator* sim, Network* network, Rng rng, Options options)
+      : sim_(sim), network_(network), rng_(rng), options_(options) {}
+
+  /// Starts the on/off process for every currently registered node. Each node
+  /// begins alive and is first taken down after a full session duration.
+  void Start();
+
+  /// Stops scheduling further transitions (already scheduled ones still fire
+  /// but become no-ops).
+  void Stop() { running_ = false; }
+
+  uint64_t transitions() const { return transitions_; }
+
+ private:
+  bool IsPinned(NodeId id) const;
+  void ScheduleNext(NodeId id, bool currently_alive);
+
+  Simulator* sim_;
+  Network* network_;
+  Rng rng_;
+  Options options_;
+  bool running_ = false;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SIM_CHURN_H_

@@ -1,0 +1,52 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace gridvine {
+
+Network::Network(Simulator* sim, std::unique_ptr<LatencyModel> latency,
+                 Rng rng, double loss_probability)
+    : sim_(sim),
+      latency_(std::move(latency)),
+      rng_(rng),
+      loss_probability_(loss_probability) {}
+
+NodeId Network::AddNode(NetworkNode* node) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeSlot{node, true});
+  return id;
+}
+
+void Network::SetAlive(NodeId id, bool alive) {
+  if (id < nodes_.size()) nodes_[id].alive = alive;
+}
+
+bool Network::IsAlive(NodeId id) const {
+  return id < nodes_.size() && nodes_[id].alive;
+}
+
+void Network::Send(NodeId from, NodeId to,
+                   std::shared_ptr<const MessageBody> body) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += body->SizeBytes();
+  ++stats_.messages_by_type[body->TypeTag()];
+
+  if (!IsAlive(from) || to >= nodes_.size() || !nodes_[to].alive ||
+      (loss_probability_ > 0 && rng_.Bernoulli(loss_probability_))) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  SimTime delay = latency_->Sample(&rng_);
+  sim_->Schedule(delay, [this, from, to, body = std::move(body)]() {
+    // Liveness re-checked at delivery time: the node may have died in flight.
+    if (to < nodes_.size() && nodes_[to].alive) {
+      ++stats_.messages_delivered;
+      nodes_[to].node->OnMessage(from, body);
+    } else {
+      ++stats_.messages_dropped;
+    }
+  });
+}
+
+}  // namespace gridvine

@@ -1,0 +1,101 @@
+#ifndef GRIDVINE_SIM_NETWORK_H_
+#define GRIDVINE_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/latency.h"
+#include "sim/simulator.h"
+
+namespace gridvine {
+
+/// Identifies a node (machine) on the simulated network.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Base class for all simulated message payloads. Payloads are passed by
+/// shared_ptr within the single simulation process; SizeBytes() lets the
+/// network account for (approximate) wire traffic without serializing.
+struct MessageBody {
+  virtual ~MessageBody() = default;
+  /// Approximate serialized size, for traffic accounting.
+  virtual size_t SizeBytes() const { return 64; }
+  /// Short type tag for tracing/statistics, e.g. "pgrid.retrieve".
+  virtual std::string TypeTag() const = 0;
+};
+
+/// A node attached to the network: receives messages delivered to its id.
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+  /// Invoked by the network when a message arrives (the node is alive).
+  virtual void OnMessage(NodeId from,
+                         std::shared_ptr<const MessageBody> body) = 0;
+};
+
+/// Cumulative traffic counters.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;  // destination dead or unknown
+  uint64_t bytes_sent = 0;
+  std::unordered_map<std::string, uint64_t> messages_by_type;
+};
+
+/// The simulated transport: point-to-point delivery with sampled latency and
+/// optional loss; respects node liveness (churn). The network plays the role
+/// of the "Internet layer" in the paper's Figure 1.
+class Network {
+ public:
+  /// `loss_probability` drops each message independently (default lossless).
+  Network(Simulator* sim, std::unique_ptr<LatencyModel> latency, Rng rng,
+          double loss_probability = 0.0);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node under a fresh id; the node starts alive.
+  /// The caller retains ownership of `node`, which must outlive the network.
+  NodeId AddNode(NetworkNode* node);
+
+  /// Marks a node up/down (churn). Messages to a down node are dropped;
+  /// a down node sends nothing.
+  void SetAlive(NodeId id, bool alive);
+  bool IsAlive(NodeId id) const;
+
+  /// Sends `body` from `from` to `to`. Delivery is scheduled after a sampled
+  /// latency; the message is dropped if either endpoint is dead at send time
+  /// or the destination is dead at delivery time (no error feedback, like
+  /// UDP — timeouts are the caller's job).
+  void Send(NodeId from, NodeId to, std::shared_ptr<const MessageBody> body);
+
+  /// Number of registered nodes (alive or not).
+  size_t size() const { return nodes_.size(); }
+
+  Simulator* sim() { return sim_; }
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats(); }
+
+ private:
+  struct NodeSlot {
+    NetworkNode* node = nullptr;
+    bool alive = true;
+  };
+
+  Simulator* sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  double loss_probability_;
+  std::vector<NodeSlot> nodes_;
+  NetworkStats stats_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SIM_NETWORK_H_

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace gridvine {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+size_t Simulator::Run(size_t max_events) {
+  size_t ran = 0;
+  while (!queue_.empty() && ran < max_events) {
+    // Move the event out before popping: fn may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+size_t Simulator::RunUntil(SimTime t) {
+  size_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  if (now_ < t) now_ = t;
+  return ran;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,68 @@
+#ifndef GRIDVINE_SIM_SIMULATOR_H_
+#define GRIDVINE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gridvine {
+
+/// Simulated wall-clock time in seconds.
+using SimTime = double;
+
+/// Single-threaded discrete-event scheduler. All network traffic, timers and
+/// periodic maintenance in GridVine run as events on one Simulator, which
+/// makes experiments deterministic and lets us measure latencies in simulated
+/// seconds regardless of host speed.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (clamped to >= 0).
+  void Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `t` (clamped to >= Now()).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Runs events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events executed.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  /// Runs events with firing time <= `t`, then advances the clock to `t`
+  /// (unless the queue drained earlier at a later time). Returns events run.
+  size_t RunUntil(SimTime t);
+
+  /// Number of pending events.
+  size_t pending() const { return queue_.size(); }
+
+  /// Total events executed over the simulator's lifetime.
+  size_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SIM_SIMULATOR_H_

@@ -1,0 +1,109 @@
+#include "store/binding_codec.h"
+
+namespace gridvine {
+
+namespace {
+
+constexpr char kRowSep = '\x1e';
+constexpr char kUnitSep = '\x1f';
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == kRowSep || c == kUnitSep) out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+char KindTag(TermKind kind) {
+  switch (kind) {
+    case TermKind::kUri:
+      return 'U';
+    case TermKind::kLiteral:
+      return 'L';
+    case TermKind::kVariable:
+      return 'V';
+  }
+  return '?';
+}
+
+Result<Term> MakeTerm(char tag, std::string value) {
+  switch (tag) {
+    case 'U':
+      return Term::Uri(std::move(value));
+    case 'L':
+      return Term::Literal(std::move(value));
+    case 'V':
+      return Term::Var(std::move(value));
+    default:
+      return Status::Corruption(std::string("bad term tag: ") + tag);
+  }
+}
+
+}  // namespace
+
+std::string SerializeBindings(const std::vector<BindingSet>& rows) {
+  std::string out;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out.push_back(kRowSep);
+    bool first = true;
+    for (const auto& [var, term] : rows[r]) {
+      if (!first) out.push_back(kUnitSep);
+      first = false;
+      out += Escape(var);
+      out.push_back('=');
+      out.push_back(KindTag(term.kind()));
+      out.push_back(':');
+      out += Escape(term.value());
+    }
+  }
+  return out;
+}
+
+Result<std::vector<BindingSet>> ParseBindings(const std::string& data) {
+  std::vector<BindingSet> rows;
+  if (data.empty()) return rows;
+
+  // Split on unescaped separators while unescaping in one pass.
+  BindingSet cur_row;
+  std::string cur_unit;
+  bool escaped = false;
+  auto flush_unit = [&]() -> Status {
+    if (cur_unit.empty()) return Status::Corruption("empty binding unit");
+    size_t eq = cur_unit.find('=');
+    if (eq == std::string::npos || cur_unit.size() < eq + 3 ||
+        cur_unit[eq + 2] != ':') {
+      return Status::Corruption("malformed binding unit: " + cur_unit);
+    }
+    GV_ASSIGN_OR_RETURN(
+        Term t, MakeTerm(cur_unit[eq + 1], cur_unit.substr(eq + 3)));
+    cur_row[cur_unit.substr(0, eq)] = std::move(t);
+    cur_unit.clear();
+    return Status::OK();
+  };
+
+  for (char c : data) {
+    if (escaped) {
+      cur_unit.push_back(c);
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == kUnitSep) {
+      GV_RETURN_NOT_OK(flush_unit());
+    } else if (c == kRowSep) {
+      GV_RETURN_NOT_OK(flush_unit());
+      rows.push_back(std::move(cur_row));
+      cur_row.clear();
+    } else {
+      cur_unit.push_back(c);
+    }
+  }
+  if (escaped) return Status::Corruption("dangling escape");
+  GV_RETURN_NOT_OK(flush_unit());
+  rows.push_back(std::move(cur_row));
+  return rows;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,22 @@
+#ifndef GRIDVINE_STORE_BINDING_CODEC_H_
+#define GRIDVINE_STORE_BINDING_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "store/triple_store.h"
+
+namespace gridvine {
+
+/// Serializes binding rows for the wire (query responses). Format, per row:
+/// "var=K:value" units joined by '\x1f', rows joined by '\x1e'. Values are
+/// escaped ('\\' before '\x1e', '\x1f', '\\').
+std::string SerializeBindings(const std::vector<BindingSet>& rows);
+
+/// Inverse of SerializeBindings.
+Result<std::vector<BindingSet>> ParseBindings(const std::string& data);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_STORE_BINDING_CODEC_H_

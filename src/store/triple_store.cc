@@ -1,0 +1,185 @@
+#include "store/triple_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gridvine {
+
+Status TripleStore::Insert(const Triple& t) {
+  GV_RETURN_NOT_OK(t.Validate());
+  if (present_.count(t)) return Status::OK();  // idempotent
+  uint32_t id = static_cast<uint32_t>(triples_.size());
+  triples_.push_back(t);
+  live_.push_back(true);
+  present_.insert(t);
+  by_subject_.emplace(t.subject().value(), id);
+  by_predicate_.emplace(t.predicate().value(), id);
+  by_object_.emplace(t.object().value(), id);
+  ++live_count_;
+  return Status::OK();
+}
+
+bool TripleStore::Erase(const Triple& t) {
+  if (!present_.count(t)) return false;
+  present_.erase(t);
+  // Tombstone the slot; index entries pointing at dead slots are skipped on
+  // scan. Index cleanup is lazy (Clear rebuilds), which keeps Erase O(k)
+  // in the subject fan-out instead of touching three indexes.
+  auto range = by_subject_.equal_range(t.subject().value());
+  for (auto it = range.first; it != range.second; ++it) {
+    uint32_t id = it->second;
+    if (live_[id] && triples_[id] == t) {
+      live_[id] = false;
+      --live_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TripleStore::Contains(const Triple& t) const { return present_.count(t); }
+
+void TripleStore::Clear() {
+  triples_.clear();
+  live_.clear();
+  present_.clear();
+  by_subject_.clear();
+  by_predicate_.clear();
+  by_object_.clear();
+  live_count_ = 0;
+}
+
+std::vector<uint32_t> TripleStore::CandidateIds(
+    const TriplePattern& pattern) const {
+  // Pick the smallest applicable exact index.
+  const std::unordered_multimap<std::string, uint32_t>* index = nullptr;
+  const std::string* key = nullptr;
+  size_t best = SIZE_MAX;
+  auto consider = [&](TriplePos pos,
+                      const std::unordered_multimap<std::string, uint32_t>& m) {
+    if (!pattern.IsExactConstant(pos)) return;
+    const std::string& v = pattern.at(pos).value();
+    size_t n = m.count(v);
+    if (n < best) {
+      best = n;
+      index = &m;
+      key = &v;
+    }
+  };
+  consider(TriplePos::kSubject, by_subject_);
+  consider(TriplePos::kPredicate, by_predicate_);
+  consider(TriplePos::kObject, by_object_);
+
+  std::vector<uint32_t> ids;
+  if (index != nullptr) {
+    auto range = index->equal_range(*key);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (live_[it->second]) ids.push_back(it->second);
+    }
+  } else {
+    for (uint32_t id = 0; id < triples_.size(); ++id) {
+      if (live_[id]) ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+std::vector<Triple> TripleStore::Select(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  for (uint32_t id : CandidateIds(pattern)) {
+    if (pattern.Matches(triples_[id])) out.push_back(triples_[id]);
+  }
+  return out;
+}
+
+std::vector<BindingSet> TripleStore::MatchPattern(
+    const TriplePattern& pattern) const {
+  std::vector<BindingSet> out;
+  for (const Triple& t : Select(pattern)) {
+    BindingSet b;
+    for (TriplePos pos :
+         {TriplePos::kSubject, TriplePos::kPredicate, TriplePos::kObject}) {
+      if (pattern.at(pos).IsVariable()) {
+        b[pattern.at(pos).value()] = t.at(pos);
+      }
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<Term> TripleStore::Project(const std::vector<BindingSet>& bindings,
+                                       const std::string& var) const {
+  std::set<Term> seen;
+  for (const BindingSet& b : bindings) {
+    auto it = b.find(var);
+    if (it != b.end()) seen.insert(it->second);
+  }
+  return std::vector<Term>(seen.begin(), seen.end());
+}
+
+std::vector<BindingSet> TripleStore::Join(const std::vector<BindingSet>& left,
+                                          const std::vector<BindingSet>& right) {
+  if (left.empty() || right.empty()) return {};
+  // Shared variables from the first rows (all rows of one side share keys).
+  std::vector<std::string> shared;
+  for (const auto& [var, _] : left[0]) {
+    if (right[0].count(var)) shared.push_back(var);
+  }
+
+  auto join_key = [&shared](const BindingSet& b) {
+    std::string key;
+    for (const auto& var : shared) {
+      const Term& t = b.at(var);
+      key += std::to_string(int(t.kind()));
+      key += ':';
+      key += t.value();
+      key += '\x1f';
+    }
+    return key;
+  };
+
+  std::unordered_multimap<std::string, const BindingSet*> hashed;
+  for (const BindingSet& b : right) hashed.emplace(join_key(b), &b);
+
+  std::vector<BindingSet> out;
+  for (const BindingSet& l : left) {
+    auto range = hashed.equal_range(join_key(l));
+    for (auto it = range.first; it != range.second; ++it) {
+      BindingSet merged = l;
+      for (const auto& [var, term] : *it->second) merged[var] = term;
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+std::vector<Term> TripleStore::DistinctPredicates() const {
+  std::set<Term> seen;
+  for (uint32_t id = 0; id < triples_.size(); ++id) {
+    if (live_[id]) seen.insert(triples_[id].predicate());
+  }
+  return std::vector<Term>(seen.begin(), seen.end());
+}
+
+std::set<std::string> TripleStore::ObjectValuesFor(
+    const std::string& predicate_uri) const {
+  std::set<std::string> out;
+  auto range = by_predicate_.equal_range(predicate_uri);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (live_[it->second]) out.insert(triples_[it->second].object().value());
+  }
+  return out;
+}
+
+std::vector<Triple> TripleStore::All() const {
+  std::vector<Triple> out;
+  out.reserve(live_count_);
+  for (uint32_t id = 0; id < triples_.size(); ++id) {
+    if (live_[id]) out.push_back(triples_[id]);
+  }
+  return out;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,84 @@
+#ifndef GRIDVINE_STORE_TRIPLE_STORE_H_
+#define GRIDVINE_STORE_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple.h"
+#include "rdf/triple_pattern.h"
+
+namespace gridvine {
+
+/// One set of variable bindings produced by pattern matching, e.g.
+/// {x -> <gv://.../seq1>}. Ordered map so join keys are canonical.
+using BindingSet = std::map<std::string, Term>;
+
+/// The local database DB_p of a GridVine peer (paper Section 2.2): a triple
+/// relation with physical schema (subject, predicate, object) and hash
+/// indexes on each attribute, supporting the three relational operators the
+/// paper names — selection σ (with SQL-LIKE '%' patterns on literals),
+/// projection π, and (self-)join ⋈.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Inserts a triple; duplicates are ignored. Fails on invalid triples.
+  Status Insert(const Triple& t);
+
+  /// Removes a triple; true if it was present.
+  bool Erase(const Triple& t);
+
+  bool Contains(const Triple& t) const;
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+  void Clear();
+
+  /// Selection σ: all triples matching the pattern's constants. Uses the
+  /// most selective exact-constant index and filters the remainder
+  /// (including '%' LIKE predicates on literal objects).
+  std::vector<Triple> Select(const TriplePattern& pattern) const;
+
+  /// Pattern matching: σ followed by binding extraction for the pattern's
+  /// variables — the building block for π and ⋈.
+  std::vector<BindingSet> MatchPattern(const TriplePattern& pattern) const;
+
+  /// Projection π: the values bound to `var`, deduplicated, sorted.
+  std::vector<Term> Project(const std::vector<BindingSet>& bindings,
+                            const std::string& var) const;
+
+  /// Natural join ⋈ of two binding lists on their shared variables (hash
+  /// join). With no shared variables this is a cross product.
+  static std::vector<BindingSet> Join(const std::vector<BindingSet>& left,
+                                      const std::vector<BindingSet>& right);
+
+  /// All distinct predicates present (used by schema/statistics code).
+  std::vector<Term> DistinctPredicates() const;
+
+  /// All distinct object values observed for `predicate` (used by the
+  /// set-distance attribute matcher).
+  std::set<std::string> ObjectValuesFor(const std::string& predicate_uri) const;
+
+  /// Whole content (stable iteration for serialization / tests).
+  std::vector<Triple> All() const;
+
+ private:
+  /// Scan candidates by an exact index, or everything.
+  std::vector<uint32_t> CandidateIds(const TriplePattern& pattern) const;
+
+  std::vector<Triple> triples_;          // slot list; erased slots tombstoned
+  std::vector<bool> live_;               // parallel to triples_
+  std::set<Triple> present_;             // dedup + Contains
+  std::unordered_multimap<std::string, uint32_t> by_subject_;
+  std::unordered_multimap<std::string, uint32_t> by_predicate_;
+  std::unordered_multimap<std::string, uint32_t> by_object_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_STORE_TRIPLE_STORE_H_

@@ -1,0 +1,135 @@
+#ifndef GRIDVINE_WORKLOAD_BIO_WORKLOAD_H_
+#define GRIDVINE_WORKLOAD_BIO_WORKLOAD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mapping/schema_mapping.h"
+#include "query/query.h"
+#include "rdf/triple.h"
+#include "schema/schema.h"
+
+namespace gridvine {
+
+/// Synthetic stand-in for the paper's EBI bioinformatic corpus (Section 4):
+/// `num_schemas` (default 50) protein/nucleotide-sequence schemas whose
+/// attributes are schema-specific *name variants* of a shared concept_name
+/// vocabulary (organism, accession, description, ...), plus entity data with
+/// *shared references*: each entity (a protein/nucleotide sequence with a
+/// global URI) is described under several schemas, with identical attribute
+/// values for the same concept_name.
+///
+/// The generator also emits the evaluation ground truth the demo relies on:
+/// which attribute realizes which concept_name (for mapping precision), correct
+/// pairwise mappings ("manual" mappings), deliberately erroneous mappings
+/// (for the Bayesian deprecation experiment), and per-query expected results
+/// (for recall).
+class BioWorkload {
+ public:
+  struct Options {
+    int num_schemas = 50;
+    /// Attributes per schema, sampled uniformly in [min, max] concepts.
+    int min_attrs = 6;
+    int max_attrs = 10;
+    int num_entities = 500;
+    /// Entities described by each schema (random subset; overlaps create the
+    /// shared references that drive candidate selection).
+    int entities_per_schema = 60;
+    /// Probability that a value is perturbed per (schema, entity, concept_name) —
+    /// makes value-set matching realistic rather than trivial.
+    double value_noise = 0.05;
+    std::string domain = "protein-sequences";
+    uint64_t seed = 42;
+  };
+
+  explicit BioWorkload(Options options);
+
+  const Options& options() const { return options_; }
+  const std::vector<Schema>& schemas() const { return schemas_; }
+
+  /// Concept realized by an attribute URI (ground truth), or "".
+  std::string ConceptOf(const std::string& attr_uri) const;
+
+  /// The attribute URI realizing `concept_name` in schema `schema_idx`, or "".
+  std::string AttributeFor(size_t schema_idx, const std::string& concept_name) const;
+
+  /// Triples emitted by schema `schema_idx` (one per described entity and
+  /// attribute).
+  const std::vector<Triple>& TriplesFor(size_t schema_idx) const {
+    return triples_[schema_idx];
+  }
+  size_t TotalTriples() const;
+
+  /// The entities described by a schema (global subject URIs).
+  const std::vector<std::string>& EntitiesOf(size_t schema_idx) const {
+    return schema_entities_[schema_idx];
+  }
+
+  /// The ground-truth ("manual") mapping between two schemas: every concept_name
+  /// they share becomes a correspondence. Bidirectional, confidence 1.
+  SchemaMapping GroundTruthMapping(size_t src_idx, size_t dst_idx,
+                                   const std::string& id) const;
+
+  /// An intentionally wrong mapping: correspondences pair attributes of
+  /// *different* concepts (used to test Bayesian deprecation).
+  SchemaMapping ErroneousMapping(size_t src_idx, size_t dst_idx,
+                                 const std::string& id, Rng* rng) const;
+
+  /// Fraction of `mapping`'s correspondences that link same-concept_name
+  /// attributes (mapping precision against ground truth).
+  double MappingPrecision(const SchemaMapping& mapping) const;
+
+  /// A generated evaluation query plus its global expected answer.
+  struct GeneratedQuery {
+    TriplePatternQuery query;
+    std::string concept_name;
+    std::string schema;
+    /// Entity URIs that match the constraint under ANY schema that realizes
+    /// the concept_name (what a fully interoperable network would return).
+    std::set<std::string> expected_subjects;
+  };
+
+  /// Builds a selective query against schema `schema_idx`: constrains a
+  /// random concept attribute with a '%'-pattern over a real value. Pass
+  /// `force_concept` (e.g. "organism", which every schema realizes) to pin
+  /// the queried concept.
+  GeneratedQuery MakeQuery(size_t schema_idx, Rng* rng,
+                           const std::string& force_concept = "") const;
+
+  /// Recall of a result set (distinct subject URIs found) against a query's
+  /// global expected answer; 1.0 when nothing was expected.
+  static double Recall(const GeneratedQuery& gq,
+                       const std::set<std::string>& found_subjects);
+
+  /// Concept vocabulary (canonical names).
+  static std::vector<std::string> ConceptNames();
+
+ private:
+  struct Concept {
+    std::string name;
+    std::vector<std::string> variants;
+    std::vector<std::string> value_pool;
+  };
+
+  static std::vector<Concept> BuildVocabulary();
+  std::string ValueFor(size_t entity_idx, const Concept& concept_name, Rng* rng);
+
+  Options options_;
+  std::vector<Concept> vocabulary_;
+  std::vector<Schema> schemas_;
+  /// schema idx -> concept_name name -> local attribute name.
+  std::vector<std::map<std::string, std::string>> schema_concepts_;
+  std::map<std::string, std::string> attr_to_concept_;
+  std::vector<std::string> entity_uris_;
+  /// entity idx -> concept_name -> canonical value.
+  std::vector<std::map<std::string, std::string>> entity_profiles_;
+  std::vector<std::vector<std::string>> schema_entities_;
+  std::vector<std::vector<Triple>> triples_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_WORKLOAD_BIO_WORKLOAD_H_

@@ -1,0 +1,95 @@
+#include "selforg/attribute_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(AttributeMatcherTest, IdenticalNormalizedNamesScoreHigh) {
+  AttributeMatcher m;
+  // organism_name vs OrganismName normalize identically.
+  double s = m.Score("A#organism_name", "B#OrganismName", {}, {});
+  EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(AttributeMatcherTest, DissimilarNamesScoreLow) {
+  AttributeMatcher m;
+  EXPECT_LT(m.Score("A#Organism", "B#PubMedRef", {}, {}), 0.3);
+}
+
+TEST(AttributeMatcherTest, ValueOverlapBoostsScore) {
+  AttributeMatcher m;
+  AttributeMatcher::ValueSets a, b;
+  a["A#Species"] = {"Aspergillus niger", "Homo sapiens", "Mus musculus"};
+  b["B#TaxonName"] = {"Aspergillus niger", "Homo sapiens", "Mus musculus"};
+  double with_values = m.Score("A#Species", "B#TaxonName", a, b);
+  double without = m.Score("A#Species", "B#TaxonName", {}, {});
+  // "species" and "taxonname" are lexically unrelated; identical value sets
+  // must rescue the pair.
+  EXPECT_LT(without, 0.4);
+  EXPECT_GE(with_values, 0.5);
+  EXPECT_GT(with_values, without);
+}
+
+TEST(AttributeMatcherTest, DisjointValuesSuppressScore) {
+  AttributeMatcher m;
+  AttributeMatcher::ValueSets a, b;
+  a["A#Length"] = {"100", "200", "300"};
+  b["B#SeqLen"] = {"5061", "9606", "4932"};
+  // Lexical "length" vs "seqlen" is mediocre AND the values disagree.
+  EXPECT_LT(m.Score("A#Length", "B#SeqLen", a, b), 0.45);
+}
+
+TEST(AttributeMatcherTest, MatchIsOneToOneGreedy) {
+  Schema a("A", "d", {"Organism", "SequenceLength"});
+  Schema b("B", "d", {"OrganismName", "Length", "SeqLength"});
+  AttributeMatcher m;
+  auto corr = m.Match(a, b, {}, {});
+  // Organism -> OrganismName, SequenceLength -> SeqLength (best one-to-one).
+  ASSERT_EQ(corr.size(), 2u);
+  std::map<std::string, std::string> got;
+  for (const auto& c : corr) got[c.source_attr_uri] = c.target_attr_uri;
+  EXPECT_EQ(got["A#Organism"], "B#OrganismName");
+  EXPECT_EQ(got["A#SequenceLength"], "B#SeqLength");
+}
+
+TEST(AttributeMatcherTest, ThresholdFiltersWeakPairs) {
+  Schema a("A", "d", {"Organism"});
+  Schema b("B", "d", {"PubMedRef"});
+  AttributeMatcher strict(AttributeMatcher::Options{0.5, 0.5, 0.45});
+  EXPECT_TRUE(strict.Match(a, b, {}, {}).empty());
+  AttributeMatcher lax(AttributeMatcher::Options{0.5, 0.5, 0.0});
+  EXPECT_EQ(lax.Match(a, b, {}, {}).size(), 1u);
+}
+
+TEST(AttributeMatcherTest, ScoresAreSymmetricInNames) {
+  AttributeMatcher m;
+  EXPECT_DOUBLE_EQ(m.Score("A#GeneName", "B#Gene", {}, {}),
+                   m.Score("B#Gene", "A#GeneName", {}, {}));
+}
+
+TEST(AttributeMatcherTest, WeightsRenormalized) {
+  AttributeMatcher::Options opts;
+  opts.lexical_weight = 2.0;
+  opts.value_weight = 0.0;
+  AttributeMatcher m(opts);
+  AttributeMatcher::ValueSets a, b;
+  a["A#Organism"] = {"x"};
+  b["B#Organism"] = {"y"};
+  // Pure lexical despite value sets present (value weight 0): identical
+  // names -> 1.0.
+  EXPECT_DOUBLE_EQ(m.Score("A#Organism", "B#Organism", a, b), 1.0);
+}
+
+TEST(AttributeMatcherTest, DeterministicTieBreaking) {
+  Schema a("A", "d", {"x1"});
+  Schema b("B", "d", {"y1", "y2"});
+  AttributeMatcher m(AttributeMatcher::Options{0.5, 0.5, 0.0});
+  auto c1 = m.Match(a, b, {}, {});
+  auto c2 = m.Match(a, b, {}, {});
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0].target_attr_uri, c2[0].target_attr_uri);
+}
+
+}  // namespace
+}  // namespace gridvine

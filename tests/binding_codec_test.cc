@@ -1,0 +1,64 @@
+#include "store/binding_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(BindingCodecTest, RoundTripSingleRow) {
+  BindingSet row;
+  row["x"] = Term::Uri("embl:A78712");
+  row["y"] = Term::Literal("Aspergillus niger");
+  auto parsed = ParseBindings(SerializeBindings({row}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].at("x"), Term::Uri("embl:A78712"));
+  EXPECT_EQ((*parsed)[0].at("y"), Term::Literal("Aspergillus niger"));
+}
+
+TEST(BindingCodecTest, RoundTripMultipleRows) {
+  std::vector<BindingSet> rows;
+  for (int i = 0; i < 5; ++i) {
+    BindingSet row;
+    row["v"] = Term::Uri("id" + std::to_string(i));
+    rows.push_back(row);
+  }
+  auto parsed = ParseBindings(SerializeBindings(rows));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 5u);
+  EXPECT_EQ((*parsed)[4].at("v").value(), "id4");
+}
+
+TEST(BindingCodecTest, EmptyListRoundTrips) {
+  auto parsed = ParseBindings(SerializeBindings({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(BindingCodecTest, SeparatorCharactersEscaped) {
+  BindingSet row;
+  row["x"] = Term::Literal(std::string("a\x1e") + "b\x1f" + "c\\d");
+  auto parsed = ParseBindings(SerializeBindings({row}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].at("x").value(),
+            std::string("a\x1e") + "b\x1f" + "c\\d");
+}
+
+TEST(BindingCodecTest, VariableKindSurvives) {
+  BindingSet row;
+  row["x"] = Term::Var("inner");
+  auto parsed = ParseBindings(SerializeBindings({row}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE((*parsed)[0].at("x").IsVariable());
+}
+
+TEST(BindingCodecTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseBindings("no-equals-sign").ok());
+  EXPECT_FALSE(ParseBindings("x=Zvalue").ok());   // missing ':'
+  EXPECT_FALSE(ParseBindings("x=Q:value").ok());  // bad kind tag
+  EXPECT_FALSE(ParseBindings("x=U:v\\").ok());    // dangling escape
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -1,0 +1,155 @@
+#include "workload/bio_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gridvine {
+namespace {
+
+BioWorkload::Options SmallOptions() {
+  BioWorkload::Options o;
+  o.num_schemas = 8;
+  o.num_entities = 60;
+  o.entities_per_schema = 20;
+  o.min_attrs = 4;
+  o.max_attrs = 7;
+  o.value_noise = 0.0;
+  o.seed = 7;
+  return o;
+}
+
+TEST(BioWorkloadTest, GeneratesRequestedShape) {
+  BioWorkload w(SmallOptions());
+  EXPECT_EQ(w.schemas().size(), 8u);
+  for (size_t s = 0; s < w.schemas().size(); ++s) {
+    const Schema& schema = w.schemas()[s];
+    EXPECT_TRUE(schema.Validate().ok()) << schema.name();
+    EXPECT_GE(schema.attributes().size(), 4u);
+    EXPECT_LE(schema.attributes().size(), 7u);
+    // Organism concept always realized.
+    EXPECT_FALSE(w.AttributeFor(s, "organism").empty());
+    EXPECT_EQ(w.EntitiesOf(s).size(), 20u);
+    EXPECT_EQ(w.TriplesFor(s).size(), 20u * schema.attributes().size());
+  }
+  EXPECT_GT(w.TotalTriples(), 0u);
+}
+
+TEST(BioWorkloadTest, FiftySchemasHaveUniqueNames) {
+  BioWorkload::Options o = SmallOptions();
+  o.num_schemas = 50;
+  BioWorkload w(o);
+  std::set<std::string> names;
+  for (const auto& s : w.schemas()) names.insert(s.name());
+  EXPECT_EQ(names.size(), 50u);
+}
+
+TEST(BioWorkloadTest, DeterministicForSeed) {
+  BioWorkload a(SmallOptions());
+  BioWorkload b(SmallOptions());
+  EXPECT_EQ(a.schemas()[3].attributes(), b.schemas()[3].attributes());
+  EXPECT_EQ(a.TriplesFor(2), b.TriplesFor(2));
+}
+
+TEST(BioWorkloadTest, ConceptGroundTruthConsistent) {
+  BioWorkload w(SmallOptions());
+  for (size_t s = 0; s < w.schemas().size(); ++s) {
+    for (const auto& uri : w.schemas()[s].AttributeUris()) {
+      std::string c = w.ConceptOf(uri);
+      EXPECT_FALSE(c.empty()) << uri;
+      EXPECT_EQ(w.AttributeFor(s, c), uri);
+    }
+  }
+  EXPECT_EQ(w.ConceptOf("Nope#Nothing"), "");
+}
+
+TEST(BioWorkloadTest, SharedReferencesExistAcrossSchemas) {
+  BioWorkload w(SmallOptions());
+  // With 20 of 60 entities per schema, overlaps are essentially guaranteed.
+  std::set<std::string> s0(w.EntitiesOf(0).begin(), w.EntitiesOf(0).end());
+  size_t shared_with_any = 0;
+  for (size_t s = 1; s < w.schemas().size(); ++s) {
+    for (const auto& e : w.EntitiesOf(s)) {
+      if (s0.count(e)) {
+        ++shared_with_any;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(shared_with_any, 0u);
+}
+
+TEST(BioWorkloadTest, SameConceptSameValueAcrossSchemas) {
+  BioWorkload w(SmallOptions());  // noise = 0
+  // Find an entity described by schemas 0 and 1 with a shared concept.
+  std::set<std::string> s0(w.EntitiesOf(0).begin(), w.EntitiesOf(0).end());
+  for (const auto& t0 : w.TriplesFor(0)) {
+    std::string c = w.ConceptOf(t0.predicate().value());
+    std::string other_attr = w.AttributeFor(1, c);
+    if (other_attr.empty()) continue;
+    for (const auto& t1 : w.TriplesFor(1)) {
+      if (t1.subject() == t0.subject() &&
+          t1.predicate().value() == other_attr) {
+        EXPECT_EQ(t0.object().value(), t1.object().value())
+            << "entity " << t0.subject() << " concept " << c;
+      }
+    }
+  }
+}
+
+TEST(BioWorkloadTest, GroundTruthMappingIsPerfect) {
+  BioWorkload w(SmallOptions());
+  SchemaMapping m = w.GroundTruthMapping(0, 1, "gt-0-1");
+  EXPECT_GT(m.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.MappingPrecision(m), 1.0);
+  EXPECT_EQ(m.provenance(), MappingProvenance::kManual);
+  EXPECT_TRUE(m.bidirectional());
+}
+
+TEST(BioWorkloadTest, ErroneousMappingIsFullyWrong) {
+  BioWorkload w(SmallOptions());
+  Rng rng(3);
+  SchemaMapping m = w.ErroneousMapping(0, 1, "err-0-1", &rng);
+  ASSERT_GE(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.MappingPrecision(m), 0.0);
+  EXPECT_EQ(m.provenance(), MappingProvenance::kAutomatic);
+}
+
+TEST(BioWorkloadTest, QueriesHaveNonEmptyGroundTruth) {
+  BioWorkload w(SmallOptions());
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    size_t s = size_t(rng.UniformInt(0, 7));
+    auto gq = w.MakeQuery(s, &rng);
+    EXPECT_TRUE(gq.query.Validate().ok());
+    EXPECT_FALSE(gq.expected_subjects.empty())
+        << gq.query.ToString() << " (concept " << gq.concept_name << ")";
+    EXPECT_EQ(gq.schema, w.schemas()[s].name());
+    // The query's pattern constrains an attribute of the right schema.
+    EXPECT_EQ(Schema::SchemaOfUri(gq.query.pattern().predicate().value()),
+              gq.schema);
+  }
+}
+
+TEST(BioWorkloadTest, LocalMatchesAreSubsetOfExpected) {
+  BioWorkload w(SmallOptions());
+  Rng rng(11);
+  auto gq = w.MakeQuery(2, &rng);
+  // Evaluate the pattern over schema 2's own triples: every local match must
+  // be in the global expected set.
+  for (const auto& t : w.TriplesFor(2)) {
+    if (gq.query.pattern().Matches(t)) {
+      EXPECT_TRUE(gq.expected_subjects.count(t.subject().value()))
+          << t.ToString();
+    }
+  }
+}
+
+TEST(BioWorkloadTest, ConceptVocabularyIsStable) {
+  auto names = BioWorkload::ConceptNames();
+  EXPECT_GE(names.size(), 10u);
+  EXPECT_EQ(names[0], "organism");
+}
+
+}  // namespace
+}  // namespace gridvine

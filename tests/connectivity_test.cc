@@ -1,0 +1,57 @@
+#include "selforg/connectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(ConnectivityIndicatorTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(ConnectivityIndicator({}), 0.0);
+}
+
+TEST(ConnectivityIndicatorTest, DirectedRingIsExactlyCritical) {
+  // Every schema has in = out = 1: jk - k = 0 -> ci = 0, the phase
+  // transition point for the giant component.
+  std::vector<std::pair<int, int>> ring(10, {1, 1});
+  EXPECT_DOUBLE_EQ(ConnectivityIndicator(ring), 0.0);
+}
+
+TEST(ConnectivityIndicatorTest, ChainIsSubcritical) {
+  // A -> B -> C: A(0,1), B(1,1), C(1,0).
+  std::vector<std::pair<int, int>> chain = {{0, 1}, {1, 1}, {1, 0}};
+  EXPECT_LT(ConnectivityIndicator(chain), 0.0);
+  EXPECT_NEAR(ConnectivityIndicator(chain), -1.0 / 3.0, 1e-12);
+}
+
+TEST(ConnectivityIndicatorTest, DenselyCrossLinkedIsSupercritical) {
+  // Every schema has in = out = 2: jk - k = 4 - 2 = 2 > 0.
+  std::vector<std::pair<int, int>> dense(8, {2, 2});
+  EXPECT_DOUBLE_EQ(ConnectivityIndicator(dense), 2.0);
+}
+
+TEST(ConnectivityIndicatorTest, OutStarIsSubcritical) {
+  // Hub with out-degree 5, five leaves with in-degree 1 and nothing out:
+  // hub: 0*5-5 = -5; leaves: 1*0-0 = 0.
+  std::vector<std::pair<int, int>> star = {{0, 5}, {1, 0}, {1, 0},
+                                           {1, 0}, {1, 0}, {1, 0}};
+  EXPECT_NEAR(ConnectivityIndicator(star), -5.0 / 6.0, 1e-12);
+}
+
+TEST(ConnectivityIndicatorTest, IsolatedSchemasContributeZero) {
+  // Isolated nodes (0,0) contribute nothing but count in the mean, diluting
+  // positive contributions — more schemas require more mappings.
+  std::vector<std::pair<int, int>> g = {{2, 2}, {0, 0}, {0, 0}, {0, 0}};
+  EXPECT_DOUBLE_EQ(ConnectivityIndicator(g), 0.5);
+}
+
+TEST(ConnectivityIndicatorTest, MatchesGiantComponentEmergence) {
+  // Monotone: adding (2,2) nodes to a chain graph pushes ci over 0.
+  std::vector<std::pair<int, int>> g = {{0, 1}, {1, 1}, {1, 1}, {1, 0}};
+  double before = ConnectivityIndicator(g);
+  EXPECT_LT(before, 0.0);
+  for (int i = 0; i < 4; ++i) g.push_back({2, 2});
+  EXPECT_GT(ConnectivityIndicator(g), 0.0);
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -1,0 +1,393 @@
+#include "gridvine/gridvine_peer.h"
+
+#include <gtest/gtest.h>
+
+#include "gridvine/gridvine_network.h"
+
+namespace gridvine {
+namespace {
+
+Triple T(const std::string& s, const std::string& p, const std::string& o) {
+  return Triple(Term::Uri(s), Term::Uri(p), Term::Literal(o));
+}
+
+TriplePatternQuery OrganismQuery(const std::string& predicate,
+                                 const std::string& value) {
+  return TriplePatternQuery(
+      "x", TriplePattern(Term::Var("x"), Term::Uri(predicate),
+                         Term::Literal(value)));
+}
+
+/// 16-peer network with three bioinformatic schemas and data under each:
+///  EMBL#Organism, EMP#SystematicName, PDB#Species all describe organisms.
+class GridVineTest : public ::testing::Test {
+ protected:
+  GridVineTest() : net_(MakeOptions()) {}
+
+  static GridVineNetwork::Options MakeOptions() {
+    GridVineNetwork::Options o;
+    o.num_peers = 16;
+    o.key_depth = 12;
+    o.seed = 77;
+    o.latency = GridVineNetwork::LatencyKind::kConstant;
+    o.latency_param = 0.02;
+    o.peer.query_timeout = 5.0;
+    return o;
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(net_.InsertSchema(
+                        0, Schema("EMBL", "bio", {"Organism", "Length"}))
+                    .ok());
+    ASSERT_TRUE(
+        net_.InsertSchema(1, Schema("EMP", "bio", {"SystematicName"})).ok());
+    ASSERT_TRUE(net_.InsertSchema(2, Schema("PDB", "bio", {"Species"})).ok());
+
+    ASSERT_TRUE(
+        net_.InsertTriple(0, T("embl:A78712", "EMBL#Organism",
+                               "Aspergillus niger"))
+            .ok());
+    ASSERT_TRUE(
+        net_.InsertTriple(0, T("embl:A78767", "EMBL#Organism",
+                               "Aspergillus niger"))
+            .ok());
+    ASSERT_TRUE(
+        net_.InsertTriple(3, T("embl:B11111", "EMBL#Organism", "Penicillium"))
+            .ok());
+    ASSERT_TRUE(net_.InsertTriple(
+                        4, T("emp:NEN94295", "EMP#SystematicName",
+                             "Aspergillus niger"))
+                    .ok());
+    ASSERT_TRUE(net_.InsertTriple(
+                        5, T("pdb:1abc", "PDB#Species", "Aspergillus niger"))
+                    .ok());
+    ASSERT_TRUE(
+        net_.InsertTriple(0, T("embl:A78712", "EMBL#Length", "1204")).ok());
+  }
+
+  SchemaMapping EmblToEmp(bool bidirectional = false) {
+    SchemaMapping m("embl-emp", "EMBL", "EMP");
+    EXPECT_TRUE(
+        m.AddCorrespondence("EMBL#Organism", "EMP#SystematicName").ok());
+    m.set_bidirectional(bidirectional);
+    return m;
+  }
+
+  SchemaMapping EmpToPdb() {
+    SchemaMapping m("emp-pdb", "EMP", "PDB");
+    EXPECT_TRUE(m.AddCorrespondence("EMP#SystematicName", "PDB#Species").ok());
+    return m;
+  }
+
+  GridVineNetwork net_;
+};
+
+TEST_F(GridVineTest, TripleIndexedThreeTimes) {
+  // The triple must be stored under the hash of its subject, predicate and
+  // object — count peers holding it in their DB_p.
+  Triple t = T("embl:A78712", "EMBL#Organism", "Aspergillus niger");
+  size_t holders = 0;
+  for (size_t i = 0; i < net_.size(); ++i) {
+    if (net_.peer(i)->local_db().Contains(t)) ++holders;
+  }
+  EXPECT_GE(holders, 1u);
+  EXPECT_LE(holders, 3u);
+
+  // And the three index keys are each covered by some holder.
+  const auto& h = net_.peer(0)->hasher();
+  for (const auto& keyval :
+       {h("embl:A78712"), h("EMBL#Organism"), h("Aspergillus niger")}) {
+    bool covered = false;
+    for (size_t i = 0; i < net_.size(); ++i) {
+      if (net_.peer(i)->overlay()->IsResponsibleFor(keyval) &&
+          net_.peer(i)->local_db().Contains(t)) {
+        covered = true;
+      }
+    }
+    EXPECT_TRUE(covered) << keyval;
+  }
+}
+
+TEST_F(GridVineTest, SearchByPredicateWithLikePattern) {
+  auto res = net_.SearchFor(
+      7, OrganismQuery("EMBL#Organism", "%Aspergillus%"));
+  ASSERT_TRUE(res.status.ok()) << res.status;
+  EXPECT_EQ(res.items.size(), 2u);
+  for (const auto& item : res.items) {
+    EXPECT_EQ(item.schema, "EMBL");
+    EXPECT_EQ(item.mapping_path_len, 0);
+  }
+  EXPECT_EQ(res.schemas_answered, 1u);
+  EXPECT_GT(res.latency, 0.0);
+}
+
+TEST_F(GridVineTest, SearchBySubject) {
+  TriplePatternQuery q("o", TriplePattern(Term::Uri("embl:A78712"),
+                                          Term::Var("p"), Term::Var("o")));
+  auto res = net_.SearchFor(9, q);
+  ASSERT_TRUE(res.status.ok());
+  // Two triples with that subject: organism + length.
+  EXPECT_EQ(res.items.size(), 2u);
+}
+
+TEST_F(GridVineTest, SearchByExactObject) {
+  TriplePatternQuery q("x", TriplePattern(Term::Var("x"), Term::Var("p"),
+                                          Term::Literal("Penicillium")));
+  auto res = net_.SearchFor(11, q);
+  ASSERT_TRUE(res.status.ok());
+  ASSERT_EQ(res.items.size(), 1u);
+  EXPECT_EQ(res.items[0].value.value(), "embl:B11111");
+}
+
+TEST_F(GridVineTest, SearchNoMatchesIsEmptyNotError) {
+  auto res = net_.SearchFor(3, OrganismQuery("EMBL#Organism", "%Nothing%"));
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_TRUE(res.items.empty());
+  EXPECT_LT(res.first_result_latency, 0);  // sentinel: no results
+}
+
+TEST_F(GridVineTest, InvalidQueryRejected) {
+  TriplePatternQuery bad(
+      "z", TriplePattern(Term::Var("x"), Term::Uri("p"), Term::Var("y")));
+  auto res = net_.SearchFor(0, bad);
+  EXPECT_TRUE(res.status.IsInvalidArgument());
+}
+
+TEST_F(GridVineTest, FetchSchemaRoundTrip) {
+  auto schema = net_.FetchSchema(13, "EMP");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->name(), "EMP");
+  EXPECT_EQ(schema->attributes(),
+            std::vector<std::string>{"SystematicName"});
+  EXPECT_TRUE(net_.FetchSchema(13, "NOPE").status().IsNotFound());
+}
+
+TEST_F(GridVineTest, MappingStoredAtSourceKeySpace) {
+  ASSERT_TRUE(net_.InsertMapping(6, EmblToEmp()).ok());
+  auto at_src = net_.FetchMappingsFor(9, "EMBL");
+  ASSERT_TRUE(at_src.ok());
+  ASSERT_EQ(at_src->size(), 1u);
+  EXPECT_EQ((*at_src)[0].id(), "embl-emp");
+  // Unidirectional: nothing at the target key space.
+  auto at_dst = net_.FetchMappingsFor(9, "EMP");
+  ASSERT_TRUE(at_dst.ok());
+  EXPECT_TRUE(at_dst->empty());
+}
+
+TEST_F(GridVineTest, BidirectionalMappingStoredAtBothKeySpaces) {
+  ASSERT_TRUE(net_.InsertMapping(6, EmblToEmp(/*bidirectional=*/true)).ok());
+  auto at_src = net_.FetchMappingsFor(9, "EMBL");
+  auto at_dst = net_.FetchMappingsFor(9, "EMP");
+  ASSERT_TRUE(at_src.ok());
+  ASSERT_TRUE(at_dst.ok());
+  EXPECT_EQ(at_src->size(), 1u);
+  EXPECT_EQ(at_dst->size(), 1u);
+}
+
+TEST_F(GridVineTest, IterativeReformulationReachesSecondSchema) {
+  ASSERT_TRUE(net_.InsertMapping(6, EmblToEmp()).ok());
+  GridVinePeer::QueryOptions opts;
+  opts.reformulate = true;
+  opts.mode = ReformulationMode::kIterative;
+  auto res = net_.SearchFor(7, OrganismQuery("EMBL#Organism", "%Aspergillus%"),
+                            opts);
+  ASSERT_TRUE(res.status.ok());
+  // 2 EMBL sequences + 1 EMP entry (the paper's Figure 2 scenario).
+  EXPECT_EQ(res.items.size(), 3u);
+  size_t from_emp = 0;
+  for (const auto& item : res.items) {
+    if (item.schema == "EMP") {
+      ++from_emp;
+      EXPECT_EQ(item.mapping_path_len, 1);
+    }
+  }
+  EXPECT_EQ(from_emp, 1u);
+  EXPECT_EQ(res.reformulations, 1u);
+  EXPECT_EQ(res.schemas_answered, 2u);
+}
+
+TEST_F(GridVineTest, RecursiveReformulationReachesSecondSchema) {
+  ASSERT_TRUE(net_.InsertMapping(6, EmblToEmp()).ok());
+  GridVinePeer::QueryOptions opts;
+  opts.reformulate = true;
+  opts.mode = ReformulationMode::kRecursive;
+  opts.timeout = 3.0;
+  auto res = net_.SearchFor(7, OrganismQuery("EMBL#Organism", "%Aspergillus%"),
+                            opts);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_EQ(res.items.size(), 3u);
+  EXPECT_EQ(res.schemas_answered, 2u);
+}
+
+TEST_F(GridVineTest, ReformulationChainsAcrossThreeSchemas) {
+  ASSERT_TRUE(net_.InsertMapping(6, EmblToEmp()).ok());
+  ASSERT_TRUE(net_.InsertMapping(6, EmpToPdb()).ok());
+  for (auto mode :
+       {ReformulationMode::kIterative, ReformulationMode::kRecursive}) {
+    GridVinePeer::QueryOptions opts;
+    opts.reformulate = true;
+    opts.mode = mode;
+    opts.timeout = 4.0;
+    auto res = net_.SearchFor(
+        7, OrganismQuery("EMBL#Organism", "%Aspergillus%"), opts);
+    ASSERT_TRUE(res.status.ok());
+    EXPECT_EQ(res.items.size(), 4u) << "mode " << int(mode);
+    EXPECT_EQ(res.schemas_answered, 3u) << "mode " << int(mode);
+    bool saw_pdb = false;
+    for (const auto& item : res.items) {
+      if (item.schema == "PDB") {
+        saw_pdb = true;
+        EXPECT_EQ(item.mapping_path_len, 2);
+      }
+    }
+    EXPECT_TRUE(saw_pdb);
+  }
+}
+
+TEST_F(GridVineTest, BidirectionalMappingAnswersReverseQueries) {
+  ASSERT_TRUE(net_.InsertMapping(6, EmblToEmp(/*bidirectional=*/true)).ok());
+  GridVinePeer::QueryOptions opts;
+  opts.reformulate = true;
+  // Query posed against EMP; data in EMBL reachable via the reverse mapping.
+  auto res = net_.SearchFor(
+      8, OrganismQuery("EMP#SystematicName", "%Aspergillus%"), opts);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_EQ(res.items.size(), 3u);
+}
+
+TEST_F(GridVineTest, DeprecatedMappingIsIgnored) {
+  auto m = EmblToEmp();
+  m.set_deprecated(true);
+  ASSERT_TRUE(net_.InsertMapping(6, m).ok());
+  GridVinePeer::QueryOptions opts;
+  opts.reformulate = true;
+  auto res = net_.SearchFor(7, OrganismQuery("EMBL#Organism", "%Aspergillus%"),
+                            opts);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_EQ(res.items.size(), 2u);  // EMBL only
+  EXPECT_EQ(res.reformulations, 0u);
+}
+
+TEST_F(GridVineTest, UpsertMappingDeprecationPropagates) {
+  ASSERT_TRUE(net_.InsertMapping(6, EmblToEmp()).ok());
+  auto m = EmblToEmp();
+  m.set_deprecated(true);
+  ASSERT_TRUE(net_.UpsertMapping(4, m).ok());
+
+  auto fetched = net_.FetchMappingsFor(9, "EMBL");
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->size(), 1u);
+  EXPECT_TRUE((*fetched)[0].deprecated());
+
+  GridVinePeer::QueryOptions opts;
+  opts.reformulate = true;
+  auto res = net_.SearchFor(7, OrganismQuery("EMBL#Organism", "%Aspergillus%"),
+                            opts);
+  EXPECT_EQ(res.items.size(), 2u);
+}
+
+TEST_F(GridVineTest, RemoveTripleMakesItUnfindable) {
+  Triple t = T("embl:B11111", "EMBL#Organism", "Penicillium");
+  ASSERT_TRUE(net_.RemoveTriple(2, t).ok());
+  auto res = net_.SearchFor(3, OrganismQuery("EMBL#Organism", "%Penicillium%"));
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_TRUE(res.items.empty());
+}
+
+TEST_F(GridVineTest, DegreeRegistryKeepsLatestVersion) {
+  ASSERT_TRUE(net_.PublishDegree(0, "bio", "EMBL", 1, 2).ok());
+  ASSERT_TRUE(net_.PublishDegree(1, "bio", "EMP", 0, 1).ok());
+  // Supersede EMBL's record.
+  ASSERT_TRUE(net_.PublishDegree(0, "bio", "EMBL", 3, 4).ok());
+
+  auto records = net_.FetchDomainDegrees(5, "bio");
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 2u);
+  for (const auto& rec : *records) {
+    if (rec.schema == "EMBL") {
+      EXPECT_EQ(rec.in_degree, 3);
+      EXPECT_EQ(rec.out_degree, 4);
+    } else {
+      EXPECT_EQ(rec.schema, "EMP");
+      EXPECT_EQ(rec.out_degree, 1);
+    }
+  }
+}
+
+TEST_F(GridVineTest, ConjunctiveQueryJoins) {
+  // ?x is an Aspergillus organism AND has length ?l.
+  ConjunctiveQuery q(
+      {"x", "l"},
+      {TriplePattern(Term::Var("x"), Term::Uri("EMBL#Organism"),
+                     Term::Literal("%Aspergillus%")),
+       TriplePattern(Term::Var("x"), Term::Uri("EMBL#Length"),
+                     Term::Var("l"))});
+  auto res = net_.SearchForConjunctive(10, q);
+  ASSERT_TRUE(res.status.ok()) << res.status;
+  ASSERT_EQ(res.rows.size(), 1u);
+  EXPECT_EQ(res.rows[0].at("x").value(), "embl:A78712");
+  EXPECT_EQ(res.rows[0].at("l").value(), "1204");
+}
+
+TEST_F(GridVineTest, ConjunctiveQueryEmptyJoinShortCircuits) {
+  ConjunctiveQuery q(
+      {"x"},
+      {TriplePattern(Term::Var("x"), Term::Uri("EMBL#Organism"),
+                     Term::Literal("%NoSuchOrganism%")),
+       TriplePattern(Term::Var("x"), Term::Uri("EMBL#Length"),
+                     Term::Var("l"))});
+  auto res = net_.SearchForConjunctive(10, q);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_TRUE(res.rows.empty());
+}
+
+TEST_F(GridVineTest, ResultsDeduplicated) {
+  // The same triple is reachable via several index keys, but SearchFor must
+  // not return duplicates.
+  auto res = net_.SearchFor(
+      7, OrganismQuery("EMBL#Organism", "Aspergillus niger"));
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_EQ(res.items.size(), 2u);
+}
+
+TEST_F(GridVineTest, SubsumptionSoundnessSemantics) {
+  // EMBL#Organism ⊑ EMP#SystematicName (every organism entry is a
+  // systematic-name entry, not vice versa), unidirectional.
+  auto sub = EmblToEmp();
+  sub.set_type(MappingType::kSubsumption);
+  ASSERT_TRUE(net_.InsertMapping(6, sub).ok());
+
+  // Query against EMP: specializing EMP -> EMBL is sound and available even
+  // though the mapping is not bidirectional.
+  GridVinePeer::QueryOptions sound;
+  sound.reformulate = true;
+  sound.sound_only = true;
+  auto from_emp = net_.SearchFor(
+      8, OrganismQuery("EMP#SystematicName", "%Aspergillus%"), sound);
+  ASSERT_TRUE(from_emp.status.ok());
+  EXPECT_EQ(from_emp.items.size(), 3u);  // 1 EMP + 2 EMBL
+
+  // Query against EMBL with sound_only: the generalizing direction is
+  // excluded, so only EMBL data comes back.
+  auto from_embl_sound = net_.SearchFor(
+      7, OrganismQuery("EMBL#Organism", "%Aspergillus%"), sound);
+  ASSERT_TRUE(from_embl_sound.status.ok());
+  EXPECT_EQ(from_embl_sound.items.size(), 2u);
+
+  // Without sound_only the generalizing reformulation runs and EMP's
+  // (possibly broader) answers are included.
+  GridVinePeer::QueryOptions loose;
+  loose.reformulate = true;
+  auto from_embl_loose = net_.SearchFor(
+      7, OrganismQuery("EMBL#Organism", "%Aspergillus%"), loose);
+  ASSERT_TRUE(from_embl_loose.status.ok());
+  EXPECT_EQ(from_embl_loose.items.size(), 3u);
+}
+
+TEST_F(GridVineTest, CountersTrack) {
+  net_.SearchFor(7, OrganismQuery("EMBL#Organism", "%a%"));
+  EXPECT_EQ(net_.peer(7)->counters().queries_issued, 1u);
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -1,0 +1,118 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gridvine {
+namespace {
+
+TEST(Fnv1aTest, KnownValuesAndDeterminism) {
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), Fnv1a64("a"));
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(UniformHashTest, ProducesRequestedDepth) {
+  EXPECT_EQ(UniformHash("hello", 16).length(), 16);
+  EXPECT_EQ(UniformHash("hello", 64).length(), 64);
+  EXPECT_EQ(UniformHash("hello", 100).length(), 100);
+  EXPECT_EQ(UniformHash("hello", 0).length(), 0);
+}
+
+TEST(UniformHashTest, Deterministic) {
+  EXPECT_EQ(UniformHash("x", 32), UniformHash("x", 32));
+}
+
+TEST(UniformHashTest, LongerDepthExtendsPrefix) {
+  Key short_key = UniformHash("foo", 16);
+  Key long_key = UniformHash("foo", 64);
+  EXPECT_TRUE(short_key.IsPrefixOf(long_key));
+}
+
+TEST(UniformHashTest, FirstBitRoughlyBalanced) {
+  int ones = 0;
+  const int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    if (UniformHash("item-" + std::to_string(i), 8).bit(0) == 1) ++ones;
+  }
+  EXPECT_GT(ones, kN / 2 - 150);
+  EXPECT_LT(ones, kN / 2 + 150);
+}
+
+TEST(OrderPreservingHashTest, DepthHonored) {
+  OrderPreservingHash h(20);
+  EXPECT_EQ(h("abc").length(), 20);
+  EXPECT_EQ(h("").length(), 20);
+}
+
+TEST(OrderPreservingHashTest, Deterministic) {
+  OrderPreservingHash h(24);
+  EXPECT_EQ(h("EMBL#Organism"), h("EMBL#Organism"));
+}
+
+TEST(OrderPreservingHashTest, PreservesOrderOnExamples) {
+  OrderPreservingHash h(32);
+  // Case-insensitive lexicographic order must map to key order.
+  std::vector<std::string> sorted = {"aardvark", "abacus",   "banana",
+                                     "bandana",  "cucumber", "zebra"};
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_TRUE(h(sorted[i]) < h(sorted[i + 1]) || h(sorted[i]) == h(sorted[i + 1]))
+        << sorted[i] << " vs " << sorted[i + 1];
+  }
+}
+
+TEST(OrderPreservingHashTest, SharedPrefixStringsShareKeyPrefix) {
+  OrderPreservingHash h(32);
+  Key a = h("protein_alpha");
+  Key b = h("protein_beta");
+  // 8 shared leading characters => a substantial shared key prefix.
+  EXPECT_GE(a.CommonPrefixLength(b), 8);
+}
+
+// Property: for randomly generated string pairs, order is preserved.
+class OrderPreservationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderPreservationPropertyTest, RandomPairsOrdered) {
+  OrderPreservingHash h(40);
+  Rng rng{uint64_t(GetParam())};
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz0123456789_#";
+  auto random_string = [&]() {
+    size_t len = size_t(rng.UniformInt(1, 18));
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s += alphabet[size_t(rng.UniformInt(0, int64_t(alphabet.size()) - 1))];
+    }
+    return s;
+  };
+  for (int i = 0; i < 500; ++i) {
+    std::string a = random_string();
+    std::string b = random_string();
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    // a < b lexicographically (all-lowercase alphabet) => hash(a) <= hash(b)
+    Key ka = h(a);
+    Key kb = h(b);
+    EXPECT_FALSE(kb < ka) << "order violated: '" << a << "' -> " << ka.bits()
+                          << " vs '" << b << "' -> " << kb.bits();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderPreservationPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(OrderPreservingHashTest, SkewedInputsProduceSkewedKeys) {
+  // Strings sharing a long prefix land close together: that is the expected
+  // skew that the adaptive trie must absorb (experiment E7).
+  OrderPreservingHash h(16);
+  Key a = h("EMBL#AccessionNumber");
+  Key b = h("EMBL#AccessionDate");
+  EXPECT_GE(a.CommonPrefixLength(b), 12);
+}
+
+}  // namespace
+}  // namespace gridvine

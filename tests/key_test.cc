@@ -1,0 +1,130 @@
+#include "common/key.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(KeyTest, EmptyKey) {
+  Key k;
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.length(), 0);
+  EXPECT_EQ(k.ToString(), "");
+  EXPECT_DOUBLE_EQ(k.ToFraction(), 0.0);
+}
+
+TEST(KeyTest, FromBitsAcceptsBinary) {
+  auto r = Key::FromBits("0110");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->length(), 4);
+  EXPECT_EQ(r->bit(0), 0);
+  EXPECT_EQ(r->bit(1), 1);
+  EXPECT_EQ(r->bit(2), 1);
+  EXPECT_EQ(r->bit(3), 0);
+}
+
+TEST(KeyTest, FromBitsRejectsNonBinary) {
+  EXPECT_TRUE(Key::FromBits("01x0").status().IsInvalidArgument());
+  EXPECT_TRUE(Key::FromBits("2").status().IsInvalidArgument());
+}
+
+TEST(KeyTest, FromUintProducesMsbFirst) {
+  EXPECT_EQ(Key::FromUint(0b101, 3).bits(), "101");
+  EXPECT_EQ(Key::FromUint(1, 4).bits(), "0001");
+  EXPECT_EQ(Key::FromUint(0, 2).bits(), "00");
+  EXPECT_EQ(Key::FromUint(0xFF, 8).bits(), "11111111");
+}
+
+TEST(KeyTest, FromUintClampsBitCount) {
+  EXPECT_EQ(Key::FromUint(1, -3).length(), 0);
+  EXPECT_EQ(Key::FromUint(1, 80).length(), 64);
+}
+
+TEST(KeyTest, WithBitAppends) {
+  Key k = Key::FromUint(0b10, 2);
+  EXPECT_EQ(k.WithBit(1).bits(), "101");
+  EXPECT_EQ(k.WithBit(0).bits(), "100");
+  EXPECT_EQ(k.bits(), "10");  // original untouched
+}
+
+TEST(KeyTest, PrefixClamps) {
+  Key k = Key::FromBits("110101").value();
+  EXPECT_EQ(k.Prefix(3).bits(), "110");
+  EXPECT_EQ(k.Prefix(0).bits(), "");
+  EXPECT_EQ(k.Prefix(100).bits(), "110101");
+  EXPECT_EQ(k.Prefix(-2).bits(), "");
+}
+
+TEST(KeyTest, WithFlippedBit) {
+  Key k = Key::FromBits("1010").value();
+  EXPECT_EQ(k.WithFlippedBit(0).bits(), "0010");
+  EXPECT_EQ(k.WithFlippedBit(3).bits(), "1011");
+}
+
+TEST(KeyTest, IsPrefixOf) {
+  Key root;
+  Key a = Key::FromBits("01").value();
+  Key b = Key::FromBits("0110").value();
+  EXPECT_TRUE(root.IsPrefixOf(a));
+  EXPECT_TRUE(root.IsPrefixOf(root));
+  EXPECT_TRUE(a.IsPrefixOf(b));
+  EXPECT_FALSE(b.IsPrefixOf(a));
+  EXPECT_TRUE(a.IsPrefixOf(a));
+  EXPECT_FALSE(Key::FromBits("10").value().IsPrefixOf(b));
+}
+
+TEST(KeyTest, CommonPrefixLength) {
+  Key a = Key::FromBits("0110").value();
+  Key b = Key::FromBits("0101").value();
+  EXPECT_EQ(a.CommonPrefixLength(b), 2);
+  EXPECT_EQ(a.CommonPrefixLength(a), 4);
+  EXPECT_EQ(a.CommonPrefixLength(Key()), 0);
+  EXPECT_EQ(Key::FromBits("10").value().CommonPrefixLength(a), 0);
+}
+
+TEST(KeyTest, ToFraction) {
+  EXPECT_DOUBLE_EQ(Key::FromBits("1").value().ToFraction(), 0.5);
+  EXPECT_DOUBLE_EQ(Key::FromBits("01").value().ToFraction(), 0.25);
+  EXPECT_DOUBLE_EQ(Key::FromBits("11").value().ToFraction(), 0.75);
+  EXPECT_DOUBLE_EQ(Key::FromBits("0000").value().ToFraction(), 0.0);
+}
+
+TEST(KeyTest, OrderingMatchesFraction) {
+  // Lexicographic bit order on equal-length keys == numeric order.
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t b = 0; b < 16; ++b) {
+      Key ka = Key::FromUint(a, 4);
+      Key kb = Key::FromUint(b, 4);
+      EXPECT_EQ(ka < kb, a < b) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(KeyTest, EqualityAndHash) {
+  Key a = Key::FromBits("0101").value();
+  Key b = Key::FromBits("0101").value();
+  Key c = Key::FromBits("01010").value();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(KeyHash()(a), KeyHash()(b));
+}
+
+// Property sweep: round trip FromUint → bits → FromBits for many widths.
+class KeyRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyRoundTripTest, FromUintBitsRoundTrip) {
+  int width = GetParam();
+  for (uint64_t v = 0; v < (uint64_t(1) << std::min(width, 10)); ++v) {
+    Key k = Key::FromUint(v, width);
+    EXPECT_EQ(k.length(), width);
+    auto parsed = Key::FromBits(k.bits());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KeyRoundTripTest,
+                         ::testing::Values(1, 2, 5, 8, 13, 16, 32, 64));
+
+}  // namespace
+}  // namespace gridvine

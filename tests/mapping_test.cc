@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "mapping/mapping_graph.h"
+#include "mapping/schema_mapping.h"
+
+namespace gridvine {
+namespace {
+
+SchemaMapping MakeMapping(const std::string& id, const std::string& src,
+                          const std::string& dst,
+                          bool bidirectional = false) {
+  SchemaMapping m(id, src, dst);
+  m.set_bidirectional(bidirectional);
+  EXPECT_TRUE(m.AddCorrespondence(src + "#Organism", dst + "#Organism").ok());
+  return m;
+}
+
+TEST(SchemaMappingTest, CorrespondenceValidation) {
+  SchemaMapping m("m1", "EMBL", "EMP");
+  EXPECT_TRUE(m.AddCorrespondence("EMBL#Organism", "EMP#SystematicName").ok());
+  EXPECT_TRUE(
+      m.AddCorrespondence("WRONG#Organism", "EMP#Name").IsInvalidArgument());
+  EXPECT_TRUE(
+      m.AddCorrespondence("EMBL#X", "WRONG#Name").IsInvalidArgument());
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SchemaMappingTest, MapAttributeBothDirections) {
+  SchemaMapping m("m1", "EMBL", "EMP");
+  ASSERT_TRUE(m.AddCorrespondence("EMBL#Organism", "EMP#SystematicName").ok());
+  EXPECT_EQ(*m.MapAttribute("EMBL#Organism"), "EMP#SystematicName");
+  EXPECT_FALSE(m.MapAttribute("EMBL#Missing").has_value());
+  EXPECT_EQ(*m.MapAttributeReverse("EMP#SystematicName"), "EMBL#Organism");
+  EXPECT_FALSE(m.MapAttributeReverse("EMP#Missing").has_value());
+}
+
+TEST(SchemaMappingTest, Reversed) {
+  SchemaMapping m("m1", "A", "B");
+  ASSERT_TRUE(m.AddCorrespondence("A#x", "B#y").ok());
+  m.set_confidence(0.8);
+  SchemaMapping r = m.Reversed();
+  EXPECT_EQ(r.source_schema(), "B");
+  EXPECT_EQ(r.target_schema(), "A");
+  EXPECT_EQ(*r.MapAttribute("B#y"), "A#x");
+  EXPECT_DOUBLE_EQ(r.confidence(), 0.8);
+}
+
+TEST(SchemaMappingTest, ComposeChainsCorrespondences) {
+  SchemaMapping ab("ab", "A", "B");
+  ASSERT_TRUE(ab.AddCorrespondence("A#x", "B#y").ok());
+  ASSERT_TRUE(ab.AddCorrespondence("A#u", "B#v").ok());
+  SchemaMapping bc("bc", "B", "C");
+  ASSERT_TRUE(bc.AddCorrespondence("B#y", "C#z").ok());
+  ab.set_confidence(0.9);
+  bc.set_confidence(0.8);
+
+  auto ac = ab.Compose(bc);
+  ASSERT_TRUE(ac.ok());
+  EXPECT_EQ(ac->source_schema(), "A");
+  EXPECT_EQ(ac->target_schema(), "C");
+  EXPECT_EQ(*ac->MapAttribute("A#x"), "C#z");
+  // A#u has no chain through bc: dropped.
+  EXPECT_FALSE(ac->MapAttribute("A#u").has_value());
+  EXPECT_NEAR(ac->confidence(), 0.72, 1e-9);
+
+  // Mismatched composition fails.
+  EXPECT_FALSE(bc.Compose(ab).ok());
+}
+
+TEST(SchemaMappingTest, ComposeWeakensTypeToSubsumption) {
+  SchemaMapping ab("ab", "A", "B");
+  ASSERT_TRUE(ab.AddCorrespondence("A#x", "B#y").ok());
+  SchemaMapping bc("bc", "B", "C");
+  ASSERT_TRUE(bc.AddCorrespondence("B#y", "C#z").ok());
+  bc.set_type(MappingType::kSubsumption);
+  auto ac = ab.Compose(bc);
+  ASSERT_TRUE(ac.ok());
+  EXPECT_EQ(ac->type(), MappingType::kSubsumption);
+}
+
+TEST(SchemaMappingTest, SerializeParseRoundTrip) {
+  SchemaMapping m("m-7", "EMBL", "EMP");
+  ASSERT_TRUE(m.AddCorrespondence("EMBL#Organism", "EMP#SystematicName").ok());
+  ASSERT_TRUE(m.AddCorrespondence("EMBL#Length", "EMP#SeqLength").ok());
+  m.set_type(MappingType::kSubsumption);
+  m.set_provenance(MappingProvenance::kAutomatic);
+  m.set_bidirectional(true);
+  m.set_deprecated(true);
+  m.set_confidence(0.625);
+
+  auto parsed = SchemaMapping::Parse(m.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->id(), "m-7");
+  EXPECT_EQ(parsed->source_schema(), "EMBL");
+  EXPECT_EQ(parsed->target_schema(), "EMP");
+  EXPECT_EQ(parsed->type(), MappingType::kSubsumption);
+  EXPECT_EQ(parsed->provenance(), MappingProvenance::kAutomatic);
+  EXPECT_TRUE(parsed->bidirectional());
+  EXPECT_TRUE(parsed->deprecated());
+  EXPECT_DOUBLE_EQ(parsed->confidence(), 0.625);
+  EXPECT_EQ(parsed->correspondences().size(), 2u);
+  EXPECT_EQ(*parsed->MapAttribute("EMBL#Organism"), "EMP#SystematicName");
+}
+
+TEST(SchemaMappingTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(SchemaMapping::Parse("junk").ok());
+  EXPECT_FALSE(SchemaMapping::Parse("schema|A|d|x").ok());
+  EXPECT_FALSE(
+      SchemaMapping::Parse("mapping|id|A|B|badtype|manual|0|0|1|").ok());
+  EXPECT_FALSE(
+      SchemaMapping::Parse("mapping|id|A|B|equiv|manual|0|0|xyz|").ok());
+  EXPECT_FALSE(
+      SchemaMapping::Parse("mapping|id|A|B|equiv|manual|0|0|1|no-arrow").ok());
+}
+
+// ---- MappingGraph ----------------------------------------------------------
+
+TEST(MappingGraphTest, DegreesAndCounts) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  g.AddMapping(MakeMapping("bc", "B", "C"));
+  g.AddMapping(MakeMapping("ca", "C", "A"));
+  EXPECT_EQ(g.schema_count(), 3u);
+  EXPECT_EQ(g.active_mapping_count(), 3u);
+  EXPECT_EQ(g.OutDegree("A"), 1);
+  EXPECT_EQ(g.InDegree("A"), 1);
+  g.AddMapping(MakeMapping("ab2", "A", "B"));
+  EXPECT_EQ(g.OutDegree("A"), 2);
+}
+
+TEST(MappingGraphTest, BidirectionalCountsBothWays) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B", /*bidirectional=*/true));
+  EXPECT_EQ(g.OutDegree("B"), 1);
+  EXPECT_EQ(g.InDegree("A"), 1);
+  auto from_b = g.MappingsFrom("B");
+  ASSERT_EQ(from_b.size(), 1u);
+  EXPECT_EQ(from_b[0].source_schema(), "B");
+  EXPECT_EQ(from_b[0].target_schema(), "A");
+}
+
+TEST(MappingGraphTest, DeprecationExcludesFromEverything) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  EXPECT_TRUE(g.Deprecate("ab"));
+  EXPECT_FALSE(g.Deprecate("missing"));
+  EXPECT_EQ(g.active_mapping_count(), 0u);
+  EXPECT_EQ(g.mapping_count(), 1u);
+  EXPECT_TRUE(g.MappingsFrom("A").empty());
+  EXPECT_EQ(g.OutDegree("A"), 0);
+  EXPECT_FALSE(g.FindPath("A", "B", 5).ok());
+}
+
+TEST(MappingGraphTest, FindPathShortest) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  g.AddMapping(MakeMapping("bc", "B", "C"));
+  g.AddMapping(MakeMapping("cd", "C", "D"));
+  g.AddMapping(MakeMapping("ad", "A", "D"));
+  auto path = g.FindPath("A", "D", 5);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);  // direct edge wins
+  EXPECT_EQ((*path)[0].id(), "ad");
+
+  auto path2 = g.FindPath("A", "C", 5);
+  ASSERT_TRUE(path2.ok());
+  EXPECT_EQ(path2->size(), 2u);
+
+  EXPECT_TRUE(g.FindPath("A", "C", 1).status().IsNotFound());
+  EXPECT_TRUE(g.FindPath("D", "A", 5).status().IsNotFound());
+  auto self = g.FindPath("A", "A", 5);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self->empty());
+}
+
+TEST(MappingGraphTest, FindPathUsesReversedBidirectional) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B", /*bidirectional=*/true));
+  auto path = g.FindPath("B", "A", 3);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0].source_schema(), "B");
+}
+
+TEST(MappingGraphTest, CyclesThroughMapping) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  g.AddMapping(MakeMapping("bc", "B", "C"));
+  g.AddMapping(MakeMapping("ca", "C", "A"));
+  g.AddMapping(MakeMapping("ba", "B", "A"));
+  auto cycles = g.CyclesThrough("ab", 4);
+  // ab->ba (len 2) and ab->bc->ca (len 3).
+  ASSERT_EQ(cycles.size(), 2u);
+  for (const auto& c : cycles) {
+    EXPECT_EQ(c.front(), "ab");
+  }
+  // Length cap: only the 2-cycle survives.
+  EXPECT_EQ(g.CyclesThrough("ab", 2).size(), 1u);
+  // Unknown mapping: none.
+  EXPECT_TRUE(g.CyclesThrough("zz", 4).empty());
+}
+
+TEST(MappingGraphTest, SccFractionAndConnectivity) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  g.AddMapping(MakeMapping("bc", "B", "C"));
+  // Chain: each schema its own SCC.
+  EXPECT_NEAR(g.LargestSccFraction(), 1.0 / 3.0, 1e-9);
+  EXPECT_FALSE(g.IsStronglyConnected());
+  g.AddMapping(MakeMapping("ca", "C", "A"));
+  EXPECT_DOUBLE_EQ(g.LargestSccFraction(), 1.0);
+  EXPECT_TRUE(g.IsStronglyConnected());
+}
+
+TEST(MappingGraphTest, IsolatedSchemaBreaksConnectivity) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B", true));
+  g.AddSchema("Lonely");
+  EXPECT_FALSE(g.IsStronglyConnected());
+  EXPECT_NEAR(g.LargestSccFraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MappingGraphTest, DegreeSequence) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  g.AddMapping(MakeMapping("ac", "A", "C"));
+  auto seq = g.DegreeSequence();
+  ASSERT_EQ(seq.size(), 3u);
+  int total_in = 0, total_out = 0;
+  for (auto [in, out] : seq) {
+    total_in += in;
+    total_out += out;
+  }
+  EXPECT_EQ(total_in, 2);
+  EXPECT_EQ(total_out, 2);
+}
+
+TEST(MappingGraphTest, RemoveMapping) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  EXPECT_TRUE(g.RemoveMapping("ab"));
+  EXPECT_FALSE(g.RemoveMapping("ab"));
+  EXPECT_EQ(g.mapping_count(), 0u);
+  // Schemas persist after mapping removal.
+  EXPECT_EQ(g.schema_count(), 2u);
+}
+
+TEST(MappingGraphTest, GetAndContains) {
+  MappingGraph g;
+  g.AddMapping(MakeMapping("ab", "A", "B"));
+  EXPECT_TRUE(g.Contains("ab"));
+  EXPECT_FALSE(g.Contains("xy"));
+  ASSERT_TRUE(g.Get("ab").ok());
+  EXPECT_TRUE(g.Get("xy").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace gridvine

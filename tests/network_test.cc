@@ -1,0 +1,189 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/churn.h"
+
+namespace gridvine {
+namespace {
+
+struct TestMsg : MessageBody {
+  explicit TestMsg(int v) : value(v) {}
+  int value;
+  std::string TypeTag() const override { return "test"; }
+  size_t SizeBytes() const override { return 10; }
+};
+
+class Recorder : public NetworkNode {
+ public:
+  void OnMessage(NodeId from, std::shared_ptr<const MessageBody> body) override {
+    received.push_back({from, dynamic_cast<const TestMsg*>(body.get())->value});
+  }
+  std::vector<std::pair<NodeId, int>> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : net_(&sim_, std::make_unique<ConstantLatency>(0.1), Rng(7)) {}
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversAfterLatency) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(42));
+  EXPECT_TRUE(b.received.empty());
+  sim_.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, ida);
+  EXPECT_EQ(b.received[0].second, 42);
+  EXPECT_DOUBLE_EQ(sim_.Now(), 0.1);
+}
+
+TEST_F(NetworkTest, SelfSendWorks) {
+  Recorder a;
+  NodeId ida = net_.AddNode(&a);
+  net_.Send(ida, ida, std::make_shared<TestMsg>(1));
+  sim_.Run();
+  EXPECT_EQ(a.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, DropsToDeadNode) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+  net_.SetAlive(idb, false);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));
+  sim_.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, DeadSenderSendsNothing) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+  net_.SetAlive(ida, false);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));
+  sim_.Run();
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST_F(NetworkTest, DropsIfNodeDiesInFlight) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));
+  // Kill the destination before the 0.1s delivery fires.
+  sim_.Schedule(0.05, [&] { net_.SetAlive(idb, false); });
+  sim_.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, RevivedNodeReceivesAgain) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+  net_.SetAlive(idb, false);
+  net_.SetAlive(idb, true);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(5));
+  sim_.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, StatsAccounting) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));
+  net_.Send(ida, idb, std::make_shared<TestMsg>(2));
+  sim_.Run();
+  EXPECT_EQ(net_.stats().messages_sent, 2u);
+  EXPECT_EQ(net_.stats().messages_delivered, 2u);
+  EXPECT_EQ(net_.stats().bytes_sent, 20u);
+  EXPECT_EQ(net_.stats().messages_by_type.at("test"), 2u);
+  const_cast<Network&>(net_).ResetStats();
+  EXPECT_EQ(net_.stats().messages_sent, 0u);
+}
+
+TEST(NetworkLossTest, LossyNetworkDropsSomeMessages) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(3),
+              /*loss_probability=*/0.5);
+  Recorder a, b;
+  NodeId ida = net.AddNode(&a);
+  NodeId idb = net.AddNode(&b);
+  for (int i = 0; i < 200; ++i) net.Send(ida, idb, std::make_shared<TestMsg>(i));
+  sim.Run();
+  EXPECT_GT(b.received.size(), 50u);
+  EXPECT_LT(b.received.size(), 150u);
+}
+
+TEST(LatencyModelTest, UniformWithinBounds) {
+  Rng rng(11);
+  UniformLatency lat(0.2, 0.4);
+  for (int i = 0; i < 100; ++i) {
+    double s = lat.Sample(&rng);
+    EXPECT_GE(s, 0.2);
+    EXPECT_LT(s, 0.4);
+  }
+}
+
+TEST(LatencyModelTest, WanLatencyAboveBase) {
+  Rng rng(11);
+  WanLatency lat(0.015);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double s = lat.Sample(&rng);
+    EXPECT_GT(s, 0.015);
+    sum += s;
+  }
+  // Mean one-way delay lands in a plausible WAN band.
+  EXPECT_GT(sum / 1000, 0.03);
+  EXPECT_LT(sum / 1000, 0.3);
+}
+
+TEST(ChurnTest, TogglesNodesOverTime) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(5));
+  std::vector<std::unique_ptr<Recorder>> nodes;
+  for (int i = 0; i < 20; ++i) {
+    nodes.push_back(std::make_unique<Recorder>());
+    net.AddNode(nodes.back().get());
+  }
+  ChurnModel::Options opts;
+  opts.mean_session_seconds = 10;
+  opts.mean_downtime_seconds = 5;
+  ChurnModel churn(&sim, &net, Rng(6), opts);
+  churn.Start();
+  sim.RunUntil(100);
+  churn.Stop();
+  EXPECT_GT(churn.transitions(), 20u);
+}
+
+TEST(ChurnTest, PinnedNodesStayAlive) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(5));
+  Recorder a;
+  NodeId ida = net.AddNode(&a);
+  ChurnModel::Options opts;
+  opts.mean_session_seconds = 1;
+  opts.mean_downtime_seconds = 1;
+  opts.pinned = {ida};
+  ChurnModel churn(&sim, &net, Rng(6), opts);
+  churn.Start();
+  sim.RunUntil(50);
+  EXPECT_TRUE(net.IsAlive(ida));
+  EXPECT_EQ(churn.transitions(), 0u);
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -1,0 +1,115 @@
+#include "mapping/path_materializer.h"
+
+#include <gtest/gtest.h>
+
+#include "query/reformulation.h"
+
+namespace gridvine {
+namespace {
+
+SchemaMapping Link(const std::string& id, const std::string& src,
+                   const std::string& dst, double confidence = 0.9) {
+  SchemaMapping m(id, src, dst);
+  m.set_provenance(MappingProvenance::kAutomatic);
+  m.set_confidence(confidence);
+  EXPECT_TRUE(m.AddCorrespondence(src + "#organism", dst + "#organism").ok());
+  EXPECT_TRUE(m.AddCorrespondence(src + "#length", dst + "#length").ok());
+  return m;
+}
+
+TEST(PathMaterializerTest, MaterializeChain) {
+  std::vector<SchemaMapping> path = {Link("ab", "A", "B"),
+                                     Link("bc", "B", "C"),
+                                     Link("cd", "C", "D")};
+  auto shortcut = PathMaterializer::MaterializePath(path);
+  ASSERT_TRUE(shortcut.ok()) << shortcut.status();
+  EXPECT_EQ(shortcut->id(), "shortcut-A-D");
+  EXPECT_EQ(shortcut->source_schema(), "A");
+  EXPECT_EQ(shortcut->target_schema(), "D");
+  EXPECT_EQ(*shortcut->MapAttribute("A#organism"), "D#organism");
+  EXPECT_EQ(shortcut->provenance(), MappingProvenance::kAutomatic);
+  EXPECT_NEAR(shortcut->confidence(), 0.9 * 0.9 * 0.9, 1e-9);
+}
+
+TEST(PathMaterializerTest, EmptyAndBrokenChainsFail) {
+  EXPECT_FALSE(PathMaterializer::MaterializePath({}).ok());
+  std::vector<SchemaMapping> broken = {Link("ab", "A", "B"),
+                                       Link("cd", "C", "D")};
+  EXPECT_FALSE(PathMaterializer::MaterializePath(broken).ok());
+}
+
+TEST(PathMaterializerTest, ShortcutEqualsChainedReformulation) {
+  std::vector<SchemaMapping> path = {Link("ab", "A", "B"),
+                                     Link("bc", "B", "C")};
+  auto shortcut = PathMaterializer::MaterializePath(path);
+  ASSERT_TRUE(shortcut.ok());
+  TriplePatternQuery q("x",
+                       TriplePattern(Term::Var("x"), Term::Uri("A#organism"),
+                                     Term::Literal("%x%")));
+  auto direct = Reformulate(q, *shortcut);
+  auto chained = ReformulateAlongPath(q, path);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(direct->pattern(), chained->pattern());
+}
+
+TEST(PathMaterializerTest, SelectsOnlyDistantPairs) {
+  MappingGraph g;
+  g.AddMapping(Link("ab", "A", "B"));
+  g.AddMapping(Link("bc", "B", "C"));
+  g.AddMapping(Link("cd", "C", "D"));
+  PathMaterializer::Options opts;
+  opts.min_path_len = 3;
+  PathMaterializer pm(opts);
+  auto shortcuts = pm.SelectAndMaterialize(g);
+  // Only A->D is 3 hops away.
+  ASSERT_EQ(shortcuts.size(), 1u);
+  EXPECT_EQ(shortcuts[0].id(), "shortcut-A-D");
+}
+
+TEST(PathMaterializerTest, RespectsShortcutCap) {
+  MappingGraph g;
+  // Chain of 8 schemas: many pairs at distance >= 3.
+  for (int i = 0; i < 7; ++i) {
+    g.AddMapping(Link("m" + std::to_string(i), "S" + std::to_string(i),
+                      "S" + std::to_string(i + 1)));
+  }
+  PathMaterializer::Options opts;
+  opts.min_path_len = 3;
+  opts.max_shortcuts = 3;
+  PathMaterializer pm(opts);
+  EXPECT_EQ(pm.SelectAndMaterialize(g).size(), 3u);
+}
+
+TEST(PathMaterializerTest, SkipsChainsWithNoSurvivingCorrespondences) {
+  // ab maps organism only; bc maps length only: composition is empty.
+  SchemaMapping ab("ab", "A", "B");
+  ab.AddCorrespondence("A#organism", "B#organism").ok();
+  SchemaMapping bc("bc", "B", "C");
+  bc.AddCorrespondence("B#length", "C#length").ok();
+  SchemaMapping cd("cd", "C", "D");
+  cd.AddCorrespondence("C#length", "D#length").ok();
+  MappingGraph g;
+  g.AddMapping(ab);
+  g.AddMapping(bc);
+  g.AddMapping(cd);
+  PathMaterializer::Options opts;
+  opts.min_path_len = 3;
+  PathMaterializer pm(opts);
+  EXPECT_TRUE(pm.SelectAndMaterialize(g).empty());
+}
+
+TEST(PathMaterializerTest, DeprecatedEdgesNotUsed) {
+  MappingGraph g;
+  g.AddMapping(Link("ab", "A", "B"));
+  g.AddMapping(Link("bc", "B", "C"));
+  g.AddMapping(Link("cd", "C", "D"));
+  g.Deprecate("bc");
+  PathMaterializer::Options opts;
+  opts.min_path_len = 3;
+  PathMaterializer pm(opts);
+  EXPECT_TRUE(pm.SelectAndMaterialize(g).empty());
+}
+
+}  // namespace
+}  // namespace gridvine

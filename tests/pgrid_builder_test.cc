@@ -1,0 +1,229 @@
+#include "pgrid/pgrid_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "pgrid/load_stats.h"
+#include "pgrid/pgrid_peer.h"
+
+namespace gridvine {
+namespace {
+
+struct Overlay {
+  explicit Overlay(size_t n, int key_depth = 10, uint64_t seed = 1)
+      : net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(seed)) {
+    PGridPeer::Options opts;
+    opts.key_depth = key_depth;
+    for (size_t i = 0; i < n; ++i) {
+      owned.push_back(
+          std::make_unique<PGridPeer>(&sim, &net, Rng(seed * 977 + i), opts));
+      peers.push_back(owned.back().get());
+    }
+  }
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<PGridPeer>> owned;
+  std::vector<PGridPeer*> peers;
+};
+
+TEST(PGridBuilderTest, BalancedCoversAllPaths) {
+  Overlay o(8);
+  Rng rng(3);
+  PGridBuilder::BuildBalanced(o.peers, &rng);
+  std::set<std::string> paths;
+  for (auto* p : o.peers) {
+    EXPECT_EQ(p->path().length(), 3);
+    paths.insert(p->path().bits());
+  }
+  EXPECT_EQ(paths.size(), 8u);
+}
+
+TEST(PGridBuilderTest, NonPowerOfTwoCreatesReplicas) {
+  Overlay o(10);  // depth 3, 8 leaves, 2 peers doubled up
+  Rng rng(3);
+  PGridBuilder::BuildBalanced(o.peers, &rng);
+  std::set<std::string> paths;
+  size_t replicas = 0;
+  for (auto* p : o.peers) {
+    paths.insert(p->path().bits());
+    replicas += p->routing()->replicas().size();
+  }
+  EXPECT_EQ(paths.size(), 8u);
+  EXPECT_EQ(replicas, 4u);  // two replica pairs, links both ways
+}
+
+TEST(PGridBuilderTest, RoutingRefsRespectInvariant) {
+  Overlay o(16);
+  Rng rng(3);
+  PGridBuilder::BuildBalanced(o.peers, &rng);
+  for (auto* p : o.peers) {
+    for (int level = 0; level < p->path().length(); ++level) {
+      for (NodeId ref : p->routing()->RefsAt(level)) {
+        const Key& other = o.peers[ref]->path();
+        // Ref must live in the complementary subtree at `level`.
+        EXPECT_EQ(other.CommonPrefixLength(p->path()), level);
+        EXPECT_NE(other.bit(level), p->path().bit(level));
+      }
+      EXPECT_GE(p->routing()->RefsAt(level).size(), 1u);
+    }
+  }
+}
+
+TEST(PGridBuilderTest, EveryKeyRoutableFromEveryPeer) {
+  Overlay o(32);
+  Rng rng(9);
+  PGridBuilder::BuildBalanced(o.peers, &rng);
+  // Walk greedy routing by hand for every (peer, key) pair.
+  Rng walk_rng(5);
+  for (auto* origin : o.peers) {
+    for (uint64_t k = 0; k < 32; ++k) {
+      Key key = Key::FromUint(k, 5);
+      PGridPeer* cur = origin;
+      int hops = 0;
+      while (!cur->IsResponsibleFor(key)) {
+        auto next = cur->routing()->NextHop(key, &walk_rng);
+        ASSERT_TRUE(next.has_value())
+            << "dead end from " << cur->path() << " toward " << key;
+        cur = o.peers[*next];
+        ASSERT_LE(++hops, 5) << "too many hops";
+      }
+      EXPECT_LE(hops, 5);
+    }
+  }
+}
+
+TEST(PGridBuilderTest, AdaptiveBalancesSkewedLoad) {
+  // Numeric strings occupy only the digit band of the order-preserving
+  // alphabet and are length-skewed, concentrating keys in a narrow region.
+  OrderPreservingHash h(16);
+  std::vector<Key> sample;
+  for (int i = 0; i < 2000; ++i) {
+    sample.push_back(h(std::to_string(i)));
+  }
+  Overlay balanced(32, /*key_depth=*/16), adaptive(32, /*key_depth=*/16);
+  Rng rng1(3), rng2(3);
+  PGridBuilder::BuildBalanced(balanced.peers, &rng1);
+  PGridBuilder::BuildAdaptive(adaptive.peers, sample, &rng2);
+
+  auto assign = [&](std::vector<PGridPeer*>& peers) {
+    for (const Key& k : sample) {
+      for (auto* p : peers) {
+        if (p->path().IsPrefixOf(k)) {
+          p->InsertLocal(k, "v");
+          break;
+        }
+      }
+    }
+  };
+  assign(balanced.peers);
+  assign(adaptive.peers);
+  LoadStats sb = ComputeLoadStats(balanced.peers);
+  LoadStats sa = ComputeLoadStats(adaptive.peers);
+  // The adaptive trie must spread the skewed keys far better.
+  EXPECT_LT(sa.gini, sb.gini);
+  EXPECT_LT(sa.max_over_mean, sb.max_over_mean);
+}
+
+TEST(PGridBuilderTest, AdaptivePathsCoverKeySpace) {
+  OrderPreservingHash h(10);
+  std::vector<Key> sample;
+  for (int i = 0; i < 500; ++i) {
+    sample.push_back(h("x" + std::to_string(i * i)));
+  }
+  Overlay o(20);
+  Rng rng(4);
+  PGridBuilder::BuildAdaptive(o.peers, sample, &rng);
+  // Coverage: every sample key must have exactly one responsible leaf path
+  // among distinct paths (plus replicas sharing it).
+  for (const Key& k : sample) {
+    std::set<std::string> responsible;
+    for (auto* p : o.peers) {
+      if (p->path().IsPrefixOf(k)) responsible.insert(p->path().bits());
+    }
+    EXPECT_EQ(responsible.size(), 1u) << "key " << k;
+  }
+}
+
+TEST(PGridBuilderTest, AdaptiveWithEmptySampleFallsBack) {
+  Overlay o(8);
+  Rng rng(4);
+  PGridBuilder::BuildAdaptive(o.peers, {}, &rng);
+  for (auto* p : o.peers) EXPECT_EQ(p->path().length(), 3);
+}
+
+TEST(PGridBuilderTest, SinglePeerOwnsEverything) {
+  Overlay o(1);
+  Rng rng(4);
+  PGridBuilder::BuildBalanced(o.peers, &rng);
+  EXPECT_EQ(o.peers[0]->path().length(), 0);
+  EXPECT_TRUE(o.peers[0]->IsResponsibleFor(Key::FromUint(5, 8)));
+}
+
+TEST(PGridBuilderTest, RebuildAfterBuildDropsStaleLinks) {
+  // Regression: rebuilding an already-wired overlay with different paths
+  // must not leave refs from the old topology behind (they violate the
+  // complementary-subtree invariant and cause routing loops).
+  OrderPreservingHash h(10);
+  std::vector<Key> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(h(std::to_string(i * 37)));
+  Overlay o(24, /*key_depth=*/10);
+  Rng rng(5);
+  PGridBuilder::BuildBalanced(o.peers, &rng);
+  PGridBuilder::BuildAdaptive(o.peers, sample, &rng);
+  for (auto* p : o.peers) {
+    for (int level = 0; level < p->path().length(); ++level) {
+      for (NodeId ref : p->routing()->RefsAt(level)) {
+        const Key& other = o.peers[ref]->path();
+        EXPECT_EQ(other.CommonPrefixLength(p->path()), level)
+            << p->path() << " -> " << other << " at level " << level;
+        EXPECT_NE(other.bit(level), p->path().bit(level));
+      }
+    }
+    for (NodeId rep : p->routing()->replicas()) {
+      EXPECT_EQ(o.peers[rep]->path(), p->path());
+    }
+  }
+  // Every sampled key must be routable from every 4th peer.
+  Rng walk_rng(9);
+  for (size_t i = 0; i < sample.size(); i += 25) {
+    PGridPeer* cur = o.peers[i % o.peers.size()];
+    int hops = 0;
+    while (!cur->IsResponsibleFor(sample[i])) {
+      auto next = cur->routing()->NextHop(sample[i], &walk_rng);
+      ASSERT_TRUE(next.has_value());
+      cur = o.peers[*next];
+      ASSERT_LE(++hops, 10);
+    }
+  }
+}
+
+TEST(LoadStatsTest, UniformLoadHasZeroGini) {
+  Overlay o(4);
+  for (auto* p : o.peers) {
+    p->SetPath(Key());
+    p->InsertLocal(UniformHash("k" + std::to_string(p->id()), 8), "v");
+  }
+  LoadStats s = ComputeLoadStats(o.peers);
+  EXPECT_EQ(s.total, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max_over_mean, 1.0);
+}
+
+TEST(LoadStatsTest, SkewedLoadHasPositiveGini) {
+  Overlay o(4);
+  for (int i = 0; i < 30; ++i) {
+    o.peers[0]->InsertLocal(Key::FromUint(uint64_t(i), 8), "v");
+  }
+  o.peers[1]->InsertLocal(Key::FromUint(200, 8), "v");
+  LoadStats s = ComputeLoadStats(o.peers);
+  EXPECT_GT(s.gini, 0.5);
+  EXPECT_GT(s.max_over_mean, 3.0);
+}
+
+}  // namespace
+}  // namespace gridvine

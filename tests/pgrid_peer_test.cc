@@ -1,0 +1,184 @@
+#include "pgrid/pgrid_peer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pgrid/pgrid_builder.h"
+
+namespace gridvine {
+namespace {
+
+Key K(const std::string& bits) { return Key::FromBits(bits).value(); }
+
+/// Fixture owning a small, manually wired 4-peer overlay over 2-bit paths:
+/// peers 0..3 own paths 00, 01, 10, 11.
+class PGridPeerTest : public ::testing::Test {
+ protected:
+  PGridPeerTest()
+      : net_(&sim_, std::make_unique<ConstantLatency>(0.05), Rng(42)) {
+    PGridPeer::Options opts;
+    opts.key_depth = 4;
+    opts.request_timeout = 2.0;
+    opts.max_retries = 1;
+    for (int i = 0; i < 4; ++i) {
+      peers_.push_back(
+          std::make_unique<PGridPeer>(&sim_, &net_, Rng(uint64_t(100 + i)), opts));
+    }
+    std::vector<PGridPeer*> raw;
+    for (auto& p : peers_) raw.push_back(p.get());
+    PGridBuilder::BuildBalanced(raw, &bootstrap_rng_, /*refs_per_level=*/2);
+  }
+
+  PGridPeer* peer(size_t i) { return peers_[i].get(); }
+
+  Simulator sim_;
+  Network net_;
+  Rng bootstrap_rng_{7};
+  std::vector<std::unique_ptr<PGridPeer>> peers_;
+};
+
+TEST_F(PGridPeerTest, PathsAssigned) {
+  EXPECT_EQ(peer(0)->path(), K("00"));
+  EXPECT_EQ(peer(1)->path(), K("01"));
+  EXPECT_EQ(peer(2)->path(), K("10"));
+  EXPECT_EQ(peer(3)->path(), K("11"));
+}
+
+TEST_F(PGridPeerTest, Responsibility) {
+  EXPECT_TRUE(peer(0)->IsResponsibleFor(K("0010")));
+  EXPECT_FALSE(peer(0)->IsResponsibleFor(K("0110")));
+  EXPECT_TRUE(peer(3)->IsResponsibleFor(K("1111")));
+  // Short key prefixing the path counts as in-subtree.
+  EXPECT_TRUE(peer(0)->IsResponsibleFor(K("0")));
+}
+
+TEST_F(PGridPeerTest, LocalUpdateAndRetrieve) {
+  bool done = false;
+  peer(0)->Update(K("0011"), "hello", [&](Result<PGridPeer::UpdateOutcome> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->hops, 0);
+    done = true;
+  });
+  EXPECT_TRUE(done);  // responsible locally: synchronous
+  bool got = false;
+  peer(0)->Retrieve(K("0011"), [&](Result<PGridPeer::LookupResult> r) {
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->values.size(), 1u);
+    EXPECT_EQ(r->values[0], "hello");
+    got = true;
+  });
+  EXPECT_TRUE(got);
+}
+
+TEST_F(PGridPeerTest, RemoteUpdateThenRemoteRetrieve) {
+  bool stored = false;
+  peer(0)->Update(K("1101"), "v-remote",
+                  [&](Result<PGridPeer::UpdateOutcome> r) {
+                    ASSERT_TRUE(r.ok()) << r.status();
+                    EXPECT_GE(r->hops, 1);
+                    stored = true;
+                  });
+  sim_.Run();
+  ASSERT_TRUE(stored);
+  // The responsible peer for prefix "11" now holds the entry.
+  EXPECT_EQ(peer(3)->StorageSize(), 1u);
+  EXPECT_EQ(peer(3)->storage().begin()->second, "v-remote");
+}
+
+TEST_F(PGridPeerTest, RetrieveFindsRemoteValue) {
+  peer(3)->InsertLocal(K("1101"), "stored-at-3");
+  bool got = false;
+  peer(0)->Retrieve(K("1101"), [&](Result<PGridPeer::LookupResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->values.size(), 1u);
+    EXPECT_EQ(r->values[0], "stored-at-3");
+    EXPECT_GE(r->hops, 1);
+    EXPECT_GT(r->rtt, 0.0);
+    got = true;
+  });
+  sim_.Run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(PGridPeerTest, PrefixRetrieveCollectsSubtree) {
+  peer(1)->InsertLocal(K("0100"), "a");
+  peer(1)->InsertLocal(K("0101"), "b");
+  peer(1)->InsertLocal(K("0111"), "c");
+  bool got = false;
+  peer(1)->Retrieve(K("010"), [&](Result<PGridPeer::LookupResult> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->values.size(), 2u);  // 0100 and 0101, not 0111
+    got = true;
+  });
+  EXPECT_TRUE(got);
+}
+
+TEST_F(PGridPeerTest, InsertIsIdempotent) {
+  peer(0)->InsertLocal(K("0000"), "x");
+  peer(0)->InsertLocal(K("0000"), "x");
+  peer(0)->InsertLocal(K("0000"), "y");
+  EXPECT_EQ(peer(0)->StorageSize(), 2u);
+}
+
+TEST_F(PGridPeerTest, RemoveDeletesRemotely) {
+  peer(3)->InsertLocal(K("1110"), "doomed");
+  bool removed = false;
+  peer(0)->Remove(K("1110"), "doomed", [&](Result<PGridPeer::UpdateOutcome> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    removed = true;
+  });
+  sim_.Run();
+  EXPECT_TRUE(removed);
+  EXPECT_EQ(peer(3)->StorageSize(), 0u);
+}
+
+TEST_F(PGridPeerTest, RetrieveTimesOutWhenRegionDead) {
+  net_.SetAlive(peer(3)->id(), false);
+  net_.SetAlive(peer(2)->id(), false);  // whole "1" subtree gone
+  bool failed = false;
+  peer(0)->Retrieve(K("1100"), [&](Result<PGridPeer::LookupResult> r) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsTimeout()) << r.status();
+    failed = true;
+  });
+  sim_.Run();
+  EXPECT_TRUE(failed);
+  EXPECT_GE(peer(0)->counters().timeouts, 1u);
+}
+
+TEST_F(PGridPeerTest, UpdateIsReplicatedToReplicaSet) {
+  // Make peer 2 a replica of peer 3 (same path).
+  peer(2)->SetPath(K("11"));
+  peer(3)->routing()->AddReplica(peer(2)->id());
+  bool done = false;
+  peer(0)->Update(K("1111"), "copied",
+                  [&](Result<PGridPeer::UpdateOutcome> r) {
+                    ASSERT_TRUE(r.ok()) << r.status();
+                    done = true;
+                  });
+  sim_.Run();
+  ASSERT_TRUE(done);
+  // Whichever of {2,3} handled it, the other must hold the replica copy.
+  EXPECT_EQ(peer(2)->StorageSize() + peer(3)->StorageSize(), 2u);
+}
+
+TEST_F(PGridPeerTest, EvictForeignEntries) {
+  peer(0)->InsertLocal(K("0000"), "mine");
+  peer(0)->InsertLocal(K("1100"), "foreign");
+  auto evicted = peer(0)->EvictForeignEntries();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].second, "foreign");
+  EXPECT_EQ(peer(0)->StorageSize(), 1u);
+}
+
+TEST_F(PGridPeerTest, CountersTrackTraffic) {
+  peer(3)->InsertLocal(K("1100"), "v");
+  peer(0)->Retrieve(K("1100"), [](Result<PGridPeer::LookupResult>) {});
+  sim_.Run();
+  EXPECT_EQ(peer(0)->counters().retrieves_issued, 1u);
+}
+
+}  // namespace
+}  // namespace gridvine

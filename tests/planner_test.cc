@@ -1,0 +1,81 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TriplePattern P(Term s, Term p, Term o) {
+  return TriplePattern(std::move(s), std::move(p), std::move(o));
+}
+
+TEST(ClassifyPatternTest, AllClasses) {
+  EXPECT_EQ(ClassifyPattern(P(Term::Uri("s"), Term::Var("p"), Term::Var("o"))),
+            PatternCost::kExactSubject);
+  EXPECT_EQ(ClassifyPattern(
+                P(Term::Var("s"), Term::Uri("p"), Term::Literal("exact"))),
+            PatternCost::kExactObject);
+  EXPECT_EQ(ClassifyPattern(P(Term::Var("s"), Term::Uri("p"), Term::Var("o"))),
+            PatternCost::kExactPredicate);
+  EXPECT_EQ(ClassifyPattern(
+                P(Term::Var("s"), Term::Var("p"), Term::Literal("abc%"))),
+            PatternCost::kRange);
+  EXPECT_EQ(ClassifyPattern(P(Term::Var("s"), Term::Var("p"), Term::Var("o"))),
+            PatternCost::kUnroutable);
+  // Leading wildcard: not a range.
+  EXPECT_EQ(ClassifyPattern(
+                P(Term::Var("s"), Term::Var("p"), Term::Literal("%abc"))),
+            PatternCost::kUnroutable);
+  // Wildcard literal with an exact predicate: predicate class.
+  EXPECT_EQ(ClassifyPattern(
+                P(Term::Var("s"), Term::Uri("p"), Term::Literal("%abc%"))),
+            PatternCost::kExactPredicate);
+}
+
+TEST(PlanConjunctiveTest, CheapestFirst) {
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Var("x"), Term::Uri("p1"), Term::Var("o")),       // predicate
+       P(Term::Uri("s"), Term::Uri("p2"), Term::Var("x")),       // subject
+       P(Term::Var("x"), Term::Uri("p3"), Term::Literal("v"))}); // object
+  auto order = PlanConjunctive(q);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // exact subject first
+  EXPECT_EQ(order[1], 2u);  // exact object second
+  EXPECT_EQ(order[2], 0u);  // predicate last
+}
+
+TEST(PlanConjunctiveTest, PrefersJoinConnectedPatterns) {
+  // p0 binds ?a; p1 is cheap (subject) but disconnected from ?a until p2
+  // runs; p2 is predicate-class but shares ?a.
+  ConjunctiveQuery q(
+      {"a"},
+      {P(Term::Uri("s0"), Term::Uri("p0"), Term::Var("a")),   // subject, ?a
+       P(Term::Uri("s1"), Term::Uri("p1"), Term::Var("b")),   // subject, ?b
+       P(Term::Var("a"), Term::Uri("p2"), Term::Var("b"))});  // joins both
+  auto order = PlanConjunctive(q);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);
+  // After p0, the connected pattern p2 (predicate class, connected) competes
+  // with p1 (subject class, NOT connected): connectivity wins.
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(PlanConjunctiveTest, StableForEqualRanks) {
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Var("x"), Term::Uri("p1"), Term::Var("o")),
+       P(Term::Var("x"), Term::Uri("p2"), Term::Var("o2"))});
+  auto order = PlanConjunctive(q);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1}));
+}
+
+TEST(PlanConjunctiveTest, SinglePattern) {
+  ConjunctiveQuery q({"x"},
+                     {P(Term::Var("x"), Term::Uri("p"), Term::Var("o"))});
+  EXPECT_EQ(PlanConjunctive(q), (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace gridvine

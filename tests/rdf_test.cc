@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/triple_pattern.h"
+
+namespace gridvine {
+namespace {
+
+TEST(TermTest, KindsAndAccessors) {
+  Term u = Term::Uri("EMBL#Organism");
+  Term l = Term::Literal("Aspergillus niger");
+  Term v = Term::Var("x");
+  EXPECT_TRUE(u.IsUri());
+  EXPECT_TRUE(l.IsLiteral());
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_TRUE(u.IsConstant());
+  EXPECT_TRUE(l.IsConstant());
+  EXPECT_FALSE(v.IsConstant());
+  EXPECT_EQ(u.value(), "EMBL#Organism");
+  EXPECT_EQ(u.ToString(), "<EMBL#Organism>");
+  EXPECT_EQ(l.ToString(), "\"Aspergillus niger\"");
+  EXPECT_EQ(v.ToString(), "?x");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  EXPECT_NE(Term::Uri("a"), Term::Literal("a"));
+  EXPECT_EQ(Term::Uri("a"), Term::Uri("a"));
+  EXPECT_NE(Term::Var("x"), Term::Var("y"));
+}
+
+TEST(TripleTest, ValidateRules) {
+  EXPECT_TRUE(Triple(Term::Uri("s"), Term::Uri("p"), Term::Literal("o"))
+                  .Validate()
+                  .ok());
+  EXPECT_TRUE(Triple(Term::Uri("s"), Term::Uri("p"), Term::Uri("o"))
+                  .Validate()
+                  .ok());
+  EXPECT_FALSE(Triple(Term::Literal("s"), Term::Uri("p"), Term::Literal("o"))
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(Triple(Term::Uri("s"), Term::Literal("p"), Term::Literal("o"))
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(Triple(Term::Uri("s"), Term::Uri("p"), Term::Var("o"))
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(Triple(Term::Uri(""), Term::Uri("p"), Term::Literal("o"))
+                   .Validate()
+                   .ok());
+}
+
+TEST(TripleTest, SerializeParseRoundTrip) {
+  Triple t(Term::Uri("gv://0110-a1/seq9"), Term::Uri("EMBL#Organism"),
+           Term::Literal("Aspergillus niger"));
+  auto parsed = Triple::Parse(t.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TripleTest, RoundTripWithSpecialCharacters) {
+  Triple t(Term::Uri("s"), Term::Uri("p"),
+           Term::Literal("value\twith\ttabs\\and\\slashes"));
+  auto parsed = Triple::Parse(t.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->object().value(), "value\twith\ttabs\\and\\slashes");
+}
+
+TEST(TripleTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Triple::Parse("not a triple").ok());
+  EXPECT_FALSE(Triple::Parse("U:a\tU:b").ok());
+  EXPECT_FALSE(Triple::Parse("U:a\tU:b\tX:c").ok());
+  EXPECT_FALSE(Triple::Parse("U:a\tU:b\tL:c\tL:d").ok());
+  // Variable in triple fails RDF validation.
+  EXPECT_FALSE(Triple::Parse("V:x\tU:b\tL:c").ok());
+  // Dangling escape.
+  EXPECT_FALSE(Triple::Parse("U:a\tU:b\tL:c\\").ok());
+}
+
+TEST(TripleTest, AtPositions) {
+  Triple t(Term::Uri("s"), Term::Uri("p"), Term::Literal("o"));
+  EXPECT_EQ(t.at(TriplePos::kSubject).value(), "s");
+  EXPECT_EQ(t.at(TriplePos::kPredicate).value(), "p");
+  EXPECT_EQ(t.at(TriplePos::kObject).value(), "o");
+}
+
+TEST(GlobalIdTest, UniquePerPeerAndName) {
+  std::string a = MakeGlobalId("0110", "seq1");
+  std::string b = MakeGlobalId("0111", "seq1");
+  std::string c = MakeGlobalId("0110", "seq2");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, MakeGlobalId("0110", "seq1"));
+  EXPECT_TRUE(a.find("gv://0110-") == 0) << a;
+  EXPECT_TRUE(a.find("/seq1") != std::string::npos);
+  // Empty path (unspecialized peer) still yields a valid id.
+  EXPECT_TRUE(MakeGlobalId("", "x").find("gv://root-") == 0);
+}
+
+TEST(TriplePatternTest, MatchesConstantsAndVariables) {
+  Triple t(Term::Uri("s1"), Term::Uri("EMBL#Organism"),
+           Term::Literal("Aspergillus niger"));
+  EXPECT_TRUE(TriplePattern(Term::Var("x"), Term::Uri("EMBL#Organism"),
+                            Term::Var("y"))
+                  .Matches(t));
+  EXPECT_TRUE(TriplePattern(Term::Uri("s1"), Term::Var("p"), Term::Var("o"))
+                  .Matches(t));
+  EXPECT_FALSE(TriplePattern(Term::Uri("s2"), Term::Var("p"), Term::Var("o"))
+                   .Matches(t));
+  EXPECT_FALSE(
+      TriplePattern(Term::Var("x"), Term::Uri("EMP#Name"), Term::Var("y"))
+          .Matches(t));
+}
+
+TEST(TriplePatternTest, LikeMatchingOnLiterals) {
+  Triple t(Term::Uri("s1"), Term::Uri("p"), Term::Literal("Aspergillus niger"));
+  TriplePattern contains(Term::Var("x"), Term::Uri("p"),
+                         Term::Literal("%Aspergillus%"));
+  EXPECT_TRUE(contains.Matches(t));
+  TriplePattern nomatch(Term::Var("x"), Term::Uri("p"),
+                        Term::Literal("%Penicillium%"));
+  EXPECT_FALSE(nomatch.Matches(t));
+  // '%' pattern against a URI object does not match.
+  Triple t2(Term::Uri("s1"), Term::Uri("p"), Term::Uri("Aspergillus"));
+  EXPECT_FALSE(contains.Matches(t2));
+}
+
+TEST(TriplePatternTest, RepeatedVariableMustBindConsistently) {
+  TriplePattern p(Term::Var("x"), Term::Uri("sameAs"), Term::Var("x"));
+  EXPECT_TRUE(p.Matches(
+      Triple(Term::Uri("a"), Term::Uri("sameAs"), Term::Uri("a"))));
+  EXPECT_FALSE(p.Matches(
+      Triple(Term::Uri("a"), Term::Uri("sameAs"), Term::Uri("b"))));
+}
+
+TEST(TriplePatternTest, VariablesListed) {
+  TriplePattern p(Term::Var("x"), Term::Uri("p"), Term::Var("y"));
+  EXPECT_EQ(p.Variables(), (std::vector<std::string>{"x", "y"}));
+  TriplePattern dup(Term::Var("x"), Term::Var("p"), Term::Var("x"));
+  EXPECT_EQ(dup.Variables(), (std::vector<std::string>{"x", "p"}));
+}
+
+TEST(TriplePatternTest, IsExactConstant) {
+  TriplePattern p(Term::Uri("s"), Term::Var("p"),
+                  Term::Literal("%wildcard%"));
+  EXPECT_TRUE(p.IsExactConstant(TriplePos::kSubject));
+  EXPECT_FALSE(p.IsExactConstant(TriplePos::kPredicate));
+  EXPECT_FALSE(p.IsExactConstant(TriplePos::kObject));
+  TriplePattern q(Term::Var("s"), Term::Uri("p"), Term::Literal("exact"));
+  EXPECT_TRUE(q.IsExactConstant(TriplePos::kObject));
+}
+
+TEST(TriplePatternTest, RoutingConstantSpecificityOrder) {
+  // Subject beats object beats predicate.
+  EXPECT_EQ(*TriplePattern(Term::Uri("s"), Term::Uri("p"), Term::Literal("o"))
+                 .RoutingConstant(),
+            TriplePos::kSubject);
+  EXPECT_EQ(*TriplePattern(Term::Var("x"), Term::Uri("p"), Term::Literal("o"))
+                 .RoutingConstant(),
+            TriplePos::kObject);
+  EXPECT_EQ(*TriplePattern(Term::Var("x"), Term::Uri("p"), Term::Var("y"))
+                 .RoutingConstant(),
+            TriplePos::kPredicate);
+  // Wildcard literal cannot be the routing key: falls back to predicate.
+  EXPECT_EQ(*TriplePattern(Term::Var("x"), Term::Uri("p"),
+                           Term::Literal("%Aspergillus%"))
+                 .RoutingConstant(),
+            TriplePos::kPredicate);
+  // All-variable pattern has none.
+  EXPECT_FALSE(TriplePattern(Term::Var("x"), Term::Var("p"), Term::Var("y"))
+                   .RoutingConstant()
+                   .has_value());
+}
+
+TEST(TriplePatternTest, SerializeParseRoundTrip) {
+  TriplePattern p(Term::Var("x"), Term::Uri("EMBL#Organism"),
+                  Term::Literal("%Aspergillus%"));
+  auto parsed = TriplePattern::Parse(p.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(TriplePatternTest, WithReplacesPosition) {
+  TriplePattern p(Term::Var("x"), Term::Uri("A#p"), Term::Var("y"));
+  TriplePattern q = p.With(TriplePos::kPredicate, Term::Uri("B#q"));
+  EXPECT_EQ(q.predicate().value(), "B#q");
+  EXPECT_EQ(p.predicate().value(), "A#p");  // original untouched
+  EXPECT_EQ(q.subject(), p.subject());
+}
+
+}  // namespace
+}  // namespace gridvine

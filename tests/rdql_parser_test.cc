@@ -1,0 +1,104 @@
+#include "query/rdql_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(RdqlParserTest, SinglePatternQuery) {
+  auto q = ParseRdqlSingle(
+      "SELECT ?x WHERE (?x, <EMBL#Organism>, \"%Aspergillus%\")");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->distinguished_var(), "x");
+  EXPECT_TRUE(q->pattern().subject().IsVariable());
+  EXPECT_EQ(q->pattern().predicate(), Term::Uri("EMBL#Organism"));
+  EXPECT_EQ(q->pattern().object(), Term::Literal("%Aspergillus%"));
+}
+
+TEST(RdqlParserTest, ConjunctiveQuery) {
+  auto q = ParseRdql(
+      "SELECT ?x, ?l WHERE (?x, <EMBL#Organism>, \"%niger%\"),"
+      " (?x, <EMBL#Length>, ?l)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->distinguished_vars(),
+            (std::vector<std::string>{"x", "l"}));
+  ASSERT_EQ(q->patterns().size(), 2u);
+  EXPECT_EQ(q->patterns()[1].predicate().value(), "EMBL#Length");
+}
+
+TEST(RdqlParserTest, KeywordsCaseInsensitiveAndFreeWhitespace) {
+  auto q = ParseRdql(
+      "  select   ?x\n  where\n    ( ?x , <p> , \"v\" )  ");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns().size(), 1u);
+}
+
+TEST(RdqlParserTest, UriObject) {
+  auto q = ParseRdqlSingle("SELECT ?x WHERE (?x, <rdf:type>, <bio:Protein>)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->pattern().object().IsUri());
+  EXPECT_EQ(q->pattern().object().value(), "bio:Protein");
+}
+
+TEST(RdqlParserTest, EscapedLiteral) {
+  auto q = ParseRdqlSingle(
+      "SELECT ?x WHERE (?x, <p>, \"say \\\"hi\\\" \\\\ done\")");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->pattern().object().value(), "say \"hi\" \\ done");
+}
+
+TEST(RdqlParserTest, VariablePredicate) {
+  auto q = ParseRdqlSingle("SELECT ?p WHERE (<s1>, ?p, ?o)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->pattern().predicate().IsVariable());
+}
+
+TEST(RdqlParserTest, RejectsMalformedQueries) {
+  // Missing SELECT.
+  EXPECT_FALSE(ParseRdql("WHERE (?x, <p>, ?y)").ok());
+  // Missing WHERE.
+  EXPECT_FALSE(ParseRdql("SELECT ?x (?x, <p>, ?y)").ok());
+  // Unterminated URI.
+  EXPECT_FALSE(ParseRdql("SELECT ?x WHERE (?x, <p, ?y)").ok());
+  // Unterminated literal.
+  EXPECT_FALSE(ParseRdql("SELECT ?x WHERE (?x, <p>, \"v)").ok());
+  // Missing closing paren.
+  EXPECT_FALSE(ParseRdql("SELECT ?x WHERE (?x, <p>, ?y").ok());
+  // Empty variable.
+  EXPECT_FALSE(ParseRdql("SELECT ? WHERE (?x, <p>, ?y)").ok());
+  // Trailing junk.
+  EXPECT_FALSE(ParseRdql("SELECT ?x WHERE (?x, <p>, ?y) garbage").ok());
+  // Selected variable unbound.
+  EXPECT_FALSE(ParseRdql("SELECT ?z WHERE (?x, <p>, ?y)").ok());
+  // Empty URI.
+  EXPECT_FALSE(ParseRdql("SELECT ?x WHERE (?x, <>, ?y)").ok());
+}
+
+TEST(RdqlParserTest, ErrorMessagesCarryOffset) {
+  auto r = ParseRdql("SELECT ?x WHERE [?x, <p>, ?y]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(RdqlParserTest, SingleRejectsMultiPattern) {
+  EXPECT_FALSE(
+      ParseRdqlSingle("SELECT ?x WHERE (?x, <p>, ?y), (?x, <q>, ?z)").ok());
+  EXPECT_FALSE(ParseRdqlSingle("SELECT ?x, ?y WHERE (?x, <p>, ?y)").ok());
+}
+
+TEST(RdqlParserTest, RoundTripThroughToString) {
+  // The paper's running example parses and prints back in SearchFor form.
+  auto q = ParseRdqlSingle(
+      "SELECT ?x WHERE (?x, <EMBL#Organism>, \"%Aspergillus%\")");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(),
+            "SearchFor(x? : (?x, <EMBL#Organism>, \"%Aspergillus%\"))");
+}
+
+TEST(RdqlParserTest, KeywordPrefixIdentifiersNotConfused) {
+  // "SELECTx" must not parse as the SELECT keyword.
+  EXPECT_FALSE(ParseRdql("SELECTx ?x WHERE (?x, <p>, ?y)").ok());
+}
+
+}  // namespace
+}  // namespace gridvine

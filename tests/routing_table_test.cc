@@ -1,0 +1,112 @@
+#include "pgrid/routing_table.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+Key K(const std::string& bits) { return Key::FromBits(bits).value(); }
+
+TEST(RoutingTableTest, SetPathSizesLevels) {
+  RoutingTable rt(2);
+  EXPECT_EQ(rt.levels(), 0);
+  rt.SetPath(K("0101"));
+  EXPECT_EQ(rt.levels(), 4);
+  EXPECT_EQ(rt.path(), K("0101"));
+}
+
+TEST(RoutingTableTest, AddRefRespectsCapAndDedup) {
+  RoutingTable rt(2);
+  rt.SetPath(K("00"));
+  EXPECT_TRUE(rt.AddRef(0, 1));
+  EXPECT_FALSE(rt.AddRef(0, 1));  // duplicate
+  EXPECT_TRUE(rt.AddRef(0, 2));
+  EXPECT_FALSE(rt.AddRef(0, 3));  // over cap
+  EXPECT_EQ(rt.RefsAt(0).size(), 2u);
+  EXPECT_FALSE(rt.AddRef(5, 9));  // out of range
+  EXPECT_FALSE(rt.AddRef(-1, 9));
+  EXPECT_EQ(rt.TotalRefs(), 2u);
+}
+
+TEST(RoutingTableTest, RemoveRefEverywhere) {
+  RoutingTable rt(4);
+  rt.SetPath(K("00"));
+  rt.AddRef(0, 7);
+  rt.AddRef(1, 7);
+  rt.AddRef(1, 8);
+  rt.RemoveRef(7);
+  EXPECT_TRUE(rt.RefsAt(0).empty());
+  EXPECT_EQ(rt.RefsAt(1).size(), 1u);
+}
+
+TEST(RoutingTableTest, DivergenceLevel) {
+  RoutingTable rt(2);
+  rt.SetPath(K("0101"));
+  EXPECT_EQ(rt.DivergenceLevel(K("1000")), 0);
+  EXPECT_EQ(rt.DivergenceLevel(K("0001")), 1);
+  EXPECT_EQ(rt.DivergenceLevel(K("0111")), 2);
+  EXPECT_EQ(rt.DivergenceLevel(K("0100")), 3);
+  // Keys in our subtree (path prefixes key) => path length.
+  EXPECT_EQ(rt.DivergenceLevel(K("01010")), 4);
+  EXPECT_EQ(rt.DivergenceLevel(K("0101")), 4);
+  // Short key that prefixes the path is also "ours".
+  EXPECT_EQ(rt.DivergenceLevel(K("01")), 4);
+}
+
+TEST(RoutingTableTest, NextHopPicksDivergenceLevelRef) {
+  RoutingTable rt(2);
+  rt.SetPath(K("0101"));
+  rt.AddRef(0, 10);
+  rt.AddRef(2, 20);
+  Rng rng(1);
+  auto hop = rt.NextHop(K("1111"), &rng);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(*hop, 10u);
+  hop = rt.NextHop(K("0110"), &rng);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(*hop, 20u);
+}
+
+TEST(RoutingTableTest, NextHopNulloptForOwnSubtreeOrMissingRef) {
+  RoutingTable rt(2);
+  rt.SetPath(K("0101"));
+  rt.AddRef(0, 10);
+  Rng rng(1);
+  EXPECT_FALSE(rt.NextHop(K("01011"), &rng).has_value());  // local
+  EXPECT_FALSE(rt.NextHop(K("0001"), &rng).has_value());   // no ref at lvl 1
+}
+
+TEST(RoutingTableTest, NextHopAvoidsExcludedWhenPossible) {
+  RoutingTable rt(4);
+  rt.SetPath(K("0"));
+  rt.AddRef(0, 1);
+  rt.AddRef(0, 2);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    auto hop = rt.NextHop(K("1"), &rng, /*exclude=*/1);
+    ASSERT_TRUE(hop.has_value());
+    EXPECT_EQ(*hop, 2u);
+  }
+  // When the excluded ref is the only one, it is still used.
+  RoutingTable rt2(4);
+  rt2.SetPath(K("0"));
+  rt2.AddRef(0, 1);
+  auto hop = rt2.NextHop(K("1"), &rng, /*exclude=*/1);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(*hop, 1u);
+}
+
+TEST(RoutingTableTest, ReplicaSetDedupAndRemove) {
+  RoutingTable rt(2);
+  rt.SetPath(K("01"));
+  rt.AddReplica(5);
+  rt.AddReplica(5);
+  rt.AddReplica(6);
+  EXPECT_EQ(rt.replicas().size(), 2u);
+  rt.RemoveReplica(5);
+  EXPECT_EQ(rt.replicas().size(), 1u);
+  EXPECT_EQ(rt.replicas()[0], 6u);
+}
+
+}  // namespace
+}  // namespace gridvine

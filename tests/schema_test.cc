@@ -1,0 +1,111 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+Schema Embl() {
+  return Schema("EMBL", "protein-sequences",
+                {"Organism", "AccessionNumber", "SequenceLength"});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = Embl();
+  EXPECT_EQ(s.name(), "EMBL");
+  EXPECT_EQ(s.domain(), "protein-sequences");
+  EXPECT_EQ(s.attributes().size(), 3u);
+  EXPECT_TRUE(s.HasAttribute("Organism"));
+  EXPECT_FALSE(s.HasAttribute("organism"));  // case-sensitive
+  EXPECT_FALSE(s.HasAttribute("Nope"));
+}
+
+TEST(SchemaTest, AttributeUris) {
+  Schema s = Embl();
+  EXPECT_EQ(s.AttributeUri("Organism"), "EMBL#Organism");
+  auto uris = s.AttributeUris();
+  ASSERT_EQ(uris.size(), 3u);
+  EXPECT_EQ(uris[0], "EMBL#Organism");
+}
+
+TEST(SchemaTest, SplitAttributeUri) {
+  auto r = Schema::SplitAttributeUri("EMBL#Organism");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->first, "EMBL");
+  EXPECT_EQ(r->second, "Organism");
+  EXPECT_FALSE(Schema::SplitAttributeUri("NoHashHere").ok());
+  EXPECT_EQ(Schema::SchemaOfUri("EMBL#Organism"), "EMBL");
+  EXPECT_EQ(Schema::SchemaOfUri("NoHash"), "");
+  EXPECT_EQ(Schema::LocalOfUri("EMBL#Organism"), "Organism");
+  EXPECT_EQ(Schema::LocalOfUri("NoHash"), "NoHash");
+}
+
+TEST(SchemaTest, ValidateRejectsBadNames) {
+  EXPECT_TRUE(Embl().Validate().ok());
+  EXPECT_FALSE(Schema("", "d", {"a"}).Validate().ok());
+  EXPECT_FALSE(Schema("A#B", "d", {"a"}).Validate().ok());
+  EXPECT_FALSE(Schema("A", "d", {"a,b"}).Validate().ok());
+  EXPECT_FALSE(Schema("A", "d", {"a", "a"}).Validate().ok());
+  EXPECT_FALSE(Schema("A", "d", {""}).Validate().ok());
+  EXPECT_FALSE(Schema("A", "d|x", {"a"}).Validate().ok());
+}
+
+TEST(SchemaTest, SerializeParseRoundTrip) {
+  Schema s = Embl();
+  auto parsed = Schema::Parse(s.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, s);
+}
+
+TEST(SchemaTest, RoundTripEmptyAttributes) {
+  Schema s("Empty", "d", {});
+  auto parsed = Schema::Parse(s.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->attributes().empty());
+}
+
+TEST(SchemaTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Schema::Parse("junk").ok());
+  EXPECT_FALSE(Schema::Parse("mapping|a|b|c").ok());
+  EXPECT_FALSE(Schema::Parse("schema|a|b").ok());
+}
+
+TEST(SchemaRegistryTest, RegisterGetReplace) {
+  SchemaRegistry reg;
+  EXPECT_TRUE(reg.Register(Embl()).ok());
+  EXPECT_TRUE(reg.Contains("EMBL"));
+  EXPECT_FALSE(reg.Contains("EMP"));
+  EXPECT_EQ(reg.size(), 1u);
+
+  auto got = reg.Get("EMBL");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->attributes().size(), 3u);
+  EXPECT_TRUE(reg.Get("missing").status().IsNotFound());
+
+  // Re-registering replaces.
+  Schema updated("EMBL", "protein-sequences", {"Organism"});
+  EXPECT_TRUE(reg.Register(updated).ok());
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.Get("EMBL")->attributes().size(), 1u);
+}
+
+TEST(SchemaRegistryTest, RejectsInvalid) {
+  SchemaRegistry reg;
+  EXPECT_FALSE(reg.Register(Schema("", "d", {})).ok());
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(SchemaRegistryTest, NamesListed) {
+  SchemaRegistry reg;
+  ASSERT_TRUE(reg.Register(Embl()).ok());
+  ASSERT_TRUE(reg.Register(Schema("EMP", "protein-sequences",
+                                  {"SystematicName"}))
+                  .ok());
+  auto names = reg.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "EMBL");
+  EXPECT_EQ(names[1], "EMP");
+}
+
+}  // namespace
+}  // namespace gridvine

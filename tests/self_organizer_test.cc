@@ -1,0 +1,199 @@
+#include "selforg/self_organizer.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/bio_workload.h"
+
+namespace gridvine {
+namespace {
+
+/// Live-network fixture: 8 peers, 5 schemas with data, schema i owned by
+/// peer i. No mappings initially.
+class SelfOrganizerTest : public ::testing::Test {
+ protected:
+  SelfOrganizerTest() : net_(NetOptions()), workload_(WorkloadOptions()) {}
+
+  static GridVineNetwork::Options NetOptions() {
+    GridVineNetwork::Options o;
+    o.num_peers = 8;
+    o.key_depth = 12;
+    o.seed = 5;
+    o.latency = GridVineNetwork::LatencyKind::kConstant;
+    o.latency_param = 0.01;
+    o.peer.query_timeout = 4.0;
+    return o;
+  }
+
+  static BioWorkload::Options WorkloadOptions() {
+    BioWorkload::Options o;
+    o.num_schemas = 5;
+    o.num_entities = 40;
+    o.entities_per_schema = 16;
+    o.min_attrs = 4;
+    o.max_attrs = 6;
+    o.value_noise = 0.0;
+    o.seed = 21;
+    return o;
+  }
+
+  static SelfOrganizer::Options OrgOptions() {
+    SelfOrganizer::Options o;
+    o.domain = "protein-sequences";
+    o.creations_per_round = 3;
+    o.seed = 9;
+    return o;
+  }
+
+  void SetUp() override {
+    for (size_t s = 0; s < workload_.schemas().size(); ++s) {
+      ASSERT_TRUE(net_.InsertSchema(s, workload_.schemas()[s]).ok());
+      for (const auto& t : workload_.TriplesFor(s)) {
+        ASSERT_TRUE(net_.InsertTriple(s, t).ok());
+      }
+    }
+    organizer_ = std::make_unique<SelfOrganizer>(&net_, OrgOptions());
+    for (size_t s = 0; s < workload_.schemas().size(); ++s) {
+      organizer_->RegisterSchemaOwner(workload_.schemas()[s].name(), s);
+    }
+  }
+
+  GridVineNetwork net_;
+  BioWorkload workload_;
+  std::unique_ptr<SelfOrganizer> organizer_;
+};
+
+TEST_F(SelfOrganizerTest, IndicatorNegativeWithoutMappings) {
+  ASSERT_TRUE(organizer_->PublishAllDegrees().ok());
+  auto ci = organizer_->ComputeIndicator();
+  ASSERT_TRUE(ci.ok()) << ci.status();
+  // All degrees zero: ci = 0 at best; definitely not positive, and the
+  // graph is certainly not strongly connected.
+  EXPECT_LE(*ci, 0.0);
+  EXPECT_LT(organizer_->BuildGraphView().LargestSccFraction(), 1.0);
+}
+
+TEST_F(SelfOrganizerTest, GraphViewSeesInsertedMappings) {
+  ASSERT_TRUE(
+      net_.InsertMapping(0, workload_.GroundTruthMapping(0, 1, "m01")).ok());
+  MappingGraph g = organizer_->BuildGraphView();
+  EXPECT_TRUE(g.Contains("m01"));
+  EXPECT_EQ(g.active_mapping_count(), 1u);
+}
+
+TEST_F(SelfOrganizerTest, CreateMappingFindsCorrectCorrespondences) {
+  auto created = organizer_->CreateMapping(workload_.schemas()[0].name(),
+                                           workload_.schemas()[1].name());
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_GT(created->size(), 0u);
+  // With shared instance references and name variants, the matcher should be
+  // mostly right.
+  EXPECT_GE(workload_.MappingPrecision(*created), 0.7)
+      << created->Serialize();
+  // And the mapping must now be discoverable in the network.
+  auto fetched = net_.FetchMappingsFor(3, workload_.schemas()[0].name());
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->size(), 1u);
+  EXPECT_EQ((*fetched)[0].id(), created->id());
+}
+
+TEST_F(SelfOrganizerTest, SampleValueSetsReflectData) {
+  auto sets = organizer_->SampleValueSets(workload_.schemas()[0]);
+  std::string organism_attr = workload_.AttributeFor(0, "organism");
+  ASSERT_TRUE(sets.count(organism_attr));
+  EXPECT_FALSE(sets.at(organism_attr).empty());
+}
+
+TEST_F(SelfOrganizerTest, CandidatePairsPreferUnlinkedSchemas) {
+  ASSERT_TRUE(
+      net_.InsertMapping(0, workload_.GroundTruthMapping(0, 1, "m01")).ok());
+  MappingGraph g = organizer_->BuildGraphView();
+  auto pairs = organizer_->SelectCandidatePairs(g, 100);
+  for (const auto& [a, b] : pairs) {
+    bool is_linked_pair =
+        (a == workload_.schemas()[0].name() &&
+         b == workload_.schemas()[1].name()) ||
+        (a == workload_.schemas()[1].name() &&
+         b == workload_.schemas()[0].name());
+    EXPECT_FALSE(is_linked_pair);
+  }
+  // 5 schemas, 10 pairs, 1 linked -> 9 candidates.
+  EXPECT_EQ(pairs.size(), 9u);
+}
+
+TEST_F(SelfOrganizerTest, RoundsDriveNetworkTowardInteroperability) {
+  double last_scc = organizer_->BuildGraphView().LargestSccFraction();
+  EXPECT_LT(last_scc, 1.0);
+  size_t total_created = 0;
+  double final_scc = last_scc;
+  for (int round = 0; round < 6; ++round) {
+    auto report = organizer_->RunRound();
+    total_created += report.mappings_created;
+    final_scc = report.scc_fraction_after;
+    if (report.ci_after >= 0 && final_scc >= 1.0) break;
+  }
+  EXPECT_GT(total_created, 0u);
+  // The mediation layer must reach (or approach) global interoperability.
+  EXPECT_GE(final_scc, 0.8);
+  auto ci = organizer_->ComputeIndicator();
+  ASSERT_TRUE(ci.ok());
+  EXPECT_GE(*ci, 0.0);
+}
+
+TEST_F(SelfOrganizerTest, CreateMappingFailsForUnknownSchema) {
+  auto r = organizer_->CreateMapping("NoSuchSchema",
+                                     workload_.schemas()[0].name());
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status();
+  auto r2 = organizer_->CreateMapping(workload_.schemas()[0].name(),
+                                      "NoSuchSchema");
+  EXPECT_TRUE(r2.status().IsNotFound());
+}
+
+TEST_F(SelfOrganizerTest, IndicatorBeforeAnyPublishIsNotFound) {
+  auto ci = organizer_->ComputeIndicator();
+  EXPECT_TRUE(ci.status().IsNotFound()) << ci.status();
+}
+
+TEST_F(SelfOrganizerTest, OwnerOfUnknownSchemaDefaultsToZero) {
+  EXPECT_EQ(organizer_->OwnerOf("NoSuchSchema"), 0u);
+  organizer_->RegisterSchemaOwner("X", 3);
+  EXPECT_EQ(organizer_->OwnerOf("X"), 3u);
+}
+
+TEST_F(SelfOrganizerTest, ErroneousMappingGetsDeprecated) {
+  // Correct mesh between all pairs except an injected erroneous mapping.
+  const auto& schemas = workload_.schemas();
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (size_t j = i + 1; j < schemas.size(); ++j) {
+      if (i == 1 && j == 2) continue;
+      auto gt = workload_.GroundTruthMapping(
+          i, j, "gt-" + std::to_string(i) + "-" + std::to_string(j));
+      // Mark as automatic so the assessor evaluates everything.
+      gt.set_provenance(MappingProvenance::kAutomatic);
+      gt.set_confidence(0.7);
+      ASSERT_TRUE(net_.InsertMapping(i, gt).ok());
+    }
+  }
+  Rng rng(13);
+  auto bad = workload_.ErroneousMapping(1, 2, "bad-1-2", &rng);
+  ASSERT_TRUE(net_.InsertMapping(1, bad).ok());
+
+  auto report = organizer_->RunRound();
+  EXPECT_GE(report.mappings_deprecated, 1u);
+  bool bad_deprecated = false;
+  for (const auto& id : report.deprecated_ids) {
+    if (id == "bad-1-2") bad_deprecated = true;
+    // No correct mapping may be deprecated.
+    EXPECT_EQ(id, "bad-1-2") << "false positive deprecation";
+  }
+  EXPECT_TRUE(bad_deprecated);
+
+  // The deprecation must be visible network-wide.
+  auto fetched = net_.FetchMappingsFor(4, schemas[1].name());
+  ASSERT_TRUE(fetched.ok());
+  for (const auto& m : *fetched) {
+    if (m.id() == "bad-1-2") EXPECT_TRUE(m.deprecated());
+  }
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Smoke test for examples/gridvine_shell: pipes a scripted session through
+# the REPL and checks the expected answers appear. Registered in ctest.
+set -u
+SHELL_BIN="$1"
+
+output=$("$SHELL_BIN" <<'EOF'
+help
+schema EMBL bio Organism,SequenceLength
+schema EMP bio SystematicName
+triple <embl:A78712> <EMBL#Organism> "Aspergillus niger" .
+triple <embl:A78767> <EMBL#Organism> "Aspergillus niger" .
+triple <emp:NEN94295> <EMP#SystematicName> "Aspergillus niger" .
+map EMBL EMP EMBL#Organism>EMP#SystematicName
+query SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
+queryplain SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
+stats
+bogus-command
+quit
+EOF
+)
+status=$?
+
+fail() {
+  echo "FAIL: $1"
+  echo "---- shell output ----"
+  echo "$output"
+  exit 1
+}
+
+[ $status -eq 0 ] || fail "shell exited with status $status"
+echo "$output" | grep -q "ok: schema|EMBL" || fail "schema insert not confirmed"
+echo "$output" | grep -q "ok: 1 correspondence(s)" || fail "mapping insert not confirmed"
+# Reformulated query reaches both schemas: 3 results from 2 schemas.
+echo "$output" | grep -q "3 result(s), 2 schema(s)" || fail "reformulated query wrong"
+# Plain query stays within EMBL: 2 results from 1 schema.
+echo "$output" | grep -q "2 result(s), 1 schema(s)" || fail "plain query wrong"
+echo "$output" | grep -q "unknown command 'bogus-command'" || fail "unknown command not reported"
+echo "$output" | grep -q "local DB entries" || fail "stats missing"
+echo "PASS"

@@ -1,0 +1,106 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridvine {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.Now());
+    if (times.size() < 5) sim.Schedule(1.0, tick);
+  };
+  sim.Schedule(1.0, tick);
+  sim.Run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 5.0);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(2.0, [&] {
+    bool ran = false;
+    sim.Schedule(-5.0, [&ran] { ran = true; });
+    // Nested event must still run at >= current time.
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(1.0, [&] { ++ran; });
+  sim.Schedule(2.0, [&] { ++ran; });
+  sim.Schedule(5.0, [&] { ++ran; });
+  size_t n = sim.RunUntil(2.5);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.5);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, RunWithEventBudget) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) sim.Schedule(double(i), [&] { ++ran; });
+  EXPECT_EQ(sim.Run(4), 4u);
+  EXPECT_EQ(ran, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(SimulatorTest, ExecutedCounterAccumulates) {
+  Simulator sim;
+  sim.Schedule(1, [] {});
+  sim.Schedule(2, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 2u);
+  sim.Schedule(3, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.ScheduleAt(7.5, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+}  // namespace
+}  // namespace gridvine

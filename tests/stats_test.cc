@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(SampleStatsTest, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.Mean(), 0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(s.FractionAtMost(10), 0);
+  EXPECT_DOUBLE_EQ(s.Gini(), 0);
+  EXPECT_EQ(s.Summary(), "n=0");
+}
+
+TEST(SampleStatsTest, Moments) {
+  SampleStats s;
+  s.AddAll({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 2.0);  // classic example
+  EXPECT_DOUBLE_EQ(s.Min(), 2);
+  EXPECT_DOUBLE_EQ(s.Max(), 9);
+}
+
+TEST(SampleStatsTest, PercentilesNearestRank) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(double(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100);
+  EXPECT_NEAR(s.Median(), 50.0, 1.0);
+  EXPECT_NEAR(s.Percentile(0.9), 90.0, 1.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(s.Percentile(-1), 1);
+  EXPECT_DOUBLE_EQ(s.Percentile(2), 100);
+}
+
+TEST(SampleStatsTest, FractionAtMost) {
+  SampleStats s;
+  s.AddAll({0.5, 1.0, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(s.FractionAtMost(0.4), 0.0);
+  EXPECT_DOUBLE_EQ(s.FractionAtMost(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.FractionAtMost(5.0), 1.0);
+}
+
+TEST(SampleStatsTest, GiniExtremes) {
+  SampleStats even;
+  even.AddAll({3, 3, 3, 3});
+  EXPECT_NEAR(even.Gini(), 0.0, 1e-12);
+  SampleStats skewed;
+  skewed.AddAll({0, 0, 0, 100});
+  EXPECT_GT(skewed.Gini(), 0.7);
+}
+
+TEST(SampleStatsTest, InterleavedAddAndQueryStaysSorted) {
+  SampleStats s;
+  s.Add(5);
+  EXPECT_DOUBLE_EQ(s.Max(), 5);
+  s.Add(1);
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  s.Add(9);
+  EXPECT_DOUBLE_EQ(s.Max(), 9);
+  EXPECT_DOUBLE_EQ(s.Median(), 5);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.Add(0.5);   // < 1
+  h.Add(1.0);   // [1,2)
+  h.Add(1.9);   // [1,2)
+  h.Add(3.0);   // [2,5)
+  h.Add(5.0);   // >= 5
+  h.Add(100.0); // >= 5
+  EXPECT_EQ(h.total(), 6u);
+  std::string text = h.Format(10);
+  EXPECT_NE(text.find("< 1"), std::string::npos);
+  EXPECT_NE(text.find(">= 5"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -1,0 +1,120 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"s", "p", "o"};
+  EXPECT_EQ(Join(parts, "|"), "s|p|o");
+  EXPECT_EQ(Join({}, "|"), "");
+  EXPECT_EQ(Join({"one"}, "|"), "one");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("EMBL#Organism", "EMBL#"));
+  EXPECT_FALSE(StartsWith("EMBL", "EMBL#"));
+  EXPECT_TRUE(EndsWith("query.sparql", ".sparql"));
+  EXPECT_FALSE(EndsWith("a", "ab"));
+}
+
+TEST(LikeMatchTest, ExactWithoutWildcards) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+}
+
+TEST(LikeMatchTest, ContainsPattern) {
+  EXPECT_TRUE(LikeMatch("Aspergillus niger", "%Aspergillus%"));
+  EXPECT_TRUE(LikeMatch("Aspergillus", "%Aspergillus%"));
+  EXPECT_FALSE(LikeMatch("Penicillium", "%Aspergillus%"));
+}
+
+TEST(LikeMatchTest, AnchoredPatterns) {
+  EXPECT_TRUE(LikeMatch("protein kinase", "protein%"));
+  EXPECT_FALSE(LikeMatch("my protein", "protein%"));
+  EXPECT_TRUE(LikeMatch("my protein", "%protein"));
+  EXPECT_FALSE(LikeMatch("protein x", "%protein"));
+}
+
+TEST(LikeMatchTest, MultipleWildcards) {
+  EXPECT_TRUE(LikeMatch("abcXdefYghi", "%abc%def%ghi%"));
+  EXPECT_TRUE(LikeMatch("abcdefghi", "abc%ghi"));
+  EXPECT_FALSE(LikeMatch("abcdefgh", "abc%ghi"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_FALSE(LikeMatch("x", ""));
+}
+
+TEST(LikeMatchTest, BacktrackingCase) {
+  // Requires re-expanding the first '%' after a partial match.
+  EXPECT_TRUE(LikeMatch("aXbYb", "%b"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%issip%"));
+}
+
+TEST(EditDistanceTest, KnownDistances) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("organism", "organism"), 0u);
+  EXPECT_EQ(EditDistance("organism", "organisme"), 1u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("abcdef", "azced"), EditDistance("azced", "abcdef"));
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  double s = EditSimilarity("Organism", "OrganismName");
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(TrigramTest, PaddedTrigrams) {
+  auto t = Trigrams("go");
+  EXPECT_TRUE(t.count("$$g"));
+  EXPECT_TRUE(t.count("$go"));
+  EXPECT_TRUE(t.count("go$"));
+  EXPECT_TRUE(t.count("o$$"));
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(TrigramSimilarityTest, SimilarAndDissimilar) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("organism", "organism"), 1.0);
+  EXPECT_GT(TrigramSimilarity("organism", "organisms"), 0.7);
+  EXPECT_LT(TrigramSimilarity("organism", "sequence"), 0.3);
+  // Case-insensitive.
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("ABC", "abc"), 1.0);
+}
+
+TEST(JaccardTest, SetOverlap) {
+  std::set<std::string> a = {"x", "y", "z"};
+  std::set<std::string> b = {"y", "z", "w"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace gridvine
