@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/stats.h"
 #include "sim/churn.h"
 #include "pgrid/maintenance.h"
@@ -105,7 +106,8 @@ Trial Run(double downtime_fraction, bool with_maintenance, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_churn");
   std::printf("A2: lookup availability under churn (64 peers, replicated "
               "regions, 400 lookups/cell)\n\n");
   std::printf("  %-18s | %-27s | %-27s\n", "", "maintenance ON",
@@ -118,7 +120,13 @@ int main() {
     std::printf("  %-17.0f%% | %12.1f%% %13.2f | %12.1f%% %13.2f\n", f * 100,
                 on.availability * 100, on.mean_hops, off.availability * 100,
                 off.mean_hops);
+    std::string row = "offline_" + std::to_string(int(f * 100));
+    json.Add(row + "/maintenance_on", {{"availability", on.availability},
+                                       {"mean_hops", on.mean_hops}});
+    json.Add(row + "/maintenance_off", {{"availability", off.availability},
+                                        {"mean_hops", off.mean_hops}});
   }
+  json.Finish();
   std::printf("\n  expectation: availability stays high with maintenance "
               "(dead refs evicted, gaps refilled);\n  without it, stale "
               "refs accumulate and success decays with churn.\n");

@@ -16,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "mapping/mapping_graph.h"
 #include "selforg/connectivity.h"
@@ -81,7 +82,8 @@ void RunTrial(uint64_t seed, int num_schemas, bool print_rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_connectivity");
   std::printf("E3: connectivity indicator vs. giant-SCC emergence "
               "(50 schemas, random directed mappings)\n\n");
   RunTrial(/*seed=*/1, /*num_schemas=*/50, /*print_rows=*/true);
@@ -120,5 +122,8 @@ int main() {
               mappings_sum / 20);
   std::printf("    mean largest-SCC fraction there: %.0f%%\n",
               scc_sum / 20 * 100);
+  json.Add("crossover", {{"mean_mappings_at_ci0", mappings_sum / 20},
+                         {"mean_scc_fraction", scc_sum / 20}});
+  json.Finish();
   return 0;
 }

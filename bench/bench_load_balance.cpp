@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/hash.h"
 #include "pgrid/load_stats.h"
 #include "pgrid/pgrid_builder.h"
@@ -67,7 +68,8 @@ void Report(const char* label, const LoadStats& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_load_balance");
   const size_t kPeers = 128;
 
   BioWorkload::Options wl;
@@ -95,32 +97,43 @@ int main() {
   std::printf("  %-42s %8s %8s %9s %7s\n", "configuration", "total", "mean",
               "max/mean", "gini");
 
+  auto record = [&json](const char* row, const LoadStats& s) {
+    json.Add(row, {{"total", double(s.total)},
+                   {"mean", s.mean},
+                   {"max_over_mean", s.max_over_mean},
+                   {"gini", s.gini}});
+  };
   {
     Overlay o(kPeers);
     Rng rng(11);
     PGridBuilder::BuildBalanced(o.peers, &rng);
     Place(&o, uni_keys);
-    Report("A uniform hash + balanced trie", ComputeLoadStats(o.peers));
+    auto s = ComputeLoadStats(o.peers);
+    Report("A uniform hash + balanced trie", s);
+    record("uniform_balanced", s);
   }
   {
     Overlay o(kPeers);
     Rng rng(11);
     PGridBuilder::BuildBalanced(o.peers, &rng);
     Place(&o, op_keys);
-    Report("B order-preserving hash + balanced trie",
-           ComputeLoadStats(o.peers));
+    auto s = ComputeLoadStats(o.peers);
+    Report("B order-preserving hash + balanced trie", s);
+    record("order_preserving_balanced", s);
   }
   {
     Overlay o(kPeers);
     Rng rng(11);
     PGridBuilder::BuildAdaptive(o.peers, op_keys, &rng);
     Place(&o, op_keys);
-    Report("C order-preserving hash + adaptive trie",
-           ComputeLoadStats(o.peers));
+    auto s = ComputeLoadStats(o.peers);
+    Report("C order-preserving hash + adaptive trie", s);
+    record("order_preserving_adaptive", s);
   }
 
   std::printf("\n  expectation: B is badly skewed (high gini); C restores "
               "balance close to A while keeping\n  the range locality that "
               "order preservation buys.\n");
+  json.Finish();
   return 0;
 }

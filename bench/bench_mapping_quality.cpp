@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "bench_json.h"
 #include "selforg/mapping_assessor.h"
 #include "workload/bio_workload.h"
 
@@ -76,7 +77,8 @@ TrialResult RunTrial(const BioWorkload& workload, double error_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_mapping_quality");
   BioWorkload::Options wl;
   wl.num_schemas = 12;
   wl.num_entities = 100;
@@ -104,6 +106,10 @@ int main() {
     }
     std::printf("  %-12.0f%% %9.2f %10.2f %13.0f\n", rate * 100,
                 precision / kSeeds, recall / kSeeds, obs / kSeeds);
+    json.Add("error_rate_" + std::to_string(int(rate * 100)),
+             {{"precision", precision / kSeeds},
+              {"recall", recall / kSeeds},
+              {"observations", obs / kSeeds}});
   }
 
   std::printf("\n  part 2: cycle-length cap ablation (error rate 20%%)\n");
@@ -120,7 +126,12 @@ int main() {
     }
     std::printf("  %-12d %10.2f %10.2f %13.0f\n", cap, precision / kSeeds,
                 recall / kSeeds, obs / kSeeds);
+    json.Add("cycle_cap_" + std::to_string(cap),
+             {{"precision", precision / kSeeds},
+              {"recall", recall / kSeeds},
+              {"observations", obs / kSeeds}});
   }
+  json.Finish();
   std::printf("\n  expectation: high precision throughout; recall degrades "
               "gracefully as errors saturate cycles.\n  cap=2 finds no "
               "evidence (one mapping per pair => no 2-cycles); cap=3 "

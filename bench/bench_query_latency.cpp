@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_json.h"
 #include "workload/bio_workload.h"
 #include "gridvine/gridvine_network.h"
 
@@ -45,7 +46,8 @@ double Percentile(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_query_latency");
   const size_t kPeers = EnvOr("GV_PEERS", 340);
   const size_t kQueries = EnvOr("GV_QUERIES", 23000);
 
@@ -83,9 +85,7 @@ int main() {
   for (size_t s = 0; s < workload.schemas().size(); ++s) {
     size_t owner = (s * 7) % net.size();
     if (!net.InsertSchema(owner, workload.schemas()[s]).ok()) return 1;
-    for (const auto& t : workload.TriplesFor(s)) {
-      if (!net.InsertTriple(owner, t).ok()) return 1;
-    }
+    if (!net.InsertTriples(owner, workload.TriplesFor(s)).ok()) return 1;
   }
   std::printf("  data inserted; issuing queries...\n");
 
@@ -122,5 +122,15 @@ int main() {
   std::printf("  network traffic: %llu messages, %.1f MB\n",
               (unsigned long long)net.network()->stats().messages_sent,
               double(net.network()->stats().bytes_sent) / 1e6);
+  json.Add("latency",
+           {{"within_1s", Fraction(latencies, 1.0)},
+            {"within_5s", Fraction(latencies, 5.0)},
+            {"p50_s", Percentile(latencies, 0.50)},
+            {"p90_s", Percentile(latencies, 0.90)},
+            {"p99_s", Percentile(latencies, 0.99)},
+            {"failed", double(failed)},
+            {"empty", double(empty)},
+            {"messages", double(net.network()->stats().messages_sent)}});
+  json.Finish();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "gridvine/gridvine_network.h"
 
 using namespace gridvine;
@@ -53,7 +54,8 @@ ModeStats RunMode(GridVineNetwork& net, ReformulationMode mode, int chain) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_reformulation");
   std::printf("E6: iterative vs. recursive reformulation along mapping "
               "chains\n\n");
   std::printf("  %-6s | %-28s | %-28s\n", "", "iterative", "recursive");
@@ -95,6 +97,13 @@ int main() {
                 it.results, (unsigned long long)it.messages,
                 it.last_result_at, rec.results,
                 (unsigned long long)rec.messages, rec.last_result_at);
+    std::string row = "chain_" + std::to_string(chain);
+    json.Add(row + "/iterative", {{"results", double(it.results)},
+                                  {"messages", double(it.messages)},
+                                  {"last_result_s", it.last_result_at}});
+    json.Add(row + "/recursive", {{"results", double(rec.results)},
+                                  {"messages", double(rec.messages)},
+                                  {"last_result_s", rec.last_result_at}});
   }
   std::printf("\n  expectation: both retrieve chain+1 results; recursive "
               "reaches the last result much faster on long\n  chains "
@@ -102,5 +111,6 @@ int main() {
               "fewer messages (each hop's\n  mapping fetch runs at the peer "
               "already responsible for the schema's key space, not at the\n"
               "  issuer).\n");
+  json.Finish();
   return 0;
 }

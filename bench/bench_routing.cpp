@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/hash.h"
 #include "pgrid/pgrid_builder.h"
 #include "pgrid/pgrid_peer.h"
@@ -86,7 +87,8 @@ HopStats MeasureHops(Overlay* o, const std::vector<Key>& keys, Rng* rng,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_routing");
   const int kKeyDepth = 20;
   const size_t kLookups = 2000;
   std::printf("E2: routing hops vs. network size (O(log N) expected)\n\n");
@@ -125,8 +127,16 @@ int main() {
     std::printf("  %-7zu %7.1f | %7.2f %7.1f %7d | %7.2f %7.1f %7d\n", n,
                 std::log2(double(n)), hb.mean, hb.p99, hb.max, ha.mean,
                 ha.p99, ha.max);
+    std::string row = "peers_" + std::to_string(n);
+    json.Add(row + "/balanced", {{"mean_hops", hb.mean},
+                                 {"p99_hops", hb.p99},
+                                 {"max_hops", double(hb.max)}});
+    json.Add(row + "/adaptive", {{"mean_hops", ha.mean},
+                                 {"p99_hops", ha.p99},
+                                 {"max_hops", double(ha.max)}});
   }
   std::printf("\n  (hops counted on the request path; 0 = issuer was "
               "responsible)\n");
+  json.Finish();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include <sstream>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/hash.h"
 #include "gridvine/gridvine_network.h"
 
@@ -113,7 +114,8 @@ PolicyResult RunPolicy(TriplePos position, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_routing_policy");
   std::printf("Ablation: query routing-constant policy "
               "(2000 (s,p,?o) queries, 128 peers)\n\n");
   std::printf("  %-22s %12s %12s %12s\n", "policy", "dest gini",
@@ -127,7 +129,12 @@ int main() {
     PolicyResult r = RunPolicy(row.pos, 11);
     std::printf("  %-22s %12.3f %11.1f%% %10.3fs\n", row.name,
                 r.destination_gini, r.max_share * 100, r.mean_latency);
+    json.Add(row.pos == TriplePos::kSubject ? "subject" : "predicate",
+             {{"destination_gini", r.destination_gini},
+              {"max_share", r.max_share},
+              {"mean_latency_s", r.mean_latency}});
   }
+  json.Finish();
   std::printf("\n  expectation: predicate routing funnels all queries about "
               "a relation to the few peers owning\n  predicate keys (high "
               "gini, high max share); subject routing spreads the same "

@@ -39,6 +39,19 @@ void BM_TripleInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_TripleInsert)->Arg(1000)->Arg(10000);
 
+void BM_TripleInsertBatch(benchmark::State& state) {
+  std::vector<Triple> batch;
+  for (int i = 0; i < state.range(0); ++i) batch.push_back(MakeTriple(i));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TripleStore store;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.InsertBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TripleInsertBatch)->Arg(1000)->Arg(10000);
+
 void BM_SelectByPredicate(benchmark::State& state) {
   TripleStore store = BuildStore(int(state.range(0)));
   TriplePattern pattern(Term::Var("s"), Term::Uri("EMBL#Attr3"),
@@ -81,6 +94,21 @@ void BM_SelfJoin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SelfJoin)->Arg(1000)->Arg(5000);
+
+// The join alone, on prebuilt binding sets (BM_SelfJoin also measures the
+// two MatchPattern calls feeding it).
+void BM_HashJoin(benchmark::State& state) {
+  TripleStore store = BuildStore(int(state.range(0)));
+  TriplePattern left(Term::Var("x"), Term::Uri("EMBL#Attr1"), Term::Var("a"));
+  TriplePattern right(Term::Var("x"), Term::Uri("EMBL#Attr2"), Term::Var("b"));
+  auto l = store.MatchPattern(left);
+  auto r = store.MatchPattern(right);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TripleStore::Join(l, r));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(l.size() + r.size()));
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(5000);
 
 void BM_OrderPreservingHash(benchmark::State& state) {
   OrderPreservingHash h(int(state.range(0)));

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite — the exact
+# sequence ROADMAP.md names as the bar every change must keep green.
+#
+#   $ scripts/check.sh            # RelWithDebInfo build + ctest
+#   $ scripts/check.sh --asan     # ASan/UBSan build, runs store + query tests
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-san -S . -DGV_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-san -j "$(nproc)" --target triple_store_test query_test \
+    property_test
+  export ASAN_OPTIONS=detect_leaks=1
+  export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
+  ./build-san/tests/triple_store_test
+  ./build-san/tests/query_test
+  ./build-san/tests/property_test
+  echo "sanitizer run clean"
+  exit 0
+fi
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure

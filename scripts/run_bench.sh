@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary with JSON reporting and writes
+# BENCH_<name>.json at the repo root. Human-readable tables still go to
+# stdout; the JSON files are the machine-readable record checked into the
+# repo for before/after comparisons.
+#
+#   $ scripts/run_bench.sh [build-dir] [filter]
+#
+# build-dir defaults to ./build. filter is a substring: only benches whose
+# name contains it are run (e.g. `scripts/run_bench.sh build store` runs
+# only bench_store_micro).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+filter="${2:-}"
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found; build first:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+
+ran=0
+for bin in "$bench_dir"/bench_*; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name="$(basename "$bin")"
+  [[ -z "$filter" || "$name" == *"$filter"* ]] || continue
+  # Strip the bench_ prefix for the artifact name: BENCH_store_micro.json.
+  out="$repo_root/BENCH_${name#bench_}.json"
+  echo "== $name -> $(basename "$out")"
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json
+  ran=$((ran + 1))
+done
+
+if [[ "$ran" -eq 0 ]]; then
+  echo "error: no benchmarks matched filter '$filter'" >&2
+  exit 1
+fi
+echo
+echo "wrote $ran JSON report(s) at $repo_root/BENCH_*.json"

@@ -61,6 +61,18 @@ Status GridVineNetwork::InsertTriple(size_t peer_idx, const Triple& triple) {
   return result;
 }
 
+Status GridVineNetwork::InsertTriples(size_t peer_idx,
+                                      const std::vector<Triple>& triples) {
+  bool done = false;
+  Status result;
+  peers_[peer_idx]->InsertTriples(triples, [&](Status s) {
+    result = std::move(s);
+    done = true;
+  });
+  PumpUntil(&done);
+  return result;
+}
+
 Status GridVineNetwork::RemoveTriple(size_t peer_idx, const Triple& triple) {
   bool done = false;
   Status result;

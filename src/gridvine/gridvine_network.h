@@ -66,6 +66,10 @@ class GridVineNetwork {
   // --- Synchronous wrappers (pump the simulator until completion) ----------
 
   Status InsertTriple(size_t peer_idx, const Triple& triple);
+  /// Bulk load through one peer: all overlay updates in flight at once,
+  /// pumped to completion — much faster than a loop of InsertTriple calls,
+  /// which each wait for three acks before issuing the next.
+  Status InsertTriples(size_t peer_idx, const std::vector<Triple>& triples);
   Status RemoveTriple(size_t peer_idx, const Triple& triple);
   Status InsertSchema(size_t peer_idx, const Schema& schema);
   Status InsertMapping(size_t peer_idx, const SchemaMapping& mapping);

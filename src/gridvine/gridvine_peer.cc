@@ -108,6 +108,29 @@ void GridVinePeer::InsertTriple(const Triple& triple, StatusCallback cb) {
                    agg->MakeCallback());
 }
 
+void GridVinePeer::InsertTriples(const std::vector<Triple>& triples,
+                                 StatusCallback cb) {
+  if (triples.empty()) {
+    cb(Status::OK());
+    return;
+  }
+  for (const Triple& t : triples) {
+    Status valid = t.Validate();
+    if (!valid.ok()) {
+      cb(valid);
+      return;
+    }
+  }
+  auto agg = AckAggregator::Create(int(triples.size()) * 3, std::move(cb));
+  for (const Triple& t : triples) {
+    std::string value = t.Serialize();
+    overlay_->Update(KeyFor(t.subject().value()), value, agg->MakeCallback());
+    overlay_->Update(KeyFor(t.predicate().value()), value,
+                     agg->MakeCallback());
+    overlay_->Update(KeyFor(t.object().value()), value, agg->MakeCallback());
+  }
+}
+
 void GridVinePeer::RemoveTriple(const Triple& triple, StatusCallback cb) {
   std::string value = triple.Serialize();
   auto agg = AckAggregator::Create(3, std::move(cb));

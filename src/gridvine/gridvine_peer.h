@@ -80,6 +80,12 @@ class GridVinePeer {
   /// acknowledged (first error wins, remaining acks ignored).
   void InsertTriple(const Triple& triple, StatusCallback cb);
 
+  /// Bulk load: validates every triple up front (failing fast, before any
+  /// network traffic), then dispatches all 3·n overlay updates at once and
+  /// fires the callback after the last ack (first error wins). Receiving
+  /// peers absorb the burst through TripleStore's batch-friendly indexes.
+  void InsertTriples(const std::vector<Triple>& triples, StatusCallback cb);
+
   /// Removes a triple (three overlay deletes).
   void RemoveTriple(const Triple& triple, StatusCallback cb);
 

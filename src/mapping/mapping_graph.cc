@@ -12,16 +12,22 @@ void MappingGraph::AddMapping(const SchemaMapping& mapping) {
   schemas_.insert(mapping.source_schema());
   schemas_.insert(mapping.target_schema());
   mappings_[mapping.id()] = mapping;
+  ++version_;
 }
 
 bool MappingGraph::RemoveMapping(const std::string& id) {
-  return mappings_.erase(id) > 0;
+  if (mappings_.erase(id) == 0) return false;
+  ++version_;
+  return true;
 }
 
 bool MappingGraph::Deprecate(const std::string& id) {
   auto it = mappings_.find(id);
   if (it == mappings_.end()) return false;
-  it->second.set_deprecated(true);
+  if (!it->second.deprecated()) {
+    it->second.set_deprecated(true);
+    ++version_;
+  }
   return true;
 }
 

@@ -30,6 +30,11 @@ class MappingGraph {
   /// Marks a mapping deprecated (kept, but excluded from edges/paths).
   bool Deprecate(const std::string& id);
 
+  /// Monotonic counter bumped by every edge-set change (AddMapping,
+  /// RemoveMapping, Deprecate). Lets derived structures — notably the
+  /// ReformulationCache — detect staleness with a single integer compare.
+  uint64_t version() const { return version_; }
+
   Result<SchemaMapping> Get(const std::string& id) const;
   bool Contains(const std::string& id) const;
 
@@ -85,6 +90,7 @@ class MappingGraph {
 
   std::set<std::string> schemas_;
   std::map<std::string, SchemaMapping> mappings_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace gridvine

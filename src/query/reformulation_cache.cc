@@ -1,0 +1,52 @@
+#include "query/reformulation_cache.h"
+
+namespace gridvine {
+
+std::vector<ReformulatedQuery> ReformulationCache::Expand(
+    const TriplePatternQuery& query, const MappingGraph& graph, int max_hops) {
+  const Term& pred = query.pattern().predicate();
+  if (!pred.IsUri()) return {};  // nothing to rewrite (matches ExpandQuery)
+
+  TermId pid = predicate_ids_.Intern(pred);
+  uint64_t key = (uint64_t(pid) << 32) | uint32_t(max_hops);
+
+  auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.graph_version == graph.version()) {
+    ++hits_;
+  } else {
+    ++misses_;
+    Entry entry;
+    entry.graph_version = graph.version();
+    for (const ReformulatedQuery& rq : ExpandQuery(query, graph, max_hops)) {
+      entry.derivations.push_back(
+          Derivation{rq.query.pattern().predicate().value(), rq.mapping_ids,
+                     rq.schema, rq.confidence});
+    }
+    it = cache_.insert_or_assign(key, std::move(entry)).first;
+  }
+  const Entry& entry = it->second;
+
+  // Re-apply the cached derivations to this query's concrete pattern: only
+  // the predicate differs between expansions of the same (schema, predicate).
+  std::vector<ReformulatedQuery> out;
+  out.reserve(entry.derivations.size());
+  for (const Derivation& d : entry.derivations) {
+    ReformulatedQuery rq;
+    rq.query = query.WithPattern(query.pattern().With(
+        TriplePos::kPredicate, Term::Uri(d.predicate_uri)));
+    rq.mapping_ids = d.mapping_ids;
+    rq.schema = d.schema;
+    rq.confidence = d.confidence;
+    out.push_back(std::move(rq));
+  }
+  return out;
+}
+
+void ReformulationCache::Clear() {
+  cache_.clear();
+  predicate_ids_.Clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,72 @@
+#ifndef GRIDVINE_QUERY_REFORMULATION_CACHE_H_
+#define GRIDVINE_QUERY_REFORMULATION_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mapping/mapping_graph.h"
+#include "query/reformulation.h"
+#include "rdf/term_dictionary.h"
+
+namespace gridvine {
+
+/// Memoizes ExpandQuery. The paper's iterative reformulation walks the same
+/// mapping edges for every incoming query, yet the set of rewrites depends
+/// only on (source schema, predicate, hop budget, mapping-graph state): the
+/// non-predicate parts of the pattern are carried through every rewrite
+/// unchanged (Reformulate only swaps the predicate — the view unfolding of
+/// Figure 2). So the cache stores per-predicate *derivations* — (rewritten
+/// predicate, mapping-id path, target schema, confidence) — and re-applies
+/// them to each concrete query's pattern.
+///
+/// Keying: the predicate URI is interned into a TermDictionary (the schema
+/// is a prefix of the predicate URI, so the predicate id subsumes it) and
+/// combined with max_hops. Entries remember the MappingGraph::version() they
+/// were derived from; any AddMapping / RemoveMapping / Deprecate bumps the
+/// version and stale entries are recomputed on next use.
+///
+/// A cache instance must be paired with one MappingGraph: version numbers
+/// from unrelated graphs are not comparable. Not thread-safe (like the rest
+/// of a peer's query state).
+class ReformulationCache {
+ public:
+  ReformulationCache() = default;
+
+  /// Drop-in replacement for ExpandQuery (same contract: every distinct
+  /// reformulation reachable through non-deprecated mappings, BFS, original
+  /// query excluded).
+  std::vector<ReformulatedQuery> Expand(const TriplePatternQuery& query,
+                                        const MappingGraph& graph,
+                                        int max_hops);
+
+  /// Removes every cached entry (the version check makes this unnecessary
+  /// for correctness; it reclaims memory after large graph churn).
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t entries() const { return cache_.size(); }
+
+ private:
+  struct Derivation {
+    std::string predicate_uri;  ///< rewritten predicate of the target schema
+    std::vector<std::string> mapping_ids;
+    std::string schema;
+    double confidence = 1.0;
+  };
+  struct Entry {
+    uint64_t graph_version = 0;
+    std::vector<Derivation> derivations;
+  };
+
+  std::unordered_map<uint64_t, Entry> cache_;  // (predicate id, hops) packed
+  TermDictionary predicate_ids_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_REFORMULATION_CACHE_H_

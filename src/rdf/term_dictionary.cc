@@ -1,0 +1,25 @@
+#include "rdf/term_dictionary.h"
+
+namespace gridvine {
+
+TermId TermDictionary::Intern(const Term& term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  auto [inserted, _] = ids_.emplace(term, id);
+  terms_.push_back(&inserted->first);
+  return id;
+}
+
+std::optional<TermId> TermDictionary::Lookup(const Term& term) const {
+  auto it = ids_.find(term);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TermDictionary::Clear() {
+  ids_.clear();
+  terms_.clear();
+}
+
+}  // namespace gridvine

@@ -1,0 +1,65 @@
+#ifndef GRIDVINE_RDF_TERM_DICTIONARY_H_
+#define GRIDVINE_RDF_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace gridvine {
+
+/// Dense integer handle for an interned Term. Ids are assigned contiguously
+/// from 0 in interning order and are stable for the dictionary's lifetime.
+using TermId = uint32_t;
+
+/// Sentinel: "no term" (never a valid id).
+inline constexpr TermId kNoTermId = UINT32_MAX;
+
+/// Hash over (kind, value) — usable for unordered containers of Term.
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    size_t h = std::hash<std::string>()(t.value());
+    // Splice the kind into the high bits so "uri x" != "literal x".
+    return h ^ (size_t(t.kind()) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+/// String ⇄ id interning table for RDF terms.
+///
+/// Every distinct (kind, value) pair is stored exactly once; all further
+/// occurrences are represented by a 4-byte TermId. This is the standard RDF
+/// dictionary-encoding trick: the store hashes/compares fixed-width ids on
+/// its hot paths and only touches strings when terms enter or leave the
+/// system. Ids are never recycled — a dictionary only grows (callers that
+/// erase data keep decode stability; see TripleStore's compaction notes).
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Returns the id of `term`, interning it first if absent.
+  TermId Intern(const Term& term);
+
+  /// Returns the id of `term` if already interned; nullopt otherwise.
+  /// Never modifies the dictionary — the lookup path for query constants.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  /// The term for a previously returned id. Precondition: id < size().
+  const Term& Decode(TermId id) const { return *terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  void Clear();
+
+ private:
+  // The map owns the Term; unordered_map nodes are address-stable, so the
+  // decode table can point straight into them (no second string copy).
+  std::unordered_map<Term, TermId, TermHash> ids_;
+  std::vector<const Term*> terms_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_RDF_TERM_DICTIONARY_H_

@@ -1,0 +1,13 @@
+#include "store/ntriples_loader.h"
+
+#include "rdf/ntriples.h"
+
+namespace gridvine {
+
+Result<size_t> LoadNTriples(const std::string& text, TripleStore* store) {
+  GV_ASSIGN_OR_RETURN(auto triples, ParseNTriples(text));
+  GV_RETURN_NOT_OK(store->InsertBatch(triples));
+  return triples.size();
+}
+
+}  // namespace gridvine

@@ -1,0 +1,20 @@
+#ifndef GRIDVINE_STORE_NTRIPLES_LOADER_H_
+#define GRIDVINE_STORE_NTRIPLES_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "store/triple_store.h"
+
+namespace gridvine {
+
+/// Parses an N-Triples document and bulk-loads it into `store` via
+/// TripleStore::InsertBatch (one capacity reservation for the whole
+/// document). Fails without touching the store when the document is
+/// malformed. Returns the number of parsed triples (duplicates included;
+/// the store deduplicates).
+Result<size_t> LoadNTriples(const std::string& text, TripleStore* store);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_STORE_NTRIPLES_LOADER_H_

@@ -1,108 +1,245 @@
 #include "store/triple_store.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/string_util.h"
 
 namespace gridvine {
 
+// --- Ingest --------------------------------------------------------------------
+
+void TripleStore::InsertEncoded(const Triple& t) {
+  IdTriple enc{dict_.Intern(t.subject()), dict_.Intern(t.predicate()),
+               dict_.Intern(t.object())};
+  if (present_.count(enc)) return;  // idempotent
+  uint32_t slot = static_cast<uint32_t>(slots_.size());
+  slots_.push_back(enc);
+  live_.push_back(true);
+  present_.emplace(enc, slot);
+  by_subject_[enc.s].push_back(slot);
+  by_predicate_[enc.p].push_back(slot);
+  by_object_[enc.o].push_back(slot);
+}
+
 Status TripleStore::Insert(const Triple& t) {
   GV_RETURN_NOT_OK(t.Validate());
-  if (present_.count(t)) return Status::OK();  // idempotent
-  uint32_t id = static_cast<uint32_t>(triples_.size());
-  triples_.push_back(t);
-  live_.push_back(true);
-  present_.insert(t);
-  by_subject_.emplace(t.subject().value(), id);
-  by_predicate_.emplace(t.predicate().value(), id);
-  by_object_.emplace(t.object().value(), id);
-  ++live_count_;
+  InsertEncoded(t);
+  return Status::OK();
+}
+
+Status TripleStore::InsertBatch(const std::vector<Triple>& triples) {
+  // Validate everything up front so a bad triple rejects the whole batch
+  // without leaving a partial insert behind.
+  for (const Triple& t : triples) {
+    GV_RETURN_NOT_OK(t.Validate());
+  }
+  slots_.reserve(slots_.size() + triples.size());
+  live_.reserve(live_.size() + triples.size());
+  present_.reserve(present_.size() + triples.size());
+  for (const Triple& t : triples) {
+    InsertEncoded(t);
+  }
   return Status::OK();
 }
 
 bool TripleStore::Erase(const Triple& t) {
-  if (!present_.count(t)) return false;
-  present_.erase(t);
-  // Tombstone the slot; index entries pointing at dead slots are skipped on
-  // scan. Index cleanup is lazy (Clear rebuilds), which keeps Erase O(k)
-  // in the subject fan-out instead of touching three indexes.
-  auto range = by_subject_.equal_range(t.subject().value());
-  for (auto it = range.first; it != range.second; ++it) {
-    uint32_t id = it->second;
-    if (live_[id] && triples_[id] == t) {
-      live_[id] = false;
-      --live_count_;
-      return true;
-    }
+  IdTriple enc;
+  {
+    auto s = dict_.Lookup(t.subject());
+    auto p = dict_.Lookup(t.predicate());
+    auto o = dict_.Lookup(t.object());
+    if (!s || !p || !o) return false;  // some term never seen: not present
+    enc = IdTriple{*s, *p, *o};
   }
-  return false;
+  auto it = present_.find(enc);
+  if (it == present_.end()) return false;
+  // Tombstone the slot; posting-list entries pointing at dead slots are
+  // skipped on scan and reclaimed wholesale by MaybeCompact. The present
+  // map, slot list and counters always change together — a miss above
+  // leaves the store untouched.
+  live_[it->second] = false;
+  present_.erase(it);
+  ++dead_count_;
+  MaybeCompact();
+  return true;
 }
 
-bool TripleStore::Contains(const Triple& t) const { return present_.count(t); }
+bool TripleStore::Contains(const Triple& t) const {
+  auto s = dict_.Lookup(t.subject());
+  if (!s) return false;
+  auto p = dict_.Lookup(t.predicate());
+  if (!p) return false;
+  auto o = dict_.Lookup(t.object());
+  if (!o) return false;
+  return present_.count(IdTriple{*s, *p, *o}) > 0;
+}
 
 void TripleStore::Clear() {
-  triples_.clear();
+  dict_.Clear();
+  slots_.clear();
   live_.clear();
   present_.clear();
   by_subject_.clear();
   by_predicate_.clear();
   by_object_.clear();
-  live_count_ = 0;
+  dead_count_ = 0;
 }
 
-std::vector<uint32_t> TripleStore::CandidateIds(
-    const TriplePattern& pattern) const {
-  // Pick the smallest applicable exact index.
-  const std::unordered_multimap<std::string, uint32_t>* index = nullptr;
-  const std::string* key = nullptr;
-  size_t best = SIZE_MAX;
-  auto consider = [&](TriplePos pos,
-                      const std::unordered_multimap<std::string, uint32_t>& m) {
-    if (!pattern.IsExactConstant(pos)) return;
-    const std::string& v = pattern.at(pos).value();
-    size_t n = m.count(v);
-    if (n < best) {
-      best = n;
-      index = &m;
-      key = &v;
-    }
-  };
-  consider(TriplePos::kSubject, by_subject_);
-  consider(TriplePos::kPredicate, by_predicate_);
-  consider(TriplePos::kObject, by_object_);
+void TripleStore::MaybeCompact() {
+  if (slots_.size() < kCompactMinSlots) return;
+  if (double(dead_count_) < kCompactDeadFraction * double(slots_.size())) {
+    return;
+  }
+  std::vector<IdTriple> new_slots;
+  new_slots.reserve(present_.size());
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (live_[slot]) new_slots.push_back(slots_[slot]);
+  }
+  slots_ = std::move(new_slots);
+  live_.assign(slots_.size(), true);
+  dead_count_ = 0;
+  present_.clear();
+  by_subject_.clear();
+  by_predicate_.clear();
+  by_object_.clear();
+  present_.reserve(slots_.size());
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    const IdTriple& enc = slots_[slot];
+    present_.emplace(enc, slot);
+    by_subject_[enc.s].push_back(slot);
+    by_predicate_[enc.p].push_back(slot);
+    by_object_[enc.o].push_back(slot);
+  }
+}
 
-  std::vector<uint32_t> ids;
-  if (index != nullptr) {
-    auto range = index->equal_range(*key);
-    for (auto it = range.first; it != range.second; ++it) {
-      if (live_[it->second]) ids.push_back(it->second);
+// --- Pattern matching ----------------------------------------------------------
+
+TripleStore::CompiledPattern TripleStore::Compile(
+    const TriplePattern& pattern) const {
+  CompiledPattern cp;
+  const TriplePos kAll[] = {TriplePos::kSubject, TriplePos::kPredicate,
+                            TriplePos::kObject};
+  for (int i = 0; i < 3; ++i) {
+    const Term& term = pattern.at(kAll[i]);
+    if (term.IsVariable()) {
+      // Repeated variables become id-equality constraints.
+      for (int j = 0; j < i; ++j) {
+        const Term& prev = pattern.at(kAll[j]);
+        if (prev.IsVariable() && prev.value() == term.value()) {
+          cp.equal_positions.emplace_back(j, i);
+        }
+      }
+      continue;
     }
-  } else {
-    for (uint32_t id = 0; id < triples_.size(); ++id) {
-      if (live_[id]) ids.push_back(id);
+    if (pattern.IsExactConstant(kAll[i])) {
+      auto id = dict_.Lookup(term);
+      if (!id) {
+        cp.impossible = true;  // constant never interned: nothing can match
+        return cp;
+      }
+      cp.exact[i] = *id;
+    } else {
+      cp.like[i] = &term.value();  // '%' literal: needs string-level LIKE
     }
   }
-  return ids;
+  return cp;
+}
+
+bool TripleStore::MatchesIds(CompiledPattern& cp, const IdTriple& t) const {
+  for (int i = 0; i < 3; ++i) {
+    if (cp.exact[i] != kNoTermId && cp.exact[i] != IdAt(t, i)) return false;
+    if (cp.like[i] != nullptr) {
+      TermId id = IdAt(t, i);
+      auto [it, fresh] = cp.like_verdicts[i].try_emplace(id, false);
+      if (fresh) {
+        const Term& data = dict_.Decode(id);
+        it->second = data.IsLiteral() && LikeMatch(data.value(), *cp.like[i]);
+      }
+      if (!it->second) return false;
+    }
+  }
+  for (auto [a, b] : cp.equal_positions) {
+    if (IdAt(t, a) != IdAt(t, b)) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> TripleStore::MatchingSlots(
+    const TriplePattern& pattern) const {
+  std::vector<uint32_t> out;
+  CompiledPattern cp = Compile(pattern);
+  if (cp.impossible) return out;
+
+  // Pick the smallest applicable posting list (sizes include tombstones —
+  // a fine selectivity estimate since compaction bounds the dead fraction).
+  const std::vector<uint32_t>* postings = nullptr;
+  const PostingMap* maps[3] = {&by_subject_, &by_predicate_, &by_object_};
+  for (int i = 0; i < 3; ++i) {
+    if (cp.exact[i] == kNoTermId) continue;
+    auto it = maps[i]->find(cp.exact[i]);
+    if (it == maps[i]->end()) return out;  // interned but never in a triple
+    if (postings == nullptr || it->second.size() < postings->size()) {
+      postings = &it->second;
+    }
+  }
+
+  if (postings != nullptr) {
+    for (uint32_t slot : *postings) {
+      if (live_[slot] && MatchesIds(cp, slots_[slot])) out.push_back(slot);
+    }
+  } else {
+    for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      if (live_[slot] && MatchesIds(cp, slots_[slot])) out.push_back(slot);
+    }
+  }
+  return out;
+}
+
+Triple TripleStore::DecodeSlot(uint32_t slot) const {
+  const IdTriple& enc = slots_[slot];
+  return Triple(dict_.Decode(enc.s), dict_.Decode(enc.p), dict_.Decode(enc.o));
 }
 
 std::vector<Triple> TripleStore::Select(const TriplePattern& pattern) const {
+  std::vector<uint32_t> slots = MatchingSlots(pattern);
   std::vector<Triple> out;
-  for (uint32_t id : CandidateIds(pattern)) {
-    if (pattern.Matches(triples_[id])) out.push_back(triples_[id]);
-  }
+  out.reserve(slots.size());
+  for (uint32_t slot : slots) out.push_back(DecodeSlot(slot));
   return out;
 }
 
 std::vector<BindingSet> TripleStore::MatchPattern(
     const TriplePattern& pattern) const {
+  // Variable positions, deduplicated: a repeated variable binds once (the
+  // id-equality constraint already guaranteed both positions agree).
+  struct VarPos {
+    const std::string* name;
+    int pos;
+  };
+  std::array<VarPos, 3> vars;
+  int n_vars = 0;
+  const TriplePos kAll[] = {TriplePos::kSubject, TriplePos::kPredicate,
+                            TriplePos::kObject};
+  for (int i = 0; i < 3; ++i) {
+    const Term& term = pattern.at(kAll[i]);
+    if (!term.IsVariable()) continue;
+    bool seen = false;
+    for (int v = 0; v < n_vars; ++v) {
+      if (*vars[size_t(v)].name == term.value()) seen = true;
+    }
+    if (!seen) vars[size_t(n_vars++)] = {&term.value(), i};
+  }
+
+  std::vector<uint32_t> slots = MatchingSlots(pattern);
   std::vector<BindingSet> out;
-  for (const Triple& t : Select(pattern)) {
+  out.reserve(slots.size());
+  for (uint32_t slot : slots) {
+    const IdTriple& enc = slots_[slot];
     BindingSet b;
-    for (TriplePos pos :
-         {TriplePos::kSubject, TriplePos::kPredicate, TriplePos::kObject}) {
-      if (pattern.at(pos).IsVariable()) {
-        b[pattern.at(pos).value()] = t.at(pos);
-      }
+    for (int v = 0; v < n_vars; ++v) {
+      b.emplace(*vars[size_t(v)].name,
+                dict_.Decode(IdAt(enc, vars[size_t(v)].pos)));
     }
     out.push_back(std::move(b));
   }
@@ -119,6 +256,42 @@ std::vector<Term> TripleStore::Project(const std::vector<BindingSet>& bindings,
   return std::vector<Term>(seen.begin(), seen.end());
 }
 
+// --- Join ----------------------------------------------------------------------
+
+namespace {
+
+/// A join key: the row's terms for the shared variables, as ids from a
+/// join-local interning table — fixed-width, no string concatenation.
+/// Up to kMaxInlineVars shared variables are stored inline (a binding set
+/// holds at most a handful of variables in practice).
+constexpr size_t kMaxInlineVars = 8;
+
+struct JoinKey {
+  std::array<uint32_t, kMaxInlineVars> ids;
+  uint8_t n = 0;
+  bool operator==(const JoinKey& other) const {
+    if (n != other.n) return false;
+    for (uint8_t i = 0; i < n; ++i) {
+      if (ids[i] != other.ids[i]) return false;
+    }
+    return true;
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ k.n;
+    for (uint8_t i = 0; i < k.n; ++i) {
+      h ^= k.ids[i];
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+    }
+    return size_t(h);
+  }
+};
+
+}  // namespace
+
 std::vector<BindingSet> TripleStore::Join(const std::vector<BindingSet>& left,
                                           const std::vector<BindingSet>& right) {
   if (left.empty() || right.empty()) return {};
@@ -128,24 +301,50 @@ std::vector<BindingSet> TripleStore::Join(const std::vector<BindingSet>& left,
     if (right[0].count(var)) shared.push_back(var);
   }
 
-  auto join_key = [&shared](const BindingSet& b) {
-    std::string key;
+  // Join-local dictionary: each distinct term is hashed as a string exactly
+  // once; rows are then keyed by small fixed-width id tuples.
+  std::unordered_map<Term, uint32_t, TermHash> local_ids;
+  auto id_of = [&local_ids](const Term& t) {
+    auto [it, _] = local_ids.emplace(t, uint32_t(local_ids.size()));
+    return it->second;
+  };
+  auto key_of = [&](const BindingSet& b) {
+    JoinKey key;
     for (const auto& var : shared) {
-      const Term& t = b.at(var);
-      key += std::to_string(int(t.kind()));
-      key += ':';
-      key += t.value();
-      key += '\x1f';
+      key.ids[key.n++] = id_of(b.at(var));
     }
     return key;
   };
 
-  std::unordered_multimap<std::string, const BindingSet*> hashed;
-  for (const BindingSet& b : right) hashed.emplace(join_key(b), &b);
+  if (shared.size() > kMaxInlineVars) {
+    // Degenerate arity (not produced by triple-pattern queries): fall back
+    // to a nested-loop join rather than widening the key type.
+    std::vector<BindingSet> out;
+    for (const BindingSet& l : left) {
+      for (const BindingSet& r : right) {
+        bool match = true;
+        for (const auto& var : shared) {
+          if (l.at(var) != r.at(var)) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        BindingSet merged = l;
+        for (const auto& [var, term] : r) merged[var] = term;
+        out.push_back(std::move(merged));
+      }
+    }
+    return out;
+  }
+
+  std::unordered_multimap<JoinKey, const BindingSet*, JoinKeyHash> hashed;
+  hashed.reserve(right.size());
+  for (const BindingSet& b : right) hashed.emplace(key_of(b), &b);
 
   std::vector<BindingSet> out;
   for (const BindingSet& l : left) {
-    auto range = hashed.equal_range(join_key(l));
+    auto range = hashed.equal_range(key_of(l));
     for (auto it = range.first; it != range.second; ++it) {
       BindingSet merged = l;
       for (const auto& [var, term] : *it->second) merged[var] = term;
@@ -155,10 +354,17 @@ std::vector<BindingSet> TripleStore::Join(const std::vector<BindingSet>& left,
   return out;
 }
 
+// --- Introspection -------------------------------------------------------------
+
 std::vector<Term> TripleStore::DistinctPredicates() const {
   std::set<Term> seen;
-  for (uint32_t id = 0; id < triples_.size(); ++id) {
-    if (live_[id]) seen.insert(triples_[id].predicate());
+  for (const auto& [pid, postings] : by_predicate_) {
+    for (uint32_t slot : postings) {
+      if (live_[slot]) {
+        seen.insert(dict_.Decode(pid));
+        break;
+      }
+    }
   }
   return std::vector<Term>(seen.begin(), seen.end());
 }
@@ -166,18 +372,21 @@ std::vector<Term> TripleStore::DistinctPredicates() const {
 std::set<std::string> TripleStore::ObjectValuesFor(
     const std::string& predicate_uri) const {
   std::set<std::string> out;
-  auto range = by_predicate_.equal_range(predicate_uri);
-  for (auto it = range.first; it != range.second; ++it) {
-    if (live_[it->second]) out.insert(triples_[it->second].object().value());
+  auto pid = dict_.Lookup(Term::Uri(predicate_uri));
+  if (!pid) return out;
+  auto it = by_predicate_.find(*pid);
+  if (it == by_predicate_.end()) return out;
+  for (uint32_t slot : it->second) {
+    if (live_[slot]) out.insert(dict_.Decode(slots_[slot].o).value());
   }
   return out;
 }
 
 std::vector<Triple> TripleStore::All() const {
   std::vector<Triple> out;
-  out.reserve(live_count_);
-  for (uint32_t id = 0; id < triples_.size(); ++id) {
-    if (live_[id]) out.push_back(triples_[id]);
+  out.reserve(present_.size());
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (live_[slot]) out.push_back(DecodeSlot(slot));
   }
   return out;
 }

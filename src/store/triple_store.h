@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "rdf/term_dictionary.h"
 #include "rdf/triple.h"
 #include "rdf/triple_pattern.h"
 
@@ -23,6 +24,14 @@ using BindingSet = std::map<std::string, Term>;
 /// indexes on each attribute, supporting the three relational operators the
 /// paper names — selection σ (with SQL-LIKE '%' patterns on literals),
 /// projection π, and (self-)join ⋈.
+///
+/// Storage is dictionary-encoded: every URI/literal is interned once into a
+/// TermDictionary and triples are stored as {sid, pid, oid} id tuples. The
+/// three per-position indexes are posting lists keyed by TermId, so inserts
+/// hash each term string at most once and pattern matching compares 4-byte
+/// ids; strings are only touched at the API boundary (decode on Select /
+/// MatchPattern output, LIKE filters). Erase tombstones the slot; posting
+/// lists are compacted lazily once the dead fraction crosses a threshold.
 class TripleStore {
  public:
   TripleStore() = default;
@@ -30,12 +39,17 @@ class TripleStore {
   /// Inserts a triple; duplicates are ignored. Fails on invalid triples.
   Status Insert(const Triple& t);
 
+  /// Bulk ingest: pre-reserves slot and index capacity then inserts each
+  /// triple (duplicates ignored). Stops at the first invalid triple and
+  /// returns its error; everything before it stays inserted.
+  Status InsertBatch(const std::vector<Triple>& triples);
+
   /// Removes a triple; true if it was present.
   bool Erase(const Triple& t);
 
   bool Contains(const Triple& t) const;
-  size_t size() const { return live_count_; }
-  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return present_.size(); }
+  bool empty() const { return present_.empty(); }
   void Clear();
 
   /// Selection σ: all triples matching the pattern's constants. Uses the
@@ -52,7 +66,8 @@ class TripleStore {
                             const std::string& var) const;
 
   /// Natural join ⋈ of two binding lists on their shared variables (hash
-  /// join). With no shared variables this is a cross product.
+  /// join over fixed-width interned-id tuples). With no shared variables
+  /// this is a cross product.
   static std::vector<BindingSet> Join(const std::vector<BindingSet>& left,
                                       const std::vector<BindingSet>& right);
 
@@ -66,17 +81,81 @@ class TripleStore {
   /// Whole content (stable iteration for serialization / tests).
   std::vector<Triple> All() const;
 
- private:
-  /// Scan candidates by an exact index, or everything.
-  std::vector<uint32_t> CandidateIds(const TriplePattern& pattern) const;
+  /// Interned distinct terms (diagnostics; grows monotonically between
+  /// Clear() calls).
+  size_t dictionary_size() const { return dict_.size(); }
 
-  std::vector<Triple> triples_;          // slot list; erased slots tombstoned
-  std::vector<bool> live_;               // parallel to triples_
-  std::set<Triple> present_;             // dedup + Contains
-  std::unordered_multimap<std::string, uint32_t> by_subject_;
-  std::unordered_multimap<std::string, uint32_t> by_predicate_;
-  std::unordered_multimap<std::string, uint32_t> by_object_;
-  size_t live_count_ = 0;
+ private:
+  /// A triple as stored: three dictionary ids.
+  struct IdTriple {
+    TermId s, p, o;
+    bool operator==(const IdTriple& other) const {
+      return s == other.s && p == other.p && o == other.o;
+    }
+  };
+  struct IdTripleHash {
+    size_t operator()(const IdTriple& t) const {
+      // Mix the three 32-bit ids (fmix-style avalanche over two 64-bit lanes).
+      uint64_t h = (uint64_t(t.s) << 32) | t.p;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= uint64_t(t.o) * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 29;
+      return size_t(h);
+    }
+  };
+
+  using PostingMap = std::unordered_map<TermId, std::vector<uint32_t>>;
+
+  /// A pattern with its constants resolved against the dictionary, ready for
+  /// id-level matching. `impossible` short-circuits when an exact constant
+  /// is not interned at all (no triple can match).
+  struct CompiledPattern {
+    // Per position: kNoTermId when not an exact id constraint.
+    TermId exact[3] = {kNoTermId, kNoTermId, kNoTermId};
+    // Positions holding a '%' LIKE literal (decode + string match needed).
+    const std::string* like[3] = {nullptr, nullptr, nullptr};
+    // LIKE verdicts per term id, filled lazily during one scan: dictionary
+    // encoding means a '%' predicate runs once per *distinct* value rather
+    // than once per row.
+    std::unordered_map<TermId, bool> like_verdicts[3];
+    // Repeated-variable equality constraints, as position pairs.
+    std::vector<std::pair<int, int>> equal_positions;
+    bool impossible = false;
+  };
+  CompiledPattern Compile(const TriplePattern& pattern) const;
+  bool MatchesIds(CompiledPattern& cp, const IdTriple& t) const;
+
+  TermId IdAt(const IdTriple& t, int pos) const {
+    return pos == 0 ? t.s : pos == 1 ? t.p : t.o;
+  }
+
+  /// Live slot ids matching the pattern (smallest applicable posting list,
+  /// else full scan), already filtered through MatchesIds.
+  std::vector<uint32_t> MatchingSlots(const TriplePattern& pattern) const;
+
+  Triple DecodeSlot(uint32_t slot) const;
+
+  /// Inner insert once validation is done.
+  void InsertEncoded(const Triple& t);
+
+  /// Drops tombstoned slots and rebuilds posting lists / the present map
+  /// when the dead fraction crosses kCompactDeadFraction. Slot ids are
+  /// internal, so renumbering is invisible to callers. The dictionary is
+  /// left untouched (ids stay valid; unreferenced terms are rare and cheap).
+  void MaybeCompact();
+  static constexpr size_t kCompactMinSlots = 64;
+  static constexpr double kCompactDeadFraction = 0.5;
+
+  TermDictionary dict_;
+  std::vector<IdTriple> slots_;  // erased slots tombstoned via live_
+  std::vector<bool> live_;       // parallel to slots_
+  /// Dedup + Contains + O(1) erase: encoded triple -> live slot.
+  std::unordered_map<IdTriple, uint32_t, IdTripleHash> present_;
+  PostingMap by_subject_;
+  PostingMap by_predicate_;
+  PostingMap by_object_;
+  size_t dead_count_ = 0;
 };
 
 }  // namespace gridvine

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/hash.h"
@@ -118,6 +121,165 @@ TEST_P(StoreConsistencyTest, SelectMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreConsistencyTest,
                          ::testing::Values(10, 20, 30, 40));
+
+// Differential test of the ID-encoded store against a naive full-scan
+// reference, under a churny workload: random inserts, erases and reinserts
+// over a small value universe. The erase volume is far above the lazy
+// compaction threshold (dead fraction 1/2 at >= 64 slots), so posting-list
+// compaction and slot renumbering run many times mid-test; the dictionary
+// keeps growing across phases since erased terms are never forgotten.
+class StoreChurnDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreChurnDifferentialTest, ChurnedStoreMatchesBruteForce) {
+  Rng rng(GetParam());
+  TripleStore store;
+  std::vector<Triple> reference;  // live triples, naive model
+
+  auto ref_contains = [&](const Triple& t) {
+    for (const auto& r : reference) {
+      if (r == t) return true;
+    }
+    return false;
+  };
+  auto ref_erase = [&](const Triple& t) {
+    for (size_t i = 0; i < reference.size(); ++i) {
+      if (reference[i] == t) {
+        reference.erase(reference.begin() + long(i));
+        return true;
+      }
+    }
+    return false;
+  };
+  auto rand_name = [&](const char* prefix, int max) {
+    return std::string(prefix) + std::to_string(rng.UniformInt(0, max));
+  };
+  // Each phase widens the universe so the dictionary grows monotonically
+  // even while the live set shrinks and re-expands.
+  for (int phase = 0; phase < 3; ++phase) {
+    int width = 10 + phase * 15;
+    auto rand_triple = [&]() {
+      return Triple(Term::Uri(rand_name("s", width)),
+                    Term::Uri(rand_name("p", 4 + phase)),
+                    rng.Bernoulli(0.3)
+                        ? Term::Uri(rand_name("o", width))
+                        : Term::Literal(rand_name("value ", width)));
+    };
+    for (int op = 0; op < 400; ++op) {
+      Triple t = rand_triple();
+      if (rng.Bernoulli(0.35) && !reference.empty()) {
+        // Erase: half the time a known-live triple, else a random one.
+        if (rng.Bernoulli(0.5)) {
+          t = reference[size_t(
+              rng.UniformInt(0, int64_t(reference.size()) - 1))];
+        }
+        EXPECT_EQ(store.Erase(t), ref_erase(t));
+      } else {
+        bool fresh = !ref_contains(t);
+        ASSERT_TRUE(store.Insert(t).ok());
+        if (fresh) reference.push_back(t);
+      }
+      ASSERT_EQ(store.size(), reference.size());
+    }
+    size_t dict_before = store.dictionary_size();
+
+    // Every index and the matcher agree with the naive model.
+    auto rand_term = [&](TriplePos pos) -> Term {
+      int dice = int(rng.UniformInt(0, 3));
+      if (dice == 0) return Term::Var("v" + std::to_string(int(pos)));
+      switch (pos) {
+        case TriplePos::kSubject:
+          return Term::Uri(rand_name("s", width));
+        case TriplePos::kPredicate:
+          return Term::Uri(rand_name("p", 4 + phase));
+        case TriplePos::kObject:
+          if (dice == 1) return Term::Literal("%" + rand_name("", width) + "%");
+          return Term::Literal(rand_name("value ", width));
+      }
+      return Term::Var("x");
+    };
+    for (int q = 0; q < 40; ++q) {
+      TriplePattern pattern(rand_term(TriplePos::kSubject),
+                            rand_term(TriplePos::kPredicate),
+                            rand_term(TriplePos::kObject));
+      auto got = store.Select(pattern);
+      std::vector<Triple> expected;
+      for (const auto& t : reference) {
+        if (pattern.Matches(t)) expected.push_back(t);
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected) << pattern.ToString();
+      EXPECT_EQ(store.MatchPattern(pattern).size(),
+                store.Select(pattern).size());
+    }
+    // Queries only read; interning happens on insert.
+    EXPECT_EQ(store.dictionary_size(), dict_before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreChurnDifferentialTest,
+                         ::testing::Values(7, 77, 777));
+
+// Join differential: hash join output equals the nested-loop definition.
+class JoinDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinDifferentialTest, HashJoinMatchesNestedLoop) {
+  Rng rng(GetParam());
+  TripleStore store;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store
+                    .Insert(Triple(
+                        Term::Uri("e" + std::to_string(rng.UniformInt(0, 40))),
+                        Term::Uri("p" + std::to_string(rng.UniformInt(0, 3))),
+                        Term::Literal("v" + std::to_string(
+                                               rng.UniformInt(0, 15)))))
+                    .ok());
+  }
+  for (int q = 0; q < 20; ++q) {
+    auto left = store.MatchPattern(TriplePattern(
+        Term::Var("x"), Term::Uri("p" + std::to_string(rng.UniformInt(0, 3))),
+        Term::Var("a")));
+    auto right = store.MatchPattern(TriplePattern(
+        Term::Var("x"), Term::Uri("p" + std::to_string(rng.UniformInt(0, 3))),
+        Term::Var("b")));
+    auto got = TripleStore::Join(left, right);
+
+    // Nested-loop reference: all compatible pairs, merged bindings.
+    std::vector<std::map<std::string, Term>> expected;
+    for (const auto& l : left) {
+      for (const auto& r : right) {
+        bool compatible = true;
+        for (const auto& [var, term] : l) {
+          auto it = r.find(var);
+          if (it != r.end() && !(it->second == term)) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) continue;
+        auto merged = l;
+        merged.insert(r.begin(), r.end());
+        expected.push_back(std::move(merged));
+      }
+    }
+    auto canon = [](std::vector<std::map<std::string, Term>> rows) {
+      std::vector<std::string> out;
+      for (const auto& row : rows) {
+        std::string s;
+        for (const auto& [var, term] : row) {
+          s += var + "=" + term.ToString() + ";";
+        }
+        out.push_back(std::move(s));
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    ASSERT_EQ(canon(got), canon(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinDifferentialTest,
+                         ::testing::Values(5, 55, 555));
 
 // --- Serialization round trips under random content -----------------------------
 

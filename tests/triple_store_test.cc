@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "store/ntriples_loader.h"
+
 namespace gridvine {
 namespace {
 
@@ -150,6 +152,92 @@ TEST_F(TripleStoreTest, AllAndClear) {
   EXPECT_TRUE(store_.All().empty());
   EXPECT_TRUE(store_.Insert(T("s", "p", "o")).ok());
   EXPECT_EQ(store_.size(), 1u);
+}
+
+TEST_F(TripleStoreTest, InsertBatchDeduplicatesAndValidates) {
+  TripleStore store;
+  std::vector<Triple> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(T("s" + std::to_string(i % 4), "p", "o" + std::to_string(i)));
+  }
+  batch.push_back(batch.front());  // duplicate inside the batch
+  ASSERT_TRUE(store.InsertBatch(batch).ok());
+  EXPECT_EQ(store.size(), 10u);
+
+  // A bad triple rejects the whole batch before any mutation.
+  std::vector<Triple> bad = {T("x", "p", "o"),
+                             Triple(Term::Literal("no"), Term::Uri("p"),
+                                    Term::Literal("o"))};
+  EXPECT_TRUE(store.InsertBatch(bad).IsInvalidArgument());
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_FALSE(store.Contains(T("x", "p", "o")));
+}
+
+TEST_F(TripleStoreTest, DictionarySharesTermsAcrossTriples) {
+  TripleStore store;
+  ASSERT_TRUE(store.Insert(T("s", "p", "o1")).ok());
+  size_t base = store.dictionary_size();
+  EXPECT_EQ(base, 3u);
+  // Same subject/predicate, new object: exactly one new term.
+  ASSERT_TRUE(store.Insert(T("s", "p", "o2")).ok());
+  EXPECT_EQ(store.dictionary_size(), base + 1);
+  // Same string, different kind (URI vs literal) is a distinct term.
+  ASSERT_TRUE(store.Insert(Triple(Term::Uri("s"), Term::Uri("p"),
+                                  Term::Uri("o1"))).ok());
+  EXPECT_EQ(store.dictionary_size(), base + 2);
+  // Erase does not shrink the dictionary (ids stay stable for reinserts).
+  store.Erase(T("s", "p", "o1"));
+  EXPECT_EQ(store.dictionary_size(), base + 2);
+}
+
+TEST_F(TripleStoreTest, CompactionPreservesResultsUnderMassErase) {
+  // 200 triples, erase 150 (enough to trip the dead-fraction threshold
+  // several times), then verify every survivor by all three indexes.
+  TripleStore store;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        store.Insert(T("s" + std::to_string(i), "p" + std::to_string(i % 3),
+                       "o" + std::to_string(i)))
+            .ok());
+  }
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(store.Erase(T("s" + std::to_string(i),
+                              "p" + std::to_string(i % 3),
+                              "o" + std::to_string(i))));
+  }
+  EXPECT_EQ(store.size(), 50u);
+  for (int i = 150; i < 200; ++i) {
+    Triple t = T("s" + std::to_string(i), "p" + std::to_string(i % 3),
+                 "o" + std::to_string(i));
+    EXPECT_TRUE(store.Contains(t));
+    EXPECT_EQ(store.Select(TriplePattern(t.subject(), Term::Var("p"),
+                                         Term::Var("o"))).size(), 1u);
+    EXPECT_EQ(store.Select(TriplePattern(Term::Var("s"), Term::Var("p"),
+                                         t.object())).size(), 1u);
+  }
+  auto by_pred = store.Select(
+      TriplePattern(Term::Var("s"), Term::Uri("p0"), Term::Var("o")));
+  size_t expect_p0 = 0;
+  for (int i = 150; i < 200; ++i) expect_p0 += (i % 3 == 0);
+  EXPECT_EQ(by_pred.size(), expect_p0);
+  // Reinsert an erased triple: comes back exactly once.
+  ASSERT_TRUE(store.Insert(T("s0", "p0", "o0")).ok());
+  EXPECT_EQ(store.Select(TriplePattern(Term::Uri("s0"), Term::Var("p"),
+                                       Term::Var("o"))).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, LoadNTriplesBulkLoads) {
+  TripleStore store;
+  std::string text =
+      "<seq1> <EMBL#Organism> \"Aspergillus niger\" .\n"
+      "# a comment line\n"
+      "<seq1> <EMBL#Length> \"1204\" .\n"
+      "<seq2> <EMBL#Organism> \"Penicillium\" .\n";
+  auto n = LoadNTriples(text, &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(store.Contains(T("seq2", "EMBL#Organism", "Penicillium")));
 }
 
 // Property sweep: store N triples, every one findable by each index.
