@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -72,7 +73,7 @@ HopStats MeasureHops(Overlay* o, const std::vector<Key>& keys, Rng* rng,
       if (r.ok()) hops.push_back(r->hops);
       done = true;
     });
-    while (!done && o->sim.pending() > 0) o->sim.Run(1);
+    o->sim.RunUntilFlag(&done);
   }
   HopStats stats;
   if (hops.empty()) return stats;
@@ -89,16 +90,27 @@ HopStats MeasureHops(Overlay* o, const std::vector<Key>& keys, Rng* rng,
 
 int main(int argc, char** argv) {
   gridvine::bench::BenchJson json(argc, argv, "bench_routing");
+  const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
   const int kKeyDepth = 20;
-  const size_t kLookups = 2000;
+  const size_t kLookups = quick ? 200 : 2000;
   std::printf("E2: routing hops vs. network size (O(log N) expected)\n\n");
   std::printf("  %-7s %7s | %-25s | %-25s\n", "", "", "balanced trie",
               "adaptive trie, skewed keys");
   std::printf("  %-7s %7s | %7s %7s %7s | %7s %7s %7s\n", "peers", "log2N",
               "mean", "p99", "max", "mean", "p99", "max");
 
-  for (int exp = 4; exp <= 12; ++exp) {
-    size_t n = size_t(1) << exp;
+  // Power-of-two sweep, then a 10000-peer configuration — the scale the
+  // event-engine overhaul targets (gossip and reformulation fan-out stay
+  // interesting only if plain routing is cheap there).
+  std::vector<size_t> sizes;
+  for (int exp = 4; exp <= (quick ? 6 : 12); ++exp) {
+    sizes.push_back(size_t(1) << exp);
+  }
+  if (!quick) sizes.push_back(10000);
+
+  int seed_salt = 0;
+  for (size_t n : sizes) {
+    ++seed_salt;
 
     // (a) Balanced trie, uniform keys.
     Overlay balanced(n, kKeyDepth, 1);
@@ -108,7 +120,7 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 500; ++i) {
       uniform_keys.push_back(UniformHash("key" + std::to_string(i), kKeyDepth));
     }
-    Rng lookup_rng(exp);
+    Rng lookup_rng(seed_salt);
     HopStats hb = MeasureHops(&balanced, uniform_keys, &lookup_rng, kLookups);
 
     // (b) Adaptive trie over skewed keys (order-preserving hash of numeric
@@ -121,7 +133,7 @@ int main(int argc, char** argv) {
     }
     Rng rng_a(18);
     PGridBuilder::BuildAdaptive(adaptive.peers, skewed_keys, &rng_a);
-    Rng lookup_rng2(exp + 100);
+    Rng lookup_rng2(seed_salt + 100);
     HopStats ha = MeasureHops(&adaptive, skewed_keys, &lookup_rng2, kLookups);
 
     std::printf("  %-7zu %7.1f | %7.2f %7.1f %7d | %7.2f %7.1f %7d\n", n,

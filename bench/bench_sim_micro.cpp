@@ -1,0 +1,443 @@
+// Event-engine & transport microbenchmark: events/sec through the scheduler,
+// messages/sec through the transport on a delivery-heavy relay workload, and
+// heap allocations per send+delivery.
+//
+// The PRE-overhaul engine is reproduced in this binary as a baseline
+// ("legacy"): a std::priority_queue<Event> holding std::function callbacks
+// (copied out on pop — top() is const), a transport that schedules each
+// delivery as a heap-allocated capturing lambda, and per-type stats keyed by
+// freshly built std::string tags. The overhauled engine is the real
+// gridvine::Simulator/Network. Same workloads, same latency model; the relay
+// workloads forward a pre-built body so per-hop work is pure engine —
+// the measured difference is the engine.
+//
+//   $ ./bench/bench_sim_micro
+//   GV_BENCH_QUICK=1 shrinks iteration counts to a CI smoke run.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_json.h"
+#include "pgrid/messages.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+using namespace gridvine;
+
+// --- Allocation counter (this binary only) -----------------------------------
+
+namespace {
+size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- The pre-overhaul engine, reproduced -------------------------------------
+
+class LegacySimulator {
+ public:
+  void Schedule(double delay, std::function<void()> fn) {
+    if (delay < 0) delay = 0;
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+  size_t Run() {
+    size_t ran = 0;
+    while (!queue_.empty()) {
+      Event ev = queue_.top();  // the seed's copy-on-pop
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++ran;
+    }
+    return ran;
+  }
+  double Now() const { return now_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+struct LegacyBody {
+  virtual ~LegacyBody() = default;
+  virtual std::string TypeTag() const = 0;
+  virtual size_t SizeBytes() const { return 64; }
+};
+
+class LegacyNetwork {
+ public:
+  using Handler =
+      std::function<void(uint32_t, std::shared_ptr<const LegacyBody>)>;
+
+  explicit LegacyNetwork(LegacySimulator* sim, double latency)
+      : sim_(sim), latency_(latency) {}
+
+  uint32_t AddNode(Handler h) {
+    nodes_.push_back(std::move(h));
+    return uint32_t(nodes_.size() - 1);
+  }
+
+  void Send(uint32_t from, uint32_t to,
+            std::shared_ptr<const LegacyBody> body) {
+    ++messages_sent_;
+    bytes_sent_ += body->SizeBytes();
+    ++messages_by_type_[body->TypeTag()];
+    sim_->Schedule(latency_, [this, from, to, body = std::move(body)]() {
+      ++messages_delivered_;
+      nodes_[to](from, body);
+    });
+  }
+
+  uint64_t delivered() const { return messages_delivered_; }
+
+ private:
+  LegacySimulator* sim_;
+  double latency_;
+  std::vector<Handler> nodes_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t bytes_sent_ = 0;
+  std::unordered_map<std::string, uint64_t> messages_by_type_;
+};
+
+// --- Workload messages -------------------------------------------------------
+
+struct RelayMsg : MessageBody {
+  explicit RelayMsg(int r) : remaining(r) {}
+  int remaining;
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("bench.relay");
+    return t;
+  }
+  size_t SizeBytes() const override { return 20; }
+};
+
+struct LegacyRelayMsg : LegacyBody {
+  explicit LegacyRelayMsg(int r) : remaining(r) {}
+  int remaining;
+  std::string TypeTag() const override { return "bench.relay"; }
+  size_t SizeBytes() const override { return 20; }
+};
+
+/// The seed's routed wrapper, faithfully: TypeTag() concatenates the inner
+/// tag per call — this is what src/pgrid/messages.h:87 did on EVERY routed
+/// send before the overhaul.
+struct LegacyEnvelope : LegacyBody {
+  std::shared_ptr<const LegacyBody> payload;
+  std::string TypeTag() const override {
+    return "pgrid.routed/" + (payload ? payload->TypeTag() : "null");
+  }
+  size_t SizeBytes() const override {
+    return 16 + (payload ? payload->SizeBytes() : 0);
+  }
+};
+
+/// Real-engine relay node: forwards the SAME body around the ring until the
+/// shared forward budget is spent. No per-hop body construction — the relay
+/// workloads measure the engine (schedule, heap ops, delivery dispatch, type
+/// accounting), not the application's message building.
+class RelayNode : public NetworkNode {
+ public:
+  Network* net = nullptr;
+  NodeId self = 0;
+  NodeId next = 0;
+  size_t* budget = nullptr;
+  void OnMessage(NodeId, std::shared_ptr<const MessageBody> body) override {
+    if (*budget > 0) {
+      --*budget;
+      net->Send(self, next, std::move(body));
+    }
+  }
+};
+
+// --- Workload drivers --------------------------------------------------------
+
+/// Timer workload: `fanout` concurrent self-rescheduling timers, `total`
+/// events altogether. Returns events/sec.
+double TimerEventsPerSecNew(size_t fanout, size_t total) {
+  Simulator sim;
+  size_t fired = 0;
+  struct Timer {
+    Simulator* sim;
+    size_t* fired;
+    size_t total;
+    void operator()() {
+      if (++*fired < total) sim->Schedule(1.0, Timer{sim, fired, total});
+    }
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < fanout; ++i) {
+    sim.Schedule(1.0 + double(i) * 1e-6, Timer{&sim, &fired, total});
+  }
+  sim.Run();
+  return double(fired) / SecondsSince(t0);
+}
+
+double TimerEventsPerSecLegacy(size_t fanout, size_t total) {
+  LegacySimulator sim;
+  size_t fired = 0;
+  struct Timer {
+    LegacySimulator* sim;
+    size_t* fired;
+    size_t total;
+    void operator()() {
+      if (++*fired < total) sim->Schedule(1.0, Timer{sim, fired, total});
+    }
+  };
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < fanout; ++i) {
+    sim.Schedule(1.0 + double(i) * 1e-6, Timer{&sim, &fired, total});
+  }
+  sim.Run();
+  return double(fired) / SecondsSince(t0);
+}
+
+/// Delivery workload: `chains` concurrent relay chains around a `peers`-node
+/// ring, each `hops` messages long. Returns messages/sec (wall clock).
+double RelayMessagesPerSecNew(size_t peers, size_t chains, int hops) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<ConstantLatency>(0.001), Rng(1));
+  size_t budget = chains * size_t(hops - 1);
+  std::vector<RelayNode> nodes(peers);
+  for (size_t i = 0; i < peers; ++i) {
+    NodeId id = net.AddNode(&nodes[i]);
+    nodes[i].net = &net;
+    nodes[i].self = id;
+    nodes[i].budget = &budget;
+  }
+  for (size_t i = 0; i < peers; ++i) nodes[i].next = NodeId((i + 1) % peers);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < chains; ++c) {
+    net.Send(NodeId(c % peers), NodeId((c + 1) % peers),
+             std::make_shared<RelayMsg>(0));
+  }
+  sim.Run();
+  return double(net.stats().messages_delivered) / SecondsSince(t0);
+}
+
+double RelayMessagesPerSecLegacy(size_t peers, size_t chains, int hops) {
+  LegacySimulator sim;
+  LegacyNetwork net(&sim, 0.001);
+  size_t budget = chains * size_t(hops - 1);
+  std::vector<uint32_t> next(peers);
+  for (size_t i = 0; i < peers; ++i) {
+    net.AddNode([&net, &next, &budget, i](
+                    uint32_t, std::shared_ptr<const LegacyBody> body) {
+      if (budget > 0) {
+        --budget;
+        net.Send(uint32_t(i), next[i], std::move(body));
+      }
+    });
+  }
+  for (size_t i = 0; i < peers; ++i) next[i] = uint32_t((i + 1) % peers);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < chains; ++c) {
+    net.Send(uint32_t(c % peers), uint32_t((c + 1) % peers),
+             std::make_shared<LegacyRelayMsg>(0));
+  }
+  sim.Run();
+  return double(net.delivered()) / SecondsSince(t0);
+}
+
+/// Routed-envelope relay: the experiments' real traffic shape. Every send
+/// carries a RoutedEnvelope, so per-type accounting resolves the composite
+/// tag on every hop: interned wrapper/inner id (new engine) vs string
+/// concatenation "pgrid.routed/" + inner plus a string-keyed map bump
+/// (legacy — the seed's RoutedEnvelope::TypeTag did exactly this per send).
+double RoutedRelayMessagesPerSecNew(size_t peers, size_t chains, int hops) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<ConstantLatency>(0.001), Rng(1));
+  size_t budget = chains * size_t(hops - 1);
+  std::vector<RelayNode> nodes(peers);
+  for (size_t i = 0; i < peers; ++i) {
+    nodes[i].self = net.AddNode(&nodes[i]);
+    nodes[i].net = &net;
+    nodes[i].budget = &budget;
+  }
+  for (size_t i = 0; i < peers; ++i) nodes[i].next = NodeId((i + 1) % peers);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < chains; ++c) {
+    auto env = std::make_shared<RoutedEnvelope>();
+    env->payload = std::make_shared<RelayMsg>(0);
+    net.Send(NodeId(c % peers), NodeId((c + 1) % peers), std::move(env));
+  }
+  sim.Run();
+  return double(net.stats().messages_delivered) / SecondsSince(t0);
+}
+
+double RoutedRelayMessagesPerSecLegacy(size_t peers, size_t chains, int hops) {
+  LegacySimulator sim;
+  LegacyNetwork net(&sim, 0.001);
+  size_t budget = chains * size_t(hops - 1);
+  std::vector<uint32_t> next(peers);
+  for (size_t i = 0; i < peers; ++i) {
+    net.AddNode([&net, &next, &budget, i](
+                    uint32_t, std::shared_ptr<const LegacyBody> body) {
+      if (budget > 0) {
+        --budget;
+        net.Send(uint32_t(i), next[i], std::move(body));
+      }
+    });
+  }
+  for (size_t i = 0; i < peers; ++i) next[i] = uint32_t((i + 1) % peers);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < chains; ++c) {
+    auto env = std::make_shared<LegacyEnvelope>();
+    env->payload = std::make_shared<LegacyRelayMsg>(0);
+    net.Send(uint32_t(c % peers), uint32_t((c + 1) % peers), std::move(env));
+  }
+  sim.Run();
+  return double(net.delivered()) / SecondsSince(t0);
+}
+
+/// Allocations per send+delivery, message bodies pre-built outside the
+/// counted window (the engine contract is zero allocations beyond the body).
+double AllocsPerMessageNew(size_t count) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<ConstantLatency>(0.001), Rng(1));
+  struct Sink : NetworkNode {
+    size_t got = 0;
+    void OnMessage(NodeId, std::shared_ptr<const MessageBody>) override {
+      ++got;
+    }
+  };
+  Sink sink;
+  NodeId a = net.AddNode(&sink);
+  NodeId b = net.AddNode(&sink);
+  for (size_t i = 0; i < count; ++i)
+    net.Send(a, b, std::make_shared<RelayMsg>(0));  // warm-up
+  sim.Run();
+  std::vector<std::shared_ptr<const MessageBody>> bodies;
+  for (size_t i = 0; i < count; ++i)
+    bodies.push_back(std::make_shared<RelayMsg>(0));
+  size_t before = g_alloc_count;
+  for (auto& body : bodies) net.Send(a, b, std::move(body));
+  sim.Run();
+  return double(g_alloc_count - before) / double(count);
+}
+
+double AllocsPerMessageLegacy(size_t count) {
+  LegacySimulator sim;
+  LegacyNetwork net(&sim, 0.001);
+  size_t got = 0;
+  uint32_t a = net.AddNode(
+      [&got](uint32_t, std::shared_ptr<const LegacyBody>) { ++got; });
+  uint32_t b = net.AddNode(
+      [&got](uint32_t, std::shared_ptr<const LegacyBody>) { ++got; });
+  for (size_t i = 0; i < count; ++i)
+    net.Send(a, b, std::make_shared<LegacyRelayMsg>(0));  // warm-up
+  sim.Run();
+  std::vector<std::shared_ptr<const LegacyBody>> bodies;
+  for (size_t i = 0; i < count; ++i)
+    bodies.push_back(std::make_shared<LegacyRelayMsg>(0));
+  size_t before = g_alloc_count;
+  for (auto& body : bodies) net.Send(a, b, std::move(body));
+  sim.Run();
+  return double(g_alloc_count - before) / double(count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_sim_micro");
+  const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
+
+  const size_t kTimerFanout = 1024;
+  const size_t kTimerEvents = quick ? 100'000 : 4'000'000;
+  const size_t kRelayPeers = 256;
+  const size_t kRelayChains = 1024;
+  const int kRelayHops = quick ? 100 : 2000;
+  const size_t kAllocMsgs = quick ? 10'000 : 100'000;
+
+  std::printf("sim-micro: event engine & transport hot path%s\n\n",
+              quick ? " (quick)" : "");
+
+  // Interleave repetitions and keep the best of 3 to damp scheduler noise.
+  auto best3 = [](auto fn) {
+    double best = 0;
+    for (int i = 0; i < 3; ++i) best = std::max(best, fn());
+    return best;
+  };
+
+  double ev_new =
+      best3([&] { return TimerEventsPerSecNew(kTimerFanout, kTimerEvents); });
+  double ev_old = best3(
+      [&] { return TimerEventsPerSecLegacy(kTimerFanout, kTimerEvents); });
+  std::printf("  timer events/sec     new %12.0f   legacy %12.0f   (%.2fx)\n",
+              ev_new, ev_old, ev_new / ev_old);
+
+  double msg_new = best3([&] {
+    return RelayMessagesPerSecNew(kRelayPeers, kRelayChains, kRelayHops);
+  });
+  double msg_old = best3([&] {
+    return RelayMessagesPerSecLegacy(kRelayPeers, kRelayChains, kRelayHops);
+  });
+  std::printf("  relay messages/sec   new %12.0f   legacy %12.0f   (%.2fx)\n",
+              msg_new, msg_old, msg_new / msg_old);
+
+  double rmsg_new = best3([&] {
+    return RoutedRelayMessagesPerSecNew(kRelayPeers, kRelayChains, kRelayHops);
+  });
+  double rmsg_old = best3([&] {
+    return RoutedRelayMessagesPerSecLegacy(kRelayPeers, kRelayChains,
+                                           kRelayHops);
+  });
+  std::printf("  routed messages/sec  new %12.0f   legacy %12.0f   (%.2fx)\n",
+              rmsg_new, rmsg_old, rmsg_new / rmsg_old);
+
+  double alloc_new = AllocsPerMessageNew(kAllocMsgs);
+  double alloc_old = AllocsPerMessageLegacy(kAllocMsgs);
+  std::printf("  allocs/send+deliver  new %12.2f   legacy %12.2f\n",
+              alloc_new, alloc_old);
+
+  json.Add("timer_events", {{"events_per_sec", ev_new},
+                            {"events_per_sec_legacy", ev_old},
+                            {"speedup", ev_new / ev_old}});
+  json.Add("relay_delivery", {{"messages_per_sec", msg_new},
+                              {"messages_per_sec_legacy", msg_old},
+                              {"speedup", msg_new / msg_old}});
+  json.Add("routed_relay_delivery", {{"messages_per_sec", rmsg_new},
+                                     {"messages_per_sec_legacy", rmsg_old},
+                                     {"speedup", rmsg_new / rmsg_old}});
+  json.Add("allocations", {{"allocs_per_message", alloc_new},
+                           {"allocs_per_message_legacy", alloc_old}});
+  json.Finish();
+  return 0;
+}

@@ -4,16 +4,37 @@
 # stdout; the JSON files are the machine-readable record checked into the
 # repo for before/after comparisons.
 #
-#   $ scripts/run_bench.sh [build-dir] [filter]
+#   $ scripts/run_bench.sh [--quick] [build-dir] [filter]
 #
 # build-dir defaults to ./build. filter is a substring: only benches whose
 # name contains it are run (e.g. `scripts/run_bench.sh build store` runs
 # only bench_store_micro).
+#
+# --quick is the CI smoke mode: it sets GV_BENCH_QUICK=1 (the handwritten
+# bench drivers shrink their iteration counts), caps the google-benchmark
+# binaries at minimal run time, and writes the JSON into a temporary
+# directory so the checked-in full-run BENCH_*.json records are not
+# clobbered by throwaway numbers.
 set -euo pipefail
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 filter="${2:-}"
+
+out_root="$repo_root"
+extra_args=()
+if [[ "$quick" -eq 1 ]]; then
+  export GV_BENCH_QUICK=1
+  out_root="$(mktemp -d)"
+  extra_args+=(--benchmark_min_time=0.01)
+  echo "quick mode: JSON goes to $out_root (repo records untouched)"
+fi
 
 bench_dir="$build_dir/bench"
 if [[ ! -d "$bench_dir" ]]; then
@@ -28,9 +49,9 @@ for bin in "$bench_dir"/bench_*; do
   name="$(basename "$bin")"
   [[ -z "$filter" || "$name" == *"$filter"* ]] || continue
   # Strip the bench_ prefix for the artifact name: BENCH_store_micro.json.
-  out="$repo_root/BENCH_${name#bench_}.json"
+  out="$out_root/BENCH_${name#bench_}.json"
   echo "== $name -> $(basename "$out")"
-  "$bin" --benchmark_out="$out" --benchmark_out_format=json
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json "${extra_args[@]}"
   ran=$((ran + 1))
 done
 
@@ -39,4 +60,4 @@ if [[ "$ran" -eq 0 ]]; then
   exit 1
 fi
 echo
-echo "wrote $ran JSON report(s) at $repo_root/BENCH_*.json"
+echo "wrote $ran JSON report(s) at $out_root/BENCH_*.json"

@@ -516,7 +516,7 @@ void GridVinePeer::OnExtensionMessage(
     HandleQueryResponse(*resp);
   } else {
     GV_LOG(Warning) << "gridvine peer " << id() << ": unknown payload "
-                    << payload->TypeTag();
+                    << payload->TypeTag().name();
   }
 }
 

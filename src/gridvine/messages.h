@@ -36,7 +36,10 @@ struct QueryRequest : MessageBody {
   /// Restrict recursive reformulation to sound mapping directions.
   bool sound_only = false;
 
-  std::string TypeTag() const override { return "gv.query"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("gv.query");
+    return t;
+  }
   size_t SizeBytes() const override {
     size_t n = 48 + query.size();
     for (const auto& s : visited_schemas) n += s.size() + 2;
@@ -55,7 +58,10 @@ struct QueryResponse : MessageBody {
   double confidence = 1.0;
   NodeId responder = kInvalidNode;
 
-  std::string TypeTag() const override { return "gv.query_resp"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("gv.query_resp");
+    return t;
+  }
   size_t SizeBytes() const override {
     return 32 + schema.size() + rows.size();
   }

@@ -24,7 +24,10 @@ struct RetrieveRequest : MessageBody {
   NodeId origin = kInvalidNode;
   int hops = 0;
 
-  std::string TypeTag() const override { return "pgrid.retrieve"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.retrieve");
+    return t;
+  }
   size_t SizeBytes() const override {
     return 24 + static_cast<size_t>(key.length()) / 8;
   }
@@ -39,7 +42,10 @@ struct RetrieveResponse : MessageBody {
   int hops = 0;
   NodeId responder = kInvalidNode;
 
-  std::string TypeTag() const override { return "pgrid.retrieve_resp"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.retrieve_resp");
+    return t;
+  }
   size_t SizeBytes() const override {
     size_t n = 32;
     for (const auto& v : values) n += v.size() + 4;
@@ -56,7 +62,10 @@ struct UpdateRequest : MessageBody {
   NodeId origin = kInvalidNode;
   int hops = 0;
 
-  std::string TypeTag() const override { return "pgrid.update"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.update");
+    return t;
+  }
   size_t SizeBytes() const override {
     return 24 + static_cast<size_t>(key.length()) / 8 + value.size();
   }
@@ -69,7 +78,10 @@ struct UpdateAck : MessageBody {
   int hops = 0;
   NodeId responder = kInvalidNode;
 
-  std::string TypeTag() const override { return "pgrid.update_ack"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.update_ack");
+    return t;
+  }
 };
 
 /// Wraps an application-level payload that must be delivered to the peer
@@ -83,8 +95,11 @@ struct RoutedEnvelope : MessageBody {
   int hops = 0;
   std::shared_ptr<const MessageBody> payload;
 
-  std::string TypeTag() const override {
-    return "pgrid.routed/" + (payload ? payload->TypeTag() : "null");
+  MsgType TypeTag() const override {
+    static const MsgType outer = MsgType::Intern("pgrid.routed");
+    static const MsgType null_inner = MsgType::Intern("null");
+    return MsgType::Composite(outer,
+                              payload ? payload->TypeTag() : null_inner);
   }
   size_t SizeBytes() const override {
     return 16 + (payload ? payload->SizeBytes() : 0);
@@ -105,8 +120,11 @@ struct RangeEnvelope : MessageBody {
   int hops = 0;
   std::shared_ptr<const MessageBody> payload;
 
-  std::string TypeTag() const override {
-    return "pgrid.range/" + (payload ? payload->TypeTag() : "null");
+  MsgType TypeTag() const override {
+    static const MsgType outer = MsgType::Intern("pgrid.range");
+    static const MsgType null_inner = MsgType::Intern("null");
+    return MsgType::Composite(outer,
+                              payload ? payload->TypeTag() : null_inner);
   }
   size_t SizeBytes() const override {
     return 20 + (payload ? payload->SizeBytes() : 0);
@@ -118,8 +136,11 @@ struct RangeEnvelope : MessageBody {
 struct DirectEnvelope : MessageBody {
   std::shared_ptr<const MessageBody> payload;
 
-  std::string TypeTag() const override {
-    return "pgrid.direct/" + (payload ? payload->TypeTag() : "null");
+  MsgType TypeTag() const override {
+    static const MsgType outer = MsgType::Intern("pgrid.direct");
+    static const MsgType null_inner = MsgType::Intern("null");
+    return MsgType::Composite(outer,
+                              payload ? payload->TypeTag() : null_inner);
   }
   size_t SizeBytes() const override {
     return 4 + (payload ? payload->SizeBytes() : 0);
@@ -133,7 +154,10 @@ struct PingRequest : MessageBody {
   uint64_t nonce = 0;
   NodeId origin = kInvalidNode;
 
-  std::string TypeTag() const override { return "pgrid.ping"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.ping");
+    return t;
+  }
   size_t SizeBytes() const override { return 12; }
 };
 
@@ -142,7 +166,10 @@ struct PingResponse : MessageBody {
   Key path;
   NodeId responder = kInvalidNode;
 
-  std::string TypeTag() const override { return "pgrid.pong"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.pong");
+    return t;
+  }
   size_t SizeBytes() const override {
     return 16 + static_cast<size_t>(path.length()) / 8;
   }
@@ -155,7 +182,10 @@ struct RefsRequest : MessageBody {
   uint64_t nonce = 0;
   NodeId origin = kInvalidNode;
 
-  std::string TypeTag() const override { return "pgrid.refs_req"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.refs_req");
+    return t;
+  }
   size_t SizeBytes() const override { return 12; }
 };
 
@@ -165,7 +195,10 @@ struct RefsResponse : MessageBody {
   std::vector<NodeId> candidates;
   NodeId responder = kInvalidNode;
 
-  std::string TypeTag() const override { return "pgrid.refs_resp"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.refs_resp");
+    return t;
+  }
   size_t SizeBytes() const override { return 16 + candidates.size() * 4; }
 };
 
@@ -176,7 +209,10 @@ struct ReplicaUpdate : MessageBody {
   std::string value;
   UpdateOp op = UpdateOp::kInsert;
 
-  std::string TypeTag() const override { return "pgrid.replica_update"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.replica_update");
+    return t;
+  }
   size_t SizeBytes() const override {
     return 8 + static_cast<size_t>(key.length()) / 8 + value.size();
   }

@@ -14,14 +14,20 @@ struct WalkRequest : MessageBody {
   uint64_t txn = 0;
   NodeId initiator = kInvalidNode;
   int ttl = 0;
-  std::string TypeTag() const override { return "pgrid.walk"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.walk");
+    return t;
+  }
   size_t SizeBytes() const override { return 16; }
 };
 
 struct WalkResult : MessageBody {
   uint64_t txn = 0;
   NodeId endpoint = kInvalidNode;
-  std::string TypeTag() const override { return "pgrid.walk_result"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.walk_result");
+    return t;
+  }
   size_t SizeBytes() const override { return 12; }
 };
 
@@ -38,7 +44,10 @@ struct ExchangeHello : MessageBody {
   NodeId initiator = kInvalidNode;
   Key path;
   uint64_t load = 0;
-  std::string TypeTag() const override { return "pgrid.exch_hello"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.exch_hello");
+    return t;
+  }
   size_t SizeBytes() const override { return 24; }
 };
 
@@ -54,7 +63,10 @@ struct ExchangeReply : MessageBody {
   /// Ref gossip: ids the initiator may classify (it learns their levels by
   /// maintenance probing later; here only same-prefix levels are shipped).
   std::vector<NodeId> gossip_refs;
-  std::string TypeTag() const override { return "pgrid.exch_reply"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.exch_reply");
+    return t;
+  }
   size_t SizeBytes() const override {
     size_t n = 32 + gossip_refs.size() * 4;
     for (const auto& [k, v] : entries) n += k.size() / 8 + v.size();
@@ -65,7 +77,10 @@ struct ExchangeReply : MessageBody {
 struct ExchangeCommit : MessageBody {
   uint64_t txn = 0;
   std::vector<std::pair<std::string, std::string>> entries;
-  std::string TypeTag() const override { return "pgrid.exch_commit"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.exch_commit");
+    return t;
+  }
   size_t SizeBytes() const override {
     size_t n = 12;
     for (const auto& [k, v] : entries) n += k.size() / 8 + v.size();

@@ -389,7 +389,7 @@ void PGridPeer::OnMessage(NodeId from, std::shared_ptr<const MessageBody> body) 
       if (handler(from, *body)) return;
     }
     GV_LOG(Warning) << "peer " << id_ << ": unknown message "
-                    << body->TypeTag();
+                    << body->TypeTag().name();
   }
 }
 

@@ -1,0 +1,61 @@
+#ifndef GRIDVINE_SIM_MSG_TYPE_H_
+#define GRIDVINE_SIM_MSG_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gridvine {
+
+/// Interned message type tag: a dense id into a process-wide registry of
+/// type names. Message classes intern their tag once (a function-local
+/// static in TypeTag()), so per-send type accounting is an integer — the
+/// seed's `std::string TypeTag()` allocated a string per message, and the
+/// routed/range/direct wrappers even concatenated two.
+///
+/// Wrapper envelopes use Composite(outer, inner), which interns the combined
+/// name ("pgrid.routed/gv.query") on first sight and afterwards resolves it
+/// with one integer-keyed hash lookup — no string is built per send.
+///
+/// Ids are dense and allocation order is deterministic for a deterministic
+/// program, but NOT stable across program versions: persist and compare
+/// names, not raw ids. The registry is single-threaded, like the simulator.
+class MsgType {
+ public:
+  /// Id 0: the reserved "unknown" tag (default-constructed MsgType).
+  MsgType() = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  static MsgType Intern(std::string_view name);
+
+  /// Interned "outer/inner" composite (routed/range/direct wrappers).
+  static MsgType Composite(MsgType outer, MsgType inner);
+
+  /// Resolves a name without interning; unknown names give the id-0 tag.
+  static MsgType Find(std::string_view name);
+
+  /// Number of ids handed out so far (including the reserved id 0).
+  static size_t RegistryCount();
+
+  /// The interned name for a raw id (the reserved "?" for out-of-range ids).
+  static const std::string& NameOf(uint32_t id);
+
+  uint32_t id() const { return id_; }
+  bool unknown() const { return id_ == 0; }
+
+  /// The interned name; valid for the process lifetime.
+  const std::string& name() const;
+
+  friend bool operator==(MsgType a, MsgType b) { return a.id_ == b.id_; }
+  friend bool operator!=(MsgType a, MsgType b) { return a.id_ != b.id_; }
+  friend bool operator<(MsgType a, MsgType b) { return a.id_ < b.id_; }
+
+ private:
+  explicit MsgType(uint32_t id) : id_(id) {}
+
+  uint32_t id_ = 0;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SIM_MSG_TYPE_H_

@@ -4,6 +4,26 @@
 
 namespace gridvine {
 
+uint64_t NetworkStats::MessagesForType(std::string_view name) const {
+  MsgType t = MsgType::Find(name);
+  if (t.unknown() || t.id() >= messages_by_type.size()) return 0;
+  return messages_by_type[t.id()];
+}
+
+uint64_t NetworkStats::BytesForType(std::string_view name) const {
+  MsgType t = MsgType::Find(name);
+  if (t.unknown() || t.id() >= bytes_by_type.size()) return 0;
+  return bytes_by_type[t.id()];
+}
+
+std::map<std::string, uint64_t> NetworkStats::MessagesByTypeName() const {
+  std::map<std::string, uint64_t> out;
+  for (uint32_t id = 0; id < messages_by_type.size(); ++id) {
+    if (messages_by_type[id] != 0) out.emplace(MsgType::NameOf(id), messages_by_type[id]);
+  }
+  return out;
+}
+
 Network::Network(Simulator* sim, std::unique_ptr<LatencyModel> latency,
                  Rng rng, double loss_probability)
     : sim_(sim),
@@ -25,11 +45,24 @@ bool Network::IsAlive(NodeId id) const {
   return id < nodes_.size() && nodes_[id].alive;
 }
 
+void Network::CountSend(MsgType type, size_t bytes) {
+  // Grow to the full registry size in one step so a burst of new types costs
+  // at most one reallocation, and established types never reallocate.
+  if (type.id() >= stats_.messages_by_type.size()) {
+    size_t n = MsgType::RegistryCount();
+    stats_.messages_by_type.resize(n, 0);
+    stats_.bytes_by_type.resize(n, 0);
+  }
+  ++stats_.messages_by_type[type.id()];
+  stats_.bytes_by_type[type.id()] += bytes;
+}
+
 void Network::Send(NodeId from, NodeId to,
                    std::shared_ptr<const MessageBody> body) {
+  const size_t bytes = body->SizeBytes();
   ++stats_.messages_sent;
-  stats_.bytes_sent += body->SizeBytes();
-  ++stats_.messages_by_type[body->TypeTag()];
+  stats_.bytes_sent += bytes;
+  CountSend(body->TypeTag(), bytes);
 
   if (!IsAlive(from) || to >= nodes_.size() || !nodes_[to].alive ||
       (loss_probability_ > 0 && rng_.Bernoulli(loss_probability_))) {
@@ -38,15 +71,18 @@ void Network::Send(NodeId from, NodeId to,
   }
 
   SimTime delay = latency_->Sample(&rng_);
-  sim_->Schedule(delay, [this, from, to, body = std::move(body)]() {
-    // Liveness re-checked at delivery time: the node may have died in flight.
-    if (to < nodes_.size() && nodes_[to].alive) {
-      ++stats_.messages_delivered;
-      nodes_[to].node->OnMessage(from, body);
-    } else {
-      ++stats_.messages_dropped;
-    }
-  });
+  sim_->Schedule(delay, Delivery{this, from, to, std::move(body)});
+}
+
+void Network::Deliver(NodeId from, NodeId to,
+                      std::shared_ptr<const MessageBody> body) {
+  // Liveness re-checked at delivery time: the node may have died in flight.
+  if (to < nodes_.size() && nodes_[to].alive) {
+    ++stats_.messages_delivered;
+    nodes_[to].node->OnMessage(from, std::move(body));
+  } else {
+    ++stats_.messages_dropped;
+  }
 }
 
 }  // namespace gridvine

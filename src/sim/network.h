@@ -2,15 +2,16 @@
 #define GRIDVINE_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/latency.h"
+#include "sim/msg_type.h"
 #include "sim/simulator.h"
 
 namespace gridvine {
@@ -26,8 +27,12 @@ struct MessageBody {
   virtual ~MessageBody() = default;
   /// Approximate serialized size, for traffic accounting.
   virtual size_t SizeBytes() const { return 64; }
-  /// Short type tag for tracing/statistics, e.g. "pgrid.retrieve".
-  virtual std::string TypeTag() const = 0;
+  /// Interned type tag for tracing/statistics. Implementations intern the
+  /// name once in a function-local static, e.g.
+  ///   static const MsgType t = MsgType::Intern("pgrid.retrieve");
+  ///   return t;
+  /// so the per-message cost is an integer copy, not a string allocation.
+  virtual MsgType TypeTag() const = 0;
 };
 
 /// A node attached to the network: receives messages delivered to its id.
@@ -40,17 +45,41 @@ class NetworkNode {
 };
 
 /// Cumulative traffic counters.
+///
+/// Drop accounting contract: messages_sent, bytes_sent and the per-type
+/// counters are recorded at Send() time and therefore INCLUDE messages that
+/// are dropped — whether at send time (dead endpoint, loss) or in flight
+/// (destination died before delivery). They measure offered load, what the
+/// sender put on the wire. messages_delivered counts only actual deliveries
+/// and messages_dropped counts every drop, so once the simulator drains:
+///   messages_sent == messages_delivered + messages_dropped.
 struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
-  uint64_t messages_dropped = 0;  // destination dead or unknown
+  uint64_t messages_dropped = 0;  // endpoint dead/unknown, or sampled loss
   uint64_t bytes_sent = 0;
-  std::unordered_map<std::string, uint64_t> messages_by_type;
+  /// Per-type counters indexed by MsgType::id(); ids beyond a vector's size
+  /// are implicitly zero (the vectors grow lazily on first sight of a type).
+  std::vector<uint64_t> messages_by_type;
+  std::vector<uint64_t> bytes_by_type;
+
+  /// Name-resolved accessors for benches and tests (0 for unseen types).
+  uint64_t MessagesForType(std::string_view name) const;
+  uint64_t BytesForType(std::string_view name) const;
+  /// All non-zero per-type message counts keyed by resolved name.
+  std::map<std::string, uint64_t> MessagesByTypeName() const;
+
+  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
 };
 
 /// The simulated transport: point-to-point delivery with sampled latency and
 /// optional loss; respects node liveness (churn). The network plays the role
 /// of the "Internet layer" in the paper's Figure 1.
+///
+/// Hot-path note: Send() schedules a plain-struct delivery record (not a
+/// capturing lambda) that fits EventFn's inline buffer, and type accounting
+/// is two integer-indexed vector bumps — steady-state send+delivery performs
+/// no heap allocation beyond the message body the caller already built.
 class Network {
  public:
   /// `loss_probability` drops each message independently (default lossless).
@@ -72,7 +101,8 @@ class Network {
   /// Sends `body` from `from` to `to`. Delivery is scheduled after a sampled
   /// latency; the message is dropped if either endpoint is dead at send time
   /// or the destination is dead at delivery time (no error feedback, like
-  /// UDP — timeouts are the caller's job).
+  /// UDP — timeouts are the caller's job). See NetworkStats for which
+  /// counters include drops.
   void Send(NodeId from, NodeId to, std::shared_ptr<const MessageBody> body);
 
   /// Number of registered nodes (alive or not).
@@ -87,6 +117,22 @@ class Network {
     NetworkNode* node = nullptr;
     bool alive = true;
   };
+
+  /// The scheduled half of Send(): a 32-byte record, inline in EventFn.
+  /// shared_ptr is not trivially copyable but holds no self-references, so
+  /// the record is safe to relocate bytewise (EventFn's memcpy fast path).
+  struct Delivery {
+    static constexpr bool kTriviallyRelocatable = true;
+    Network* net;
+    NodeId from;
+    NodeId to;
+    std::shared_ptr<const MessageBody> body;
+    void operator()() { net->Deliver(from, to, std::move(body)); }
+  };
+
+  void Deliver(NodeId from, NodeId to,
+               std::shared_ptr<const MessageBody> body);
+  void CountSend(MsgType type, size_t bytes);
 
   Simulator* sim_;
   std::unique_ptr<LatencyModel> latency_;

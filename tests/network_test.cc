@@ -13,7 +13,10 @@ namespace {
 struct TestMsg : MessageBody {
   explicit TestMsg(int v) : value(v) {}
   int value;
-  std::string TypeTag() const override { return "test"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("test");
+    return t;
+  }
   size_t SizeBytes() const override { return 10; }
 };
 
@@ -109,9 +112,46 @@ TEST_F(NetworkTest, StatsAccounting) {
   EXPECT_EQ(net_.stats().messages_sent, 2u);
   EXPECT_EQ(net_.stats().messages_delivered, 2u);
   EXPECT_EQ(net_.stats().bytes_sent, 20u);
-  EXPECT_EQ(net_.stats().messages_by_type.at("test"), 2u);
+  EXPECT_EQ(net_.stats().MessagesForType("test"), 2u);
+  EXPECT_EQ(net_.stats().BytesForType("test"), 20u);
+  EXPECT_EQ(net_.stats().MessagesByTypeName().at("test"), 2u);
   const_cast<Network&>(net_).ResetStats();
   EXPECT_EQ(net_.stats().messages_sent, 0u);
+}
+
+// Pins the drop-accounting contract documented on NetworkStats: the *_sent
+// counters (total, bytes, per-type) are recorded at Send() time and include
+// every message later dropped, while delivered + dropped partitions sent.
+TEST_F(NetworkTest, SentCountersIncludeDropsOfEveryKind) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));  // delivered
+  sim_.Run();
+  net_.SetAlive(idb, false);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(2));  // dropped at send
+  sim_.Run();
+  net_.SetAlive(idb, true);
+  net_.Send(ida, idb, std::make_shared<TestMsg>(3));  // dropped in flight
+  net_.SetAlive(idb, false);
+  sim_.Run();
+
+  const NetworkStats& s = net_.stats();
+  EXPECT_EQ(s.messages_sent, 3u);
+  EXPECT_EQ(s.messages_delivered, 1u);
+  EXPECT_EQ(s.messages_dropped, 2u);
+  EXPECT_EQ(s.messages_sent, s.messages_delivered + s.messages_dropped);
+  // Per-type and byte counters follow messages_sent, not messages_delivered.
+  EXPECT_EQ(s.MessagesForType("test"), 3u);
+  EXPECT_EQ(s.BytesForType("test"), 30u);
+  EXPECT_EQ(s.bytes_sent, 30u);
+}
+
+TEST_F(NetworkTest, TypeAccessorsForUnknownTypesReturnZero) {
+  EXPECT_EQ(net_.stats().MessagesForType("no.such.type"), 0u);
+  EXPECT_EQ(net_.stats().BytesForType("no.such.type"), 0u);
+  EXPECT_TRUE(net_.stats().MessagesByTypeName().empty());
 }
 
 TEST(NetworkLossTest, LossyNetworkDropsSomeMessages) {

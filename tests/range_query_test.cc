@@ -46,7 +46,10 @@ TEST(SubtreeForTest, EmptyPrefixIsWholeSpace) {
 // ---- Overlay-level multicast ------------------------------------------------
 
 struct CountingNodePayload : MessageBody {
-  std::string TypeTag() const override { return "test.count"; }
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("test.count");
+    return t;
+  }
 };
 
 TEST(RangeMulticastTest, ReachesEveryRegionExactlyOnce) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace gridvine {
@@ -100,6 +104,122 @@ TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
   sim.ScheduleAt(7.5, [&] { fired_at = sim.Now(); });
   sim.Run();
   EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+// --- Scheduler-semantics regression suite for the 4-ary heap ----------------
+// These pin down the contract the seed's std::priority_queue implementation
+// provided, so the hand-rolled heap must reproduce it exactly.
+
+TEST(SimulatorTest, FifoTieBreakSurvivesInterleavedPopsAndPushes) {
+  // Same-time FIFO must hold even when the heap is reshaped by pops between
+  // the pushes (a pure sift-up/sift-down bug shows up here, not in the
+  // schedule-all-then-run case).
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(0.5, [&] {
+    for (int i = 0; i < 7; ++i) sim.Schedule(0.5, [&order, i] { order.push_back(i); });
+  });
+  sim.Schedule(1.0, [&order] { order.push_back(100); });
+  sim.Schedule(1.0, [&order] { order.push_back(101); });
+  sim.Run();
+  // The seven events scheduled at t=0.5 fire at t=1.0 with later seqs than
+  // the two scheduled up front, so FIFO puts 100, 101 first.
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.RunUntil(3.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  // Clock never moves backwards.
+  EXPECT_EQ(sim.RunUntil(1.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, RunUntilDoesNotAdvancePastLaterPending) {
+  Simulator sim;
+  sim.Schedule(5.0, [] {});
+  sim.RunUntil(2.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, ReentrantScheduleAtCurrentTimeRunsInSameDrain) {
+  // An event scheduling a zero-delay event must see it fire within the same
+  // Run() call, after all previously-scheduled same-time events (FIFO).
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] {
+    order.push_back(1);
+    sim.Schedule(0.0, [&] { order.push_back(3); });
+  });
+  sim.Schedule(1.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ReentrantScheduleDeepChainDrains) {
+  // A chain of events each rescheduling the next at the same timestamp: the
+  // heap is reshaped (push during pop aftermath) every step.
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 1000) sim.Schedule(0.0, chain);
+  };
+  sim.Schedule(1.0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+}
+
+TEST(SimulatorTest, RunUntilFlagStopsImmediately) {
+  Simulator sim;
+  bool done = false;
+  int after_done = 0;
+  sim.Schedule(1.0, [&] { done = true; });
+  sim.Schedule(2.0, [&] { ++after_done; });
+  size_t ran = sim.RunUntilFlag(&done);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(after_done, 0);  // no event fires once the flag flips
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+}
+
+TEST(SimulatorTest, RunUntilFlagDrainsToIdleWhenFlagNeverFlips) {
+  Simulator sim;
+  bool done = false;
+  int ran_events = 0;
+  for (int i = 0; i < 5; ++i) sim.Schedule(double(i), [&] { ++ran_events; });
+  EXPECT_EQ(sim.RunUntilFlag(&done), 5u);
+  EXPECT_EQ(ran_events, 5);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, ManyRandomTimesRunInNondecreasingOrder) {
+  // Heap-order stress: pseudo-random times, verified globally sorted.
+  Simulator sim;
+  std::vector<double> fired;
+  uint64_t state = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    double t = double(state >> 40);
+    sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(fired.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(SimulatorTest, LargeCapturesFallBackToHeapCorrectly) {
+  // Captures beyond EventFn's inline budget must still work (heap path).
+  Simulator sim;
+  std::array<uint64_t, 32> big{};  // 256 bytes, > EventFn::kInlineSize
+  big[0] = 7;
+  big[31] = 9;
+  uint64_t sum = 0;
+  sim.Schedule(1.0, [big, &sum] { sum = big[0] + big[31]; });
+  sim.Run();
+  EXPECT_EQ(sum, 16u);
 }
 
 }  // namespace
