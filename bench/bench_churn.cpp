@@ -29,15 +29,17 @@ namespace {
 struct Trial {
   double availability = 0;
   double mean_hops = 0;
+  double mean_rtt = 0;
 };
 
-Trial Run(double downtime_fraction, bool with_maintenance, uint64_t seed) {
+Trial Run(double downtime_fraction, bool with_maintenance, uint64_t seed,
+          bool retries_on = true) {
   Simulator sim;
   Network net(&sim, std::make_unique<ConstantLatency>(0.03), Rng(seed));
   PGridPeer::Options popts;
   popts.key_depth = 10;
-  popts.request_timeout = 1.5;
-  popts.max_retries = 3;
+  popts.retry.base_timeout = 1.5;
+  popts.retry.max_attempts = retries_on ? 4 : 1;
   std::vector<std::unique_ptr<PGridPeer>> owned;
   std::vector<PGridPeer*> peers;
   for (int i = 0; i < 64; ++i) {
@@ -80,7 +82,7 @@ Trial Run(double downtime_fraction, bool with_maintenance, uint64_t seed) {
   ChurnModel churn(&sim, &net, Rng(seed + 5), copts);
   if (downtime_fraction > 0) churn.Start();
 
-  SampleStats hops;
+  SampleStats hops, rtt;
   size_t ok = 0;
   const int kQueries = 400;
   for (int q = 0; q < kQueries; ++q) {
@@ -92,6 +94,7 @@ Trial Run(double downtime_fraction, bool with_maintenance, uint64_t seed) {
       if (r.ok() && !r->values.empty()) {
         got = true;
         hops.Add(double(r->hops));
+        rtt.Add(r->rtt);
       }
     });
     while (!done && sim.pending() > 0) sim.Run(1);
@@ -101,6 +104,7 @@ Trial Run(double downtime_fraction, bool with_maintenance, uint64_t seed) {
   Trial t;
   t.availability = double(ok) / kQueries;
   t.mean_hops = hops.Mean();
+  t.mean_rtt = rtt.Mean();
   return t;
 }
 
@@ -117,14 +121,22 @@ int main(int argc, char** argv) {
   for (double f : {0.0, 0.05, 0.10, 0.20, 0.30}) {
     Trial on = Run(f, true, 42);
     Trial off = Run(f, false, 42);
+    // Same cell with the reliability layer clamped to one attempt
+    // (maintenance on): what churn costs without retry/failover.
+    Trial no_retry = Run(f, true, 42, /*retries_on=*/false);
     std::printf("  %-17.0f%% | %12.1f%% %13.2f | %12.1f%% %13.2f\n", f * 100,
                 on.availability * 100, on.mean_hops, off.availability * 100,
                 off.mean_hops);
     std::string row = "offline_" + std::to_string(int(f * 100));
     json.Add(row + "/maintenance_on", {{"availability", on.availability},
-                                       {"mean_hops", on.mean_hops}});
+                                       {"mean_hops", on.mean_hops},
+                                       {"mean_rtt_s", on.mean_rtt}});
     json.Add(row + "/maintenance_off", {{"availability", off.availability},
-                                        {"mean_hops", off.mean_hops}});
+                                        {"mean_hops", off.mean_hops},
+                                        {"mean_rtt_s", off.mean_rtt}});
+    json.Add(row + "/retries_off", {{"availability", no_retry.availability},
+                                    {"mean_hops", no_retry.mean_hops},
+                                    {"mean_rtt_s", no_retry.mean_rtt}});
   }
   json.Finish();
   std::printf("\n  expectation: availability stays high with maintenance "

@@ -1,0 +1,226 @@
+// Experiment A3 — the reliable request layer under injected faults (paper
+// Section 2.1: Retrieve/Update "provide probabilistic guarantees ... even in
+// highly unreliable, dynamic environments").
+//
+// 64 peers (two replicas per region), routing-table maintenance on, active
+// churn, and a lossy wire. For each loss level we run the same 400-lookup
+// workload twice: with the retry/failover layer enabled (capped exponential
+// backoff, alternate-route failover) and with it clamped to a single
+// attempt — the fire-and-forget baseline. The headline number is recall
+// (lookups returning the planted value); the acceptance bar for this repo is
+// retries-on recall >= 2x retries-off at 10% loss under churn.
+//
+// A second scenario layers a FaultPlan on top — a loss burst, a partition, a
+// latency spike, duplication — and reports the network's per-cause drop
+// attribution, exercising the same counters the chaos soak test pins.
+//
+//   $ ./bench/bench_fault
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/stats.h"
+#include "sim/churn.h"
+#include "sim/fault_plan.h"
+#include "pgrid/maintenance.h"
+#include "pgrid/pgrid_builder.h"
+
+using namespace gridvine;
+
+namespace {
+
+struct Trial {
+  double recall = 0;
+  double mean_rtt = 0;
+  double mean_hops = 0;
+  uint64_t retries = 0;
+  uint64_t failovers = 0;
+  NetworkStats stats;
+};
+
+Trial Run(double loss, double offline_fraction, bool retries_on,
+          bool chaos_windows, int queries, uint64_t seed) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<ConstantLatency>(0.03), Rng(seed), loss);
+  PGridPeer::Options popts;
+  popts.key_depth = 10;
+  popts.retry.base_timeout = 1.5;
+  popts.retry.max_attempts = retries_on ? 6 : 1;
+  popts.retry.max_timeout = 12.0;
+  std::vector<std::unique_ptr<PGridPeer>> owned;
+  std::vector<PGridPeer*> peers;
+  // 96 peers over 64 six-bit regions: regions 0..31 get two replicas, the
+  // rest one. The workload targets the replicated half so the failover path
+  // (retry reaching the live member of σ(p)) has something to reach.
+  for (int i = 0; i < 96; ++i) {
+    owned.push_back(
+        std::make_unique<PGridPeer>(&sim, &net, Rng(seed * 131 + i), popts));
+    peers.push_back(owned.back().get());
+  }
+  Rng build_rng(seed + 1);
+  PGridBuilder::BuildBalanced(peers, &build_rng, /*refs_per_level=*/4);
+
+  MaintenanceAgent::Options mopts;
+  mopts.period = 12.0;
+  mopts.probe_timeout = 1.0;
+  std::vector<std::unique_ptr<MaintenanceAgent>> agents;
+  for (auto* p : peers) {
+    agents.push_back(std::make_unique<MaintenanceAgent>(
+        &sim, p, Rng(seed * 7 + p->id()), mopts));
+    agents.back()->Start();
+  }
+
+  // One entry per queried region, present on every replica of the region.
+  // Key k*16 has top six bits == k: region k exactly.
+  for (uint64_t k = 0; k < 32; ++k) {
+    Key key = Key::FromUint(k * 16, 10);
+    for (auto* p : peers) {
+      if (p->path().IsPrefixOf(key)) p->InsertLocal(key, "v");
+    }
+  }
+
+  if (chaos_windows) {
+    auto plan = std::make_unique<FaultPlan>();
+    FaultPlan::LossBurst burst;
+    burst.start = 300.0;
+    burst.end = 340.0;
+    burst.probability = 0.7;
+    plan->AddLossBurst(burst);
+    FaultPlan::Partition part;  // first 16 peers cut from the rest
+    part.start = 800.0;
+    part.end = 840.0;
+    for (auto* p : peers) {
+      (p->id() < 16 ? part.group_a : part.group_b).push_back(p->id());
+    }
+    plan->AddPartition(part);
+    FaultPlan::LatencySpike spike;
+    spike.start = 1200.0;
+    spike.end = 1220.0;
+    spike.extra = 0.3;
+    spike.extra_mean_tail = 0.1;
+    plan->AddLatencySpike(spike);
+    plan->set_duplicate_probability(0.05);
+    net.SetFaultPlan(std::move(plan));
+  }
+
+  ChurnModel::Options copts;
+  copts.mean_session_seconds = 60;
+  copts.mean_downtime_seconds =
+      offline_fraction <= 0
+          ? 0.001
+          : 60 * offline_fraction / (1 - offline_fraction);
+  copts.pinned = {peers[0]->id()};
+  ChurnModel churn(&sim, &net, Rng(seed + 5), copts);
+  if (offline_fraction > 0) churn.Start();
+
+  SampleStats rtt, hops;
+  size_t ok = 0;
+  for (int q = 0; q < queries; ++q) {
+    sim.RunUntil(sim.Now() + 5);
+    Key key = Key::FromUint(uint64_t(q % 32) * 16, 10);
+    bool done = false, got = false;
+    peers[0]->Retrieve(key, [&](Result<PGridPeer::LookupResult> r) {
+      done = true;
+      if (r.ok() && !r->values.empty()) {
+        got = true;
+        rtt.Add(r->rtt);
+        hops.Add(double(r->hops));
+      }
+    });
+    while (!done && sim.pending() > 0) sim.Run(1);
+    if (got) ++ok;
+  }
+  churn.Stop();
+  for (auto& a : agents) a->Stop();  // else periodic rounds never drain
+  sim.Run();  // drain: outstanding requests resolve by answer or timeout
+
+  Trial t;
+  t.recall = double(ok) / queries;
+  t.mean_rtt = rtt.Mean();
+  t.mean_hops = hops.Mean();
+  for (auto* p : peers) {
+    t.retries += p->counters().retries;
+    t.failovers += p->counters().failovers;
+  }
+  t.stats = net.stats();
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_fault");
+  const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
+  const int queries = quick ? 120 : 400;
+  const double offline = 0.30;
+
+  std::printf("A3: reliable requests under loss + churn (96 peers, offline "
+              "fraction %.0f%%, %d lookups/cell)\n\n", offline * 100, queries);
+  std::printf("  %-12s | %-36s | %-36s\n", "", "retries ON (<=6 attempts)",
+              "retries OFF (single attempt)");
+  std::printf("  %-12s | %9s %9s %7s %7s | %9s %9s\n", "loss", "recall",
+              "rtt(s)", "retries", "failov", "recall", "rtt(s)");
+
+  std::vector<double> losses = quick ? std::vector<double>{0.10}
+                                     : std::vector<double>{0.05, 0.10, 0.20};
+  for (double loss : losses) {
+    Trial on = Run(loss, offline, /*retries_on=*/true,
+                   /*chaos_windows=*/false, queries, 42);
+    Trial off = Run(loss, offline, /*retries_on=*/false,
+                    /*chaos_windows=*/false, queries, 42);
+    std::printf("  %-11.0f%% | %8.1f%% %9.3f %7llu %7llu | %8.1f%% %9.3f\n",
+                loss * 100, on.recall * 100, on.mean_rtt,
+                (unsigned long long)on.retries,
+                (unsigned long long)on.failovers, off.recall * 100,
+                off.mean_rtt);
+    std::string row = "loss_" + std::to_string(int(loss * 100));
+    json.Add(row + "/retries_on",
+             {{"recall", on.recall},
+              {"mean_rtt_s", on.mean_rtt},
+              {"mean_hops", on.mean_hops},
+              {"retries", double(on.retries)},
+              {"failovers", double(on.failovers)}});
+    json.Add(row + "/retries_off",
+             {{"recall", off.recall},
+              {"mean_rtt_s", off.mean_rtt},
+              {"mean_hops", off.mean_hops}});
+    if (loss == 0.10) {
+      double ratio = off.recall > 0 ? on.recall / off.recall : 0;
+      json.Add("loss_10/improvement", {{"recall_ratio", ratio}});
+      std::printf("  -> 10%% loss recall ratio on/off: %.2fx (acceptance: "
+                  ">= 2x)\n", ratio);
+    }
+  }
+
+  // Chaos scenario: every fault type at once; report where drops went.
+  Trial chaos = Run(0.08, offline, /*retries_on=*/true, /*chaos_windows=*/true,
+                    queries, 42);
+  const NetworkStats& s = chaos.stats;
+  std::printf("\n  chaos cell (8%% loss + burst + partition + spike + 5%% "
+              "duplication):\n");
+  std::printf("    recall %.1f%%; drops by cause: endpoint %llu, loss %llu, "
+              "burst %llu, partition %llu; duplicated %llu\n",
+              chaos.recall * 100, (unsigned long long)s.drops_endpoint,
+              (unsigned long long)s.drops_loss,
+              (unsigned long long)s.drops_burst,
+              (unsigned long long)s.drops_partition,
+              (unsigned long long)s.messages_duplicated);
+  json.Add("chaos/drop_attribution",
+           {{"recall", chaos.recall},
+            {"drops_endpoint", double(s.drops_endpoint)},
+            {"drops_loss", double(s.drops_loss)},
+            {"drops_burst", double(s.drops_burst)},
+            {"drops_partition", double(s.drops_partition)},
+            {"duplicated", double(s.messages_duplicated)},
+            {"sent", double(s.messages_sent)},
+            {"delivered", double(s.messages_delivered)},
+            {"dropped", double(s.messages_dropped)}});
+  json.Finish();
+  std::printf("\n  expectation: backoff+failover recovers most losses "
+              "(recall stays high) at bounded\n  extra traffic; the "
+              "single-attempt baseline degrades linearly with wire loss.\n");
+  return 0;
+}

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   options.wan_straggler_prob = 0.09;
   options.wan_straggler_mean = 6.0;
   options.peer.query_timeout = 30.0;
-  options.overlay.request_timeout = 30.0;
+  options.overlay.retry.base_timeout = 30.0;
   GridVineNetwork net(options);
 
   BioWorkload::Options wl;

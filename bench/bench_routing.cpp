@@ -32,7 +32,7 @@ struct Overlay {
       : net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(seed)) {
     PGridPeer::Options opts;
     opts.key_depth = key_depth;
-    opts.request_timeout = 60.0;
+    opts.retry.base_timeout = 60.0;
     for (size_t i = 0; i < n; ++i) {
       owned.push_back(
           std::make_unique<PGridPeer>(&sim, &net, Rng(seed * 131 + i), opts));

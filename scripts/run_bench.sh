@@ -59,5 +59,14 @@ if [[ "$ran" -eq 0 ]]; then
   echo "error: no benchmarks matched filter '$filter'" >&2
   exit 1
 fi
+
+# Quick mode doubles as the CI smoke path: also run the chaos soak test so
+# the fault-injection invariants (message conservation, drop attribution,
+# no leaked requests, bit-identical replay) are exercised alongside the
+# benches. A failing run prints the scenario seed to replay it.
+if [[ "$quick" -eq 1 && -z "$filter" && -x "$build_dir/tests/fault_soak_test" ]]; then
+  echo "== fault_soak_test (chaos smoke; failing seeds are printed for replay)"
+  "$build_dir/tests/fault_soak_test" --gtest_brief=1
+fi
 echo
 echo "wrote $ran JSON report(s) at $out_root/BENCH_*.json"

@@ -429,8 +429,23 @@ void GridVinePeer::DispatchQuery(uint64_t qid, const TriplePatternQuery& query,
   req->confidence = confidence;
   req->sound_only = sound_only;
   if (routing.has_value()) {
-    overlay_->Route(KeyFor(query.pattern().at(*routing).value()),
-                    std::move(req));
+    Key route_key = KeyFor(query.pattern().at(*routing).value());
+    auto it2 = pending_queries_.find(qid);
+    if (reply_to == id() && it2 != pending_queries_.end() &&
+        !it2->second.closed) {
+      // Issuer-side branch: track it and hand it to the retrying layer
+      // instead of a single fire-and-forget send. The request object is
+      // retained so a retry re-routes the identical payload.
+      uint64_t did = next_dispatch_id_++;
+      req->dispatch_id = did;
+      it2->second.open_dispatches.emplace(did,
+                                          OpenDispatch{req, route_key, 1});
+      // Route may answer synchronously (origin responsible): emplace first.
+      overlay_->Route(route_key, req);
+      ArmDispatchTimer(qid, did, 1);
+      return;
+    }
+    overlay_->Route(route_key, std::move(req));
     return;
   }
   // No exact constant, but a prefix-constrained literal ("Asp%..."): the
@@ -486,6 +501,44 @@ void GridVinePeer::IterativeExpand(uint64_t qid,
       });
 }
 
+void GridVinePeer::ArmDispatchTimer(uint64_t qid, uint64_t did, int attempt) {
+  SimTime timeout = options_.query_retry.TimeoutFor(attempt, &rng_);
+  sim_->Schedule(timeout, [this, qid, did, attempt] {
+    auto it = pending_queries_.find(qid);
+    if (it == pending_queries_.end() || it->second.closed) return;
+    auto d = it->second.open_dispatches.find(did);
+    // Answered in the meantime, or a newer attempt owns the timer.
+    if (d == it->second.open_dispatches.end() ||
+        d->second.attempts != attempt) {
+      return;
+    }
+    if (options_.query_retry.Exhausted(d->second.attempts)) {
+      // Branch written off: close it so iterative completion need not wait
+      // for the global query timeout.
+      CloseDispatch(it->second, qid, did);
+      return;
+    }
+    ++d->second.attempts;
+    int next_attempt = d->second.attempts;
+    Key route_key = d->second.route_key;
+    std::shared_ptr<QueryRequest> req = d->second.req;
+    // Route can resolve synchronously and erase the dispatch; do not touch
+    // `d` past this point.
+    overlay_->Route(route_key, std::move(req));
+    ArmDispatchTimer(qid, did, next_attempt);
+  });
+}
+
+void GridVinePeer::CloseDispatch(PendingQuery& p, uint64_t qid, uint64_t did) {
+  p.open_dispatches.erase(did);
+  bool iterative = !p.options.reformulate ||
+                   p.options.mode == ReformulationMode::kIterative;
+  if (iterative && !p.used_range_dispatch) {
+    --p.outstanding;
+    MaybeFinishIterative(qid);
+  }
+}
+
 void GridVinePeer::MaybeFinishIterative(uint64_t qid) {
   auto it = pending_queries_.find(qid);
   if (it == pending_queries_.end() || it->second.closed) return;
@@ -539,6 +592,7 @@ void GridVinePeer::HandleQueryRequest(const QueryRequest& req) {
   auto rows = local_db_.MatchPattern(query->pattern());
   auto resp = std::make_shared<QueryResponse>();
   resp->query_id = req.query_id;
+  resp->dispatch_id = req.dispatch_id;
   resp->schema = schema;
   resp->rows = SerializeBindings(rows);
   resp->mapping_path_len = req.mapping_path_len;
@@ -591,6 +645,14 @@ void GridVinePeer::HandleQueryResponse(const QueryResponse& resp) {
   if (it == pending_queries_.end() || it->second.closed) return;
   PendingQuery& p = it->second;
 
+  // A response for a tracked branch that is no longer open is a duplicate
+  // (network duplication, or both the original and a retry answering):
+  // every branch is accounted exactly once, so drop it here.
+  if (resp.dispatch_id != 0 &&
+      p.open_dispatches.find(resp.dispatch_id) == p.open_dispatches.end()) {
+    return;
+  }
+
   auto rows = ParseBindings(resp.rows);
   if (rows.ok()) {
     RowBatch batch;
@@ -609,11 +671,17 @@ void GridVinePeer::HandleQueryResponse(const QueryResponse& resp) {
     p.batches.push_back(std::move(batch));
   }
 
-  bool iterative = !p.options.reformulate ||
-                   p.options.mode == ReformulationMode::kIterative;
-  if (iterative && !p.used_range_dispatch) {
-    --p.outstanding;
-    MaybeFinishIterative(resp.query_id);
+  if (resp.dispatch_id != 0) {
+    // CloseDispatch handles the outstanding-branch accounting (and may
+    // complete the query).
+    CloseDispatch(p, resp.query_id, resp.dispatch_id);
+  } else {
+    bool iterative = !p.options.reformulate ||
+                     p.options.mode == ReformulationMode::kIterative;
+    if (iterative && !p.used_range_dispatch) {
+      --p.outstanding;
+      MaybeFinishIterative(resp.query_id);
+    }
   }
 }
 

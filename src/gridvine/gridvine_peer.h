@@ -51,6 +51,15 @@ class GridVinePeer {
     /// Max mappings chained during reformulation (iterative BFS depth and
     /// recursive TTL).
     int max_reformulation_hops = 6;
+    /// Retry discipline for the issuing peer's query dispatches (the
+    /// reliable query layer): a branch that has not answered within the
+    /// backed-off window is re-routed, up to max_attempts, instead of being
+    /// written off by the single query_timeout. Branch retries stay inside
+    /// the query window — an exhausted branch closes early so iterative
+    /// queries need not wait out the full timeout.
+    RetryPolicy query_retry{/*base_timeout=*/2.5, /*max_attempts=*/3,
+                            /*backoff_multiplier=*/2.0, /*max_timeout=*/10.0,
+                            /*jitter=*/0.1};
   };
 
   using StatusCallback = std::function<void(Status)>;
@@ -216,6 +225,15 @@ class GridVinePeer {
     std::vector<BindingSet> rows;
   };
 
+  /// One retried dispatch branch of a pending query: the request is kept so
+  /// a retry re-routes the identical payload (same dispatch_id — duplicate
+  /// answers collapse onto one branch closure).
+  struct OpenDispatch {
+    std::shared_ptr<QueryRequest> req;
+    Key route_key;
+    int attempts = 1;
+  };
+
   struct PendingQuery {
     TriplePatternQuery query;
     QueryOptions options;
@@ -228,6 +246,8 @@ class GridVinePeer {
     SimTime first_result = -1;
     // Iterative-mode bookkeeping: branches still expected to answer.
     int outstanding = 0;
+    // Dispatch branches awaiting an answer, keyed by dispatch_id.
+    std::unordered_map<uint64_t, OpenDispatch> open_dispatches;
     // Range (multicast) dispatches have an unknown number of responders:
     // such a query only completes at its timeout.
     bool used_range_dispatch = false;
@@ -260,6 +280,13 @@ class GridVinePeer {
   void FinishQuery(uint64_t qid);
   void MaybeFinishIterative(uint64_t qid);
 
+  /// Arms the per-branch retry timer for `attempt` of dispatch `did`: on
+  /// expiry the branch is re-routed (backoff per Options::query_retry) or,
+  /// once exhausted, closed so the query can complete without it.
+  void ArmDispatchTimer(uint64_t qid, uint64_t did, int attempt);
+  /// Closes one open dispatch branch and updates completion bookkeeping.
+  void CloseDispatch(PendingQuery& p, uint64_t qid, uint64_t did);
+
   /// Extension dispatch from the overlay.
   void OnExtensionMessage(NodeId origin,
                           std::shared_ptr<const MessageBody> payload,
@@ -285,6 +312,7 @@ class GridVinePeer {
   std::map<std::pair<std::string, std::string>, std::string> published_degrees_;
   uint64_t next_version_ = 1;
   uint64_t next_query_id_ = 1;
+  uint64_t next_dispatch_id_ = 1;
   Counters counters_;
 };
 

@@ -19,6 +19,11 @@ enum class ReformulationMode { kIterative, kRecursive };
 /// key. Carried inside a RoutedEnvelope.
 struct QueryRequest : MessageBody {
   uint64_t query_id = 0;
+  /// Identifies the issuing peer's dispatch branch, echoed in the response;
+  /// 0 for branches the issuer does not track (recursive intermediaries,
+  /// range multicasts). Lets the reliable query layer retry a branch and
+  /// still account duplicate/late answers exactly once.
+  uint64_t dispatch_id = 0;
   /// TriplePatternQuery::Serialize() payload.
   std::string query;
   /// Where answers must be sent (the original issuer).
@@ -50,6 +55,8 @@ struct QueryRequest : MessageBody {
 /// Answer rows flowing straight back to the issuer.
 struct QueryResponse : MessageBody {
   uint64_t query_id = 0;
+  /// Echo of QueryRequest::dispatch_id (0 when the request carried none).
+  uint64_t dispatch_id = 0;
   /// Schema the answering data was expressed in.
   std::string schema;
   /// SerializeBindings() payload.

@@ -117,13 +117,23 @@ void PGridPeer::SendRetrieveAttempt(uint64_t request_id) {
   if (it == pending_.end()) return;
   Pending& p = it->second;
   ++p.attempts;
-  auto next = routing_.NextHop(p.key, &rng_);
+  // Avoid the first hop of the failed attempt when alternatives exist:
+  // consecutive attempts explore different routes, and thereby different
+  // members of the destination's replica set σ(p).
+  auto next = routing_.NextHop(p.key, &rng_, /*exclude=*/p.last_hop);
   if (!next.has_value()) {
+    // No usable ref right now (all evicted under churn). The attempt is
+    // still spent: wait out the backoff — maintenance may refill the level —
+    // and resolve as Timeout once the budget is gone.
     ++counters_.routing_dead_ends;
-    FailPending(request_id,
-                Status::Unavailable("no route toward key " + p.key.bits()));
+    if (options_.retry.Exhausted(p.attempts)) {
+      FailPending(request_id, RetryPolicy::TimeoutStatus(p.attempts));
+    } else {
+      ArmTimeout(request_id);
+    }
     return;
   }
+  p.last_hop = *next;
   auto req = std::make_shared<RetrieveRequest>();
   req->request_id = request_id;
   req->key = p.key;
@@ -186,13 +196,17 @@ void PGridPeer::SendUpdateAttempt(uint64_t request_id) {
   if (it == pending_.end()) return;
   Pending& p = it->second;
   ++p.attempts;
-  auto next = routing_.NextHop(p.key, &rng_);
+  auto next = routing_.NextHop(p.key, &rng_, /*exclude=*/p.last_hop);
   if (!next.has_value()) {
     ++counters_.routing_dead_ends;
-    FailPending(request_id,
-                Status::Unavailable("no route toward key " + p.key.bits()));
+    if (options_.retry.Exhausted(p.attempts)) {
+      FailPending(request_id, RetryPolicy::TimeoutStatus(p.attempts));
+    } else {
+      ArmTimeout(request_id);
+    }
     return;
   }
+  p.last_hop = *next;
   auto req = std::make_shared<UpdateRequest>();
   req->request_id = request_id;
   req->key = p.key;
@@ -208,17 +222,18 @@ void PGridPeer::ArmTimeout(uint64_t request_id) {
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
   int attempt_at_arm = it->second.attempts;
-  sim_->Schedule(options_.request_timeout, [this, request_id, attempt_at_arm] {
+  // Capped exponential backoff with jitter from the peer's seeded stream.
+  SimTime timeout = options_.retry.TimeoutFor(attempt_at_arm, &rng_);
+  sim_->Schedule(timeout, [this, request_id, attempt_at_arm] {
     auto it2 = pending_.find(request_id);
     // Already answered, or a newer attempt owns the timeout.
     if (it2 == pending_.end() || it2->second.attempts != attempt_at_arm) return;
     ++counters_.timeouts;
-    if (it2->second.attempts > options_.max_retries) {
-      FailPending(request_id, Status::Timeout("request timed out after " +
-                                              std::to_string(attempt_at_arm) +
-                                              " attempt(s)"));
+    if (options_.retry.Exhausted(it2->second.attempts)) {
+      FailPending(request_id, RetryPolicy::TimeoutStatus(attempt_at_arm));
       return;
     }
+    ++counters_.retries;
     if (it2->second.kind == Pending::Kind::kRetrieve) {
       SendRetrieveAttempt(request_id);
     } else {
@@ -237,6 +252,20 @@ void PGridPeer::FailPending(uint64_t request_id, Status status) {
   } else {
     p.update_cb(std::move(status));
   }
+}
+
+bool PGridPeer::FailoverPending(uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end() || options_.retry.Exhausted(it->second.attempts)) {
+    return false;
+  }
+  ++counters_.failovers;
+  if (it->second.kind == Pending::Kind::kRetrieve) {
+    SendRetrieveAttempt(request_id);
+  } else {
+    SendUpdateAttempt(request_id);
+  }
+  return true;
 }
 
 // --- Extension interface ------------------------------------------------------
@@ -436,12 +465,16 @@ void PGridPeer::HandleRetrieveRequest(NodeId from, const RetrieveRequest& req) {
 void PGridPeer::HandleRetrieveResponse(const RetrieveResponse& resp) {
   auto it = pending_.find(resp.request_id);
   if (it == pending_.end()) return;  // late duplicate after timeout/answer
-  Pending p = std::move(it->second);
-  pending_.erase(it);
   if (!resp.status.ok()) {
-    p.retrieve_cb(resp.status);
+    // Negative answer (dead end / hop limit somewhere along the route):
+    // fail over to an alternate route while the budget lasts.
+    if (FailoverPending(resp.request_id)) return;
+    FailPending(resp.request_id,
+                RetryPolicy::TimeoutStatus(it->second.attempts));
     return;
   }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
   LookupResult res;
   res.values = resp.values;
   res.hops = resp.hops;
@@ -491,12 +524,13 @@ void PGridPeer::HandleUpdateRequest(NodeId from, const UpdateRequest& req) {
 void PGridPeer::HandleUpdateAck(const UpdateAck& ack) {
   auto it = pending_.find(ack.request_id);
   if (it == pending_.end()) return;
-  Pending p = std::move(it->second);
-  pending_.erase(it);
   if (!ack.status.ok()) {
-    p.update_cb(ack.status);
+    if (FailoverPending(ack.request_id)) return;
+    FailPending(ack.request_id, RetryPolicy::TimeoutStatus(it->second.attempts));
     return;
   }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
   UpdateOutcome out;
   out.hops = ack.hops;
   out.rtt = sim_->Now() - p.started;

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "pgrid/messages.h"
+#include "pgrid/retry_policy.h"
 #include "pgrid/routing_table.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -31,6 +32,26 @@ namespace gridvine {
 /// All operations are asynchronous: results are delivered through callbacks
 /// once the simulated network round trips complete. Failures surface as
 /// non-OK Status (timeout after retries, routing dead ends).
+///
+/// Reliability layer (the network itself is UDP-like — silent drops, no
+/// error feedback): Retrieve/Update/Remove are ack'd requests governed by
+/// Options::retry — per-attempt timeout with capped exponential backoff and
+/// jitter (drawn from the peer's seeded Rng, so runs replay exactly), and
+/// two failover paths before an attempt is counted lost:
+///   - a retry excludes the previous first hop when alternatives exist, so
+///     consecutive attempts explore disjoint routes (and, since replicas
+///     σ(p) share the destination path, reach replicas of a dead
+///     responsible peer);
+///   - a *negative* response (routing dead end, hop limit) triggers an
+///     immediate failover re-attempt instead of failing the request, as
+///     long as attempts remain.
+/// Exhaustion always resolves as Status::Timeout (RetryPolicy's terminal
+/// status). Update has at-least-one-replica semantics: the ack is sent only
+/// after one member of σ(p) — the responsible peer that answered — applied
+/// the mutation locally; propagation to the rest of the replica set is
+/// asynchronous (probabilistic consistency, as in the paper). Re-applied
+/// duplicates (an ack lost, the mutation retried) are absorbed by
+/// idempotent local storage.
 class PGridPeer : public NetworkNode {
  public:
   struct Options {
@@ -38,10 +59,8 @@ class PGridPeer : public NetworkNode {
     int key_depth = 16;
     /// Cap on routing references kept per level.
     int max_refs_per_level = 4;
-    /// Seconds before an outstanding request attempt is abandoned.
-    SimTime request_timeout = 8.0;
-    /// Additional attempts after the first one times out.
-    int max_retries = 2;
+    /// Timeout/backoff/attempt discipline for Retrieve/Update/Remove.
+    RetryPolicy retry;
     /// Push mutations to replicas σ(p)?
     bool replicate_updates = true;
     /// Hard bound on forwarding chain length (loop safety net).
@@ -172,8 +191,16 @@ class PGridPeer : public NetworkNode {
     uint64_t local_answers = 0;
     uint64_t routing_dead_ends = 0;
     uint64_t timeouts = 0;
+    /// Re-attempts after a per-attempt timeout fired.
+    uint64_t retries = 0;
+    /// Re-attempts triggered by a negative response (dead end / hop limit).
+    uint64_t failovers = 0;
   };
   const Counters& counters() const { return counters_; }
+
+  /// Requests issued here and not yet resolved (answered, failed or timed
+  /// out). The chaos harness asserts this drains to zero.
+  size_t PendingRequests() const { return pending_.size(); }
 
   const Options& options() const { return options_; }
 
@@ -187,6 +214,9 @@ class PGridPeer : public NetworkNode {
     UpdateOp op = UpdateOp::kInsert;
     int attempts = 0;
     SimTime started = 0;
+    /// First hop of the latest attempt; the next attempt avoids it so
+    /// retries explore alternate routes (replica failover).
+    NodeId last_hop = kInvalidNode;
   };
 
   uint64_t NextRequestId() { return (uint64_t(id_) << 32) | next_seq_++; }
@@ -201,6 +231,9 @@ class PGridPeer : public NetworkNode {
   void SendUpdateAttempt(uint64_t request_id);
   void ArmTimeout(uint64_t request_id);
   void FailPending(uint64_t request_id, Status status);
+  /// Negative response for an outstanding request: re-attempt if the retry
+  /// budget allows, otherwise fail. Returns true if a re-attempt was made.
+  bool FailoverPending(uint64_t request_id);
 
   void HandleRoutedEnvelope(NodeId from, const RoutedEnvelope& env);
   void HandleRangeEnvelope(NodeId from, const RangeEnvelope& env);

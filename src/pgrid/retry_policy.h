@@ -1,0 +1,73 @@
+#ifndef GRIDVINE_PGRID_RETRY_POLICY_H_
+#define GRIDVINE_PGRID_RETRY_POLICY_H_
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace gridvine {
+
+/// Per-request retry discipline for the reliable request layer: capped
+/// exponential backoff with symmetric jitter. Pure arithmetic over an
+/// explicit Rng — no simulator dependency — so the schedule is unit-testable
+/// in isolation and deterministic under a fixed seed.
+///
+/// Attempt numbering is 1-based: attempt 1 waits ~base_timeout, attempt 2
+/// ~base_timeout * backoff_multiplier, ..., capped at max_timeout. Jitter
+/// multiplies the backed-off value by a uniform factor in
+/// [1 - jitter, 1 + jitter] (drawn from the caller's Rng — in the simulator
+/// that is the peer's forked stream, preserving whole-run determinism) so
+/// synchronized timeouts across peers do not re-collide on retry.
+struct RetryPolicy {
+  /// Timeout for the first attempt, seconds.
+  SimTime base_timeout = 8.0;
+  /// Total attempts before giving up (1 = no retries).
+  int max_attempts = 3;
+  /// Growth factor per attempt.
+  double backoff_multiplier = 2.0;
+  /// Upper bound applied before jitter.
+  SimTime max_timeout = 60.0;
+  /// Symmetric jitter fraction in [0, 1); 0 disables the Rng draw entirely.
+  double jitter = 0.1;
+
+  /// Backed-off, jittered timeout for 1-based `attempt`.
+  SimTime TimeoutFor(int attempt, Rng* rng) const {
+    double t = base_timeout;
+    for (int i = 1; i < attempt && t < max_timeout; ++i) {
+      t *= backoff_multiplier;
+    }
+    t = std::min(t, double(max_timeout));
+    if (jitter > 0) t *= rng->UniformDouble(1.0 - jitter, 1.0 + jitter);
+    return t;
+  }
+
+  /// Backoff with the jitter stripped — the midpoint TimeoutFor jitters
+  /// around; exposed for tests asserting the envelope.
+  SimTime NominalTimeoutFor(int attempt) const {
+    double t = base_timeout;
+    for (int i = 1; i < attempt && t < max_timeout; ++i) {
+      t *= backoff_multiplier;
+    }
+    return std::min(t, double(max_timeout));
+  }
+
+  /// True once `attempts_made` attempts have been spent.
+  bool Exhausted(int attempts_made) const {
+    return attempts_made >= max_attempts;
+  }
+
+  /// The terminal status of an exhausted request: always kTimeout, so
+  /// callers can branch on Status::IsTimeout() regardless of how the last
+  /// attempt died.
+  static Status TimeoutStatus(int attempts_made) {
+    return Status::Timeout("request timed out after " +
+                           std::to_string(attempts_made) + " attempt(s)");
+  }
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_PGRID_RETRY_POLICY_H_

@@ -26,6 +26,8 @@ void ChurnModel::ScheduleNext(NodeId id, bool currently_alive) {
     bool next_alive = !currently_alive;
     network_->SetAlive(id, next_alive);
     ++transitions_;
+    // Listener runs after the flip: a rejoin handler can send right away.
+    if (listener_) listener_(id, next_alive);
     ScheduleNext(id, next_alive);
   });
 }

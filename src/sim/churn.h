@@ -14,8 +14,19 @@ namespace gridvine {
 /// and offline gaps with exponentially distributed durations, the standard
 /// model for P2P membership dynamics. P-Grid's replica sets σ(p) are what
 /// keep lookups succeeding under this process (tested in integration tests).
+///
+/// Rejoin contract: ChurnModel only flips Network liveness — a rejoining
+/// node resumes with whatever routing state it had when it went down, which
+/// is stale by one downtime. Re-entering the overlay (probing refs, running
+/// an online exchange) is the owner's job: register a transition listener
+/// and, on `alive == true`, kick the peer's OnlineExchangeAgent /
+/// MaintenanceAgent (see tests/fault_harness.h for the wiring). The listener
+/// fires after the liveness flip, so a rejoin handler can send immediately.
 class ChurnModel {
  public:
+  /// Observes every liveness transition this model performs.
+  using TransitionListener = std::function<void(NodeId id, bool alive)>;
+
   struct Options {
     double mean_session_seconds = 600.0;
     double mean_downtime_seconds = 60.0;
@@ -25,6 +36,10 @@ class ChurnModel {
 
   ChurnModel(Simulator* sim, Network* network, Rng rng, Options options)
       : sim_(sim), network_(network), rng_(rng), options_(options) {}
+
+  void SetTransitionListener(TransitionListener listener) {
+    listener_ = std::move(listener);
+  }
 
   /// Starts the on/off process for every currently registered node. Each node
   /// begins alive and is first taken down after a full session duration.
@@ -46,6 +61,7 @@ class ChurnModel {
   Options options_;
   bool running_ = false;
   uint64_t transitions_ = 0;
+  TransitionListener listener_;
 };
 
 }  // namespace gridvine

@@ -1,0 +1,57 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+
+namespace gridvine {
+
+void FaultPlan::AddPartition(const Partition& partition) {
+  PartitionSpec spec;
+  spec.start = partition.start;
+  spec.end = partition.end;
+  NodeId max_id = 0;
+  for (NodeId id : partition.group_a) max_id = std::max(max_id, id);
+  for (NodeId id : partition.group_b) max_id = std::max(max_id, id);
+  spec.side.assign(size_t(max_id) + 1, 0);
+  for (NodeId id : partition.group_a) spec.side[id] = 1;
+  for (NodeId id : partition.group_b) spec.side[id] = 2;
+  partitions_.push_back(std::move(spec));
+}
+
+bool FaultPlan::ShouldDrop(SimTime now, NodeId from, NodeId to, Rng* rng,
+                           DropCause* cause) const {
+  for (const PartitionSpec& p : partitions_) {
+    if (now < p.start || now >= p.end) continue;
+    uint8_t sf = from < p.side.size() ? p.side[from] : 0;
+    uint8_t st = to < p.side.size() ? p.side[to] : 0;
+    if (sf != 0 && st != 0 && sf != st) {
+      *cause = DropCause::kPartition;
+      return true;
+    }
+  }
+  for (const LossBurst& b : bursts_) {
+    if (now < b.start || now >= b.end || b.probability <= 0) continue;
+    if (rng->Bernoulli(b.probability)) {
+      *cause = DropCause::kBurstLoss;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::ShouldDuplicate(Rng* rng) const {
+  return duplicate_probability_ > 0 && rng->Bernoulli(duplicate_probability_);
+}
+
+SimTime FaultPlan::ExtraLatency(SimTime now, Rng* rng) const {
+  SimTime extra = 0;
+  for (const LatencySpike& s : spikes_) {
+    if (now < s.start || now >= s.end) continue;
+    extra += s.extra;
+    if (s.extra_mean_tail > 0) {
+      extra += rng->Exponential(1.0 / s.extra_mean_tail);
+    }
+  }
+  return extra;
+}
+
+}  // namespace gridvine

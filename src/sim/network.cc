@@ -16,6 +16,12 @@ uint64_t NetworkStats::BytesForType(std::string_view name) const {
   return bytes_by_type[t.id()];
 }
 
+uint64_t NetworkStats::DropsForType(std::string_view name) const {
+  MsgType t = MsgType::Find(name);
+  if (t.unknown() || t.id() >= drops_by_type.size()) return 0;
+  return drops_by_type[t.id()];
+}
+
 std::map<std::string, uint64_t> NetworkStats::MessagesByTypeName() const {
   std::map<std::string, uint64_t> out;
   for (uint32_t id = 0; id < messages_by_type.size(); ++id) {
@@ -47,30 +53,70 @@ bool Network::IsAlive(NodeId id) const {
 
 void Network::CountSend(MsgType type, size_t bytes) {
   // Grow to the full registry size in one step so a burst of new types costs
-  // at most one reallocation, and established types never reallocate.
+  // at most one reallocation, and established types never reallocate. The
+  // drop vector is sized here too (not on first drop) so drop attribution
+  // never allocates on the steady-state path.
   if (type.id() >= stats_.messages_by_type.size()) {
     size_t n = MsgType::RegistryCount();
     stats_.messages_by_type.resize(n, 0);
     stats_.bytes_by_type.resize(n, 0);
+    stats_.drops_by_type.resize(n, 0);
   }
   ++stats_.messages_by_type[type.id()];
   stats_.bytes_by_type[type.id()] += bytes;
 }
 
+void Network::CountDrop(MsgType type, DropCause cause) {
+  ++stats_.messages_dropped;
+  switch (cause) {
+    case DropCause::kEndpoint: ++stats_.drops_endpoint; break;
+    case DropCause::kLoss: ++stats_.drops_loss; break;
+    case DropCause::kBurstLoss: ++stats_.drops_burst; break;
+    case DropCause::kPartition: ++stats_.drops_partition; break;
+  }
+  // CountSend sizes the vector for every type this network sends, so this
+  // growth step only triggers after a ResetStats() with messages still in
+  // flight — never on the steady-state (zero-allocation) path.
+  if (type.id() >= stats_.drops_by_type.size()) {
+    stats_.drops_by_type.resize(MsgType::RegistryCount(), 0);
+  }
+  ++stats_.drops_by_type[type.id()];
+}
+
 void Network::Send(NodeId from, NodeId to,
                    std::shared_ptr<const MessageBody> body) {
   const size_t bytes = body->SizeBytes();
+  const MsgType type = body->TypeTag();
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
-  CountSend(body->TypeTag(), bytes);
+  CountSend(type, bytes);
 
-  if (!IsAlive(from) || to >= nodes_.size() || !nodes_[to].alive ||
-      (loss_probability_ > 0 && rng_.Bernoulli(loss_probability_))) {
-    ++stats_.messages_dropped;
+  if (!IsAlive(from) || to >= nodes_.size() || !nodes_[to].alive) {
+    CountDrop(type, DropCause::kEndpoint);
     return;
+  }
+  if (loss_probability_ > 0 && rng_.Bernoulli(loss_probability_)) {
+    CountDrop(type, DropCause::kLoss);
+    return;
+  }
+  // Fault plan last, in a fixed order (partitions, then bursts, then
+  // duplication), so a given seed consumes Rng draws identically run to run.
+  if (fault_plan_) {
+    DropCause cause;
+    if (fault_plan_->ShouldDrop(sim_->Now(), from, to, &rng_, &cause)) {
+      CountDrop(type, cause);
+      return;
+    }
+    if (fault_plan_->ShouldDuplicate(&rng_)) {
+      ++stats_.messages_duplicated;
+      SimTime dup_delay = latency_->Sample(&rng_) +
+                          fault_plan_->ExtraLatency(sim_->Now(), &rng_);
+      sim_->Schedule(dup_delay, Delivery{this, from, to, body});
+    }
   }
 
   SimTime delay = latency_->Sample(&rng_);
+  if (fault_plan_) delay += fault_plan_->ExtraLatency(sim_->Now(), &rng_);
   sim_->Schedule(delay, Delivery{this, from, to, std::move(body)});
 }
 
@@ -81,7 +127,7 @@ void Network::Deliver(NodeId from, NodeId to,
     ++stats_.messages_delivered;
     nodes_[to].node->OnMessage(from, std::move(body));
   } else {
-    ++stats_.messages_dropped;
+    CountDrop(body->TypeTag(), DropCause::kEndpoint);
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "sim/fault_plan.h"
 #include "sim/latency.h"
 #include "sim/msg_type.h"
 #include "sim/simulator.h"
@@ -17,6 +18,7 @@
 namespace gridvine {
 
 /// Identifies a node (machine) on the simulated network.
+/// (Declared in sim/fault_plan.h; redeclared here for readers.)
 using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
@@ -48,24 +50,40 @@ class NetworkNode {
 ///
 /// Drop accounting contract: messages_sent, bytes_sent and the per-type
 /// counters are recorded at Send() time and therefore INCLUDE messages that
-/// are dropped — whether at send time (dead endpoint, loss) or in flight
-/// (destination died before delivery). They measure offered load, what the
-/// sender put on the wire. messages_delivered counts only actual deliveries
-/// and messages_dropped counts every drop, so once the simulator drains:
-///   messages_sent == messages_delivered + messages_dropped.
+/// are dropped — whether at send time (dead endpoint, loss, fault plan) or
+/// in flight (destination died before delivery). They measure offered load,
+/// what the sender put on the wire. messages_delivered counts only actual
+/// deliveries and messages_dropped counts every drop. A fault-plan duplicate
+/// is an extra in-flight copy that was never Send()-counted but does get
+/// delivered or dropped, so the drain invariant (checked by the chaos
+/// harness) is:
+///   messages_sent + messages_duplicated == messages_delivered
+///                                          + messages_dropped.
+/// Drops are further attributed by cause (the drops_* counters, which sum to
+/// messages_dropped) and by message type (drops_by_type).
 struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
-  uint64_t messages_dropped = 0;  // endpoint dead/unknown, or sampled loss
+  uint64_t messages_dropped = 0;  // every drop, all causes
+  uint64_t messages_duplicated = 0;  // extra copies created by a FaultPlan
   uint64_t bytes_sent = 0;
+  /// Cause attribution; drops_endpoint + drops_loss + drops_burst +
+  /// drops_partition == messages_dropped.
+  uint64_t drops_endpoint = 0;   // endpoint dead/unknown (send or delivery)
+  uint64_t drops_loss = 0;       // base independent loss
+  uint64_t drops_burst = 0;      // FaultPlan loss burst
+  uint64_t drops_partition = 0;  // FaultPlan partition
   /// Per-type counters indexed by MsgType::id(); ids beyond a vector's size
   /// are implicitly zero (the vectors grow lazily on first sight of a type).
   std::vector<uint64_t> messages_by_type;
   std::vector<uint64_t> bytes_by_type;
+  /// Per-type drop attribution (same indexing; counts drops of all causes).
+  std::vector<uint64_t> drops_by_type;
 
   /// Name-resolved accessors for benches and tests (0 for unseen types).
   uint64_t MessagesForType(std::string_view name) const;
   uint64_t BytesForType(std::string_view name) const;
+  uint64_t DropsForType(std::string_view name) const;
   /// All non-zero per-type message counts keyed by resolved name.
   std::map<std::string, uint64_t> MessagesByTypeName() const;
 
@@ -101,9 +119,19 @@ class Network {
   /// Sends `body` from `from` to `to`. Delivery is scheduled after a sampled
   /// latency; the message is dropped if either endpoint is dead at send time
   /// or the destination is dead at delivery time (no error feedback, like
-  /// UDP — timeouts are the caller's job). See NetworkStats for which
-  /// counters include drops.
+  /// UDP — timeouts are the caller's job; see src/pgrid's reliable request
+  /// layer for the retrying wrapper). See NetworkStats for which counters
+  /// include drops.
   void Send(NodeId from, NodeId to, std::shared_ptr<const MessageBody> body);
+
+  /// Installs (or clears, with nullptr) a fault-injection plan. The plan is
+  /// consulted on every Send() after liveness and base loss; it shares the
+  /// network's Rng so faulted runs stay seed-deterministic. The network owns
+  /// the plan; `fault_plan()` lets a scenario driver add windows mid-run.
+  void SetFaultPlan(std::unique_ptr<FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
 
   /// Number of registered nodes (alive or not).
   size_t size() const { return nodes_.size(); }
@@ -133,11 +161,13 @@ class Network {
   void Deliver(NodeId from, NodeId to,
                std::shared_ptr<const MessageBody> body);
   void CountSend(MsgType type, size_t bytes);
+  void CountDrop(MsgType type, DropCause cause);
 
   Simulator* sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   double loss_probability_;
+  std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<NodeSlot> nodes_;
   NetworkStats stats_;
 };

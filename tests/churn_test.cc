@@ -1,0 +1,157 @@
+// ChurnModel unit tests: on/off alternation, pinned-node exemption, the
+// transition listener (the rejoin hook), and the visibility of liveness
+// flips in the network's drop accounting.
+
+#include "sim/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/latency.h"
+
+namespace gridvine {
+namespace {
+
+struct PingMsg : MessageBody {
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("test.ping");
+    return t;
+  }
+};
+
+struct SilentNode : NetworkNode {
+  int received = 0;
+  void OnMessage(NodeId, std::shared_ptr<const MessageBody>) override {
+    ++received;
+  }
+};
+
+struct ChurnTest : ::testing::Test {
+  ChurnTest() : net(&sim, std::make_unique<ConstantLatency>(0.05), Rng(7)) {
+    for (auto& n : nodes) net.AddNode(&n);
+  }
+
+  Simulator sim;
+  Network net;
+  SilentNode nodes[4];
+};
+
+TEST_F(ChurnTest, AlternatesSessionsAndDowntime) {
+  ChurnModel::Options opts;
+  opts.mean_session_seconds = 10.0;
+  opts.mean_downtime_seconds = 5.0;
+  ChurnModel churn(&sim, &net, Rng(3), opts);
+
+  // Record the per-node transition sequence; it must strictly alternate
+  // starting with a down-flip (every node begins alive).
+  std::vector<std::vector<bool>> flips(4);
+  churn.SetTransitionListener(
+      [&](NodeId id, bool alive) { flips[id].push_back(alive); });
+  churn.Start();
+  sim.RunUntil(500.0);
+  churn.Stop();
+  sim.Run();
+
+  EXPECT_GT(churn.transitions(), 0u);
+  uint64_t seen = 0;
+  for (const auto& seq : flips) {
+    ASSERT_FALSE(seq.empty());
+    for (size_t i = 0; i < seq.size(); ++i) {
+      // First flip takes the (initially alive) node down; then alternation.
+      EXPECT_EQ(seq[i], i % 2 == 1);
+    }
+    seen += seq.size();
+  }
+  EXPECT_EQ(seen, churn.transitions());
+}
+
+TEST_F(ChurnTest, PinnedNodesNeverFlip) {
+  ChurnModel::Options opts;
+  opts.mean_session_seconds = 5.0;
+  opts.mean_downtime_seconds = 5.0;
+  opts.pinned = {0, 2};
+  ChurnModel churn(&sim, &net, Rng(9), opts);
+  std::vector<int> flips(4, 0);
+  churn.SetTransitionListener([&](NodeId id, bool) { ++flips[id]; });
+  churn.Start();
+  sim.RunUntil(300.0);
+  churn.Stop();
+  sim.Run();
+
+  EXPECT_EQ(flips[0], 0);
+  EXPECT_EQ(flips[2], 0);
+  EXPECT_GT(flips[1], 0);
+  EXPECT_GT(flips[3], 0);
+  EXPECT_TRUE(net.IsAlive(0));
+  EXPECT_TRUE(net.IsAlive(2));
+}
+
+TEST_F(ChurnTest, ListenerFiresAfterLivenessFlip) {
+  ChurnModel::Options opts;
+  opts.mean_session_seconds = 5.0;
+  opts.mean_downtime_seconds = 5.0;
+  ChurnModel churn(&sim, &net, Rng(11), opts);
+  // The documented contract: the flip is already applied when the listener
+  // runs, so a rejoin handler can send immediately.
+  int checked = 0;
+  churn.SetTransitionListener([&](NodeId id, bool alive) {
+    EXPECT_EQ(net.IsAlive(id), alive);
+    ++checked;
+  });
+  churn.Start();
+  sim.RunUntil(100.0);
+  churn.Stop();
+  sim.Run();
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(ChurnTest, StopFreezesTransitions) {
+  ChurnModel::Options opts;
+  opts.mean_session_seconds = 5.0;
+  opts.mean_downtime_seconds = 5.0;
+  ChurnModel churn(&sim, &net, Rng(13), opts);
+  churn.Start();
+  sim.RunUntil(50.0);
+  churn.Stop();
+  const uint64_t frozen = churn.transitions();
+  sim.Run();  // already-scheduled transition events fire as no-ops
+  EXPECT_EQ(churn.transitions(), frozen);
+}
+
+// A down destination silently eats traffic, and the drop is attributed to
+// the endpoint cause — churn is visible in the network's accounting, which
+// is what the reliable request layer's timeouts react to.
+TEST_F(ChurnTest, DownNodeDropsAreAttributedToEndpoint) {
+  ChurnModel::Options opts;
+  opts.mean_session_seconds = 4.0;
+  opts.mean_downtime_seconds = 4.0;
+  opts.pinned = {0};  // the sender stays up
+  ChurnModel churn(&sim, &net, Rng(17), opts);
+  churn.Start();
+
+  // Ping node 1 every 0.5 s for 200 s; roughly half the sends hit downtime.
+  for (int i = 0; i < 400; ++i) {
+    sim.ScheduleAt(0.5 * i, [this]() {
+      net.Send(0, 1, std::make_shared<PingMsg>());
+    });
+  }
+  sim.RunUntil(250.0);
+  churn.Stop();
+  sim.Run();
+
+  const NetworkStats& st = net.stats();
+  EXPECT_EQ(st.messages_sent, 400u);
+  EXPECT_GT(st.drops_endpoint, 0u);
+  EXPECT_EQ(st.drops_endpoint, st.messages_dropped);  // only cause here
+  EXPECT_EQ(st.messages_delivered + st.messages_dropped, st.messages_sent);
+  EXPECT_EQ(st.DropsForType("test.ping"), st.messages_dropped);
+  EXPECT_EQ(nodes[1].received, int(st.messages_delivered));
+  // With a 50% duty cycle both outcomes must occur.
+  EXPECT_GT(st.messages_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -27,8 +27,8 @@ TEST(IntegrationTest, RetrievalSurvivesDeadPeersViaReplicasAndRetries) {
   o.latency = GridVineNetwork::LatencyKind::kConstant;
   o.latency_param = 0.01;
   o.refs_per_level = 3;
-  o.overlay.max_retries = 3;
-  o.overlay.request_timeout = 1.0;
+  o.overlay.retry.max_attempts = 4;
+  o.overlay.retry.base_timeout = 1.0;
   GridVineNetwork net(o);
 
   ASSERT_TRUE(net.InsertSchema(0, Schema("S", "d", {"a"})).ok());
@@ -72,8 +72,8 @@ TEST(IntegrationTest, LossyWanNetworkStillConverges) {
   o.latency = GridVineNetwork::LatencyKind::kWan;
   o.latency_param = 0.01;
   o.loss_probability = 0.05;
-  o.overlay.max_retries = 4;
-  o.overlay.request_timeout = 2.0;
+  o.overlay.retry.max_attempts = 5;
+  o.overlay.retry.base_timeout = 2.0;
   o.peer.query_timeout = 20.0;
   GridVineNetwork net(o);
 
@@ -107,8 +107,8 @@ TEST(IntegrationTest, ChurningNetworkKeepsAnsweringPinnedIssuer) {
   o.latency = GridVineNetwork::LatencyKind::kConstant;
   o.latency_param = 0.01;
   o.refs_per_level = 3;
-  o.overlay.max_retries = 3;
-  o.overlay.request_timeout = 1.0;
+  o.overlay.retry.max_attempts = 4;
+  o.overlay.retry.base_timeout = 1.0;
   GridVineNetwork net(o);
 
   for (int i = 0; i < 30; ++i) {

@@ -18,8 +18,8 @@ struct Overlay {
       : net(&sim, std::make_unique<ConstantLatency>(0.02), Rng(seed)) {
     PGridPeer::Options opts;
     opts.key_depth = key_depth;
-    opts.request_timeout = 1.0;
-    opts.max_retries = 2;
+    opts.retry.base_timeout = 1.0;
+    opts.retry.max_attempts = 3;
     for (size_t i = 0; i < n; ++i) {
       owned.push_back(
           std::make_unique<PGridPeer>(&sim, &net, Rng(seed * 17 + i), opts));

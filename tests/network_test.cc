@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "sim/churn.h"
+#include "sim/fault_plan.h"
 
 namespace gridvine {
 namespace {
@@ -191,38 +191,159 @@ TEST(LatencyModelTest, WanLatencyAboveBase) {
   EXPECT_LT(sum / 1000, 0.3);
 }
 
-TEST(ChurnTest, TogglesNodesOverTime) {
-  Simulator sim;
-  Network net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(5));
-  std::vector<std::unique_ptr<Recorder>> nodes;
-  for (int i = 0; i < 20; ++i) {
-    nodes.push_back(std::make_unique<Recorder>());
-    net.AddNode(nodes.back().get());
-  }
-  ChurnModel::Options opts;
-  opts.mean_session_seconds = 10;
-  opts.mean_downtime_seconds = 5;
-  ChurnModel churn(&sim, &net, Rng(6), opts);
-  churn.Start();
-  sim.RunUntil(100);
-  churn.Stop();
-  EXPECT_GT(churn.transitions(), 20u);
+// ChurnModel itself is covered in tests/churn_test.cc; the fault-plan tests
+// below exercise the injection hooks Network consults on every Send().
+
+TEST_F(NetworkTest, PartitionDropsBothWaysWithAttribution) {
+  Recorder a, b, c;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+  NodeId idc = net_.AddNode(&c);
+
+  auto plan = std::make_unique<FaultPlan>();
+  FaultPlan::Partition part;
+  part.start = 0.0;
+  part.end = 10.0;
+  part.group_a = {ida};
+  part.group_b = {idb};
+  plan->AddPartition(part);
+  net_.SetFaultPlan(std::move(plan));
+
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));  // dropped a→b
+  net_.Send(idb, ida, std::make_shared<TestMsg>(2));  // dropped b→a
+  net_.Send(ida, idc, std::make_shared<TestMsg>(3));  // c unaffected
+  sim_.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(net_.stats().drops_partition, 2u);
+  EXPECT_EQ(net_.stats().messages_dropped, 2u);
+  EXPECT_EQ(net_.stats().DropsForType("test"), 2u);
+
+  // Outside the window the same pair communicates again.
+  sim_.Schedule(11.0, [&] { net_.Send(ida, idb, std::make_shared<TestMsg>(4)); });
+  sim_.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, 4);
 }
 
-TEST(ChurnTest, PinnedNodesStayAlive) {
-  Simulator sim;
-  Network net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(5));
-  Recorder a;
-  NodeId ida = net.AddNode(&a);
-  ChurnModel::Options opts;
-  opts.mean_session_seconds = 1;
-  opts.mean_downtime_seconds = 1;
-  opts.pinned = {ida};
-  ChurnModel churn(&sim, &net, Rng(6), opts);
-  churn.Start();
-  sim.RunUntil(50);
-  EXPECT_TRUE(net.IsAlive(ida));
-  EXPECT_EQ(churn.transitions(), 0u);
+TEST_F(NetworkTest, LossBurstDropsInsideTheWindowOnly) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+
+  auto plan = std::make_unique<FaultPlan>();
+  FaultPlan::LossBurst burst;
+  burst.start = 0.0;
+  burst.end = 5.0;
+  burst.probability = 1.0;  // certain drop inside the window
+  plan->AddLossBurst(burst);
+  net_.SetFaultPlan(std::move(plan));
+
+  for (int i = 0; i < 10; ++i) {
+    net_.Send(ida, idb, std::make_shared<TestMsg>(i));  // all inside
+  }
+  sim_.Schedule(6.0, [&] { net_.Send(ida, idb, std::make_shared<TestMsg>(99)); });
+  sim_.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, 99);
+  EXPECT_EQ(net_.stats().drops_burst, 10u);
+  EXPECT_EQ(net_.stats().messages_dropped, 10u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwiceAndKeepsConservation) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+
+  auto plan = std::make_unique<FaultPlan>();
+  plan->set_duplicate_probability(1.0);
+  net_.SetFaultPlan(std::move(plan));
+
+  for (int i = 0; i < 5; ++i) {
+    net_.Send(ida, idb, std::make_shared<TestMsg>(i));
+  }
+  sim_.Run();
+  const NetworkStats& s = net_.stats();
+  EXPECT_EQ(b.received.size(), 10u);
+  EXPECT_EQ(s.messages_sent, 5u);
+  EXPECT_EQ(s.messages_duplicated, 5u);
+  EXPECT_EQ(s.messages_sent + s.messages_duplicated,
+            s.messages_delivered + s.messages_dropped);
+}
+
+TEST_F(NetworkTest, DuplicateCopyCanStillDieInFlight) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+
+  auto plan = std::make_unique<FaultPlan>();
+  plan->set_duplicate_probability(1.0);
+  net_.SetFaultPlan(std::move(plan));
+
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));
+  // Kill the destination before either copy's delivery fires: both copies
+  // drop in flight, attributed to the endpoint.
+  sim_.Schedule(0.01, [&] { net_.SetAlive(idb, false); });
+  sim_.Run();
+  const NetworkStats& s = net_.stats();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(s.messages_duplicated, 1u);
+  EXPECT_EQ(s.drops_endpoint, s.messages_dropped);
+  EXPECT_EQ(s.messages_sent + s.messages_duplicated,
+            s.messages_delivered + s.messages_dropped);
+}
+
+TEST_F(NetworkTest, LatencySpikeDelaysDeliveriesInsideTheWindow) {
+  Recorder a, b;
+  NodeId ida = net_.AddNode(&a);
+  NodeId idb = net_.AddNode(&b);
+
+  auto plan = std::make_unique<FaultPlan>();
+  FaultPlan::LatencySpike spike;
+  spike.start = 0.0;
+  spike.end = 1.0;
+  spike.extra = 0.5;
+  spike.extra_mean_tail = 0;  // deterministic extra
+  plan->AddLatencySpike(spike);
+  net_.SetFaultPlan(std::move(plan));
+
+  net_.Send(ida, idb, std::make_shared<TestMsg>(1));
+  sim_.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim_.Now(), 0.6);  // 0.1 base + 0.5 spike
+
+  // A send after the window pays only base latency again.
+  sim_.ScheduleAt(2.0, [&] { net_.Send(ida, idb, std::make_shared<TestMsg>(2)); });
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(sim_.Now(), 2.1);
+}
+
+// The hot-path contract on FaultPlan: an installed-but-idle plan draws
+// nothing from the network Rng, so a seeded lossy run is unchanged by it.
+TEST(FaultPlanTest, IdlePlanDoesNotPerturbASeededRun) {
+  auto run = [](bool with_plan) {
+    Simulator sim;
+    Network net(&sim, std::make_unique<ConstantLatency>(0.01), Rng(3),
+                /*loss_probability=*/0.5);
+    if (with_plan) {
+      auto plan = std::make_unique<FaultPlan>();
+      FaultPlan::LossBurst burst;  // window far in the future: never covers
+      burst.start = 1e6;
+      burst.end = 1e6 + 1;
+      plan->AddLossBurst(burst);
+      net.SetFaultPlan(std::move(plan));
+    }
+    Recorder a, b;
+    NodeId ida = net.AddNode(&a);
+    NodeId idb = net.AddNode(&b);
+    for (int i = 0; i < 200; ++i) {
+      net.Send(ida, idb, std::make_shared<TestMsg>(i));
+    }
+    sim.Run();
+    return net.stats();
+  };
+  EXPECT_TRUE(run(false) == run(true));
 }
 
 }  // namespace

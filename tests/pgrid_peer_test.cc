@@ -20,8 +20,8 @@ class PGridPeerTest : public ::testing::Test {
       : net_(&sim_, std::make_unique<ConstantLatency>(0.05), Rng(42)) {
     PGridPeer::Options opts;
     opts.key_depth = 4;
-    opts.request_timeout = 2.0;
-    opts.max_retries = 1;
+    opts.retry.base_timeout = 2.0;
+    opts.retry.max_attempts = 2;
     for (int i = 0; i < 4; ++i) {
       peers_.push_back(
           std::make_unique<PGridPeer>(&sim_, &net_, Rng(uint64_t(100 + i)), opts));

@@ -1,0 +1,83 @@
+// RetryPolicy unit tests — pure arithmetic, no simulator: backoff growth and
+// cap, jitter envelope, attempt accounting, and the terminal status.
+
+#include "pgrid/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+TEST(RetryPolicyTest, NominalBackoffGrowsGeometricallyThenCaps) {
+  RetryPolicy p;
+  p.base_timeout = 2.0;
+  p.backoff_multiplier = 3.0;
+  p.max_timeout = 25.0;
+  EXPECT_DOUBLE_EQ(p.NominalTimeoutFor(1), 2.0);
+  EXPECT_DOUBLE_EQ(p.NominalTimeoutFor(2), 6.0);
+  EXPECT_DOUBLE_EQ(p.NominalTimeoutFor(3), 18.0);
+  EXPECT_DOUBLE_EQ(p.NominalTimeoutFor(4), 25.0);  // 54 capped
+  EXPECT_DOUBLE_EQ(p.NominalTimeoutFor(9), 25.0);  // stays at the cap
+}
+
+TEST(RetryPolicyTest, ZeroJitterIsExactAndDrawsNothing) {
+  RetryPolicy p;
+  p.base_timeout = 4.0;
+  p.jitter = 0.0;
+  Rng a(1), b(1);
+  EXPECT_DOUBLE_EQ(p.TimeoutFor(1, &a), 4.0);
+  EXPECT_DOUBLE_EQ(p.TimeoutFor(2, &a), 8.0);
+  // The Rng was never consulted: both streams still agree on the next draw.
+  EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+}
+
+TEST(RetryPolicyTest, JitterStaysInsideTheSymmetricEnvelope) {
+  RetryPolicy p;
+  p.base_timeout = 5.0;
+  p.backoff_multiplier = 2.0;
+  p.max_timeout = 40.0;
+  p.jitter = 0.2;
+  Rng rng(42);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const SimTime nominal = p.NominalTimeoutFor(attempt);
+    for (int i = 0; i < 200; ++i) {
+      const SimTime t = p.TimeoutFor(attempt, &rng);
+      EXPECT_GE(t, nominal * 0.8);
+      EXPECT_LE(t, nominal * 1.2);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicUnderAFixedSeed) {
+  RetryPolicy p;
+  p.jitter = 0.15;
+  Rng a(7), b(7);
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    EXPECT_DOUBLE_EQ(p.TimeoutFor(attempt, &a), p.TimeoutFor(attempt, &b));
+  }
+}
+
+TEST(RetryPolicyTest, ExhaustionHonoursTheAttemptCap) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  EXPECT_FALSE(p.Exhausted(0));
+  EXPECT_FALSE(p.Exhausted(1));
+  EXPECT_FALSE(p.Exhausted(2));
+  EXPECT_TRUE(p.Exhausted(3));
+  EXPECT_TRUE(p.Exhausted(4));
+
+  RetryPolicy single;
+  single.max_attempts = 1;  // retries disabled
+  EXPECT_TRUE(single.Exhausted(1));
+}
+
+TEST(RetryPolicyTest, TerminalStatusIsAlwaysTimeout) {
+  const Status s = RetryPolicy::TimeoutStatus(3);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsTimeout());
+  // The attempt count surfaces in the message for diagnostics.
+  EXPECT_NE(s.message().find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridvine
