@@ -1,0 +1,206 @@
+// Bind-join pushdown vs collect-then-join on a skewed selective-join
+// workload: a handful of "gadget" entities (the selective pattern) joined
+// against a wide w:size extent every entity contributes to. Collect mode
+// ships the full extent of every pattern to the issuer; bind-join ships the
+// running join's distinct keys out and only the matching rows back, so rows
+// shipped should drop by the extent/selectivity ratio (the PR acceptance
+// floor is 3x) and the message count should fall with it (one batched probe
+// dispatch per destination key region instead of per-extent responses).
+//
+//   $ ./bench/bench_conjunctive
+//   $ GV_ENTITIES=100 GV_QUERIES=8 ./bench/bench_conjunctive   # quicker
+//   $ GV_BENCH_QUICK=1 ./bench/bench_conjunctive               # CI smoke
+//
+// Every query is also checked differentially: both modes must return the
+// same result set, or the bench aborts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "gridvine/gridvine_network.h"
+#include "store/binding_codec.h"
+
+using namespace gridvine;
+
+namespace {
+
+size_t EnvOr(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? size_t(std::strtoull(v, nullptr, 10)) : fallback;
+}
+
+TriplePattern P(Term s, Term p, Term o) {
+  return TriplePattern(std::move(s), std::move(p), std::move(o));
+}
+
+/// Skewed store: every entity has a w:size (the wide extent); one in
+/// `selectivity` is a gadget (the selective extent); gadgets link around.
+std::vector<Triple> MakeTriples(size_t entities, size_t selectivity,
+                                Rng* rng) {
+  std::vector<Triple> triples;
+  for (size_t e = 0; e < entities; ++e) {
+    Term subj = Term::Uri("w:e" + std::to_string(e));
+    const bool gadget = e % selectivity == 0;
+    triples.emplace_back(subj, Term::Uri("w:type"),
+                         Term::Literal(gadget ? "gadget" : "widget"));
+    triples.emplace_back(
+        subj, Term::Uri("w:size"),
+        Term::Literal(std::to_string(rng->UniformInt(1, 9))));
+    if (gadget) {
+      triples.emplace_back(
+          subj, Term::Uri("w:link"),
+          Term::Uri("w:e" + std::to_string(
+                                rng->UniformInt(0, int64_t(entities) - 1))));
+    }
+  }
+  return triples;
+}
+
+std::vector<ConjunctiveQuery> MakeQueries() {
+  return {
+      // Selective type pattern drives a bind-join into the wide size extent.
+      ConjunctiveQuery(
+          {"x", "l"},
+          {P(Term::Var("x"), Term::Uri("w:type"), Term::Literal("gadget")),
+           P(Term::Var("x"), Term::Uri("w:size"), Term::Var("l"))}),
+      // Two hops: gadgets, their links, and the link targets' sizes.
+      ConjunctiveQuery(
+          {"x", "y", "l"},
+          {P(Term::Var("x"), Term::Uri("w:type"), Term::Literal("gadget")),
+           P(Term::Var("x"), Term::Uri("w:link"), Term::Var("y")),
+           P(Term::Var("y"), Term::Uri("w:size"), Term::Var("l"))}),
+      // No entity is a gizmo: binding propagation short-circuits after the
+      // first scan and never dispatches into the wide size extent, while
+      // collect mode ships the whole extent before discovering the join is
+      // empty — the message-count gap of the two strategies.
+      ConjunctiveQuery(
+          {"x", "l"},
+          {P(Term::Var("x"), Term::Uri("w:type"), Term::Literal("gizmo")),
+           P(Term::Var("x"), Term::Uri("w:size"), Term::Var("l"))}),
+  };
+}
+
+struct ModeStats {
+  uint64_t rows_shipped = 0;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  double latency_sum = 0;
+  size_t queries = 0;
+  std::vector<std::set<std::string>> row_sets;
+
+  double MeanLatency() const {
+    return queries == 0 ? 0 : latency_sum / double(queries);
+  }
+};
+
+/// One full deployment + query run in the given mode. Same seed → identical
+/// overlay, placement and data in both modes; only the executor differs.
+ModeStats RunMode(bool bind_join, size_t entities, size_t selectivity,
+                  size_t rounds, uint64_t seed) {
+  GridVineNetwork::Options options;
+  options.num_peers = 24;
+  options.key_depth = 12;
+  options.seed = seed;
+  GridVineNetwork net(options);
+
+  Rng data_rng(seed * 31 + 7);
+  if (!net.InsertTriples(0, MakeTriples(entities, selectivity, &data_rng))
+           .ok()) {
+    std::fprintf(stderr, "data load failed\n");
+    std::exit(1);
+  }
+  net.Settle();
+
+  const uint64_t msg_before = net.network()->stats().messages_sent;
+  const uint64_t bytes_before = net.network()->stats().bytes_sent;
+
+  GridVinePeer::QueryOptions qopts;
+  qopts.bind_join = bind_join;
+  ModeStats stats;
+  const auto queries = MakeQueries();
+  for (size_t r = 0; r < rounds; ++r) {
+    for (const auto& q : queries) {
+      size_t issuer = (r * queries.size()) % net.size();
+      auto res = net.SearchForConjunctive(issuer, q, qopts);
+      if (!res.status.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     res.status.ToString().c_str());
+        std::exit(1);
+      }
+      stats.rows_shipped += res.metrics.RowsShipped();
+      stats.latency_sum += res.latency;
+      ++stats.queries;
+      std::set<std::string> rows;
+      for (const auto& row : res.rows) rows.insert(SerializeBindings({row}));
+      stats.row_sets.push_back(std::move(rows));
+    }
+  }
+  stats.messages = net.network()->stats().messages_sent - msg_before;
+  stats.bytes = net.network()->stats().bytes_sent - bytes_before;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gridvine::bench::BenchJson json(argc, argv, "bench_conjunctive");
+  const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
+  const size_t kEntities = EnvOr("GV_ENTITIES", quick ? 80 : 400);
+  const size_t kSelectivity = EnvOr("GV_SELECTIVITY", 20);
+  const size_t kRounds = EnvOr("GV_QUERIES", quick ? 2 : 8);
+  const uint64_t kSeed = EnvOr("GV_SEED", 42);
+
+  std::printf("bind-join pushdown vs collect-then-join\n");
+  std::printf("  entities=%zu selectivity=1/%zu rounds=%zu seed=%llu\n",
+              kEntities, kSelectivity, kRounds, (unsigned long long)kSeed);
+
+  ModeStats bind = RunMode(true, kEntities, kSelectivity, kRounds, kSeed);
+  ModeStats collect = RunMode(false, kEntities, kSelectivity, kRounds, kSeed);
+
+  // Differential gate: identical result sets, query by query.
+  if (bind.row_sets != collect.row_sets) {
+    std::fprintf(stderr, "DIFFERENTIAL MISMATCH: bind-join result sets "
+                         "differ from collect-then-join\n");
+    return 1;
+  }
+
+  const double row_ratio =
+      bind.rows_shipped == 0
+          ? 0
+          : double(collect.rows_shipped) / double(bind.rows_shipped);
+  std::printf("\n  %-24s %12s %12s\n", "metric", "bind-join", "collect");
+  std::printf("  %-24s %12llu %12llu\n", "rows shipped",
+              (unsigned long long)bind.rows_shipped,
+              (unsigned long long)collect.rows_shipped);
+  std::printf("  %-24s %12llu %12llu\n", "messages",
+              (unsigned long long)bind.messages,
+              (unsigned long long)collect.messages);
+  std::printf("  %-24s %12llu %12llu\n", "bytes",
+              (unsigned long long)bind.bytes,
+              (unsigned long long)collect.bytes);
+  std::printf("  %-24s %12.3f %12.3f\n", "mean latency (s)",
+              bind.MeanLatency(), collect.MeanLatency());
+  std::printf("\n  rows-shipped improvement: %.1fx (acceptance floor 3x)\n",
+              row_ratio);
+  std::printf("  differential check: %zu queries, result sets identical\n",
+              bind.row_sets.size());
+
+  json.Add("bind_join", {{"rows_shipped", double(bind.rows_shipped)},
+                         {"messages", double(bind.messages)},
+                         {"bytes", double(bind.bytes)},
+                         {"mean_latency_s", bind.MeanLatency()}});
+  json.Add("collect", {{"rows_shipped", double(collect.rows_shipped)},
+                       {"messages", double(collect.messages)},
+                       {"bytes", double(collect.bytes)},
+                       {"mean_latency_s", collect.MeanLatency()}});
+  json.Add("summary", {{"rows_shipped_ratio", row_ratio},
+                       {"message_delta",
+                        double(collect.messages) - double(bind.messages)},
+                       {"differential_ok", 1.0}});
+  json.Finish();
+  return 0;
+}

@@ -44,6 +44,10 @@ void PrintHelp() {
       "(reformulation on)\n"
       "  queryplain <RDQL>                          run without "
       "reformulation\n"
+      "  cquery <RDQL>                              conjunctive query "
+      "(bind-join)\n"
+      "  cquerycollect <RDQL>                       conjunctive, "
+      "collect-then-join\n"
       "  demo                                       load a small "
       "bioinformatic corpus\n"
       "  stats                                      network statistics\n"
@@ -142,6 +146,37 @@ int main() {
           std::printf("%zu result(s), %zu schema(s), %.0f ms\n",
                       res.items.size(), res.schemas_answered,
                       res.latency * 1000);
+        }
+      }
+    } else if (cmd == "cquery" || cmd == "cquerycollect") {
+      std::string rest;
+      std::getline(in, rest);
+      auto q = ParseRdql(rest);
+      if (!q.ok()) {
+        std::printf("error: %s\n", q.status().ToString().c_str());
+      } else {
+        GridVinePeer::QueryOptions qopts;
+        qopts.bind_join = (cmd == "cquery");
+        auto res = net.SearchForConjunctive(pick_peer(), *q, qopts);
+        if (!res.status.ok()) {
+          std::printf("error: %s\n", res.status.ToString().c_str());
+        } else {
+          for (const auto& row : res.rows) {
+            std::string printed;
+            for (const auto& [var, term] : row) {
+              if (!printed.empty()) printed += "  ";
+              printed += "?" + var + "=" + term.value();
+            }
+            std::printf("  %s\n", printed.c_str());
+          }
+          std::printf(
+              "%zu row(s), %.0f ms; shipped %llu row(s) "
+              "(%llu scan / %llu probe / %llu bound)\n",
+              res.rows.size(), res.latency * 1000,
+              (unsigned long long)res.metrics.RowsShipped(),
+              (unsigned long long)res.metrics.scan_rows,
+              (unsigned long long)res.metrics.probe_rows,
+              (unsigned long long)res.metrics.bound_rows);
         }
       }
     } else if (cmd == "demo") {

@@ -68,5 +68,11 @@ if [[ "$quick" -eq 1 && -z "$filter" && -x "$build_dir/tests/fault_soak_test" ]]
   echo "== fault_soak_test (chaos smoke; failing seeds are printed for replay)"
   "$build_dir/tests/fault_soak_test" --gtest_brief=1
 fi
+# Same smoke treatment for the conjunctive executor: loss/churn/duplication
+# over the bind-join pipeline, plus the bind-vs-collect differential.
+if [[ "$quick" -eq 1 && -z "$filter" && -x "$build_dir/tests/conjunctive_chaos_test" ]]; then
+  echo "== conjunctive_chaos_test (executor chaos smoke)"
+  "$build_dir/tests/conjunctive_chaos_test" --gtest_brief=1
+fi
 echo
 echo "wrote $ran JSON report(s) at $out_root/BENCH_*.json"

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "query/exec/bind.h"
 #include "query/planner.h"
 #include "query/reformulation.h"
 #include "store/binding_codec.h"
@@ -361,15 +362,27 @@ void GridVinePeer::SearchFor(const TriplePatternQuery& query,
     res.reformulations = p.reformulations;
     res.latency = sim_->Now() - p.started;
     res.first_result_latency = p.first_result;
-    // Deduplicate by (schema, value); earliest arrival wins.
-    std::map<std::pair<std::string, std::string>, ResultItem> dedup;
+    // Deduplicate by (schema, value), both interned to compact ids — no
+    // per-item string-pair keys; earliest arrival wins. Items keep their
+    // first-seen slot, so insertion order (hence the stable sort below) is
+    // deterministic across runs and platforms.
+    std::unordered_map<std::string, uint32_t> interned;
+    auto intern = [&interned](const std::string& s) {
+      auto [slot, fresh] =
+          interned.emplace(s, static_cast<uint32_t>(interned.size()));
+      (void)fresh;
+      return slot->second;
+    };
+    std::unordered_map<uint64_t, size_t> index;
     for (const RowBatch& batch : p.batches) {
       for (const BindingSet& row : batch.rows) {
         auto it = row.find(var);
         if (it == row.end()) continue;
-        auto key = std::make_pair(batch.schema, it->second.value());
-        auto found = dedup.find(key);
-        if (found != dedup.end() && found->second.arrival <= batch.arrival) {
+        uint64_t key = (uint64_t(intern(batch.schema)) << 32) |
+                       intern(it->second.value());
+        auto found = index.find(key);
+        if (found != index.end() &&
+            res.items[found->second].arrival <= batch.arrival) {
           continue;
         }
         ResultItem item;
@@ -378,15 +391,18 @@ void GridVinePeer::SearchFor(const TriplePatternQuery& query,
         item.mapping_path_len = batch.mapping_path_len;
         item.confidence = batch.confidence;
         item.arrival = batch.arrival;
-        dedup[key] = std::move(item);
+        if (found != index.end()) {
+          res.items[found->second] = std::move(item);
+        } else {
+          index.emplace(key, res.items.size());
+          res.items.push_back(std::move(item));
+        }
       }
     }
-    res.items.reserve(dedup.size());
-    for (auto& [_, item] : dedup) res.items.push_back(std::move(item));
-    std::sort(res.items.begin(), res.items.end(),
-              [](const ResultItem& a, const ResultItem& b) {
-                return a.arrival < b.arrival;
-              });
+    std::stable_sort(res.items.begin(), res.items.end(),
+                     [](const ResultItem& a, const ResultItem& b) {
+                       return a.arrival < b.arrival;
+                     });
     cb(std::move(res));
   });
 }
@@ -567,6 +583,12 @@ void GridVinePeer::OnExtensionMessage(
     HandleQueryRequest(*req);
   } else if (auto* resp = dynamic_cast<const QueryResponse*>(payload.get())) {
     HandleQueryResponse(*resp);
+  } else if (auto* breq =
+                 dynamic_cast<const BoundScanRequest*>(payload.get())) {
+    HandleBoundScanRequest(*breq);
+  } else if (auto* bresp =
+                 dynamic_cast<const BoundScanResponse*>(payload.get())) {
+    HandleBoundScanResponse(*bresp);
   } else {
     GV_LOG(Warning) << "gridvine peer " << id() << ": unknown payload "
                     << payload->TypeTag().name();
@@ -590,6 +612,7 @@ void GridVinePeer::HandleQueryRequest(const QueryRequest& req) {
 
   ++counters_.queries_answered;
   auto rows = local_db_.MatchPattern(query->pattern());
+  counters_.result_rows_sent += rows.size();
   auto resp = std::make_shared<QueryResponse>();
   resp->query_id = req.query_id;
   resp->dispatch_id = req.dispatch_id;
@@ -687,6 +710,64 @@ void GridVinePeer::HandleQueryResponse(const QueryResponse& resp) {
 
 // --- Conjunctive queries ------------------------------------------------------------
 
+/// GridVinePeer's QueryBackend: full-extent scans ride the existing
+/// single-pattern engine (reliable dispatch, reformulation); bind-joins and
+/// existence checks ride the bound-scan transport below.
+class GridVinePeer::ExecBackend : public QueryBackend {
+ public:
+  ExecBackend(GridVinePeer* peer, uint64_t exec_id, QueryOptions options)
+      : peer_(peer), exec_id_(exec_id), options_(std::move(options)) {}
+
+  void Scan(const TriplePattern& pattern, ScanCallback cb) override {
+    auto vars = pattern.Variables();
+    if (vars.empty()) {
+      // The planner routes constant patterns to Exists, never here.
+      cb({Status::Internal("full scan of a constant pattern"), {}});
+      return;
+    }
+    // Any variable serves as the distinguished one; rows carry all bindings.
+    TriplePatternQuery sub(vars[0], pattern);
+    peer_->StartQuery(sub, options_, [cb](PendingQuery& p) {
+      ScanResult r;
+      r.status = Status::OK();
+      // Union the batches' rows, deduplicated with interned keys.
+      BindingDeduper dd;
+      for (const RowBatch& batch : p.batches) {
+        for (const BindingSet& row : batch.rows) {
+          if (dd.Insert(row)) r.rows.push_back(row);
+        }
+      }
+      cb(std::move(r));
+    });
+  }
+
+  void BoundScan(const TriplePattern& pattern, std::vector<BindingSet> probes,
+                 BoundScanCallback cb) override {
+    peer_->StartBoundScan(exec_id_, pattern, std::move(probes), std::move(cb));
+  }
+
+  void Exists(const TriplePattern& pattern,
+              std::function<void(Result<bool>)> cb) override {
+    // One unconstrained probe against the fully-constant pattern, routed
+    // (by StartBoundScan) to the pattern's subject key: the destination
+    // answers with an empty-or-singleton row set.
+    std::vector<BindingSet> probes(1);
+    peer_->StartBoundScan(exec_id_, pattern, std::move(probes),
+                          [cb](BoundScanResult r) {
+                            if (!r.status.ok()) {
+                              cb(std::move(r.status));
+                              return;
+                            }
+                            cb(!r.rows.empty());
+                          });
+  }
+
+ private:
+  GridVinePeer* peer_;
+  uint64_t exec_id_;
+  QueryOptions options_;
+};
+
 void GridVinePeer::SearchForConjunctive(
     const ConjunctiveQuery& query, const QueryOptions& options,
     std::function<void(ConjunctiveResult)> cb) {
@@ -698,87 +779,262 @@ void GridVinePeer::SearchForConjunctive(
     return;
   }
 
-  // Sequentially resolve each pattern (cheapest first, join-connected where
-  // possible — see query/planner.h); join binding sets as they arrive.
-  struct State {
-    ConjunctiveQuery query;
-    std::vector<size_t> order;
-    QueryOptions options;
-    std::function<void(ConjunctiveResult)> cb;
-    std::vector<BindingSet> acc;
-    size_t next_pattern = 0;
-    SimTime started = 0;
-  };
-  auto state = std::make_shared<State>();
-  state->query = query;
-  state->order = PlanConjunctive(query);
-  state->options = options;
-  state->cb = std::move(cb);
-  state->started = sim_->Now();
+  PlanOptions popts;
+  popts.bind_join = options.bind_join;
+  PhysicalPlan plan = PlanPhysical(query, popts);
 
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, state, step]() {
-    if (state->next_pattern >= state->query.patterns().size()) {
-      ConjunctiveResult res;
-      res.status = Status::OK();
-      res.latency = sim_->Now() - state->started;
-      // Restrict to distinguished variables, deduplicated.
-      std::set<std::string> row_keys;
-      for (const BindingSet& row : state->acc) {
-        BindingSet restricted;
-        for (const auto& var : state->query.distinguished_vars()) {
-          auto it = row.find(var);
-          if (it != row.end()) restricted[var] = it->second;
-        }
-        std::string key = SerializeBindings({restricted});
-        if (row_keys.insert(key).second) {
-          res.rows.push_back(std::move(restricted));
-        }
-      }
-      state->cb(std::move(res));
+  uint64_t exec_id = (uint64_t(id()) << 32) | next_exec_id_++;
+  auto ae = std::make_shared<ActiveExec>();
+  ae->backend = std::make_unique<ExecBackend>(this, exec_id, options);
+  ae->executor = std::make_unique<ConjunctiveExecutor>(query, std::move(plan),
+                                                       ae->backend.get());
+  active_execs_.emplace(exec_id, ae);
+  SimTime started = sim_->Now();
+  ae->executor->Run([this, exec_id, started,
+                     cb](ConjunctiveExecutor::ExecResult r) {
+    ConjunctiveResult res;
+    res.status = std::move(r.status);
+    res.rows = std::move(r.rows);
+    res.metrics = r.metrics;
+    res.latency = sim_->Now() - started;
+    // The done callback fires from inside executor code: unregister the
+    // exec now (no new transport events can reach it) but keep the objects
+    // alive until the stack unwinds.
+    auto it = active_execs_.find(exec_id);
+    if (it != active_execs_.end()) {
+      std::shared_ptr<ActiveExec> keep = std::move(it->second);
+      active_execs_.erase(it);
+      sim_->Schedule(0, [keep] {});
+    }
+    cb(std::move(res));
+  });
+}
+
+// --- Bind-join transport ------------------------------------------------------------
+
+void GridVinePeer::StartBoundScan(uint64_t exec_id,
+                                  const TriplePattern& pattern,
+                                  std::vector<BindingSet> probes,
+                                  QueryBackend::BoundScanCallback cb) {
+  auto it = active_execs_.find(exec_id);
+  if (it == active_execs_.end()) {
+    cb({Status::Internal("bound scan for unknown executor"), {}});
+    return;
+  }
+  ActiveExec& ae = *it->second;
+
+  // Partition the probes by destination key region. A pattern with a static
+  // routing constant has one destination for every probe (all its matches
+  // live at that key — maximal coalescing); otherwise each probe's
+  // substituted pattern names its own key. std::map keeps the dispatch
+  // order deterministic.
+  struct Batch {
+    std::vector<uint32_t> global_index;
+    std::vector<BindingSet> probes;
+  };
+  std::map<Key, Batch> batches;
+  auto static_routing = pattern.RoutingConstant();
+  for (uint32_t pi = 0; pi < probes.size(); ++pi) {
+    Key key;
+    if (static_routing.has_value()) {
+      key = KeyFor(pattern.at(*static_routing).value());
+    } else {
+      TriplePattern bound = SubstituteBindings(pattern, probes[pi]);
+      auto routing = bound.RoutingConstant();
+      // A probe whose substituted pattern still has no routable constant
+      // cannot reach any data; it contributes no rows (legacy parity with
+      // the unroutable-branch semantics).
+      if (!routing.has_value()) continue;
+      key = KeyFor(bound.at(*routing).value());
+    }
+    Batch& b = batches[key];
+    b.global_index.push_back(pi);
+    b.probes.push_back(std::move(probes[pi]));
+  }
+
+  uint64_t call_id = ae.next_call_id++;
+  BoundCall call;
+  call.cb = std::move(cb);
+  call.outstanding = int(batches.size());
+  ae.calls.emplace(call_id, std::move(call));
+  if (batches.empty()) {
+    ResolveBoundCall(exec_id, call_id);
+    return;
+  }
+
+  for (auto& [key, b] : batches) {
+    auto req = std::make_shared<BoundScanRequest>();
+    req->exec_id = exec_id;
+    req->pattern = pattern.Serialize();
+    req->probes = SerializeBindings(b.probes);
+    req->reply_to = id();
+    uint64_t did = next_dispatch_id_++;
+    req->dispatch_id = did;
+    OpenBoundScan ob;
+    ob.req = req;
+    ob.route_key = key;
+    ob.call_id = call_id;
+    ob.global_index = std::move(b.global_index);
+    ae.open_scans.emplace(did, std::move(ob));
+    // Route may deliver locally (synchronously); the branch must be
+    // registered first. The response itself always arrives asynchronously
+    // (SendDirect), so `ae` stays valid across this loop.
+    overlay_->Route(key, req);
+    ArmBoundScanTimer(exec_id, did, 1);
+  }
+}
+
+void GridVinePeer::ArmBoundScanTimer(uint64_t exec_id, uint64_t did,
+                                     int attempt) {
+  SimTime timeout = options_.query_retry.TimeoutFor(attempt, &rng_);
+  sim_->Schedule(timeout, [this, exec_id, did, attempt] {
+    auto it = active_execs_.find(exec_id);
+    if (it == active_execs_.end()) return;
+    ActiveExec& ae = *it->second;
+    auto d = ae.open_scans.find(did);
+    // Answered in the meantime, or a newer attempt owns the timer.
+    if (d == ae.open_scans.end() || d->second.attempts != attempt) return;
+    if (options_.query_retry.Exhausted(d->second.attempts)) {
+      // Branch written off: the whole call resolves as Timeout once its
+      // remaining branches close.
+      CloseBoundScan(exec_id, did, /*answered=*/false);
       return;
     }
+    ++d->second.attempts;
+    int next_attempt = d->second.attempts;
+    Key route_key = d->second.route_key;
+    std::shared_ptr<BoundScanRequest> req = d->second.req;
+    overlay_->Route(route_key, std::move(req));
+    ArmBoundScanTimer(exec_id, did, next_attempt);
+  });
+}
 
-    const TriplePattern& pattern =
-        state->query.patterns()[state->order[state->next_pattern]];
-    ++state->next_pattern;
-    // Pick any variable as the distinguished one; rows carry all bindings.
-    auto vars = pattern.Variables();
-    TriplePatternQuery sub(vars.empty() ? "none" : vars[0], pattern);
-    if (!vars.empty() && sub.Validate().ok()) {
-      StartQuery(sub, state->options, [this, state, step](PendingQuery& p) {
-        // Union the rows of all batches (dedup by serialized form).
-        std::vector<BindingSet> rows;
-        std::set<std::string> seen;
-        for (const RowBatch& batch : p.batches) {
-          for (const BindingSet& row : batch.rows) {
-            std::string key = SerializeBindings({row});
-            if (seen.insert(key).second) rows.push_back(row);
-          }
-        }
-        state->acc = state->next_pattern == 1
-                         ? std::move(rows)
-                         : TripleStore::Join(state->acc, rows);
-        if (state->acc.empty()) {
-          // Short-circuit: conjunction already empty.
-          ConjunctiveResult res;
-          res.status = Status::OK();
-          res.latency = sim_->Now() - state->started;
-          state->cb(std::move(res));
-          return;
-        }
-        (*step)();
-      });
-    } else {
-      // Fully constant pattern (existence check) is not supported in the
-      // distributed engine; treat as unsatisfiable rather than guessing.
-      ConjunctiveResult res;
-      res.status = Status::NotImplemented(
-          "conjunctive patterns must contain at least one variable");
-      state->cb(std::move(res));
+void GridVinePeer::CloseBoundScan(uint64_t exec_id, uint64_t did,
+                                  bool answered) {
+  auto it = active_execs_.find(exec_id);
+  if (it == active_execs_.end()) return;
+  ActiveExec& ae = *it->second;
+  auto d = ae.open_scans.find(did);
+  if (d == ae.open_scans.end()) return;
+  uint64_t call_id = d->second.call_id;
+  ae.open_scans.erase(d);
+  auto c = ae.calls.find(call_id);
+  if (c == ae.calls.end()) return;
+  if (!answered) c->second.timed_out = true;
+  if (--c->second.outstanding == 0) ResolveBoundCall(exec_id, call_id);
+}
+
+void GridVinePeer::ResolveBoundCall(uint64_t exec_id, uint64_t call_id) {
+  auto it = active_execs_.find(exec_id);
+  if (it == active_execs_.end()) return;
+  ActiveExec& ae = *it->second;
+  auto c = ae.calls.find(call_id);
+  if (c == ae.calls.end()) return;
+  QueryBackend::BoundScanResult r;
+  r.status = c->second.timed_out
+                 ? Status::Timeout("bound scan branch exhausted retries")
+                 : Status::OK();
+  r.rows = std::move(c->second.rows);
+  QueryBackend::BoundScanCallback cb = std::move(c->second.cb);
+  ae.calls.erase(c);
+  // The callback re-enters the executor: it may issue the next bind-join or
+  // finish the whole query (which unregisters the ActiveExec) — no member
+  // access past this call.
+  cb(std::move(r));
+}
+
+void GridVinePeer::HandleBoundScanRequest(const BoundScanRequest& req) {
+  auto pattern = TriplePattern::Parse(req.pattern);
+  if (!pattern.ok()) {
+    GV_LOG(Warning) << "bad bound scan pattern: " << pattern.status();
+    return;
+  }
+  std::vector<BindingSet> probes;
+  if (!req.probes.empty()) {
+    auto parsed = ParseBindings(req.probes);
+    if (!parsed.ok()) {
+      GV_LOG(Warning) << "bad bound scan probes: " << parsed.status();
+      return;
     }
-  };
-  (*step)();
+    probes = std::move(parsed).value();
+  }
+  // An empty probes payload is the serialized form of one unconstrained
+  // probe (the existence check): issuers never send zero probes.
+  if (probes.empty()) probes.emplace_back();
+
+  ++counters_.bound_scans_answered;
+  auto resp = std::make_shared<BoundScanResponse>();
+  resp->exec_id = req.exec_id;
+  resp->dispatch_id = req.dispatch_id;
+  resp->responder = id();
+  std::vector<BindingSet> out_rows;
+  for (uint32_t pi = 0; pi < probes.size(); ++pi) {
+    TriplePattern bound = SubstituteBindings(*pattern, probes[pi]);
+    bool fully_bound = bound.Variables().empty();
+    auto rows = local_db_.MatchPattern(bound);
+    // A fully-bound pattern matches as one empty row per stored copy of the
+    // triple; the answer is a boolean, so clamp to at most one.
+    if (fully_bound && rows.size() > 1) rows.resize(1);
+    for (auto& row : rows) {
+      resp->probe_index.push_back(pi);
+      out_rows.push_back(std::move(row));
+    }
+  }
+  counters_.result_rows_sent += out_rows.size();
+  // Rows of empty bindings (no free variables) serialize to nothing; the
+  // parallel probe_index carries their count, so leave the payload empty.
+  bool any_bindings = false;
+  for (const BindingSet& row : out_rows) {
+    if (!row.empty()) {
+      any_bindings = true;
+      break;
+    }
+  }
+  resp->rows = any_bindings ? SerializeBindings(out_rows) : "";
+  overlay_->SendDirect(req.reply_to, std::move(resp));
+}
+
+void GridVinePeer::HandleBoundScanResponse(const BoundScanResponse& resp) {
+  auto it = active_execs_.find(resp.exec_id);
+  if (it == active_execs_.end()) return;  // exec finished: late answer
+  ActiveExec& ae = *it->second;
+  auto d = ae.open_scans.find(resp.dispatch_id);
+  // A response for a branch that is no longer open is a duplicate (both the
+  // original and a retry answering): every branch is accounted exactly once.
+  if (d == ae.open_scans.end()) return;
+  OpenBoundScan& ob = d->second;
+
+  std::vector<BindingSet> parsed;
+  if (!resp.rows.empty()) {
+    auto rows = ParseBindings(resp.rows);
+    if (!rows.ok()) {
+      GV_LOG(Warning) << "bad bound scan rows: " << rows.status();
+      return;  // keep the branch open; a retry may deliver a clean copy
+    }
+    parsed = std::move(rows).value();
+  }
+  // All-empty binding rows travel as an empty payload (see the request
+  // handler); reconstruct them from the probe_index count.
+  if (parsed.size() != resp.probe_index.size()) {
+    if (!parsed.empty()) {
+      GV_LOG(Warning) << "bound scan rows/probe_index mismatch";
+      return;
+    }
+    parsed.resize(resp.probe_index.size());
+  }
+
+  auto c = ae.calls.find(ob.call_id);
+  if (c != ae.calls.end()) {
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      uint32_t local = resp.probe_index[i];
+      if (local >= ob.global_index.size()) continue;
+      QueryBackend::BoundRow br;
+      br.probe_index = ob.global_index[local];
+      br.bindings = std::move(parsed[i]);
+      c->second.rows.push_back(std::move(br));
+    }
+  }
+  CloseBoundScan(resp.exec_id, resp.dispatch_id, /*answered=*/true);
 }
 
 }  // namespace gridvine

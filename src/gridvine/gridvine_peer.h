@@ -19,6 +19,8 @@
 #include "mapping/mapping_graph.h"
 #include "mapping/schema_mapping.h"
 #include "pgrid/pgrid_peer.h"
+#include "query/exec/backend.h"
+#include "query/exec/executor.h"
 #include "query/query.h"
 #include "rdf/triple.h"
 #include "schema/schema.h"
@@ -159,6 +161,11 @@ class GridVinePeer {
     /// (forward subsumption) reformulations — precision over recall. See
     /// OrientMappingsFrom in query/reformulation.h.
     bool sound_only = false;
+    /// Conjunctive queries only: resolve patterns after a group's first by
+    /// pushing the accumulated bindings toward the data (bind-join
+    /// pushdown) instead of fetching each pattern's full extent. False
+    /// selects the collect-then-join baseline.
+    bool bind_join = true;
     /// Streaming hook: invoked for each batch of answer rows as it arrives
     /// (before the final aggregate callback) — how the paper's demo
     /// "monitors the list of results received for each query" live.
@@ -193,13 +200,17 @@ class GridVinePeer {
   void SearchFor(const TriplePatternQuery& query, const QueryOptions& options,
                  QueryCallback cb);
 
-  /// Resolves a conjunctive query by iteratively resolving each pattern and
-  /// joining the binding sets (paper Section 2.3). Returns the distinct
-  /// binding rows restricted to the distinguished variables.
+  /// Resolves a conjunctive query through the plan-driven executor
+  /// (query/exec/): patterns split into join-connected groups running
+  /// concurrently, each group resolved scan-then-bind-join (paper Section
+  /// 2.3, with bind-join pushdown). Returns the distinct binding rows
+  /// restricted to the distinguished variables.
   struct ConjunctiveResult {
     Status status;
     std::vector<BindingSet> rows;
     SimTime latency = 0;
+    /// Issuer-side shipping accounting for this query.
+    ConjunctiveExecutor::Metrics metrics;
   };
   void SearchForConjunctive(const ConjunctiveQuery& query,
                             const QueryOptions& options,
@@ -210,8 +221,16 @@ class GridVinePeer {
     uint64_t queries_issued = 0;
     uint64_t queries_answered = 0;  // as destination
     uint64_t reformulations_performed = 0;  // as recursive intermediary
+    uint64_t bound_scans_answered = 0;  // as destination
+    uint64_t result_rows_sent = 0;      // as destination (all response kinds)
   };
   const Counters& counters() const { return counters_; }
+
+  /// Conjunctive executors still in flight (0 once every conjunctive query
+  /// has resolved — the chaos tests' leak check).
+  size_t ActiveConjunctiveExecs() const { return active_execs_.size(); }
+  /// Single-pattern queries still in flight.
+  size_t PendingQueryCount() const { return pending_queries_.size(); }
 
   const Options& options() const { return options_; }
 
@@ -287,12 +306,63 @@ class GridVinePeer {
   /// Closes one open dispatch branch and updates completion bookkeeping.
   void CloseDispatch(PendingQuery& p, uint64_t qid, uint64_t did);
 
+  // --- Bind-join transport (the QueryBackend the executor drives) ----------
+
+  /// The peer-side QueryBackend implementation (defined in the .cc).
+  class ExecBackend;
+
+  /// One retried bound-scan dispatch branch (one destination key region of
+  /// one BoundScan call). The request is retained so a retry re-routes the
+  /// identical payload; duplicate answers collapse onto one branch closure.
+  struct OpenBoundScan {
+    std::shared_ptr<BoundScanRequest> req;
+    Key route_key;
+    int attempts = 1;
+    uint64_t call_id = 0;
+    /// Maps the branch's local probe indexes back to the call's.
+    std::vector<uint32_t> global_index;
+  };
+
+  /// One QueryBackend::BoundScan invocation: its probes fan out to one
+  /// dispatch branch per destination key region; the call resolves once
+  /// every branch has answered or exhausted its retries (any exhausted
+  /// branch turns the whole call into a Timeout).
+  struct BoundCall {
+    QueryBackend::BoundScanCallback cb;
+    std::vector<QueryBackend::BoundRow> rows;
+    int outstanding = 0;
+    bool timed_out = false;
+  };
+
+  /// One in-flight conjunctive query: executor + its transport state.
+  struct ActiveExec {
+    std::unique_ptr<QueryBackend> backend;
+    std::unique_ptr<ConjunctiveExecutor> executor;
+    std::unordered_map<uint64_t, OpenBoundScan> open_scans;  // by dispatch_id
+    std::unordered_map<uint64_t, BoundCall> calls;           // by call id
+    uint64_t next_call_id = 1;
+  };
+
+  /// Dispatches one BoundScan call: partitions the probes per destination
+  /// key region, routes one batched request per region, arms retries.
+  void StartBoundScan(uint64_t exec_id, const TriplePattern& pattern,
+                      std::vector<BindingSet> probes,
+                      QueryBackend::BoundScanCallback cb);
+  /// Per-branch retry timer, mirroring ArmDispatchTimer.
+  void ArmBoundScanTimer(uint64_t exec_id, uint64_t did, int attempt);
+  /// Closes one branch (answered or exhausted) and resolves the call once
+  /// its last branch closes.
+  void CloseBoundScan(uint64_t exec_id, uint64_t did, bool answered);
+  void ResolveBoundCall(uint64_t exec_id, uint64_t call_id);
+
   /// Extension dispatch from the overlay.
   void OnExtensionMessage(NodeId origin,
                           std::shared_ptr<const MessageBody> payload,
                           int hops);
   void HandleQueryRequest(const QueryRequest& req);
   void HandleQueryResponse(const QueryResponse& resp);
+  void HandleBoundScanRequest(const BoundScanRequest& req);
+  void HandleBoundScanResponse(const BoundScanResponse& resp);
 
   /// Storage listener keeping DB_p in sync.
   void OnStorageChange(UpdateOp op, const Key& key, const std::string& value);
@@ -305,6 +375,10 @@ class GridVinePeer {
   std::unique_ptr<PGridPeer> overlay_;
   TripleStore local_db_;
   std::unordered_map<uint64_t, PendingQuery> pending_queries_;
+  /// Conjunctive executors in flight, keyed by exec id. shared_ptr so a
+  /// finished exec can be kept alive until the stack unwinds (the done
+  /// callback fires from inside executor code).
+  std::unordered_map<uint64_t, std::shared_ptr<ActiveExec>> active_execs_;
   /// Recursive-mode duplicate suppression: (query id, schema) already handled
   /// at this peer.
   std::set<std::pair<uint64_t, std::string>> recursive_seen_;
@@ -313,6 +387,7 @@ class GridVinePeer {
   uint64_t next_version_ = 1;
   uint64_t next_query_id_ = 1;
   uint64_t next_dispatch_id_ = 1;
+  uint64_t next_exec_id_ = 1;
   Counters counters_;
 };
 

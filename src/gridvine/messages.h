@@ -74,6 +74,57 @@ struct QueryResponse : MessageBody {
   }
 };
 
+/// A batch of constant-bound probes for one pattern, travelling to the peer
+/// responsible for the batch's routing key (bind-join pushdown). The
+/// destination substitutes each probe into the pattern, matches its local
+/// store, and answers with the free-variable bindings per probe — so the
+/// wire carries the running join's distinct keys and its matches, never the
+/// pattern's full extent.
+struct BoundScanRequest : MessageBody {
+  /// The issuing executor instance (unique per conjunctive query run).
+  uint64_t exec_id = 0;
+  /// Identifies the issuing peer's dispatch branch, echoed in the response;
+  /// lets the issuer retry a branch and account duplicates exactly once.
+  uint64_t dispatch_id = 0;
+  /// TriplePattern::Serialize() payload.
+  std::string pattern;
+  /// SerializeBindings() payload: the probe rows, deduplicated by the
+  /// issuer. Row order defines the probe indexes echoed back.
+  std::string probes;
+  /// Where the answer must be sent (the original issuer).
+  NodeId reply_to = kInvalidNode;
+
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("gv.bound_scan");
+    return t;
+  }
+  size_t SizeBytes() const override {
+    return 32 + pattern.size() + probes.size();
+  }
+};
+
+/// Free-variable binding rows flowing back to the issuer, each tagged with
+/// the probe (index into BoundScanRequest::probes) it extends.
+struct BoundScanResponse : MessageBody {
+  uint64_t exec_id = 0;
+  uint64_t dispatch_id = 0;
+  /// SerializeBindings() payload: one row of free-variable bindings per
+  /// match (possibly empty bindings when the bound pattern had no free
+  /// variables — the existence-check case).
+  std::string rows;
+  /// Parallel to the rows: which probe each row answers.
+  std::vector<uint32_t> probe_index;
+  NodeId responder = kInvalidNode;
+
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("gv.bound_scan_resp");
+    return t;
+  }
+  size_t SizeBytes() const override {
+    return 32 + rows.size() + 4 * probe_index.size();
+  }
+};
+
 }  // namespace gridvine
 
 #endif  // GRIDVINE_GRIDVINE_MESSAGES_H_

@@ -1,0 +1,66 @@
+#ifndef GRIDVINE_QUERY_EXEC_BACKEND_H_
+#define GRIDVINE_QUERY_EXEC_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_pattern.h"
+#include "store/triple_store.h"
+
+namespace gridvine {
+
+/// The transport abstraction the conjunctive executor drives. GridVinePeer
+/// implements it over the P-Grid overlay (routing, batching, retries);
+/// tests implement it with scripted local answers.
+///
+/// Contract: every call invokes its callback exactly once, eventually — with
+/// OK, or with a terminal error (Timeout once the transport's retry budget
+/// is exhausted). Callbacks may fire synchronously from within the call; the
+/// executor tolerates that.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  struct ScanResult {
+    Status status;
+    std::vector<BindingSet> rows;
+  };
+  using ScanCallback = std::function<void(ScanResult)>;
+
+  /// kRemoteScan: resolves `pattern`'s full extent — all binding rows for
+  /// its variables, wherever the data lives. An unroutable pattern resolves
+  /// OK with no rows (the legacy engine's semantics).
+  virtual void Scan(const TriplePattern& pattern, ScanCallback cb) = 0;
+
+  /// One bind-join answer row: the bindings of `pattern`'s free (unprobed)
+  /// variables, tagged with the probe it extends.
+  struct BoundRow {
+    uint32_t probe_index = 0;
+    BindingSet bindings;
+  };
+  struct BoundScanResult {
+    Status status;
+    std::vector<BoundRow> rows;
+  };
+  using BoundScanCallback = std::function<void(BoundScanResult)>;
+
+  /// kBindJoin: `probes` are distinct binding rows over a subset of
+  /// `pattern`'s variables. The backend substitutes each probe into the
+  /// pattern, resolves the resulting constant-bound sub-queries at the data
+  /// (batched and coalesced per destination key region), and returns, per
+  /// probe, the rows for the pattern's remaining variables.
+  virtual void BoundScan(const TriplePattern& pattern,
+                         std::vector<BindingSet> probes,
+                         BoundScanCallback cb) = 0;
+
+  /// kExistenceCheck: true iff some stored triple matches the
+  /// fully-constant pattern (looked up at its subject key).
+  virtual void Exists(const TriplePattern& pattern,
+                      std::function<void(Result<bool>)> cb) = 0;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_EXEC_BACKEND_H_

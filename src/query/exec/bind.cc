@@ -1,0 +1,37 @@
+#include "query/exec/bind.h"
+
+namespace gridvine {
+
+TriplePattern SubstituteBindings(const TriplePattern& pattern,
+                                 const BindingSet& bindings) {
+  TriplePattern out = pattern;
+  for (TriplePos pos :
+       {TriplePos::kSubject, TriplePos::kPredicate, TriplePos::kObject}) {
+    const Term& t = out.at(pos);
+    if (!t.IsVariable()) continue;
+    auto it = bindings.find(t.value());
+    if (it != bindings.end()) out = out.With(pos, it->second);
+  }
+  return out;
+}
+
+BindingSet RestrictTo(const BindingSet& row,
+                      const std::vector<std::string>& vars) {
+  BindingSet out;
+  for (const std::string& var : vars) {
+    auto it = row.find(var);
+    if (it != row.end()) out.emplace(var, it->second);
+  }
+  return out;
+}
+
+std::vector<std::string> SharedVars(const TriplePattern& pattern,
+                                    const BindingSet& row) {
+  std::vector<std::string> shared;
+  for (const std::string& var : pattern.Variables()) {
+    if (row.count(var)) shared.push_back(var);
+  }
+  return shared;
+}
+
+}  // namespace gridvine

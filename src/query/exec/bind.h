@@ -1,0 +1,29 @@
+#ifndef GRIDVINE_QUERY_EXEC_BIND_H_
+#define GRIDVINE_QUERY_EXEC_BIND_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/triple_pattern.h"
+#include "store/triple_store.h"
+
+namespace gridvine {
+
+/// Substitutes `bindings` into `pattern`: every variable position whose
+/// variable is bound becomes that constant. Unbound variables stay.
+TriplePattern SubstituteBindings(const TriplePattern& pattern,
+                                 const BindingSet& bindings);
+
+/// The subset of `row` covering exactly the variables in `vars` (missing
+/// variables are skipped).
+BindingSet RestrictTo(const BindingSet& row,
+                      const std::vector<std::string>& vars);
+
+/// The variables of `pattern` that `row` binds — the join columns a
+/// bind-join probes on.
+std::vector<std::string> SharedVars(const TriplePattern& pattern,
+                                    const BindingSet& row);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_EXEC_BIND_H_

@@ -1,0 +1,53 @@
+#include "query/exec/plan.h"
+
+#include <sstream>
+
+namespace gridvine {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRemoteScan:
+      return "RemoteScan";
+    case OpKind::kBindJoin:
+      return "BindJoin";
+    case OpKind::kLocalJoin:
+      return "LocalJoin";
+    case OpKind::kExistenceCheck:
+      return "ExistenceCheck";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kDedup:
+      return "Dedup";
+  }
+  return "?";
+}
+
+std::vector<size_t> PhysicalPlan::Order() const {
+  std::vector<size_t> order;
+  for (const PlanGroup& g : groups) {
+    order.insert(order.end(), g.patterns.begin(), g.patterns.end());
+  }
+  return order;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream os;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    os << "group " << gi << ": ";
+    for (size_t si = 0; si < groups[gi].steps.size(); ++si) {
+      const PlanStep& s = groups[gi].steps[si];
+      if (si > 0) os << " -> ";
+      os << OpKindName(s.kind);
+      if (s.pattern != PlanStep::kNoPattern) os << "(p" << s.pattern << ")";
+    }
+    os << "\n";
+  }
+  os << "tail: ";
+  for (size_t si = 0; si < tail.size(); ++si) {
+    if (si > 0) os << " -> ";
+    os << OpKindName(tail[si].kind);
+  }
+  return os.str();
+}
+
+}  // namespace gridvine

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <climits>
+#include <map>
+#include <numeric>
 #include <set>
+#include <string>
 
 namespace gridvine {
 
@@ -20,22 +23,24 @@ PatternCost ClassifyPattern(const TriplePattern& pattern) {
   return PatternCost::kUnroutable;
 }
 
-std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query) {
-  const auto& patterns = query.patterns();
-  std::vector<size_t> remaining;
-  for (size_t i = 0; i < patterns.size(); ++i) remaining.push_back(i);
+namespace {
 
+/// Orders one join-connected component's patterns: cheapest first, then
+/// repeatedly the cheapest pattern sharing a variable with the prefix.
+/// Within a connected component some remaining pattern is always adjacent
+/// to the prefix, and connected (rank <= 4) beats unconnected (rank >= 10),
+/// so the chain never breaks connectivity. Ties go to the lowest original
+/// index, keeping plans byte-identical across runs and platforms.
+std::vector<size_t> OrderComponent(const std::vector<TriplePattern>& patterns,
+                                   std::vector<size_t> remaining) {
   std::vector<size_t> order;
   std::set<std::string> bound_vars;
   while (!remaining.empty()) {
-    // Among the remaining patterns, prefer (a) connected to already-bound
-    // variables, then (b) the cheapest class, then (c) original position
-    // (stability).
     size_t best_slot = 0;
     int best_rank = INT_MAX;
     for (size_t slot = 0; slot < remaining.size(); ++slot) {
       const TriplePattern& p = patterns[remaining[slot]];
-      bool connected = order.empty();  // first pattern: no requirement
+      bool connected = order.empty();
       for (const auto& var : p.Variables()) {
         if (bound_vars.count(var)) connected = true;
       }
@@ -53,6 +58,88 @@ std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query) {
     }
   }
   return order;
+}
+
+}  // namespace
+
+PhysicalPlan PlanPhysical(const ConjunctiveQuery& query,
+                          const PlanOptions& options) {
+  const auto& patterns = query.patterns();
+  const size_t n = patterns.size();
+
+  // Union-find over shared variables: patterns sharing a variable join into
+  // one component; a fully-constant pattern stays alone.
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  auto find = [&parent](size_t i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+  std::map<std::string, size_t> var_owner;
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& var : patterns[i].Variables()) {
+      auto [it, fresh] = var_owner.emplace(var, i);
+      if (!fresh) parent[find(i)] = find(it->second);
+    }
+  }
+
+  std::map<size_t, std::vector<size_t>> components;  // root -> members
+  for (size_t i = 0; i < n; ++i) components[find(i)].push_back(i);
+
+  struct Ranked {
+    std::vector<size_t> order;
+    int lead_cost;
+    size_t lead_index;
+  };
+  std::vector<Ranked> ranked;
+  for (auto& [root, members] : components) {
+    Ranked r;
+    r.order = OrderComponent(patterns, std::move(members));
+    r.lead_cost = int(ClassifyPattern(patterns[r.order[0]]));
+    r.lead_index = r.order[0];
+    ranked.push_back(std::move(r));
+  }
+  // Groups run cheapest-lead first — the order the serial planner would
+  // reach them in, so Order() matches the legacy contract.
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.lead_cost != b.lead_cost) return a.lead_cost < b.lead_cost;
+    return a.lead_index < b.lead_index;
+  });
+
+  PhysicalPlan plan;
+  for (Ranked& r : ranked) {
+    PlanGroup g;
+    g.patterns = std::move(r.order);
+    const size_t lead = g.patterns[0];
+    if (g.patterns.size() == 1 && patterns[lead].Variables().empty()) {
+      g.steps.push_back({OpKind::kExistenceCheck, lead});
+    } else {
+      g.steps.push_back({OpKind::kRemoteScan, lead});
+      g.steps.push_back({OpKind::kLocalJoin});
+      for (size_t k = 1; k < g.patterns.size(); ++k) {
+        if (options.bind_join) {
+          g.steps.push_back({OpKind::kBindJoin, g.patterns[k]});
+        } else {
+          g.steps.push_back({OpKind::kRemoteScan, g.patterns[k]});
+          g.steps.push_back({OpKind::kLocalJoin});
+        }
+      }
+    }
+    plan.groups.push_back(std::move(g));
+  }
+  for (size_t gi = 1; gi < plan.groups.size(); ++gi) {
+    plan.tail.push_back({OpKind::kLocalJoin});
+  }
+  plan.tail.push_back({OpKind::kProject});
+  plan.tail.push_back({OpKind::kDedup});
+  return plan;
+}
+
+std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query) {
+  return PlanPhysical(query).Order();
 }
 
 }  // namespace gridvine

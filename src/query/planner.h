@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "query/exec/plan.h"
 #include "query/query.h"
 
 namespace gridvine {
@@ -24,11 +25,31 @@ enum class PatternCost {
 /// Classifies one pattern.
 PatternCost ClassifyPattern(const TriplePattern& pattern);
 
+struct PlanOptions {
+  /// When true (default), each pattern after a group's first is resolved by
+  /// pushing the running bindings toward the data (kBindJoin); when false,
+  /// every pattern is fetched in full and joined at the issuer
+  /// (kRemoteScan + kLocalJoin — the collect-then-join baseline).
+  bool bind_join = true;
+};
+
+/// Builds the physical plan for a conjunctive query: patterns are split into
+/// join-connected groups (union-find over shared variables; a fully-constant
+/// pattern is its own group, planned as an existence check), each group's
+/// chain orders its patterns cheapest-first with the join-connected
+/// constraint, and the tail merges the groups. Ties are broken by original
+/// pattern index everywhere, so the plan is identical across runs and
+/// platforms. Groups are ordered by their cheapest (cost, index) pattern;
+/// the flattened PhysicalPlan::Order() reproduces the serial planner's
+/// order exactly.
+PhysicalPlan PlanPhysical(const ConjunctiveQuery& query,
+                          const PlanOptions& options = {});
+
 /// Execution order for a conjunctive query's patterns: cheapest/most
 /// selective first, with the constraint that every pattern after the first
 /// shares a variable with some earlier pattern where possible (keeps the
 /// running join bounded instead of building cross products). Returns indexes
-/// into `query.patterns()`.
+/// into `query.patterns()`. Equivalent to PlanPhysical(query).Order().
 std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query);
 
 }  // namespace gridvine

@@ -106,4 +106,36 @@ Result<std::vector<BindingSet>> ParseBindings(const std::string& data) {
   return rows;
 }
 
+size_t BindingDeduper::Intern(const BindingSet& row, bool* inserted) {
+  if (row.size() > kMaxInlineVars) {
+    auto [it, fresh] = wide_rows_.emplace(SerializeBindings({row}), count_);
+    if (inserted) *inserted = fresh;
+    if (fresh) ++count_;
+    return it->second;
+  }
+  Key key;
+  for (const auto& [var, term] : row) {
+    key.packed[key.len++] =
+        (static_cast<uint64_t>(VarId(var)) << 32) | TermIdFor(term);
+  }
+  auto [it, fresh] = rows_.emplace(key, count_);
+  if (inserted) *inserted = fresh;
+  if (fresh) ++count_;
+  return it->second;
+}
+
+uint32_t BindingDeduper::VarId(const std::string& var) {
+  auto [it, fresh] =
+      var_ids_.emplace(var, static_cast<uint32_t>(var_ids_.size()));
+  (void)fresh;
+  return it->second;
+}
+
+uint32_t BindingDeduper::TermIdFor(const Term& term) {
+  auto [it, fresh] =
+      term_ids_.emplace(term, static_cast<uint32_t>(term_ids_.size()));
+  (void)fresh;
+  return it->second;
+}
+
 }  // namespace gridvine

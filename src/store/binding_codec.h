@@ -1,10 +1,14 @@
 #ifndef GRIDVINE_STORE_BINDING_CODEC_H_
 #define GRIDVINE_STORE_BINDING_CODEC_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "rdf/term_dictionary.h"
 #include "store/triple_store.h"
 
 namespace gridvine {
@@ -16,6 +20,62 @@ std::string SerializeBindings(const std::vector<BindingSet>& rows);
 
 /// Inverse of SerializeBindings.
 Result<std::vector<BindingSet>> ParseBindings(const std::string& data);
+
+/// Deduplicates binding rows without serializing each row to a string.
+/// Variables and terms are interned to dense ids; a row's identity is the
+/// packed (var_id, term_id) sequence in variable order (BindingSet is
+/// ordered by variable name, so equal rows always pack identically). Rows
+/// wider than kMaxInlineVars fall back to the serialized form.
+class BindingDeduper {
+ public:
+  static constexpr size_t kMaxInlineVars = 8;
+
+  /// Returns the dense index of `row` (0-based, in first-seen order),
+  /// interning it if unseen. Sets *inserted when non-null.
+  size_t Intern(const BindingSet& row, bool* inserted = nullptr);
+
+  /// True the first time `row` is seen.
+  bool Insert(const BindingSet& row) {
+    bool inserted = false;
+    Intern(row, &inserted);
+    return inserted;
+  }
+
+  /// Number of distinct rows seen.
+  size_t size() const { return count_; }
+
+ private:
+  struct Key {
+    std::array<uint64_t, kMaxInlineVars> packed;
+    uint8_t len = 0;
+    bool operator==(const Key& o) const {
+      if (len != o.len) return false;
+      for (uint8_t i = 0; i < len; ++i) {
+        if (packed[i] != o.packed[i]) return false;
+      }
+      return true;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = 1469598103934665603ull;  // FNV-1a
+      for (uint8_t i = 0; i < k.len; ++i) {
+        h ^= k.packed[i];
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h ^ k.len);
+    }
+  };
+
+  uint32_t VarId(const std::string& var);
+  uint32_t TermIdFor(const Term& term);
+
+  std::unordered_map<std::string, uint32_t> var_ids_;
+  std::unordered_map<Term, uint32_t, TermHash> term_ids_;
+  std::unordered_map<Key, size_t, KeyHash> rows_;
+  std::unordered_map<std::string, size_t> wide_rows_;
+  size_t count_ = 0;
+};
 
 }  // namespace gridvine
 

@@ -60,5 +60,78 @@ TEST(BindingCodecTest, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseBindings("x=U:v\\").ok());    // dangling escape
 }
 
+BindingSet Row(std::initializer_list<std::pair<std::string, std::string>> kv) {
+  BindingSet row;
+  for (const auto& [var, val] : kv) row[var] = Term::Uri(val);
+  return row;
+}
+
+TEST(BindingDeduperTest, FirstSeenOrderIndexes) {
+  BindingDeduper dedup;
+  EXPECT_EQ(dedup.Intern(Row({{"x", "a"}})), 0u);
+  EXPECT_EQ(dedup.Intern(Row({{"x", "b"}})), 1u);
+  EXPECT_EQ(dedup.Intern(Row({{"x", "a"}})), 0u);  // stable on re-insert
+  EXPECT_EQ(dedup.size(), 2u);
+}
+
+TEST(BindingDeduperTest, InsertReportsFirstSighting) {
+  BindingDeduper dedup;
+  EXPECT_TRUE(dedup.Insert(Row({{"x", "a"}, {"y", "b"}})));
+  EXPECT_FALSE(dedup.Insert(Row({{"x", "a"}, {"y", "b"}})));
+  // Same terms under a different variable are a different row.
+  EXPECT_TRUE(dedup.Insert(Row({{"x", "b"}, {"y", "a"}})));
+  EXPECT_EQ(dedup.size(), 2u);
+}
+
+TEST(BindingDeduperTest, DistinguishesTermKinds) {
+  BindingDeduper dedup;
+  BindingSet uri, lit;
+  uri["x"] = Term::Uri("v");
+  lit["x"] = Term::Literal("v");
+  EXPECT_TRUE(dedup.Insert(uri));
+  EXPECT_TRUE(dedup.Insert(lit));
+  EXPECT_EQ(dedup.size(), 2u);
+}
+
+TEST(BindingDeduperTest, EmptyRowIsARow) {
+  BindingDeduper dedup;
+  EXPECT_TRUE(dedup.Insert(BindingSet{}));
+  EXPECT_FALSE(dedup.Insert(BindingSet{}));
+  EXPECT_EQ(dedup.size(), 1u);
+}
+
+TEST(BindingDeduperTest, WideRowsFallBackToSerializedForm) {
+  // More than kMaxInlineVars variables: the packed key cannot hold the row,
+  // dedup must still work through the string fallback.
+  auto wide = [](const std::string& tail) {
+    BindingSet row;
+    for (size_t i = 0; i < BindingDeduper::kMaxInlineVars + 2; ++i) {
+      row["v" + std::to_string(i)] = Term::Uri("t" + std::to_string(i));
+    }
+    row["z"] = Term::Uri(tail);
+    return row;
+  };
+  BindingDeduper dedup;
+  EXPECT_EQ(dedup.Intern(wide("a")), 0u);
+  EXPECT_EQ(dedup.Intern(wide("b")), 1u);
+  EXPECT_EQ(dedup.Intern(wide("a")), 0u);
+  EXPECT_EQ(dedup.size(), 2u);
+}
+
+TEST(BindingDeduperTest, InlineAndWideRowsShareIndexSpace) {
+  BindingDeduper dedup;
+  BindingSet narrow;
+  narrow["x"] = Term::Uri("a");
+  BindingSet wide;
+  for (size_t i = 0; i < BindingDeduper::kMaxInlineVars + 1; ++i) {
+    wide["v" + std::to_string(i)] = Term::Uri("t");
+  }
+  EXPECT_EQ(dedup.Intern(narrow), 0u);
+  EXPECT_EQ(dedup.Intern(wide), 1u);
+  EXPECT_EQ(dedup.Intern(narrow), 0u);
+  EXPECT_EQ(dedup.Intern(wide), 1u);
+  EXPECT_EQ(dedup.size(), 2u);
+}
+
 }  // namespace
 }  // namespace gridvine

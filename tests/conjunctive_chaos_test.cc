@@ -1,0 +1,233 @@
+// Conjunctive queries under chaos: loss bursts, duplication and churn
+// layered over the overlay while a stream of conjunctive queries runs
+// through the plan-driven executor. The invariants mirror the PR 3 drain
+// contract, lifted to the executor: every conjunctive op resolves exactly
+// once, to OK or Timeout; no executor or pending-query state leaks; message
+// conservation and drop attribution still hold.
+//
+// Plus the network-level differential check: with faults off, bind-join and
+// collect-then-join return identical result sets on randomized stores.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault_harness.h"
+#include "gridvine/gridvine_network.h"
+#include "sim/churn.h"
+#include "store/binding_codec.h"
+
+namespace gridvine {
+namespace {
+
+TriplePattern P(Term s, Term p, Term o) {
+  return TriplePattern(std::move(s), std::move(p), std::move(o));
+}
+
+/// Randomized-but-seeded triples: every entity has a type and a size; some
+/// link to another entity.
+std::vector<Triple> MakeTriples(uint64_t seed, int entities) {
+  Rng rng(seed * 977 + 3);
+  std::vector<Triple> triples;
+  for (int e = 0; e < entities; ++e) {
+    Term subj = Term::Uri("x:e" + std::to_string(e));
+    triples.emplace_back(
+        subj, Term::Uri("x:type"),
+        Term::Literal(rng.Bernoulli(0.25) ? "gadget" : "widget"));
+    triples.emplace_back(subj, Term::Uri("x:size"),
+                         Term::Literal(std::to_string(rng.UniformInt(1, 4))));
+    if (rng.Bernoulli(0.5)) {
+      triples.emplace_back(
+          subj, Term::Uri("x:link"),
+          Term::Uri("x:e" + std::to_string(rng.UniformInt(0, entities - 1))));
+    }
+  }
+  return triples;
+}
+
+std::vector<ConjunctiveQuery> MakeQueries() {
+  return {
+      ConjunctiveQuery(
+          {"x", "l"},
+          {P(Term::Var("x"), Term::Uri("x:type"), Term::Literal("gadget")),
+           P(Term::Var("x"), Term::Uri("x:size"), Term::Var("l"))}),
+      ConjunctiveQuery(
+          {"x", "y"},
+          {P(Term::Var("x"), Term::Uri("x:link"), Term::Var("y")),
+           P(Term::Var("y"), Term::Uri("x:type"), Term::Literal("widget"))}),
+      ConjunctiveQuery(
+          {"x"},
+          {P(Term::Uri("x:e0"), Term::Uri("x:type"), Term::Literal("widget")),
+           P(Term::Var("x"), Term::Uri("x:size"), Term::Literal("2"))}),
+  };
+}
+
+struct ChaosConfig {
+  std::string name;
+  uint64_t seed = 1;
+  double loss = 0.0;
+  int loss_bursts = 0;
+  double duplicate_probability = 0.0;
+  bool churn = false;
+  int operations = 24;
+  SimTime op_interval = 3.0;
+  SimTime warmup = 5.0;
+};
+
+void RunConjunctiveChaos(const ChaosConfig& cfg) {
+  SCOPED_TRACE("scenario=" + cfg.name +
+               " seed=" + std::to_string(cfg.seed));
+
+  GridVineNetwork::Options options;
+  options.num_peers = 16;
+  options.key_depth = 12;
+  options.seed = cfg.seed;
+  GridVineNetwork net(options);
+
+  // Data goes in before any fault window opens (placement must succeed).
+  ASSERT_TRUE(net.InsertTriples(0, MakeTriples(cfg.seed, 24)).ok());
+  net.Settle();
+
+  // Fault windows from the PR 3 plan generator, placed over the op phase.
+  // Base loss is expressed as one window spanning the whole op phase (rather
+  // than Network-level loss) so the synchronous data load stays clean.
+  FaultScenario fs;
+  fs.seed = cfg.seed;
+  fs.warmup = cfg.warmup;
+  fs.operations = cfg.operations;
+  fs.op_interval = cfg.op_interval;
+  fs.loss_bursts = cfg.loss_bursts;
+  fs.duplicate_probability = cfg.duplicate_probability;
+  auto plan = MakeFaultPlan(fs, net.overlay_peers());
+  if (cfg.loss > 0) {
+    FaultPlan::LossBurst base;
+    base.start = cfg.warmup;
+    base.end = cfg.warmup + cfg.operations * cfg.op_interval;
+    base.probability = cfg.loss;
+    plan->AddLossBurst(base);
+  }
+  net.network()->SetFaultPlan(std::move(plan));
+
+  ChurnModel::Options copts;
+  copts.mean_session_seconds = 40.0;
+  copts.mean_downtime_seconds = 12.0;
+  copts.pinned = {net.peer(0)->id()};
+  ChurnModel churn(net.sim(), net.network(), Rng(cfg.seed + 5), copts);
+  if (cfg.churn) churn.Start();
+
+  struct OpRecord {
+    int resolutions = 0;
+    Status status;
+  };
+  std::vector<OpRecord> ops(size_t(cfg.operations));
+  auto queries = MakeQueries();
+  GridVinePeer* issuer = net.peer(0);
+  for (int i = 0; i < cfg.operations; ++i) {
+    OpRecord* rec = &ops[size_t(i)];
+    const ConjunctiveQuery& q = queries[size_t(i) % queries.size()];
+    net.sim()->ScheduleAt(cfg.warmup + i * cfg.op_interval, [issuer, q, rec] {
+      issuer->SearchForConjunctive(
+          q, {}, [rec](GridVinePeer::ConjunctiveResult r) {
+            ++rec->resolutions;
+            rec->status = r.status;
+          });
+    });
+  }
+
+  const SimTime stop_at = cfg.warmup + cfg.operations * cfg.op_interval + 1.0;
+  net.sim()->ScheduleAt(stop_at, [&churn] { churn.Stop(); });
+  net.Settle();
+
+  // Every op resolved exactly once, to OK or Timeout.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    SCOPED_TRACE("op " + std::to_string(i));
+    ASSERT_EQ(ops[i].resolutions, 1);
+    EXPECT_TRUE(ops[i].status.ok() || ops[i].status.IsTimeout())
+        << ops[i].status;
+  }
+
+  // No leaked operator or transport state once the heap drained.
+  EXPECT_EQ(net.sim()->pending(), 0u);
+  for (size_t p = 0; p < net.size(); ++p) {
+    EXPECT_EQ(net.peer(p)->ActiveConjunctiveExecs(), 0u) << "peer " << p;
+    EXPECT_EQ(net.peer(p)->PendingQueryCount(), 0u) << "peer " << p;
+  }
+
+  // The PR 3 wire invariants still hold with the new message types in play.
+  const NetworkStats& n = net.network()->stats();
+  EXPECT_EQ(n.messages_sent + n.messages_duplicated,
+            n.messages_delivered + n.messages_dropped);
+  EXPECT_EQ(n.drops_endpoint + n.drops_loss + n.drops_burst +
+                n.drops_partition,
+            n.messages_dropped);
+}
+
+TEST(ConjunctiveChaosTest, LossBursts) {
+  ChaosConfig cfg;
+  cfg.name = "loss";
+  cfg.seed = 11;
+  cfg.loss = 0.12;
+  cfg.loss_bursts = 2;
+  RunConjunctiveChaos(cfg);
+}
+
+TEST(ConjunctiveChaosTest, Churn) {
+  ChaosConfig cfg;
+  cfg.name = "churn";
+  cfg.seed = 29;
+  cfg.churn = true;
+  RunConjunctiveChaos(cfg);
+}
+
+TEST(ConjunctiveChaosTest, LossChurnAndDuplication) {
+  ChaosConfig cfg;
+  cfg.name = "loss+churn+dup";
+  cfg.seed = 83;
+  cfg.loss = 0.08;
+  cfg.loss_bursts = 1;
+  cfg.duplicate_probability = 0.05;
+  cfg.churn = true;
+  RunConjunctiveChaos(cfg);
+}
+
+/// Network-level differential: same deployment, same data, faults off —
+/// bind-join pushdown must return exactly the collect-then-join rows.
+TEST(ConjunctiveDifferentialTest, BindJoinEqualsCollectThenJoin) {
+  for (uint64_t seed : {7u, 21u}) {
+    GridVineNetwork::Options options;
+    options.num_peers = 16;
+    options.key_depth = 12;
+    options.seed = seed;
+    GridVineNetwork net(options);
+    ASSERT_TRUE(net.InsertTriples(0, MakeTriples(seed, 30)).ok());
+    net.Settle();
+
+    size_t nonempty = 0;
+    for (const auto& q : MakeQueries()) {
+      GridVinePeer::QueryOptions bind_opts;
+      bind_opts.bind_join = true;
+      GridVinePeer::QueryOptions collect_opts;
+      collect_opts.bind_join = false;
+
+      auto bind = net.SearchForConjunctive(1, q, bind_opts);
+      auto collect = net.SearchForConjunctive(2, q, collect_opts);
+      ASSERT_TRUE(bind.status.ok()) << q.ToString();
+      ASSERT_TRUE(collect.status.ok()) << q.ToString();
+
+      std::set<std::string> bind_rows, collect_rows;
+      for (const auto& row : bind.rows)
+        bind_rows.insert(SerializeBindings({row}));
+      for (const auto& row : collect.rows)
+        collect_rows.insert(SerializeBindings({row}));
+      EXPECT_EQ(bind_rows, collect_rows) << "seed=" << seed << " "
+                                         << q.ToString();
+      if (!bind.rows.empty()) ++nonempty;
+    }
+    EXPECT_GT(nonempty, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gridvine

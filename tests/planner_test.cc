@@ -77,5 +77,93 @@ TEST(PlanConjunctiveTest, SinglePattern) {
   EXPECT_EQ(PlanConjunctive(q), (std::vector<size_t>{0}));
 }
 
+TEST(PlanPhysicalTest, DisconnectedPatternsFormConcurrentGroups) {
+  // {?a} component (p0, p2) and {?b} component (p1) share no variable, so
+  // they become separate groups merged by one cross-group LocalJoin.
+  ConjunctiveQuery q(
+      {"a", "b"},
+      {P(Term::Uri("s0"), Term::Uri("p0"), Term::Var("a")),
+       P(Term::Var("b"), Term::Uri("p1"), Term::Literal("v")),
+       P(Term::Var("a"), Term::Uri("p2"), Term::Var("c"))});
+  PhysicalPlan plan = PlanPhysical(q);
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.groups[0].patterns, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(plan.groups[1].patterns, (std::vector<size_t>{1}));
+  ASSERT_EQ(plan.tail.size(), 3u);
+  EXPECT_EQ(plan.tail[0].kind, OpKind::kLocalJoin);
+  EXPECT_EQ(plan.tail[1].kind, OpKind::kProject);
+  EXPECT_EQ(plan.tail[2].kind, OpKind::kDedup);
+  // Order() flattens group-major and matches the legacy contract.
+  EXPECT_EQ(plan.Order(), (std::vector<size_t>{0, 2, 1}));
+  EXPECT_EQ(plan.Order(), PlanConjunctive(q));
+}
+
+TEST(PlanPhysicalTest, BindJoinChainShape) {
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Uri("s"), Term::Uri("p0"), Term::Var("x")),
+       P(Term::Var("x"), Term::Uri("p1"), Term::Var("o"))});
+  PhysicalPlan bind = PlanPhysical(q);
+  ASSERT_EQ(bind.groups.size(), 1u);
+  const auto& steps = bind.groups[0].steps;
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].kind, OpKind::kRemoteScan);
+  EXPECT_EQ(steps[0].pattern, 0u);
+  EXPECT_EQ(steps[1].kind, OpKind::kLocalJoin);
+  EXPECT_EQ(steps[2].kind, OpKind::kBindJoin);
+  EXPECT_EQ(steps[2].pattern, 1u);
+
+  // Collect mode trades every BindJoin for a full RemoteScan + LocalJoin;
+  // the pattern order is identical either way.
+  PlanOptions collect;
+  collect.bind_join = false;
+  PhysicalPlan coll = PlanPhysical(q, collect);
+  ASSERT_EQ(coll.groups.size(), 1u);
+  const auto& csteps = coll.groups[0].steps;
+  ASSERT_EQ(csteps.size(), 4u);
+  EXPECT_EQ(csteps[2].kind, OpKind::kRemoteScan);
+  EXPECT_EQ(csteps[2].pattern, 1u);
+  EXPECT_EQ(csteps[3].kind, OpKind::kLocalJoin);
+  EXPECT_EQ(bind.Order(), coll.Order());
+}
+
+TEST(PlanPhysicalTest, FullyConstantPatternBecomesExistenceCheck) {
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Var("x"), Term::Uri("p"), Term::Var("o")),
+       P(Term::Uri("s"), Term::Uri("p"), Term::Literal("v"))});
+  PhysicalPlan plan = PlanPhysical(q);
+  ASSERT_EQ(plan.groups.size(), 2u);
+  // The constant pattern is exact-subject class, so its singleton group
+  // leads; it resolves as an existence probe, not a scan.
+  ASSERT_EQ(plan.groups[0].patterns, (std::vector<size_t>{1}));
+  ASSERT_EQ(plan.groups[0].steps.size(), 1u);
+  EXPECT_EQ(plan.groups[0].steps[0].kind, OpKind::kExistenceCheck);
+  EXPECT_EQ(plan.groups[0].steps[0].pattern, 1u);
+  ASSERT_EQ(plan.groups[1].patterns, (std::vector<size_t>{0}));
+  EXPECT_EQ(plan.groups[1].steps[0].kind, OpKind::kRemoteScan);
+}
+
+TEST(PlanPhysicalTest, DeterministicAcrossRepeatedRuns) {
+  // Two components whose leads have equal cost (both exact-predicate):
+  // ties break on the lowest original pattern index, every run.
+  ConjunctiveQuery q(
+      {"a", "b"},
+      {P(Term::Var("a"), Term::Uri("p1"), Term::Var("o1")),
+       P(Term::Var("b"), Term::Uri("p2"), Term::Var("o2")),
+       P(Term::Var("a"), Term::Uri("p3"), Term::Var("o3")),
+       P(Term::Var("b"), Term::Uri("p4"), Term::Var("o4"))});
+  PhysicalPlan first = PlanPhysical(q);
+  ASSERT_EQ(first.groups.size(), 2u);
+  EXPECT_EQ(first.groups[0].patterns, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(first.groups[1].patterns, (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(first.Order(), (std::vector<size_t>{0, 2, 1, 3}));
+  for (int i = 0; i < 10; ++i) {
+    PhysicalPlan again = PlanPhysical(q);
+    ASSERT_EQ(again.ToString(), first.ToString());
+    ASSERT_EQ(again.Order(), first.Order());
+  }
+}
+
 }  // namespace
 }  // namespace gridvine
