@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "trace_stats.h"
 #include "gridvine/gridvine_network.h"
 #include "store/binding_codec.h"
 
@@ -91,6 +92,8 @@ struct ModeStats {
   double latency_sum = 0;
   size_t queries = 0;
   std::vector<std::set<std::string>> row_sets;
+  std::vector<size_t> hops;     ///< per-query message flights, from traces
+  std::vector<size_t> retries;  ///< per-query retry markers, from traces
 
   double MeanLatency() const {
     return queries == 0 ? 0 : latency_sum / double(queries);
@@ -118,6 +121,10 @@ ModeStats RunMode(bool bind_join, size_t entities, size_t selectivity,
   const uint64_t msg_before = net.network()->stats().messages_sent;
   const uint64_t bytes_before = net.network()->stats().bytes_sent;
 
+  // Traced run == untraced run (span ids are a plain counter, no Rng draw),
+  // so hop/retry extraction does not perturb the message counts above.
+  net.tracer()->Enable(1 << 16);
+
   GridVinePeer::QueryOptions qopts;
   qopts.bind_join = bind_join;
   ModeStats stats;
@@ -125,12 +132,17 @@ ModeStats RunMode(bool bind_join, size_t entities, size_t selectivity,
   for (size_t r = 0; r < rounds; ++r) {
     for (const auto& q : queries) {
       size_t issuer = (r * queries.size()) % net.size();
+      net.tracer()->Clear();
       auto res = net.SearchForConjunctive(issuer, q, qopts);
       if (!res.status.ok()) {
         std::fprintf(stderr, "query failed: %s\n",
                      res.status.ToString().c_str());
         std::exit(1);
       }
+      auto ts = gridvine::bench::HopsAndRetries(net.tracer()->Snapshot(),
+                                                res.trace_id);
+      stats.hops.push_back(ts.hops);
+      stats.retries.push_back(ts.retries);
       stats.rows_shipped += res.metrics.RowsShipped();
       stats.latency_sum += res.latency;
       ++stats.queries;
@@ -184,6 +196,16 @@ int main(int argc, char** argv) {
               (unsigned long long)collect.bytes);
   std::printf("  %-24s %12.3f %12.3f\n", "mean latency (s)",
               bind.MeanLatency(), collect.MeanLatency());
+  using gridvine::bench::CountPercentile;
+  std::printf("  %-24s %12.0f %12.0f\n", "hops p50 (traced)",
+              CountPercentile(bind.hops, 0.50),
+              CountPercentile(collect.hops, 0.50));
+  std::printf("  %-24s %12.0f %12.0f\n", "hops p99 (traced)",
+              CountPercentile(bind.hops, 0.99),
+              CountPercentile(collect.hops, 0.99));
+  std::printf("  %-24s %12.0f %12.0f\n", "retries p99 (traced)",
+              CountPercentile(bind.retries, 0.99),
+              CountPercentile(collect.retries, 0.99));
   std::printf("\n  rows-shipped improvement: %.1fx (acceptance floor 3x)\n",
               row_ratio);
   std::printf("  differential check: %zu queries, result sets identical\n",
@@ -192,11 +214,20 @@ int main(int argc, char** argv) {
   json.Add("bind_join", {{"rows_shipped", double(bind.rows_shipped)},
                          {"messages", double(bind.messages)},
                          {"bytes", double(bind.bytes)},
-                         {"mean_latency_s", bind.MeanLatency()}});
-  json.Add("collect", {{"rows_shipped", double(collect.rows_shipped)},
-                       {"messages", double(collect.messages)},
-                       {"bytes", double(collect.bytes)},
-                       {"mean_latency_s", collect.MeanLatency()}});
+                         {"mean_latency_s", bind.MeanLatency()},
+                         {"hops_p50", CountPercentile(bind.hops, 0.50)},
+                         {"hops_p90", CountPercentile(bind.hops, 0.90)},
+                         {"hops_p99", CountPercentile(bind.hops, 0.99)},
+                         {"retries_p99", CountPercentile(bind.retries, 0.99)}});
+  json.Add("collect",
+           {{"rows_shipped", double(collect.rows_shipped)},
+            {"messages", double(collect.messages)},
+            {"bytes", double(collect.bytes)},
+            {"mean_latency_s", collect.MeanLatency()},
+            {"hops_p50", CountPercentile(collect.hops, 0.50)},
+            {"hops_p90", CountPercentile(collect.hops, 0.90)},
+            {"hops_p99", CountPercentile(collect.hops, 0.99)},
+            {"retries_p99", CountPercentile(collect.retries, 0.99)}});
   json.Add("summary", {{"rows_shipped_ratio", row_ratio},
                        {"message_delta",
                         double(collect.messages) - double(bind.messages)},

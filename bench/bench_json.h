@@ -53,6 +53,15 @@ class BenchJson {
     rows_.push_back(std::move(row));
   }
 
+  /// Same, for metric lists built up at runtime (names included).
+  void Add(const std::string& row_name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    Row row;
+    row.name = name_ + "/" + row_name;
+    row.metrics = std::move(metrics);
+    rows_.push_back(std::move(row));
+  }
+
   /// Emits the JSON document; call once, at the end of main().
   void Finish() const {
     if (!stdout_json_ && out_file_.empty()) return;

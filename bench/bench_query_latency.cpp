@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "trace_stats.h"
 #include "workload/bio_workload.h"
 #include "gridvine/gridvine_network.h"
 
@@ -89,15 +90,25 @@ int main(int argc, char** argv) {
   }
   std::printf("  data inserted; issuing queries...\n");
 
+  // Tracing is on for the whole query phase: span ids come from a plain
+  // counter, so a traced run is bit-identical to an untraced one. The ring is
+  // cleared per query, making each snapshot exactly one query's causal tree.
+  net.tracer()->Enable(1 << 16);
+
   Rng rng(99);
   std::vector<double> latencies;
   latencies.reserve(kQueries);
+  std::vector<size_t> hops;
+  std::vector<size_t> retries;
+  hops.reserve(kQueries);
+  retries.reserve(kQueries);
   size_t failed = 0;
   size_t empty = 0;
   for (size_t q = 0; q < kQueries; ++q) {
     size_t schema = size_t(rng.UniformInt(0, int64_t(workload.schemas().size()) - 1));
     auto gq = workload.MakeQuery(schema, &rng);
     size_t issuer = size_t(rng.UniformInt(0, int64_t(net.size()) - 1));
+    net.tracer()->Clear();
     auto res = net.SearchFor(issuer, gq.query);
     if (!res.status.ok()) {
       ++failed;
@@ -105,6 +116,10 @@ int main(int argc, char** argv) {
     }
     if (res.items.empty()) ++empty;
     latencies.push_back(res.latency);
+    auto ts = gridvine::bench::HopsAndRetries(net.tracer()->Snapshot(),
+                                              res.trace_id);
+    hops.push_back(ts.hops);
+    retries.push_back(ts.retries);
   }
   std::sort(latencies.begin(), latencies.end());
 
@@ -118,6 +133,14 @@ int main(int argc, char** argv) {
               Percentile(latencies, 0.10), Percentile(latencies, 0.25),
               Percentile(latencies, 0.50), Percentile(latencies, 0.75),
               Percentile(latencies, 0.90), Percentile(latencies, 0.99));
+  using gridvine::bench::CountPercentile;
+  std::printf("  per-query hops (from traces): p50=%.0f p90=%.0f p99=%.0f\n",
+              CountPercentile(hops, 0.50), CountPercentile(hops, 0.90),
+              CountPercentile(hops, 0.99));
+  std::printf("  per-query retries (from traces): p50=%.0f p90=%.0f "
+              "p99=%.0f\n",
+              CountPercentile(retries, 0.50), CountPercentile(retries, 0.90),
+              CountPercentile(retries, 0.99));
   std::printf("  queries failed: %zu, empty answers: %zu\n", failed, empty);
   std::printf("  network traffic: %llu messages, %.1f MB\n",
               (unsigned long long)net.network()->stats().messages_sent,
@@ -130,7 +153,13 @@ int main(int argc, char** argv) {
             {"p99_s", Percentile(latencies, 0.99)},
             {"failed", double(failed)},
             {"empty", double(empty)},
-            {"messages", double(net.network()->stats().messages_sent)}});
+            {"messages", double(net.network()->stats().messages_sent)},
+            {"hops_p50", CountPercentile(hops, 0.50)},
+            {"hops_p90", CountPercentile(hops, 0.90)},
+            {"hops_p99", CountPercentile(hops, 0.99)},
+            {"retries_p50", CountPercentile(retries, 0.50)},
+            {"retries_p90", CountPercentile(retries, 0.90)},
+            {"retries_p99", CountPercentile(retries, 0.99)}});
   json.Finish();
   return 0;
 }

@@ -1,0 +1,54 @@
+#ifndef GRIDVINE_BENCH_TRACE_STATS_H_
+#define GRIDVINE_BENCH_TRACE_STATS_H_
+
+// Per-query statistics recovered from a trace snapshot. Benches enable the
+// tracer, clear it before each query, and hand the snapshot plus the query's
+// trace id here. A "hop" is any message flight span in the query's causal
+// tree — request forwards, probe batches and responses alike — i.e. every
+// span that is not an operation ("op.*") or executor ("exec.*") node.
+// Retries are the "op.retry" markers the retrying layers emit.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace gridvine {
+namespace bench {
+
+struct TraceQueryStats {
+  size_t hops = 0;
+  size_t retries = 0;
+};
+
+inline bool IsOperationSpan(std::string_view name) {
+  return name.rfind("op.", 0) == 0 || name.rfind("exec.", 0) == 0;
+}
+
+inline TraceQueryStats HopsAndRetries(const std::vector<Tracer::Span>& spans,
+                                      uint64_t trace_id) {
+  TraceQueryStats st;
+  for (const auto& s : spans) {
+    if (s.trace_id != trace_id) continue;
+    if (s.name == "op.retry") {
+      ++st.retries;
+    } else if (!IsOperationSpan(s.name)) {
+      ++st.hops;
+    }
+  }
+  return st;
+}
+
+/// Nearest-rank percentile over an unsorted count vector.
+inline double CountPercentile(std::vector<size_t> counts, double p) {
+  if (counts.empty()) return 0;
+  std::sort(counts.begin(), counts.end());
+  size_t idx = size_t(p * double(counts.size() - 1));
+  return double(counts[idx]);
+}
+
+}  // namespace bench
+}  // namespace gridvine
+
+#endif  // GRIDVINE_BENCH_TRACE_STATS_H_

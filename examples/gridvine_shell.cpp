@@ -16,6 +16,7 @@
 //   stats
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -51,6 +52,10 @@ void PrintHelp() {
       "  demo                                       load a small "
       "bioinformatic corpus\n"
       "  stats                                      network statistics\n"
+      "  trace on|off                               toggle span recording\n"
+      "  trace dump [file]                          export Chrome trace "
+      "JSON\n"
+      "  metrics [file]                             unified metrics JSON\n"
       "  help | quit\n");
 }
 
@@ -211,6 +216,39 @@ int main() {
         triples += net.peer(i)->local_db().size();
       }
       std::printf("local DB entries across peers: %zu\n", triples);
+    } else if (cmd == "trace") {
+      std::string arg, file;
+      in >> arg >> file;
+      if (arg == "on") {
+        net.tracer()->Enable();
+        std::printf("ok: tracing on\n");
+      } else if (arg == "off") {
+        net.tracer()->Disable();
+        std::printf("ok: tracing off\n");
+      } else if (arg == "dump") {
+        std::string json = net.tracer()->ToChromeJson();
+        if (file.empty()) {
+          std::printf("%s\n", json.c_str());
+        } else {
+          std::ofstream out(file);
+          out << json << "\n";
+          std::printf("ok: %zu span(s) -> %s\n", net.tracer()->size(),
+                      file.c_str());
+        }
+      } else {
+        std::printf("usage: trace on|off|dump [file]\n");
+      }
+    } else if (cmd == "metrics") {
+      std::string file;
+      in >> file;
+      std::string json = net.CollectMetrics().ToJson();
+      if (file.empty()) {
+        std::printf("%s\n", json.c_str());
+      } else {
+        std::ofstream out(file);
+        out << json << "\n";
+        std::printf("ok: metrics -> %s\n", file.c_str());
+      }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

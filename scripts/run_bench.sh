@@ -74,5 +74,33 @@ if [[ "$quick" -eq 1 && -z "$filter" && -x "$build_dir/tests/conjunctive_chaos_t
   echo "== conjunctive_chaos_test (executor chaos smoke)"
   "$build_dir/tests/conjunctive_chaos_test" --gtest_brief=1
 fi
+# Observability artifact: a scripted shell session traces one conjunctive
+# query end to end and exports the Chrome trace plus the unified metrics
+# JSON. GV_ARTIFACT_DIR overrides the destination (CI uploads it and the
+# validator asserts the trace parses and every span tree is acyclic).
+shell_bin="$build_dir/examples/gridvine_shell"
+if [[ "$quick" -eq 1 && -z "$filter" && -x "$shell_bin" ]]; then
+  artifact_dir="${GV_ARTIFACT_DIR:-$out_root}"
+  mkdir -p "$artifact_dir"
+  echo "== trace artifact (scripted shell session) -> $artifact_dir"
+  "$shell_bin" >/dev/null <<EOF
+trace on
+schema W w type,size
+triple <w:e1> <W#type> "gadget" .
+triple <w:e2> <W#type> "widget" .
+triple <w:e1> <W#size> "3" .
+triple <w:e2> <W#size> "5" .
+cquery SELECT ?x, ?l WHERE (?x, <W#type>, "gadget"), (?x, <W#size>, ?l)
+trace dump $artifact_dir/trace_conjunctive.json
+metrics $artifact_dir/metrics.json
+quit
+EOF
+  if command -v python3 >/dev/null 2>&1; then
+    python3 "$repo_root/scripts/validate_trace.py" \
+      "$artifact_dir/trace_conjunctive.json" "$artifact_dir/metrics.json"
+  else
+    echo "python3 not found; skipping trace validation"
+  fi
+fi
 echo
 echo "wrote $ran JSON report(s) at $out_root/BENCH_*.json"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validates an exported Chrome trace (and optionally a metrics JSON).
+
+Usage: validate_trace.py TRACE_JSON [METRICS_JSON]
+
+Checks, exiting non-zero on the first violation:
+  - the trace file is valid JSON with a non-empty "traceEvents" list;
+  - every event carries args.span_id, span ids are unique;
+  - every non-zero args.parent_id refers to a recorded span with a smaller
+    id (creation order) and the same tid (= trace id) — which makes every
+    span tree acyclic by construction;
+  - the optional metrics file is valid JSON with the counters / gauges /
+    histograms sections.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    by_id = {}
+    for ev in events:
+        args = ev.get("args", {})
+        span_id = args.get("span_id")
+        if not isinstance(span_id, int) or span_id <= 0:
+            fail(f"{path}: event without a positive args.span_id: {ev}")
+        if span_id in by_id:
+            fail(f"{path}: duplicate span id {span_id}")
+        by_id[span_id] = ev
+    for ev in events:
+        span_id = ev["args"]["span_id"]
+        parent_id = ev["args"].get("parent_id", 0)
+        if parent_id == 0:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            fail(f"{path}: span {span_id} has unknown parent {parent_id}")
+        if parent_id >= span_id:
+            fail(f"{path}: span {span_id} parent {parent_id} not older "
+                 "(cycle risk)")
+        if parent.get("tid") != ev.get("tid"):
+            fail(f"{path}: span {span_id} crosses traces to parent "
+                 f"{parent_id}")
+    roots = sum(1 for ev in events if ev["args"].get("parent_id", 0) == 0)
+    print(f"validate_trace: {path}: {len(events)} span(s), {roots} tree(s), "
+          "acyclic")
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(f"{path}: missing \"{section}\" section")
+    print(f"validate_trace: {path}: {len(doc['counters'])} counter(s), "
+          f"{len(doc['gauges'])} gauge(s), {len(doc['histograms'])} "
+          "histogram(s)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    validate_trace(sys.argv[1])
+    if len(sys.argv) > 2:
+        validate_metrics(sys.argv[2])
+    print("validate_trace: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,9 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <map>
+#include <optional>
 
 namespace gridvine {
 
@@ -20,15 +23,90 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+std::optional<LogLevel> ParseLevelName(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warning" || name == "warn") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+/// Parsed GV_LOG spec: per-component overrides plus an optional bare-level
+/// default for components without one.
+struct LogSpec {
+  std::map<std::string, LogLevel, std::less<>> components;
+  std::optional<LogLevel> default_level;
+};
+
+LogSpec ParseLogSpec(const char* spec) {
+  LogSpec out;
+  if (spec == nullptr) return out;
+  std::string_view rest(spec);
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                          : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      if (auto level = ParseLevelName(entry)) out.default_level = *level;
+      continue;
+    }
+    auto level = ParseLevelName(entry.substr(eq + 1));
+    if (level) out.components.emplace(entry.substr(0, eq), *level);
+  }
+  return out;
+}
+
+const char* g_spec_override = nullptr;
+bool g_spec_overridden = false;
+
+const LogSpec& GetLogSpec() {
+  // Parsed lazily on first GV_CLOG; the test hook below re-parses.
+  static LogSpec spec = ParseLogSpec(
+      g_spec_overridden ? g_spec_override : std::getenv("GV_LOG"));
+  static bool last_overridden = g_spec_overridden;
+  static const char* last_override = g_spec_override;
+  if (last_overridden != g_spec_overridden ||
+      last_override != g_spec_override) {
+    spec = ParseLogSpec(g_spec_overridden ? g_spec_override
+                                          : std::getenv("GV_LOG"));
+    last_overridden = g_spec_overridden;
+    last_override = g_spec_override;
+  }
+  return spec;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+LogLevel LogLevelFor(std::string_view component) {
+  const LogSpec& spec = GetLogSpec();
+  auto it = spec.components.find(component);
+  if (it != spec.components.end()) return it->second;
+  if (spec.default_level) return *spec.default_level;
+  return GetLogLevel();
+}
+
+namespace internal {
+void ResetLogSpecForTest(const char* spec) {
+  g_spec_override = spec;
+  g_spec_overridden = spec != nullptr;
+  GetLogSpec();  // force re-parse now
+}
+}  // namespace internal
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= GetLogLevel()) {
+    : LogMessage(level, file, line, level >= GetLogLevel()) {}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       bool enabled)
+    : enabled_(enabled) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace gridvine {
 
@@ -15,12 +16,31 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Per-component minimum level for GV_CLOG, overridable without recompiling
+/// through the GV_LOG environment variable (parsed once, on first use):
+///
+///   GV_LOG=debug                      everything at debug
+///   GV_LOG=pgrid=debug                only the pgrid component at debug
+///   GV_LOG=info,gridvine=debug        default info, gridvine at debug
+///
+/// Components without an override use the bare-level entry if present, else
+/// the process-wide GetLogLevel(). Unknown level names are ignored.
+LogLevel LogLevelFor(std::string_view component);
+
+/// Test hook: re-parse from `spec` instead of the environment (nullptr
+/// restores environment parsing on next use).
+namespace internal {
+void ResetLogSpecForTest(const char* spec);
+}  // namespace internal
+
 namespace internal {
 
 /// Stream-style log sink; flushes one line to stderr on destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  /// For GV_CLOG: the caller decides enablement (per-component threshold).
+  LogMessage(LogLevel level, const char* file, int line, bool enabled);
   ~LogMessage();
 
   template <typename T>
@@ -40,5 +60,13 @@ class LogMessage {
 #define GV_LOG(level)                                                  \
   ::gridvine::internal::LogMessage(::gridvine::LogLevel::k##level,     \
                                    __FILE__, __LINE__)
+
+/// Component-scoped logging: GV_CLOG("pgrid", Debug) << ... obeys the
+/// per-component threshold from the GV_LOG environment variable.
+#define GV_CLOG(component, level)                                      \
+  ::gridvine::internal::LogMessage(                                    \
+      ::gridvine::LogLevel::k##level, __FILE__, __LINE__,              \
+      ::gridvine::LogLevel::k##level >=                                \
+          ::gridvine::LogLevelFor(component))
 
 #endif  // GRIDVINE_COMMON_LOGGING_H_

@@ -1,0 +1,118 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace gridvine {
+
+uint64_t& MetricsRegistry::Counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return it->second;
+}
+
+double& MetricsRegistry::Gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0.0).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::Histo(std::string_view name,
+                                  std::vector<double> edges) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(std::move(edges)))
+             .first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::Observe(std::string_view name, std::vector<double> edges,
+                              double value) {
+  Histo(name, std::move(edges)).Add(value);
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+void AppendJsonKey(std::ostringstream& os, const std::string& key) {
+  os << "\"";
+  for (char c : key) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << "\"";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonKey(os, name);
+    os << ": " << value;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonKey(os, name);
+    os << ": " << value;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonKey(os, name);
+    os << ": {\"count\": " << h.count() << ", \"p50\": " << h.Percentile(0.5)
+       << ", \"p90\": " << h.Percentile(0.9)
+       << ", \"p99\": " << h.Percentile(0.99) << ", \"buckets\": [";
+    const auto& edges = h.edges();
+    for (size_t b = 0; b < h.num_buckets(); ++b) {
+      if (b > 0) os << ", ";
+      os << "{\"le\": ";
+      if (b < edges.size()) {
+        os << edges[b];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << h.bucket_count(b) << "}";
+    }
+    os << "]}";
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Flatten() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 4);
+  for (const auto& [name, value] : counters_) {
+    out.emplace_back(name, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : gauges_) out.emplace_back(name, value);
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name + ".count", static_cast<double>(h.count()));
+    out.emplace_back(name + ".p50", h.Percentile(0.5));
+    out.emplace_back(name + ".p90", h.Percentile(0.9));
+    out.emplace_back(name + ".p99", h.Percentile(0.99));
+  }
+  return out;
+}
+
+}  // namespace gridvine

@@ -1,0 +1,64 @@
+#ifndef GRIDVINE_COMMON_METRICS_H_
+#define GRIDVINE_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace gridvine {
+
+/// A flat registry of named counters, gauges and fixed-bucket histograms the
+/// peers and the network publish into — the single snapshot surface behind
+/// the shell's `metrics` command and the benches' JSON reports.
+///
+/// Naming convention (docs/ARCHITECTURE.md section 3.6): dotted paths,
+/// layer-first — "net.messages_sent", "pgrid.retries", "gv.queries_issued",
+/// "net.msg.<type>.sent". Not thread-safe (the simulator is
+/// single-threaded). References returned by the accessors stay valid until
+/// Clear() — the maps are node-based.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Monotonic counter; created at zero on first use. Publishers add into
+  /// it (`Counter("pgrid.retries") += n`) so per-peer publications aggregate.
+  uint64_t& Counter(std::string_view name);
+  /// Point-in-time value (sizes, ratios); created at zero on first use.
+  double& Gauge(std::string_view name);
+  /// Fixed-bucket histogram (stats.h); `edges` is used only on first
+  /// creation of `name`.
+  Histogram& Histo(std::string_view name, std::vector<double> edges);
+  /// Convenience: add one observation to Histo(name, edges).
+  void Observe(std::string_view name, std::vector<double> edges, double value);
+
+  void Clear();
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"count": n,
+  /// "p50": ..., "p90": ..., "p99": ..., "buckets": [{"le": edge, "count":
+  /// n}, ...]}}} — keys sorted, so a snapshot diffs cleanly.
+  std::string ToJson() const;
+
+  /// Counters + gauges + histogram percentiles as (name, value) rows, for
+  /// bench_json.h consumption. Histograms contribute "<name>.p50" / ".p90" /
+  /// ".p99" / ".count".
+  std::vector<std::pair<std::string, double>> Flatten() const;
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_COMMON_METRICS_H_

@@ -53,8 +53,14 @@ double SampleStats::Percentile(double p) const {
   if (samples_.empty()) return 0;
   EnsureSorted();
   p = std::clamp(p, 0.0, 1.0);
-  size_t idx = size_t(p * double(samples_.size() - 1) + 0.5);
-  return samples_[idx];
+  // Nearest-rank: the smallest sample with at least p*n samples at or below
+  // it. Rank ceil(p*n) (1-based), so p=0 pins to the minimum and p=1 to the
+  // maximum exactly instead of relying on rounding.
+  if (p <= 0.0) return samples_.front();
+  size_t rank = size_t(std::ceil(p * double(samples_.size())));
+  if (rank < 1) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
+  return samples_[rank - 1];
 }
 
 double SampleStats::FractionAtMost(double bound) const {
@@ -96,6 +102,36 @@ const std::vector<double>& SampleStats::sorted() const {
 Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
   std::sort(edges_.begin(), edges_.end());
   counts_.assign(edges_.size() + 1, 0);
+}
+
+Histogram Histogram::Exponential(double start, double factor, size_t count) {
+  std::vector<double> edges;
+  edges.reserve(count);
+  double edge = start;
+  for (size_t i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return Histogram(std::move(edges));
+}
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0 || edges_.empty()) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  size_t rank = p <= 0.0 ? 1 : size_t(std::ceil(p * double(total_)));
+  if (rank < 1) rank = 1;
+  if (rank > total_) rank = total_;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      // Bucket b spans [edges_[b-1], edges_[b]); answer the upper edge. The
+      // underflow bucket answers edges_.front(), the overflow bucket has no
+      // upper edge so it answers its lower bound, edges_.back().
+      return b < edges_.size() ? edges_[b] : edges_.back();
+    }
+  }
+  return edges_.back();
 }
 
 void Histogram::Add(double value) {

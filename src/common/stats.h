@@ -51,15 +51,31 @@ class SampleStats {
 };
 
 /// Fixed-bucket histogram for printing latency/size distributions in bench
-/// output.
+/// output and for the MetricsRegistry, where sorted-sample percentiles
+/// (O(n log n) per snapshot) would be too expensive. Percentile answers are
+/// quantized to bucket upper edges — pick edges to the resolution you need.
 class Histogram {
  public:
   /// Buckets: [edges[0], edges[1]), [edges[1], edges[2]), ...; samples below
   /// the first edge and at/above the last land in two open-ended buckets.
   explicit Histogram(std::vector<double> edges);
 
+  /// `count` geometric edges: start, start*factor, start*factor^2, ...
+  /// The usual shape for latencies/sizes spanning orders of magnitude.
+  static Histogram Exponential(double start, double factor, size_t count);
+
   void Add(double value);
   size_t total() const { return total_; }
+  size_t count() const { return total_; }
+
+  /// p in [0, 1]; nearest-rank over buckets, answering the containing
+  /// bucket's upper edge (the open-ended overflow bucket answers the last
+  /// edge — its lower bound). 0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<double>& edges() const { return edges_; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t bucket) const { return counts_[bucket]; }
 
   /// One line per bucket: "[lo, hi)  count  ####".
   std::string Format(int bar_width = 40) const;

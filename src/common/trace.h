@@ -1,0 +1,140 @@
+#ifndef GRIDVINE_COMMON_TRACE_H_
+#define GRIDVINE_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gridvine {
+
+/// Causal trace context carried on every simulated message and delivery: the
+/// trace (one user-visible operation) and the span that caused the carrier.
+/// 16 bytes, trivially copyable — riding it on a message body or a Delivery
+/// record costs two register copies and no allocation. A zero span_id means
+/// "not traced" (the disabled-mode default).
+struct TraceCtx {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return span_id != 0; }
+};
+
+/// Records spans — named intervals of *simulated* time with a parent link
+/// and key/value annotations — into a bounded ring buffer, and exports them
+/// as Chrome trace_event JSON (loadable in chrome://tracing or Perfetto).
+///
+/// Contracts:
+///   - Disabled (the default), every call is a cheap early-out and performs
+///     no allocation; the send+delivery hot path stays zero-alloc.
+///   - Span ids come from a plain counter, and no call draws from any Rng —
+///     enabling tracing never perturbs a seeded run.
+///   - The ring overwrites the oldest span once `capacity` is exceeded
+///     (`evicted()` counts casualties); consistency checks require a
+///     capacity that held the whole run.
+///
+/// Timestamps come from the clock callback (normally Simulator::Now via
+/// SetClock); without one, spans sit at t = 0.
+class Tracer {
+ public:
+  struct Annotation {
+    std::string key;
+    bool is_number = true;
+    double number = 0;
+    std::string text;
+  };
+
+  struct Span {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_id = 0;  ///< 0 for a trace root
+    std::string_view name;   ///< literal or interned — storage outlives us
+    double start = 0;
+    double end = -1;  ///< simulated seconds; -1 while open
+    std::vector<Annotation> annotations;
+  };
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The simulated-time source for span timestamps.
+  void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  bool enabled() const { return enabled_; }
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable() { enabled_ = false; }
+  /// Drops every recorded span (enabled state and capacity kept).
+  void Clear();
+
+  /// Opens a root span: a new trace. Returns the invalid ctx when disabled.
+  TraceCtx StartTrace(std::string_view name);
+  /// Opens a child of `parent`; an invalid parent starts a new trace.
+  TraceCtx StartSpan(std::string_view name, TraceCtx parent);
+  void EndSpan(TraceCtx ctx);
+  /// Zero-duration marker span (retries, drops observed elsewhere).
+  TraceCtx Instant(std::string_view name, TraceCtx parent);
+
+  void Annotate(TraceCtx ctx, std::string_view key, double value);
+  void Annotate(TraceCtx ctx, std::string_view key, std::string_view value);
+
+  size_t size() const { return ring_.size(); }
+  uint64_t evicted() const { return evicted_; }
+
+  /// The recorded spans, oldest first.
+  std::vector<Span> Snapshot() const;
+
+  /// Chrome trace_event JSON: one "X" (complete) event per span, ts/dur in
+  /// microseconds of simulated time, tid = trace id, span/parent ids and
+  /// annotations in args.
+  std::string ToChromeJson() const;
+
+ private:
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+
+  double Now() const { return clock_ ? clock_() : 0.0; }
+  /// Slot for a live ctx, or nullptr (ended span evicted, or stale ctx).
+  Span* Find(TraceCtx ctx);
+  TraceCtx Open(std::string_view name, uint64_t trace_id, uint64_t parent_id);
+
+  bool enabled_ = false;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t next_id_ = 1;
+  uint64_t evicted_ = 0;
+  std::vector<Span> ring_;
+  size_t head_ = 0;  ///< next slot to overwrite once the ring is full
+  /// span_id -> ring slot, for EndSpan/Annotate on spans still buffered.
+  std::unordered_map<uint64_t, size_t> index_;
+  std::function<double()> clock_;
+};
+
+/// Read-side helper over a span snapshot: per-trace counts and the
+/// structural consistency invariant the chaos harness asserts.
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(std::vector<Tracer::Span> spans);
+
+  const std::vector<Tracer::Span>& spans() const { return spans_; }
+  const Tracer::Span* Find(uint64_t span_id) const;
+
+  /// Spans with this exact name (across all traces / within one trace).
+  size_t CountNamed(std::string_view name) const;
+  size_t CountNamed(std::string_view name, uint64_t trace_id) const;
+  /// Spans still open (end < 0).
+  size_t OpenCount() const;
+
+  /// Structural invariants: unique span ids, every parent present with a
+  /// smaller id (creation order — hence acyclic) and the same trace id.
+  /// Returns the empty string when consistent, else a description of the
+  /// first violation. Only meaningful when the tracer evicted nothing.
+  std::string CheckConsistency() const;
+
+ private:
+  std::vector<Tracer::Span> spans_;
+  std::unordered_map<uint64_t, size_t> by_id_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_COMMON_TRACE_H_

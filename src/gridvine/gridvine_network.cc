@@ -4,8 +4,10 @@ namespace gridvine {
 
 GridVineNetwork::GridVineNetwork(Options options)
     : options_(options), rng_(options.seed) {
+  tracer_.SetClock([this] { return sim_.Now(); });
   network_ = std::make_unique<Network>(&sim_, MakeLatency(), rng_.Fork(),
                                        options_.loss_probability);
+  network_->SetTracer(&tracer_);
   options_.peer.key_depth = options_.key_depth;
   options_.overlay.key_depth = options_.key_depth;
   for (size_t i = 0; i < options_.num_peers; ++i) {
@@ -36,6 +38,16 @@ std::vector<PGridPeer*> GridVineNetwork::overlay_peers() {
   out.reserve(peers_.size());
   for (auto& p : peers_) out.push_back(p->overlay());
   return out;
+}
+
+MetricsRegistry& GridVineNetwork::CollectMetrics() {
+  metrics_.Clear();
+  network_->PublishMetrics(&metrics_);
+  for (auto& p : peers_) {
+    p->PublishMetrics(&metrics_);
+    p->overlay()->PublishMetrics(&metrics_);
+  }
+  return metrics_;
 }
 
 void GridVineNetwork::RebuildOverlayAdaptive(const std::vector<Key>& sample) {

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "gridvine/gridvine_peer.h"
 #include "pgrid/pgrid_builder.h"
 #include "sim/latency.h"
@@ -53,6 +55,17 @@ class GridVineNetwork {
   Simulator* sim() { return &sim_; }
   Network* network() { return network_.get(); }
   Rng* rng() { return &rng_; }
+
+  /// The deployment's tracer, pre-wired into the transport and clocked on
+  /// simulated time. Disabled (zero-cost) until tracer()->Enable().
+  Tracer* tracer() { return &tracer_; }
+
+  /// Scratch registry for CollectMetrics; also usable directly.
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Clears the registry and republishes a fresh snapshot from the network
+  /// and every peer (both layers); returns it.
+  MetricsRegistry& CollectMetrics();
 
   size_t size() const { return peers_.size(); }
   GridVinePeer* peer(size_t i) { return peers_[i].get(); }
@@ -103,6 +116,8 @@ class GridVineNetwork {
   Options options_;
   Simulator sim_;
   Rng rng_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<GridVinePeer>> peers_;
 };

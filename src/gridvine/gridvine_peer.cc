@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "query/exec/bind.h"
 #include "query/planner.h"
@@ -308,6 +309,41 @@ void GridVinePeer::FetchDomainDegrees(
       });
 }
 
+// --- Observability --------------------------------------------------------------
+
+Tracer* GridVinePeer::LiveTracer() const {
+  Tracer* tr = network_->tracer();
+  return (tr != nullptr && tr->enabled()) ? tr : nullptr;
+}
+
+// Picks the span a responder-side marker should attach to. The ambient
+// delivery ctx is the request's own flight span only when it belongs to the
+// same trace as the ctx carried on the request; then it is the deeper, better
+// parent. Otherwise the request was handed over synchronously while some
+// unrelated delivery (e.g. the mapping-fetch response that triggered a
+// reformulation) was ambient, and the carried ctx is authoritative.
+TraceCtx GridVinePeer::ResponderParent(const TraceCtx& carried) const {
+  TraceCtx ambient = network_->ambient_ctx();
+  if (ambient.valid() &&
+      (!carried.valid() || ambient.trace_id == carried.trace_id)) {
+    return ambient;
+  }
+  return carried;
+}
+
+void GridVinePeer::PublishMetrics(MetricsRegistry* metrics) const {
+  metrics->Counter("gv.queries_issued") += counters_.queries_issued;
+  metrics->Counter("gv.queries_answered") += counters_.queries_answered;
+  metrics->Counter("gv.reformulations_performed") +=
+      counters_.reformulations_performed;
+  metrics->Counter("gv.bound_scans_answered") +=
+      counters_.bound_scans_answered;
+  metrics->Counter("gv.result_rows_sent") += counters_.result_rows_sent;
+  metrics->Counter("gv.local_db_triples") += local_db_.size();
+  metrics->Gauge("gv.pending_queries") += double(pending_queries_.size());
+  metrics->Gauge("gv.active_execs") += double(active_execs_.size());
+}
+
 // --- Query engine ---------------------------------------------------------------
 
 uint64_t GridVinePeer::StartQuery(
@@ -321,6 +357,14 @@ uint64_t GridVinePeer::StartQuery(
   p.started = sim_->Now();
   p.on_finish = std::move(on_finish);
   p.visited.insert(query.SchemaName());
+  if (Tracer* tr = LiveTracer()) {
+    // Parent preference: an explicit caller span (the conjunctive executor's
+    // operator), else the ambient delivery ctx, else a fresh trace root.
+    TraceCtx parent = options.trace_parent.valid() ? options.trace_parent
+                                                   : network_->ambient_ctx();
+    p.span = tr->StartSpan("op.search", parent);
+    tr->Annotate(p.span, "schema", query.SchemaName());
+  }
   pending_queries_.emplace(qid, std::move(p));
 
   int max_hops = options.max_hops >= 0 ? options.max_hops
@@ -329,7 +373,11 @@ uint64_t GridVinePeer::StartQuery(
       options.timeout > 0 ? options.timeout : options_.query_timeout;
 
   PendingQuery& pq = pending_queries_.at(qid);
-  pq.outstanding = 1;
+  // One unit for the initial dispatch plus a setup guard: when the origin is
+  // itself responsible for the query key, the dispatch can answer
+  // synchronously, and without the guard the branch count would hit zero and
+  // close the query before IterativeExpand gets to register its mapping fetch.
+  pq.outstanding = 2;
   int ttl = options.reformulate &&
                     options.mode == ReformulationMode::kRecursive
                 ? max_hops
@@ -339,6 +387,11 @@ uint64_t GridVinePeer::StartQuery(
 
   if (options.reformulate && options.mode == ReformulationMode::kIterative) {
     IterativeExpand(qid, query, {query.SchemaName()}, 0, 0, 1.0);
+  }
+  auto again = pending_queries_.find(qid);
+  if (again != pending_queries_.end() && !again->second.closed) {
+    --again->second.outstanding;  // release the setup guard
+    MaybeFinishIterative(qid);
   }
 
   sim_->Schedule(timeout, [this, qid] { FinishQuery(qid); });
@@ -362,6 +415,7 @@ void GridVinePeer::SearchFor(const TriplePatternQuery& query,
     res.reformulations = p.reformulations;
     res.latency = sim_->Now() - p.started;
     res.first_result_latency = p.first_result;
+    res.trace_id = p.span.trace_id;
     // Deduplicate by (schema, value), both interned to compact ids — no
     // per-item string-pair keys; earliest arrival wins. Items keep their
     // first-seen slot, so insertion order (hence the stable sort below) is
@@ -454,8 +508,12 @@ void GridVinePeer::DispatchQuery(uint64_t qid, const TriplePatternQuery& query,
       // retained so a retry re-routes the identical payload.
       uint64_t did = next_dispatch_id_++;
       req->dispatch_id = did;
-      it2->second.open_dispatches.emplace(did,
-                                          OpenDispatch{req, route_key, 1});
+      OpenDispatch od{req, route_key, 1, TraceCtx{}};
+      if (Tracer* tr = LiveTracer()) {
+        od.span = tr->StartSpan("op.dispatch", it2->second.span);
+        req->trace_ctx = od.span;
+      }
+      it2->second.open_dispatches.emplace(did, std::move(od));
       // Route may answer synchronously (origin responsible): emplace first.
       overlay_->Route(route_key, req);
       ArmDispatchTimer(qid, did, 1);
@@ -471,6 +529,9 @@ void GridVinePeer::DispatchQuery(uint64_t qid, const TriplePatternQuery& query,
   auto it = pending_queries_.find(qid);
   if (it != pending_queries_.end() && reply_to == id()) {
     it->second.used_range_dispatch = true;
+    // Range branches are untracked (unknown responder count); their flights
+    // parent directly on the query span.
+    req->trace_ctx = it->second.span;
   }
   overlay_->RouteRange(hash_.SubtreeFor(*range_prefix), std::move(req));
 }
@@ -538,6 +599,9 @@ void GridVinePeer::ArmDispatchTimer(uint64_t qid, uint64_t did, int attempt) {
     int next_attempt = d->second.attempts;
     Key route_key = d->second.route_key;
     std::shared_ptr<QueryRequest> req = d->second.req;
+    if (Tracer* tr = LiveTracer()) {
+      if (d->second.span.valid()) tr->Instant("op.retry", d->second.span);
+    }
     // Route can resolve synchronously and erase the dispatch; do not touch
     // `d` past this point.
     overlay_->Route(route_key, std::move(req));
@@ -546,6 +610,13 @@ void GridVinePeer::ArmDispatchTimer(uint64_t qid, uint64_t did, int attempt) {
 }
 
 void GridVinePeer::CloseDispatch(PendingQuery& p, uint64_t qid, uint64_t did) {
+  auto od = p.open_dispatches.find(did);
+  if (od != p.open_dispatches.end() && od->second.span.valid()) {
+    if (Tracer* tr = LiveTracer()) {
+      tr->Annotate(od->second.span, "attempts", double(od->second.attempts));
+      tr->EndSpan(od->second.span);
+    }
+  }
   p.open_dispatches.erase(did);
   bool iterative = !p.options.reformulate ||
                    p.options.mode == ReformulationMode::kIterative;
@@ -571,6 +642,20 @@ void GridVinePeer::FinishQuery(uint64_t qid) {
   it->second.closed = true;
   PendingQuery p = std::move(it->second);
   pending_queries_.erase(it);
+  if (p.span.valid()) {
+    if (Tracer* tr = LiveTracer()) {
+      // Branches still open at the timeout end with the query.
+      for (auto& [did, od] : p.open_dispatches) {
+        if (!od.span.valid()) continue;
+        tr->Annotate(od.span, "timed_out", 1.0);
+        tr->EndSpan(od.span);
+      }
+      tr->Annotate(p.span, "reformulations", double(p.reformulations));
+      tr->Annotate(p.span, "batches", double(p.batches.size()));
+      tr->Annotate(p.span, "schemas", double(p.schemas_answered.size()));
+      tr->EndSpan(p.span);
+    }
+  }
   p.on_finish(p);
 }
 
@@ -590,15 +675,16 @@ void GridVinePeer::OnExtensionMessage(
                  dynamic_cast<const BoundScanResponse*>(payload.get())) {
     HandleBoundScanResponse(*bresp);
   } else {
-    GV_LOG(Warning) << "gridvine peer " << id() << ": unknown payload "
-                    << payload->TypeTag().name();
+    GV_CLOG("gridvine", Warning) << "gridvine peer " << id()
+                                 << ": unknown payload "
+                                 << payload->TypeTag().name();
   }
 }
 
 void GridVinePeer::HandleQueryRequest(const QueryRequest& req) {
   auto query = TriplePatternQuery::Parse(req.query);
   if (!query.ok()) {
-    GV_LOG(Warning) << "bad query payload: " << query.status();
+    GV_CLOG("gridvine", Warning) << "bad query payload: " << query.status();
     return;
   }
   std::string schema = query->SchemaName();
@@ -613,6 +699,13 @@ void GridVinePeer::HandleQueryRequest(const QueryRequest& req) {
   ++counters_.queries_answered;
   auto rows = local_db_.MatchPattern(query->pattern());
   counters_.result_rows_sent += rows.size();
+  if (Tracer* tr = LiveTracer()) {
+    // Marks the answering peer inside the request flight's subtree; the
+    // response itself chains under the same flight via the ambient ctx.
+    TraceCtx mark = tr->Instant("op.answer", ResponderParent(req.trace_ctx));
+    tr->Annotate(mark, "schema", schema);
+    tr->Annotate(mark, "rows", double(rows.size()));
+  }
   auto resp = std::make_shared<QueryResponse>();
   resp->query_id = req.query_id;
   resp->dispatch_id = req.dispatch_id;
@@ -718,6 +811,10 @@ class GridVinePeer::ExecBackend : public QueryBackend {
   ExecBackend(GridVinePeer* peer, uint64_t exec_id, QueryOptions options)
       : peer_(peer), exec_id_(exec_id), options_(std::move(options)) {}
 
+  /// The executor hands us its current operator span; sub-queries and
+  /// bound-scan branches parent there.
+  void SetCallCtx(TraceCtx ctx) override { call_ctx_ = ctx; }
+
   void Scan(const TriplePattern& pattern, ScanCallback cb) override {
     auto vars = pattern.Variables();
     if (vars.empty()) {
@@ -727,7 +824,9 @@ class GridVinePeer::ExecBackend : public QueryBackend {
     }
     // Any variable serves as the distinguished one; rows carry all bindings.
     TriplePatternQuery sub(vars[0], pattern);
-    peer_->StartQuery(sub, options_, [cb](PendingQuery& p) {
+    QueryOptions sub_options = options_;
+    if (call_ctx_.valid()) sub_options.trace_parent = call_ctx_;
+    peer_->StartQuery(sub, sub_options, [cb](PendingQuery& p) {
       ScanResult r;
       r.status = Status::OK();
       // Union the batches' rows, deduplicated with interned keys.
@@ -743,7 +842,8 @@ class GridVinePeer::ExecBackend : public QueryBackend {
 
   void BoundScan(const TriplePattern& pattern, std::vector<BindingSet> probes,
                  BoundScanCallback cb) override {
-    peer_->StartBoundScan(exec_id_, pattern, std::move(probes), std::move(cb));
+    peer_->StartBoundScan(exec_id_, pattern, std::move(probes), std::move(cb),
+                          call_ctx_);
   }
 
   void Exists(const TriplePattern& pattern,
@@ -752,20 +852,23 @@ class GridVinePeer::ExecBackend : public QueryBackend {
     // (by StartBoundScan) to the pattern's subject key: the destination
     // answers with an empty-or-singleton row set.
     std::vector<BindingSet> probes(1);
-    peer_->StartBoundScan(exec_id_, pattern, std::move(probes),
-                          [cb](BoundScanResult r) {
-                            if (!r.status.ok()) {
-                              cb(std::move(r.status));
-                              return;
-                            }
-                            cb(!r.rows.empty());
-                          });
+    peer_->StartBoundScan(
+        exec_id_, pattern, std::move(probes),
+        [cb](BoundScanResult r) {
+          if (!r.status.ok()) {
+            cb(std::move(r.status));
+            return;
+          }
+          cb(!r.rows.empty());
+        },
+        call_ctx_);
   }
 
  private:
   GridVinePeer* peer_;
   uint64_t exec_id_;
   QueryOptions options_;
+  TraceCtx call_ctx_;
 };
 
 void GridVinePeer::SearchForConjunctive(
@@ -788,15 +891,30 @@ void GridVinePeer::SearchForConjunctive(
   ae->backend = std::make_unique<ExecBackend>(this, exec_id, options);
   ae->executor = std::make_unique<ConjunctiveExecutor>(query, std::move(plan),
                                                        ae->backend.get());
+  if (Tracer* tr = LiveTracer()) {
+    ae->span = tr->StartSpan("op.cquery", network_->ambient_ctx());
+    tr->Annotate(ae->span, "patterns", double(query.patterns().size()));
+    ae->executor->EnableTracing(tr, ae->span);
+  }
   active_execs_.emplace(exec_id, ae);
   SimTime started = sim_->Now();
-  ae->executor->Run([this, exec_id, started,
+  TraceCtx cspan = ae->span;
+  ae->executor->Run([this, exec_id, started, cspan,
                      cb](ConjunctiveExecutor::ExecResult r) {
     ConjunctiveResult res;
     res.status = std::move(r.status);
     res.rows = std::move(r.rows);
     res.metrics = r.metrics;
     res.latency = sim_->Now() - started;
+    res.trace_id = cspan.trace_id;
+    if (cspan.valid()) {
+      if (Tracer* tr = LiveTracer()) {
+        tr->Annotate(cspan, "rows", double(res.rows.size()));
+        tr->Annotate(cspan, "rows_shipped", double(res.metrics.RowsShipped()));
+        if (!res.status.ok()) tr->Annotate(cspan, "error", 1.0);
+        tr->EndSpan(cspan);
+      }
+    }
     // The done callback fires from inside executor code: unregister the
     // exec now (no new transport events can reach it) but keep the objects
     // alive until the stack unwinds.
@@ -815,7 +933,8 @@ void GridVinePeer::SearchForConjunctive(
 void GridVinePeer::StartBoundScan(uint64_t exec_id,
                                   const TriplePattern& pattern,
                                   std::vector<BindingSet> probes,
-                                  QueryBackend::BoundScanCallback cb) {
+                                  QueryBackend::BoundScanCallback cb,
+                                  TraceCtx trace_parent) {
   auto it = active_execs_.find(exec_id);
   if (it == active_execs_.end()) {
     cb({Status::Internal("bound scan for unknown executor"), {}});
@@ -875,6 +994,11 @@ void GridVinePeer::StartBoundScan(uint64_t exec_id,
     ob.route_key = key;
     ob.call_id = call_id;
     ob.global_index = std::move(b.global_index);
+    if (Tracer* tr = LiveTracer()) {
+      ob.span = tr->StartSpan("op.bound_scan", trace_parent);
+      tr->Annotate(ob.span, "probes", double(ob.global_index.size()));
+      req->trace_ctx = ob.span;
+    }
     ae.open_scans.emplace(did, std::move(ob));
     // Route may deliver locally (synchronously); the branch must be
     // registered first. The response itself always arrives asynchronously
@@ -904,6 +1028,9 @@ void GridVinePeer::ArmBoundScanTimer(uint64_t exec_id, uint64_t did,
     int next_attempt = d->second.attempts;
     Key route_key = d->second.route_key;
     std::shared_ptr<BoundScanRequest> req = d->second.req;
+    if (Tracer* tr = LiveTracer()) {
+      if (d->second.span.valid()) tr->Instant("op.retry", d->second.span);
+    }
     overlay_->Route(route_key, std::move(req));
     ArmBoundScanTimer(exec_id, did, next_attempt);
   });
@@ -917,6 +1044,13 @@ void GridVinePeer::CloseBoundScan(uint64_t exec_id, uint64_t did,
   auto d = ae.open_scans.find(did);
   if (d == ae.open_scans.end()) return;
   uint64_t call_id = d->second.call_id;
+  if (d->second.span.valid()) {
+    if (Tracer* tr = LiveTracer()) {
+      tr->Annotate(d->second.span, "attempts", double(d->second.attempts));
+      if (!answered) tr->Annotate(d->second.span, "timed_out", 1.0);
+      tr->EndSpan(d->second.span);
+    }
+  }
   ae.open_scans.erase(d);
   auto c = ae.calls.find(call_id);
   if (c == ae.calls.end()) return;
@@ -946,14 +1080,16 @@ void GridVinePeer::ResolveBoundCall(uint64_t exec_id, uint64_t call_id) {
 void GridVinePeer::HandleBoundScanRequest(const BoundScanRequest& req) {
   auto pattern = TriplePattern::Parse(req.pattern);
   if (!pattern.ok()) {
-    GV_LOG(Warning) << "bad bound scan pattern: " << pattern.status();
+    GV_CLOG("gridvine", Warning)
+        << "bad bound scan pattern: " << pattern.status();
     return;
   }
   std::vector<BindingSet> probes;
   if (!req.probes.empty()) {
     auto parsed = ParseBindings(req.probes);
     if (!parsed.ok()) {
-      GV_LOG(Warning) << "bad bound scan probes: " << parsed.status();
+      GV_CLOG("gridvine", Warning)
+          << "bad bound scan probes: " << parsed.status();
       return;
     }
     probes = std::move(parsed).value();
@@ -963,6 +1099,11 @@ void GridVinePeer::HandleBoundScanRequest(const BoundScanRequest& req) {
   if (probes.empty()) probes.emplace_back();
 
   ++counters_.bound_scans_answered;
+  if (Tracer* tr = LiveTracer()) {
+    TraceCtx mark =
+        tr->Instant("op.bound_answer", ResponderParent(req.trace_ctx));
+    tr->Annotate(mark, "probes", double(probes.size()));
+  }
   auto resp = std::make_shared<BoundScanResponse>();
   resp->exec_id = req.exec_id;
   resp->dispatch_id = req.dispatch_id;
@@ -1008,7 +1149,8 @@ void GridVinePeer::HandleBoundScanResponse(const BoundScanResponse& resp) {
   if (!resp.rows.empty()) {
     auto rows = ParseBindings(resp.rows);
     if (!rows.ok()) {
-      GV_LOG(Warning) << "bad bound scan rows: " << rows.status();
+      GV_CLOG("gridvine", Warning)
+          << "bad bound scan rows: " << rows.status();
       return;  // keep the branch open; a retry may deliver a clean copy
     }
     parsed = std::move(rows).value();
@@ -1017,7 +1159,7 @@ void GridVinePeer::HandleBoundScanResponse(const BoundScanResponse& resp) {
   // handler); reconstruct them from the probe_index count.
   if (parsed.size() != resp.probe_index.size()) {
     if (!parsed.empty()) {
-      GV_LOG(Warning) << "bound scan rows/probe_index mismatch";
+      GV_CLOG("gridvine", Warning) << "bound scan rows/probe_index mismatch";
       return;
     }
     parsed.resize(resp.probe_index.size());

@@ -173,6 +173,10 @@ class GridVinePeer {
     std::function<void(const std::string& schema, size_t rows,
                        SimTime arrival)>
         on_answer;
+    /// Causal parent for the query's "op.search" span (the conjunctive
+    /// executor routes its operator spans here). Invalid = parent on the
+    /// ambient delivery ctx, or start a fresh trace.
+    TraceCtx trace_parent{};
   };
 
   /// One value of the distinguished variable, with provenance.
@@ -191,6 +195,9 @@ class GridVinePeer {
     size_t reformulations = 0;
     SimTime latency = 0;       ///< issue-to-completion simulated seconds
     SimTime first_result_latency = -1;  ///< -1 when no results
+    /// Trace of this query's span tree (0 when tracing was off) — the bench
+    /// key for per-query hop/retry counts from the tracer's snapshot.
+    uint64_t trace_id = 0;
   };
   using QueryCallback = std::function<void(QueryResult)>;
 
@@ -211,6 +218,8 @@ class GridVinePeer {
     SimTime latency = 0;
     /// Issuer-side shipping accounting for this query.
     ConjunctiveExecutor::Metrics metrics;
+    /// Trace of the query's "op.cquery" span tree (0 when tracing was off).
+    uint64_t trace_id = 0;
   };
   void SearchForConjunctive(const ConjunctiveQuery& query,
                             const QueryOptions& options,
@@ -225,6 +234,9 @@ class GridVinePeer {
     uint64_t result_rows_sent = 0;      // as destination (all response kinds)
   };
   const Counters& counters() const { return counters_; }
+
+  /// Adds this peer's counters into `metrics` under "gv.*".
+  void PublishMetrics(MetricsRegistry* metrics) const;
 
   /// Conjunctive executors still in flight (0 once every conjunctive query
   /// has resolved — the chaos tests' leak check).
@@ -251,6 +263,9 @@ class GridVinePeer {
     std::shared_ptr<QueryRequest> req;
     Key route_key;
     int attempts = 1;
+    /// "op.dispatch" branch span; attempts' flights and retry markers
+    /// parent here.
+    TraceCtx span;
   };
 
   struct PendingQuery {
@@ -271,6 +286,8 @@ class GridVinePeer {
     // such a query only completes at its timeout.
     bool used_range_dispatch = false;
     bool closed = false;
+    /// "op.search" span covering the whole query.
+    TraceCtx span;
     // Invoked exactly once when the query completes (early or at timeout).
     std::function<void(PendingQuery&)> on_finish;
   };
@@ -321,6 +338,8 @@ class GridVinePeer {
     uint64_t call_id = 0;
     /// Maps the branch's local probe indexes back to the call's.
     std::vector<uint32_t> global_index;
+    /// "op.bound_scan" branch span.
+    TraceCtx span;
   };
 
   /// One QueryBackend::BoundScan invocation: its probes fan out to one
@@ -341,13 +360,18 @@ class GridVinePeer {
     std::unordered_map<uint64_t, OpenBoundScan> open_scans;  // by dispatch_id
     std::unordered_map<uint64_t, BoundCall> calls;           // by call id
     uint64_t next_call_id = 1;
+    /// "op.cquery" root span covering the whole conjunctive query.
+    TraceCtx span;
   };
 
   /// Dispatches one BoundScan call: partitions the probes per destination
   /// key region, routes one batched request per region, arms retries.
+  /// `trace_parent` parents the per-branch "op.bound_scan" spans (normally
+  /// the executor's operator span).
   void StartBoundScan(uint64_t exec_id, const TriplePattern& pattern,
                       std::vector<BindingSet> probes,
-                      QueryBackend::BoundScanCallback cb);
+                      QueryBackend::BoundScanCallback cb,
+                      TraceCtx trace_parent = TraceCtx{});
   /// Per-branch retry timer, mirroring ArmDispatchTimer.
   void ArmBoundScanTimer(uint64_t exec_id, uint64_t did, int attempt);
   /// Closes one branch (answered or exhausted) and resolves the call once
@@ -366,6 +390,10 @@ class GridVinePeer {
 
   /// Storage listener keeping DB_p in sync.
   void OnStorageChange(UpdateOp op, const Key& key, const std::string& value);
+
+  /// The network's tracer while tracing is live, else nullptr.
+  Tracer* LiveTracer() const;
+  TraceCtx ResponderParent(const TraceCtx& carried) const;
 
   Simulator* sim_;
   Network* network_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace gridvine {
 
@@ -16,6 +17,26 @@ PGridPeer::PGridPeer(Simulator* sim, Network* network, Rng rng,
       id_(kInvalidNode),
       routing_(options.max_refs_per_level) {
   id_ = network_->AddNode(this);
+}
+
+Tracer* PGridPeer::LiveTracer() const {
+  Tracer* tr = network_->tracer();
+  return (tr != nullptr && tr->enabled()) ? tr : nullptr;
+}
+
+TraceCtx PGridPeer::StartOpSpan(std::string_view name) {
+  Tracer* tr = LiveTracer();
+  if (tr == nullptr) return TraceCtx{};
+  return tr->StartSpan(name, network_->ambient_ctx());
+}
+
+void PGridPeer::EndOpSpan(TraceCtx span, bool ok, int hops, int attempts) {
+  Tracer* tr = LiveTracer();
+  if (tr == nullptr || !span.valid()) return;
+  if (!ok) tr->Annotate(span, "error", 1.0);
+  if (hops >= 0) tr->Annotate(span, "hops", double(hops));
+  tr->Annotate(span, "attempts", double(attempts));
+  tr->EndSpan(span);
 }
 
 bool PGridPeer::IsResponsibleFor(const Key& key) const {
@@ -96,6 +117,10 @@ void PGridPeer::Retrieve(const Key& key, RetrieveCallback cb) {
   ++counters_.retrieves_issued;
   if (IsResponsibleFor(key)) {
     ++counters_.local_answers;
+    if (Tracer* tr = LiveTracer()) {
+      tr->Annotate(tr->Instant("op.retrieve", network_->ambient_ctx()),
+                   "local", 1.0);
+    }
     LookupResult res;
     res.values = LocalLookup(key);
     res.responder = id_;
@@ -108,6 +133,7 @@ void PGridPeer::Retrieve(const Key& key, RetrieveCallback cb) {
   p.retrieve_cb = std::move(cb);
   p.key = key;
   p.started = sim_->Now();
+  p.span = StartOpSpan("op.retrieve");
   pending_.emplace(rid, std::move(p));
   SendRetrieveAttempt(rid);
 }
@@ -139,6 +165,7 @@ void PGridPeer::SendRetrieveAttempt(uint64_t request_id) {
   req->key = p.key;
   req->origin = id_;
   req->hops = 1;
+  req->trace_ctx = p.span;  // every attempt's hops parent under the op
   network_->Send(id_, *next, req);
   ArmTimeout(request_id);
 }
@@ -148,6 +175,10 @@ void PGridPeer::Update(const Key& key, const std::string& value,
   ++counters_.updates_issued;
   if (IsResponsibleFor(key)) {
     ++counters_.local_answers;
+    if (Tracer* tr = LiveTracer()) {
+      tr->Annotate(tr->Instant("op.update", network_->ambient_ctx()),
+                   "local", 1.0);
+    }
     ApplyLocal(UpdateOp::kInsert, key, value);
     ReplicateToSiblings(UpdateOp::kInsert, key, value);
     UpdateOutcome out;
@@ -163,6 +194,7 @@ void PGridPeer::Update(const Key& key, const std::string& value,
   p.value = value;
   p.op = UpdateOp::kInsert;
   p.started = sim_->Now();
+  p.span = StartOpSpan("op.update");
   pending_.emplace(rid, std::move(p));
   SendUpdateAttempt(rid);
 }
@@ -172,6 +204,10 @@ void PGridPeer::Remove(const Key& key, const std::string& value,
   ++counters_.updates_issued;
   if (IsResponsibleFor(key)) {
     ++counters_.local_answers;
+    if (Tracer* tr = LiveTracer()) {
+      tr->Annotate(tr->Instant("op.remove", network_->ambient_ctx()),
+                   "local", 1.0);
+    }
     ApplyLocal(UpdateOp::kDelete, key, value);
     ReplicateToSiblings(UpdateOp::kDelete, key, value);
     UpdateOutcome out;
@@ -187,6 +223,7 @@ void PGridPeer::Remove(const Key& key, const std::string& value,
   p.value = value;
   p.op = UpdateOp::kDelete;
   p.started = sim_->Now();
+  p.span = StartOpSpan("op.remove");
   pending_.emplace(rid, std::move(p));
   SendUpdateAttempt(rid);
 }
@@ -214,6 +251,7 @@ void PGridPeer::SendUpdateAttempt(uint64_t request_id) {
   req->op = p.op;
   req->origin = id_;
   req->hops = 1;
+  req->trace_ctx = p.span;
   network_->Send(id_, *next, req);
   ArmTimeout(request_id);
 }
@@ -234,6 +272,11 @@ void PGridPeer::ArmTimeout(uint64_t request_id) {
       return;
     }
     ++counters_.retries;
+    if (Tracer* tr = LiveTracer()) {
+      // Timer context, no ambient delivery: the marker must be parented
+      // explicitly on the op span.
+      if (it2->second.span.valid()) tr->Instant("op.retry", it2->second.span);
+    }
     if (it2->second.kind == Pending::Kind::kRetrieve) {
       SendRetrieveAttempt(request_id);
     } else {
@@ -247,6 +290,7 @@ void PGridPeer::FailPending(uint64_t request_id, Status status) {
   if (it == pending_.end()) return;
   Pending p = std::move(it->second);
   pending_.erase(it);
+  EndOpSpan(p.span, /*ok=*/false, /*hops=*/-1, p.attempts);
   if (p.kind == Pending::Kind::kRetrieve) {
     p.retrieve_cb(std::move(status));
   } else {
@@ -260,6 +304,9 @@ bool PGridPeer::FailoverPending(uint64_t request_id) {
     return false;
   }
   ++counters_.failovers;
+  if (Tracer* tr = LiveTracer()) {
+    if (it->second.span.valid()) tr->Instant("op.failover", it->second.span);
+  }
   if (it->second.kind == Pending::Kind::kRetrieve) {
     SendRetrieveAttempt(request_id);
   } else {
@@ -280,6 +327,9 @@ void PGridPeer::Route(const Key& key,
   env->key = key;
   env->origin = id_;
   env->hops = 1;
+  // Send() sees only the envelope, so the payload's causal ctx must be
+  // lifted onto it for the flight span to parent correctly.
+  env->trace_ctx = payload->trace_ctx;
   env->payload = std::move(payload);
   auto next = routing_.NextHop(key, &rng_);
   if (!next.has_value()) {
@@ -296,6 +346,7 @@ void PGridPeer::SendDirect(NodeId to,
     return;
   }
   auto env = std::make_shared<DirectEnvelope>();
+  env->trace_ctx = payload->trace_ctx;
   env->payload = std::move(payload);
   network_->Send(id_, to, env);
 }
@@ -307,6 +358,7 @@ void PGridPeer::RouteRange(const Key& prefix,
   env.min_level = prefix.length();
   env.origin = id_;
   env.hops = 0;
+  env.trace_ctx = payload->trace_ctx;
   env.payload = std::move(payload);
   if (IsResponsibleFor(prefix)) {
     // Already inside (or covering) the subtree: shower from here.
@@ -417,8 +469,8 @@ void PGridPeer::OnMessage(NodeId from, std::shared_ptr<const MessageBody> body) 
     for (auto& handler : protocol_handlers_) {
       if (handler(from, *body)) return;
     }
-    GV_LOG(Warning) << "peer " << id_ << ": unknown message "
-                    << body->TypeTag().name();
+    GV_CLOG("pgrid", Warning) << "peer " << id_ << ": unknown message "
+                              << body->TypeTag().name();
   }
 }
 
@@ -475,6 +527,7 @@ void PGridPeer::HandleRetrieveResponse(const RetrieveResponse& resp) {
   }
   Pending p = std::move(it->second);
   pending_.erase(it);
+  EndOpSpan(p.span, /*ok=*/true, resp.hops, p.attempts);
   LookupResult res;
   res.values = resp.values;
   res.hops = resp.hops;
@@ -531,11 +584,25 @@ void PGridPeer::HandleUpdateAck(const UpdateAck& ack) {
   }
   Pending p = std::move(it->second);
   pending_.erase(it);
+  EndOpSpan(p.span, /*ok=*/true, ack.hops, p.attempts);
   UpdateOutcome out;
   out.hops = ack.hops;
   out.rtt = sim_->Now() - p.started;
   out.responder = ack.responder;
   p.update_cb(std::move(out));
+}
+
+void PGridPeer::PublishMetrics(MetricsRegistry* metrics) const {
+  metrics->Counter("pgrid.retrieves_issued") += counters_.retrieves_issued;
+  metrics->Counter("pgrid.updates_issued") += counters_.updates_issued;
+  metrics->Counter("pgrid.forwards") += counters_.forwards;
+  metrics->Counter("pgrid.local_answers") += counters_.local_answers;
+  metrics->Counter("pgrid.routing_dead_ends") += counters_.routing_dead_ends;
+  metrics->Counter("pgrid.timeouts") += counters_.timeouts;
+  metrics->Counter("pgrid.retries") += counters_.retries;
+  metrics->Counter("pgrid.failovers") += counters_.failovers;
+  metrics->Counter("pgrid.storage_entries") += storage_.size();
+  metrics->Gauge("pgrid.pending_requests") += double(pending_.size());
 }
 
 void PGridPeer::HandleReplicaUpdate(const ReplicaUpdate& upd) {

@@ -198,6 +198,9 @@ class PGridPeer : public NetworkNode {
   };
   const Counters& counters() const { return counters_; }
 
+  /// Adds this peer's counters into `metrics` under "pgrid.*".
+  void PublishMetrics(MetricsRegistry* metrics) const;
+
   /// Requests issued here and not yet resolved (answered, failed or timed
   /// out). The chaos harness asserts this drains to zero.
   size_t PendingRequests() const { return pending_.size(); }
@@ -217,6 +220,9 @@ class PGridPeer : public NetworkNode {
     /// First hop of the latest attempt; the next attempt avoids it so
     /// retries explore alternate routes (replica failover).
     NodeId last_hop = kInvalidNode;
+    /// Operation span ("op.retrieve"/"op.update"/"op.remove") — the parent
+    /// of every attempt's request flight span and retry/failover markers.
+    TraceCtx span;
   };
 
   uint64_t NextRequestId() { return (uint64_t(id_) << 32) | next_seq_++; }
@@ -234,6 +240,14 @@ class PGridPeer : public NetworkNode {
   /// Negative response for an outstanding request: re-attempt if the retry
   /// budget allows, otherwise fail. Returns true if a re-attempt was made.
   bool FailoverPending(uint64_t request_id);
+
+  /// The network's tracer while tracing is live, else nullptr.
+  Tracer* LiveTracer() const;
+  /// Opens an operation span parented on the ambient delivery context (a
+  /// root when this peer originates the trace); invalid when not tracing.
+  TraceCtx StartOpSpan(std::string_view name);
+  /// Ends an op span with its outcome annotations.
+  void EndOpSpan(TraceCtx span, bool ok, int hops, int attempts);
 
   void HandleRoutedEnvelope(NodeId from, const RoutedEnvelope& env);
   void HandleRangeEnvelope(NodeId from, const RangeEnvelope& env);

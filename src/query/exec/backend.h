@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "rdf/triple_pattern.h"
 #include "store/triple_store.h"
 
@@ -59,6 +60,12 @@ class QueryBackend {
   /// fully-constant pattern (looked up at its subject key).
   virtual void Exists(const TriplePattern& pattern,
                       std::function<void(Result<bool>)> cb) = 0;
+
+  /// Causal context for the NEXT Scan/BoundScan/Exists call: the executor
+  /// sets its operator span here immediately before each call, so transport
+  /// backends can parent their dispatch/batch spans under the operator that
+  /// issued them. Backends without tracing ignore it (the default).
+  virtual void SetCallCtx(TraceCtx) {}
 };
 
 }  // namespace gridvine

@@ -19,6 +19,26 @@ const TriplePattern& ConjunctiveExecutor::PatternOf(
   return query_.patterns()[step.pattern];
 }
 
+void ConjunctiveExecutor::EnableTracing(Tracer* tracer, TraceCtx parent) {
+  tracer_ = tracer;
+  trace_parent_ = parent;
+}
+
+TraceCtx ConjunctiveExecutor::StartOp(std::string_view name) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return TraceCtx{};
+  TraceCtx span = tracer_->StartSpan(name, trace_parent_);
+  backend_->SetCallCtx(span);
+  return span;
+}
+
+void ConjunctiveExecutor::EndOp(TraceCtx* span, std::string_view key,
+                                double value) {
+  if (!span->valid()) return;
+  tracer_->Annotate(*span, key, value);
+  tracer_->EndSpan(*span);
+  *span = TraceCtx{};
+}
+
 void ConjunctiveExecutor::Run(DoneCallback done) {
   done_ = std::move(done);
   if (groups_.empty()) {
@@ -46,6 +66,7 @@ void ConjunctiveExecutor::StepGroup(size_t gi) {
         g.step++;
         g.phase = GroupPhase::kWaiting;
         metrics_.remote_scans++;
+        g.op_span = StartOp("exec.scan");
         backend_->Scan(PatternOf(step),
                        [this, gi](QueryBackend::ScanResult r) {
                          OnScan(gi, std::move(r));
@@ -56,6 +77,7 @@ void ConjunctiveExecutor::StepGroup(size_t gi) {
         g.step++;
         g.phase = GroupPhase::kWaiting;
         metrics_.existence_checks++;
+        g.op_span = StartOp("exec.exists");
         backend_->Exists(PatternOf(step), [this, gi](Result<bool> r) {
           OnExists(gi, std::move(r));
         });
@@ -127,6 +149,10 @@ void ConjunctiveExecutor::StepGroup(size_t gi) {
         g.phase = GroupPhase::kWaiting;
         metrics_.bind_joins++;
         metrics_.probe_rows += probes.size();
+        g.op_span = StartOp("exec.bind_join");
+        if (g.op_span.valid()) {
+          tracer_->Annotate(g.op_span, "probes", double(probes.size()));
+        }
         backend_->BoundScan(pat, std::move(probes),
                             [this, gi](QueryBackend::BoundScanResult r) {
                               OnBoundScan(gi, std::move(r));
@@ -145,9 +171,11 @@ void ConjunctiveExecutor::StepGroup(size_t gi) {
 void ConjunctiveExecutor::OnScan(size_t gi, QueryBackend::ScanResult r) {
   GroupState& g = groups_[gi];
   if (!r.status.ok()) {
+    EndOp(&g.op_span, "error", 1.0);
     GroupDone(gi, std::move(r.status));
     return;
   }
+  EndOp(&g.op_span, "rows", double(r.rows.size()));
   metrics_.scan_rows += r.rows.size();
   g.pending = std::move(r.rows);
   g.phase = GroupPhase::kRunning;
@@ -158,9 +186,11 @@ void ConjunctiveExecutor::OnBoundScan(size_t gi,
                                       QueryBackend::BoundScanResult r) {
   GroupState& g = groups_[gi];
   if (!r.status.ok()) {
+    EndOp(&g.op_span, "error", 1.0);
     GroupDone(gi, std::move(r.status));
     return;
   }
+  EndOp(&g.op_span, "rows", double(r.rows.size()));
   metrics_.bound_rows += r.rows.size();
   std::vector<BindingSet> next;
   for (const QueryBackend::BoundRow& br : r.rows) {
@@ -193,9 +223,11 @@ void ConjunctiveExecutor::OnBoundScan(size_t gi,
 void ConjunctiveExecutor::OnExists(size_t gi, Result<bool> r) {
   GroupState& g = groups_[gi];
   if (!r.ok()) {
+    EndOp(&g.op_span, "error", 1.0);
     GroupDone(gi, r.status());
     return;
   }
+  EndOp(&g.op_span, "exists", r.value() ? 1.0 : 0.0);
   g.acc_init = true;
   g.acc.clear();
   // True yields the join identity (one empty row); false yields the empty
@@ -219,6 +251,11 @@ void ConjunctiveExecutor::Finalize() {
       status = g.status;
       break;
     }
+  }
+
+  TraceCtx fin{};
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    fin = tracer_->StartSpan("exec.finalize", trace_parent_);
   }
 
   std::vector<BindingSet> rows;
@@ -245,10 +282,15 @@ void ConjunctiveExecutor::Finalize() {
         case OpKind::kDedup: {
           BindingDeduper dd;
           std::vector<BindingSet> unique;
+          const size_t in = rows.size();
           for (BindingSet& row : rows) {
             if (dd.Insert(row)) unique.push_back(std::move(row));
           }
           rows = std::move(unique);
+          if (fin.valid()) {
+            tracer_->Annotate(fin, "dedup_in", double(in));
+            tracer_->Annotate(fin, "dedup_out", double(rows.size()));
+          }
           break;
         }
         default:
@@ -261,6 +303,10 @@ void ConjunctiveExecutor::Finalize() {
   res.status = std::move(status);
   if (res.status.ok()) res.rows = std::move(rows);
   res.metrics = metrics_;
+  if (fin.valid()) {
+    tracer_->Annotate(fin, "rows", double(res.rows.size()));
+    tracer_->EndSpan(fin);
+  }
   // Move the callback out first: it may destroy this executor, so no member
   // access after the call.
   DoneCallback cb = std::move(done_);

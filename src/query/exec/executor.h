@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/trace.h"
 #include "query/exec/backend.h"
 #include "query/exec/plan.h"
 #include "query/query.h"
@@ -57,6 +58,12 @@ class ConjunctiveExecutor {
   /// Starts every group. `done` fires exactly once, possibly synchronously.
   void Run(DoneCallback done);
 
+  /// Records per-operator spans ("exec.scan" / "exec.bind_join" /
+  /// "exec.exists" / "exec.finalize", with row and probe counts) as children
+  /// of `parent`, and hands each operator's span to the backend via
+  /// SetCallCtx so transport dispatches nest under it. Call before Run().
+  void EnableTracing(Tracer* tracer, TraceCtx parent);
+
   const Metrics& metrics() const { return metrics_; }
 
  private:
@@ -72,6 +79,7 @@ class ConjunctiveExecutor {
     std::vector<BindingSet> pending;  ///< last scan's rows, pre-LocalJoin
     /// Bind-join bookkeeping: which acc rows each probe stands for.
     std::vector<std::vector<size_t>> probe_members;
+    TraceCtx op_span;  ///< the operator currently waiting on the backend
   };
 
   const TriplePattern& PatternOf(const PlanStep& step) const;
@@ -86,6 +94,11 @@ class ConjunctiveExecutor {
   /// Runs the tail over the groups' outputs and fires `done_`.
   void Finalize();
 
+  /// Opens an operator span under trace_parent_ and routes it to the
+  /// backend; the invalid ctx when tracing is off.
+  TraceCtx StartOp(std::string_view name);
+  void EndOp(TraceCtx* span, std::string_view key, double value);
+
   ConjunctiveQuery query_;
   PhysicalPlan plan_;
   QueryBackend* backend_;
@@ -93,6 +106,8 @@ class ConjunctiveExecutor {
   size_t unsettled_groups_ = 0;
   Metrics metrics_;
   DoneCallback done_;
+  Tracer* tracer_ = nullptr;
+  TraceCtx trace_parent_{};
 };
 
 }  // namespace gridvine

@@ -168,6 +168,10 @@ Result<SchemaMapping> SelfOrganizer::CreateMapping(const std::string& source,
   }
   m.set_confidence(score_sum / double(correspondences.size()));
   GV_RETURN_NOT_OK(net_->InsertMapping(OwnerOf(source), m));
+  GV_CLOG("selforg", Info) << "created mapping " << m.id() << " ("
+                           << correspondences.size()
+                           << " correspondences, confidence "
+                           << m.confidence() << ")";
   return m;
 }
 
@@ -178,6 +182,7 @@ SelfOrganizer::RoundReport SelfOrganizer::RunRound() {
   PublishAllDegrees().ok();
   auto ci = ComputeIndicator();
   report.ci_before = ci.ok() ? *ci : 0.0;
+  GV_CLOG("selforg", Debug) << "round start: ci=" << report.ci_before;
 
   // Step 3: create mappings while the mediation layer is under-connected.
   // ci < 0 is the paper's criterion; a schema with no mappings at all is a
@@ -218,6 +223,8 @@ SelfOrganizer::RoundReport SelfOrganizer::RunRound() {
             .ok()) {
       ++report.mappings_deprecated;
       report.deprecated_ids.push_back(id);
+      GV_CLOG("selforg", Info)
+          << "deprecated mapping " << id << " (posterior " << posterior << ")";
     }
   }
 
@@ -228,6 +235,10 @@ SelfOrganizer::RoundReport SelfOrganizer::RunRound() {
   MappingGraph final_graph = BuildGraphView();
   report.scc_fraction_after = final_graph.LargestSccFraction();
   report.active_mappings = final_graph.active_mapping_count();
+  GV_CLOG("selforg", Debug) << "round end: ci=" << report.ci_after
+                            << " created=" << report.mappings_created
+                            << " deprecated=" << report.mappings_deprecated
+                            << " active=" << report.active_mappings;
   return report;
 }
 

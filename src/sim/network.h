@@ -10,12 +10,15 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "sim/fault_plan.h"
 #include "sim/latency.h"
 #include "sim/msg_type.h"
 #include "sim/simulator.h"
 
 namespace gridvine {
+
+class MetricsRegistry;
 
 /// Identifies a node (machine) on the simulated network.
 /// (Declared in sim/fault_plan.h; redeclared here for readers.)
@@ -35,6 +38,11 @@ struct MessageBody {
   ///   return t;
   /// so the per-message cost is an integer copy, not a string allocation.
   virtual MsgType TypeTag() const = 0;
+  /// Causal context set by the sender before Send(). When valid it becomes
+  /// the parent of this message's flight span (explicit wins over the
+  /// ambient delivery context); envelope types must copy their payload's ctx
+  /// here so Send() — which only sees the envelope — parents correctly.
+  TraceCtx trace_ctx{};
 };
 
 /// A node attached to the network: receives messages delivered to its id.
@@ -140,28 +148,62 @@ class Network {
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats(); }
 
+  /// Attaches (or detaches, with nullptr) a tracer. While the tracer is
+  /// enabled, every Send() whose causal parent is known — an explicit
+  /// body->trace_ctx, or the ambient context of the delivery being handled —
+  /// opens a flight span named after the message type, ended at delivery
+  /// (duration = per-hop latency) or annotated with the drop cause. Untraced
+  /// traffic (no parent, e.g. background maintenance) records nothing.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() { return tracer_; }
+  /// The flight-span context of the delivery currently being handled (the
+  /// invalid ctx outside OnMessage, or when that message was untraced).
+  /// Handlers use this to parent reply spans without plumbing ctx by hand.
+  TraceCtx ambient_ctx() const { return delivery_ctx_; }
+
+  /// Adds this network's cumulative counters into `metrics` under "net.*"
+  /// (plus per-type "net.msg.<type>.*").
+  void PublishMetrics(MetricsRegistry* metrics) const;
+
  private:
   struct NodeSlot {
     NetworkNode* node = nullptr;
     bool alive = true;
   };
 
-  /// The scheduled half of Send(): a 32-byte record, inline in EventFn.
-  /// shared_ptr is not trivially copyable but holds no self-references, so
-  /// the record is safe to relocate bytewise (EventFn's memcpy fast path).
+  /// The scheduled half of Send(): a 48-byte record (32 + the flight-span
+  /// TraceCtx), still exactly EventFn's inline buffer — growing this spills
+  /// every delivery to the heap. shared_ptr is not trivially copyable but
+  /// holds no self-references, so the record is safe to relocate bytewise
+  /// (EventFn's memcpy fast path).
   struct Delivery {
     static constexpr bool kTriviallyRelocatable = true;
     Network* net;
     NodeId from;
     NodeId to;
     std::shared_ptr<const MessageBody> body;
-    void operator()() { net->Deliver(from, to, std::move(body)); }
+    void operator()() { net->Deliver(from, to, std::move(body), TraceCtx{}); }
   };
 
-  void Deliver(NodeId from, NodeId to,
-               std::shared_ptr<const MessageBody> body);
+  /// Delivery with its flight span aboard — scheduled only for traced sends,
+  /// so the untraced hot path keeps the smaller record (16 fewer bytes
+  /// copied into the event queue per message).
+  struct TracedDelivery {
+    static constexpr bool kTriviallyRelocatable = true;
+    Network* net;
+    NodeId from;
+    NodeId to;
+    std::shared_ptr<const MessageBody> body;
+    TraceCtx ctx;  ///< flight span; always valid here
+    void operator()() { net->Deliver(from, to, std::move(body), ctx); }
+  };
+
+  void Deliver(NodeId from, NodeId to, std::shared_ptr<const MessageBody> body,
+               TraceCtx ctx);
   void CountSend(MsgType type, size_t bytes);
   void CountDrop(MsgType type, DropCause cause);
+  /// Annotates a flight span with its drop cause and ends it.
+  void EndDropped(TraceCtx flight, DropCause cause);
 
   Simulator* sim_;
   std::unique_ptr<LatencyModel> latency_;
@@ -170,6 +212,9 @@ class Network {
   std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<NodeSlot> nodes_;
   NetworkStats stats_;
+  Tracer* tracer_ = nullptr;
+  /// Flight ctx of the delivery whose OnMessage is on the stack right now.
+  TraceCtx delivery_ctx_{};
 };
 
 }  // namespace gridvine

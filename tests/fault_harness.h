@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "pgrid/maintenance.h"
 #include "pgrid/online_exchange.h"
 #include "pgrid/pgrid_builder.h"
@@ -60,6 +61,9 @@ struct FaultScenario {
   double offline_fraction = 0.2;
   double mean_session = 120.0;
   bool maintenance = true;
+  /// Record spans for the whole run (every op traced); the trace invariants
+  /// below check causal bookkeeping survives drops/duplicates/retries.
+  bool trace = false;
   /// Wire ChurnModel's transition listener so a rejoining peer re-enters the
   /// overlay with one online-exchange encounter (the rejoin contract
   /// documented in sim/churn.h).
@@ -88,6 +92,10 @@ struct FaultRunResult {
 
   uint64_t retries = 0;    // summed over peers
   uint64_t failovers = 0;  // summed over peers
+
+  // Trace accounting (scenario.trace only).
+  std::vector<Tracer::Span> spans;
+  uint64_t spans_evicted = 0;
 
   double Recall() const {
     return retrieves_issued == 0
@@ -142,6 +150,12 @@ inline FaultRunResult RunFaultScenario(const FaultScenario& s) {
   Simulator sim;
   Network net(&sim, std::make_unique<ConstantLatency>(0.03), Rng(s.seed),
               s.loss);
+  Tracer tracer;
+  if (s.trace) {
+    tracer.SetClock([&sim] { return sim.Now(); });
+    tracer.Enable(/*capacity=*/1 << 20);
+    net.SetTracer(&tracer);
+  }
 
   PGridPeer::Options popts;
   popts.key_depth = s.key_depth;
@@ -262,6 +276,10 @@ inline FaultRunResult RunFaultScenario(const FaultScenario& s) {
   sim.Run();
 
   result.stats = net.stats();
+  if (s.trace) {
+    result.spans = tracer.Snapshot();
+    result.spans_evicted = tracer.evicted();
+  }
   result.churn_transitions = churn.transitions();
   result.events_left = sim.pending();
   for (auto* p : peers) {
@@ -367,6 +385,61 @@ inline ::testing::AssertionResult CheckDrainInvariants(
     return fail("op accounting inconsistent: ok=" + std::to_string(r.ops_ok) +
                 " + timeout=" + std::to_string(r.ops_timeout) +
                 " != issued=" + std::to_string(r.ops_issued));
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Causal-bookkeeping invariants for a traced run (scenario.trace == true):
+/// dropped, duplicated and retried messages must still produce a correctly
+/// parented, fully closed span forest with exact retry/failover accounting.
+inline ::testing::AssertionResult CheckTraceInvariants(
+    const FaultScenario& s, const FaultRunResult& r) {
+  std::ostringstream tag;
+  tag << "[scenario=" << s.name << " seed=" << s.seed
+      << "] replay with: GV_SOAK_SEED=" << s.seed
+      << " ./build/tests/fault_soak_test — ";
+  auto fail = [&tag](const std::string& what) {
+    return ::testing::AssertionFailure() << tag.str() << what;
+  };
+
+  // The ring was sized for the run; eviction would invalidate the checks.
+  if (r.spans_evicted != 0) {
+    return fail(std::to_string(r.spans_evicted) +
+                " span(s) evicted — ring too small for the scenario");
+  }
+  TraceAnalyzer ta(r.spans);
+
+  // 1. Structure: unique ids, parents present, acyclic, per-trace coherent —
+  //    no orphans even when a parent's message was dropped or duplicated.
+  std::string structural = ta.CheckConsistency();
+  if (!structural.empty()) return fail("trace inconsistent: " + structural);
+
+  // 2. Every span closed after the drain (flight spans of dropped messages
+  //    are ended by the drop path; op spans by resolution or timeout).
+  if (ta.OpenCount() != 0) {
+    return fail(std::to_string(ta.OpenCount()) +
+                " span(s) still open after drain");
+  }
+
+  // 3. Exactly one op root per issued operation — duplicates and retries do
+  //    not double-count an operation.
+  const size_t op_roots =
+      ta.CountNamed("op.retrieve") + ta.CountNamed("op.update");
+  if (op_roots != r.ops_issued) {
+    return fail("op span count " + std::to_string(op_roots) +
+                " != ops issued " + std::to_string(r.ops_issued));
+  }
+
+  // 4. Retry/failover markers reconcile with the peers' counters.
+  if (ta.CountNamed("op.retry") != r.retries) {
+    return fail("op.retry markers " +
+                std::to_string(ta.CountNamed("op.retry")) +
+                " != retries counted " + std::to_string(r.retries));
+  }
+  if (ta.CountNamed("op.failover") != r.failovers) {
+    return fail("op.failover markers " +
+                std::to_string(ta.CountNamed("op.failover")) +
+                " != failovers counted " + std::to_string(r.failovers));
   }
   return ::testing::AssertionSuccess();
 }

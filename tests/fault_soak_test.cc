@@ -88,6 +88,35 @@ TEST(FaultSoakTest, ChaosScenarioDrainsClean) {
   }
 }
 
+// Tracing under chaos: drops, duplicates, retries and failovers must still
+// produce a consistent, fully closed span forest whose retry/failover
+// markers reconcile exactly with the peers' counters. Also asserts tracing
+// does not perturb the run: the traced run's network statistics are
+// bit-identical to the untraced run at the same seed.
+TEST(FaultSoakTest, TracedChaosKeepsSpanForestConsistent) {
+  for (uint64_t seed : kSeeds) {
+    FaultScenario s = ChaosScenario(seed);
+    s.trace = true;
+    FaultRunResult r = RunFaultScenario(s);
+    EXPECT_TRUE(CheckDrainInvariants(s, r));
+    EXPECT_TRUE(CheckTraceInvariants(s, r));
+    EXPECT_FALSE(r.spans.empty()) << "seed=" << seed;
+
+    FaultRunResult untraced = RunFaultScenario(ChaosScenario(seed));
+    EXPECT_TRUE(r.stats == untraced.stats) << "seed=" << seed;
+  }
+}
+
+TEST(FaultSoakTest, TracedLossRunRecordsRetryMarkers) {
+  FaultScenario s = LossScenario(kSeeds[0]);
+  s.trace = true;
+  FaultRunResult r = RunFaultScenario(s);
+  EXPECT_TRUE(CheckTraceInvariants(s, r));
+  EXPECT_GT(r.retries, 0u);
+  TraceAnalyzer ta(r.spans);
+  EXPECT_EQ(ta.CountNamed("op.retry"), r.retries);
+}
+
 // Same seed → bit-identical network statistics (NetworkStats operator==
 // covers every counter including the per-type vectors) and identical op
 // outcomes. This is the replay guarantee the printed seed relies on.

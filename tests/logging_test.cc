@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gridvine {
+namespace {
+
+/// Restores environment-driven parsing when a test exits.
+struct SpecGuard {
+  explicit SpecGuard(const char* spec) {
+    internal::ResetLogSpecForTest(spec);
+  }
+  ~SpecGuard() { internal::ResetLogSpecForTest(nullptr); }
+};
+
+TEST(LoggingTest, DefaultFallsBackToProcessLevel) {
+  SpecGuard guard("");
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(LogLevelFor("pgrid"), LogLevel::kWarning);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, BareLevelAppliesToEveryComponent) {
+  SpecGuard guard("debug");
+  EXPECT_EQ(LogLevelFor("pgrid"), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFor("gridvine"), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, PerComponentOverride) {
+  SpecGuard guard("pgrid=debug");
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(LogLevelFor("pgrid"), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFor("gridvine"), LogLevel::kWarning);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, MixedSpecDefaultPlusOverride) {
+  SpecGuard guard("info,gridvine=debug,selforg=error");
+  EXPECT_EQ(LogLevelFor("gridvine"), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFor("selforg"), LogLevel::kError);
+  EXPECT_EQ(LogLevelFor("pgrid"), LogLevel::kInfo);  // the bare default
+}
+
+TEST(LoggingTest, LevelAliasesAndJunkIgnored) {
+  SpecGuard guard("pgrid=warn,bogus=notalevel");
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(LogLevelFor("pgrid"), LogLevel::kWarning);
+  // The malformed entry contributes nothing; fallback applies.
+  EXPECT_EQ(LogLevelFor("bogus"), LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace gridvine

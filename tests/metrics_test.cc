@@ -1,0 +1,84 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gridvine {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAggregateAcrossPublishers) {
+  MetricsRegistry m;
+  m.Counter("pgrid.retries") += 3;
+  m.Counter("pgrid.retries") += 2;  // second peer publishing
+  EXPECT_EQ(m.Counter("pgrid.retries"), 5u);
+  EXPECT_EQ(m.Counter("fresh"), 0u);  // created at zero
+}
+
+TEST(MetricsRegistryTest, GaugesAndClear) {
+  MetricsRegistry m;
+  m.Gauge("net.pending") = 7.5;
+  EXPECT_DOUBLE_EQ(m.Gauge("net.pending"), 7.5);
+  EXPECT_FALSE(m.empty());
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MetricsRegistryTest, HistogramEdgesFixedOnFirstUse) {
+  MetricsRegistry m;
+  m.Observe("lat", {0.1, 1.0}, 0.05);
+  m.Observe("lat", {9.0}, 0.5);  // edges ignored: histogram already exists
+  Histogram& h = m.Histo("lat", {});
+  EXPECT_EQ(h.count(), 2u);
+  // First-use edges {0.1, 1.0} stand: two edges, three buckets (underflow +
+  // one interval + overflow).
+  EXPECT_EQ(h.num_buckets(), 3u);
+}
+
+TEST(MetricsRegistryTest, JsonSortedAndComplete) {
+  MetricsRegistry m;
+  m.Counter("b.count") = 2;
+  m.Counter("a.count") = 1;
+  m.Gauge("g") = 0.5;
+  m.Observe("h", {1.0, 2.0}, 1.5);
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Sorted keys: "a.count" precedes "b.count".
+  EXPECT_LT(json.find("a.count"), json.find("b.count"));
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, FlattenContainsEveryMetric) {
+  MetricsRegistry m;
+  m.Counter("c") = 4;
+  m.Gauge("g") = 2.5;
+  m.Observe("h", {1.0}, 0.5);
+  auto rows = m.Flatten();
+  bool saw_c = false, saw_g = false, saw_h_count = false, saw_h_p50 = false;
+  for (const auto& [name, value] : rows) {
+    if (name == "c") saw_c = value == 4.0;
+    if (name == "g") saw_g = value == 2.5;
+    if (name == "h.count") saw_h_count = value == 1.0;
+    if (name == "h.p50") saw_h_p50 = true;
+  }
+  EXPECT_TRUE(saw_c);
+  EXPECT_TRUE(saw_g);
+  EXPECT_TRUE(saw_h_count);
+  EXPECT_TRUE(saw_h_p50);
+}
+
+TEST(MetricsRegistryTest, ReferencesStableAcrossInserts) {
+  MetricsRegistry m;
+  uint64_t& c = m.Counter("first");
+  for (int i = 0; i < 100; ++i) {
+    m.Counter("other." + std::to_string(i)) = uint64_t(i);
+  }
+  c = 42;  // must still point at "first" (node-based map)
+  EXPECT_EQ(m.Counter("first"), 42u);
+}
+
+}  // namespace
+}  // namespace gridvine

@@ -80,5 +80,29 @@ TEST(HistogramTest, BucketsAndOverflow) {
   EXPECT_NE(text.find('#'), std::string::npos);
 }
 
+TEST(HistogramTest, ExponentialEdges) {
+  Histogram h = Histogram::Exponential(0.001, 10.0, 4);
+  ASSERT_EQ(h.edges().size(), 4u);
+  EXPECT_DOUBLE_EQ(h.edges()[0], 0.001);
+  EXPECT_DOUBLE_EQ(h.edges()[3], 1.0);
+  EXPECT_EQ(h.num_buckets(), 5u);
+}
+
+TEST(HistogramTest, PercentileAnswersBucketUpperEdge) {
+  Histogram h({1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);  // empty
+  for (int i = 0; i < 8; ++i) h.Add(1.5);  // [1,2)
+  h.Add(4.0);                              // [2,5)
+  h.Add(100.0);                            // overflow
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.0);   // containing bucket's upper edge
+  EXPECT_DOUBLE_EQ(h.Percentile(0.9), 5.0);
+  // Overflow bucket answers the last edge (its lower bound).
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 5.0);
+  // Underflow answers the first edge.
+  Histogram low({1.0, 2.0});
+  low.Add(0.1);
+  EXPECT_DOUBLE_EQ(low.Percentile(0.5), 1.0);
+}
+
 }  // namespace
 }  // namespace gridvine
