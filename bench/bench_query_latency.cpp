@@ -14,9 +14,17 @@
 //   $ ./bench/bench_query_latency            # full 23000 queries
 //   $ GV_QUERIES=2000 ./bench/bench_query_latency   # quicker run
 
+// A second section (E1b) replays the same workload on a 100k-peer
+// deployment driven by the sharded engine — the scale target of the
+// compact-state work — and records latency, per-peer memory and event
+// throughput in an extra JSON row.
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_json.h"
@@ -160,6 +168,88 @@ int main(int argc, char** argv) {
             {"retries_p50", CountPercentile(retries, 0.50)},
             {"retries_p90", CountPercentile(retries, 0.90)},
             {"retries_p99", CountPercentile(retries, 0.99)}});
+
+  // ---- E1b: the same workload at 100k peers on the sharded engine ----------
+  //
+  // Tracing is unavailable in sharded mode (lanes never open flight spans),
+  // so this section records latency + throughput + memory, not hop traces.
+  const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
+  const size_t kScalePeers = EnvOr("GV_SCALE_PEERS", quick ? 20000 : 100000);
+  const size_t kScaleQueries = EnvOr("GV_SCALE_QUERIES", quick ? 100 : 2000);
+  const uint32_t kShards = 4;
+
+  GridVineNetwork::Options sopt = options;
+  sopt.num_peers = kScalePeers;
+  sopt.shards = kShards;
+  std::printf("\nE1b: full query path at scale (sharded engine)\n");
+  std::printf("  peers=%zu shards=%u queries=%zu\n", kScalePeers, kShards,
+              kScaleQueries);
+
+  auto t0 = std::chrono::steady_clock::now();
+  GridVineNetwork snet(sopt);
+  for (size_t s = 0; s < workload.schemas().size(); ++s) {
+    size_t owner = (s * 7) % snet.size();
+    if (!snet.InsertSchema(owner, workload.schemas()[s]).ok()) return 1;
+    if (!snet.InsertTriples(owner, workload.TriplesFor(s)).ok()) return 1;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  const size_t events_before = snet.engine()->events_executed();
+
+  Rng srng(99);
+  std::vector<double> slat;
+  slat.reserve(kScaleQueries);
+  size_t sfailed = 0;
+  size_t sempty = 0;
+  for (size_t q = 0; q < kScaleQueries; ++q) {
+    size_t schema =
+        size_t(srng.UniformInt(0, int64_t(workload.schemas().size()) - 1));
+    auto gq = workload.MakeQuery(schema, &srng);
+    size_t issuer = size_t(srng.UniformInt(0, int64_t(snet.size()) - 1));
+    auto res = snet.SearchFor(issuer, gq.query);
+    if (!res.status.ok()) {
+      ++sfailed;
+      continue;
+    }
+    if (res.items.empty()) ++sempty;
+    slat.push_back(res.latency);
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  std::sort(slat.begin(), slat.end());
+
+  const double build_s = std::chrono::duration<double>(t1 - t0).count();
+  const double run_s = std::chrono::duration<double>(t2 - t1).count();
+  const size_t events = snet.engine()->events_executed() - events_before;
+  const double events_per_sec = run_s > 0 ? double(events) / run_s : 0;
+  const double bytes_per_peer =
+      double(snet.MemoryFootprint()) / double(kScalePeers);
+  const NetworkStats sstats = snet.engine()->AggregateStats();
+
+  std::printf("  answered within 1 s: %.0f%%, within 5 s: %.0f%%\n",
+              Fraction(slat, 1.0) * 100, Fraction(slat, 5.0) * 100);
+  std::printf("  latency (s): p50=%.2f p90=%.2f p99=%.2f  failed=%zu "
+              "empty=%zu\n",
+              Percentile(slat, 0.50), Percentile(slat, 0.90),
+              Percentile(slat, 0.99), sfailed, sempty);
+  std::printf("  build=%.1fs  queries=%.1fs  %.0f events/s  %.0f bytes/peer  "
+              "%llu messages\n",
+              build_s, run_s, events_per_sec, bytes_per_peer,
+              (unsigned long long)sstats.messages_sent);
+  json.Add("scale_" + std::to_string(kScalePeers) + "/shards_" +
+               std::to_string(kShards),
+           {{"peers", double(kScalePeers)},
+            {"shards", double(kShards)},
+            {"within_1s", Fraction(slat, 1.0)},
+            {"within_5s", Fraction(slat, 5.0)},
+            {"p50_s", Percentile(slat, 0.50)},
+            {"p90_s", Percentile(slat, 0.90)},
+            {"p99_s", Percentile(slat, 0.99)},
+            {"failed", double(sfailed)},
+            {"empty", double(sempty)},
+            {"messages", double(sstats.messages_sent)},
+            {"bytes_per_peer", bytes_per_peer},
+            {"events_per_sec", events_per_sec},
+            {"build_s", build_s},
+            {"run_s", run_s}});
   json.Finish();
   return 0;
 }

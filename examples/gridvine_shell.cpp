@@ -20,6 +20,8 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "query/rdql_parser.h"
@@ -52,6 +54,8 @@ void PrintHelp() {
       "  demo                                       load a small "
       "bioinformatic corpus\n"
       "  stats                                      network statistics\n"
+      "  mem                                        per-component memory "
+      "footprint\n"
       "  trace on|off                               toggle span recording\n"
       "  trace dump [file]                          export Chrome trace "
       "JSON\n"
@@ -216,6 +220,15 @@ int main() {
         triples += net.peer(i)->local_db().size();
       }
       std::printf("local DB entries across peers: %zu\n", triples);
+    } else if (cmd == "mem") {
+      std::vector<std::pair<std::string, size_t>> breakdown;
+      size_t total = net.MemoryFootprint(&breakdown);
+      for (const auto& [part, bytes] : breakdown) {
+        std::printf("  %-16s %12zu bytes\n", part.c_str(), bytes);
+      }
+      std::printf("  %-16s %12zu bytes (%.0f per peer, %zu peers)\n",
+                  "total", total, double(total) / double(net.size()),
+                  net.size());
     } else if (cmd == "trace") {
       std::string arg, file;
       in >> arg >> file;

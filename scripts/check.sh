@@ -4,10 +4,27 @@
 #
 #   $ scripts/check.sh            # RelWithDebInfo build + ctest
 #   $ scripts/check.sh --asan     # ASan/UBSan build, runs store + query tests
+#   $ scripts/check.sh --tsan     # TSan build, runs the sharded-engine tests
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # ThreadSanitizer over everything that spins up the worker pool: the
+  # sharded determinism + chaos suites (real threads at shards 2/4), plus
+  # the single-threaded engine tests for the shared seams they exercise.
+  cmake --preset tsan
+  cmake --build build-tsan -j "$(nproc)" --target sharded_determinism_test \
+    sharded_soak_test simulator_test network_test
+  export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+  ./build-tsan/tests/sharded_determinism_test
+  ./build-tsan/tests/sharded_soak_test
+  ./build-tsan/tests/simulator_test
+  ./build-tsan/tests/network_test
+  echo "tsan run clean"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--asan" ]]; then
   cmake -B build-san -S . -DGV_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

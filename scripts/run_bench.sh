@@ -74,6 +74,13 @@ if [[ "$quick" -eq 1 && -z "$filter" && -x "$build_dir/tests/conjunctive_chaos_t
   echo "== conjunctive_chaos_test (executor chaos smoke)"
   "$build_dir/tests/conjunctive_chaos_test" --gtest_brief=1
 fi
+# Sharded-engine smoke: the multi-shard chaos soak (conservation + replay
+# invariants with real worker threads). The 100k-peer scale point itself runs
+# inside bench_routing's quick mode above (E2b section).
+if [[ "$quick" -eq 1 && -z "$filter" && -x "$build_dir/tests/sharded_soak_test" ]]; then
+  echo "== sharded_soak_test (multi-shard chaos smoke)"
+  "$build_dir/tests/sharded_soak_test" --gtest_brief=1
+fi
 # Observability artifact: a scripted shell session traces one conjunctive
 # query end to end and exports the Chrome trace plus the unified metrics
 # JSON. GV_ARTIFACT_DIR overrides the destination (CI uploads it and the

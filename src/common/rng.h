@@ -59,10 +59,12 @@ class Rng {
     return n - 1;
   }
 
-  /// Picks a uniformly random element of a non-empty vector.
-  template <typename T>
-  const T& PickOne(const std::vector<T>& v) {
-    assert(!v.empty());
+  /// Picks a uniformly random element of a non-empty indexable container
+  /// (vector, span, ...). Returns whatever operator[] returns — a reference
+  /// for vectors, a value for by-value views.
+  template <typename C>
+  decltype(auto) PickOne(const C& v) {
+    assert(v.size() > 0);
     return v[static_cast<size_t>(UniformInt(0, int64_t(v.size()) - 1))];
   }
 
@@ -80,6 +82,72 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+};
+
+/// SplitMix64 finalizer: a full-avalanche 64 -> 64 bit mix, usable on its own
+/// to derive independent seeds from (seed, index) pairs.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// 8-byte deterministic generator (SplitMix64). Statistically far weaker than
+/// Rng's mt19937_64 (2.5 KB of state), but with one machine word of state it
+/// is what makes *per-node* random streams affordable at 1M simulated peers:
+/// the sharded network keeps one SmallRng per node so every node's latency /
+/// loss / fault draws come from its own stream and are independent of the
+/// global interleaving of sends — the property that keeps multi-shard runs
+/// bit-identical to single-shard runs. Draw-for-draw it does NOT reproduce
+/// Rng's sequences; the two engines are separate determinism domains.
+class SmallRng {
+ public:
+  SmallRng() : state_(0) {}
+  explicit SmallRng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Uniform in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return double(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (two uniforms per call; no state carried
+  /// between calls so each sample's draw count is fixed — important for
+  /// deterministic replay).
+  double Normal() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0) u1 = 5e-324;  // guard log(0)
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  double LogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * Normal());
+  }
+
+  double Exponential(double rate) {
+    double u = NextDouble();
+    if (u <= 0) u = 5e-324;
+    return -std::log(u) / rate;
+  }
+
+ private:
+  uint64_t state_;
 };
 
 }  // namespace gridvine

@@ -4,15 +4,32 @@ namespace gridvine {
 
 GridVineNetwork::GridVineNetwork(Options options)
     : options_(options), rng_(options.seed) {
-  tracer_.SetClock([this] { return sim_.Now(); });
-  network_ = std::make_unique<Network>(&sim_, MakeLatency(), rng_.Fork(),
-                                       options_.loss_probability);
-  network_->SetTracer(&tracer_);
   options_.peer.key_depth = options_.key_depth;
   options_.overlay.key_depth = options_.key_depth;
-  for (size_t i = 0; i < options_.num_peers; ++i) {
-    peers_.push_back(std::make_unique<GridVinePeer>(
-        &sim_, network_.get(), rng_.Fork(), options_.peer, options_.overlay));
+  if (options_.shards > 1) {
+    ShardedNetwork::Options sopts;
+    sopts.shards = options_.shards;
+    sopts.seed = options_.seed;
+    sopts.loss_probability = options_.loss_probability;
+    sopts.latency = MakeLatency();
+    engine_ = std::make_unique<ShardedNetwork>(std::move(sopts));
+    // Each peer is built against its owner shard's simulator and lane; the
+    // sequential construction order fixes the id <-> shard assignment.
+    for (size_t i = 0; i < options_.num_peers; ++i) {
+      peers_.push_back(std::make_unique<GridVinePeer>(
+          engine_->SimForNext(), engine_->LaneForNext(), rng_.Fork(),
+          options_.peer, options_.overlay));
+    }
+  } else {
+    tracer_.SetClock([this] { return sim_.Now(); });
+    network_ = std::make_unique<Network>(&sim_, MakeLatency(), rng_.Fork(),
+                                         options_.loss_probability);
+    network_->SetTracer(&tracer_);
+    for (size_t i = 0; i < options_.num_peers; ++i) {
+      peers_.push_back(std::make_unique<GridVinePeer>(
+          &sim_, network_.get(), rng_.Fork(), options_.peer,
+          options_.overlay));
+    }
   }
   Rng wire_rng = rng_.Fork();
   PGridBuilder::BuildBalanced(overlay_peers(), &wire_rng,
@@ -42,12 +59,38 @@ std::vector<PGridPeer*> GridVineNetwork::overlay_peers() {
 
 MetricsRegistry& GridVineNetwork::CollectMetrics() {
   metrics_.Clear();
-  network_->PublishMetrics(&metrics_);
+  if (engine_) {
+    engine_->PublishMetrics(&metrics_);
+  } else {
+    network_->PublishMetrics(&metrics_);
+  }
   for (auto& p : peers_) {
     p->PublishMetrics(&metrics_);
     p->overlay()->PublishMetrics(&metrics_);
   }
   return metrics_;
+}
+
+size_t GridVineNetwork::MemoryFootprint(
+    std::vector<std::pair<std::string, size_t>>* breakdown) const {
+  size_t overlay = 0, stores = 0, peers = 0;
+  for (const auto& p : peers_) {
+    overlay += p->overlay()->MemoryFootprint();
+    stores += p->local_db().MemoryFootprint();
+    peers += p->MemoryFootprint();
+  }
+  const size_t engine = engine_ ? engine_->MemoryFootprint()
+                                : sim_.MemoryFootprint();
+  const size_t total =
+      peers + engine +
+      peers_.capacity() * sizeof(std::unique_ptr<GridVinePeer>);
+  if (breakdown) {
+    breakdown->emplace_back("peers.total", peers);
+    breakdown->emplace_back("peers.overlay", overlay);
+    breakdown->emplace_back("peers.store", stores);
+    breakdown->emplace_back(engine_ ? "engine.sharded" : "engine.sim", engine);
+  }
+  return total;
 }
 
 void GridVineNetwork::RebuildOverlayAdaptive(const std::vector<Key>& sample) {
@@ -59,16 +102,25 @@ void GridVineNetwork::RebuildOverlayAdaptive(const std::vector<Key>& sample) {
 void GridVineNetwork::PumpUntil(const bool* done) {
   // One draining call instead of a Run(1)-per-event loop: the simulator
   // checks the flag between events, so stop semantics are unchanged but the
-  // per-event pump overhead (call + loop setup per event) is gone.
-  sim_.RunUntilFlag(done);
+  // per-event pump overhead (call + loop setup per event) is gone. The
+  // sharded engine checks at epoch boundaries instead — coarser, but every
+  // completion callback runs on the issuing peer's shard, which is what its
+  // flag rule requires.
+  if (engine_) {
+    engine_->RunUntilFlag(done);
+  } else {
+    sim_.RunUntilFlag(done);
+  }
 }
 
 Status GridVineNetwork::InsertTriple(size_t peer_idx, const Triple& triple) {
   bool done = false;
   Status result;
-  peers_[peer_idx]->InsertTriple(triple, [&](Status s) {
-    result = std::move(s);
-    done = true;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->InsertTriple(triple, [&](Status s) {
+      result = std::move(s);
+      done = true;
+    });
   });
   PumpUntil(&done);
   return result;
@@ -78,9 +130,11 @@ Status GridVineNetwork::InsertTriples(size_t peer_idx,
                                       const std::vector<Triple>& triples) {
   bool done = false;
   Status result;
-  peers_[peer_idx]->InsertTriples(triples, [&](Status s) {
-    result = std::move(s);
-    done = true;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->InsertTriples(triples, [&](Status s) {
+      result = std::move(s);
+      done = true;
+    });
   });
   PumpUntil(&done);
   return result;
@@ -89,9 +143,11 @@ Status GridVineNetwork::InsertTriples(size_t peer_idx,
 Status GridVineNetwork::RemoveTriple(size_t peer_idx, const Triple& triple) {
   bool done = false;
   Status result;
-  peers_[peer_idx]->RemoveTriple(triple, [&](Status s) {
-    result = std::move(s);
-    done = true;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->RemoveTriple(triple, [&](Status s) {
+      result = std::move(s);
+      done = true;
+    });
   });
   PumpUntil(&done);
   return result;
@@ -100,9 +156,11 @@ Status GridVineNetwork::RemoveTriple(size_t peer_idx, const Triple& triple) {
 Status GridVineNetwork::InsertSchema(size_t peer_idx, const Schema& schema) {
   bool done = false;
   Status result;
-  peers_[peer_idx]->InsertSchema(schema, [&](Status s) {
-    result = std::move(s);
-    done = true;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->InsertSchema(schema, [&](Status s) {
+      result = std::move(s);
+      done = true;
+    });
   });
   PumpUntil(&done);
   return result;
@@ -112,9 +170,11 @@ Status GridVineNetwork::InsertMapping(size_t peer_idx,
                                       const SchemaMapping& mapping) {
   bool done = false;
   Status result;
-  peers_[peer_idx]->InsertMapping(mapping, [&](Status s) {
-    result = std::move(s);
-    done = true;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->InsertMapping(mapping, [&](Status s) {
+      result = std::move(s);
+      done = true;
+    });
   });
   PumpUntil(&done);
   return result;
@@ -124,9 +184,11 @@ Status GridVineNetwork::UpsertMapping(size_t peer_idx,
                                       const SchemaMapping& mapping) {
   bool done = false;
   Status result;
-  peers_[peer_idx]->UpsertMapping(mapping, [&](Status s) {
-    result = std::move(s);
-    done = true;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->UpsertMapping(mapping, [&](Status s) {
+      result = std::move(s);
+      done = true;
+    });
   });
   PumpUntil(&done);
   return result;
@@ -138,11 +200,13 @@ Status GridVineNetwork::PublishDegree(size_t peer_idx,
                                       int out_degree) {
   bool done = false;
   Status result;
-  peers_[peer_idx]->PublishDegree(domain, schema, in_degree, out_degree,
-                                  [&](Status s) {
-                                    result = std::move(s);
-                                    done = true;
-                                  });
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->PublishDegree(domain, schema, in_degree, out_degree,
+                                    [&](Status s) {
+                                      result = std::move(s);
+                                      done = true;
+                                    });
+  });
   PumpUntil(&done);
   return result;
 }
@@ -151,9 +215,11 @@ Result<Schema> GridVineNetwork::FetchSchema(size_t peer_idx,
                                             const std::string& name) {
   bool done = false;
   Result<Schema> result = Status::Internal("not completed");
-  peers_[peer_idx]->FetchSchema(name, [&](Result<Schema> r) {
-    result = std::move(r);
-    done = true;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->FetchSchema(name, [&](Result<Schema> r) {
+      result = std::move(r);
+      done = true;
+    });
   });
   PumpUntil(&done);
   return result;
@@ -163,11 +229,13 @@ Result<std::vector<SchemaMapping>> GridVineNetwork::FetchMappingsFor(
     size_t peer_idx, const std::string& schema) {
   bool done = false;
   Result<std::vector<SchemaMapping>> result = Status::Internal("not completed");
-  peers_[peer_idx]->FetchMappingsFor(
-      schema, [&](Result<std::vector<SchemaMapping>> r) {
-        result = std::move(r);
-        done = true;
-      });
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->FetchMappingsFor(
+        schema, [&](Result<std::vector<SchemaMapping>> r) {
+          result = std::move(r);
+          done = true;
+        });
+  });
   PumpUntil(&done);
   return result;
 }
@@ -178,11 +246,13 @@ GridVineNetwork::FetchDomainDegrees(size_t peer_idx,
   bool done = false;
   Result<std::vector<GridVinePeer::DegreeRecord>> result =
       Status::Internal("not completed");
-  peers_[peer_idx]->FetchDomainDegrees(
-      domain, [&](Result<std::vector<GridVinePeer::DegreeRecord>> r) {
-        result = std::move(r);
-        done = true;
-      });
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->FetchDomainDegrees(
+        domain, [&](Result<std::vector<GridVinePeer::DegreeRecord>> r) {
+          result = std::move(r);
+          done = true;
+        });
+  });
   PumpUntil(&done);
   return result;
 }
@@ -192,11 +262,13 @@ GridVinePeer::QueryResult GridVineNetwork::SearchFor(
     const GridVinePeer::QueryOptions& options) {
   bool done = false;
   GridVinePeer::QueryResult result;
-  peers_[peer_idx]->SearchFor(query, options,
-                              [&](GridVinePeer::QueryResult r) {
-                                result = std::move(r);
-                                done = true;
-                              });
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->SearchFor(query, options,
+                                [&](GridVinePeer::QueryResult r) {
+                                  result = std::move(r);
+                                  done = true;
+                                });
+  });
   PumpUntil(&done);
   return result;
 }
@@ -206,11 +278,13 @@ GridVinePeer::ConjunctiveResult GridVineNetwork::SearchForConjunctive(
     const GridVinePeer::QueryOptions& options) {
   bool done = false;
   GridVinePeer::ConjunctiveResult result;
-  peers_[peer_idx]->SearchForConjunctive(
-      query, options, [&](GridVinePeer::ConjunctiveResult r) {
-        result = std::move(r);
-        done = true;
-      });
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->SearchForConjunctive(
+        query, options, [&](GridVinePeer::ConjunctiveResult r) {
+          result = std::move(r);
+          done = true;
+        });
+  });
   PumpUntil(&done);
   return result;
 }

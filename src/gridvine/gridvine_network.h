@@ -13,6 +13,7 @@
 #include "pgrid/pgrid_builder.h"
 #include "sim/latency.h"
 #include "sim/network.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 
 namespace gridvine {
@@ -43,6 +44,12 @@ class GridVineNetwork {
     SimTime wan_straggler_mean = 4.0;
     double loss_probability = 0.0;
     int refs_per_level = 2;
+    /// > 1 runs the deployment on the sharded conservative-parallel engine
+    /// (ShardedNetwork): peers are partitioned across this many event-queue
+    /// shards with worker threads. Outcomes are bit-identical across shard
+    /// counts; tracing is unavailable and sim()/network() return null — use
+    /// engine(). 1 (default) keeps the classic single-queue path.
+    uint32_t shards = 1;
     PGridPeer::Options overlay;
     GridVinePeer::Options peer;
   };
@@ -52,9 +59,15 @@ class GridVineNetwork {
   GridVineNetwork(const GridVineNetwork&) = delete;
   GridVineNetwork& operator=(const GridVineNetwork&) = delete;
 
-  Simulator* sim() { return &sim_; }
+  /// Single-queue event loop and transport; null when shards > 1.
+  Simulator* sim() { return engine_ ? nullptr : &sim_; }
   Network* network() { return network_.get(); }
+  /// The sharded engine; null when shards == 1.
+  ShardedNetwork* engine() { return engine_.get(); }
   Rng* rng() { return &rng_; }
+
+  /// Simulated time, whichever engine is driving.
+  SimTime Now() const { return engine_ ? engine_->Now() : sim_.Now(); }
 
   /// The deployment's tracer, pre-wired into the transport and clocked on
   /// simulated time. Disabled (zero-cost) until tracer()->Enable().
@@ -105,7 +118,18 @@ class GridVineNetwork {
       const GridVinePeer::QueryOptions& options = {});
 
   /// Runs the event loop until idle (drains in-flight maintenance traffic).
-  void Settle() { sim_.Run(); }
+  void Settle() {
+    if (engine_) {
+      engine_->RunUntilIdle();
+    } else {
+      sim_.Run();
+    }
+  }
+
+  /// Aggregate per-peer + engine memory accounting, in bytes. `breakdown`
+  /// (optional) receives named per-component totals for display.
+  size_t MemoryFootprint(
+      std::vector<std::pair<std::string, size_t>>* breakdown = nullptr) const;
 
  private:
   std::unique_ptr<LatencyModel> MakeLatency();
@@ -113,12 +137,25 @@ class GridVineNetwork {
   /// Pumps the simulator one event at a time until `*done` or idle.
   void PumpUntil(const bool* done);
 
+  /// Runs `f` attributed to peer `peer_idx` — on the sharded engine, issuing
+  /// work from outside an event must go through RunAsNode so the sends it
+  /// triggers draw from that peer's streams. Direct call in single mode.
+  template <typename F>
+  void Issue(size_t peer_idx, F&& f) {
+    if (engine_) {
+      engine_->RunAsNode(static_cast<NodeId>(peer_idx), std::forward<F>(f));
+    } else {
+      f();
+    }
+  }
+
   Options options_;
   Simulator sim_;
   Rng rng_;
   Tracer tracer_;
   MetricsRegistry metrics_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<ShardedNetwork> engine_;  // shards > 1 only
   std::vector<std::unique_ptr<GridVinePeer>> peers_;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mem_estimate.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "query/exec/bind.h"
@@ -1177,6 +1178,19 @@ void GridVinePeer::HandleBoundScanResponse(const BoundScanResponse& resp) {
     }
   }
   CloseBoundScan(resp.exec_id, resp.dispatch_id, /*answered=*/true);
+}
+
+size_t GridVinePeer::MemoryFootprint() const {
+  // Transient query state (pending_queries_, active_execs_) is counted
+  // structurally — its strings are short-lived and negligible against the
+  // store and overlay at steady state.
+  size_t bytes = sizeof(*this) + overlay_->MemoryFootprint() +
+                 local_db_.MemoryFootprint();
+  bytes += HashMapBytes(pending_queries_) + HashMapBytes(active_execs_);
+  bytes += RbTreeBytes(recursive_seen_.size(), sizeof(*recursive_seen_.begin()));
+  bytes += RbTreeBytes(published_degrees_.size(),
+                       sizeof(*published_degrees_.begin()));
+  return bytes;
 }
 
 }  // namespace gridvine

@@ -238,6 +238,10 @@ class GridVinePeer {
   /// Adds this peer's counters into `metrics` under "gv.*".
   void PublishMetrics(MetricsRegistry* metrics) const;
 
+  /// Bytes held by this peer across both layers: the mediation-layer object,
+  /// local triple store, and the P-Grid overlay peer underneath.
+  size_t MemoryFootprint() const;
+
   /// Conjunctive executors still in flight (0 once every conjunctive query
   /// has resolved — the chaos tests' leak check).
   size_t ActiveConjunctiveExecs() const { return active_execs_.size(); }

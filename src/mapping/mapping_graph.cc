@@ -4,6 +4,8 @@
 #include <functional>
 #include <queue>
 
+#include "common/mem_estimate.h"
+
 namespace gridvine {
 
 void MappingGraph::AddSchema(const std::string& name) { schemas_.insert(name); }
@@ -11,7 +13,7 @@ void MappingGraph::AddSchema(const std::string& name) { schemas_.insert(name); }
 void MappingGraph::AddMapping(const SchemaMapping& mapping) {
   schemas_.insert(mapping.source_schema());
   schemas_.insert(mapping.target_schema());
-  mappings_[mapping.id()] = mapping;
+  mappings_[mapping.id()] = MappingPool().Intern(mapping.Serialize(), mapping);
   ++version_;
 }
 
@@ -24,8 +26,12 @@ bool MappingGraph::RemoveMapping(const std::string& id) {
 bool MappingGraph::Deprecate(const std::string& id) {
   auto it = mappings_.find(id);
   if (it == mappings_.end()) return false;
-  if (!it->second.deprecated()) {
-    it->second.set_deprecated(true);
+  if (!it->second->deprecated()) {
+    // The stored object is shared; swap in an interned deprecated variant
+    // instead of writing through it.
+    SchemaMapping updated = *it->second;
+    updated.set_deprecated(true);
+    it->second = MappingPool().Intern(updated.Serialize(), updated);
     ++version_;
   }
   return true;
@@ -34,7 +40,13 @@ bool MappingGraph::Deprecate(const std::string& id) {
 Result<SchemaMapping> MappingGraph::Get(const std::string& id) const {
   auto it = mappings_.find(id);
   if (it == mappings_.end()) return Status::NotFound("no mapping " + id);
-  return it->second;
+  return *it->second;
+}
+
+std::shared_ptr<const SchemaMapping> MappingGraph::GetShared(
+    const std::string& id) const {
+  auto it = mappings_.find(id);
+  return it == mappings_.end() ? nullptr : it->second;
 }
 
 bool MappingGraph::Contains(const std::string& id) const {
@@ -48,7 +60,7 @@ std::vector<std::string> MappingGraph::Schemas() const {
 size_t MappingGraph::active_mapping_count() const {
   size_t n = 0;
   for (const auto& [_, m] : mappings_) {
-    if (!m.deprecated()) ++n;
+    if (!m->deprecated()) ++n;
   }
   return n;
 }
@@ -56,10 +68,10 @@ size_t MappingGraph::active_mapping_count() const {
 std::vector<MappingGraph::Edge> MappingGraph::ActiveEdges() const {
   std::vector<Edge> edges;
   for (const auto& [id, m] : mappings_) {
-    if (m.deprecated()) continue;
-    edges.push_back(Edge{id, m.source_schema(), m.target_schema(), false});
-    if (m.bidirectional()) {
-      edges.push_back(Edge{id, m.target_schema(), m.source_schema(), true});
+    if (m->deprecated()) continue;
+    edges.push_back(Edge{id, m->source_schema(), m->target_schema(), false});
+    if (m->bidirectional()) {
+      edges.push_back(Edge{id, m->target_schema(), m->source_schema(), true});
     }
   }
   return edges;
@@ -69,10 +81,10 @@ std::vector<SchemaMapping> MappingGraph::MappingsFrom(
     const std::string& schema) const {
   std::vector<SchemaMapping> out;
   for (const auto& [_, m] : mappings_) {
-    if (m.deprecated()) continue;
-    if (m.source_schema() == schema) out.push_back(m);
-    if (m.bidirectional() && m.target_schema() == schema) {
-      out.push_back(m.Reversed());
+    if (m->deprecated()) continue;
+    if (m->source_schema() == schema) out.push_back(*m);
+    if (m->bidirectional() && m->target_schema() == schema) {
+      out.push_back(m->Reversed());
     }
   }
   return out;
@@ -119,7 +131,7 @@ Result<std::vector<SchemaMapping>> MappingGraph::FindPath(
         std::string node = dst;
         while (node != src) {
           const Edge& pe = edges[size_t(parent_edge[node])];
-          SchemaMapping m = mappings_.at(pe.mapping_id);
+          const SchemaMapping& m = *mappings_.at(pe.mapping_id);
           path.push_back(pe.reversed ? m.Reversed() : m);
           node = pe.from;
         }
@@ -136,9 +148,9 @@ std::vector<std::vector<std::string>> MappingGraph::CyclesThrough(
     const std::string& id, int max_len) const {
   std::vector<std::vector<std::string>> cycles;
   auto it = mappings_.find(id);
-  if (it == mappings_.end() || it->second.deprecated()) return cycles;
-  const std::string& home = it->second.source_schema();
-  const std::string& start = it->second.target_schema();
+  if (it == mappings_.end() || it->second->deprecated()) return cycles;
+  const std::string& home = it->second->source_schema();
+  const std::string& start = it->second->target_schema();
   std::vector<Edge> edges = ActiveEdges();
 
   // DFS over simple paths start -> home (edge `id` traversed first and
@@ -250,6 +262,17 @@ std::vector<std::pair<int, int>> MappingGraph::DegreeSequence() const {
   out.reserve(degrees.size());
   for (const auto& [_, d] : degrees) out.push_back(d);
   return out;
+}
+
+size_t MappingGraph::MemoryFootprint() const {
+  size_t bytes = RbTreeBytes(schemas_.size(), sizeof(*schemas_.begin())) +
+                 RbTreeBytes(mappings_.size(), sizeof(*mappings_.begin()));
+  for (const auto& s : schemas_) bytes += StringHeapBytes(s);
+  for (const auto& [id, m] : mappings_) {
+    (void)m;
+    bytes += StringHeapBytes(id);
+  }
+  return bytes;
 }
 
 }  // namespace gridvine

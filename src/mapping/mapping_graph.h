@@ -2,6 +2,7 @@
 #define GRIDVINE_MAPPING_MAPPING_GRAPH_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -17,7 +18,10 @@ namespace gridvine {
 /// an edge in each direction.
 ///
 /// The graph is a *view* a peer assembles (e.g. the connectivity-monitoring
-/// peer, or an experiment harness); it stores copies of the mappings.
+/// peer, or an experiment harness); it stores refcounted interned mappings
+/// (MappingPool()), so a thousand peers assembling the same graph share one
+/// object per mapping. Deprecation swaps in a re-interned variant rather
+/// than mutating the shared object.
 class MappingGraph {
  public:
   MappingGraph() = default;
@@ -36,6 +40,8 @@ class MappingGraph {
   uint64_t version() const { return version_; }
 
   Result<SchemaMapping> Get(const std::string& id) const;
+  /// The shared immutable object for `id`, or null. No copy.
+  std::shared_ptr<const SchemaMapping> GetShared(const std::string& id) const;
   bool Contains(const std::string& id) const;
 
   std::vector<std::string> Schemas() const;
@@ -77,6 +83,10 @@ class MappingGraph {
   /// indicator of Section 3.1.
   std::vector<std::pair<int, int>> DegreeSequence() const;
 
+  /// Bytes owned by this view (node names, ref map); shared mapping objects
+  /// are accounted in MappingPool().
+  size_t MemoryFootprint() const;
+
  private:
   struct Edge {
     std::string mapping_id;
@@ -89,7 +99,7 @@ class MappingGraph {
   std::vector<Edge> ActiveEdges() const;
 
   std::set<std::string> schemas_;
-  std::map<std::string, SchemaMapping> mappings_;
+  std::map<std::string, std::shared_ptr<const SchemaMapping>> mappings_;
   uint64_t version_ = 0;
 };
 

@@ -8,6 +8,11 @@
 
 namespace gridvine {
 
+InternPool<SchemaMapping>& MappingPool() {
+  static InternPool<SchemaMapping> pool;
+  return pool;
+}
+
 Status SchemaMapping::AddCorrespondence(const std::string& source_attr_uri,
                                         const std::string& target_attr_uri) {
   if (Schema::SchemaOfUri(source_attr_uri) != source_schema_) {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "common/interner.h"
 #include "common/result.h"
 
 namespace gridvine {
@@ -25,6 +26,13 @@ enum class MappingProvenance { kManual, kAutomatic };
 /// source schema to a target schema. Queries posed against the source schema
 /// are reformulated by substituting each source predicate with its
 /// correspondent (view unfolding).
+class SchemaMapping;
+
+/// The process-wide SchemaMapping intern pool (see common/interner.h):
+/// MappingGraph views across all peers share one object per distinct
+/// serialized mapping.
+InternPool<SchemaMapping>& MappingPool();
+
 class SchemaMapping {
  public:
   SchemaMapping() = default;

@@ -74,45 +74,71 @@ void PGridBuilder::WireRouting(const std::vector<PGridPeer*>& peers, Rng* rng,
     p->routing()->SetPath(p->path());
     p->routing()->ClearLinks();
   }
-  // Index peers by path string so complementary-subtree candidates can be
-  // found with a prefix range scan instead of a full pass per level.
+  // Index peers by path string so complementary-subtree candidates live in a
+  // contiguous sorted range. Refs are then *sampled* from that range instead
+  // of collected and shuffled: at level 0 the complementary subtree holds
+  // ~n/2 peers, so collect-then-shuffle is O(n^2) across the network and was
+  // the wall that kept 100k+-peer deployments from constructing.
   std::vector<std::pair<std::string, PGridPeer*>> by_path;
   by_path.reserve(peers.size());
   for (PGridPeer* q : peers) by_path.emplace_back(q->path().bits(), q);
   std::sort(by_path.begin(), by_path.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  auto for_each_with_prefix = [&](const std::string& prefix,
-                                  const std::function<void(PGridPeer*)>& fn) {
-    auto lo = std::lower_bound(
-        by_path.begin(), by_path.end(), prefix,
-        [](const auto& e, const std::string& v) { return e.first < v; });
-    for (auto it = lo; it != by_path.end(); ++it) {
-      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
-      fn(it->second);
+  // [lo, hi) of entries whose path starts with `prefix`. The upper bound is
+  // the lower bound of the lexicographic successor prefix (increment the
+  // last non-'1' bit, dropping trailing '1's; all-'1' prefixes run to end()).
+  auto prefix_range = [&](std::string prefix) {
+    auto cmp = [](const auto& e, const std::string& v) { return e.first < v; };
+    auto lo = std::lower_bound(by_path.begin(), by_path.end(), prefix, cmp);
+    while (!prefix.empty() && prefix.back() == '1') prefix.pop_back();
+    auto hi = by_path.end();
+    if (!prefix.empty()) {
+      prefix.back() = '1';
+      hi = std::lower_bound(by_path.begin(), by_path.end(), prefix, cmp);
     }
+    return std::make_pair(lo, hi);
   };
 
   for (PGridPeer* p : peers) {
     const Key& path = p->path();
     for (int level = 0; level < path.length(); ++level) {
       // Complementary subtree at `level`: same first `level` bits, opposite
-      // bit at `level`.
+      // bit at `level`. Never contains p itself.
       std::string prefix =
           path.Prefix(level).bits() + (path.bit(level) ? '0' : '1');
-      std::vector<NodeId> candidates;
-      for_each_with_prefix(prefix, [&](PGridPeer* q) {
-        if (q != p) candidates.push_back(q->id());
-      });
-      rng->Shuffle(&candidates);
-      int take = std::min<int>(refs_per_level, int(candidates.size()));
-      for (int i = 0; i < take; ++i) {
-        p->routing()->AddRef(level, candidates[size_t(i)]);
+      auto [lo, hi] = prefix_range(prefix);
+      const auto m = size_t(hi - lo);
+      if (m == 0) continue;
+      if (m <= size_t(refs_per_level) * 4) {
+        // Small pool: uniform without-replacement via shuffle, as before.
+        std::vector<NodeId> candidates;
+        candidates.reserve(m);
+        for (auto it = lo; it != hi; ++it) candidates.push_back(it->second->id());
+        rng->Shuffle(&candidates);
+        int take = std::min<int>(refs_per_level, int(candidates.size()));
+        for (int i = 0; i < take; ++i) {
+          p->routing()->AddRef(level, candidates[size_t(i)]);
+        }
+      } else {
+        // Large pool: rejection-sample indexes (AddRef dedups). With the
+        // pool at least 4x the draw count, a handful of attempts suffices.
+        int added = 0;
+        for (int attempt = 0; attempt < refs_per_level * 4 &&
+                              added < refs_per_level;
+             ++attempt) {
+          NodeId id = (lo + ptrdiff_t(rng->UniformInt(0, int64_t(m) - 1)))
+                          ->second->id();
+          if (p->routing()->AddRef(level, id)) ++added;
+        }
       }
     }
-    // Replica set: identical paths.
-    for_each_with_prefix(path.bits(), [&](PGridPeer* q) {
+    // Replica set: identical paths. Trie paths are prefix-free, so the
+    // prefix range of the full path holds exactly the replica group.
+    auto [lo, hi] = prefix_range(path.bits());
+    for (auto it = lo; it != hi; ++it) {
+      PGridPeer* q = it->second;
       if (q != p && q->path() == path) p->routing()->AddReplica(q->id());
-    });
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mem_estimate.h"
 #include "common/metrics.h"
 
 namespace gridvine {
@@ -607,6 +608,22 @@ void PGridPeer::PublishMetrics(MetricsRegistry* metrics) const {
 
 void PGridPeer::HandleReplicaUpdate(const ReplicaUpdate& upd) {
   ApplyLocal(upd.op, upd.key, upd.value);
+}
+
+size_t PGridPeer::MemoryFootprint() const {
+  size_t bytes = sizeof(*this) + routing_.MemoryFootprint();
+  bytes += RbTreeBytes(storage_.size(),
+                       sizeof(std::multimap<Key, std::string>::value_type));
+  for (const auto& [key, value] : storage_) {
+    bytes += StringHeapBytes(key.bits()) + StringHeapBytes(value);
+  }
+  bytes += RbTreeBytes(present_.size(), sizeof(*present_.begin()));
+  for (const auto& [k, v] : present_) {
+    bytes += StringHeapBytes(k) + StringHeapBytes(v);
+  }
+  bytes += HashMapBytes(pending_);
+  bytes += protocol_handlers_.capacity() * sizeof(ProtocolHandler);
+  return bytes;
 }
 
 }  // namespace gridvine

@@ -201,6 +201,10 @@ class PGridPeer : public NetworkNode {
   /// Adds this peer's counters into `metrics` under "pgrid.*".
   void PublishMetrics(MetricsRegistry* metrics) const;
 
+  /// Bytes held by this peer (object, routing table, overlay storage,
+  /// in-flight request map), by capacity; see common/mem_estimate.h.
+  size_t MemoryFootprint() const;
+
   /// Requests issued here and not yet resolved (answered, failed or timed
   /// out). The chaos harness asserts this drains to zero.
   size_t PendingRequests() const { return pending_.size(); }

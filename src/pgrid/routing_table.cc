@@ -2,37 +2,51 @@
 
 #include <algorithm>
 
+#include "common/mem_estimate.h"
+
 namespace gridvine {
 
 void RoutingTable::SetPath(const Key& path) {
   path_ = path;
-  refs_.resize(static_cast<size_t>(path.length()));
+  const size_t new_levels = static_cast<size_t>(path.length());
+  // Same semantics as the old per-level vectors being resized: growing adds
+  // empty levels, shrinking drops the refs of truncated levels.
+  slots_.resize(new_levels * size_t(max_refs_per_level_), kInvalidNode);
+  counts_.resize(new_levels, 0);
 }
 
 bool RoutingTable::AddRef(int level, NodeId id) {
   if (level < 0 || level >= levels()) return false;
-  auto& lst = refs_[static_cast<size_t>(level)];
-  if (static_cast<int>(lst.size()) >= max_refs_per_level_) return false;
-  if (std::find(lst.begin(), lst.end(), id) != lst.end()) return false;
-  lst.push_back(id);
+  uint8_t& count = counts_[static_cast<size_t>(level)];
+  if (int(count) >= max_refs_per_level_) return false;
+  NodeId* block = LevelBlock(level);
+  for (uint8_t i = 0; i < count; ++i) {
+    if (block[i] == id) return false;
+  }
+  block[count++] = id;
   return true;
 }
 
 void RoutingTable::ClearLinks() {
-  for (auto& lst : refs_) lst.clear();
+  std::fill(counts_.begin(), counts_.end(), uint8_t{0});
   replicas_.clear();
 }
 
 void RoutingTable::RemoveRef(NodeId id) {
-  for (auto& lst : refs_) {
-    lst.erase(std::remove(lst.begin(), lst.end(), id), lst.end());
+  for (int level = 0; level < levels(); ++level) {
+    NodeId* block = LevelBlock(level);
+    uint8_t& count = counts_[static_cast<size_t>(level)];
+    uint8_t kept = 0;
+    for (uint8_t i = 0; i < count; ++i) {
+      if (block[i] != id) block[kept++] = block[i];
+    }
+    count = kept;
   }
 }
 
-const std::vector<NodeId>& RoutingTable::RefsAt(int level) const {
-  static const std::vector<NodeId> kEmpty;
-  if (level < 0 || level >= levels()) return kEmpty;
-  return refs_[static_cast<size_t>(level)];
+RefSpan RoutingTable::RefsAt(int level) const {
+  if (level < 0 || level >= levels()) return RefSpan();
+  return RefSpan(LevelBlock(level), counts_[static_cast<size_t>(level)]);
 }
 
 int RoutingTable::DivergenceLevel(const Key& key) const {
@@ -47,16 +61,25 @@ std::optional<NodeId> RoutingTable::NextHop(const Key& key, Rng* rng,
                                             NodeId exclude) const {
   int l = DivergenceLevel(key);
   if (l >= path_.length()) return std::nullopt;  // our subtree: local
-  const auto& lst = refs_[static_cast<size_t>(l)];
-  if (lst.empty()) return std::nullopt;
-  // Prefer an alternative to `exclude` when one exists.
-  std::vector<NodeId> candidates;
-  candidates.reserve(lst.size());
-  for (NodeId id : lst) {
-    if (id != exclude) candidates.push_back(id);
+  const NodeId* block = LevelBlock(l);
+  const uint8_t count = counts_[static_cast<size_t>(l)];
+  if (count == 0) return std::nullopt;
+  // Prefer an alternative to `exclude` when one exists. Selection draws one
+  // uniform index over the candidate count and scans to it — the same single
+  // Rng draw (hence the same picks, seed for seed) as the old
+  // build-a-candidate-vector-and-PickOne, without the allocation.
+  uint8_t eligible = 0;
+  for (uint8_t i = 0; i < count; ++i) {
+    if (block[i] != exclude) ++eligible;
   }
-  if (candidates.empty()) candidates = lst;
-  return rng->PickOne(candidates);
+  const bool filtered = eligible > 0;
+  const uint8_t n = filtered ? eligible : count;
+  auto pick = static_cast<uint8_t>(rng->UniformInt(0, int64_t(n) - 1));
+  for (uint8_t i = 0, seen = 0; i < count; ++i) {
+    if (filtered && block[i] == exclude) continue;
+    if (seen++ == pick) return block[i];
+  }
+  return block[count - 1];  // unreachable
 }
 
 void RoutingTable::AddReplica(NodeId id) {
@@ -72,8 +95,14 @@ void RoutingTable::RemoveReplica(NodeId id) {
 
 size_t RoutingTable::TotalRefs() const {
   size_t n = 0;
-  for (const auto& lst : refs_) n += lst.size();
+  for (uint8_t c : counts_) n += c;
   return n;
+}
+
+size_t RoutingTable::MemoryFootprint() const {
+  return slots_.capacity() * sizeof(NodeId) +
+         counts_.capacity() * sizeof(uint8_t) +
+         replicas_.capacity() * sizeof(NodeId) + StringHeapBytes(path_.bits());
 }
 
 }  // namespace gridvine

@@ -1,6 +1,7 @@
 #ifndef GRIDVINE_PGRID_ROUTING_TABLE_H_
 #define GRIDVINE_PGRID_ROUTING_TABLE_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -10,6 +11,29 @@
 
 namespace gridvine {
 
+/// Read-only view over one level's references (or the replica set): a
+/// pointer + length into the table's contiguous slot array. Iterable and
+/// indexable like the std::vector it replaced; invalidated by any mutation
+/// of the table, so don't hold one across AddRef/RemoveRef/SetPath.
+class RefSpan {
+ public:
+  using value_type = NodeId;
+
+  RefSpan() = default;
+  RefSpan(const NodeId* data, size_t size) : data_(data), size_(size) {}
+
+  const NodeId* begin() const { return data_; }
+  const NodeId* end() const { return data_ + size_; }
+  const NodeId* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NodeId operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const NodeId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// A P-Grid peer's routing state: for each level l of its path π(p), a set of
 /// references to peers whose paths share the first l bits of π(p) and differ
 /// at bit l (the "complementary subtree" at that level), plus the replica set
@@ -17,12 +41,23 @@ namespace gridvine {
 ///
 /// The level-wise invariant is exactly what makes greedy prefix routing
 /// resolve any key in at most |π(p)| forwards.
+///
+/// Layout: one contiguous NodeId array of `levels * max_refs_per_level`
+/// fixed-width blocks plus a byte of occupancy per level — two heap
+/// allocations per peer total (vs. one vector header + one heap block per
+/// level before). At 4 refs/level a 20-level table is 320 B of ids + 20
+/// count bytes, and a simulation holding a million of these keeps them in
+/// ~400 MB instead of several GB of malloc'd node fragments. The level cap
+/// is bounded at 255 so counts fit a byte.
 class RoutingTable {
  public:
   /// `max_refs_per_level` caps fan-out; additional refs are ignored. More
   /// refs give routing more alternatives under churn at modest memory cost.
   explicit RoutingTable(int max_refs_per_level = 4)
-      : max_refs_per_level_(max_refs_per_level) {}
+      : max_refs_per_level_(
+            max_refs_per_level < 1
+                ? 1
+                : (max_refs_per_level > 255 ? 255 : max_refs_per_level)) {}
 
   /// Sets the owning peer's path; resizes the level structure and drops refs
   /// that became inconsistent with the new path (those at levels >= length
@@ -43,14 +78,16 @@ class RoutingTable {
   /// complementary-subtree invariant).
   void ClearLinks();
 
-  const std::vector<NodeId>& RefsAt(int level) const;
+  /// View of level `level`'s refs (empty for out-of-range levels).
+  /// Invalidated by any table mutation.
+  RefSpan RefsAt(int level) const;
 
   /// Picks the next hop for `key`: the divergence level l of `key` against
   /// π(p) selects the ref list; a uniformly random entry is returned (random
   /// choice spreads load over alternatives and lets retries explore different
   /// paths under churn). Excludes `exclude` if other options exist.
   /// Returns nullopt when the key belongs to this peer's subtree or no ref
-  /// is known at the divergence level.
+  /// is known at the divergence level. Allocation-free.
   std::optional<NodeId> NextHop(const Key& key, Rng* rng,
                                 NodeId exclude = kInvalidNode) const;
 
@@ -62,16 +99,29 @@ class RoutingTable {
   void RemoveReplica(NodeId id);
   const std::vector<NodeId>& replicas() const { return replicas_; }
 
-  int levels() const { return static_cast<int>(refs_.size()); }
+  int levels() const { return static_cast<int>(counts_.size()); }
   int max_refs_per_level() const { return max_refs_per_level_; }
 
   /// Total number of stored references across levels.
   size_t TotalRefs() const;
 
+  /// Bytes of heap behind this table (slot array, counts, replicas, path),
+  /// by capacity.
+  size_t MemoryFootprint() const;
+
  private:
+  NodeId* LevelBlock(int level) {
+    return slots_.data() + size_t(level) * size_t(max_refs_per_level_);
+  }
+  const NodeId* LevelBlock(int level) const {
+    return slots_.data() + size_t(level) * size_t(max_refs_per_level_);
+  }
+
   int max_refs_per_level_;
   Key path_;
-  std::vector<std::vector<NodeId>> refs_;  // refs_[l] = complementary subtree
+  /// Fixed-width blocks, one per level: slots_[l*cap .. l*cap+counts_[l]).
+  std::vector<NodeId> slots_;
+  std::vector<uint8_t> counts_;
   std::vector<NodeId> replicas_;
 };
 

@@ -2,24 +2,67 @@
 
 namespace gridvine {
 
+namespace {
+Term MakeTerm(TermKind kind, std::string_view value) {
+  switch (kind) {
+    case TermKind::kUri: return Term::Uri(std::string(value));
+    case TermKind::kLiteral: return Term::Literal(std::string(value));
+    case TermKind::kVariable: return Term::Var(std::string(value));
+  }
+  return Term();
+}
+}  // namespace
+
+size_t TermDictionary::FindBucket(TermKind kind,
+                                  std::string_view value) const {
+  const size_t mask = buckets_.size() - 1;
+  size_t b = HashOf(kind, value) & mask;
+  while (buckets_[b] != kNoTermId && !EntryEquals(buckets_[b], kind, value)) {
+    b = (b + 1) & mask;
+  }
+  return b;
+}
+
+void TermDictionary::Grow() {
+  const size_t new_size = buckets_.empty() ? 16 : buckets_.size() * 2;
+  buckets_.assign(new_size, kNoTermId);
+  const size_t mask = new_size - 1;
+  for (TermId id = 0; id < entries_.size(); ++id) {
+    const Entry& e = entries_[id];
+    size_t b = HashOf(e.kind, std::string_view(e.chars, e.len)) & mask;
+    while (buckets_[b] != kNoTermId) b = (b + 1) & mask;
+    buckets_[b] = id;
+  }
+}
+
 TermId TermDictionary::Intern(const Term& term) {
-  auto it = ids_.find(term);
-  if (it != ids_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
-  auto [inserted, _] = ids_.emplace(term, id);
-  terms_.push_back(&inserted->first);
+  if (buckets_.empty() || entries_.size() * 10 >= buckets_.size() * 7) Grow();
+  const size_t b = FindBucket(term.kind(), term.value());
+  if (buckets_[b] != kNoTermId) return buckets_[b];
+  const std::string_view stored = arena_.CopyString(term.value());
+  const TermId id = static_cast<TermId>(entries_.size());
+  entries_.push_back(
+      Entry{stored.data(), static_cast<uint32_t>(stored.size()), term.kind()});
+  buckets_[b] = id;
   return id;
 }
 
 std::optional<TermId> TermDictionary::Lookup(const Term& term) const {
-  auto it = ids_.find(term);
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  if (buckets_.empty()) return std::nullopt;
+  const size_t b = FindBucket(term.kind(), term.value());
+  if (buckets_[b] == kNoTermId) return std::nullopt;
+  return buckets_[b];
+}
+
+Term TermDictionary::Decode(TermId id) const {
+  const Entry& e = entries_[id];
+  return MakeTerm(e.kind, std::string_view(e.chars, e.len));
 }
 
 void TermDictionary::Clear() {
-  ids_.clear();
-  terms_.clear();
+  entries_.clear();
+  buckets_.clear();
+  arena_.Reset();
 }
 
 }  // namespace gridvine

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "rdf/term.h"
 
 namespace gridvine {
@@ -34,6 +35,14 @@ struct TermHash {
 /// its hot paths and only touches strings when terms enter or leave the
 /// system. Ids are never recycled — a dictionary only grows (callers that
 /// erase data keep decode stability; see TripleStore's compaction notes).
+///
+/// Storage: term characters live in a bump Arena and each id maps to a
+/// 16-byte {chars, len, kind} entry in one contiguous array; the reverse
+/// index is an open-addressed table of ids. Interning a term costs one
+/// arena bump + one table slot — no per-term malloc node, no per-term
+/// std::string header — which is what keeps a million per-peer dictionaries
+/// affordable. The old layout spent an unordered_map node plus a heap
+/// string per term.
 class TermDictionary {
  public:
   TermDictionary() = default;
@@ -45,19 +54,59 @@ class TermDictionary {
   /// Never modifies the dictionary — the lookup path for query constants.
   std::optional<TermId> Lookup(const Term& term) const;
 
-  /// The term for a previously returned id. Precondition: id < size().
-  const Term& Decode(TermId id) const { return *terms_[id]; }
+  /// The term for a previously returned id, materialized as a value (one
+  /// string copy — same cost callers already paid when they copied the
+  /// reference the old API returned). Precondition: id < size().
+  Term Decode(TermId id) const;
 
-  size_t size() const { return terms_.size(); }
-  bool empty() const { return terms_.empty(); }
+  /// Zero-copy view of the term's characters (stable until Clear()).
+  std::string_view DecodeView(TermId id) const {
+    const Entry& e = entries_[id];
+    return std::string_view(e.chars, e.len);
+  }
+  TermKind KindOf(TermId id) const { return entries_[id].kind; }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
 
   void Clear();
 
+  /// Bytes of heap behind the dictionary (arena chunks, entry array, index
+  /// table), by capacity.
+  size_t MemoryFootprint() const {
+    return arena_.bytes_reserved() + entries_.capacity() * sizeof(Entry) +
+           buckets_.capacity() * sizeof(TermId);
+  }
+
  private:
-  // The map owns the Term; unordered_map nodes are address-stable, so the
-  // decode table can point straight into them (no second string copy).
-  std::unordered_map<Term, TermId, TermHash> ids_;
-  std::vector<const Term*> terms_;
+  struct Entry {
+    const char* chars;
+    uint32_t len;
+    TermKind kind;
+  };
+
+  static size_t HashOf(TermKind kind, std::string_view value) {
+    // Matches TermHash for the same (kind, value): the standard guarantees
+    // hash<string> and hash<string_view> agree on equal character sequences.
+    return std::hash<std::string_view>()(value) ^
+           (size_t(kind) * 0x9e3779b97f4a7c15ULL);
+  }
+
+  bool EntryEquals(TermId id, TermKind kind, std::string_view value) const {
+    const Entry& e = entries_[id];
+    return e.kind == kind && std::string_view(e.chars, e.len) == value;
+  }
+
+  /// Finds the bucket holding (kind, value) or the empty bucket where it
+  /// would go. Precondition: !buckets_.empty().
+  size_t FindBucket(TermKind kind, std::string_view value) const;
+  void Grow();
+
+  Arena arena_;
+  std::vector<Entry> entries_;  // indexed by TermId
+  /// Open-addressed (linear probe) index of ids; kNoTermId marks empty.
+  /// Size is a power of two; grown at 70% load.
+  std::vector<TermId> buckets_;
 };
 
 }  // namespace gridvine

@@ -86,36 +86,45 @@ Result<Schema> Schema::Parse(const std::string& line) {
   return s;
 }
 
+InternPool<Schema>& SchemaPool() {
+  static InternPool<Schema> pool;
+  return pool;
+}
+
 Status SchemaRegistry::Register(const Schema& schema) {
   GV_RETURN_NOT_OK(schema.Validate());
+  auto shared = SchemaPool().Intern(schema.Serialize(), schema);
   for (auto& s : schemas_) {
-    if (s.name() == schema.name()) {
-      s = schema;
+    if (s->name() == schema.name()) {
+      s = std::move(shared);
       return Status::OK();
     }
   }
-  schemas_.push_back(schema);
+  schemas_.push_back(std::move(shared));
   return Status::OK();
 }
 
 bool SchemaRegistry::Contains(const std::string& name) const {
-  for (const auto& s : schemas_) {
-    if (s.name() == name) return true;
-  }
-  return false;
+  return GetShared(name) != nullptr;
 }
 
 Result<Schema> SchemaRegistry::Get(const std::string& name) const {
-  for (const auto& s : schemas_) {
-    if (s.name() == name) return s;
-  }
+  if (auto s = GetShared(name)) return *s;
   return Status::NotFound("schema not registered: " + name);
+}
+
+std::shared_ptr<const Schema> SchemaRegistry::GetShared(
+    const std::string& name) const {
+  for (const auto& s : schemas_) {
+    if (s->name() == name) return s;
+  }
+  return nullptr;
 }
 
 std::vector<std::string> SchemaRegistry::Names() const {
   std::vector<std::string> out;
   out.reserve(schemas_.size());
-  for (const auto& s : schemas_) out.push_back(s.name());
+  for (const auto& s : schemas_) out.push_back(s->name());
   return out;
 }
 

@@ -1,9 +1,11 @@
 #ifndef GRIDVINE_SCHEMA_SCHEMA_H_
 #define GRIDVINE_SCHEMA_SCHEMA_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 
 namespace gridvine {
@@ -64,18 +66,32 @@ class Schema {
   std::vector<std::string> attributes_;
 };
 
+/// The process-wide Schema intern pool: every SchemaRegistry entry is a ref
+/// into it, so N peers tracking the same schema hold one object, not N.
+InternPool<Schema>& SchemaPool();
+
 /// In-memory set of known schemas (the view a single peer accumulates).
+/// Entries are refcounted interned objects shared across registries.
 class SchemaRegistry {
  public:
   /// Registers or replaces a schema under its name.
   Status Register(const Schema& schema);
   bool Contains(const std::string& name) const;
   Result<Schema> Get(const std::string& name) const;
+  /// The shared immutable object for `name`, or null when absent. Prefer
+  /// this over Get() when the caller just reads — no copy.
+  std::shared_ptr<const Schema> GetShared(const std::string& name) const;
   std::vector<std::string> Names() const;
   size_t size() const { return schemas_.size(); }
 
+  /// Bytes owned by this registry itself (the ref array — the schemas live
+  /// in SchemaPool() and are shared).
+  size_t MemoryFootprint() const {
+    return schemas_.capacity() * sizeof(schemas_[0]);
+  }
+
  private:
-  std::vector<Schema> schemas_;
+  std::vector<std::shared_ptr<const Schema>> schemas_;
 };
 
 }  // namespace gridvine

@@ -17,18 +17,15 @@ void FaultPlan::AddPartition(const Partition& partition) {
   partitions_.push_back(std::move(spec));
 }
 
-bool FaultPlan::ShouldDrop(SimTime now, NodeId from, NodeId to, Rng* rng,
-                           DropCause* cause) const {
-  for (const PartitionSpec& p : partitions_) {
-    if (now < p.start || now >= p.end) continue;
-    uint8_t sf = from < p.side.size() ? p.side[from] : 0;
-    uint8_t st = to < p.side.size() ? p.side[to] : 0;
-    if (sf != 0 && st != 0 && sf != st) {
-      *cause = DropCause::kPartition;
-      return true;
-    }
-  }
-  for (const LossBurst& b : bursts_) {
+namespace {
+
+/// Shared implementations, generic over the two Rng flavours (the seeded
+/// mt19937 Rng of the single-threaded network, the per-node SmallRng streams
+/// of the sharded one). Both expose Bernoulli/Exponential.
+template <typename AnyRng>
+bool ShouldDropImpl(const std::vector<FaultPlan::LossBurst>& bursts,
+                    SimTime now, AnyRng* rng, DropCause* cause) {
+  for (const auto& b : bursts) {
     if (now < b.start || now >= b.end || b.probability <= 0) continue;
     if (rng->Bernoulli(b.probability)) {
       *cause = DropCause::kBurstLoss;
@@ -38,13 +35,11 @@ bool FaultPlan::ShouldDrop(SimTime now, NodeId from, NodeId to, Rng* rng,
   return false;
 }
 
-bool FaultPlan::ShouldDuplicate(Rng* rng) const {
-  return duplicate_probability_ > 0 && rng->Bernoulli(duplicate_probability_);
-}
-
-SimTime FaultPlan::ExtraLatency(SimTime now, Rng* rng) const {
+template <typename AnyRng>
+SimTime ExtraLatencyImpl(const std::vector<FaultPlan::LatencySpike>& spikes,
+                         SimTime now, AnyRng* rng) {
   SimTime extra = 0;
-  for (const LatencySpike& s : spikes_) {
+  for (const auto& s : spikes) {
     if (now < s.start || now >= s.end) continue;
     extra += s.extra;
     if (s.extra_mean_tail > 0) {
@@ -52,6 +47,50 @@ SimTime FaultPlan::ExtraLatency(SimTime now, Rng* rng) const {
     }
   }
   return extra;
+}
+
+}  // namespace
+
+bool FaultPlan::PartitionDrop(SimTime now, NodeId from, NodeId to,
+                              DropCause* cause) const {
+  for (const PartitionSpec& p : partitions_) {
+    if (now < p.start || now >= p.end) continue;
+    uint8_t sf = from < p.side.size() ? p.side[from] : 0;
+    uint8_t st = to < p.side.size() ? p.side[to] : 0;
+    if (sf != 0 && st != 0 && sf != st) {
+      *cause = DropCause::kPartition;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::ShouldDrop(SimTime now, NodeId from, NodeId to, Rng* rng,
+                           DropCause* cause) const {
+  if (PartitionDrop(now, from, to, cause)) return true;
+  return ShouldDropImpl(bursts_, now, rng, cause);
+}
+
+bool FaultPlan::ShouldDrop(SimTime now, NodeId from, NodeId to, SmallRng* rng,
+                           DropCause* cause) const {
+  if (PartitionDrop(now, from, to, cause)) return true;
+  return ShouldDropImpl(bursts_, now, rng, cause);
+}
+
+bool FaultPlan::ShouldDuplicate(Rng* rng) const {
+  return duplicate_probability_ > 0 && rng->Bernoulli(duplicate_probability_);
+}
+
+bool FaultPlan::ShouldDuplicate(SmallRng* rng) const {
+  return duplicate_probability_ > 0 && rng->Bernoulli(duplicate_probability_);
+}
+
+SimTime FaultPlan::ExtraLatency(SimTime now, Rng* rng) const {
+  return ExtraLatencyImpl(spikes_, now, rng);
+}
+
+SimTime FaultPlan::ExtraLatency(SimTime now, SmallRng* rng) const {
+  return ExtraLatencyImpl(spikes_, now, rng);
 }
 
 }  // namespace gridvine

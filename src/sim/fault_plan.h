@@ -76,22 +76,33 @@ class FaultPlan {
   /// (deterministic, no Rng draw), then loss bursts (one Bernoulli draw per
   /// covering window, in insertion order). Returns true and sets `*cause`
   /// if the plan drops the message.
+  ///
+  /// The SmallRng overloads serve the sharded engine, which consults one
+  /// shared plan from every shard with per-node random streams; the plan's
+  /// own state is read-only after setup, so concurrent consultation is safe.
   bool ShouldDrop(SimTime now, NodeId from, NodeId to, Rng* rng,
+                  DropCause* cause) const;
+  bool ShouldDrop(SimTime now, NodeId from, NodeId to, SmallRng* rng,
                   DropCause* cause) const;
 
   /// One duplication decision (only calls the Rng when the probability is
   /// non-zero).
   bool ShouldDuplicate(Rng* rng) const;
+  bool ShouldDuplicate(SmallRng* rng) const;
 
   /// Extra latency at `now` (0 outside every spike window). Draws from the
   /// Rng only for spikes with a configured tail.
   SimTime ExtraLatency(SimTime now, Rng* rng) const;
+  SimTime ExtraLatency(SimTime now, SmallRng* rng) const;
 
   size_t loss_bursts() const { return bursts_.size(); }
   size_t partitions() const { return partitions_.size(); }
   size_t latency_spikes() const { return spikes_.size(); }
 
  private:
+  bool PartitionDrop(SimTime now, NodeId from, NodeId to,
+                     DropCause* cause) const;
+
   /// Partition with O(1) membership: side_[id] is 1 (group_a), 2 (group_b)
   /// or 0 (unaffected); ids beyond the vector are unaffected.
   struct PartitionSpec {

@@ -15,6 +15,16 @@ class LatencyModel {
   virtual ~LatencyModel() = default;
   /// One latency sample in seconds.
   virtual SimTime Sample(Rng* rng) = 0;
+  /// Sample drawing from a per-node SmallRng stream — the sharded engine's
+  /// path, where draw order must not depend on global send interleaving.
+  /// The two overloads need not produce the same sequences; each engine is
+  /// its own determinism domain.
+  virtual SimTime Sample(SmallRng* rng) = 0;
+  /// Hard lower bound on any sample: no message arrives sooner than this.
+  /// The sharded engine's conservative lookahead — the epoch width within
+  /// which shards may run without hearing from each other — is exactly this
+  /// bound, so it must be positive for parallel simulation to make progress.
+  virtual SimTime MinDelay() const = 0;
 };
 
 /// Fixed latency; used by unit tests to make timing assertions exact.
@@ -22,6 +32,8 @@ class ConstantLatency : public LatencyModel {
  public:
   explicit ConstantLatency(SimTime latency) : latency_(latency) {}
   SimTime Sample(Rng*) override { return latency_; }
+  SimTime Sample(SmallRng*) override { return latency_; }
+  SimTime MinDelay() const override { return latency_; }
 
  private:
   SimTime latency_;
@@ -32,6 +44,10 @@ class UniformLatency : public LatencyModel {
  public:
   UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {}
   SimTime Sample(Rng* rng) override { return rng->UniformDouble(lo_, hi_); }
+  SimTime Sample(SmallRng* rng) override {
+    return rng->UniformDouble(lo_, hi_);
+  }
+  SimTime MinDelay() const override { return lo_; }
 
  private:
   SimTime lo_, hi_;
@@ -63,6 +79,14 @@ class WanLatency : public LatencyModel {
     }
     return t;
   }
+  SimTime Sample(SmallRng* rng) override {
+    SimTime t = base_ + rng->LogNormal(mu_, sigma_);
+    if (straggler_prob_ > 0 && rng->Bernoulli(straggler_prob_)) {
+      t += rng->Exponential(1.0 / straggler_mean_);
+    }
+    return t;
+  }
+  SimTime MinDelay() const override { return base_; }
 
  private:
   SimTime base_;

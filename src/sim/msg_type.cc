@@ -1,6 +1,8 @@
 #include "sim/msg_type.h"
 
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace gridvine {
@@ -8,6 +10,13 @@ namespace gridvine {
 namespace {
 
 struct Registry {
+  /// Guards every map/deque mutation. The registry used to be
+  /// single-threaded like the simulator; the sharded engine's workers can
+  /// intern a type on first sight of a message concurrently, so reads take a
+  /// shared lock and first-sight interning upgrades to exclusive. Names are
+  /// append-only in a deque (never relocated, never erased), so references
+  /// returned to callers stay valid after the lock is released.
+  mutable std::shared_mutex mu;
   /// Stable storage for names: ids index into `names`, and the string_view
   /// keys of `by_name` point into it (deque never relocates elements).
   std::deque<std::string> names;
@@ -22,6 +31,16 @@ struct Registry {
   }
 
   uint32_t Intern(std::string_view name) {
+    {
+      std::shared_lock lock(mu);
+      auto it = by_name.find(name);
+      if (it != by_name.end()) return it->second;
+    }
+    std::unique_lock lock(mu);
+    return InternLocked(name);
+  }
+
+  uint32_t InternLocked(std::string_view name) {
     auto it = by_name.find(name);
     if (it != by_name.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(names.size());
@@ -45,23 +64,36 @@ MsgType MsgType::Intern(std::string_view name) {
 MsgType MsgType::Composite(MsgType outer, MsgType inner) {
   Registry& reg = TheRegistry();
   uint64_t key = (uint64_t(outer.id_) << 32) | inner.id_;
-  auto it = reg.composites.find(key);
+  {
+    std::shared_lock lock(reg.mu);
+    auto it = reg.composites.find(key);
+    if (it != reg.composites.end()) return MsgType(it->second);
+  }
+  std::unique_lock lock(reg.mu);
+  auto it = reg.composites.find(key);  // re-check after the upgrade gap
   if (it != reg.composites.end()) return MsgType(it->second);
-  uint32_t id = reg.Intern(reg.names[outer.id_] + "/" + reg.names[inner.id_]);
+  uint32_t id =
+      reg.InternLocked(reg.names[outer.id_] + "/" + reg.names[inner.id_]);
   reg.composites.emplace(key, id);
   return MsgType(id);
 }
 
 MsgType MsgType::Find(std::string_view name) {
   Registry& reg = TheRegistry();
+  std::shared_lock lock(reg.mu);
   auto it = reg.by_name.find(name);
   return it == reg.by_name.end() ? MsgType() : MsgType(it->second);
 }
 
-size_t MsgType::RegistryCount() { return TheRegistry().names.size(); }
+size_t MsgType::RegistryCount() {
+  Registry& reg = TheRegistry();
+  std::shared_lock lock(reg.mu);
+  return reg.names.size();
+}
 
 const std::string& MsgType::NameOf(uint32_t id) {
   Registry& reg = TheRegistry();
+  std::shared_lock lock(reg.mu);
   return id < reg.names.size() ? reg.names[id] : reg.names[0];
 }
 

@@ -205,30 +205,53 @@ void Network::Deliver(NodeId from, NodeId to,
   }
 }
 
-void Network::PublishMetrics(MetricsRegistry* metrics) const {
-  metrics->Counter("net.messages_sent") += stats_.messages_sent;
-  metrics->Counter("net.messages_delivered") += stats_.messages_delivered;
-  metrics->Counter("net.messages_dropped") += stats_.messages_dropped;
-  metrics->Counter("net.messages_duplicated") += stats_.messages_duplicated;
-  metrics->Counter("net.bytes_sent") += stats_.bytes_sent;
-  metrics->Counter("net.drops.endpoint") += stats_.drops_endpoint;
-  metrics->Counter("net.drops.loss") += stats_.drops_loss;
-  metrics->Counter("net.drops.burst") += stats_.drops_burst;
-  metrics->Counter("net.drops.partition") += stats_.drops_partition;
-  for (uint32_t id = 0; id < stats_.messages_by_type.size(); ++id) {
-    if (stats_.messages_by_type[id] == 0 &&
-        (id >= stats_.drops_by_type.size() || stats_.drops_by_type[id] == 0)) {
+void NetworkStats::Publish(MetricsRegistry* metrics) const {
+  metrics->Counter("net.messages_sent") += messages_sent;
+  metrics->Counter("net.messages_delivered") += messages_delivered;
+  metrics->Counter("net.messages_dropped") += messages_dropped;
+  metrics->Counter("net.messages_duplicated") += messages_duplicated;
+  metrics->Counter("net.bytes_sent") += bytes_sent;
+  metrics->Counter("net.drops.endpoint") += drops_endpoint;
+  metrics->Counter("net.drops.loss") += drops_loss;
+  metrics->Counter("net.drops.burst") += drops_burst;
+  metrics->Counter("net.drops.partition") += drops_partition;
+  for (uint32_t id = 0; id < messages_by_type.size(); ++id) {
+    if (messages_by_type[id] == 0 &&
+        (id >= drops_by_type.size() || drops_by_type[id] == 0)) {
       continue;
     }
     const std::string base = "net.msg." + std::string(MsgType::NameOf(id));
-    metrics->Counter(base + ".sent") += stats_.messages_by_type[id];
-    if (id < stats_.bytes_by_type.size()) {
-      metrics->Counter(base + ".bytes") += stats_.bytes_by_type[id];
+    metrics->Counter(base + ".sent") += messages_by_type[id];
+    if (id < bytes_by_type.size()) {
+      metrics->Counter(base + ".bytes") += bytes_by_type[id];
     }
-    if (id < stats_.drops_by_type.size() && stats_.drops_by_type[id] != 0) {
-      metrics->Counter(base + ".drops") += stats_.drops_by_type[id];
+    if (id < drops_by_type.size() && drops_by_type[id] != 0) {
+      metrics->Counter(base + ".drops") += drops_by_type[id];
     }
   }
+}
+
+void NetworkStats::Accumulate(const NetworkStats& other) {
+  messages_sent += other.messages_sent;
+  messages_delivered += other.messages_delivered;
+  messages_dropped += other.messages_dropped;
+  messages_duplicated += other.messages_duplicated;
+  bytes_sent += other.bytes_sent;
+  drops_endpoint += other.drops_endpoint;
+  drops_loss += other.drops_loss;
+  drops_burst += other.drops_burst;
+  drops_partition += other.drops_partition;
+  auto fold = [](std::vector<uint64_t>* into, const std::vector<uint64_t>& from) {
+    if (from.size() > into->size()) into->resize(from.size(), 0);
+    for (size_t i = 0; i < from.size(); ++i) (*into)[i] += from[i];
+  };
+  fold(&messages_by_type, other.messages_by_type);
+  fold(&bytes_by_type, other.bytes_by_type);
+  fold(&drops_by_type, other.drops_by_type);
+}
+
+void Network::PublishMetrics(MetricsRegistry* metrics) const {
+  stats_.Publish(metrics);
 }
 
 }  // namespace gridvine

@@ -95,12 +95,26 @@ struct NetworkStats {
   /// All non-zero per-type message counts keyed by resolved name.
   std::map<std::string, uint64_t> MessagesByTypeName() const;
 
+  /// Adds these counters into `metrics` under "net.*" (plus per-type
+  /// "net.msg.<type>.*"). Shared by Network::PublishMetrics and the sharded
+  /// engine's lane aggregation.
+  void Publish(MetricsRegistry* metrics) const;
+
+  /// Adds `other`'s counters into this (per-type vectors grow as needed);
+  /// how the sharded engine folds its per-lane stats into one view.
+  void Accumulate(const NetworkStats& other);
+
   friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
 };
 
 /// The simulated transport: point-to-point delivery with sampled latency and
 /// optional loss; respects node liveness (churn). The network plays the role
 /// of the "Internet layer" in the paper's Figure 1.
+///
+/// The node-facing operations (AddNode/Send/liveness) are virtual: peers
+/// hold a Network* and work unchanged whether it is this single-threaded
+/// transport or a shard lane of the parallel engine (sim/sharded.h). The
+/// indirect call per send is noise next to the delivery record scheduling.
 ///
 /// Hot-path note: Send() schedules a plain-struct delivery record (not a
 /// capturing lambda) that fits EventFn's inline buffer, and type accounting
@@ -111,18 +125,19 @@ class Network {
   /// `loss_probability` drops each message independently (default lossless).
   Network(Simulator* sim, std::unique_ptr<LatencyModel> latency, Rng rng,
           double loss_probability = 0.0);
+  virtual ~Network() = default;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   /// Registers a node under a fresh id; the node starts alive.
   /// The caller retains ownership of `node`, which must outlive the network.
-  NodeId AddNode(NetworkNode* node);
+  virtual NodeId AddNode(NetworkNode* node);
 
   /// Marks a node up/down (churn). Messages to a down node are dropped;
   /// a down node sends nothing.
-  void SetAlive(NodeId id, bool alive);
-  bool IsAlive(NodeId id) const;
+  virtual void SetAlive(NodeId id, bool alive);
+  virtual bool IsAlive(NodeId id) const;
 
   /// Sends `body` from `from` to `to`. Delivery is scheduled after a sampled
   /// latency; the message is dropped if either endpoint is dead at send time
@@ -130,7 +145,8 @@ class Network {
   /// UDP — timeouts are the caller's job; see src/pgrid's reliable request
   /// layer for the retrying wrapper). See NetworkStats for which counters
   /// include drops.
-  void Send(NodeId from, NodeId to, std::shared_ptr<const MessageBody> body);
+  virtual void Send(NodeId from, NodeId to,
+                    std::shared_ptr<const MessageBody> body);
 
   /// Installs (or clears, with nullptr) a fault-injection plan. The plan is
   /// consulted on every Send() after liveness and base loss; it shares the
@@ -142,7 +158,7 @@ class Network {
   FaultPlan* fault_plan() { return fault_plan_.get(); }
 
   /// Number of registered nodes (alive or not).
-  size_t size() const { return nodes_.size(); }
+  virtual size_t size() const { return nodes_.size(); }
 
   Simulator* sim() { return sim_; }
   const NetworkStats& stats() const { return stats_; }
@@ -164,6 +180,14 @@ class Network {
   /// Adds this network's cumulative counters into `metrics` under "net.*"
   /// (plus per-type "net.msg.<type>.*").
   void PublishMetrics(MetricsRegistry* metrics) const;
+
+ protected:
+  /// Shared with shard-lane subclasses: per-lane traffic accounting. Counter
+  /// bumps must stay single-threaded per instance (each lane is owned by one
+  /// shard worker).
+  void CountSend(MsgType type, size_t bytes);
+  void CountDrop(MsgType type, DropCause cause);
+  NetworkStats stats_;
 
  private:
   struct NodeSlot {
@@ -200,8 +224,6 @@ class Network {
 
   void Deliver(NodeId from, NodeId to, std::shared_ptr<const MessageBody> body,
                TraceCtx ctx);
-  void CountSend(MsgType type, size_t bytes);
-  void CountDrop(MsgType type, DropCause cause);
   /// Annotates a flight span with its drop cause and ends it.
   void EndDropped(TraceCtx flight, DropCause cause);
 
@@ -211,7 +233,6 @@ class Network {
   double loss_probability_;
   std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<NodeSlot> nodes_;
-  NetworkStats stats_;
   Tracer* tracer_ = nullptr;
   /// Flight ctx of the delivery whose OnMessage is on the stack right now.
   TraceCtx delivery_ctx_{};

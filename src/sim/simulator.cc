@@ -1,16 +1,16 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace gridvine {
 
-void Simulator::Schedule(SimTime delay, EventFn fn) {
-  if (delay < 0) delay = 0;
-  ScheduleAt(now_ + delay, std::move(fn));
+void Simulator::ScheduleAt(SimTime t, EventFn fn) {
+  ScheduleKeyedAt(t, next_seq_++, std::move(fn));
 }
 
-void Simulator::ScheduleAt(SimTime t, EventFn fn) {
+void Simulator::ScheduleKeyedAt(SimTime t, uint64_t subkey, EventFn fn) {
   if (t < now_) t = now_;
   t += 0.0;  // normalize -0.0 to +0.0 so the bit-pattern key orders correctly
   uint32_t slot;
@@ -22,7 +22,20 @@ void Simulator::ScheduleAt(SimTime t, EventFn fn) {
     slot = static_cast<uint32_t>(slots_.size());
     slots_.push_back(std::move(fn));
   }
-  Push(MakeEntry(t, next_seq_++, slot));
+  Push(MakeEntry(t, subkey, slot));
+}
+
+SimTime Simulator::NextEventTime() const {
+  return heap_.empty() ? std::numeric_limits<SimTime>::infinity()
+                       : heap_.front().time();
+}
+
+bool Simulator::PopBefore(SimTime horizon, uint64_t* subkey, EventFn* fn) {
+  if (heap_.empty() || heap_.front().time() >= horizon) return false;
+  *subkey = static_cast<uint64_t>(heap_.front().key);
+  *fn = PopMin();
+  ++executed_;
+  return true;
 }
 
 void Simulator::Push(HeapEntry ev) {

@@ -32,6 +32,7 @@ using SimTime = double;
 class Simulator {
  public:
   Simulator() = default;
+  virtual ~Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -39,10 +40,38 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` to run `delay` seconds from now (clamped to >= 0).
-  void Schedule(SimTime delay, EventFn fn);
+  void Schedule(SimTime delay, EventFn fn) { ScheduleAt(now_ + ClampDelay(delay), std::move(fn)); }
 
-  /// Schedules `fn` at absolute time `t` (clamped to >= Now()).
-  void ScheduleAt(SimTime t, EventFn fn);
+  /// Schedules `fn` at absolute time `t` (clamped to >= Now()). Virtual so a
+  /// shard of the parallel engine (sim/sharded.h) can intercept scheduling
+  /// and substitute a content-derived tie-break key; the single-threaded
+  /// engine pays one indirect call per event for the seam.
+  virtual void ScheduleAt(SimTime t, EventFn fn);
+
+  /// Schedules `fn` at `t` with an explicit 64-bit tie-break key in place of
+  /// the per-simulator sequence number. Two events at the same time run in
+  /// ascending `subkey` order *regardless of scheduling order or heap
+  /// shape* — the property the sharded engine needs for runs to be
+  /// bit-identical across shard counts. Keys must be unique per (t, subkey)
+  /// within one simulator; an instance must use either keyed or sequence
+  /// scheduling exclusively, never a mix (the sequence counter knows nothing
+  /// about foreign keys).
+  void ScheduleKeyedAt(SimTime t, uint64_t subkey, EventFn fn);
+
+  /// Firing time of the earliest pending event, or +infinity when idle.
+  SimTime NextEventTime() const;
+
+  /// Removes the earliest event if it fires strictly before `horizon`:
+  /// advances the clock to it, moves its callable into `*fn`, stores its
+  /// tie-break key (sequence number or ScheduleKeyedAt subkey) in `*subkey`
+  /// and counts it as executed. Returns false (touching nothing) otherwise.
+  /// This is the epoch-bounded pop the sharded engine's workers drive.
+  bool PopBefore(SimTime horizon, uint64_t* subkey, EventFn* fn);
+
+  /// Advances the clock to `t` if it is ahead (never backwards).
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
 
   /// Runs events until the queue is empty or `max_events` have fired.
   /// Returns the number of events executed.
@@ -64,7 +93,18 @@ class Simulator {
   /// Total events executed over the simulator's lifetime.
   size_t events_executed() const { return executed_; }
 
+  /// Bytes of heap owned by the event queue (heap keys, callable slots and
+  /// the free list), by capacity — what the queue is actually holding from
+  /// the allocator, not just what is live right now.
+  size_t MemoryFootprint() const {
+    return heap_.capacity() * sizeof(HeapEntry) +
+           slots_.capacity() * sizeof(EventFn) +
+           free_slots_.capacity() * sizeof(uint32_t);
+  }
+
  private:
+  static SimTime ClampDelay(SimTime delay) { return delay < 0 ? 0 : delay; }
+
   /// Heap key: everything ordering needs, nothing more — trivially copyable,
   /// so sift levels are plain copies with no callable relocation. The
   /// ordering (time, then seq FIFO) is packed into one 128-bit integer:

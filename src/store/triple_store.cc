@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "common/mem_estimate.h"
 #include "common/string_util.h"
 
 namespace gridvine {
@@ -389,6 +390,20 @@ std::vector<Triple> TripleStore::All() const {
     if (live_[slot]) out.push_back(DecodeSlot(slot));
   }
   return out;
+}
+
+size_t TripleStore::MemoryFootprint() const {
+  size_t bytes = dict_.MemoryFootprint() +
+                 slots_.capacity() * sizeof(IdTriple) + live_.capacity() / 8 +
+                 HashMapBytes(present_);
+  for (const PostingMap* pm : {&by_subject_, &by_predicate_, &by_object_}) {
+    bytes += HashMapBytes(*pm);
+    for (const auto& [id, postings] : *pm) {
+      (void)id;
+      bytes += postings.capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
 }
 
 }  // namespace gridvine

@@ -85,6 +85,10 @@ class TripleStore {
   /// Clear() calls).
   size_t dictionary_size() const { return dict_.size(); }
 
+  /// Bytes of heap behind the store (dictionary arena, slot array, presence
+  /// and posting indexes), by capacity. Estimated per common/mem_estimate.h.
+  size_t MemoryFootprint() const;
+
  private:
   /// A triple as stored: three dictionary ids.
   struct IdTriple {

@@ -1,0 +1,204 @@
+// The sharded engine's headline guarantee: a run's outcome is bit-identical
+// for ANY shard count, including 1. The conservative-lookahead epochs, the
+// (time, creator, counter) merge rule and per-node SmallRng streams must
+// together make the interleaving of worker threads unobservable. These tests
+// run the same seeded scenario at shards 1 / 2 / 4 and require byte-equal
+// stats, per-operation results and clocks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridvine/gridvine_network.h"
+#include "pgrid/pgrid_builder.h"
+#include "pgrid/pgrid_peer.h"
+#include "sim/latency.h"
+#include "sim/sharded.h"
+
+namespace gridvine {
+namespace {
+
+// --- Overlay-level scenario driven directly on ShardedNetwork --------------
+
+struct OverlayOutcome {
+  NetworkStats stats;
+  std::vector<std::string> retrieved;  // per op: joined values or error tag
+  std::vector<int> update_hops;
+  std::vector<uint64_t> peer_forwards;  // per peer
+  SimTime final_time = 0;
+  size_t events = 0;
+
+  friend bool operator==(const OverlayOutcome&,
+                         const OverlayOutcome&) = default;
+};
+
+Key BitsKey(Rng* rng, int len) {
+  std::string bits;
+  for (int b = 0; b < len; ++b) bits += rng->Bernoulli(0.5) ? '1' : '0';
+  return Key::FromBits(bits).value();
+}
+
+OverlayOutcome RunOverlay(uint64_t seed, uint32_t shards) {
+  ShardedNetwork::Options so;
+  so.shards = shards;
+  so.seed = seed;
+  so.loss_probability = 0.01;
+  // WAN latency: positive MinDelay (the lookahead) plus a log-normal tail
+  // that burns per-node rng draws on every send.
+  so.latency = std::make_unique<WanLatency>(0.005, -3.5, 0.8, 0.0, 0.0);
+  ShardedNetwork engine(std::move(so));
+
+  const size_t kPeers = 24;
+  Rng rng(seed);
+  PGridPeer::Options popts;
+  popts.key_depth = 10;
+  std::vector<std::unique_ptr<PGridPeer>> peers;
+  for (size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(std::make_unique<PGridPeer>(
+        engine.SimForNext(), engine.LaneForNext(), rng.Fork(), popts));
+  }
+  std::vector<PGridPeer*> raw;
+  for (auto& p : peers) raw.push_back(p.get());
+  Rng wire(seed + 99);
+  PGridBuilder::BuildBalanced(raw, &wire, 2);
+
+  const int kOps = 48;
+  Rng key_rng(seed + 7);
+  std::vector<Key> keys;
+  for (int i = 0; i < kOps; ++i) keys.push_back(BitsKey(&key_rng, 7));
+
+  // Preallocated result slots: each op's callback (running on its issuer's
+  // shard) writes only its own element — no cross-thread contention.
+  std::vector<int> update_hops(size_t(kOps), -1);
+  for (int i = 0; i < kOps; ++i) {
+    NodeId issuer = NodeId(size_t(i) % kPeers);
+    engine.ScheduleForNode(issuer, 0.05 * (i + 1), [&, i, issuer] {
+      peers[issuer]->Update(keys[size_t(i)], "v" + std::to_string(i),
+                            [&update_hops, i](Result<PGridPeer::UpdateOutcome> r) {
+                              update_hops[size_t(i)] = r.ok() ? r->hops : -2;
+                            });
+    });
+  }
+  engine.RunUntilIdle();
+
+  std::vector<std::string> retrieved{size_t(kOps), std::string()};
+  for (int i = 0; i < kOps; ++i) {
+    NodeId issuer = NodeId(size_t(i * 5 + 3) % kPeers);
+    engine.ScheduleForNode(issuer, 0.05 * (i + 1), [&, i, issuer] {
+      peers[issuer]->Retrieve(
+          keys[size_t(i)], [&retrieved, i](Result<PGridPeer::LookupResult> r) {
+            if (!r.ok()) {
+              retrieved[size_t(i)] = "<err>";
+              return;
+            }
+            std::string joined;
+            for (const auto& v : r->values) joined += v + ";";
+            retrieved[size_t(i)] = joined;
+          });
+    });
+  }
+  engine.RunUntilIdle();
+
+  OverlayOutcome out;
+  out.stats = engine.AggregateStats();
+  out.retrieved = std::move(retrieved);
+  out.update_hops = std::move(update_hops);
+  for (auto& p : peers) out.peer_forwards.push_back(p->counters().forwards);
+  out.final_time = engine.Now();
+  out.events = engine.events_executed();
+  return out;
+}
+
+TEST(ShardedDeterminismTest, OverlayBitIdenticalAcrossShardCounts) {
+  OverlayOutcome one = RunOverlay(4242, 1);
+  OverlayOutcome two = RunOverlay(4242, 2);
+  OverlayOutcome four = RunOverlay(4242, 4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  // The scenario actually exercised the network.
+  EXPECT_GT(one.stats.messages_sent, 100u);
+}
+
+TEST(ShardedDeterminismTest, OverlayRepeatableAtFourShards) {
+  EXPECT_EQ(RunOverlay(777, 4), RunOverlay(777, 4));
+}
+
+TEST(ShardedDeterminismTest, DifferentSeedsDiverge) {
+  EXPECT_NE(RunOverlay(1, 4), RunOverlay(2, 4));
+}
+
+// --- Full mediation stack through GridVineNetwork --------------------------
+
+struct StackOutcome {
+  NetworkStats stats;
+  std::vector<std::string> query_values;
+  SimTime final_time = 0;
+  size_t events = 0;
+
+  friend bool operator==(const StackOutcome&, const StackOutcome&) = default;
+};
+
+Triple T(const std::string& s, const std::string& p, const std::string& o) {
+  return Triple(Term::Uri(s), Term::Uri(p), Term::Literal(o));
+}
+
+StackOutcome RunStack(uint64_t seed, uint32_t shards) {
+  GridVineNetwork::Options o;
+  o.num_peers = 16;
+  o.key_depth = 12;
+  o.seed = seed;
+  o.shards = shards;
+  o.latency = GridVineNetwork::LatencyKind::kWan;
+  o.latency_param = 0.01;
+  o.loss_probability = 0.01;
+  o.peer.query_timeout = 3.0;
+  GridVineNetwork net(o);
+
+  EXPECT_TRUE(net.InsertSchema(0, Schema("A", "d", {"organism"})).ok());
+  EXPECT_TRUE(net.InsertSchema(1, Schema("B", "d", {"organism"})).ok());
+  std::vector<Triple> batch;
+  for (int i = 0; i < 12; ++i) {
+    batch.push_back(T("a" + std::to_string(i), "A#organism",
+                      i % 2 ? "Aspergillus niger" : "Penicillium"));
+  }
+  net.InsertTriples(2, batch);
+  EXPECT_TRUE(
+      net.InsertTriple(1, T("b1", "B#organism", "Aspergillus flavus")).ok());
+  SchemaMapping m("ab", "A", "B");
+  EXPECT_TRUE(m.AddCorrespondence("A#organism", "B#organism").ok());
+  net.InsertMapping(0, m);
+
+  GridVinePeer::QueryOptions qopts;
+  qopts.reformulate = true;
+  TriplePatternQuery q(
+      "x", TriplePattern(Term::Var("x"), Term::Uri("A#organism"),
+                         Term::Literal("%Aspergillus%")));
+  auto res = net.SearchFor(5, q, qopts);
+  net.Settle();
+
+  StackOutcome out;
+  out.stats = net.engine()->AggregateStats();
+  for (const auto& item : res.items) {
+    out.query_values.push_back(item.value.value());
+  }
+  out.final_time = net.Now();
+  out.events = net.engine()->events_executed();
+  return out;
+}
+
+TEST(ShardedDeterminismTest, MediationStackBitIdenticalAcrossShardCounts) {
+  StackOutcome two = RunStack(99, 2);
+  StackOutcome four = RunStack(99, 4);
+  EXPECT_EQ(two, four);
+  EXPECT_FALSE(two.query_values.empty());
+  EXPECT_GT(two.stats.messages_sent, 50u);
+}
+
+TEST(ShardedDeterminismTest, MediationStackRepeatable) {
+  EXPECT_EQ(RunStack(5, 4), RunStack(5, 4));
+}
+
+}  // namespace
+}  // namespace gridvine

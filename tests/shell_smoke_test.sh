@@ -15,6 +15,7 @@ map EMBL EMP EMBL#Organism>EMP#SystematicName
 query SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
 queryplain SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
 stats
+mem
 bogus-command
 quit
 EOF
@@ -37,4 +38,5 @@ echo "$output" | grep -q "3 result(s), 2 schema(s)" || fail "reformulated query 
 echo "$output" | grep -q "2 result(s), 1 schema(s)" || fail "plain query wrong"
 echo "$output" | grep -q "unknown command 'bogus-command'" || fail "unknown command not reported"
 echo "$output" | grep -q "local DB entries" || fail "stats missing"
+echo "$output" | grep -q "peers.overlay" || fail "mem breakdown missing"
 echo "PASS"
