@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
   // cleared per query, making each snapshot exactly one query's causal tree.
   net.tracer()->Enable(1 << 16);
 
+  auto e1_t0 = std::chrono::steady_clock::now();
   Rng rng(99);
   std::vector<double> latencies;
   latencies.reserve(kQueries);
@@ -130,6 +131,10 @@ int main(int argc, char** argv) {
     retries.push_back(ts.retries);
   }
   std::sort(latencies.begin(), latencies.end());
+  const double e1_run_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - e1_t0)
+          .count();
+  const double e1_qps = e1_run_s > 0 ? double(kQueries) / e1_run_s : 0;
 
   std::printf("\n  %-28s %10s %10s\n", "metric", "paper", "measured");
   std::printf("  %-28s %10s %9.0f%%\n", "answered within 1 s", "40%",
@@ -167,7 +172,8 @@ int main(int argc, char** argv) {
             {"hops_p99", CountPercentile(hops, 0.99)},
             {"retries_p50", CountPercentile(retries, 0.50)},
             {"retries_p90", CountPercentile(retries, 0.90)},
-            {"retries_p99", CountPercentile(retries, 0.99)}});
+            {"retries_p99", CountPercentile(retries, 0.99)},
+            {"queries_per_sec", e1_qps}});
 
   // ---- E1b: the same workload at 100k peers on the sharded engine ----------
   //
@@ -248,6 +254,8 @@ int main(int argc, char** argv) {
             {"messages", double(sstats.messages_sent)},
             {"bytes_per_peer", bytes_per_peer},
             {"events_per_sec", events_per_sec},
+            {"queries_per_sec",
+             run_s > 0 ? double(kScaleQueries) / run_s : 0},
             {"build_s", build_s},
             {"run_s", run_s}});
   json.Finish();

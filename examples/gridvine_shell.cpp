@@ -23,7 +23,10 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/string_util.h"
+#include "gridvine/query_frontend.h"
 #include "query/rdql_parser.h"
 #include "rdf/ntriples.h"
 #include "workload/bio_workload.h"
@@ -54,6 +57,10 @@ void PrintHelp() {
       "  demo                                       load a small "
       "bioinformatic corpus\n"
       "  stats                                      network statistics\n"
+      "  cache stats                                extent-cache totals "
+      "across peers\n"
+      "  frontend stats                             query-frontend totals "
+      "across peers\n"
       "  mem                                        per-component memory "
       "footprint\n"
       "  trace on|off                               toggle span recording\n"
@@ -73,6 +80,9 @@ int main() {
   options.latency = GridVineNetwork::LatencyKind::kConstant;
   options.latency_param = 0.02;
   options.peer.query_timeout = 5.0;
+  // The serving layer is on: responder-side extent caching, and every query
+  // enters through the issuing peer's QueryFrontend ('frontend stats').
+  options.peer.cache.enabled = true;
   GridVineNetwork net(options);
   std::printf("GridVine shell — %zu simulated peers. Type 'help'.\n",
               net.size());
@@ -143,7 +153,7 @@ int main() {
       } else {
         GridVinePeer::QueryOptions qopts;
         qopts.reformulate = (cmd == "query");
-        auto res = net.SearchFor(pick_peer(), *q, qopts);
+        auto res = net.ServeFor(pick_peer(), *q, qopts);
         if (!res.status.ok()) {
           std::printf("error: %s\n", res.status.ToString().c_str());
         } else {
@@ -166,7 +176,7 @@ int main() {
       } else {
         GridVinePeer::QueryOptions qopts;
         qopts.bind_join = (cmd == "cquery");
-        auto res = net.SearchForConjunctive(pick_peer(), *q, qopts);
+        auto res = net.ServeForConjunctive(pick_peer(), *q, qopts);
         if (!res.status.ok()) {
           std::printf("error: %s\n", res.status.ToString().c_str());
         } else {
@@ -220,6 +230,64 @@ int main() {
         triples += net.peer(i)->local_db().size();
       }
       std::printf("local DB entries across peers: %zu\n", triples);
+    } else if (cmd == "cache") {
+      std::string arg;
+      in >> arg;
+      if (arg != "stats") {
+        std::printf("usage: cache stats\n");
+      } else {
+        uint64_t hits = 0, misses = 0, evictions = 0, invalidations = 0;
+        size_t entries = 0, bytes = 0;
+        for (size_t i = 0; i < net.size(); ++i) {
+          const ExtentCache* c = net.peer(i)->cache();
+          if (c == nullptr) continue;
+          hits += c->stats().hits;
+          misses += c->stats().misses;
+          evictions += c->stats().evictions;
+          invalidations += c->stats().invalidations;
+          entries += c->entries();
+          bytes += c->bytes();
+        }
+        double total = double(hits + misses);
+        std::printf("extent cache: %llu hit(s) / %llu miss(es) (%.0f%% hit "
+                    "rate), %llu eviction(s), %llu invalidation(s)\n",
+                    (unsigned long long)hits, (unsigned long long)misses,
+                    total > 0 ? 100.0 * double(hits) / total : 0.0,
+                    (unsigned long long)evictions,
+                    (unsigned long long)invalidations);
+        std::printf("cached extents across peers: %zu entries, %zu bytes\n",
+                    entries, bytes);
+      }
+    } else if (cmd == "frontend") {
+      std::string arg;
+      in >> arg;
+      if (arg != "stats") {
+        std::printf("usage: frontend stats\n");
+      } else {
+        QueryFrontend::Stats total;
+        for (size_t i = 0; i < net.size(); ++i) {
+          QueryFrontend::Stats s = net.peer(i)->frontend()->stats();
+          total.submitted += s.submitted;
+          total.started += s.started;
+          total.completed += s.completed;
+          total.shed += s.shed;
+          total.max_queue_depth =
+              std::max(total.max_queue_depth, s.max_queue_depth);
+          total.active += s.active;
+          total.queued += s.queued;
+        }
+        std::printf("frontend: %llu submitted, %llu started, %llu completed, "
+                    "%llu shed\n",
+                    (unsigned long long)total.submitted,
+                    (unsigned long long)total.started,
+                    (unsigned long long)total.completed,
+                    (unsigned long long)total.shed);
+        std::printf("live: %llu active, %llu queued; deepest queue seen: "
+                    "%llu\n",
+                    (unsigned long long)total.active,
+                    (unsigned long long)total.queued,
+                    (unsigned long long)total.max_queue_depth);
+      }
     } else if (cmd == "mem") {
       std::vector<std::pair<std::string, size_t>> breakdown;
       size_t total = net.MemoryFootprint(&breakdown);

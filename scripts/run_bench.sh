@@ -109,5 +109,37 @@ EOF
     echo "python3 not found; skipping trace validation"
   fi
 fi
+# Serving-throughput smoke: bench_serving ran in the loop above (flash-crowd
+# arrival process, four feature modes); validate that BENCH_serving.json
+# carries the metrics CI consumers graph and that the equal-recall
+# cross-check passed. In quick mode CI uploads the file as an artifact.
+serving_json="$out_root/BENCH_serving.json"
+if [[ -f "$serving_json" ]] && command -v python3 >/dev/null 2>&1; then
+  echo "== validating $(basename "$serving_json")"
+  python3 - "$serving_json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+rows = {r["name"]: r for r in doc["benchmarks"]}
+required_rows = ["off", "cache", "batch", "cache_batch", "summary"]
+required_keys = ["qps", "hit_rate", "p99_ms", "peers", "concurrency"]
+for mode in required_rows:
+    name = "bench_serving/" + mode
+    if name not in rows:
+        sys.exit(f"missing row {name}")
+    for key in required_keys:
+        if key not in rows[name]:
+            sys.exit(f"row {name} missing key {key}")
+summary = rows["bench_serving/summary"]
+if summary["equal_recall"] != 1.0:
+    sys.exit("serving modes returned different results (equal_recall != 1)")
+print(f"  ok: qps_speedup={summary['qps_speedup']:.2f}x "
+      f"hit_rate={summary['hit_rate']:.2f} p99={summary['p99_ms']:.0f}ms")
+EOF
+  if [[ "$quick" -eq 1 && -n "${GV_ARTIFACT_DIR:-}" ]]; then
+    mkdir -p "$GV_ARTIFACT_DIR"
+    cp "$serving_json" "$GV_ARTIFACT_DIR/"
+  fi
+fi
 echo
 echo "wrote $ran JSON report(s) at $out_root/BENCH_*.json"

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverload:
+      return "Overload";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption = 8,
   kNotImplemented = 9,
   kInternal = 10,
+  kOverload = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK", "NotFound"...).
@@ -79,6 +80,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Overload(std::string msg) {
+    return Status(StatusCode::kOverload, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
@@ -95,6 +99,7 @@ class Status {
     return code() == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsOverload() const { return code() == StatusCode::kOverload; }
 
   StatusCode code() const {
     return state_ == nullptr ? StatusCode::kOk : state_->code;

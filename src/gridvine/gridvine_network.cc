@@ -1,5 +1,7 @@
 #include "gridvine/gridvine_network.h"
 
+#include "gridvine/query_frontend.h"
+
 namespace gridvine {
 
 GridVineNetwork::GridVineNetwork(Options options)
@@ -73,10 +75,11 @@ MetricsRegistry& GridVineNetwork::CollectMetrics() {
 
 size_t GridVineNetwork::MemoryFootprint(
     std::vector<std::pair<std::string, size_t>>* breakdown) const {
-  size_t overlay = 0, stores = 0, peers = 0;
+  size_t overlay = 0, stores = 0, caches = 0, peers = 0;
   for (const auto& p : peers_) {
     overlay += p->overlay()->MemoryFootprint();
     stores += p->local_db().MemoryFootprint();
+    if (p->cache()) caches += p->cache()->MemoryFootprint();
     peers += p->MemoryFootprint();
   }
   const size_t engine = engine_ ? engine_->MemoryFootprint()
@@ -88,6 +91,7 @@ size_t GridVineNetwork::MemoryFootprint(
     breakdown->emplace_back("peers.total", peers);
     breakdown->emplace_back("peers.overlay", overlay);
     breakdown->emplace_back("peers.store", stores);
+    breakdown->emplace_back("peers.cache", caches);
     breakdown->emplace_back(engine_ ? "engine.sharded" : "engine.sim", engine);
   }
   return total;
@@ -280,6 +284,38 @@ GridVinePeer::ConjunctiveResult GridVineNetwork::SearchForConjunctive(
   GridVinePeer::ConjunctiveResult result;
   Issue(peer_idx, [&] {
     peers_[peer_idx]->SearchForConjunctive(
+        query, options, [&](GridVinePeer::ConjunctiveResult r) {
+          result = std::move(r);
+          done = true;
+        });
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+GridVinePeer::QueryResult GridVineNetwork::ServeFor(
+    size_t peer_idx, const TriplePatternQuery& query,
+    const GridVinePeer::QueryOptions& options) {
+  bool done = false;
+  GridVinePeer::QueryResult result;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->frontend()->Submit(query, options,
+                                         [&](GridVinePeer::QueryResult r) {
+                                           result = std::move(r);
+                                           done = true;
+                                         });
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+GridVinePeer::ConjunctiveResult GridVineNetwork::ServeForConjunctive(
+    size_t peer_idx, const ConjunctiveQuery& query,
+    const GridVinePeer::QueryOptions& options) {
+  bool done = false;
+  GridVinePeer::ConjunctiveResult result;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->frontend()->SubmitConjunctive(
         query, options, [&](GridVinePeer::ConjunctiveResult r) {
           result = std::move(r);
           done = true;

@@ -117,6 +117,15 @@ class GridVineNetwork {
       size_t peer_idx, const ConjunctiveQuery& query,
       const GridVinePeer::QueryOptions& options = {});
 
+  /// SearchFor routed through the peer's QueryFrontend (admission control);
+  /// may return Status::Overload when the peer is saturated.
+  GridVinePeer::QueryResult ServeFor(
+      size_t peer_idx, const TriplePatternQuery& query,
+      const GridVinePeer::QueryOptions& options = {});
+  GridVinePeer::ConjunctiveResult ServeForConjunctive(
+      size_t peer_idx, const ConjunctiveQuery& query,
+      const GridVinePeer::QueryOptions& options = {});
+
   /// Runs the event loop until idle (drains in-flight maintenance traffic).
   void Settle() {
     if (engine_) {

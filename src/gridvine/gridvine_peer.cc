@@ -7,6 +7,7 @@
 #include "common/mem_estimate.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "gridvine/query_frontend.h"
 #include "query/exec/bind.h"
 #include "query/planner.h"
 #include "query/reformulation.h"
@@ -74,7 +75,16 @@ GridVinePeer::GridVinePeer(Simulator* sim, Network* network, Rng rng,
       [this](UpdateOp op, const Key& key, const std::string& value) {
         OnStorageChange(op, key, value);
       });
+  if (options_.cache.enabled) {
+    ExtentCache::Options copts;
+    copts.max_entries = options_.cache.max_entries;
+    copts.max_bytes = options_.cache.max_bytes;
+    cache_ = std::make_unique<ExtentCache>(copts);
+  }
+  frontend_ = std::make_unique<QueryFrontend>(sim, this);
 }
+
+GridVinePeer::~GridVinePeer() = default;
 
 // --- Storage mirroring --------------------------------------------------------
 
@@ -343,6 +353,29 @@ void GridVinePeer::PublishMetrics(MetricsRegistry* metrics) const {
   metrics->Counter("gv.local_db_triples") += local_db_.size();
   metrics->Gauge("gv.pending_queries") += double(pending_queries_.size());
   metrics->Gauge("gv.active_execs") += double(active_execs_.size());
+  if (cache_) {
+    const ExtentCache::Stats& cs = cache_->stats();
+    metrics->Counter("gv.cache.hits") += cs.hits;
+    metrics->Counter("gv.cache.misses") += cs.misses;
+    metrics->Counter("gv.cache.evictions") += cs.evictions;
+    metrics->Counter("gv.cache.invalidations") += cs.invalidations;
+    metrics->Counter("gv.cache.entries") += cache_->entries();
+    metrics->Counter("gv.cache.bytes") += cache_->bytes();
+  }
+  if (frontend_) {
+    QueryFrontend::Stats fs = frontend_->stats();
+    metrics->Counter("gv.frontend.submitted") += fs.submitted;
+    metrics->Counter("gv.frontend.completed") += fs.completed;
+    metrics->Counter("gv.frontend.shed") += fs.shed;
+    metrics->Counter("gv.frontend.max_queue_depth") =
+        std::max(metrics->Counter("gv.frontend.max_queue_depth"),
+                 fs.max_queue_depth);
+    metrics->Gauge("gv.frontend.active") += double(fs.active);
+    metrics->Gauge("gv.frontend.queued") += double(fs.queued);
+  }
+  metrics->Counter("gv.batch.items") += counters_.batch_items;
+  metrics->Counter("gv.batch.flushes") += counters_.batch_flushes;
+  metrics->Counter("gv.batch.answered") += counters_.batches_answered;
 }
 
 // --- Query engine ---------------------------------------------------------------
@@ -516,7 +549,15 @@ void GridVinePeer::DispatchQuery(uint64_t qid, const TriplePatternQuery& query,
       }
       it2->second.open_dispatches.emplace(did, std::move(od));
       // Route may answer synchronously (origin responsible): emplace first.
-      overlay_->Route(route_key, req);
+      // Iterative issuer-tracked dispatches are the batchable kind (a
+      // recursive dispatch needs destination-side reformulation, which the
+      // batch handler does not perform). The retry timer is armed either
+      // way — a retry re-routes the retained request individually.
+      if (options_.batch.enabled && mode == ReformulationMode::kIterative) {
+        EnqueueBatch(route_key, req);
+      } else {
+        overlay_->Route(route_key, req);
+      }
       ArmDispatchTimer(qid, did, 1);
       return;
     }
@@ -675,6 +716,8 @@ void GridVinePeer::OnExtensionMessage(
   } else if (auto* bresp =
                  dynamic_cast<const BoundScanResponse*>(payload.get())) {
     HandleBoundScanResponse(*bresp);
+  } else if (auto* batch = dynamic_cast<const BatchEnvelope*>(payload.get())) {
+    HandleBatchEnvelope(*batch);
   } else {
     GV_CLOG("gridvine", Warning) << "gridvine peer " << id()
                                  << ": unknown payload "
@@ -698,24 +741,51 @@ void GridVinePeer::HandleQueryRequest(const QueryRequest& req) {
   }
 
   ++counters_.queries_answered;
-  auto rows = local_db_.MatchPattern(query->pattern());
-  counters_.result_rows_sent += rows.size();
+  // The answer depends only on the pattern (rows carry the pattern's
+  // variable names) and the local store, so the extent cache keys on the
+  // pattern serialization alone — "q|" separates full scans from bound
+  // scans over the same pattern.
+  std::string payload;
+  size_t row_count = 0;
+  bool cache_hit = false;
+  if (cache_ != nullptr) {
+    std::string pkey = "q|" + query->pattern().Serialize();
+    if (const ExtentCache::Extent* hit =
+            cache_->Lookup(pkey, {}, local_db_.version())) {
+      payload = hit->rows;
+      row_count = hit->row_count;
+      cache_hit = true;
+    } else {
+      auto rows = local_db_.MatchPattern(query->pattern());
+      row_count = rows.size();
+      payload = SerializeBindings(rows);
+      cache_->Insert(pkey, {}, local_db_.version(),
+                     ExtentCache::Extent{payload, {}, row_count});
+    }
+  } else {
+    auto rows = local_db_.MatchPattern(query->pattern());
+    row_count = rows.size();
+    payload = SerializeBindings(rows);
+  }
+  counters_.result_rows_sent += row_count;
   if (Tracer* tr = LiveTracer()) {
     // Marks the answering peer inside the request flight's subtree; the
     // response itself chains under the same flight via the ambient ctx.
     TraceCtx mark = tr->Instant("op.answer", ResponderParent(req.trace_ctx));
     tr->Annotate(mark, "schema", schema);
-    tr->Annotate(mark, "rows", double(rows.size()));
+    tr->Annotate(mark, "rows", double(row_count));
+    if (cache_hit) tr->Annotate(mark, "cached", 1.0);
   }
   auto resp = std::make_shared<QueryResponse>();
   resp->query_id = req.query_id;
   resp->dispatch_id = req.dispatch_id;
   resp->schema = schema;
-  resp->rows = SerializeBindings(rows);
+  resp->rows = std::move(payload);
   resp->mapping_path_len = req.mapping_path_len;
   resp->confidence = req.confidence;
   resp->responder = id();
-  overlay_->SendDirect(req.reply_to, std::move(resp));
+  SendResponse(req.reply_to, std::move(resp),
+               ScanServeCost(cache_hit, row_count));
 
   if (req.mode != ReformulationMode::kRecursive || req.ttl <= 0) return;
 
@@ -1004,7 +1074,11 @@ void GridVinePeer::StartBoundScan(uint64_t exec_id,
     // Route may deliver locally (synchronously); the branch must be
     // registered first. The response itself always arrives asynchronously
     // (SendDirect), so `ae` stays valid across this loop.
-    overlay_->Route(key, req);
+    if (options_.batch.enabled) {
+      EnqueueBatch(key, req);
+    } else {
+      overlay_->Route(key, req);
+    }
     ArmBoundScanTimer(exec_id, did, 1);
   }
 }
@@ -1079,6 +1153,36 @@ void GridVinePeer::ResolveBoundCall(uint64_t exec_id, uint64_t call_id) {
 }
 
 void GridVinePeer::HandleBoundScanRequest(const BoundScanRequest& req) {
+  ++counters_.bound_scans_answered;
+  auto resp = std::make_shared<BoundScanResponse>();
+  resp->exec_id = req.exec_id;
+  resp->dispatch_id = req.dispatch_id;
+  resp->responder = id();
+
+  // Cache key: the pattern id plus the serialized probe batch (the
+  // bound-constant signature). The cached value is the complete wire answer
+  // — rows payload and probe-index tags — so a hit skips probe parsing,
+  // substitution, matching and re-serialization alike.
+  std::string pkey;
+  if (cache_ != nullptr) {
+    pkey = "b|" + req.pattern;
+    if (const ExtentCache::Extent* hit =
+            cache_->Lookup(pkey, req.probes, local_db_.version())) {
+      counters_.result_rows_sent += hit->row_count;
+      if (Tracer* tr = LiveTracer()) {
+        TraceCtx mark =
+            tr->Instant("op.bound_answer", ResponderParent(req.trace_ctx));
+        tr->Annotate(mark, "rows", double(hit->row_count));
+        tr->Annotate(mark, "cached", 1.0);
+      }
+      resp->rows = hit->rows;
+      resp->probe_index = hit->probe_index;
+      SendResponse(req.reply_to, std::move(resp),
+                   ScanServeCost(/*cache_hit=*/true, hit->row_count));
+      return;
+    }
+  }
+
   auto pattern = TriplePattern::Parse(req.pattern);
   if (!pattern.ok()) {
     GV_CLOG("gridvine", Warning)
@@ -1099,16 +1203,11 @@ void GridVinePeer::HandleBoundScanRequest(const BoundScanRequest& req) {
   // probe (the existence check): issuers never send zero probes.
   if (probes.empty()) probes.emplace_back();
 
-  ++counters_.bound_scans_answered;
   if (Tracer* tr = LiveTracer()) {
     TraceCtx mark =
         tr->Instant("op.bound_answer", ResponderParent(req.trace_ctx));
     tr->Annotate(mark, "probes", double(probes.size()));
   }
-  auto resp = std::make_shared<BoundScanResponse>();
-  resp->exec_id = req.exec_id;
-  resp->dispatch_id = req.dispatch_id;
-  resp->responder = id();
   std::vector<BindingSet> out_rows;
   for (uint32_t pi = 0; pi < probes.size(); ++pi) {
     TriplePattern bound = SubstituteBindings(*pattern, probes[pi]);
@@ -1133,7 +1232,13 @@ void GridVinePeer::HandleBoundScanRequest(const BoundScanRequest& req) {
     }
   }
   resp->rows = any_bindings ? SerializeBindings(out_rows) : "";
-  overlay_->SendDirect(req.reply_to, std::move(resp));
+  if (cache_ != nullptr) {
+    cache_->Insert(pkey, req.probes, local_db_.version(),
+                   ExtentCache::Extent{resp->rows, resp->probe_index,
+                                       out_rows.size()});
+  }
+  SendResponse(req.reply_to, std::move(resp),
+               ScanServeCost(/*cache_hit=*/false, out_rows.size()));
 }
 
 void GridVinePeer::HandleBoundScanResponse(const BoundScanResponse& resp) {
@@ -1178,6 +1283,137 @@ void GridVinePeer::HandleBoundScanResponse(const BoundScanResponse& resp) {
     }
   }
   CloseBoundScan(resp.exec_id, resp.dispatch_id, /*answered=*/true);
+}
+
+// --- Serving layer ------------------------------------------------------------
+
+SimTime GridVinePeer::ScanServeCost(bool cache_hit, size_t rows) const {
+  if (!options_.service.enabled) return 0;
+  if (cache_hit) return options_.service.per_hit;
+  SimTime overhead = serving_batched_request_ ? options_.service.per_item
+                                              : options_.service.per_request;
+  return overhead + double(rows) * options_.service.per_row;
+}
+
+void GridVinePeer::SendResponse(NodeId to,
+                                std::shared_ptr<const MessageBody> body,
+                                SimTime cost) {
+  if (batch_reply_sink_ != nullptr) {
+    batch_reply_sink_->push_back(std::move(body));
+    batch_sink_cost_ += cost;
+    return;
+  }
+  if (!options_.service.enabled || cost <= 0) {
+    overlay_->SendDirect(to, std::move(body));
+    return;
+  }
+  // One logical server per peer: the response leaves once every earlier
+  // response's service time has elapsed (FIFO). Under a flash crowd the hot
+  // responder's queue is exactly this gap growing.
+  SimTime now = sim_->Now();
+  SimTime start = busy_until_ > now ? busy_until_ : now;
+  busy_until_ = start + cost;
+  sim_->Schedule(busy_until_ - now,
+                 [this, to, body = std::move(body)]() mutable {
+                   overlay_->SendDirect(to, std::move(body));
+                 });
+}
+
+void GridVinePeer::EnqueueBatch(const Key& key,
+                                std::shared_ptr<const MessageBody> part) {
+  BatchBuffer& buf = batch_buffers_[key];
+  if (buf.parts.empty()) {
+    buf.gen = next_batch_gen_++;
+    uint64_t gen = buf.gen;
+    Key k = key;
+    // The window runs in simulated time, so batching composition is part of
+    // the deterministic event order (same seed => same batches).
+    sim_->Schedule(options_.batch.window,
+                   [this, k, gen] { FlushBatch(k, gen); });
+  }
+  buf.parts.push_back(std::move(part));
+  ++counters_.batch_items;
+  if (buf.parts.size() >= options_.batch.max_items) FlushBatch(key, buf.gen);
+}
+
+void GridVinePeer::FlushBatch(const Key& key, uint64_t gen) {
+  auto it = batch_buffers_.find(key);
+  // Already flushed at max_items (a later buffer for the key carries a newer
+  // generation), or empty: the window timer has nothing to do.
+  if (it == batch_buffers_.end() || it->second.gen != gen ||
+      it->second.parts.empty()) {
+    return;
+  }
+  std::vector<std::shared_ptr<const MessageBody>> parts =
+      std::move(it->second.parts);
+  batch_buffers_.erase(it);
+  ++counters_.batch_flushes;
+  if (parts.size() == 1) {
+    // A lone request gains nothing from the envelope; send it plain so the
+    // responder path matches the unbatched mode.
+    overlay_->Route(key, std::move(parts[0]));
+    return;
+  }
+  auto env = std::make_shared<BatchEnvelope>();
+  env->reply_to = id();
+  env->parts = std::move(parts);
+  overlay_->Route(key, std::move(env));
+}
+
+void GridVinePeer::HandleBatchEnvelope(const BatchEnvelope& env) {
+  const MessageBody* first = nullptr;
+  for (const auto& part : env.parts) {
+    if (part) {
+      first = part.get();
+      break;
+    }
+  }
+  if (first == nullptr) return;
+
+  // Issuer side: a reply envelope demultiplexes into the per-query response
+  // handlers (dispatch ids make this duplicate-safe, exactly as if the
+  // responses had arrived individually).
+  if (dynamic_cast<const QueryResponse*>(first) != nullptr ||
+      dynamic_cast<const BoundScanResponse*>(first) != nullptr) {
+    for (const auto& part : env.parts) {
+      if (auto* qr = dynamic_cast<const QueryResponse*>(part.get())) {
+        HandleQueryResponse(*qr);
+      } else if (auto* br =
+                     dynamic_cast<const BoundScanResponse*>(part.get())) {
+        HandleBoundScanResponse(*br);
+      }
+    }
+    return;
+  }
+
+  // Responder side: serve each part through its normal handler, with
+  // responses collected into one reply envelope. Only iterative
+  // single-pattern and bound-scan requests are ever batched (both answer
+  // synchronously, without re-entering the network), so the sink cannot see
+  // an unrelated response. The envelope pays one per_request of service
+  // time; each part adds its own (per_item-based) cost via SendResponse.
+  ++counters_.batches_answered;
+  std::vector<std::shared_ptr<const MessageBody>> sink;
+  batch_reply_sink_ = &sink;
+  batch_sink_cost_ = options_.service.enabled ? options_.service.per_request : 0;
+  serving_batched_request_ = true;
+  for (const auto& part : env.parts) {
+    if (auto* req = dynamic_cast<const QueryRequest*>(part.get())) {
+      HandleQueryRequest(*req);
+    } else if (auto* breq =
+                   dynamic_cast<const BoundScanRequest*>(part.get())) {
+      HandleBoundScanRequest(*breq);
+    }
+  }
+  serving_batched_request_ = false;
+  batch_reply_sink_ = nullptr;
+  SimTime cost = batch_sink_cost_;
+  batch_sink_cost_ = 0;
+  if (sink.empty()) return;
+  auto reply = std::make_shared<BatchEnvelope>();
+  reply->reply_to = id();
+  reply->parts = std::move(sink);
+  SendResponse(env.reply_to, std::move(reply), cost);
 }
 
 size_t GridVinePeer::MemoryFootprint() const {

@@ -21,6 +21,7 @@
 #include "pgrid/pgrid_peer.h"
 #include "query/exec/backend.h"
 #include "query/exec/executor.h"
+#include "query/extent_cache.h"
 #include "query/query.h"
 #include "rdf/triple.h"
 #include "schema/schema.h"
@@ -29,6 +30,8 @@
 #include "store/triple_store.h"
 
 namespace gridvine {
+
+class QueryFrontend;
 
 /// A complete GridVine peer: the semantic mediation layer stacked on a P-Grid
 /// overlay peer (the paper's Figure 1). It provides the mediation-layer
@@ -62,12 +65,54 @@ class GridVinePeer {
     RetryPolicy query_retry{/*base_timeout=*/2.5, /*max_attempts=*/3,
                             /*backoff_multiplier=*/2.0, /*max_timeout=*/10.0,
                             /*jitter=*/0.1};
+
+    // --- Serving layer (all default-off / no-op, so seeded runs of the
+    // --- pre-serving scenarios replay unchanged) ---------------------------
+
+    /// Responder-side result/extent cache (query/extent_cache.h): identical
+    /// pattern + bound-constant signatures are answered from the cached wire
+    /// payload, validated against TripleStore::version().
+    struct CacheOptions {
+      bool enabled = false;
+      size_t max_entries = 4096;
+      size_t max_bytes = 4u << 20;
+    } cache;
+
+    /// Cross-query batching: issuer-tracked RemoteScan/BoundScan requests
+    /// headed to the same key region coalesce into one BatchEnvelope within
+    /// `window` simulated seconds (or as soon as `max_items` accumulate).
+    /// Retries always re-route the retained individual request, bypassing
+    /// the batcher, so a lost envelope never strands its branches.
+    struct BatchOptions {
+      bool enabled = false;
+      SimTime window = 0.005;
+      size_t max_items = 32;
+    } batch;
+
+    /// Responder-side service-time model: answering a scan occupies the
+    /// peer's single logical server FIFO for a simulated cost, so hot key
+    /// regions saturate under flash crowds and caching/batching buy real
+    /// simulated throughput. Off = responses leave instantly (legacy).
+    struct ServiceModel {
+      bool enabled = false;
+      SimTime per_request = 1e-3;  ///< fixed cost per wire request served
+      SimTime per_item = 1e-4;     ///< marginal cost per extra batched item
+      SimTime per_row = 5e-5;      ///< per result row matched + serialized
+      SimTime per_hit = 1e-4;      ///< flat cost when served from the cache
+    } service;
+
+    /// Admission control for the per-peer QueryFrontend.
+    struct FrontendOptions {
+      size_t max_concurrent = 8;
+      size_t max_queue = 64;
+    } frontend;
   };
 
   using StatusCallback = std::function<void(Status)>;
 
   GridVinePeer(Simulator* sim, Network* network, Rng rng, Options options,
                PGridPeer::Options overlay_options);
+  ~GridVinePeer();
 
   GridVinePeer(const GridVinePeer&) = delete;
   GridVinePeer& operator=(const GridVinePeer&) = delete;
@@ -232,8 +277,19 @@ class GridVinePeer {
     uint64_t reformulations_performed = 0;  // as recursive intermediary
     uint64_t bound_scans_answered = 0;  // as destination
     uint64_t result_rows_sent = 0;      // as destination (all response kinds)
+    uint64_t batch_items = 0;           // as issuer: requests coalesced
+    uint64_t batch_flushes = 0;         // as issuer: envelopes (or lone parts)
+    uint64_t batches_answered = 0;      // as destination: envelopes served
   };
   const Counters& counters() const { return counters_; }
+
+  /// This peer's admission-controlled serving entry point (always present;
+  /// Options::frontend bounds it).
+  QueryFrontend* frontend() { return frontend_.get(); }
+  const QueryFrontend* frontend() const { return frontend_.get(); }
+
+  /// The responder-side extent cache, or nullptr when Options::cache is off.
+  const ExtentCache* cache() const { return cache_.get(); }
 
   /// Adds this peer's counters into `metrics` under "gv.*".
   void PublishMetrics(MetricsRegistry* metrics) const;
@@ -391,6 +447,26 @@ class GridVinePeer {
   void HandleQueryResponse(const QueryResponse& resp);
   void HandleBoundScanRequest(const BoundScanRequest& req);
   void HandleBoundScanResponse(const BoundScanResponse& resp);
+  void HandleBatchEnvelope(const BatchEnvelope& env);
+
+  // --- Serving layer --------------------------------------------------------
+
+  /// Appends an issuer-tracked request to the destination region's pending
+  /// batch, scheduling a flush at now + Options::batch.window when the
+  /// buffer was empty (flushing early at max_items).
+  void EnqueueBatch(const Key& key, std::shared_ptr<const MessageBody> part);
+  /// Sends one region's pending batch; `gen` guards the window timer against
+  /// a buffer that was already flushed (overflow) and restarted since.
+  void FlushBatch(const Key& key, uint64_t gen);
+
+  /// Sends a response `cost` simulated seconds of service time from now,
+  /// serialized through this peer's FIFO server (the service-time model).
+  /// Immediate when the model is off; deposits into batch_reply_sink_ while
+  /// a batch envelope is being served.
+  void SendResponse(NodeId to, std::shared_ptr<const MessageBody> body,
+                    SimTime cost);
+  /// Service cost of answering one scan/bound-scan request.
+  SimTime ScanServeCost(bool cache_hit, size_t rows) const;
 
   /// Storage listener keeping DB_p in sync.
   void OnStorageChange(UpdateOp op, const Key& key, const std::string& value);
@@ -421,6 +497,27 @@ class GridVinePeer {
   uint64_t next_dispatch_id_ = 1;
   uint64_t next_exec_id_ = 1;
   Counters counters_;
+
+  // --- Serving-layer state --------------------------------------------------
+  std::unique_ptr<ExtentCache> cache_;  // null unless Options::cache.enabled
+  std::unique_ptr<QueryFrontend> frontend_;
+  /// Pending cross-query batch per destination key region. std::map keeps
+  /// flush-vs-enqueue interleavings deterministic.
+  struct BatchBuffer {
+    uint64_t gen = 0;
+    std::vector<std::shared_ptr<const MessageBody>> parts;
+  };
+  std::map<Key, BatchBuffer> batch_buffers_;
+  uint64_t next_batch_gen_ = 1;
+  /// Service-time model: when this peer's logical server frees up.
+  SimTime busy_until_ = 0;
+  /// Non-null while serving a BatchEnvelope: handlers deposit their
+  /// responses here (instead of SendDirect) and costs accumulate in
+  /// batch_sink_cost_. Only iterative single-pattern and bound-scan parts
+  /// are ever batched, so no handler re-enters the network mid-sink.
+  std::vector<std::shared_ptr<const MessageBody>>* batch_reply_sink_ = nullptr;
+  SimTime batch_sink_cost_ = 0;
+  bool serving_batched_request_ = false;  // per_item overhead, not per_request
 };
 
 }  // namespace gridvine

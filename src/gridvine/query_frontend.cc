@@ -1,0 +1,112 @@
+#include "gridvine/query_frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/mem_estimate.h"
+
+namespace gridvine {
+
+void QueryFrontend::Submit(const TriplePatternQuery& query,
+                           const GridVinePeer::QueryOptions& options,
+                           GridVinePeer::QueryCallback cb) {
+  ++stats_.submitted;
+  Task t;
+  t.query = query;
+  t.options = options;
+  t.cb = std::move(cb);
+  Admit(std::move(t));
+}
+
+void QueryFrontend::SubmitConjunctive(
+    const ConjunctiveQuery& query, const GridVinePeer::QueryOptions& options,
+    std::function<void(GridVinePeer::ConjunctiveResult)> cb) {
+  ++stats_.submitted;
+  Task t;
+  t.conjunctive = true;
+  t.cquery = query;
+  t.options = options;
+  t.ccb = std::move(cb);
+  Admit(std::move(t));
+}
+
+void QueryFrontend::Admit(Task t) {
+  const auto& fo = peer_->options().frontend;
+  if (active_ < fo.max_concurrent) {
+    StartTask(std::move(t));
+    return;
+  }
+  if (queue_.size() >= fo.max_queue) {
+    Shed(std::move(t));
+    return;
+  }
+  queue_.push_back(std::move(t));
+  stats_.max_queue_depth =
+      std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+}
+
+void QueryFrontend::Shed(Task t) {
+  ++stats_.shed;
+  if (t.conjunctive) {
+    GridVinePeer::ConjunctiveResult r;
+    r.status = Status::Overload("admission queue full");
+    t.ccb(std::move(r));
+  } else {
+    GridVinePeer::QueryResult r;
+    r.status = Status::Overload("admission queue full");
+    t.cb(std::move(r));
+  }
+}
+
+void QueryFrontend::StartTask(Task t) {
+  ++active_;
+  ++stats_.started;
+  // The user callback runs before the slot is freed, so queries it submits
+  // synchronously queue behind the zero-delay refill event below — strict
+  // FIFO either way.
+  if (t.conjunctive) {
+    auto cb = std::move(t.ccb);
+    peer_->SearchForConjunctive(
+        t.cquery, t.options, [this, cb](GridVinePeer::ConjunctiveResult r) {
+          cb(std::move(r));
+          OnTaskDone();
+        });
+  } else {
+    auto cb = std::move(t.cb);
+    peer_->SearchFor(t.query, t.options,
+                     [this, cb](GridVinePeer::QueryResult r) {
+                       cb(std::move(r));
+                       OnTaskDone();
+                     });
+  }
+}
+
+void QueryFrontend::OnTaskDone() {
+  ++stats_.completed;
+  --active_;
+  if (queue_.empty()) return;
+  // Zero-delay event: long completion chains refill iteratively, not by
+  // recursing completion -> start -> completion on one stack.
+  sim_->Schedule(0, [this] {
+    if (queue_.empty() ||
+        active_ >= peer_->options().frontend.max_concurrent) {
+      return;
+    }
+    Task t = std::move(queue_.front());
+    queue_.pop_front();
+    StartTask(std::move(t));
+  });
+}
+
+QueryFrontend::Stats QueryFrontend::stats() const {
+  Stats s = stats_;
+  s.active = active_;
+  s.queued = queue_.size();
+  return s;
+}
+
+size_t QueryFrontend::MemoryFootprint() const {
+  return sizeof(*this) + queue_.size() * sizeof(Task);
+}
+
+}  // namespace gridvine

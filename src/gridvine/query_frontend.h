@@ -1,0 +1,80 @@
+#ifndef GRIDVINE_GRIDVINE_QUERY_FRONTEND_H_
+#define GRIDVINE_GRIDVINE_QUERY_FRONTEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "gridvine/gridvine_peer.h"
+
+namespace gridvine {
+
+/// Per-peer admission control for the serving layer. The paper measures one
+/// query at a time; heavy traffic means many concurrent single-pattern and
+/// conjunctive resolutions per peer, so the frontend runs up to
+/// Options::frontend.max_concurrent of them at once, parks further
+/// submissions in a bounded FIFO admission queue, and — once the queue is
+/// full — sheds immediately with Status::Overload. Explicit backpressure:
+/// the caller learns synchronously that the query was refused, instead of it
+/// queueing without bound and timing out deep inside the network.
+///
+/// Determinism: admission order is submission order; a completion hands its
+/// freed slot to the queue head through a zero-delay simulator event (which
+/// also bounds stack depth under long query chains). A shed query never
+/// touches the network, so no executor or pending-query state can leak.
+class QueryFrontend {
+ public:
+  QueryFrontend(Simulator* sim, GridVinePeer* peer) : sim_(sim), peer_(peer) {}
+
+  /// Cumulative counters plus live levels (filled in by stats()).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t started = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    uint64_t max_queue_depth = 0;
+    uint64_t active = 0;
+    uint64_t queued = 0;
+  };
+
+  /// SearchFor through admission control. The callback always fires exactly
+  /// once — with Status::Overload (and no network traffic) when shed.
+  void Submit(const TriplePatternQuery& query,
+              const GridVinePeer::QueryOptions& options,
+              GridVinePeer::QueryCallback cb);
+
+  /// SearchForConjunctive through admission control.
+  void SubmitConjunctive(
+      const ConjunctiveQuery& query, const GridVinePeer::QueryOptions& options,
+      std::function<void(GridVinePeer::ConjunctiveResult)> cb);
+
+  Stats stats() const;
+  size_t active() const { return active_; }
+  size_t queue_depth() const { return queue_.size(); }
+  size_t MemoryFootprint() const;
+
+ private:
+  struct Task {
+    bool conjunctive = false;
+    TriplePatternQuery query;
+    ConjunctiveQuery cquery;
+    GridVinePeer::QueryOptions options;
+    GridVinePeer::QueryCallback cb;
+    std::function<void(GridVinePeer::ConjunctiveResult)> ccb;
+  };
+
+  void Admit(Task t);
+  void StartTask(Task t);
+  void OnTaskDone();
+  void Shed(Task t);
+
+  Simulator* sim_;
+  GridVinePeer* peer_;
+  size_t active_ = 0;
+  std::deque<Task> queue_;
+  Stats stats_;  // active/queued snapshots filled by stats()
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_GRIDVINE_QUERY_FRONTEND_H_

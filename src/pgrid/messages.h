@@ -106,6 +106,29 @@ struct RoutedEnvelope : MessageBody {
   }
 };
 
+/// Coalesces several application payloads headed to the same key region into
+/// one wire message (the serving layer's cross-query batching): requests from
+/// different in-flight queries accumulate during a short batching window and
+/// travel as one routed envelope. The receiving peer's extension layer
+/// unpacks the parts, dispatches each through its normal handler, and sends
+/// the collected answers back to `reply_to` as another BatchEnvelope. Parts
+/// are heterogeneous, so the tag is not a composite — per-part accounting
+/// happens at the application layer.
+struct BatchEnvelope : MessageBody {
+  NodeId reply_to = kInvalidNode;
+  std::vector<std::shared_ptr<const MessageBody>> parts;
+
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("pgrid.batch");
+    return t;
+  }
+  size_t SizeBytes() const override {
+    size_t n = 12;
+    for (const auto& p : parts) n += (p ? p->SizeBytes() : 0) + 4;
+    return n;
+  }
+};
+
 /// Multicast of an application payload to EVERY peer whose region intersects
 /// the subtree `prefix` (P-Grid's "shower" broadcast): the envelope first
 /// routes toward the subtree, then splits level by level along the receiving

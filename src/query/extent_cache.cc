@@ -1,0 +1,103 @@
+#include "query/extent_cache.h"
+
+#include "common/mem_estimate.h"
+
+namespace gridvine {
+
+namespace {
+uint32_t Fnv1a32(std::string_view s) {
+  uint32_t h = 2166136261u;
+  for (char c : s) {
+    h ^= uint8_t(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+}  // namespace
+
+uint64_t ExtentCache::KeyOf(std::string_view pattern, std::string_view probes) {
+  auto [it, _] = pattern_ids_.emplace(std::string(pattern),
+                                      uint32_t(pattern_ids_.size()));
+  return (uint64_t(it->second) << 32) | Fnv1a32(probes);
+}
+
+size_t ExtentCache::ChargeOf(std::string_view probes, const Extent& e) {
+  return sizeof(Entry) + probes.size() + e.rows.size() +
+         e.probe_index.size() * sizeof(uint32_t);
+}
+
+const ExtentCache::Extent* ExtentCache::Lookup(std::string_view pattern,
+                                               std::string_view probes,
+                                               uint64_t store_version) {
+  auto it = map_.find(KeyOf(pattern, probes));
+  if (it == map_.end() || it->second.probes != probes) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.store_version != store_version) {
+    ++stats_.invalidations;
+    ++stats_.misses;
+    EraseEntry(it);
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return &it->second.extent;
+}
+
+void ExtentCache::Insert(std::string_view pattern, std::string_view probes,
+                         uint64_t store_version, Extent extent) {
+  uint64_t key = KeyOf(pattern, probes);
+  auto it = map_.find(key);
+  if (it != map_.end()) EraseEntry(it);
+  Entry e;
+  e.probes = std::string(probes);
+  e.store_version = store_version;
+  e.extent = std::move(extent);
+  e.charge = ChargeOf(probes, e.extent);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  bytes_ += e.charge;
+  map_.emplace(key, std::move(e));
+  EvictToBounds();
+}
+
+void ExtentCache::EraseEntry(
+    std::unordered_map<uint64_t, Entry>::iterator it) {
+  bytes_ -= it->second.charge;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void ExtentCache::EvictToBounds() {
+  while (!map_.empty() &&
+         (map_.size() > options_.max_entries || bytes_ > options_.max_bytes)) {
+    auto it = map_.find(lru_.back());
+    ++stats_.evictions;
+    EraseEntry(it);
+  }
+}
+
+void ExtentCache::Clear() {
+  map_.clear();
+  lru_.clear();
+  pattern_ids_.clear();
+  bytes_ = 0;
+}
+
+size_t ExtentCache::MemoryFootprint() const {
+  size_t total = HashMapBytes(map_) + HashMapBytes(pattern_ids_) +
+                 lru_.size() * (sizeof(uint64_t) + 2 * sizeof(void*));
+  for (const auto& [key, entry] : map_) {
+    (void)key;
+    total += StringHeapBytes(entry.probes) + StringHeapBytes(entry.extent.rows) +
+             entry.extent.probe_index.capacity() * sizeof(uint32_t);
+  }
+  for (const auto& [pat, id] : pattern_ids_) {
+    (void)id;
+    total += StringHeapBytes(pat);
+  }
+  return total;
+}
+
+}  // namespace gridvine

@@ -13,7 +13,8 @@ namespace gridvine {
 void TripleStore::InsertEncoded(const Triple& t) {
   IdTriple enc{dict_.Intern(t.subject()), dict_.Intern(t.predicate()),
                dict_.Intern(t.object())};
-  if (present_.count(enc)) return;  // idempotent
+  if (present_.count(enc)) return;  // idempotent: no visible change, no bump
+  ++version_;
   uint32_t slot = static_cast<uint32_t>(slots_.size());
   slots_.push_back(enc);
   live_.push_back(true);
@@ -62,6 +63,7 @@ bool TripleStore::Erase(const Triple& t) {
   live_[it->second] = false;
   present_.erase(it);
   ++dead_count_;
+  ++version_;
   MaybeCompact();
   return true;
 }
@@ -85,6 +87,7 @@ void TripleStore::Clear() {
   by_predicate_.clear();
   by_object_.clear();
   dead_count_ = 0;
+  ++version_;
 }
 
 void TripleStore::MaybeCompact() {
@@ -92,6 +95,9 @@ void TripleStore::MaybeCompact() {
   if (double(dead_count_) < kCompactDeadFraction * double(slots_.size())) {
     return;
   }
+  // Compaction renumbers slots; match results are unchanged, but bump the
+  // version anyway so any consumer keyed on internal state stays safe.
+  ++version_;
   std::vector<IdTriple> new_slots;
   new_slots.reserve(present_.size());
   for (uint32_t slot = 0; slot < slots_.size(); ++slot) {

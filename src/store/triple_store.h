@@ -85,6 +85,14 @@ class TripleStore {
   /// Clear() calls).
   size_t dictionary_size() const { return dict_.size(); }
 
+  /// Monotonic mutation counter, in the spirit of MappingGraph::version():
+  /// any change that can alter what a pattern matches — insert, erase,
+  /// tombstone compaction, Clear — bumps it, so extent caches can validate
+  /// entries with a single integer compare instead of subscribing to
+  /// change events. Erase and compaction count too: a cache that only
+  /// watched inserts would happily serve rows for deleted triples.
+  uint64_t version() const { return version_; }
+
   /// Bytes of heap behind the store (dictionary arena, slot array, presence
   /// and posting indexes), by capacity. Estimated per common/mem_estimate.h.
   size_t MemoryFootprint() const;
@@ -160,6 +168,7 @@ class TripleStore {
   PostingMap by_predicate_;
   PostingMap by_object_;
   size_t dead_count_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace gridvine

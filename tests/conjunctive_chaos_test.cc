@@ -16,6 +16,7 @@
 
 #include "fault_harness.h"
 #include "gridvine/gridvine_network.h"
+#include "gridvine/query_frontend.h"
 #include "sim/churn.h"
 #include "store/binding_codec.h"
 
@@ -74,6 +75,13 @@ struct ChaosConfig {
   int operations = 24;
   SimTime op_interval = 3.0;
   SimTime warmup = 5.0;
+  /// Flash-crowd serving mode: extent cache + cross-query batching +
+  /// service model on, submissions go through the QueryFrontend in bursts
+  /// of `burst` identical queries per slot, and the data underneath is
+  /// mutated mid-run so cached extents keep going stale. Overload becomes
+  /// an acceptable terminal status (bounded queue, bursty arrivals).
+  bool serving = false;
+  int burst = 1;
 };
 
 void RunConjunctiveChaos(const ChaosConfig& cfg) {
@@ -84,10 +92,21 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
   options.num_peers = 16;
   options.key_depth = 12;
   options.seed = cfg.seed;
+  if (cfg.serving) {
+    options.peer.cache.enabled = true;
+    options.peer.batch.enabled = true;
+    options.peer.service.enabled = true;
+    options.peer.frontend.max_concurrent = 2;
+    options.peer.frontend.max_queue = 4;
+  }
   GridVineNetwork net(options);
 
   // Data goes in before any fault window opens (placement must succeed).
   ASSERT_TRUE(net.InsertTriples(0, MakeTriples(cfg.seed, 24)).ok());
+  // Deterministic hot triples the serving scenario churns mid-run (cached
+  // extents over them must go stale, not get served).
+  Triple hot(Term::Uri("x:hot"), Term::Uri("x:type"), Term::Literal("gadget"));
+  if (cfg.serving) ASSERT_TRUE(net.InsertTriple(0, hot).ok());
   net.Settle();
 
   // Fault windows from the PR 3 plan generator, placed over the op phase.
@@ -121,30 +140,55 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
     int resolutions = 0;
     Status status;
   };
-  std::vector<OpRecord> ops(size_t(cfg.operations));
+  std::vector<OpRecord> ops(size_t(cfg.operations * cfg.burst));
   auto queries = MakeQueries();
   GridVinePeer* issuer = net.peer(0);
   for (int i = 0; i < cfg.operations; ++i) {
-    OpRecord* rec = &ops[size_t(i)];
     const ConjunctiveQuery& q = queries[size_t(i) % queries.size()];
-    net.sim()->ScheduleAt(cfg.warmup + i * cfg.op_interval, [issuer, q, rec] {
-      issuer->SearchForConjunctive(
-          q, {}, [rec](GridVinePeer::ConjunctiveResult r) {
-            ++rec->resolutions;
-            rec->status = r.status;
-          });
-    });
+    for (int b = 0; b < cfg.burst; ++b) {
+      OpRecord* rec = &ops[size_t(i * cfg.burst + b)];
+      const bool serving = cfg.serving;
+      net.sim()->ScheduleAt(cfg.warmup + i * cfg.op_interval,
+                            [issuer, q, rec, serving] {
+        auto done = [rec](GridVinePeer::ConjunctiveResult r) {
+          ++rec->resolutions;
+          rec->status = r.status;
+        };
+        if (serving) {
+          issuer->frontend()->SubmitConjunctive(q, {}, done);
+        } else {
+          issuer->SearchForConjunctive(q, {}, done);
+        }
+      });
+    }
+  }
+  if (cfg.serving) {
+    // Mutate the hot triple every other op slot: remove, then re-insert one
+    // slot later. Cached extents over x:type keep being invalidated while
+    // the flash crowd re-queries them under loss/churn.
+    for (int i = 1; i + 1 < cfg.operations; i += 2) {
+      net.sim()->ScheduleAt(cfg.warmup + i * cfg.op_interval + 0.5,
+                            [&net, hot] {
+                              net.peer(0)->RemoveTriple(hot, [](Status) {});
+                            });
+      net.sim()->ScheduleAt(cfg.warmup + (i + 1) * cfg.op_interval + 0.5,
+                            [&net, hot] {
+                              net.peer(0)->InsertTriple(hot, [](Status) {});
+                            });
+    }
   }
 
   const SimTime stop_at = cfg.warmup + cfg.operations * cfg.op_interval + 1.0;
   net.sim()->ScheduleAt(stop_at, [&churn] { churn.Stop(); });
   net.Settle();
 
-  // Every op resolved exactly once, to OK or Timeout.
+  // Every op resolved exactly once, to OK or Timeout (or Overload when the
+  // bounded admission queue is in play).
   for (size_t i = 0; i < ops.size(); ++i) {
     SCOPED_TRACE("op " + std::to_string(i));
     ASSERT_EQ(ops[i].resolutions, 1);
-    EXPECT_TRUE(ops[i].status.ok() || ops[i].status.IsTimeout())
+    EXPECT_TRUE(ops[i].status.ok() || ops[i].status.IsTimeout() ||
+                (cfg.serving && ops[i].status.IsOverload()))
         << ops[i].status;
   }
 
@@ -153,6 +197,20 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
   for (size_t p = 0; p < net.size(); ++p) {
     EXPECT_EQ(net.peer(p)->ActiveConjunctiveExecs(), 0u) << "peer " << p;
     EXPECT_EQ(net.peer(p)->PendingQueryCount(), 0u) << "peer " << p;
+  }
+
+  if (cfg.serving) {
+    // The serving stack actually engaged under fire: the cache saw traffic
+    // and the data churn invalidated stale extents instead of serving them.
+    uint64_t hits = 0, misses = 0, invalidations = 0;
+    for (size_t p = 0; p < net.size(); ++p) {
+      const ExtentCache* c = net.peer(p)->cache();
+      hits += c->stats().hits;
+      misses += c->stats().misses;
+      invalidations += c->stats().invalidations;
+    }
+    EXPECT_GT(hits + misses, 0u);
+    EXPECT_GT(invalidations, 0u);
   }
 
   // The PR 3 wire invariants still hold with the new message types in play.
@@ -189,6 +247,22 @@ TEST(ConjunctiveChaosTest, LossChurnAndDuplication) {
   cfg.loss_bursts = 1;
   cfg.duplicate_probability = 0.05;
   cfg.churn = true;
+  RunConjunctiveChaos(cfg);
+}
+
+TEST(ConjunctiveChaosTest, FlashCrowdServing) {
+  // Flash crowd through the full serving stack (frontend + cache + batcher
+  // + service model) layered over loss and churn, with the hot data mutated
+  // mid-run. The drain contract must hold with Overload as a third legal
+  // terminal status, and invalidation must beat staleness.
+  ChaosConfig cfg;
+  cfg.name = "flash-crowd";
+  cfg.seed = 101;
+  cfg.loss = 0.06;
+  cfg.loss_bursts = 1;
+  cfg.churn = true;
+  cfg.serving = true;
+  cfg.burst = 3;
   RunConjunctiveChaos(cfg);
 }
 

@@ -13,8 +13,11 @@ triple <embl:A78767> <EMBL#Organism> "Aspergillus niger" .
 triple <emp:NEN94295> <EMP#SystematicName> "Aspergillus niger" .
 map EMBL EMP EMBL#Organism>EMP#SystematicName
 query SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
+query SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
 queryplain SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")
 stats
+cache stats
+frontend stats
 mem
 bogus-command
 quit
@@ -38,5 +41,9 @@ echo "$output" | grep -q "3 result(s), 2 schema(s)" || fail "reformulated query 
 echo "$output" | grep -q "2 result(s), 1 schema(s)" || fail "plain query wrong"
 echo "$output" | grep -q "unknown command 'bogus-command'" || fail "unknown command not reported"
 echo "$output" | grep -q "local DB entries" || fail "stats missing"
+# The repeated reformulated query is served from the extent cache.
+echo "$output" | grep -qE "extent cache: [1-9][0-9]* hit" || fail "cache stats missing hits"
+echo "$output" | grep -q "submitted" || fail "frontend stats missing"
 echo "$output" | grep -q "peers.overlay" || fail "mem breakdown missing"
+echo "$output" | grep -q "peers.cache" || fail "mem cache breakdown missing"
 echo "PASS"
