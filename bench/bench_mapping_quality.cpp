@@ -16,10 +16,12 @@
 //   $ ./bench/bench_mapping_quality
 
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
 #include "bench_json.h"
+#include "selforg_scale.h"
 #include "selforg/mapping_assessor.h"
 #include "workload/bio_workload.h"
 
@@ -130,6 +132,32 @@ int main(int argc, char** argv) {
              {{"precision", precision / kSeeds},
               {"recall", recall / kSeeds},
               {"observations", obs / kSeeds}});
+  }
+  // Part 3 — mapping quality under schema evolution at scale: on a
+  // 10k-peer network one schema's attributes all move to different
+  // vocabulary variants mid-run. Agreement maintenance must deprecate every
+  // dangling mapping (stale_deprecated > 0) and the re-derived mapping set
+  // must carry query recall back to >= 95% of the pre-change level. Quick
+  // mode shrinks the network (CI smoke).
+  {
+    const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
+    const size_t peers = quick ? 256 : 10240;
+    std::printf("\n  part 3: schema evolution at scale (%zu peers)\n", peers);
+    auto r = gridvine::bench::RunEvolutionAtScale(peers, /*seed=*/404);
+    std::printf("  %zu stale mappings deprecated, %zu created; recall %.0f%% "
+                "-> %.0f%% -> %.0f%% (%d repair rounds)\n",
+                r.stale_deprecated, r.created_total, r.recall_pre * 100,
+                r.recall_post * 100, r.recall_final * 100, r.recovery_rounds);
+    json.Add("evolution_at_scale",
+             {{"peers", double(r.peers)},
+              {"convergence_rounds", double(r.convergence_rounds)},
+              {"stale_deprecated", double(r.stale_deprecated)},
+              {"created_total", double(r.created_total)},
+              {"recall_pre", r.recall_pre},
+              {"recall_final", r.recall_final},
+              {"recovery_ratio",
+               r.recall_pre > 0 ? r.recall_final / r.recall_pre : 0.0},
+              {"bp_messages", double(r.bp_messages)}});
   }
   json.Finish();
   std::printf("\n  expectation: high precision throughout; recall degrades "

@@ -15,9 +15,11 @@
 //   $ ./bench/bench_recall_evolution
 
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "bench_json.h"
+#include "selforg_scale.h"
 #include "selforg/self_organizer.h"
 #include "workload/bio_workload.h"
 
@@ -162,6 +164,31 @@ int main(int argc, char** argv) {
   std::printf("\n  expectation: recall rises from its single-schema floor as "
               "ci crosses 0; after the\n  perturbation it dips and recovers "
               "as replacement mappings are created automatically.\n");
+
+  // Phase 3 — schema evolution at scale (agreement maintenance): on a
+  // 10k-peer network one schema's attributes all move to different
+  // vocabulary variants mid-run; continued rounds must deprecate the
+  // dangling mappings, re-derive replacements and recover recall to >= 95%
+  // of the pre-change level. Quick mode shrinks the network (CI smoke).
+  {
+    const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
+    const size_t peers = quick ? 256 : 10240;
+    std::printf("\n  -- schema evolution at scale (%zu peers) --\n", peers);
+    auto r = gridvine::bench::RunEvolutionAtScale(peers, /*seed=*/404);
+    std::printf("  converged in %d rounds; recall %.0f%% -> %.0f%% (evolution)"
+                " -> %.0f%% after %d repair rounds\n",
+                r.convergence_rounds, r.recall_pre * 100, r.recall_post * 100,
+                r.recall_final * 100, r.recovery_rounds);
+    json.Add("evolution_at_scale",
+             {{"peers", double(r.peers)},
+              {"convergence_rounds", double(r.convergence_rounds)},
+              {"recall_pre", r.recall_pre},
+              {"recall_post_evolution", r.recall_post},
+              {"recall_final", r.recall_final},
+              {"recovery_ratio",
+               r.recall_pre > 0 ? r.recall_final / r.recall_pre : 0.0},
+              {"recovery_rounds", double(r.recovery_rounds)}});
+  }
   json.Finish();
   return 0;
 }

@@ -16,12 +16,15 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # the single-threaded engine tests for the shared seams they exercise.
   cmake --preset tsan
   cmake --build build-tsan -j "$(nproc)" --target sharded_determinism_test \
-    sharded_soak_test simulator_test network_test
+    sharded_soak_test simulator_test network_test fault_soak_test
   export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
   ./build-tsan/tests/sharded_determinism_test
   ./build-tsan/tests/sharded_soak_test
   ./build-tsan/tests/simulator_test
   ./build-tsan/tests/network_test
+  # Continuous self-organization on the sharded engine: real worker threads
+  # under the organizer's fetch/push traffic at shards 2/4.
+  ./build-tsan/tests/fault_soak_test --gtest_filter='SelforgSoakTest.Shard*'
   echo "tsan run clean"
   exit 0
 fi

@@ -141,5 +141,34 @@ EOF
     cp "$serving_json" "$GV_ARTIFACT_DIR/"
   fi
 fi
+# Self-organization smoke: bench_selforg ran the schema-evolution scenario
+# in the loop above (quick mode shrinks the network). Validate that every
+# row carries the keys CI consumers graph and that recall recovered after
+# the mid-run schema change.
+selforg_json="$out_root/BENCH_selforg.json"
+if [[ -f "$selforg_json" ]] && command -v python3 >/dev/null 2>&1; then
+  echo "== validating $(basename "$selforg_json")"
+  python3 - "$selforg_json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+rows = doc["benchmarks"]
+if not rows:
+    sys.exit("BENCH_selforg.json has no rows")
+required_keys = ["peers", "convergence_rounds", "recall_final",
+                 "recall_pre", "recovery_ratio"]
+for row in rows:
+    for key in required_keys:
+        if key not in row:
+            sys.exit(f"row {row['name']} missing key {key}")
+    if row["recovery_ratio"] < 0.95:
+        sys.exit(f"row {row['name']}: recall only recovered to "
+                 f"{row['recovery_ratio']:.2f} of pre-evolution level")
+biggest = max(rows, key=lambda r: r["peers"])
+print(f"  ok: {len(rows)} size(s), largest {int(biggest['peers'])} peers, "
+      f"convergence_rounds={int(biggest['convergence_rounds'])} "
+      f"recall_final={biggest['recall_final']:.2f}")
+EOF
+fi
 echo
 echo "wrote $ran JSON report(s) at $out_root/BENCH_*.json"

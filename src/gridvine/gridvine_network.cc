@@ -8,7 +8,7 @@ GridVineNetwork::GridVineNetwork(Options options)
     : options_(options), rng_(options.seed) {
   options_.peer.key_depth = options_.key_depth;
   options_.overlay.key_depth = options_.key_depth;
-  if (options_.shards > 1) {
+  if (options_.shards > 1 || options_.force_sharded) {
     ShardedNetwork::Options sopts;
     sopts.shards = options_.shards;
     sopts.seed = options_.seed;
@@ -70,6 +70,7 @@ MetricsRegistry& GridVineNetwork::CollectMetrics() {
     p->PublishMetrics(&metrics_);
     p->overlay()->PublishMetrics(&metrics_);
   }
+  for (auto& source : metrics_sources_) source(&metrics_);
   return metrics_;
 }
 
@@ -162,6 +163,19 @@ Status GridVineNetwork::InsertSchema(size_t peer_idx, const Schema& schema) {
   Status result;
   Issue(peer_idx, [&] {
     peers_[peer_idx]->InsertSchema(schema, [&](Status s) {
+      result = std::move(s);
+      done = true;
+    });
+  });
+  PumpUntil(&done);
+  return result;
+}
+
+Status GridVineNetwork::UpsertSchema(size_t peer_idx, const Schema& schema) {
+  bool done = false;
+  Status result;
+  Issue(peer_idx, [&] {
+    peers_[peer_idx]->UpsertSchema(schema, [&](Status s) {
       result = std::move(s);
       done = true;
     });

@@ -1,6 +1,7 @@
 #ifndef GRIDVINE_GRIDVINE_GRIDVINE_NETWORK_H_
 #define GRIDVINE_GRIDVINE_GRIDVINE_NETWORK_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,11 @@ class GridVineNetwork {
     /// counts; tracing is unavailable and sim()/network() return null — use
     /// engine(). 1 (default) keeps the classic single-queue path.
     uint32_t shards = 1;
+    /// Run the sharded engine even at shards == 1 (its threadless reference
+    /// mode). Classic and sharded runs are NOT comparable bit-for-bit (the
+    /// engines consume random streams differently); forcing the engine lets
+    /// a shards=1 run anchor a shard-count invariance comparison.
+    bool force_sharded = false;
     PGridPeer::Options overlay;
     GridVinePeer::Options peer;
   };
@@ -80,6 +86,14 @@ class GridVineNetwork {
   /// and every peer (both layers); returns it.
   MetricsRegistry& CollectMetrics();
 
+  /// Registers an extra publisher CollectMetrics() invokes after the engine
+  /// and peers — how higher layers (e.g. the self-organizer's gv.selforg.*
+  /// counters) join the unified snapshot without a dependency from this
+  /// layer.
+  void AddMetricsSource(std::function<void(MetricsRegistry*)> source) {
+    metrics_sources_.push_back(std::move(source));
+  }
+
   size_t size() const { return peers_.size(); }
   GridVinePeer* peer(size_t i) { return peers_[i].get(); }
   std::vector<PGridPeer*> overlay_peers();
@@ -98,6 +112,9 @@ class GridVineNetwork {
   Status InsertTriples(size_t peer_idx, const std::vector<Triple>& triples);
   Status RemoveTriple(size_t peer_idx, const Triple& triple);
   Status InsertSchema(size_t peer_idx, const Schema& schema);
+  /// Replaces a stored schema definition (schema evolution); see
+  /// GridVinePeer::UpsertSchema.
+  Status UpsertSchema(size_t peer_idx, const Schema& schema);
   Status InsertMapping(size_t peer_idx, const SchemaMapping& mapping);
   Status UpsertMapping(size_t peer_idx, const SchemaMapping& mapping);
   Status PublishDegree(size_t peer_idx, const std::string& domain,
@@ -135,6 +152,28 @@ class GridVineNetwork {
     }
   }
 
+  /// Advances simulated time to `t`, engine-agnostic. The building block of
+  /// continuous background activities (SelfOrganizer::RunContinuous): faults
+  /// and churn fire inside the slice, synchronous work runs between slices.
+  void RunUntil(SimTime t) {
+    if (engine_) {
+      engine_->RunUntil(t);
+    } else {
+      sim_.RunUntil(t);
+    }
+  }
+
+  /// Marks a peer dead/alive in the transport, engine-agnostic. On the
+  /// sharded engine this must be called between runs (quiescent), same as
+  /// ShardedNetwork::SetAlive.
+  void SetAlive(size_t peer_idx, bool alive) {
+    if (engine_) {
+      engine_->SetAlive(static_cast<NodeId>(peer_idx), alive);
+    } else {
+      network_->SetAlive(static_cast<NodeId>(peer_idx), alive);
+    }
+  }
+
   /// Aggregate per-peer + engine memory accounting, in bytes. `breakdown`
   /// (optional) receives named per-component totals for display.
   size_t MemoryFootprint(
@@ -166,6 +205,7 @@ class GridVineNetwork {
   std::unique_ptr<Network> network_;
   std::unique_ptr<ShardedNetwork> engine_;  // shards > 1 only
   std::vector<std::unique_ptr<GridVinePeer>> peers_;
+  std::vector<std::function<void(MetricsRegistry*)>> metrics_sources_;
 };
 
 }  // namespace gridvine

@@ -1,6 +1,7 @@
 #include "gridvine/gridvine_peer.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/logging.h"
@@ -25,31 +26,30 @@ bool IsStructuredRecord(const std::string& value) {
 
 /// Aggregates N update acknowledgements into one status callback: the first
 /// error wins; OK once all arrive.
-class AckAggregator {
+class AckAggregator : public std::enable_shared_from_this<AckAggregator> {
  public:
   AckAggregator(int expected, GridVinePeer::StatusCallback cb)
       : remaining_(expected), cb_(std::move(cb)) {}
 
   PGridPeer::UpdateCallback MakeCallback() {
-    auto self = shared_from_this_;
-    return [this, self](Result<PGridPeer::UpdateOutcome> r) {
-      if (!r.ok() && first_error_.ok()) first_error_ = r.status();
-      if (--remaining_ == 0) {
-        cb_(first_error_);
+    auto self = shared_from_this();
+    return [self](Result<PGridPeer::UpdateOutcome> r) {
+      if (!r.ok() && self->first_error_.ok()) self->first_error_ = r.status();
+      if (--self->remaining_ == 0) {
+        self->cb_(self->first_error_);
       }
     };
   }
 
-  /// Creates an aggregator kept alive by its own callbacks.
+  /// Creates an aggregator kept alive by its own callbacks: ownership lives
+  /// only in the callback captures, so it is released once every callback
+  /// has fired or been dropped (no self-referencing cycle).
   static std::shared_ptr<AckAggregator> Create(
       int expected, GridVinePeer::StatusCallback cb) {
-    auto agg = std::make_shared<AckAggregator>(expected, std::move(cb));
-    agg->shared_from_this_ = agg;
-    return agg;
+    return std::make_shared<AckAggregator>(expected, std::move(cb));
   }
 
  private:
-  std::shared_ptr<AckAggregator> shared_from_this_;
   int remaining_;
   Status first_error_;
   GridVinePeer::StatusCallback cb_;
@@ -165,6 +165,43 @@ void GridVinePeer::InsertSchema(const Schema& schema, StatusCallback cb) {
                    [cb](Result<PGridPeer::UpdateOutcome> r) {
                      cb(r.ok() ? Status::OK() : r.status());
                    });
+}
+
+void GridVinePeer::UpsertSchema(const Schema& schema, StatusCallback cb) {
+  Status valid = schema.Validate();
+  if (!valid.ok()) {
+    cb(valid);
+    return;
+  }
+  // Remove stale serializations of this schema name first: FetchSchema
+  // returns the first matching record, so an evolved definition inserted
+  // alongside the old one would never be seen.
+  std::string fresh = schema.Serialize();
+  overlay_->Retrieve(
+      KeyFor(schema.name()),
+      [this, schema, fresh, cb](Result<PGridPeer::LookupResult> r) {
+        std::vector<std::string> stale;
+        if (r.ok()) {
+          for (const auto& value : r->values) {
+            if (!StartsWith(value, "schema|")) continue;
+            auto parsed = Schema::Parse(value);
+            if (parsed.ok() && parsed->name() == schema.name() &&
+                value != fresh) {
+              stale.push_back(value);
+            }
+          }
+        }
+        auto agg = AckAggregator::Create(int(stale.size()) + 1, cb);
+        for (const auto& value : stale) {
+          overlay_->Remove(KeyFor(schema.name()), value, agg->MakeCallback());
+        }
+        InsertSchema(schema, [agg](Status s) {
+          agg->MakeCallback()(
+              s.ok()
+                  ? Result<PGridPeer::UpdateOutcome>(PGridPeer::UpdateOutcome{})
+                  : Result<PGridPeer::UpdateOutcome>(s));
+        });
+      });
 }
 
 namespace {

@@ -148,6 +148,13 @@ class GridVinePeer {
   /// Publishes a schema definition at Hash(schema name).
   void InsertSchema(const Schema& schema, StatusCallback cb);
 
+  /// Replaces the stored definition of `schema` (matched by name) with the
+  /// given state, removing any stale serializations first. FetchSchema
+  /// returns the first record matching the name, so schema *evolution* must
+  /// go through this (a plain InsertSchema would leave the old definition
+  /// discoverable).
+  void UpsertSchema(const Schema& schema, StatusCallback cb);
+
   /// Publishes a mapping at its source schema's key space — and, when the
   /// mapping is bidirectional, at the target schema's key space too.
   void InsertMapping(const SchemaMapping& mapping, StatusCallback cb);

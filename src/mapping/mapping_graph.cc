@@ -13,13 +13,26 @@ void MappingGraph::AddSchema(const std::string& name) { schemas_.insert(name); }
 void MappingGraph::AddMapping(const SchemaMapping& mapping) {
   schemas_.insert(mapping.source_schema());
   schemas_.insert(mapping.target_schema());
-  mappings_[mapping.id()] = MappingPool().Intern(mapping.Serialize(), mapping);
+  std::string serialized = mapping.Serialize();
+  auto it = mappings_.find(mapping.id());
+  if (it != mappings_.end()) {
+    // Re-intern path: only a genuine content change bumps the version and
+    // notifies; re-syncing an unchanged record is free.
+    if (it->second->Serialize() == serialized) return;
+    it->second = MappingPool().Intern(serialized, mapping);
+    ++version_;
+    if (listener_) listener_->OnMappingReplaced(*this, mapping.id());
+    return;
+  }
+  mappings_[mapping.id()] = MappingPool().Intern(serialized, mapping);
   ++version_;
+  if (listener_) listener_->OnMappingAdded(*this, mapping.id());
 }
 
 bool MappingGraph::RemoveMapping(const std::string& id) {
   if (mappings_.erase(id) == 0) return false;
   ++version_;
+  if (listener_) listener_->OnMappingRemoved(*this, id);
   return true;
 }
 
@@ -33,6 +46,7 @@ bool MappingGraph::Deprecate(const std::string& id) {
     updated.set_deprecated(true);
     it->second = MappingPool().Intern(updated.Serialize(), updated);
     ++version_;
+    if (listener_) listener_->OnMappingDeprecated(*this, id);
   }
   return true;
 }

@@ -24,19 +24,50 @@ namespace gridvine {
 /// than mutating the shared object.
 class MappingGraph {
  public:
+  /// Observer for edge-set changes, fired synchronously *after* the change
+  /// is applied (the graph already reflects it when the callback runs). The
+  /// incremental mapping assessor subscribes here to maintain its cycle
+  /// factor graph without re-enumerating from scratch every round.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    /// A mapping id not previously present was added.
+    virtual void OnMappingAdded(const MappingGraph& graph,
+                                const std::string& id) = 0;
+    /// AddMapping replaced an existing id with *different* content
+    /// (re-intern): correspondences, confidence, deprecation flag or
+    /// endpoints changed under the same id.
+    virtual void OnMappingReplaced(const MappingGraph& graph,
+                                   const std::string& id) = 0;
+    /// A previously-active mapping was marked deprecated via Deprecate().
+    virtual void OnMappingDeprecated(const MappingGraph& graph,
+                                     const std::string& id) = 0;
+    /// A mapping was removed entirely.
+    virtual void OnMappingRemoved(const MappingGraph& graph,
+                                  const std::string& id) = 0;
+  };
+
   MappingGraph() = default;
 
   void AddSchema(const std::string& name);
   /// Adds or replaces a mapping (keyed by id). Schemas are added implicitly.
+  /// Re-adding a mapping whose serialized content is unchanged is a no-op:
+  /// no version bump, no listener event — so periodically re-syncing a view
+  /// from fetched records does not invalidate dependent caches.
   void AddMapping(const SchemaMapping& mapping);
   /// Removes a mapping entirely; true if present.
   bool RemoveMapping(const std::string& id);
   /// Marks a mapping deprecated (kept, but excluded from edges/paths).
   bool Deprecate(const std::string& id);
 
-  /// Monotonic counter bumped by every edge-set change (AddMapping,
-  /// RemoveMapping, Deprecate). Lets derived structures — notably the
-  /// ReformulationCache — detect staleness with a single integer compare.
+  /// At most one listener; pass nullptr to detach. The listener must outlive
+  /// the graph or be detached first.
+  void SetListener(Listener* listener) { listener_ = listener; }
+
+  /// Monotonic counter bumped by every edge-set change (AddMapping with new
+  /// or changed content, RemoveMapping, first Deprecate). Lets derived
+  /// structures — notably the ReformulationCache — detect staleness with a
+  /// single integer compare.
   uint64_t version() const { return version_; }
 
   Result<SchemaMapping> Get(const std::string& id) const;
@@ -101,6 +132,7 @@ class MappingGraph {
   std::set<std::string> schemas_;
   std::map<std::string, std::shared_ptr<const SchemaMapping>> mappings_;
   uint64_t version_ = 0;
+  Listener* listener_ = nullptr;
 };
 
 }  // namespace gridvine

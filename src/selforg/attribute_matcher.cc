@@ -32,15 +32,35 @@ double AttributeMatcher::Score(const std::string& source_attr_uri,
   auto tit = target_values.find(target_attr_uri);
   bool have_values = sit != source_values.end() && !sit->second.empty() &&
                      tit != target_values.end() && !tit->second.empty();
-  if (!have_values) {
-    // No instance evidence: rely on the lexical component alone.
-    return lexical;
+
+  // Embedding channel: only when enabled and both vectors are present.
+  bool have_embeddings = false;
+  double embed_sim = 0;
+  if (options_.embedding_weight > 0 && source_embeddings_ &&
+      target_embeddings_) {
+    auto se = source_embeddings_->find(source_attr_uri);
+    auto te = target_embeddings_->find(target_attr_uri);
+    if (se != source_embeddings_->end() && te != target_embeddings_->end()) {
+      have_embeddings = true;
+      embed_sim = CosineSimilarity(se->second, te->second);
+    }
   }
-  double value_sim = JaccardSimilarity(sit->second, tit->second);
-  double total_weight = options_.lexical_weight + options_.value_weight;
-  return (options_.lexical_weight * lexical +
-          options_.value_weight * value_sim) /
-         (total_weight > 0 ? total_weight : 1.0);
+
+  // Blend whichever channels have evidence, renormalized — a pair missing
+  // values or vectors is scored by the rest, not penalized.
+  double total_weight = options_.lexical_weight;
+  double score = options_.lexical_weight * lexical;
+  if (have_values) {
+    double value_sim = JaccardSimilarity(sit->second, tit->second);
+    total_weight += options_.value_weight;
+    score += options_.value_weight * value_sim;
+  }
+  if (have_embeddings) {
+    total_weight += options_.embedding_weight;
+    score += options_.embedding_weight * embed_sim;
+  }
+  if (total_weight <= 0) return lexical;
+  return score / total_weight;
 }
 
 std::vector<AttributeMatcher::Correspondence> AttributeMatcher::Match(

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "schema/schema.h"
+#include "selforg/embedding.h"
 
 namespace gridvine {
 
@@ -20,6 +21,10 @@ namespace gridvine {
 ///  * Set distance: Jaccard similarity of the sets of object values observed
 ///    under the two predicates (shared instance references make these sets
 ///    overlap when the attributes mean the same thing).
+///  * Optional embedding channel: cosine similarity of precomputed
+///    hashed-trigram vectors (embedding.h), off by default
+///    (embedding_weight == 0). Supply tables via SetEmbeddings; pairs
+///    missing a vector fall back to the other channels, renormalized.
 ///
 /// The final score is a weighted blend; pairs are accepted greedily
 /// best-first, one-to-one, above a threshold.
@@ -30,6 +35,10 @@ class AttributeMatcher {
     double value_weight = 0.5;
     /// Minimum blended score for a correspondence to be emitted.
     double threshold = 0.45;
+    /// Weight of the precomputed-embedding cosine channel; 0 disables it.
+    /// (Declared after threshold so positional Options initializers predate
+    /// the channel keep their meaning.)
+    double embedding_weight = 0.0;
   };
 
   /// Default-configured matcher (definition below the class: a nested
@@ -58,10 +67,20 @@ class AttributeMatcher {
                                     const ValueSets& source_values,
                                     const ValueSets& target_values) const;
 
+  /// Attaches precomputed embedding tables (attribute URI -> vector) for
+  /// the cosine channel. Pass nullptr to detach; tables must outlive the
+  /// matcher's use of them. No effect while embedding_weight == 0.
+  void SetEmbeddings(const EmbeddingTable* source, const EmbeddingTable* target) {
+    source_embeddings_ = source;
+    target_embeddings_ = target;
+  }
+
   const Options& options() const { return options_; }
 
  private:
   Options options_;
+  const EmbeddingTable* source_embeddings_ = nullptr;
+  const EmbeddingTable* target_embeddings_ = nullptr;
 };
 
 inline AttributeMatcher::AttributeMatcher() : options_(Options()) {}

@@ -1,0 +1,88 @@
+#include "selforg/embedding.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace gridvine {
+
+namespace {
+
+/// Same normalization the lexical channel uses, so "Organism_Name" and
+/// "organismname" land on the same trigrams.
+std::string NormalizeToken(const std::string& s) {
+  std::string out;
+  for (char c : ToLower(s)) {
+    if (c != '_' && c != '-' && c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+/// FNV-1a: stable across platforms (std::hash is not specified to be).
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Feature-hashes every character trigram (with boundary padding) of
+/// `token` into `vec`, weight per occurrence. Sign hash keeps collisions
+/// unbiased.
+void AddTrigrams(const std::string& token, float weight,
+                 std::vector<float>* vec) {
+  if (token.empty()) return;
+  std::string padded = "^" + token + "$";
+  if (padded.size() < 3) return;
+  const size_t dim = vec->size();
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    uint64_t h = Fnv1a(padded.substr(i, 3));
+    size_t bucket = size_t(h % dim);
+    float sign = ((h >> 32) & 1) ? 1.0f : -1.0f;
+    (*vec)[bucket] += sign * weight;
+  }
+}
+
+}  // namespace
+
+Embedding EmbedAttribute(const std::string& local_name,
+                         const std::set<std::string>& values, int dim) {
+  Embedding vec(dim > 0 ? size_t(dim) : 0, 0.0f);
+  if (vec.empty()) return vec;
+  AddTrigrams(NormalizeToken(local_name), 1.0f, &vec);
+  if (!values.empty()) {
+    // Value trigrams share the name's total mass so a large sample cannot
+    // drown out the name signal.
+    float w = 1.0f / float(values.size());
+    for (const auto& v : values) AddTrigrams(NormalizeToken(v), w, &vec);
+  }
+  double norm = 0;
+  for (float x : vec) norm += double(x) * double(x);
+  if (norm > 0) {
+    float inv = float(1.0 / std::sqrt(norm));
+    for (float& x : vec) x *= inv;
+  }
+  return vec;
+}
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += double(a[i]) * double(b[i]);
+    na += double(a[i]) * double(a[i]);
+    nb += double(b[i]) * double(b[i]);
+  }
+  if (na <= 0 || nb <= 0) return 0.0;
+  double cos = dot / std::sqrt(na * nb);
+  // Sign-hashed features make small negative cosines possible; clamp into
+  // the score range the matcher blends.
+  return cos < 0 ? 0.0 : (cos > 1 ? 1.0 : cos);
+}
+
+}  // namespace gridvine

@@ -1,0 +1,39 @@
+#ifndef GRIDVINE_SELFORG_EMBEDDING_H_
+#define GRIDVINE_SELFORG_EMBEDDING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gridvine {
+
+/// Precomputed attribute embeddings for the matcher's cosine channel
+/// (ROADMAP "Embedding-Based Schema Mapping" direction: offline vectors +
+/// cosine similarity, no network calls at match time).
+///
+/// Vectors are produced locally and deterministically: character trigrams
+/// of the normalized attribute name plus trigrams of a sample of its
+/// observed values, feature-hashed with a sign hash into a fixed dimension
+/// and L2-normalized. Two independently-computed tables agree bit-for-bit,
+/// so peers never exchange vectors — only the attribute URIs they already
+/// gossip.
+using Embedding = std::vector<float>;
+
+/// Attribute URI -> precomputed vector.
+using EmbeddingTable = std::map<std::string, Embedding>;
+
+/// Embeds one attribute from its local name and (optionally) a sample of
+/// observed values. `dim` must be > 0; typical is 64.
+Embedding EmbedAttribute(const std::string& local_name,
+                         const std::set<std::string>& values, int dim = 64);
+
+/// Cosine similarity clamped to [0, 1] (sign hashing makes small negative
+/// cosines possible for unrelated pairs; they carry no signal and clamp to
+/// 0). Returns 0 when either vector is empty or all-zero, or dimensions
+/// differ.
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_SELFORG_EMBEDDING_H_

@@ -7,8 +7,25 @@
 
 namespace gridvine {
 
+namespace {
+
+IncrementalAssessor::Options MakeAssessorOptions(
+    const SelfOrganizer::Options& o) {
+  IncrementalAssessor::Options a;
+  a.assess = o.assessor;
+  a.message_cap = o.assess_message_cap;
+  return a;
+}
+
+}  // namespace
+
 SelfOrganizer::SelfOrganizer(GridVineNetwork* net, Options options)
-    : net_(net), options_(options), rng_(options.seed) {}
+    : net_(net),
+      options_(options),
+      rng_(options.seed),
+      inc_assessor_(MakeAssessorOptions(options)) {
+  inc_assessor_.Attach(&view_);
+}
 
 void SelfOrganizer::RegisterSchemaOwner(const std::string& schema,
                                         size_t peer_idx) {
@@ -31,8 +48,18 @@ MappingGraph SelfOrganizer::BuildGraphView() {
   return graph;
 }
 
+const MappingGraph& SelfOrganizer::SyncGraphView() {
+  for (const auto& [schema, owner] : owners_) {
+    view_.AddSchema(schema);
+    auto mappings = net_->FetchMappingsFor(owner, schema);
+    if (!mappings.ok()) continue;  // owner unreachable: keep the stale view
+    for (const auto& m : *mappings) view_.AddMapping(m);
+  }
+  return view_;
+}
+
 Status SelfOrganizer::PublishAllDegrees() {
-  MappingGraph graph = BuildGraphView();
+  const MappingGraph& graph = SyncGraphView();
   for (const auto& [schema, owner] : owners_) {
     GV_RETURN_NOT_OK(net_->PublishDegree(owner, options_.domain, schema,
                                          graph.InDegree(schema),
@@ -150,8 +177,29 @@ Result<SchemaMapping> SelfOrganizer::CreateMapping(const std::string& source,
   if (!dst.ok()) return dst.status();
 
   AttributeMatcher matcher(options_.matcher);
-  auto correspondences = matcher.Match(*src, *dst, SampleValueSets(*src),
-                                       SampleValueSets(*dst));
+  AttributeMatcher::ValueSets src_values = SampleValueSets(*src);
+  AttributeMatcher::ValueSets dst_values = SampleValueSets(*dst);
+  // Optional cosine channel: vectors are derived locally from the names and
+  // the value samples already fetched — no extra network traffic.
+  EmbeddingTable src_emb, dst_emb;
+  if (options_.matcher.embedding_weight > 0) {
+    for (const auto& attr : src->AttributeUris()) {
+      auto vit = src_values.find(attr);
+      src_emb[attr] = EmbedAttribute(
+          Schema::LocalOfUri(attr),
+          vit != src_values.end() ? vit->second : std::set<std::string>{},
+          options_.embedding_dim);
+    }
+    for (const auto& attr : dst->AttributeUris()) {
+      auto vit = dst_values.find(attr);
+      dst_emb[attr] = EmbedAttribute(
+          Schema::LocalOfUri(attr),
+          vit != dst_values.end() ? vit->second : std::set<std::string>{},
+          options_.embedding_dim);
+    }
+    matcher.SetEmbeddings(&src_emb, &dst_emb);
+  }
+  auto correspondences = matcher.Match(*src, *dst, src_values, dst_values);
   if (correspondences.empty()) {
     return Status::NotFound("no attribute correspondences found between " +
                             source + " and " + target);
@@ -175,8 +223,74 @@ Result<SchemaMapping> SelfOrganizer::CreateMapping(const std::string& source,
   return m;
 }
 
+bool SelfOrganizer::PushMappingUpdate(const SchemaMapping& updated) {
+  if (!net_->UpsertMapping(OwnerOf(updated.source_schema()), updated).ok()) {
+    return false;
+  }
+  // Mirror into the view now so the assessor reacts this round instead of
+  // at the next sync (the next sync then sees identical content: no-op).
+  view_.AddMapping(updated);
+  return true;
+}
+
+std::vector<std::string> SelfOrganizer::RepairStaleMappings() {
+  // Current schema definitions, as stored (evolution arrives via
+  // UpsertSchema, so the fetch reflects the latest state).
+  std::map<std::string, std::set<std::string>> attrs;
+  for (const auto& [name, owner] : owners_) {
+    auto schema = net_->FetchSchema(owner, name);
+    if (!schema.ok()) continue;  // unreachable: cannot judge, skip
+    auto& set = attrs[name];
+    for (const auto& uri : schema->AttributeUris()) set.insert(uri);
+  }
+
+  // Active mappings whose correspondences dangle (either endpoint renamed
+  // away) are no longer agreements about the current schemas.
+  std::vector<std::string> stale;
+  std::set<std::string> seen;
+  for (const auto& schema : view_.Schemas()) {
+    for (const auto& mv : view_.MappingsFrom(schema)) {
+      std::string id = mv.id();
+      if (id.size() > 4 && id.substr(id.size() - 4) == "~rev") {
+        id = id.substr(0, id.size() - 4);
+      }
+      if (!seen.insert(id).second) continue;
+      auto m = view_.Get(id);
+      if (!m.ok() || m->deprecated()) continue;
+      auto sit = attrs.find(m->source_schema());
+      auto tit = attrs.find(m->target_schema());
+      bool dangling = false;
+      for (const auto& [from, to] : m->correspondences()) {
+        if (sit != attrs.end() && !sit->second.count(from)) dangling = true;
+        if (tit != attrs.end() && !tit->second.count(to)) dangling = true;
+        if (dangling) break;
+      }
+      if (!dangling) continue;
+      SchemaMapping deprecated = *m;
+      deprecated.set_deprecated(true);
+      if (PushMappingUpdate(deprecated)) {
+        stale.push_back(id);
+        GV_CLOG("selforg", Info)
+            << "deprecated stale mapping " << id << " (schema evolved)";
+      }
+    }
+  }
+  return stale;
+}
+
 SelfOrganizer::RoundReport SelfOrganizer::RunRound() {
   RoundReport report;
+  ++rounds_run_;
+  SyncGraphView();
+
+  // Step 0 (agreement maintenance): schemas may have evolved since the last
+  // round; mappings with dangling correspondences are deprecated so the
+  // creation step can re-derive them against the current definitions.
+  if (options_.repair_stale_mappings) {
+    report.stale_deprecated_ids = RepairStaleMappings();
+    report.mappings_stale_deprecated = report.stale_deprecated_ids.size();
+    total_stale_deprecated_ += report.mappings_stale_deprecated;
+  }
 
   // Step 1+2: publish degrees, read the indicator back from the registry.
   PublishAllDegrees().ok();
@@ -185,61 +299,108 @@ SelfOrganizer::RoundReport SelfOrganizer::RunRound() {
   GV_CLOG("selforg", Debug) << "round start: ci=" << report.ci_before;
 
   // Step 3: create mappings while the mediation layer is under-connected.
-  // ci < 0 is the paper's criterion; a schema with no mappings at all is a
-  // degenerate under-connected case the indicator alone cannot flag (an
-  // all-zero degree sequence gives ci = 0).
-  MappingGraph pre_graph = BuildGraphView();
+  // ci < 0 is the paper's criterion; two cases the degree-distribution
+  // heuristic cannot flag are checked against the graph view directly: a
+  // schema with no mappings at all (an all-zero degree sequence gives
+  // ci = 0), and a graph fragmented into several well-connected components
+  // (each side keeps healthy degrees — the post-schema-evolution shape,
+  // after agreement maintenance severs the stale edges).
   bool has_isolated_schema = false;
-  for (const auto& schema : pre_graph.Schemas()) {
-    if (pre_graph.InDegree(schema) + pre_graph.OutDegree(schema) == 0) {
+  for (const auto& schema : view_.Schemas()) {
+    if (view_.InDegree(schema) + view_.OutDegree(schema) == 0) {
       has_isolated_schema = true;
       break;
     }
   }
-  if (!ci.ok() || *ci < 0 || has_isolated_schema) {
-    MappingGraph graph = std::move(pre_graph);
+  bool fragmented = view_.schema_count() > 1 && !view_.IsStronglyConnected();
+  if (!ci.ok() || *ci < 0 || has_isolated_schema || fragmented) {
     for (const auto& [a, b] :
-         SelectCandidatePairs(graph, options_.creations_per_round)) {
+         SelectCandidatePairs(view_, options_.creations_per_round)) {
       auto created = CreateMapping(a, b);
       if (created.ok()) {
         ++report.mappings_created;
         report.created_ids.push_back(created->id());
+        // Feed the new edge into the maintained factor graph immediately.
+        view_.AddMapping(*created);
       }
     }
+    total_created_ += report.mappings_created;
   }
 
-  // Step 4: assess automatic mappings; deprecate the bad ones.
-  MappingGraph graph = BuildGraphView();
-  MappingAssessor assessor(options_.assessor);
-  auto assessment = assessor.Assess(graph);
-  for (const auto& [id, posterior] : assessment.posterior) {
+  // Step 4: assess automatic mappings; deprecate the bad ones. The
+  // incremental path converges only the dirty region of the maintained
+  // factor graph (capped); the legacy path rebuilds from scratch.
+  SyncGraphView();
+  std::map<std::string, double> posteriors;
+  if (options_.incremental) {
+    IncrementalAssessor::UpdateStats stats = inc_assessor_.Update();
+    report.bp_messages = stats.messages;
+    report.bp_converged = stats.converged;
+    report.bp_factors = inc_assessor_.factor_count();
+    posteriors = inc_assessor_.Posteriors();
+  } else {
+    MappingAssessor assessor(options_.assessor);
+    posteriors = assessor.Assess(view_).posterior;
+  }
+  for (const auto& [id, posterior] : posteriors) {
     if (posterior >= options_.deprecate_below) continue;
-    auto m = graph.Get(id);
-    if (!m.ok()) continue;
+    auto m = view_.Get(id);
+    if (!m.ok() || m->deprecated()) continue;
     SchemaMapping deprecated = *m;
     deprecated.set_deprecated(true);
     deprecated.set_confidence(posterior);
-    if (net_->UpsertMapping(OwnerOf(deprecated.source_schema()), deprecated)
-            .ok()) {
+    if (PushMappingUpdate(deprecated)) {
       ++report.mappings_deprecated;
       report.deprecated_ids.push_back(id);
       GV_CLOG("selforg", Info)
           << "deprecated mapping " << id << " (posterior " << posterior << ")";
     }
   }
+  total_deprecated_ += report.mappings_deprecated;
 
   // Refresh the registry and report the post-round state.
   PublishAllDegrees().ok();
   auto ci_after = ComputeIndicator();
   report.ci_after = ci_after.ok() ? *ci_after : 0.0;
-  MappingGraph final_graph = BuildGraphView();
-  report.scc_fraction_after = final_graph.LargestSccFraction();
-  report.active_mappings = final_graph.active_mapping_count();
+  report.scc_fraction_after = view_.LargestSccFraction();
+  report.active_mappings = view_.active_mapping_count();
   GV_CLOG("selforg", Debug) << "round end: ci=" << report.ci_after
                             << " created=" << report.mappings_created
                             << " deprecated=" << report.mappings_deprecated
                             << " active=" << report.active_mappings;
   return report;
+}
+
+std::vector<SelfOrganizer::RoundReport> SelfOrganizer::RunContinuous(
+    int rounds, SimTime interval) {
+  std::vector<RoundReport> reports;
+  reports.reserve(size_t(rounds > 0 ? rounds : 0));
+  for (int r = 0; r < rounds; ++r) {
+    // Let the deployment live for a slice (churn, faults, foreground
+    // queries), then organize synchronously from outside the event loop —
+    // the sync wrappers pump the simulator themselves, so a round must not
+    // run from inside a scheduled event.
+    net_->RunUntil(net_->Now() + interval);
+    reports.push_back(RunRound());
+  }
+  return reports;
+}
+
+void SelfOrganizer::PublishMetrics(MetricsRegistry* registry) const {
+  registry->Counter("gv.selforg.rounds") += rounds_run_;
+  registry->Counter("gv.selforg.mappings_created") += total_created_;
+  registry->Counter("gv.selforg.mappings_deprecated") += total_deprecated_;
+  registry->Counter("gv.selforg.mappings_stale_deprecated") +=
+      total_stale_deprecated_;
+  registry->Counter("gv.selforg.bp.messages") +=
+      inc_assessor_.lifetime_messages();
+  registry->Gauge("gv.selforg.bp.factors") =
+      double(inc_assessor_.factor_count());
+  registry->Gauge("gv.selforg.bp.variables") =
+      double(inc_assessor_.variable_count());
+  registry->Gauge("gv.selforg.bp.dirty") = double(inc_assessor_.dirty_count());
+  registry->Gauge("gv.selforg.active_mappings") =
+      double(view_.active_mapping_count());
 }
 
 }  // namespace gridvine

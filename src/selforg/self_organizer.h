@@ -10,6 +10,7 @@
 #include "gridvine/gridvine_network.h"
 #include "mapping/mapping_graph.h"
 #include "selforg/attribute_matcher.h"
+#include "selforg/incremental_assessor.h"
 #include "selforg/mapping_assessor.h"
 
 namespace gridvine {
@@ -49,6 +50,23 @@ class SelfOrganizer {
     int value_sample_limit = 64;
     /// Reformulation hops used when sampling attribute values.
     uint64_t seed = 42;
+    /// Incremental assessment: a persistent graph view feeds add/deprecate/
+    /// re-intern events into a maintained factor graph (IncrementalAssessor)
+    /// instead of rebuilding and re-converging from scratch each round.
+    /// false = the legacy full recompute, kept for differentials/ablations.
+    bool incremental = true;
+    /// Per-round factor->variable message budget for incremental assessment;
+    /// unconverged regions resume next round.
+    size_t assess_message_cap = 50000;
+    /// Agreement maintenance under schema evolution: deprecate active
+    /// mappings whose correspondences reference attribute URIs absent from
+    /// the current schema definitions (they are then re-derived by the
+    /// creation step in later rounds).
+    bool repair_stale_mappings = true;
+    /// Vector size for the matcher's precomputed-embedding channel (built
+    /// locally from sampled values; only used while
+    /// matcher.embedding_weight > 0).
+    int embedding_dim = 64;
   };
 
   SelfOrganizer(GridVineNetwork* net, Options options);
@@ -73,13 +91,48 @@ class SelfOrganizer {
     double scc_fraction_after = 0;
     size_t mappings_created = 0;
     size_t mappings_deprecated = 0;
+    /// Deprecated by agreement maintenance (dangling correspondences after
+    /// schema evolution), not by the Bayesian assessment.
+    size_t mappings_stale_deprecated = 0;
     size_t active_mappings = 0;
+    /// Incremental-assessment effort this round (0 when incremental=false).
+    size_t bp_messages = 0;
+    size_t bp_factors = 0;
+    bool bp_converged = true;
     std::vector<std::string> created_ids;
     std::vector<std::string> deprecated_ids;
+    std::vector<std::string> stale_deprecated_ids;
   };
 
   /// One full self-organization round (steps 1-4).
   RoundReport RunRound();
+
+  /// Continuous background operation: advances simulated time by `interval`
+  /// (churn, faults and query traffic fire inside the slice), then runs one
+  /// round synchronously from outside the event loop; repeated `rounds`
+  /// times. Works identically on the single-queue and sharded engines (the
+  /// network is quiescent between slices).
+  std::vector<RoundReport> RunContinuous(int rounds, SimTime interval);
+
+  /// Re-syncs the persistent graph view from the DHT. Unchanged records are
+  /// no-ops (MappingGraph re-intern semantics); genuine changes flow as
+  /// events into the incremental assessor. Fetches that fail (owner down)
+  /// leave the previous view of that schema in place.
+  const MappingGraph& SyncGraphView();
+
+  /// Agreement maintenance: deprecates active mappings with correspondences
+  /// referencing attributes no longer present in the (possibly evolved)
+  /// schema definitions. Returns the deprecated ids.
+  std::vector<std::string> RepairStaleMappings();
+
+  /// gv.selforg.* counters into `registry` (wire into
+  /// GridVineNetwork::AddMetricsSource for unified snapshots).
+  void PublishMetrics(MetricsRegistry* registry) const;
+
+  /// The persistent graph view (valid after SyncGraphView/RunRound).
+  const MappingGraph& graph_view() const { return view_; }
+  /// The maintained factor graph (attached to the view for its lifetime).
+  const IncrementalAssessor& assessor() const { return inc_assessor_; }
 
   /// Automatic mapping creation between two specific schemas (step 3's
   /// inner operation; exposed for tests and ablations).
@@ -101,11 +154,26 @@ class SelfOrganizer {
   /// Subjects observed under any attribute of `schema` (instance sample).
   std::set<std::string> SampleSubjects(const Schema& schema);
 
+  /// Applies a mapping state change both to the network (UpsertMapping at
+  /// the owner) and to the local view (so assessor events fire now, not at
+  /// the next sync).
+  bool PushMappingUpdate(const SchemaMapping& updated);
+
   GridVineNetwork* net_;
   Options options_;
   Rng rng_;
   std::map<std::string, size_t> owners_;
   uint64_t next_mapping_seq_ = 1;
+
+  /// Persistent mapping-graph view + maintained factor graph.
+  MappingGraph view_;
+  IncrementalAssessor inc_assessor_;
+
+  // Lifetime counters behind PublishMetrics.
+  uint64_t rounds_run_ = 0;
+  uint64_t total_created_ = 0;
+  uint64_t total_deprecated_ = 0;
+  uint64_t total_stale_deprecated_ = 0;
 };
 
 }  // namespace gridvine

@@ -180,6 +180,82 @@ BioWorkload::BioWorkload(Options options) : options_(options) {
   }
 }
 
+BioWorkload::SchemaEvolution BioWorkload::EvolveSchema(size_t schema_idx,
+                                                       double rename_fraction,
+                                                       Rng* rng) {
+  SchemaEvolution ev;
+  ev.schema_idx = schema_idx;
+  ev.old_schema = schemas_[schema_idx];
+  const std::string& schema_name = schemas_[schema_idx].name();
+
+  // Candidate concepts: those realized here whose vocabulary offers an
+  // alternative variant to move to.
+  std::vector<std::string> candidates;
+  for (const auto& [concept_name, _] : schema_concepts_[schema_idx]) {
+    for (const auto& c : vocabulary_) {
+      if (c.name == concept_name && c.variants.size() > 1) {
+        candidates.push_back(concept_name);
+        break;
+      }
+    }
+  }
+  rng->Shuffle(&candidates);
+  size_t want = size_t(std::max<double>(
+      1.0, rename_fraction * double(schema_concepts_[schema_idx].size())));
+  if (want > candidates.size()) want = candidates.size();
+
+  std::map<std::string, std::string> renames;  // old local name -> new
+  for (size_t i = 0; i < want; ++i) {
+    const std::string& concept_name = candidates[i];
+    const std::string old_local = schema_concepts_[schema_idx][concept_name];
+    const Concept* concept_ptr = nullptr;
+    for (const auto& c : vocabulary_) {
+      if (c.name == concept_name) concept_ptr = &c;
+    }
+    // A different variant, drawn uniformly among the alternatives; must not
+    // collide with any other attribute of this schema (variants are unique
+    // per concept, so only the renamed attribute itself is excluded).
+    std::vector<std::string> others;
+    for (const auto& v : concept_ptr->variants) {
+      if (v != old_local && !schemas_[schema_idx].HasAttribute(v)) {
+        others.push_back(v);
+      }
+    }
+    if (others.empty()) continue;
+    const std::string& new_local =
+        others[size_t(rng->UniformInt(0, int64_t(others.size()) - 1))];
+
+    renames[old_local] = new_local;
+    schema_concepts_[schema_idx][concept_name] = new_local;
+    attr_to_concept_.erase(schema_name + "#" + old_local);
+    attr_to_concept_[schema_name + "#" + new_local] = concept_name;
+    ev.renamed_uris.emplace_back(schema_name + "#" + old_local,
+                                 schema_name + "#" + new_local);
+  }
+
+  // Rebuild the schema with attribute order preserved.
+  std::vector<std::string> attrs;
+  for (const auto& a : schemas_[schema_idx].attributes()) {
+    auto it = renames.find(a);
+    attrs.push_back(it == renames.end() ? a : it->second);
+  }
+  schemas_[schema_idx] =
+      Schema(schema_name, schemas_[schema_idx].domain(), std::move(attrs));
+  ev.new_schema = schemas_[schema_idx];
+
+  // Re-predicate the emitted triples.
+  std::map<std::string, std::string> uri_renames(ev.renamed_uris.begin(),
+                                                 ev.renamed_uris.end());
+  for (auto& t : triples_[schema_idx]) {
+    auto it = uri_renames.find(t.predicate().value());
+    if (it == uri_renames.end()) continue;
+    ev.removed_triples.push_back(t);
+    t = Triple(t.subject(), Term::Uri(it->second), t.object());
+    ev.added_triples.push_back(t);
+  }
+  return ev;
+}
+
 std::string BioWorkload::ConceptOf(const std::string& attr_uri) const {
   auto it = attr_to_concept_.find(attr_uri);
   return it == attr_to_concept_.end() ? "" : it->second;

@@ -104,6 +104,31 @@ class BioWorkload {
   static double Recall(const GeneratedQuery& gq,
                        const std::set<std::string>& found_subjects);
 
+  /// Outcome of a schema-evolution step: a fraction of one schema's
+  /// attributes are renamed to *different* name variants of the same
+  /// concepts (semantics unchanged, local names move — a provider revising
+  /// its export format). The workload's ground truth, schemas() and
+  /// TriplesFor() are updated in place; the record carries everything a
+  /// harness needs to replay the change on a live network: UpsertSchema
+  /// with `new_schema`, remove `removed_triples`, insert `added_triples`.
+  /// Mappings whose correspondences reference the old URIs become stale and
+  /// must be deprecated/re-derived (SelfOrganizer::RepairStaleMappings).
+  struct SchemaEvolution {
+    size_t schema_idx = 0;
+    Schema old_schema;
+    Schema new_schema;
+    /// Renamed attribute URIs, old -> new.
+    std::vector<std::pair<std::string, std::string>> renamed_uris;
+    std::vector<Triple> removed_triples;
+    std::vector<Triple> added_triples;
+  };
+
+  /// Renames ~`rename_fraction` of schema `schema_idx`'s attributes (at
+  /// least one) to a different variant of the same concept; attributes whose
+  /// concept has a single variant are skipped. Deterministic given `rng`.
+  SchemaEvolution EvolveSchema(size_t schema_idx, double rename_fraction,
+                               Rng* rng);
+
   /// Concept vocabulary (canonical names).
   static std::vector<std::string> ConceptNames();
 

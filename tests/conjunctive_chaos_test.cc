@@ -17,6 +17,7 @@
 #include "fault_harness.h"
 #include "gridvine/gridvine_network.h"
 #include "gridvine/query_frontend.h"
+#include "selforg_soak_harness.h"
 #include "sim/churn.h"
 #include "store/binding_codec.h"
 
@@ -106,7 +107,9 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
   // Deterministic hot triples the serving scenario churns mid-run (cached
   // extents over them must go stale, not get served).
   Triple hot(Term::Uri("x:hot"), Term::Uri("x:type"), Term::Literal("gadget"));
-  if (cfg.serving) ASSERT_TRUE(net.InsertTriple(0, hot).ok());
+  if (cfg.serving) {
+    ASSERT_TRUE(net.InsertTriple(0, hot).ok());
+  }
   net.Settle();
 
   // Fault windows from the PR 3 plan generator, placed over the op phase.
@@ -264,6 +267,166 @@ TEST(ConjunctiveChaosTest, FlashCrowdServing) {
   cfg.serving = true;
   cfg.burst = 3;
   RunConjunctiveChaos(cfg);
+}
+
+/// Continuous self-organization layered over the full chaos stack: loss
+/// bursts + duplication from the PR 3 fault plan, ChurnModel churn, and a
+/// conjunctive query stream — all while SelfOrganizer::RunContinuous builds
+/// and assesses the mediation layer in the background. Checks the query
+/// drain contract, the wire invariants, and that the incremental assessor
+/// leaks no state across the faulty rounds. Returns the run's fingerprint
+/// for the replay check.
+std::string RunSelforgChaos(uint64_t seed) {
+  SCOPED_TRACE("selforg-chaos seed=" + std::to_string(seed));
+
+  GridVineNetwork::Options options;
+  options.num_peers = 8;
+  options.key_depth = 12;
+  options.seed = seed;
+  options.peer.query_timeout = 4.0;
+  GridVineNetwork net(options);
+
+  // Bio schemas/data (the organizer's substrate) plus the entity triples
+  // the conjunctive stream queries; both load before any fault window.
+  BioWorkload::Options wo;
+  wo.num_schemas = 5;
+  wo.num_entities = 40;
+  wo.entities_per_schema = 16;
+  wo.min_attrs = 4;
+  wo.max_attrs = 6;
+  wo.value_noise = 0.0;
+  wo.seed = 21;
+  BioWorkload workload(wo);
+  for (size_t s = 0; s < workload.schemas().size(); ++s) {
+    EXPECT_TRUE(net.InsertSchema(s, workload.schemas()[s]).ok());
+    EXPECT_TRUE(net.InsertTriples(s, workload.TriplesFor(s)).ok());
+  }
+  EXPECT_TRUE(net.InsertTriples(0, MakeTriples(seed, 24)).ok());
+  net.Settle();
+
+  FaultScenario fs;
+  fs.seed = seed;
+  fs.warmup = 5.0;
+  fs.operations = 12;
+  fs.op_interval = 3.0;
+  fs.loss_bursts = 2;
+  fs.duplicate_probability = 0.04;
+  auto plan = MakeFaultPlan(fs, net.overlay_peers());
+  FaultPlan::LossBurst base;
+  base.start = fs.warmup;
+  base.end = fs.warmup + fs.operations * fs.op_interval;
+  base.probability = 0.08;
+  plan->AddLossBurst(base);
+  net.network()->SetFaultPlan(std::move(plan));
+
+  ChurnModel::Options copts;
+  copts.mean_session_seconds = 40.0;
+  copts.mean_downtime_seconds = 12.0;
+  copts.pinned = {net.peer(0)->id()};
+  ChurnModel churn(net.sim(), net.network(), Rng(seed + 5), copts);
+  churn.Start();
+
+  struct OpRecord {
+    int resolutions = 0;
+    Status status;
+  };
+  std::vector<OpRecord> ops(size_t(fs.operations));
+  auto queries = MakeQueries();
+  GridVinePeer* issuer = net.peer(0);
+  for (int i = 0; i < fs.operations; ++i) {
+    const ConjunctiveQuery& q = queries[size_t(i) % queries.size()];
+    OpRecord* rec = &ops[size_t(i)];
+    net.sim()->ScheduleAt(fs.warmup + i * fs.op_interval, [issuer, q, rec] {
+      issuer->SearchForConjunctive(q, {},
+                                   [rec](GridVinePeer::ConjunctiveResult r) {
+                                     ++rec->resolutions;
+                                     rec->status = r.status;
+                                   });
+    });
+  }
+  const SimTime stop_at = fs.warmup + fs.operations * fs.op_interval + 1.0;
+  net.sim()->ScheduleAt(stop_at, [&churn] { churn.Stop(); });
+
+  SelfOrganizer::Options oo;
+  oo.domain = "protein-sequences";
+  oo.creations_per_round = 3;
+  oo.seed = 9;
+  SelfOrganizer organizer(&net, oo);
+  for (size_t s = 0; s < workload.schemas().size(); ++s) {
+    organizer.RegisterSchemaOwner(workload.schemas()[s].name(), s);
+  }
+
+  // 14 slices of 3s cover the whole op/fault phase; query ops, fault
+  // windows and churn transitions fire inside the slices, rounds run
+  // between them.
+  std::vector<SelfOrganizer::RoundReport> reports =
+      organizer.RunContinuous(14, 3.0);
+  net.Settle();  // churn stopped at stop_at; remaining timeouts drain
+
+  // Fault-free convergence tail with every peer back up (ChurnModel leaves
+  // its last transition state behind).
+  for (size_t p = 0; p < net.size(); ++p) net.SetAlive(p, true);
+  for (int r = 0; r < 2; ++r) {
+    net.RunUntil(net.Now() + 1.0);
+    reports.push_back(organizer.RunRound());
+  }
+  net.Settle();
+
+  // Query drain contract: every conjunctive op resolved exactly once, to OK
+  // or Timeout, with the self-organization traffic in flight.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    SCOPED_TRACE("op " + std::to_string(i));
+    EXPECT_EQ(ops[i].resolutions, 1);
+    EXPECT_TRUE(ops[i].status.ok() || ops[i].status.IsTimeout())
+        << ops[i].status;
+  }
+  EXPECT_EQ(net.sim()->pending(), 0u);
+  for (size_t p = 0; p < net.size(); ++p) {
+    EXPECT_EQ(net.peer(p)->ActiveConjunctiveExecs(), 0u) << "peer " << p;
+    EXPECT_EQ(net.peer(p)->PendingQueryCount(), 0u) << "peer " << p;
+  }
+
+  // Wire invariants with mediation-layer message types in the mix.
+  const NetworkStats& n = net.network()->stats();
+  EXPECT_EQ(n.messages_sent + n.messages_duplicated,
+            n.messages_delivered + n.messages_dropped);
+  EXPECT_EQ(n.drops_endpoint + n.drops_loss + n.drops_burst +
+                n.drops_partition,
+            n.messages_dropped);
+
+  // Organization progressed and no assessment state leaked: the maintained
+  // factor graph equals a fresh rebuild from the same view despite failed
+  // syncs while owners were down. (A non-empty dirty set is legitimate
+  // carry-over — the round's closing sync can re-intern records whose DHT
+  // replicas diverged while one was dead — so the leak check is structural
+  // equality, not an empty dirty region.)
+  size_t created = 0;
+  for (const auto& r : reports) created += r.mappings_created;
+  EXPECT_GT(created, 0u);
+  EXPECT_TRUE(reports.back().bp_converged);
+  MappingGraph copy = organizer.graph_view();
+  copy.SetListener(nullptr);
+  IncrementalAssessor fresh(organizer.assessor().options());
+  fresh.Attach(&copy);
+  EXPECT_EQ(organizer.assessor().StructureDigest(), fresh.StructureDigest());
+
+  std::ostringstream fp;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    fp << FormatRoundReport(int(i), reports[i]);
+  }
+  fp << AssessorFingerprint(organizer.assessor());
+  return fp.str();
+}
+
+TEST(ConjunctiveChaosTest, ContinuousSelfOrganizationUnderChaos) {
+  RunSelforgChaos(29);
+  RunSelforgChaos(83);
+}
+
+// The layered scenario is still seed-replayable: two runs at the same seed
+// produce bit-identical round reports, factor graphs and posteriors.
+TEST(ConjunctiveChaosTest, SelfOrganizationChaosReplaysBitIdentically) {
+  EXPECT_EQ(RunSelforgChaos(11), RunSelforgChaos(11));
 }
 
 /// Network-level differential: same deployment, same data, faults off —

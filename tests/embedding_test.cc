@@ -1,0 +1,105 @@
+#include "selforg/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "selforg/attribute_matcher.h"
+
+namespace gridvine {
+namespace {
+
+TEST(EmbeddingTest, DeterministicAndNormalized) {
+  std::set<std::string> values = {"DNA", "RNA"};
+  Embedding a = EmbedAttribute("OrganismName", values);
+  Embedding b = EmbedAttribute("OrganismName", values);
+  ASSERT_EQ(a.size(), 64u);
+  EXPECT_EQ(a, b);
+  double norm = 0;
+  for (float x : a) norm += double(x) * double(x);
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(EmbeddingTest, CosineBoundsAndIdentity) {
+  Embedding a = EmbedAttribute("AccessionNumber", {});
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-6);
+  EXPECT_EQ(CosineSimilarity(a, Embedding{}), 0.0);
+  EXPECT_EQ(CosineSimilarity(Embedding{}, Embedding{}), 0.0);
+
+  Embedding b = EmbedAttribute("CreationDate", {});
+  double sim = CosineSimilarity(a, b);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+  EXPECT_LT(sim, CosineSimilarity(a, a));
+}
+
+TEST(EmbeddingTest, SharedValuesPullVectorsTogether) {
+  // Same observed values, unrelated names: the value trigrams dominate the
+  // distance relative to a pair with disjoint values.
+  std::set<std::string> shared = {"Aspergillus niger", "Homo sapiens",
+                                  "Escherichia coli"};
+  Embedding a = EmbedAttribute("Organism", shared);
+  Embedding b = EmbedAttribute("TaxonName", shared);
+  Embedding c = EmbedAttribute("TaxonName",
+                               {"PMID:9847074", "PMID:11226230"});
+  EXPECT_GT(CosineSimilarity(a, b), CosineSimilarity(a, c));
+}
+
+TEST(EmbeddingTest, NameVariantsOfSameConceptScoreHigh) {
+  Embedding a = EmbedAttribute("organism_name", {});
+  Embedding b = EmbedAttribute("OrganismName", {});
+  // Normalization (case fold, separator strip) makes these identical.
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-6);
+}
+
+TEST(EmbeddingMatcherTest, ChannelOffByDefault) {
+  AttributeMatcher plain;
+  EXPECT_EQ(plain.options().embedding_weight, 0.0);
+
+  // With the channel disabled, attached tables change nothing.
+  EmbeddingTable src, dst;
+  src["A#x"] = EmbedAttribute("x", {});
+  dst["B#y"] = EmbedAttribute("y", {});
+  AttributeMatcher with_tables;
+  with_tables.SetEmbeddings(&src, &dst);
+  AttributeMatcher::ValueSets none;
+  EXPECT_EQ(plain.Score("A#x", "B#y", none, none),
+            with_tables.Score("A#x", "B#y", none, none));
+}
+
+TEST(EmbeddingMatcherTest, EmbeddingChannelShiftsScores) {
+  std::set<std::string> shared = {"alpha", "beta", "gamma"};
+  EmbeddingTable src, dst;
+  src["A#Foo"] = EmbedAttribute("Foo", shared);
+  dst["B#Qux"] = EmbedAttribute("Qux", shared);
+  dst["B#Zed"] = EmbedAttribute("Zed", {"one", "two", "three"});
+
+  AttributeMatcher::Options opts;
+  opts.embedding_weight = 1.0;
+  opts.lexical_weight = 0.0;
+  opts.value_weight = 0.0;
+  AttributeMatcher m(opts);
+  m.SetEmbeddings(&src, &dst);
+
+  AttributeMatcher::ValueSets none;
+  double same_values = m.Score("A#Foo", "B#Qux", none, none);
+  double diff_values = m.Score("A#Foo", "B#Zed", none, none);
+  EXPECT_GT(same_values, diff_values);
+}
+
+TEST(EmbeddingMatcherTest, MissingVectorFallsBackToOtherChannels) {
+  EmbeddingTable src, dst;  // empty: no vectors at all
+  AttributeMatcher::Options opts;
+  opts.embedding_weight = 0.5;
+  AttributeMatcher with(opts);
+  with.SetEmbeddings(&src, &dst);
+  AttributeMatcher without;  // default: lexical + value only
+
+  AttributeMatcher::ValueSets none;
+  // Both reduce to the renormalized lexical channel.
+  EXPECT_EQ(with.Score("A#Organism", "B#OrganismName", none, none),
+            without.Score("A#Organism", "B#OrganismName", none, none));
+}
+
+}  // namespace
+}  // namespace gridvine

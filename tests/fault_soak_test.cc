@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fault_harness.h"
+#include "selforg_soak_harness.h"
 
 namespace gridvine {
 namespace {
@@ -154,6 +155,90 @@ TEST(FaultSoakTest, RetriesImproveRecallUnderLoss) {
     EXPECT_TRUE(CheckDrainInvariants(off, r_off));
     EXPECT_GT(r_on.Recall(), r_off.Recall()) << "seed=" << seed;
   }
+}
+
+// --- Continuous self-organization soak -------------------------------------
+//
+// The mediation layer runs as a background activity on live peers while the
+// transport loses messages and a rotating victim peer is dead each round,
+// with one schema evolving mid-run. Invariants: the run organizes the
+// network anyway, the incremental assessor leaks no state (its maintained
+// factor graph equals a fresh rebuild, and the dirty region drains), and
+// the whole trajectory is seed-replayable.
+
+SelforgSoakScenario SelforgScenario(uint64_t seed, uint32_t shards) {
+  SelforgSoakScenario sc;
+  sc.seed = seed;
+  sc.shards = shards;
+  return sc;
+}
+
+TEST(SelforgSoakTest, OrganizesUnderLossAndChurn) {
+  for (uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SelforgSoakOutcome out = RunSelforgSoak(SelforgScenario(seed, 1));
+    // The cycle analysis ran for real (the seeded mesh has cycles) and the
+    // injected erroneous mapping was caught despite loss and churn. The
+    // catch is asserted on end-state, not the per-round counter: under loss
+    // a deprecation push can land while its ack times out, in which case
+    // the record flips on the next sync without a counted deprecation.
+    EXPECT_GT(out.bp_messages, 0u);
+    EXPECT_FALSE(out.erroneous_active) << out.fingerprint;
+    // The evolution (every attribute renamed) severed all of schema 2's
+    // mappings: repair deprecated them and re-derivation replaced them...
+    EXPECT_GE(out.total_stale_deprecated, 1u) << out.fingerprint;
+    EXPECT_GT(out.total_created, 0u) << out.fingerprint;
+    EXPECT_TRUE(out.evolved_relinked) << out.fingerprint;
+    // ...interoperability recovered in the quiet tail...
+    EXPECT_GE(out.final_scc, 0.8) << out.fingerprint;
+    // ...and no assessment state leaked across the faulty rounds.
+    EXPECT_TRUE(out.converged) << out.fingerprint;
+    EXPECT_TRUE(out.matches_rebuild);
+  }
+}
+
+// Same seed → bit-identical trajectory: every round report, the final factor
+// graph structure and every posterior, at full precision.
+TEST(SelforgSoakTest, SameSeedReplaysBitIdentically) {
+  SelforgSoakOutcome a = RunSelforgSoak(SelforgScenario(kSeeds[0], 1));
+  SelforgSoakOutcome b = RunSelforgSoak(SelforgScenario(kSeeds[0], 1));
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(SelforgSoakTest, DifferentSeedsDiverge) {
+  SelforgSoakOutcome a = RunSelforgSoak(SelforgScenario(kSeeds[0], 1));
+  SelforgSoakOutcome b = RunSelforgSoak(SelforgScenario(kSeeds[1], 1));
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+// The conservative-parallel engine must produce the exact same
+// self-organization trajectory at shards {1, 2} — churn schedule, round
+// reports, factor graph and posteriors included, with the full fault load
+// (loss + churn + evolution) on. The shards=1 anchor runs on the sharded
+// engine too (force_sharded: its threadless reference mode) because loss
+// draws come from per-node streams that are shard-count independent but not
+// comparable to the classic engine's single global stream.
+TEST(SelforgSoakTest, ShardInvariantAtTwoShards) {
+  for (uint64_t seed : {kSeeds[0], kSeeds[2]}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SelforgSoakScenario sc = SelforgScenario(seed, 1);
+    sc.force_sharded = true;
+    SelforgSoakOutcome one = RunSelforgSoak(sc);
+    sc.shards = 2;
+    SelforgSoakOutcome two = RunSelforgSoak(sc);
+    EXPECT_EQ(one.fingerprint, two.fingerprint);
+    EXPECT_TRUE(two.converged);
+    EXPECT_TRUE(two.matches_rebuild);
+  }
+}
+
+// Same invariance higher up the shard ladder: 2 vs 4 worker shards.
+TEST(SelforgSoakTest, ShardedEngineLossRunBitIdenticalAcrossShardCounts) {
+  SelforgSoakOutcome two = RunSelforgSoak(SelforgScenario(kSeeds[1], 2));
+  SelforgSoakOutcome four = RunSelforgSoak(SelforgScenario(kSeeds[1], 4));
+  EXPECT_EQ(two.fingerprint, four.fingerprint);
+  EXPECT_TRUE(two.converged);
+  EXPECT_TRUE(two.matches_rebuild);
 }
 
 // GV_SOAK_SEED replays the chaos scenario at an arbitrary seed (the one a

@@ -191,8 +191,150 @@ TEST_F(SelfOrganizerTest, ErroneousMappingGetsDeprecated) {
   auto fetched = net_.FetchMappingsFor(4, schemas[1].name());
   ASSERT_TRUE(fetched.ok());
   for (const auto& m : *fetched) {
-    if (m.id() == "bad-1-2") EXPECT_TRUE(m.deprecated());
+    if (m.id() == "bad-1-2") {
+      EXPECT_TRUE(m.deprecated());
+    }
   }
+}
+
+TEST_F(SelfOrganizerTest, LegacyModeDeprecatesErroneousMappingToo) {
+  // Same scenario as ErroneousMappingGetsDeprecated, with the incremental
+  // assessor disabled: the two assessment paths must reach the same
+  // deprecation decisions.
+  auto opts = OrgOptions();
+  opts.incremental = false;
+  organizer_ = std::make_unique<SelfOrganizer>(&net_, opts);
+  const auto& schemas = workload_.schemas();
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    organizer_->RegisterSchemaOwner(schemas[s].name(), s);
+  }
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (size_t j = i + 1; j < schemas.size(); ++j) {
+      if (i == 1 && j == 2) continue;
+      auto gt = workload_.GroundTruthMapping(
+          i, j, "gt-" + std::to_string(i) + "-" + std::to_string(j));
+      gt.set_provenance(MappingProvenance::kAutomatic);
+      gt.set_confidence(0.7);
+      ASSERT_TRUE(net_.InsertMapping(i, gt).ok());
+    }
+  }
+  Rng rng(13);
+  ASSERT_TRUE(
+      net_.InsertMapping(1, workload_.ErroneousMapping(1, 2, "bad-1-2", &rng))
+          .ok());
+
+  auto report = organizer_->RunRound();
+  EXPECT_EQ(report.bp_messages, 0u);  // incremental machinery idle
+  ASSERT_EQ(report.deprecated_ids.size(), 1u);
+  EXPECT_EQ(report.deprecated_ids[0], "bad-1-2");
+}
+
+TEST_F(SelfOrganizerTest, IncrementalStateMatchesFreshRebuildAfterRounds) {
+  // Live-network differential: after real rounds (creations, deprecations,
+  // DHT round-trips) the maintained factor graph must equal what a fresh
+  // assessor builds from the same view — no leaked or missing state.
+  for (int round = 0; round < 3; ++round) organizer_->RunRound();
+
+  MappingGraph copy = organizer_->graph_view();
+  copy.SetListener(nullptr);
+  IncrementalAssessor fresh(organizer_->assessor().options());
+  fresh.Attach(&copy);
+  EXPECT_EQ(organizer_->assessor().StructureDigest(), fresh.StructureDigest());
+  EXPECT_EQ(organizer_->assessor().factor_count(), fresh.factor_count());
+}
+
+TEST_F(SelfOrganizerTest, RunContinuousAdvancesTimeAndOrganizes) {
+  SimTime before = net_.Now();
+  auto reports = organizer_->RunContinuous(4, 0.5);
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_GE(net_.Now(), before + 4 * 0.5);
+  size_t created = 0;
+  for (const auto& r : reports) created += r.mappings_created;
+  EXPECT_GT(created, 0u);
+  EXPECT_GE(reports.back().scc_fraction_after, 0.8);
+  // The maintained factor graph tracks the created automatic mappings.
+  // (Factors only appear once cycles form, which candidate selection avoids
+  // early on — variables appear with the first automatic mapping.)
+  EXPECT_GT(organizer_->assessor().variable_count(), 0u);
+  for (const auto& r : reports) EXPECT_TRUE(r.bp_converged);
+}
+
+TEST_F(SelfOrganizerTest, SchemaEvolutionRepairedAndRecovered) {
+  // Reach interoperability first.
+  for (int round = 0; round < 6; ++round) {
+    if (organizer_->RunRound().scc_fraction_after >= 1.0) break;
+  }
+  ASSERT_GE(organizer_->BuildGraphView().LargestSccFraction(), 0.8);
+
+  // Schema 1 evolves: attribute renames invalidate the mappings that
+  // reference the old URIs.
+  Rng rng(7);
+  auto ev = workload_.EvolveSchema(1, 0.6, &rng);
+  ASSERT_FALSE(ev.renamed_uris.empty());
+  ASSERT_TRUE(net_.UpsertSchema(1, ev.new_schema).ok());
+  for (const auto& t : ev.removed_triples) {
+    ASSERT_TRUE(net_.RemoveTriple(1, t).ok());
+  }
+  for (const auto& t : ev.added_triples) {
+    ASSERT_TRUE(net_.InsertTriple(1, t).ok());
+  }
+
+  // Agreement maintenance: the next round deprecates the now-dangling
+  // mappings...
+  auto repair_report = organizer_->RunRound();
+  EXPECT_GE(repair_report.mappings_stale_deprecated, 1u);
+  const std::string evolved = ev.new_schema.name();
+  for (const auto& id : repair_report.stale_deprecated_ids) {
+    auto m = organizer_->graph_view().Get(id);
+    ASSERT_TRUE(m.ok());
+    EXPECT_TRUE(m->source_schema() == evolved || m->target_schema() == evolved)
+        << id << " does not touch the evolved schema";
+  }
+
+  // ...and subsequent rounds re-derive mappings for the evolved schema,
+  // restoring interoperability.
+  double scc = repair_report.scc_fraction_after;
+  for (int round = 0; round < 6 && scc < 1.0; ++round) {
+    scc = organizer_->RunRound().scc_fraction_after;
+  }
+  EXPECT_GE(scc, 0.8);
+  bool evolved_linked = false;
+  MappingGraph g = organizer_->BuildGraphView();
+  for (const auto& schema : g.Schemas()) {
+    for (const auto& m : g.MappingsFrom(schema)) {
+      if (m.source_schema() == evolved || m.target_schema() == evolved) {
+        evolved_linked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(evolved_linked);
+}
+
+TEST_F(SelfOrganizerTest, PublishesSelforgMetrics) {
+  net_.AddMetricsSource(
+      [this](MetricsRegistry* r) { organizer_->PublishMetrics(r); });
+  organizer_->RunRound();
+  auto& m = net_.CollectMetrics();
+  EXPECT_GE(m.Counter("gv.selforg.rounds"), 1u);
+  EXPECT_GT(m.Gauge("gv.selforg.bp.factors") +
+                m.Gauge("gv.selforg.active_mappings"),
+            0.0);
+}
+
+TEST_F(SelfOrganizerTest, EmbeddingChannelStillFindsCorrectMappings) {
+  auto opts = OrgOptions();
+  opts.matcher.embedding_weight = 0.25;
+  opts.matcher.lexical_weight = 0.375;
+  opts.matcher.value_weight = 0.375;
+  organizer_ = std::make_unique<SelfOrganizer>(&net_, opts);
+  const auto& schemas = workload_.schemas();
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    organizer_->RegisterSchemaOwner(schemas[s].name(), s);
+  }
+  auto created =
+      organizer_->CreateMapping(schemas[0].name(), schemas[1].name());
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_GE(workload_.MappingPrecision(*created), 0.7) << created->Serialize();
 }
 
 }  // namespace

@@ -233,5 +233,64 @@ TEST(ServingCacheTest, RemoveInvalidatesCachedExtents) {
   EXPECT_TRUE(has_doomed(r4));
 }
 
+TEST(ServingCacheTest, DeprecateInvalidatesReformulatedResults) {
+  // Mirror of RemoveInvalidatesCachedExtents at the mediation layer: rows
+  // reachable only through a mapping must disappear when the mapping is
+  // deprecated (and reappear when it is reactivated), even with the serving
+  // caches warm. A stale reformulation or extent entry keyed to the old
+  // mapping state would keep serving the B-schema rows.
+  GridVineNetwork net(ServingOptions(5, /*cache=*/true, /*batch=*/false, 1));
+  ASSERT_TRUE(net.InsertSchema(0, Schema("A", "d", {"organism"})).ok());
+  ASSERT_TRUE(net.InsertSchema(1, Schema("B", "d", {"organism"})).ok());
+  ASSERT_TRUE(net.InsertTriple(0, Triple(Term::Uri("x:a1"),
+                                         Term::Uri("A#organism"),
+                                         Term::Literal("Aspergillus niger")))
+                  .ok());
+  ASSERT_TRUE(net.InsertTriple(1, Triple(Term::Uri("x:b1"),
+                                         Term::Uri("B#organism"),
+                                         Term::Literal("Aspergillus flavus")))
+                  .ok());
+  SchemaMapping m("ab", "A", "B");
+  ASSERT_TRUE(m.AddCorrespondence("A#organism", "B#organism").ok());
+  ASSERT_TRUE(net.InsertMapping(0, m).ok());
+  net.Settle();
+
+  TriplePatternQuery q("x", P(Term::Var("x"), Term::Uri("A#organism"),
+                              Term::Literal("%Aspergillus%")));
+  GridVinePeer::QueryOptions opts;
+  opts.reformulate = true;
+  auto subjects = [&](const GridVinePeer::QueryResult& r) {
+    std::set<std::string> s;
+    for (const auto& item : r.items) s.insert(item.value.value());
+    return s;
+  };
+
+  // Warm: both schemas answer through the mapping.
+  auto r1 = net.ServeFor(2, q, opts);
+  ASSERT_TRUE(r1.status.ok()) << r1.status;
+  EXPECT_EQ(subjects(r1), (std::set<std::string>{"x:a1", "x:b1"}));
+  auto r2 = net.ServeFor(2, q, opts);
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(subjects(r2), (std::set<std::string>{"x:a1", "x:b1"}));
+
+  // Deprecate (the self-organizer's Bayesian verdict path: UpsertMapping
+  // with the deprecated flag) and re-query.
+  SchemaMapping dep = m;
+  dep.set_deprecated(true);
+  ASSERT_TRUE(net.UpsertMapping(0, dep).ok());
+  net.Settle();
+  auto r3 = net.ServeFor(2, q, opts);
+  ASSERT_TRUE(r3.status.ok());
+  EXPECT_EQ(subjects(r3), (std::set<std::string>{"x:a1"}))
+      << "deprecated mapping still reformulates";
+
+  // Reactivate and re-query: the B rows must come back.
+  ASSERT_TRUE(net.UpsertMapping(0, m).ok());
+  net.Settle();
+  auto r4 = net.ServeFor(2, q, opts);
+  ASSERT_TRUE(r4.status.ok());
+  EXPECT_EQ(subjects(r4), (std::set<std::string>{"x:a1", "x:b1"}));
+}
+
 }  // namespace
 }  // namespace gridvine
