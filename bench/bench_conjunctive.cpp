@@ -13,7 +13,18 @@
 //
 // Every query is also checked differentially: both modes must return the
 // same result set, or the bench aborts.
+//
+// The second half is the Zipf skew sweep: predicate extents drawn from a
+// Zipf(s) size distribution, queried greedy vs cost-based vs adaptive. The
+// greedy heuristic cannot tell the hot extent from a cold one of the same
+// pattern shape, so it leads every join with the hot extent; the cost-based
+// planner leads with the cold one from fetched sketches (acceptance floor:
+// 2x fewer rows+bytes at equal recall). A drift phase then grows cold
+// extents under the static planner's stale sketches — adaptive
+// re-optimization plus observed-cardinality feedback must recover while
+// static cost-based keeps paying for its stale choice.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -23,6 +34,8 @@
 #include "bench_json.h"
 #include "trace_stats.h"
 #include "gridvine/gridvine_network.h"
+#include "pgrid/load_stats.h"
+#include "query/stats/sketch.h"
 #include "store/binding_codec.h"
 
 using namespace gridvine;
@@ -156,6 +169,173 @@ ModeStats RunMode(bool bind_join, size_t entities, size_t selectivity,
   return stats;
 }
 
+// --- Zipf skew sweep: greedy vs cost-based vs adaptive -----------------------
+
+constexpr size_t kZipfPreds = 8;
+
+/// Predicate k's extent holds entities / (k + 1)^s subjects: z:p0 is the hot
+/// extent every query must join against, the tail predicates are cold.
+/// Deterministic (no rng) so every mode loads byte-identical data.
+std::vector<Triple> MakeZipfTriples(size_t entities, double s) {
+  std::vector<Triple> triples;
+  for (size_t k = 0; k < kZipfPreds; ++k) {
+    size_t n = std::max<size_t>(
+        2, size_t(double(entities) / std::pow(double(k + 1), s)));
+    for (size_t i = 0; i < n; ++i) {
+      triples.emplace_back(
+          Term::Uri("w:e" + std::to_string(i)),
+          Term::Uri("z:p" + std::to_string(k)),
+          Term::Literal("v" + std::to_string(k) + "_" + std::to_string(i)));
+    }
+  }
+  return triples;
+}
+
+/// Growth for the drift phase: the three coldest extents balloon under
+/// fresh subjects (w:d*), so result sets stay untouched while every cached
+/// sketch's row count for those predicates goes badly stale.
+std::vector<Triple> MakeDriftTriples(size_t rows_per_pred) {
+  std::vector<Triple> triples;
+  for (size_t k = kZipfPreds - 3; k < kZipfPreds; ++k) {
+    for (size_t i = 0; i < rows_per_pred; ++i) {
+      triples.emplace_back(
+          Term::Uri("w:d" + std::to_string(i)),
+          Term::Uri("z:p" + std::to_string(k)),
+          Term::Literal("d" + std::to_string(k) + "_" + std::to_string(i)));
+    }
+  }
+  return triples;
+}
+
+/// Each query joins the hot extent against one cold one, hot pattern FIRST:
+/// the greedy planner (same shape class, index order) leads with it and
+/// ships the whole hot extent; the cost model reorders.
+std::vector<ConjunctiveQuery> MakeZipfQueries() {
+  std::vector<ConjunctiveQuery> queries;
+  for (size_t k = 2; k < kZipfPreds; ++k) {
+    queries.emplace_back(
+        std::vector<std::string>{"x", "a", "b"},
+        std::vector<TriplePattern>{
+            P(Term::Var("x"), Term::Uri("z:p0"), Term::Var("a")),
+            P(Term::Var("x"), Term::Uri("z:p" + std::to_string(k)),
+              Term::Var("b"))});
+  }
+  return queries;
+}
+
+struct ZipfModeCfg {
+  const char* row;
+  int mode;  ///< 0 = greedy, 1 = static cost-based, 2 = adaptive
+  bool stats;
+  double divergence;
+  bool load_aware;
+};
+
+struct ZipfStats {
+  uint64_t rows = 0, bytes = 0, messages = 0;
+  uint64_t drift_rows = 0, drift_bytes = 0;
+  uint64_t reoptimizations = 0;
+  double latency_sum = 0;
+  size_t queries = 0;
+  double imbalance = 0, gini = 0;
+  std::vector<std::set<std::string>> row_sets;
+};
+
+ZipfStats RunZipfMode(const ZipfModeCfg& cfg, size_t entities, double zipf_s,
+                      size_t rounds, uint64_t seed) {
+  GridVineNetwork::Options options;
+  options.num_peers = 24;
+  options.key_depth = 12;
+  options.seed = seed;
+  options.overlay.load_aware = cfg.load_aware;
+  if (cfg.stats) {
+    options.peer.stats.enabled = true;
+    // Never expire: the drift phase measures what stale sketches cost the
+    // static planner, so TTL refresh must not bail it out.
+    options.peer.stats.ttl = 1e9;
+    options.peer.stats.divergence = cfg.divergence;
+  }
+  GridVineNetwork net(options);
+  if (!net.InsertTriples(0, MakeZipfTriples(entities, zipf_s)).ok()) {
+    std::fprintf(stderr, "zipf data load failed\n");
+    std::exit(1);
+  }
+  net.Settle();
+
+  const auto queries = MakeZipfQueries();
+  GridVinePeer::QueryOptions qopts;
+  ZipfStats stats;
+  // rows_sink == nullptr marks an unmeasured warm-up query.
+  auto run_query = [&](const ConjunctiveQuery& q, uint64_t* rows_sink) {
+    auto res = net.SearchForConjunctive(0, q, qopts);
+    if (!res.status.ok()) {
+      std::fprintf(stderr, "zipf query failed: %s\n",
+                   res.status.ToString().c_str());
+      std::exit(1);
+    }
+    if (rows_sink == nullptr) return;
+    *rows_sink += res.metrics.RowsShipped();
+    stats.latency_sum += res.latency;
+    stats.reoptimizations += res.metrics.reoptimizations;
+    ++stats.queries;
+    std::set<std::string> rows;
+    for (const auto& row : res.rows) rows.insert(SerializeBindings({row}));
+    stats.row_sets.push_back(std::move(rows));
+  };
+  auto measure = [&](uint64_t* rows_out, uint64_t* bytes_out) {
+    const uint64_t msg0 = net.network()->stats().messages_sent;
+    const uint64_t bytes0 = net.network()->stats().bytes_sent;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (const auto& q : queries) run_query(q, rows_out);
+    }
+    *bytes_out += net.network()->stats().bytes_sent - bytes0;
+    stats.messages += net.network()->stats().messages_sent - msg0;
+  };
+  // Warm-up: one pass per query populates the issuer's sketch cache (and
+  // extent caches) so the measured phases compare steady-state planning,
+  // not first-touch fetch costs. Greedy gets the same pass for symmetry.
+  for (const auto& q : queries) run_query(q, nullptr);
+  measure(&stats.rows, &stats.bytes);
+  // Drift: grow the cold extents, then re-measure against stale sketches.
+  if (!net.InsertTriples(0, MakeDriftTriples(entities * 2)).ok()) {
+    std::fprintf(stderr, "drift load failed\n");
+    std::exit(1);
+  }
+  net.Settle();
+  measure(&stats.drift_rows, &stats.drift_bytes);
+  auto loads = ComputeRequestLoadStats(net.overlay_peers());
+  stats.imbalance = loads.max_over_mean;
+  stats.gini = loads.gini;
+  return stats;
+}
+
+/// Mean relative error of the extent-cardinality estimates a mode plans
+/// with, against ground truth on the pre-drift data. Cost/adaptive plan
+/// from KMV sketches; greedy has no statistics, so its implicit prior is
+/// "every extent is average-sized".
+double ZipfEstError(size_t entities, double zipf_s, bool sketched) {
+  TripleStore store;
+  for (const Triple& t : MakeZipfTriples(entities, zipf_s)) {
+    if (!store.Insert(t).ok()) std::exit(1);
+  }
+  StoreSketch sketch = StoreSketch::Build(store);
+  double err_sum = 0;
+  size_t n = 0;
+  for (size_t k = 0; k < kZipfPreds; ++k) {
+    TriplePattern p(Term::Var("x"), Term::Uri("z:p" + std::to_string(k)),
+                    Term::Var("o"));
+    double truth = 0;
+    for (const Triple& t : store.All()) {
+      if (t.predicate().value() == p.predicate().value()) ++truth;
+    }
+    double est = sketched ? sketch.EstimatePattern(p).rows
+                          : double(store.size()) / double(kZipfPreds);
+    err_sum += std::fabs(est - truth) / std::max(1.0, truth);
+    ++n;
+  }
+  return n == 0 ? 0 : err_sum / double(n);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,6 +412,98 @@ int main(int argc, char** argv) {
                        {"message_delta",
                         double(collect.messages) - double(bind.messages)},
                        {"differential_ok", 1.0}});
+
+  // --- Zipf skew sweep -------------------------------------------------------
+  const double kZipfS = [] {
+    const char* v = std::getenv("GV_ZIPF");
+    return v != nullptr ? std::strtod(v, nullptr) : 1.2;
+  }();
+  const size_t kZipfEntities = EnvOr("GV_ZIPF_ENTITIES", quick ? 120 : 400);
+  const size_t kZipfRounds = EnvOr("GV_ZIPF_ROUNDS", quick ? 2 : 4);
+
+  std::printf("\nZipf(%.1f) skew sweep: greedy vs cost-based vs adaptive\n",
+              kZipfS);
+  std::printf("  entities=%zu preds=%zu rounds=%zu seed=%llu\n", kZipfEntities,
+              kZipfPreds, kZipfRounds, (unsigned long long)kSeed);
+
+  const ZipfModeCfg kModes[] = {
+      {"zipf_greedy", 0, /*stats=*/false, /*divergence=*/0.0,
+       /*load_aware=*/false},
+      {"zipf_cost", 1, /*stats=*/true, /*divergence=*/0.0,
+       /*load_aware=*/false},
+      {"zipf_adaptive", 2, /*stats=*/true, /*divergence=*/2.0,
+       /*load_aware=*/true},
+  };
+  ZipfStats zs[3];
+  for (int m = 0; m < 3; ++m) {
+    zs[m] = RunZipfMode(kModes[m], kZipfEntities, kZipfS, kZipfRounds, kSeed);
+  }
+  // Equal recall, phase by phase: all three modes must agree on every
+  // result set (drift data joins nothing, so the drift phase agrees too).
+  for (int m = 1; m < 3; ++m) {
+    if (zs[m].row_sets != zs[0].row_sets) {
+      std::fprintf(stderr, "DIFFERENTIAL MISMATCH: %s result sets differ "
+                           "from greedy\n",
+                   kModes[m].row);
+      return 1;
+    }
+  }
+
+  std::printf("\n  %-24s %12s %12s %12s\n", "metric", "greedy", "cost",
+              "adaptive");
+  auto zrow = [&](const char* label, auto get) {
+    std::printf("  %-24s %12.0f %12.0f %12.0f\n", label, get(zs[0]),
+                get(zs[1]), get(zs[2]));
+  };
+  zrow("rows shipped", [](const ZipfStats& s) { return double(s.rows); });
+  zrow("bytes", [](const ZipfStats& s) { return double(s.bytes); });
+  zrow("messages", [](const ZipfStats& s) { return double(s.messages); });
+  zrow("drift rows shipped",
+       [](const ZipfStats& s) { return double(s.drift_rows); });
+  zrow("drift bytes", [](const ZipfStats& s) { return double(s.drift_bytes); });
+  zrow("re-optimizations",
+       [](const ZipfStats& s) { return double(s.reoptimizations); });
+  std::printf("  %-24s %12.3f %12.3f %12.3f\n", "replica max/mean",
+              zs[0].imbalance, zs[1].imbalance, zs[2].imbalance);
+
+  const double greedy_over_cost_rows =
+      zs[1].rows == 0 ? 0 : double(zs[0].rows) / double(zs[1].rows);
+  const double greedy_over_cost_bytes =
+      zs[1].bytes == 0 ? 0 : double(zs[0].bytes) / double(zs[1].bytes);
+  const double cost_over_adaptive_drift =
+      zs[2].drift_rows == 0
+          ? 0
+          : double(zs[1].drift_rows) / double(zs[2].drift_rows);
+  std::printf("\n  greedy/cost rows: %.2fx  bytes: %.2fx "
+              "(acceptance floor 2x)\n",
+              greedy_over_cost_rows, greedy_over_cost_bytes);
+  std::printf("  static-cost/adaptive drift rows: %.2fx "
+              "(adaptive must stay >= 0.95)\n",
+              cost_over_adaptive_drift);
+
+  for (int m = 0; m < 3; ++m) {
+    const ZipfStats& s = zs[m];
+    json.Add(kModes[m].row,
+             {{"mode", double(kModes[m].mode)},
+              {"rows_shipped", double(s.rows)},
+              {"bytes", double(s.bytes)},
+              {"messages", double(s.messages)},
+              {"mean_latency_s",
+               s.queries == 0 ? 0 : s.latency_sum / double(s.queries)},
+              {"est_error",
+               ZipfEstError(kZipfEntities, kZipfS, kModes[m].stats)},
+              {"replica_imbalance", s.imbalance},
+              {"load_gini", s.gini},
+              {"drift_rows_shipped", double(s.drift_rows)},
+              {"drift_bytes", double(s.drift_bytes)},
+              {"reoptimizations", double(s.reoptimizations)}});
+  }
+  json.Add("zipf_summary",
+           {{"zipf_s", kZipfS},
+            {"greedy_over_cost_rows", greedy_over_cost_rows},
+            {"greedy_over_cost_bytes", greedy_over_cost_bytes},
+            {"cost_over_adaptive_drift_rows", cost_over_adaptive_drift},
+            {"differential_ok", 1.0}});
   json.Finish();
   return 0;
 }

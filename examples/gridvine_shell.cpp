@@ -54,6 +54,8 @@ void PrintHelp() {
       "(bind-join)\n"
       "  cquerycollect <RDQL>                       conjunctive, "
       "collect-then-join\n"
+      "  plan explain <RDQL>                        physical plan + "
+      "estimated/observed rows\n"
       "  demo                                       load a small "
       "bioinformatic corpus\n"
       "  stats                                      network statistics\n"
@@ -83,12 +85,19 @@ int main() {
   // The serving layer is on: responder-side extent caching, and every query
   // enters through the issuing peer's QueryFrontend ('frontend stats').
   options.peer.cache.enabled = true;
+  // Statistics too, so 'plan explain' and conjunctive queries show the
+  // cost-based/adaptive pipeline (stale caches degrade to greedy).
+  options.peer.stats.enabled = true;
   GridVineNetwork net(options);
   std::printf("GridVine shell — %zu simulated peers. Type 'help'.\n",
               net.size());
 
   size_t next_peer = 0;
-  auto pick_peer = [&]() { return next_peer++ % net.size(); };
+  size_t last_peer = 0;  // most recent issuer — 'plan explain' reads its cache
+  auto pick_peer = [&]() {
+    last_peer = next_peer++ % net.size();
+    return last_peer;
+  };
 
   std::string line;
   std::printf("gridvine> ");
@@ -297,6 +306,28 @@ int main() {
       std::printf("  %-16s %12zu bytes (%.0f per peer, %zu peers)\n",
                   "total", total, double(total) / double(net.size()),
                   net.size());
+    } else if (cmd == "plan") {
+      std::string sub;
+      in >> sub;
+      std::string rest;
+      std::getline(in, rest);
+      if (sub != "explain" || rest.empty()) {
+        std::printf("usage: plan explain <RDQL>\n");
+      } else {
+        auto q = ParseRdql(rest);
+        if (!q.ok()) {
+          std::printf("error: %s\n", q.status().ToString().c_str());
+        } else {
+          // The most recent issuer explains, so 'cquery' followed by
+          // 'plan explain' shows the sketches and observed-row feedback
+          // that query left in its statistics cache.
+          GridVinePeer::QueryOptions qopts;
+          std::printf("issuer: peer %zu\n%s", last_peer,
+                      net.peer(last_peer)
+                          ->ExplainConjunctivePlan(*q, qopts)
+                          .c_str());
+        }
+      }
     } else if (cmd == "trace") {
       std::string arg, file;
       in >> arg >> file;

@@ -141,6 +141,50 @@ EOF
     cp "$serving_json" "$GV_ARTIFACT_DIR/"
   fi
 fi
+# Adaptive-execution smoke: bench_conjunctive ran the Zipf skewed-workload
+# sweep in the loop above (greedy vs cost-based vs adaptive). Validate that
+# the three mode rows and the summary carry the keys CI consumers graph,
+# that all modes returned identical results, and — full runs only — that
+# cost-based actually beat greedy on shipped rows (quick runs shrink the
+# corpus too far to hold the full-run ratio to a floor). In quick mode CI
+# uploads the JSON as the Zipf-sweep artifact.
+conjunctive_json="$out_root/BENCH_conjunctive.json"
+if [[ -f "$conjunctive_json" ]] && command -v python3 >/dev/null 2>&1; then
+  echo "== validating $(basename "$conjunctive_json")"
+  GV_BENCH_FULL="$((1 - quick))" python3 - "$conjunctive_json" <<'EOF'
+import json, os, sys
+
+doc = json.load(open(sys.argv[1]))
+rows = {r["name"]: r for r in doc["benchmarks"]}
+required_rows = ["zipf_greedy", "zipf_cost", "zipf_adaptive", "zipf_summary"]
+required_keys = ["mode", "rows_shipped", "bytes", "messages", "est_error",
+                 "replica_imbalance", "drift_rows_shipped"]
+for mode in required_rows[:3]:
+    name = "bench_conjunctive/" + mode
+    if name not in rows:
+        sys.exit(f"missing row {name}")
+    for key in required_keys:
+        if key not in rows[name]:
+            sys.exit(f"row {name} missing key {key}")
+summary = rows.get("bench_conjunctive/zipf_summary")
+if summary is None:
+    sys.exit("missing row bench_conjunctive/zipf_summary")
+if summary["differential_ok"] != 1.0:
+    sys.exit("planner modes returned different results (differential_ok != 1)")
+ratio = summary["greedy_over_cost_rows"]
+if os.environ.get("GV_BENCH_FULL") == "1" and ratio < 2.0:
+    sys.exit(f"cost-based plan only {ratio:.2f}x better than greedy "
+             f"on shipped rows (acceptance floor is 2x)")
+print(f"  ok: greedy/cost rows={ratio:.2f}x "
+      f"bytes={summary['greedy_over_cost_bytes']:.2f}x "
+      f"adaptive drift advantage="
+      f"{summary['cost_over_adaptive_drift_rows']:.2f}x")
+EOF
+  if [[ "$quick" -eq 1 && -n "${GV_ARTIFACT_DIR:-}" ]]; then
+    mkdir -p "$GV_ARTIFACT_DIR"
+    cp "$conjunctive_json" "$GV_ARTIFACT_DIR/"
+  fi
+fi
 # Self-organization smoke: bench_selforg ran the schema-evolution scenario
 # in the loop above (quick mode shrinks the network). Validate that every
 # row carries the keys CI consumers graph and that recall recovered after

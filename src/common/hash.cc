@@ -13,10 +13,6 @@ uint64_t Fnv1a64(std::string_view data) {
   return h;
 }
 
-namespace {
-
-// Murmur3 fmix64 finalizer: FNV-1a's raw high bits avalanche poorly on short
-// inputs, so mix before emitting key bits.
 uint64_t Mix64(uint64_t h) {
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdull;
@@ -25,8 +21,6 @@ uint64_t Mix64(uint64_t h) {
   h ^= h >> 33;
   return h;
 }
-
-}  // namespace
 
 Key UniformHash(std::string_view data, int depth) {
   // Chain FNV blocks when more than 64 bits are requested.

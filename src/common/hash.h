@@ -12,6 +12,11 @@ namespace gridvine {
 /// 64-bit FNV-1a hash, the building block for the uniform hash.
 uint64_t Fnv1a64(std::string_view data);
 
+/// Murmur3 fmix64 finalizer. FNV-1a's raw bits avalanche poorly on short
+/// inputs — anything consuming the hash as a uniform 64-bit value (key bits,
+/// k-minimum-value order statistics) must mix first.
+uint64_t Mix64(uint64_t h);
+
 /// Maps `data` to a `depth`-bit Key with (approximately) uniform distribution.
 /// Used where load balance matters more than order (e.g. replica salts).
 Key UniformHash(std::string_view data, int depth);

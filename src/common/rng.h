@@ -150,6 +150,58 @@ class SmallRng {
   uint64_t state_;
 };
 
+/// Counter-based per-peer generator: the full Rng-style drawing interface
+/// (UniformInt / PickOne / Fork / jitter doubles) over a single SmallRng
+/// machine word. This is what overlay peers carry instead of a 2.5 KB
+/// mt19937_64 — the dominant share of a bare peer's footprint at the 1M-peer
+/// scale point. Seeded from one draw of a caller-owned Rng so existing
+/// `PGridPeer(..., Rng(seed), ...)` call sites keep working unchanged; like
+/// SmallRng it is a separate determinism domain from Rng (same-seed runs are
+/// self-identical and shard-count invariant, but not draw-for-draw equal to
+/// the mt19937_64 streams).
+class CompactRng {
+ public:
+  CompactRng() : rng_(0) {}
+  explicit CompactRng(uint64_t seed) : rng_(seed) {}
+  /// Consumes exactly one draw of `source` to seed the compact stream.
+  explicit CompactRng(Rng& source) : rng_(source.engine()()) {}
+
+  uint64_t Next() { return rng_.Next(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Lemire-style widening multiply
+  /// keeps it allocation- and division-free; the (bounded) modulo bias of a
+  /// 64-bit draw over overlay-sized ranges is far below anything the
+  /// simulator can observe.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    uint64_t span = uint64_t(hi) - uint64_t(lo) + 1;
+    if (span == 0) return int64_t(rng_.Next());  // full 64-bit range
+    unsigned __int128 wide = (unsigned __int128)rng_.Next() * span;
+    return lo + int64_t(uint64_t(wide >> 64));
+  }
+
+  double UniformDouble(double lo, double hi) {
+    return rng_.UniformDouble(lo, hi);
+  }
+
+  bool Bernoulli(double p) { return rng_.Bernoulli(p); }
+
+  double Exponential(double rate) { return rng_.Exponential(rate); }
+
+  double LogNormal(double mu, double sigma) { return rng_.LogNormal(mu, sigma); }
+
+  template <typename C>
+  decltype(auto) PickOne(const C& v) {
+    assert(v.size() > 0);
+    return v[static_cast<size_t>(UniformInt(0, int64_t(v.size()) - 1))];
+  }
+
+  CompactRng Fork() { return CompactRng(rng_.Next()); }
+
+ private:
+  SmallRng rng_;
+};
+
 }  // namespace gridvine
 
 #endif  // GRIDVINE_COMMON_RNG_H_

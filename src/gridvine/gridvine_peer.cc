@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -80,6 +81,11 @@ GridVinePeer::GridVinePeer(Simulator* sim, Network* network, Rng rng,
     copts.max_entries = options_.cache.max_entries;
     copts.max_bytes = options_.cache.max_bytes;
     cache_ = std::make_unique<ExtentCache>(copts);
+  }
+  if (options_.stats.enabled) {
+    StatsCache::Options sopts;
+    sopts.ttl = options_.stats.ttl;
+    stats_cache_ = std::make_unique<StatsCache>(sopts);
   }
   frontend_ = std::make_unique<QueryFrontend>(sim, this);
 }
@@ -396,8 +402,22 @@ void GridVinePeer::PublishMetrics(MetricsRegistry* metrics) const {
     metrics->Counter("gv.cache.misses") += cs.misses;
     metrics->Counter("gv.cache.evictions") += cs.evictions;
     metrics->Counter("gv.cache.invalidations") += cs.invalidations;
+    metrics->Counter("gv.cache.negative_hits") += cs.negative_hits;
     metrics->Counter("gv.cache.entries") += cache_->entries();
     metrics->Counter("gv.cache.bytes") += cache_->bytes();
+  }
+  if (stats_cache_) {
+    const StatsCache::Stats& ss = stats_cache_->stats();
+    metrics->Counter("gv.stats.hits") += ss.hits;
+    metrics->Counter("gv.stats.misses") += ss.misses;
+    metrics->Counter("gv.stats.refreshes") += ss.refreshes;
+    metrics->Counter("gv.stats.observations") += ss.observations;
+    metrics->Counter("gv.stats.entries") += stats_cache_->entries();
+  }
+  if (stats_cache_ || counters_.stats_served > 0) {
+    metrics->Counter("gv.stats.fetches") += counters_.stats_fetches;
+    metrics->Counter("gv.stats.served") += counters_.stats_served;
+    metrics->Counter("gv.stats.sketch_rebuilds") += counters_.sketch_rebuilds;
   }
   if (frontend_) {
     QueryFrontend::Stats fs = frontend_->stats();
@@ -755,6 +775,10 @@ void GridVinePeer::OnExtensionMessage(
     HandleBoundScanResponse(*bresp);
   } else if (auto* batch = dynamic_cast<const BatchEnvelope*>(payload.get())) {
     HandleBatchEnvelope(*batch);
+  } else if (auto* sreq = dynamic_cast<const StatsRequest*>(payload.get())) {
+    HandleStatsRequest(*sreq);
+  } else if (auto* srec = dynamic_cast<const StatsRecord*>(payload.get())) {
+    HandleStatsRecord(*srec);
   } else {
     GV_CLOG("gridvine", Warning) << "gridvine peer " << id()
                                  << ": unknown payload "
@@ -990,8 +1014,145 @@ void GridVinePeer::SearchForConjunctive(
     return;
   }
 
+  if (stats_cache_ == nullptr) {
+    // Statistics off: plan and run synchronously, exactly the legacy path.
+    StartConjunctive(query, options, {}, std::move(cb));
+    return;
+  }
+
+  // Statistics prefetch: one single-attempt StatsRequest per stale key
+  // region the query's patterns route to. Planning proceeds once every
+  // region answered, or at the fetch timeout — whichever is first; regions
+  // still unanswered then simply plan on the greedy rank this time (and
+  // their record, if it arrives later still, is dropped).
+  SimTime now = sim_->Now();
+  std::map<std::string, Key> stale_regions;
+  for (const TriplePattern& p : query.patterns()) {
+    auto routing = p.RoutingConstant();
+    if (!routing.has_value()) continue;
+    Key key = KeyFor(p.at(*routing).value());
+    std::string region = key.ToString();
+    if (!stats_cache_->Fresh(region, now)) stale_regions.emplace(region, key);
+  }
+  if (stale_regions.empty()) {
+    StartConjunctive(query, options, EstimatesFor(query), std::move(cb));
+    return;
+  }
+
+  uint64_t pid = next_prefetch_id_++;
+  StatsPrefetch& pf = pending_stats_[pid];
+  pf.outstanding = int(stale_regions.size());
+  pf.proceed = [this, query, options, cb] {
+    StartConjunctive(query, options, EstimatesFor(query), cb);
+  };
+  for (auto& [region, key] : stale_regions) {
+    uint64_t rid = next_stats_req_++;
+    pf.reqs.push_back(rid);
+    open_stats_reqs_.emplace(rid, OpenStatsFetch{pid, region});
+    auto req = std::make_shared<StatsRequest>();
+    req->req_id = rid;
+    req->reply_to = id();
+    ++counters_.stats_fetches;
+    overlay_->Route(key, std::move(req));
+  }
+  sim_->Schedule(options_.stats.fetch_timeout, [this, pid] {
+    auto it = pending_stats_.find(pid);
+    if (it == pending_stats_.end()) return;  // every region answered in time
+    for (uint64_t rid : it->second.reqs) open_stats_reqs_.erase(rid);
+    auto proceed = std::move(it->second.proceed);
+    pending_stats_.erase(it);
+    proceed();
+  });
+}
+
+std::vector<PatternEstimate> GridVinePeer::EstimatesFor(
+    const ConjunctiveQuery& query) {
+  SimTime now = sim_->Now();
+  std::vector<PatternEstimate> ests(query.patterns().size());
+  bool any_known = false;
+  for (size_t i = 0; i < query.patterns().size(); ++i) {
+    const TriplePattern& p = query.patterns()[i];
+    if (auto routing = p.RoutingConstant()) {
+      std::string region = KeyFor(p.at(*routing).value()).ToString();
+      if (const StoreSketch* sk = stats_cache_->Lookup(region, now)) {
+        ests[i] = sk->EstimatePattern(p);
+      }
+    }
+    // An observed extent cardinality for the exact pattern is ground truth:
+    // it overrides the sketch's row estimate until it expires. Without a
+    // sketch it cannot bound the join-key distincts, so those default to the
+    // row count (every row distinct — the conservative upper bound).
+    if (auto obs = stats_cache_->ObservedRows(p.Serialize(), now)) {
+      if (!ests[i].known) {
+        ests[i].distinct_subjects = std::max(1.0, *obs);
+        ests[i].distinct_objects = std::max(1.0, *obs);
+      }
+      ests[i].known = true;
+      ests[i].rows = *obs;
+    }
+    if (ests[i].known) any_known = true;
+  }
+  // All-unknown estimates must select the legacy greedy plan verbatim.
+  if (!any_known) ests.clear();
+  return ests;
+}
+
+std::string GridVinePeer::ExplainConjunctivePlan(const ConjunctiveQuery& query,
+                                                 const QueryOptions& options) {
+  std::ostringstream os;
+  if (Status v = query.Validate(); !v.ok()) {
+    return "invalid query: " + v.ToString() + "\n";
+  }
+  std::vector<PatternEstimate> ests =
+      stats_cache_ != nullptr ? EstimatesFor(query)
+                              : std::vector<PatternEstimate>{};
   PlanOptions popts;
   popts.bind_join = options.bind_join;
+  popts.estimates = ests;
+  PhysicalPlan plan = PlanPhysical(query, popts);
+  os << (ests.empty() ? "greedy plan" : "cost-based plan")
+     << (stats_cache_ == nullptr
+             ? " (statistics disabled)"
+             : ests.empty() ? " (no fresh sketches cached)" : "")
+     << ":\n" << plan.ToString() << "\n";
+  os << "patterns (chain order";
+  if (stats_cache_ != nullptr) os << "; est = sketch rows, obs = fed back";
+  os << "):\n";
+  SimTime now = sim_->Now();
+  for (size_t gi = 0; gi < plan.groups.size(); ++gi) {
+    const auto& g = plan.groups[gi];
+    for (size_t k = 0; k < g.patterns.size(); ++k) {
+      size_t pi = g.patterns[k];
+      const TriplePattern& p = query.patterns()[pi];
+      os << "  g" << gi << "[" << k << "] p" << pi << " " << p.ToString();
+      if (pi < ests.size() && ests[pi].known) {
+        os << "  est_rows=" << ests[pi].rows;
+      } else {
+        os << "  est_rows=-";
+      }
+      if (k < g.est_cards.size() && !ests.empty()) {
+        os << " est_join=" << g.est_cards[k];
+      }
+      if (stats_cache_ != nullptr) {
+        if (auto obs = stats_cache_->ObservedRows(p.Serialize(), now)) {
+          os << " obs_rows=" << *obs;
+        } else {
+          os << " obs_rows=-";
+        }
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+void GridVinePeer::StartConjunctive(const ConjunctiveQuery& query,
+                                    const QueryOptions& options,
+                                    std::vector<PatternEstimate> estimates,
+                                    std::function<void(ConjunctiveResult)> cb) {
+  PlanOptions popts;
+  popts.bind_join = options.bind_join;
+  popts.estimates = std::move(estimates);
   PhysicalPlan plan = PlanPhysical(query, popts);
 
   uint64_t exec_id = (uint64_t(id()) << 32) | next_exec_id_++;
@@ -1002,23 +1163,51 @@ void GridVinePeer::SearchForConjunctive(
   if (Tracer* tr = LiveTracer()) {
     ae->span = tr->StartSpan("op.cquery", network_->ambient_ctx());
     tr->Annotate(ae->span, "patterns", double(query.patterns().size()));
+    if (!popts.estimates.empty()) tr->Annotate(ae->span, "cost_based", 1.0);
     ae->executor->EnableTracing(tr, ae->span);
+  }
+  if (!popts.estimates.empty() && options_.stats.divergence > 0) {
+    ae->executor->EnableAdaptive(popts, options_.stats.divergence);
+  }
+  // Observed-extent feedback targets (pattern serializations), captured up
+  // front so the done lambda needs no reference back into the query.
+  std::vector<std::string> pkeys;
+  if (stats_cache_ != nullptr) {
+    pkeys.reserve(query.patterns().size());
+    for (const TriplePattern& p : query.patterns()) {
+      pkeys.push_back(p.Serialize());
+    }
   }
   active_execs_.emplace(exec_id, ae);
   SimTime started = sim_->Now();
   TraceCtx cspan = ae->span;
-  ae->executor->Run([this, exec_id, started, cspan,
-                     cb](ConjunctiveExecutor::ExecResult r) {
+  ae->executor->Run([this, exec_id, started, cspan, cb,
+                     pkeys = std::move(pkeys)](
+                        ConjunctiveExecutor::ExecResult r) {
     ConjunctiveResult res;
     res.status = std::move(r.status);
     res.rows = std::move(r.rows);
     res.metrics = r.metrics;
     res.latency = sim_->Now() - started;
     res.trace_id = cspan.trace_id;
+    // Feed the observed full-scan cardinalities back into the statistics
+    // cache: the next query touching these patterns plans on ground truth.
+    if (stats_cache_ != nullptr) {
+      size_t n = std::min(pkeys.size(), r.observed_extents.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (r.observed_extents[i] >= 0) {
+          stats_cache_->Observe(pkeys[i], r.observed_extents[i], sim_->Now());
+        }
+      }
+    }
     if (cspan.valid()) {
       if (Tracer* tr = LiveTracer()) {
         tr->Annotate(cspan, "rows", double(res.rows.size()));
         tr->Annotate(cspan, "rows_shipped", double(res.metrics.RowsShipped()));
+        if (res.metrics.reoptimizations > 0) {
+          tr->Annotate(cspan, "reoptimizations",
+                       double(res.metrics.reoptimizations));
+        }
         if (!res.status.ok()) tr->Annotate(cspan, "error", 1.0);
         tr->EndSpan(cspan);
       }
@@ -1322,6 +1511,54 @@ void GridVinePeer::HandleBoundScanResponse(const BoundScanResponse& resp) {
   CloseBoundScan(resp.exec_id, resp.dispatch_id, /*answered=*/true);
 }
 
+// --- Statistics layer ---------------------------------------------------------
+
+void GridVinePeer::HandleStatsRequest(const StatsRequest& req) {
+  ++counters_.stats_served;
+  // Lazy rebuild: the sketch is recomputed only when a request finds the
+  // store version has moved — one integer compare per request, amortizing
+  // the O(rows) build across a whole version epoch.
+  if (serving_sketch_ == nullptr ||
+      serving_sketch_->built_version() != local_db_.version()) {
+    serving_sketch_ =
+        std::make_unique<StoreSketch>(StoreSketch::Build(local_db_));
+    ++counters_.sketch_rebuilds;
+  }
+  if (Tracer* tr = LiveTracer()) {
+    TraceCtx mark = tr->Instant("op.stats_answer", ResponderParent(req.trace_ctx));
+    tr->Annotate(mark, "rows", double(serving_sketch_->total_rows()));
+  }
+  auto rec = std::make_shared<StatsRecord>();
+  rec->req_id = req.req_id;
+  rec->sketch = serving_sketch_->Serialize();
+  rec->store_version = local_db_.version();
+  rec->responder = id();
+  SendResponse(req.reply_to, std::move(rec),
+               ScanServeCost(/*cache_hit=*/false, 0));
+}
+
+void GridVinePeer::HandleStatsRecord(const StatsRecord& rec) {
+  auto it = open_stats_reqs_.find(rec.req_id);
+  if (it == open_stats_reqs_.end()) return;  // written off at the timeout
+  OpenStatsFetch of = std::move(it->second);
+  open_stats_reqs_.erase(it);
+  if (stats_cache_ != nullptr) {
+    auto sketch = StoreSketch::Parse(rec.sketch);
+    if (sketch.ok()) {
+      stats_cache_->Put(of.region, std::move(sketch).value(), sim_->Now());
+    } else {
+      GV_CLOG("gridvine", Warning)
+          << "bad stats record: " << sketch.status();
+    }
+  }
+  auto p = pending_stats_.find(of.prefetch_id);
+  if (p == pending_stats_.end()) return;
+  if (--p->second.outstanding > 0) return;
+  auto proceed = std::move(p->second.proceed);
+  pending_stats_.erase(p);
+  proceed();
+}
+
 // --- Serving layer ------------------------------------------------------------
 
 SimTime GridVinePeer::ScanServeCost(bool cache_hit, size_t rows) const {
@@ -1460,6 +1697,9 @@ size_t GridVinePeer::MemoryFootprint() const {
   size_t bytes = sizeof(*this) + overlay_->MemoryFootprint() +
                  local_db_.MemoryFootprint();
   bytes += HashMapBytes(pending_queries_) + HashMapBytes(active_execs_);
+  if (stats_cache_) bytes += stats_cache_->MemoryFootprint();
+  if (serving_sketch_) bytes += serving_sketch_->MemoryFootprint();
+  bytes += HashMapBytes(open_stats_reqs_) + HashMapBytes(pending_stats_);
   bytes += RbTreeBytes(recursive_seen_.size(), sizeof(*recursive_seen_.begin()));
   bytes += RbTreeBytes(published_degrees_.size(),
                        sizeof(*published_degrees_.begin()));

@@ -23,6 +23,7 @@
 #include "query/exec/executor.h"
 #include "query/extent_cache.h"
 #include "query/query.h"
+#include "query/stats/stats_cache.h"
 #include "rdf/triple.h"
 #include "schema/schema.h"
 #include "sim/network.h"
@@ -106,6 +107,27 @@ class GridVinePeer {
       size_t max_concurrent = 8;
       size_t max_queue = 64;
     } frontend;
+
+    /// Distributed statistics + cost-based conjunctive planning
+    /// (query/stats/): before planning, the issuer fetches the StoreSketch
+    /// of each key region its patterns route to (cached with bounded
+    /// staleness), orders joins by estimated cardinality, and the executor
+    /// re-optimizes mid-flight when observations diverge. Off = legacy
+    /// greedy planning; seeded runs replay bit-identically.
+    struct StatsOptions {
+      bool enabled = false;
+      /// Cached sketch staleness bound (simulated seconds).
+      SimTime ttl = 60.0;
+      /// How long planning waits for outstanding sketch fetches before
+      /// degrading the unanswered regions to the greedy rank. Fetches are
+      /// single-attempt: a lost record costs accuracy, never correctness.
+      SimTime fetch_timeout = 1.0;
+      /// Mid-flight re-optimization threshold: the group's operator suffix
+      /// is re-planned when observed/estimated cardinality diverges by this
+      /// factor (either direction). <= 0 disables adaptive execution
+      /// (static cost-based plans only).
+      double divergence = 4.0;
+    } stats;
   };
 
   using StatusCallback = std::function<void(Status)>;
@@ -277,6 +299,14 @@ class GridVinePeer {
                             const QueryOptions& options,
                             std::function<void(ConjunctiveResult)> cb);
 
+  /// Human-readable plan explanation: the physical plan this peer would
+  /// execute for `query` right now (greedy, or cost-based from whatever
+  /// sketches its statistics cache currently holds — no fetches are
+  /// issued), with per-pattern estimated rows and the last observed
+  /// cardinality fed back by the adaptive executor.
+  std::string ExplainConjunctivePlan(const ConjunctiveQuery& query,
+                                     const QueryOptions& options);
+
   /// Statistics for experiments.
   struct Counters {
     uint64_t queries_issued = 0;
@@ -287,6 +317,9 @@ class GridVinePeer {
     uint64_t batch_items = 0;           // as issuer: requests coalesced
     uint64_t batch_flushes = 0;         // as issuer: envelopes (or lone parts)
     uint64_t batches_answered = 0;      // as destination: envelopes served
+    uint64_t stats_fetches = 0;         // as issuer: StatsRequests routed
+    uint64_t stats_served = 0;          // as destination: sketches answered
+    uint64_t sketch_rebuilds = 0;       // serving sketch rebuilt (store moved)
   };
   const Counters& counters() const { return counters_; }
 
@@ -297,6 +330,9 @@ class GridVinePeer {
 
   /// The responder-side extent cache, or nullptr when Options::cache is off.
   const ExtentCache* cache() const { return cache_.get(); }
+
+  /// The issuer-side statistics cache, or nullptr when Options::stats is off.
+  const StatsCache* stats_cache() const { return stats_cache_.get(); }
 
   /// Adds this peer's counters into `metrics` under "gv.*".
   void PublishMetrics(MetricsRegistry* metrics) const;
@@ -456,6 +492,21 @@ class GridVinePeer {
   void HandleBoundScanResponse(const BoundScanResponse& resp);
   void HandleBatchEnvelope(const BatchEnvelope& env);
 
+  // --- Statistics layer -----------------------------------------------------
+
+  /// Back half of SearchForConjunctive: plans the query (cost-based when
+  /// `estimates` carries at least one known entry, legacy greedy otherwise)
+  /// and runs the executor.
+  void StartConjunctive(const ConjunctiveQuery& query,
+                        const QueryOptions& options,
+                        std::vector<PatternEstimate> estimates,
+                        std::function<void(ConjunctiveResult)> cb);
+  /// Builds the estimates vector for `query` from the statistics cache
+  /// (sketch estimates overridden by fresher observed cardinalities).
+  std::vector<PatternEstimate> EstimatesFor(const ConjunctiveQuery& query);
+  void HandleStatsRequest(const StatsRequest& req);
+  void HandleStatsRecord(const StatsRecord& rec);
+
   // --- Serving layer --------------------------------------------------------
 
   /// Appends an issuer-tracked request to the destination region's pending
@@ -504,6 +555,28 @@ class GridVinePeer {
   uint64_t next_dispatch_id_ = 1;
   uint64_t next_exec_id_ = 1;
   Counters counters_;
+
+  // --- Statistics-layer state -----------------------------------------------
+  std::unique_ptr<StatsCache> stats_cache_;  // null unless Options::stats.enabled
+  /// Serving-side sketch of DB_p, rebuilt lazily when a StatsRequest finds
+  /// the store version has moved past built_version().
+  std::unique_ptr<StoreSketch> serving_sketch_;
+  /// One outstanding single-attempt sketch fetch.
+  struct OpenStatsFetch {
+    uint64_t prefetch_id = 0;
+    std::string region;  ///< StatsCache key the record lands under
+  };
+  std::unordered_map<uint64_t, OpenStatsFetch> open_stats_reqs_;  // by req_id
+  /// One query's pre-planning fetch wave: proceeds when every region
+  /// answered or at the fetch timeout, whichever is first.
+  struct StatsPrefetch {
+    int outstanding = 0;
+    std::vector<uint64_t> reqs;  ///< req_ids, written off at the timeout
+    std::function<void()> proceed;
+  };
+  std::unordered_map<uint64_t, StatsPrefetch> pending_stats_;  // by prefetch_id
+  uint64_t next_stats_req_ = 1;
+  uint64_t next_prefetch_id_ = 1;
 
   // --- Serving-layer state --------------------------------------------------
   std::unique_ptr<ExtentCache> cache_;  // null unless Options::cache.enabled

@@ -125,6 +125,41 @@ struct BoundScanResponse : MessageBody {
   }
 };
 
+/// Asks the peer responsible for a key region for its statistics sketch
+/// (query/stats/sketch.h). Sent by an issuer planning a conjunctive query
+/// whose cached sketch for that region is missing or past its staleness
+/// bound; one attempt, no retries — an unanswered request just leaves the
+/// planner on the greedy rank for that region's patterns.
+struct StatsRequest : MessageBody {
+  /// Identifies the issuer's open request (echoed in the StatsRecord).
+  uint64_t req_id = 0;
+  /// Where the record must be sent (the planning issuer).
+  NodeId reply_to = kInvalidNode;
+
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("gv.stats");
+    return t;
+  }
+  size_t SizeBytes() const override { return 16; }
+};
+
+/// One peer's statistics sketch flowing back to the issuer, published
+/// alongside the index entries it summarizes (same key region).
+struct StatsRecord : MessageBody {
+  uint64_t req_id = 0;
+  /// StoreSketch::Serialize() payload.
+  std::string sketch;
+  /// TripleStore::version() the sketch was built at.
+  uint64_t store_version = 0;
+  NodeId responder = kInvalidNode;
+
+  MsgType TypeTag() const override {
+    static const MsgType t = MsgType::Intern("gv.stats_resp");
+    return t;
+  }
+  size_t SizeBytes() const override { return 24 + sketch.size(); }
+};
+
 }  // namespace gridvine
 
 #endif  // GRIDVINE_GRIDVINE_MESSAGES_H_

@@ -4,17 +4,15 @@
 
 namespace gridvine {
 
-LoadStats ComputeLoadStats(const std::vector<PGridPeer*>& peers) {
+LoadStats ComputeLoadStatsFrom(const std::vector<uint64_t>& loads_in) {
   LoadStats stats;
-  if (peers.empty()) return stats;
-  std::vector<size_t> loads;
-  loads.reserve(peers.size());
-  for (const PGridPeer* p : peers) {
-    loads.push_back(p->StorageSize());
-    stats.total += p->StorageSize();
-    stats.max = std::max(stats.max, p->StorageSize());
+  if (loads_in.empty()) return stats;
+  std::vector<uint64_t> loads = loads_in;
+  for (uint64_t l : loads) {
+    stats.total += size_t(l);
+    stats.max = std::max(stats.max, size_t(l));
   }
-  stats.mean = double(stats.total) / double(peers.size());
+  stats.mean = double(stats.total) / double(loads.size());
   stats.max_over_mean = stats.mean > 0 ? double(stats.max) / stats.mean : 0;
 
   // Gini via the sorted-rank formula.
@@ -28,6 +26,22 @@ LoadStats ComputeLoadStats(const std::vector<PGridPeer*>& peers) {
     stats.gini = (2.0 * weighted) / (n * double(stats.total)) - (n + 1.0) / n;
   }
   return stats;
+}
+
+LoadStats ComputeLoadStats(const std::vector<PGridPeer*>& peers) {
+  std::vector<uint64_t> loads;
+  loads.reserve(peers.size());
+  for (const PGridPeer* p : peers) loads.push_back(p->StorageSize());
+  return ComputeLoadStatsFrom(loads);
+}
+
+LoadStats ComputeRequestLoadStats(const std::vector<PGridPeer*>& peers) {
+  std::vector<uint64_t> loads;
+  loads.reserve(peers.size());
+  for (const PGridPeer* p : peers) {
+    loads.push_back(p->counters().extension_deliveries);
+  }
+  return ComputeLoadStatsFrom(loads);
 }
 
 }  // namespace gridvine

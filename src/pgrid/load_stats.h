@@ -21,6 +21,15 @@ struct LoadStats {
 /// Computes load statistics from the peers' current storage sizes.
 LoadStats ComputeLoadStats(const std::vector<PGridPeer*>& peers);
 
+/// Same summary over an arbitrary per-peer load vector — used for the
+/// request-serving (replica read) imbalance measurements, where load is the
+/// count of application payloads a peer served rather than entries stored.
+LoadStats ComputeLoadStatsFrom(const std::vector<uint64_t>& loads_in);
+
+/// Request-serving load per peer: payloads delivered to the extension
+/// handler (RemoteScan / BoundScan and other mediation-layer requests).
+LoadStats ComputeRequestLoadStats(const std::vector<PGridPeer*>& peers);
+
 }  // namespace gridvine
 
 #endif  // GRIDVINE_PGRID_LOAD_STATS_H_

@@ -144,10 +144,12 @@ void PGridPeer::SendRetrieveAttempt(uint64_t request_id) {
   if (it == pending_.end()) return;
   Pending& p = it->second;
   ++p.attempts;
-  // Avoid the first hop of the failed attempt when alternatives exist:
-  // consecutive attempts explore different routes, and thereby different
-  // members of the destination's replica set σ(p).
-  auto next = routing_.NextHop(p.key, &rng_, /*exclude=*/p.last_hop);
+  // Avoid the first hops of ALL failed attempts while alternatives exist:
+  // consecutive attempts explore disjoint routes, and thereby different
+  // members of the destination's replica set σ(p), without ever re-picking
+  // a hop this flight already timed out on.
+  auto next = routing_.NextHopAvoiding(p.key, &rng_, p.tried_hops.data(),
+                                       p.tried_hops.size());
   if (!next.has_value()) {
     // No usable ref right now (all evicted under churn). The attempt is
     // still spent: wait out the backoff — maintenance may refill the level —
@@ -160,7 +162,7 @@ void PGridPeer::SendRetrieveAttempt(uint64_t request_id) {
     }
     return;
   }
-  p.last_hop = *next;
+  p.tried_hops.push_back(*next);
   auto req = std::make_shared<RetrieveRequest>();
   req->request_id = request_id;
   req->key = p.key;
@@ -234,7 +236,8 @@ void PGridPeer::SendUpdateAttempt(uint64_t request_id) {
   if (it == pending_.end()) return;
   Pending& p = it->second;
   ++p.attempts;
-  auto next = routing_.NextHop(p.key, &rng_, /*exclude=*/p.last_hop);
+  auto next = routing_.NextHopAvoiding(p.key, &rng_, p.tried_hops.data(),
+                                       p.tried_hops.size());
   if (!next.has_value()) {
     ++counters_.routing_dead_ends;
     if (options_.retry.Exhausted(p.attempts)) {
@@ -244,7 +247,7 @@ void PGridPeer::SendUpdateAttempt(uint64_t request_id) {
     }
     return;
   }
-  p.last_hop = *next;
+  p.tried_hops.push_back(*next);
   auto req = std::make_shared<UpdateRequest>();
   req->request_id = request_id;
   req->key = p.key;
@@ -318,9 +321,24 @@ bool PGridPeer::FailoverPending(uint64_t request_id) {
 
 // --- Extension interface ------------------------------------------------------
 
+std::optional<NodeId> PGridPeer::PayloadNextHop(const Key& key,
+                                                NodeId exclude) {
+  if (!options_.load_aware) return routing_.NextHop(key, &rng_, exclude);
+  auto next = routing_.NextHopLeastLoaded(
+      key,
+      [this](NodeId id) {
+        auto it = send_loads_.find(id);
+        return it == send_loads_.end() ? uint64_t{0} : it->second;
+      },
+      exclude);
+  if (next.has_value()) ++send_loads_[*next];
+  return next;
+}
+
 void PGridPeer::Route(const Key& key,
                       std::shared_ptr<const MessageBody> payload) {
   if (IsResponsibleFor(key)) {
+    ++counters_.extension_deliveries;
     if (extension_handler_) extension_handler_(id_, std::move(payload), 0);
     return;
   }
@@ -332,7 +350,7 @@ void PGridPeer::Route(const Key& key,
   // lifted onto it for the flight span to parent correctly.
   env->trace_ctx = payload->trace_ctx;
   env->payload = std::move(payload);
-  auto next = routing_.NextHop(key, &rng_);
+  auto next = PayloadNextHop(key);
   if (!next.has_value()) {
     ++counters_.routing_dead_ends;
     return;  // fire-and-forget: the payload protocol's timeout handles loss
@@ -343,6 +361,7 @@ void PGridPeer::Route(const Key& key,
 void PGridPeer::SendDirect(NodeId to,
                            std::shared_ptr<const MessageBody> payload) {
   if (to == id_) {
+    ++counters_.extension_deliveries;
     if (extension_handler_) extension_handler_(id_, std::move(payload), -1);
     return;
   }
@@ -366,7 +385,7 @@ void PGridPeer::RouteRange(const Key& prefix,
     ShowerRange(env);
     return;
   }
-  auto next = routing_.NextHop(prefix, &rng_);
+  auto next = PayloadNextHop(prefix);
   if (!next.has_value()) {
     ++counters_.routing_dead_ends;
     return;
@@ -378,6 +397,7 @@ void PGridPeer::RouteRange(const Key& prefix,
 
 void PGridPeer::ShowerRange(const RangeEnvelope& env) {
   // Deliver locally: this peer owns part (or all) of the subtree.
+  ++counters_.extension_deliveries;
   if (extension_handler_) extension_handler_(env.origin, env.payload, env.hops);
   // Split: each ref at level l >= min_level covers the complementary
   // subtree at l, which lies entirely inside `prefix`; handing it
@@ -389,7 +409,23 @@ void PGridPeer::ShowerRange(const RangeEnvelope& env) {
     auto msg = std::make_shared<RangeEnvelope>(env);
     msg->min_level = level + 1;
     msg->hops = env.hops + 1;
-    network_->Send(id_, rng_.PickOne(refs), msg);
+    NodeId target;
+    if (options_.load_aware) {
+      target = refs[0];
+      uint64_t best = 0;
+      for (size_t i = 0; i < refs.size(); ++i) {
+        auto lit = send_loads_.find(refs[i]);
+        uint64_t w = lit == send_loads_.end() ? 0 : lit->second;
+        if (i == 0 || w < best) {
+          target = refs[i];
+          best = w;
+        }
+      }
+      ++send_loads_[target];
+    } else {
+      target = rng_.PickOne(refs);
+    }
+    network_->Send(id_, target, msg);
   }
 }
 
@@ -401,7 +437,7 @@ void PGridPeer::HandleRangeEnvelope(NodeId from, const RangeEnvelope& env) {
     return;
   }
   if (env.hops >= options_.max_hops) return;
-  auto next = routing_.NextHop(env.prefix, &rng_, /*exclude=*/from);
+  auto next = PayloadNextHop(env.prefix, /*exclude=*/from);
   if (!next.has_value()) {
     ++counters_.routing_dead_ends;
     return;
@@ -414,11 +450,12 @@ void PGridPeer::HandleRangeEnvelope(NodeId from, const RangeEnvelope& env) {
 
 void PGridPeer::HandleRoutedEnvelope(NodeId from, const RoutedEnvelope& env) {
   if (IsResponsibleFor(env.key)) {
+    ++counters_.extension_deliveries;
     if (extension_handler_) extension_handler_(env.origin, env.payload, env.hops);
     return;
   }
   if (env.hops >= options_.max_hops) return;
-  auto next = routing_.NextHop(env.key, &rng_, /*exclude=*/from);
+  auto next = PayloadNextHop(env.key, /*exclude=*/from);
   if (!next.has_value()) {
     ++counters_.routing_dead_ends;
     return;
@@ -437,6 +474,7 @@ void PGridPeer::OnMessage(NodeId from, std::shared_ptr<const MessageBody> body) 
   } else if (auto* range = dynamic_cast<const RangeEnvelope*>(body.get())) {
     HandleRangeEnvelope(from, *range);
   } else if (auto* denv = dynamic_cast<const DirectEnvelope*>(body.get())) {
+    ++counters_.extension_deliveries;
     if (extension_handler_) extension_handler_(from, denv->payload, -1);
   } else if (auto* rreq = dynamic_cast<const RetrieveRequest*>(body.get())) {
     HandleRetrieveRequest(from, *rreq);
@@ -602,6 +640,8 @@ void PGridPeer::PublishMetrics(MetricsRegistry* metrics) const {
   metrics->Counter("pgrid.timeouts") += counters_.timeouts;
   metrics->Counter("pgrid.retries") += counters_.retries;
   metrics->Counter("pgrid.failovers") += counters_.failovers;
+  metrics->Counter("pgrid.extension_deliveries") +=
+      counters_.extension_deliveries;
   metrics->Counter("pgrid.storage_entries") += storage_.size();
   metrics->Gauge("pgrid.pending_requests") += double(pending_.size());
 }
@@ -622,6 +662,10 @@ size_t PGridPeer::MemoryFootprint() const {
     bytes += StringHeapBytes(k) + StringHeapBytes(v);
   }
   bytes += HashMapBytes(pending_);
+  for (const auto& [rid, p] : pending_) {
+    bytes += p.tried_hops.capacity() * sizeof(NodeId);
+  }
+  bytes += HashMapBytes(send_loads_);
   bytes += protocol_handlers_.capacity() * sizeof(ProtocolHandler);
   return bytes;
 }

@@ -65,6 +65,14 @@ class PGridPeer : public NetworkNode {
     bool replicate_updates = true;
     /// Hard bound on forwarding chain length (loop safety net).
     int max_hops = 64;
+    /// Load-aware replica selection for fire-and-forget routed payloads
+    /// (Route / envelope forwarding — the RemoteScan/BoundScan read path):
+    /// instead of a uniform draw over the refs at the divergence level, pick
+    /// the one this peer has sent the fewest payloads to (ties by slot
+    /// order). Deterministic — no rng draw — and default-off, so disabled
+    /// runs consume exactly the HEAD random stream. Reliable Retrieve/Update
+    /// keep the randomized+failover discipline either way.
+    bool load_aware = false;
   };
 
   /// Successful lookup payload.
@@ -195,6 +203,10 @@ class PGridPeer : public NetworkNode {
     uint64_t retries = 0;
     /// Re-attempts triggered by a negative response (dead end / hop limit).
     uint64_t failovers = 0;
+    /// Application payloads delivered to this peer's extension handler
+    /// (routed envelopes, range showers, direct sends) — the per-peer
+    /// request-serving load the replica-imbalance measurements read.
+    uint64_t extension_deliveries = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -221,9 +233,11 @@ class PGridPeer : public NetworkNode {
     UpdateOp op = UpdateOp::kInsert;
     int attempts = 0;
     SimTime started = 0;
-    /// First hop of the latest attempt; the next attempt avoids it so
-    /// retries explore alternate routes (replica failover).
-    NodeId last_hop = kInvalidNode;
+    /// First hop of every attempt so far; a re-attempt avoids ALL of them
+    /// while untried alternatives exist (falling back to avoiding only the
+    /// most recent), so retries explore disjoint routes and a failover never
+    /// re-picks a replica that already timed out for this flight.
+    std::vector<NodeId> tried_hops;
     /// Operation span ("op.retrieve"/"op.update"/"op.remove") — the parent
     /// of every attempt's request flight span and retry/failover markers.
     TraceCtx span;
@@ -263,12 +277,24 @@ class PGridPeer : public NetworkNode {
   void HandleUpdateAck(const UpdateAck& ack);
   void HandleReplicaUpdate(const ReplicaUpdate& upd);
 
+  /// Picks the next hop for a fire-and-forget payload: least-loaded when
+  /// Options::load_aware, else one uniform draw (the HEAD behaviour).
+  /// Records the chosen hop in send_loads_ only in load-aware mode.
+  std::optional<NodeId> PayloadNextHop(const Key& key,
+                                       NodeId exclude = kInvalidNode);
+
   Simulator* sim_;
   Network* network_;
-  Rng rng_;
+  /// One machine word of generator state (see common/rng.h CompactRng) —
+  /// seeded from the Rng the constructor receives, so call sites are
+  /// unchanged while a bare peer sheds the 2.5 KB mt19937_64.
+  CompactRng rng_;
   Options options_;
   NodeId id_;
   RoutingTable routing_;
+  /// Payloads routed per destination ref — the state behind load-aware
+  /// selection. Empty (never touched) when Options::load_aware is off.
+  std::unordered_map<NodeId, uint64_t> send_loads_;
   std::multimap<Key, std::string> storage_;
   /// Exact (key, value) presence index: keeps InsertLocal's idempotence
   /// check O(log n) even when the order-preserving hash piles thousands of

@@ -33,8 +33,11 @@ struct RetryPolicy {
   /// Symmetric jitter fraction in [0, 1); 0 disables the Rng draw entirely.
   double jitter = 0.1;
 
-  /// Backed-off, jittered timeout for 1-based `attempt`.
-  SimTime TimeoutFor(int attempt, Rng* rng) const {
+  /// Backed-off, jittered timeout for 1-based `attempt`. Templated over the
+  /// generator: GridVinePeer jitters from its big Rng, overlay peers from
+  /// their CompactRng.
+  template <typename RngT>
+  SimTime TimeoutFor(int attempt, RngT* rng) const {
     double t = base_timeout;
     for (int i = 1; i < attempt && t < max_timeout; ++i) {
       t *= backoff_multiplier;

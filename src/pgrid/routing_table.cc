@@ -57,31 +57,6 @@ int RoutingTable::DivergenceLevel(const Key& key) const {
   return l;
 }
 
-std::optional<NodeId> RoutingTable::NextHop(const Key& key, Rng* rng,
-                                            NodeId exclude) const {
-  int l = DivergenceLevel(key);
-  if (l >= path_.length()) return std::nullopt;  // our subtree: local
-  const NodeId* block = LevelBlock(l);
-  const uint8_t count = counts_[static_cast<size_t>(l)];
-  if (count == 0) return std::nullopt;
-  // Prefer an alternative to `exclude` when one exists. Selection draws one
-  // uniform index over the candidate count and scans to it — the same single
-  // Rng draw (hence the same picks, seed for seed) as the old
-  // build-a-candidate-vector-and-PickOne, without the allocation.
-  uint8_t eligible = 0;
-  for (uint8_t i = 0; i < count; ++i) {
-    if (block[i] != exclude) ++eligible;
-  }
-  const bool filtered = eligible > 0;
-  const uint8_t n = filtered ? eligible : count;
-  auto pick = static_cast<uint8_t>(rng->UniformInt(0, int64_t(n) - 1));
-  for (uint8_t i = 0, seen = 0; i < count; ++i) {
-    if (filtered && block[i] == exclude) continue;
-    if (seen++ == pick) return block[i];
-  }
-  return block[count - 1];  // unreachable
-}
-
 void RoutingTable::AddReplica(NodeId id) {
   if (std::find(replicas_.begin(), replicas_.end(), id) == replicas_.end()) {
     replicas_.push_back(id);

@@ -8,6 +8,7 @@
 #include "common/trace.h"
 #include "query/exec/backend.h"
 #include "query/exec/plan.h"
+#include "query/planner.h"
 #include "query/query.h"
 #include "store/triple_store.h"
 
@@ -37,6 +38,7 @@ class ConjunctiveExecutor {
     uint64_t probe_rows = 0;  ///< binding rows pushed toward the data
     uint64_t scan_rows = 0;   ///< rows shipped back by full-extent scans
     uint64_t bound_rows = 0;  ///< rows shipped back by bind-joins
+    uint64_t reoptimizations = 0;  ///< mid-flight plan-suffix switches
     uint64_t RowsShipped() const { return probe_rows + scan_rows + bound_rows; }
   };
 
@@ -44,6 +46,10 @@ class ConjunctiveExecutor {
     Status status;
     std::vector<BindingSet> rows;
     Metrics metrics;
+    /// Observed full-extent cardinality per pattern index (parallel to the
+    /// query's patterns); -1 where no full scan of that pattern ran. The
+    /// issuer feeds these back into its statistics cache.
+    std::vector<double> observed_extents;
   };
   using DoneCallback = std::function<void(ExecResult)>;
 
@@ -64,6 +70,15 @@ class ConjunctiveExecutor {
   /// SetCallCtx so transport dispatches nest under it. Call before Run().
   void EnableTracing(Tracer* tracer, TraceCtx parent);
 
+  /// Arms mid-flight re-optimization: whenever a group's observed running
+  /// cardinality diverges from the plan's estimate by more than
+  /// `divergence_factor` (either direction), the group's unexecuted operator
+  /// suffix is re-planned (PlanGroupSuffix) against the observed cardinality
+  /// and spliced in. `plan_options` must carry the estimates the plan was
+  /// built from; a plan without est_cards (greedy) never re-optimizes. Call
+  /// before Run().
+  void EnableAdaptive(PlanOptions plan_options, double divergence_factor);
+
   const Metrics& metrics() const { return metrics_; }
 
  private:
@@ -79,6 +94,12 @@ class ConjunctiveExecutor {
     std::vector<BindingSet> pending;  ///< last scan's rows, pre-LocalJoin
     /// Bind-join bookkeeping: which acc rows each probe stands for.
     std::vector<std::vector<size_t>> probe_members;
+    /// Patterns of this group already folded into acc (adaptive divergence
+    /// checks index PlanGroup::est_cards with this).
+    size_t patterns_done = 0;
+    /// Pattern index of the scan currently in flight (observed-extent
+    /// feedback); kNoPattern when none.
+    size_t scan_pattern = PlanStep::kNoPattern;
     TraceCtx op_span;  ///< the operator currently waiting on the backend
   };
 
@@ -86,6 +107,10 @@ class ConjunctiveExecutor {
 
   /// Advances group `gi` until it blocks on a backend call or terminates.
   void StepGroup(size_t gi);
+  /// Adaptive path: compares group `gi`'s observed running cardinality with
+  /// the plan estimate and re-plans + splices the remaining operator suffix
+  /// on divergence. No-op unless EnableAdaptive was called.
+  void MaybeReplan(size_t gi);
   void OnScan(size_t gi, QueryBackend::ScanResult r);
   void OnBoundScan(size_t gi, QueryBackend::BoundScanResult r);
   void OnExists(size_t gi, Result<bool> r);
@@ -108,6 +133,11 @@ class ConjunctiveExecutor {
   DoneCallback done_;
   Tracer* tracer_ = nullptr;
   TraceCtx trace_parent_{};
+  bool adaptive_ = false;
+  PlanOptions adaptive_options_;
+  double divergence_ = 4.0;
+  /// Per-pattern observed full-scan cardinalities; -1 = not observed.
+  std::vector<double> observed_extents_;
 };
 
 }  // namespace gridvine

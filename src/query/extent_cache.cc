@@ -41,6 +41,7 @@ const ExtentCache::Extent* ExtentCache::Lookup(std::string_view pattern,
     return nullptr;
   }
   ++stats_.hits;
+  if (it->second.extent.row_count == 0) ++stats_.negative_hits;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   return &it->second.extent;
 }

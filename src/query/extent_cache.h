@@ -44,6 +44,10 @@ class ExtentCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;  ///< stale-version drops (also counted as misses)
+    /// Hits whose cached extent is empty (row_count == 0) — the negative
+    /// cache at work: a miss-shaped answer served without touching the
+    /// store. Subset of `hits`.
+    uint64_t negative_hits = 0;
   };
   /// A cached answer, exactly as it goes on the wire.
   struct Extent {

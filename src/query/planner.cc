@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <cstdint>
 #include <map>
 #include <numeric>
 #include <set>
@@ -60,6 +61,151 @@ std::vector<size_t> OrderComponent(const std::vector<TriplePattern>& patterns,
   return order;
 }
 
+/// The estimate for pattern `i`, or nullptr when absent/unknown.
+const PatternEstimate* EstOf(const PlanOptions& options, size_t i) {
+  if (i < options.estimates.size() && options.estimates[i].known) {
+    return &options.estimates[i];
+  }
+  return nullptr;
+}
+
+/// Distinct values the running join can present as probe keys into `p`:
+/// the largest distinct-count sketch among the pattern's already-bound
+/// variable positions. 1 when the pattern shares no bound variable (cross
+/// product — no key reduction).
+double JoinKeyDistinct(const TriplePattern& p, const PatternEstimate& e,
+                       const std::set<std::string>& bound_vars) {
+  double d = 1.0;
+  if (p.subject().IsVariable() && bound_vars.count(p.subject().value())) {
+    d = std::max(d, e.distinct_subjects);
+  }
+  if (p.object().IsVariable() && bound_vars.count(p.object().value())) {
+    d = std::max(d, e.distinct_objects);
+  }
+  return std::max(1.0, d);
+}
+
+struct CostChain {
+  std::vector<size_t> order;
+  std::vector<PlanStep> steps;
+  std::vector<double> est_cards;
+};
+
+/// Cost-based chain ordering, shared by PlanPhysical (have_prefix = false:
+/// the chain starts with a RemoteScan lead) and PlanGroupSuffix
+/// (have_prefix = true: every appended pattern extends an existing binding
+/// set). At each step the connected candidate with the smallest estimated
+/// resulting cardinality wins; candidates without an estimate rank after
+/// estimated ones by the greedy (PatternCost, index) key, so a stats
+/// blackout degrades to exactly the greedy choice among them.
+CostChain OrderComponentCost(const std::vector<TriplePattern>& patterns,
+                             std::vector<size_t> remaining,
+                             std::set<std::string> bound_vars,
+                             double prefix_card, bool have_prefix,
+                             const PlanOptions& options) {
+  CostChain out;
+  // Running cardinality estimate; < 0 while unknown (no estimated pattern
+  // consumed yet, or an unestimated pattern broke the chain).
+  double cur = have_prefix ? prefix_card : -1.0;
+  bool first = !have_prefix;
+  while (!remaining.empty()) {
+    // The chain's first pattern resolves as a full RemoteScan, which an
+    // unroutable pattern cannot serve — so the lead pick prefers routable
+    // candidates outright, whatever their estimates say.
+    const bool lead_pick = first && out.order.empty();
+    size_t best_slot = 0;
+    bool best_connected = false;
+    bool best_routable = false;
+    bool best_known = false;
+    double best_joined = 0;
+    int best_cls = INT_MAX;
+    size_t best_idx = SIZE_MAX;
+    bool have_best = false;
+    for (size_t slot = 0; slot < remaining.size(); ++slot) {
+      const size_t idx = remaining[slot];
+      const TriplePattern& p = patterns[idx];
+      bool connected = lead_pick;
+      for (const auto& var : p.Variables()) {
+        if (bound_vars.count(var)) connected = true;
+      }
+      const PatternEstimate* e = EstOf(options, idx);
+      bool known = e != nullptr;
+      double joined = 0;
+      if (known) {
+        joined = e->rows;
+        if (!lead_pick && cur >= 0) {
+          joined = cur * e->rows / JoinKeyDistinct(p, *e, bound_vars);
+        }
+      }
+      int cls = int(ClassifyPattern(p));
+      bool routable = cls != int(PatternCost::kUnroutable);
+      auto better = [&] {
+        if (connected != best_connected) return connected;
+        if (lead_pick && routable != best_routable) return routable;
+        if (known != best_known) return known;
+        if (known && best_known && joined != best_joined) {
+          return joined < best_joined;
+        }
+        if (cls != best_cls) return cls < best_cls;
+        return idx < best_idx;
+      };
+      if (!have_best || better()) {
+        have_best = true;
+        best_slot = slot;
+        best_connected = connected;
+        best_routable = routable;
+        best_known = known;
+        best_joined = joined;
+        best_cls = cls;
+        best_idx = idx;
+      }
+    }
+    const size_t chosen = remaining[best_slot];
+    remaining.erase(remaining.begin() + ptrdiff_t(best_slot));
+    const TriplePattern& p = patterns[chosen];
+    const PatternEstimate* e = EstOf(options, chosen);
+
+    const bool lead = first && out.order.empty();
+    if (lead) {
+      out.steps.push_back({OpKind::kRemoteScan, chosen});
+      out.steps.push_back({OpKind::kLocalJoin});
+    } else {
+      // Per-edge strategy: ship the running join's keys out and matches
+      // back (bind) vs ship the full extent (collect). An unroutable
+      // pattern can only be resolved with bound constants, so it always
+      // binds; without estimates the configured default applies.
+      bool can_collect = ClassifyPattern(p) != PatternCost::kUnroutable;
+      bool bind = options.bind_join;
+      if (bind && can_collect && e != nullptr && cur >= 0) {
+        double probes = std::min(cur, JoinKeyDistinct(p, *e, bound_vars));
+        double joined = cur * e->rows / JoinKeyDistinct(p, *e, bound_vars);
+        bind = probes + joined <= e->rows;
+      }
+      if (!can_collect) bind = true;
+      if (bind) {
+        out.steps.push_back({OpKind::kBindJoin, chosen});
+      } else {
+        out.steps.push_back({OpKind::kRemoteScan, chosen});
+        out.steps.push_back({OpKind::kLocalJoin});
+      }
+    }
+
+    if (e != nullptr) {
+      if (lead || cur < 0) {
+        cur = e->rows;
+      } else {
+        cur = cur * e->rows / JoinKeyDistinct(p, *e, bound_vars);
+      }
+    } else {
+      cur = -1.0;  // estimate chain broken
+    }
+    out.order.push_back(chosen);
+    out.est_cards.push_back(cur >= 0 ? cur : 0.0);
+    for (const auto& var : p.Variables()) bound_vars.insert(var);
+  }
+  return out;
+}
+
 }  // namespace
 
 PhysicalPlan PlanPhysical(const ConjunctiveQuery& query,
@@ -91,13 +237,28 @@ PhysicalPlan PlanPhysical(const ConjunctiveQuery& query,
 
   struct Ranked {
     std::vector<size_t> order;
+    /// Non-empty only on the cost-based path: the chain's operator steps
+    /// and running cardinality estimates, computed alongside the order.
+    std::vector<PlanStep> steps;
+    std::vector<double> est_cards;
     int lead_cost;
     size_t lead_index;
   };
+  const bool cost_based = !options.estimates.empty();
   std::vector<Ranked> ranked;
   for (auto& [root, members] : components) {
     Ranked r;
-    r.order = OrderComponent(patterns, std::move(members));
+    const bool constant_only =
+        members.size() == 1 && patterns[members[0]].Variables().empty();
+    if (cost_based && !constant_only) {
+      CostChain chain = OrderComponentCost(patterns, std::move(members), {},
+                                           0, /*have_prefix=*/false, options);
+      r.order = std::move(chain.order);
+      r.steps = std::move(chain.steps);
+      r.est_cards = std::move(chain.est_cards);
+    } else {
+      r.order = OrderComponent(patterns, std::move(members));
+    }
     r.lead_cost = int(ClassifyPattern(patterns[r.order[0]]));
     r.lead_index = r.order[0];
     ranked.push_back(std::move(r));
@@ -113,9 +274,12 @@ PhysicalPlan PlanPhysical(const ConjunctiveQuery& query,
   for (Ranked& r : ranked) {
     PlanGroup g;
     g.patterns = std::move(r.order);
+    g.est_cards = std::move(r.est_cards);
     const size_t lead = g.patterns[0];
     if (g.patterns.size() == 1 && patterns[lead].Variables().empty()) {
       g.steps.push_back({OpKind::kExistenceCheck, lead});
+    } else if (!r.steps.empty()) {
+      g.steps = std::move(r.steps);
     } else {
       g.steps.push_back({OpKind::kRemoteScan, lead});
       g.steps.push_back({OpKind::kLocalJoin});
@@ -140,6 +304,26 @@ PhysicalPlan PlanPhysical(const ConjunctiveQuery& query,
 
 std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query) {
   return PlanPhysical(query).Order();
+}
+
+GroupSuffix PlanGroupSuffix(const ConjunctiveQuery& query,
+                            const std::vector<size_t>& consumed,
+                            const std::vector<size_t>& remaining,
+                            double prefix_card, const PlanOptions& options) {
+  std::set<std::string> bound_vars;
+  for (size_t idx : consumed) {
+    for (const auto& var : query.patterns()[idx].Variables()) {
+      bound_vars.insert(var);
+    }
+  }
+  CostChain chain =
+      OrderComponentCost(query.patterns(), remaining, std::move(bound_vars),
+                         prefix_card, /*have_prefix=*/true, options);
+  GroupSuffix suffix;
+  suffix.patterns = std::move(chain.order);
+  suffix.steps = std::move(chain.steps);
+  suffix.est_cards = std::move(chain.est_cards);
+  return suffix;
 }
 
 }  // namespace gridvine

@@ -5,6 +5,7 @@
 
 #include "query/exec/plan.h"
 #include "query/query.h"
+#include "query/stats/sketch.h"
 
 namespace gridvine {
 
@@ -31,6 +32,14 @@ struct PlanOptions {
   /// every pattern is fetched in full and joined at the issuer
   /// (kRemoteScan + kLocalJoin — the collect-then-join baseline).
   bool bind_join = true;
+  /// Per-pattern cardinality estimates, parallel to query.patterns(). Empty
+  /// (the default) selects the legacy greedy planner — plans byte-identical
+  /// to before statistics existed. Non-empty switches group ordering to the
+  /// cost model: patterns are chained by estimated running join cardinality
+  /// and each post-lead edge picks bind-join vs collect from estimated
+  /// probe/extent row counts. Patterns whose estimate is !known fall back to
+  /// the greedy (PatternCost, index) rank within the cost ordering.
+  std::vector<PatternEstimate> estimates;
 };
 
 /// Builds the physical plan for a conjunctive query: patterns are split into
@@ -51,6 +60,26 @@ PhysicalPlan PlanPhysical(const ConjunctiveQuery& query,
 /// running join bounded instead of building cross products). Returns indexes
 /// into `query.patterns()`. Equivalent to PlanPhysical(query).Order().
 std::vector<size_t> PlanConjunctive(const ConjunctiveQuery& query);
+
+/// A re-planned continuation of one group's operator chain, produced when
+/// the adaptive executor observes a cardinality far from the estimate: the
+/// remaining patterns re-ordered by the cost model against the *observed*
+/// prefix cardinality, with fresh per-edge bind/collect choices.
+struct GroupSuffix {
+  std::vector<size_t> patterns;
+  std::vector<PlanStep> steps;
+  std::vector<double> est_cards;
+};
+
+/// Re-plans the unexecuted tail of a group. `consumed` are the group's
+/// already-executed pattern indexes (their variables are bound),
+/// `remaining` the unexecuted ones, `prefix_card` the observed cardinality
+/// of the running binding set. Deterministic: equal inputs give equal
+/// suffixes.
+GroupSuffix PlanGroupSuffix(const ConjunctiveQuery& query,
+                            const std::vector<size_t>& consumed,
+                            const std::vector<size_t>& remaining,
+                            double prefix_card, const PlanOptions& options);
 
 }  // namespace gridvine
 

@@ -1,0 +1,211 @@
+#include "query/stats/sketch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/mem_estimate.h"
+
+namespace gridvine {
+
+// --- KmvSketch ----------------------------------------------------------------------
+
+void KmvSketch::Add(uint64_t hash) {
+  if (mins_.size() < k_) {
+    mins_.insert(hash);
+    return;
+  }
+  auto last = std::prev(mins_.end());
+  if (hash >= *last) return;
+  if (mins_.insert(hash).second) mins_.erase(std::prev(mins_.end()));
+}
+
+// The k-minimum order statistic reads the hash as a uniform 64-bit value, so
+// FNV's weakly-avalanched raw bits must go through the finalizer first.
+void KmvSketch::AddString(std::string_view value) {
+  Add(Mix64(Fnv1a64(value)));
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  for (uint64_t h : other.mins_) Add(h);
+}
+
+double KmvSketch::Estimate() const {
+  if (mins_.size() < k_) return double(mins_.size());
+  // k-th smallest normalized to (0, 1]; +1 avoids a zero divisor when the
+  // hash 0 itself was retained.
+  double u_k = (double(*std::prev(mins_.end())) + 1.0) / 18446744073709551616.0;
+  return double(k_ - 1) / u_k;
+}
+
+std::string KmvSketch::Serialize() const {
+  std::ostringstream os;
+  os << k_ << ':';
+  bool first = true;
+  for (uint64_t h : mins_) {
+    if (!first) os << ',';
+    os << h;
+    first = false;
+  }
+  return os.str();
+}
+
+Result<KmvSketch> KmvSketch::Parse(const std::string& data) {
+  size_t colon = data.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("kmv: missing k");
+  }
+  size_t k = std::strtoull(data.c_str(), nullptr, 10);
+  if (k == 0) return Status::InvalidArgument("kmv: k must be positive");
+  KmvSketch sketch(k);
+  size_t pos = colon + 1;
+  while (pos < data.size()) {
+    size_t end = data.find(',', pos);
+    if (end == std::string::npos) end = data.size();
+    sketch.Add(std::strtoull(data.c_str() + pos, nullptr, 10));
+    pos = end + 1;
+  }
+  return sketch;
+}
+
+// --- StoreSketch --------------------------------------------------------------------
+
+StoreSketch StoreSketch::Build(const TripleStore& store) {
+  StoreSketch sketch;
+  sketch.built_version_ = store.version();
+  for (const Triple& t : store.All()) {
+    ++sketch.total_rows_;
+    uint64_t sh = Mix64(Fnv1a64(t.subject().value()));
+    uint64_t oh = Mix64(Fnv1a64(t.object().value()));
+    sketch.subjects_.Add(sh);
+    sketch.objects_.Add(oh);
+    PredicateSummary& ps = sketch.by_predicate_[t.predicate().value()];
+    ++ps.rows;
+    ps.subjects.Add(sh);
+    ps.objects.Add(oh);
+  }
+  return sketch;
+}
+
+PatternEstimate StoreSketch::EstimatePattern(const TriplePattern& pattern) const {
+  PatternEstimate e;
+  const Term& object = pattern.object();
+  // A '%' wildcard object is neither an exact key nor summarized by value
+  // order; the planner falls back to the greedy rank for such patterns.
+  if (object.IsLiteral() && !pattern.IsExactConstant(TriplePos::kObject)) {
+    return e;
+  }
+
+  double rows = double(total_rows_);
+  double ds = std::max(1.0, subjects_.Estimate());
+  double dobj = std::max(1.0, objects_.Estimate());
+  if (pattern.IsExactConstant(TriplePos::kPredicate)) {
+    auto it = by_predicate_.find(pattern.predicate().value());
+    if (it == by_predicate_.end()) {
+      // The slice holds nothing under this predicate.
+      e.known = true;
+      e.distinct_subjects = 1;
+      e.distinct_objects = 1;
+      return e;
+    }
+    rows = double(it->second.rows);
+    ds = std::max(1.0, it->second.subjects.Estimate());
+    dobj = std::max(1.0, it->second.objects.Estimate());
+  }
+  if (pattern.IsExactConstant(TriplePos::kSubject)) rows /= ds;
+  if (pattern.IsExactConstant(TriplePos::kObject)) rows /= dobj;
+
+  e.known = true;
+  e.rows = rows;
+  e.distinct_subjects = ds;
+  e.distinct_objects = dobj;
+  return e;
+}
+
+namespace {
+constexpr char kSep = '\x1f';
+constexpr const char* kMagic = "GVSK1";
+}  // namespace
+
+std::string StoreSketch::Serialize() const {
+  std::ostringstream os;
+  os << kMagic << kSep << total_rows_ << kSep << built_version_ << kSep
+     << subjects_.Serialize() << kSep << objects_.Serialize() << kSep
+     << by_predicate_.size();
+  for (const auto& [uri, ps] : by_predicate_) {
+    // Length-prefixed URI: predicates are free-form strings on the wire.
+    os << kSep << uri.size() << ':' << uri << kSep << ps.rows << kSep
+       << ps.subjects.Serialize() << kSep << ps.objects.Serialize();
+  }
+  return os.str();
+}
+
+Result<StoreSketch> StoreSketch::Parse(const std::string& data) {
+  size_t pos = 0;
+  auto next = [&](std::string* out) -> bool {
+    if (pos > data.size()) return false;
+    size_t end = data.find(kSep, pos);
+    if (end == std::string::npos) end = data.size();
+    out->assign(data, pos, end - pos);
+    pos = end + 1;
+    return true;
+  };
+  std::string field;
+  if (!next(&field) || field != kMagic) {
+    return Status::InvalidArgument("sketch: bad magic");
+  }
+  StoreSketch sketch;
+  if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+  sketch.total_rows_ = std::strtoull(field.c_str(), nullptr, 10);
+  if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+  sketch.built_version_ = std::strtoull(field.c_str(), nullptr, 10);
+  if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+  auto subjects = KmvSketch::Parse(field);
+  if (!subjects.ok()) return subjects.status();
+  sketch.subjects_ = std::move(subjects).value();
+  if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+  auto objects = KmvSketch::Parse(field);
+  if (!objects.ok()) return objects.status();
+  sketch.objects_ = std::move(objects).value();
+  if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+  size_t npred = std::strtoull(field.c_str(), nullptr, 10);
+  for (size_t i = 0; i < npred; ++i) {
+    // "<len>:<uri>" — the URI may contain the field separator.
+    size_t colon = data.find(':', pos);
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("sketch: bad predicate length");
+    }
+    size_t len = std::strtoull(data.c_str() + pos, nullptr, 10);
+    if (colon + 1 + len > data.size()) {
+      return Status::InvalidArgument("sketch: predicate overruns payload");
+    }
+    std::string uri = data.substr(colon + 1, len);
+    pos = colon + 1 + len + 1;  // skip the separator after the URI
+    PredicateSummary ps;
+    if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+    ps.rows = std::strtoull(field.c_str(), nullptr, 10);
+    if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+    auto subj = KmvSketch::Parse(field);
+    if (!subj.ok()) return subj.status();
+    ps.subjects = std::move(subj).value();
+    if (!next(&field)) return Status::InvalidArgument("sketch: truncated");
+    auto obj = KmvSketch::Parse(field);
+    if (!obj.ok()) return obj.status();
+    ps.objects = std::move(obj).value();
+    sketch.by_predicate_.emplace(std::move(uri), std::move(ps));
+  }
+  return sketch;
+}
+
+size_t StoreSketch::MemoryFootprint() const {
+  size_t bytes = sizeof(StoreSketch);
+  for (const auto& [uri, ps] : by_predicate_) {
+    bytes += uri.capacity() + sizeof(PredicateSummary) +
+             (ps.subjects.size() + ps.objects.size()) * 3 * sizeof(uint64_t);
+  }
+  bytes += (subjects_.size() + objects_.size()) * 3 * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace gridvine

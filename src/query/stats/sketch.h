@@ -1,0 +1,110 @@
+#ifndef GRIDVINE_QUERY_STATS_SKETCH_H_
+#define GRIDVINE_QUERY_STATS_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "rdf/triple_pattern.h"
+#include "store/triple_store.h"
+
+namespace gridvine {
+
+/// Cardinality estimate for one triple pattern against one peer's store
+/// slice, produced by StoreSketch::EstimatePattern and consumed by the
+/// cost-based planner. `known == false` means no statistics were available
+/// (region never answered, sketch too stale, or the pattern is a range the
+/// sketch cannot bound) — the planner degrades to the greedy heuristic for
+/// such patterns.
+struct PatternEstimate {
+  bool known = false;
+  /// Estimated extent cardinality (rows a full RemoteScan would ship).
+  double rows = 0;
+  /// Estimated distinct subjects/objects in the pattern's slice — the join
+  /// key cardinalities the planner divides by.
+  double distinct_subjects = 0;
+  double distinct_objects = 0;
+};
+
+/// K-minimum-values distinct counter: keeps the k smallest 64-bit hashes
+/// seen; the k-th smallest, normalized to (0, 1], estimates the distinct
+/// count as (k - 1) / u_(k). Exact below k distinct values, ~12% standard
+/// error at k = 64 — plenty for join-order decisions. Deterministic
+/// (finalizer-mixed FNV-1a hashing, no randomness), so same data -> same
+/// sketch bytes everywhere.
+class KmvSketch {
+ public:
+  static constexpr size_t kDefaultK = 64;
+
+  explicit KmvSketch(size_t k = kDefaultK) : k_(k) {}
+
+  void Add(uint64_t hash);
+  void AddString(std::string_view value);
+  void Merge(const KmvSketch& other);
+
+  /// Estimated distinct count (exact while fewer than k values were seen).
+  double Estimate() const;
+
+  size_t k() const { return k_; }
+  size_t size() const { return mins_.size(); }
+
+  /// "k:v1,v2,..." with the retained hashes in ascending order.
+  std::string Serialize() const;
+  static Result<KmvSketch> Parse(const std::string& data);
+
+  bool operator==(const KmvSketch& other) const {
+    return k_ == other.k_ && mins_ == other.mins_;
+  }
+
+ private:
+  size_t k_;
+  std::set<uint64_t> mins_;  ///< at most k_ smallest distinct hashes
+};
+
+/// Per-predicate slice summary: extent size plus the join-key sketches.
+struct PredicateSummary {
+  uint64_t rows = 0;
+  KmvSketch subjects;
+  KmvSketch objects;
+};
+
+/// One peer's statistics over its TripleStore slice: total rows, overall
+/// distinct-subject/object sketches, and a per-predicate selectivity
+/// summary. Versioned with TripleStore::version() so the responder rebuilds
+/// lazily (one integer compare per StatsRequest) and issuers can judge
+/// staleness; shipped over the wire inside a StatsRecord.
+class StoreSketch {
+ public:
+  StoreSketch() = default;
+
+  /// Builds the sketch from the store's current content, stamped with its
+  /// version. O(rows); the responder amortizes it across version epochs.
+  static StoreSketch Build(const TripleStore& store);
+
+  uint64_t total_rows() const { return total_rows_; }
+  uint64_t built_version() const { return built_version_; }
+
+  /// Estimates the pattern's extent against this slice. Exact-constant
+  /// positions divide by the matching distinct-count sketch; a '%' range
+  /// object returns known == false (the sketch keeps no value order).
+  PatternEstimate EstimatePattern(const TriplePattern& pattern) const;
+
+  std::string Serialize() const;
+  static Result<StoreSketch> Parse(const std::string& data);
+
+  size_t MemoryFootprint() const;
+
+ private:
+  uint64_t total_rows_ = 0;
+  uint64_t built_version_ = 0;
+  KmvSketch subjects_{KmvSketch::kDefaultK};
+  KmvSketch objects_{KmvSketch::kDefaultK};
+  /// Ordered by predicate URI so serialization is canonical.
+  std::map<std::string, PredicateSummary> by_predicate_;
+};
+
+}  // namespace gridvine
+
+#endif  // GRIDVINE_QUERY_STATS_SKETCH_H_

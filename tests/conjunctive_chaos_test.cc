@@ -83,6 +83,11 @@ struct ChaosConfig {
   /// an acceptable terminal status (bounded queue, bursty arrivals).
   bool serving = false;
   int burst = 1;
+  /// Statistics + adaptive execution mode: every peer fetches sketches
+  /// before planning and re-optimizes mid-flight. Under loss, StatsRecords
+  /// go missing and sketches go stale — planning must degrade to the greedy
+  /// rank, never produce wrong answers or leak prefetch state.
+  bool stats = false;
 };
 
 void RunConjunctiveChaos(const ChaosConfig& cfg) {
@@ -99,6 +104,12 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
     options.peer.service.enabled = true;
     options.peer.frontend.max_concurrent = 2;
     options.peer.frontend.max_queue = 4;
+  }
+  if (cfg.stats) {
+    options.peer.stats.enabled = true;
+    options.peer.stats.ttl = 20.0;  // sketches go stale mid-run
+    options.peer.stats.fetch_timeout = 1.0;
+    options.peer.stats.divergence = 2.0;  // re-optimize aggressively
   }
   GridVineNetwork net(options);
 
@@ -202,6 +213,22 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
     EXPECT_EQ(net.peer(p)->PendingQueryCount(), 0u) << "peer " << p;
   }
 
+  if (cfg.stats) {
+    // The statistics layer actually engaged under fire: sketches were
+    // fetched and served, and no prefetch is left waiting once the heap
+    // drained (a lost StatsRecord must be written off at the fetch timeout,
+    // not strand its query).
+    uint64_t fetches = 0, served = 0;
+    for (size_t p = 0; p < net.size(); ++p) {
+      MetricsRegistry mr;
+      net.peer(p)->PublishMetrics(&mr);
+      fetches += uint64_t(mr.Counter("gv.stats.fetches"));
+      served += uint64_t(mr.Counter("gv.stats.served"));
+    }
+    EXPECT_GT(fetches, 0u);
+    EXPECT_GT(served, 0u);
+  }
+
   if (cfg.serving) {
     // The serving stack actually engaged under fire: the cache saw traffic
     // and the data churn invalidated stale extents instead of serving them.
@@ -267,6 +294,73 @@ TEST(ConjunctiveChaosTest, FlashCrowdServing) {
   cfg.serving = true;
   cfg.burst = 3;
   RunConjunctiveChaos(cfg);
+}
+
+TEST(ConjunctiveChaosTest, StatsAdaptiveUnderLossAndChurn) {
+  // Distributed statistics + adaptive execution under the full chaos stack:
+  // sketch fetches are single-attempt, so the loss bursts routinely kill
+  // StatsRecords and whole prefetch waves must degrade to greedy planning
+  // at the fetch timeout. The drain contract and wire invariants must hold
+  // with the two new message types in play.
+  ChaosConfig cfg;
+  cfg.name = "stats-adaptive";
+  cfg.seed = 47;
+  cfg.loss = 0.10;
+  cfg.loss_bursts = 2;
+  cfg.duplicate_probability = 0.05;
+  cfg.churn = true;
+  cfg.stats = true;
+  RunConjunctiveChaos(cfg);
+}
+
+/// Network-level differential: cost-based/adaptive execution must return
+/// exactly the rows greedy planning returns — statistics change shipping
+/// costs, never answers. The stats deployment issues each query twice (the
+/// first run's prefetch warms the sketch cache, the second plans cost-based
+/// with observed-cardinality overrides in place).
+TEST(ConjunctiveDifferentialTest, CostBasedMatchesGreedyRows) {
+  for (uint64_t seed : {7u, 21u}) {
+    GridVineNetwork::Options greedy_opts;
+    greedy_opts.num_peers = 16;
+    greedy_opts.key_depth = 12;
+    greedy_opts.seed = seed;
+    GridVineNetwork greedy_net(greedy_opts);
+    ASSERT_TRUE(greedy_net.InsertTriples(0, MakeTriples(seed, 30)).ok());
+    greedy_net.Settle();
+
+    GridVineNetwork::Options stats_opts = greedy_opts;
+    stats_opts.peer.stats.enabled = true;
+    stats_opts.peer.stats.divergence = 2.0;
+    GridVineNetwork stats_net(stats_opts);
+    ASSERT_TRUE(stats_net.InsertTriples(0, MakeTriples(seed, 30)).ok());
+    stats_net.Settle();
+
+    size_t nonempty = 0;
+    for (const auto& q : MakeQueries()) {
+      auto greedy = greedy_net.SearchForConjunctive(1, q);
+      ASSERT_TRUE(greedy.status.ok()) << q.ToString();
+      std::set<std::string> greedy_rows;
+      for (const auto& row : greedy.rows)
+        greedy_rows.insert(SerializeBindings({row}));
+
+      for (int run = 0; run < 2; ++run) {
+        auto cost = stats_net.SearchForConjunctive(1, q);
+        ASSERT_TRUE(cost.status.ok()) << q.ToString() << " run " << run;
+        std::set<std::string> cost_rows;
+        for (const auto& row : cost.rows)
+          cost_rows.insert(SerializeBindings({row}));
+        EXPECT_EQ(cost_rows, greedy_rows)
+            << "seed=" << seed << " run=" << run << " " << q.ToString();
+      }
+      if (!greedy.rows.empty()) ++nonempty;
+    }
+    EXPECT_GT(nonempty, 0u);
+    // The second runs actually planned on statistics.
+    const StatsCache* sc = stats_net.peer(1)->stats_cache();
+    ASSERT_NE(sc, nullptr);
+    EXPECT_GT(sc->stats().refreshes, 0u);
+    EXPECT_GT(sc->stats().hits, 0u);
+  }
 }
 
 /// Continuous self-organization layered over the full chaos stack: loss

@@ -33,6 +33,28 @@ TEST(ExtentCacheTest, HitAfterInsert) {
   EXPECT_EQ(cache.stats().misses, 0u);
 }
 
+TEST(ExtentCacheTest, NegativeHitsCountEmptyExtents) {
+  // Cached empty extents are the cheap "this peer has nothing for you"
+  // answers; they get their own counter so operators can tell how much of
+  // the hit rate is negative caching.
+  ExtentCache cache;
+  cache.Insert("empty", "", 1, Rows("", 0));
+  cache.Insert("full", "", 1, Rows("row-data", 2));
+  ASSERT_NE(cache.Lookup("empty", "", 1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+  // A hit on a non-empty extent bumps hits only.
+  ASSERT_NE(cache.Lookup("full", "", 1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+  // Misses never count as negative hits.
+  EXPECT_EQ(cache.Lookup("absent", "", 1), nullptr);
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+  // Repeated empty hits keep counting.
+  ASSERT_NE(cache.Lookup("empty", "", 1), nullptr);
+  EXPECT_EQ(cache.stats().negative_hits, 2u);
+}
+
 TEST(ExtentCacheTest, MissOnUnknownKeyAndDistinctProbes) {
   ExtentCache cache;
   cache.Insert("p1", "probes-a", 1, Rows("a", 1));

@@ -186,7 +186,10 @@ TEST(SelforgSoakTest, OrganizesUnderLossAndChurn) {
     EXPECT_FALSE(out.erroneous_active) << out.fingerprint;
     // The evolution (every attribute renamed) severed all of schema 2's
     // mappings: repair deprecated them and re-derivation replaced them...
-    EXPECT_GE(out.total_stale_deprecated, 1u) << out.fingerprint;
+    // The severing is asserted on end-state for the same reason as the
+    // erroneous catch: the per-round stale counter undercounts whenever a
+    // deprecation push lands while its ack times out.
+    EXPECT_TRUE(out.stale_severed) << out.fingerprint;
     EXPECT_GT(out.total_created, 0u) << out.fingerprint;
     EXPECT_TRUE(out.evolved_relinked) << out.fingerprint;
     // ...interoperability recovered in the quiet tail...

@@ -165,5 +165,122 @@ TEST(PlanPhysicalTest, DeterministicAcrossRepeatedRuns) {
   }
 }
 
+// --- Cost-based planning (PlanOptions::estimates) ---------------------------
+
+PatternEstimate Est(double rows, double ds, double dobj) {
+  PatternEstimate e;
+  e.known = true;
+  e.rows = rows;
+  e.distinct_subjects = ds;
+  e.distinct_objects = dobj;
+  return e;
+}
+
+TEST(CostPlannerTest, AllUnknownEstimatesMatchGreedyPlan) {
+  // Differential guarantee: estimates that carry no information must produce
+  // the greedy plan verbatim (same orders, same operator chains).
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Var("x"), Term::Uri("p1"), Term::Var("o")),
+       P(Term::Uri("s"), Term::Uri("p2"), Term::Var("x")),
+       P(Term::Var("x"), Term::Uri("p3"), Term::Literal("v"))});
+  PhysicalPlan greedy = PlanPhysical(q);
+  PlanOptions unknown;
+  unknown.estimates.resize(q.patterns().size());  // all !known
+  PhysicalPlan cost = PlanPhysical(q, unknown);
+  EXPECT_EQ(cost.ToString(), greedy.ToString());
+  EXPECT_EQ(cost.Order(), greedy.Order());
+}
+
+TEST(CostPlannerTest, SmallestEstimatedExtentLeads) {
+  // Greedy ranks the exact-subject pattern first; the estimates say its
+  // extent is three orders of magnitude larger, so the cost model flips the
+  // order and records its running cardinalities.
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Var("x"), Term::Uri("p0"), Term::Var("o")),   // predicate class
+       P(Term::Uri("s"), Term::Uri("p1"), Term::Var("x"))}); // subject class
+  EXPECT_EQ(PlanPhysical(q).Order(), (std::vector<size_t>{1, 0}));
+
+  PlanOptions opts;
+  opts.estimates = {Est(2, 2, 2), Est(1000, 500, 500)};
+  PhysicalPlan plan = PlanPhysical(q, opts);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].patterns, (std::vector<size_t>{0, 1}));
+  ASSERT_EQ(plan.groups[0].est_cards.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.groups[0].est_cards[0], 2.0);
+  EXPECT_DOUBLE_EQ(plan.groups[0].est_cards[1], 2.0 * 1000 / 500);
+}
+
+TEST(CostPlannerTest, EdgePicksBindOrCollectFromEstimates) {
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Uri("s"), Term::Uri("p0"), Term::Var("x")),
+       P(Term::Var("x"), Term::Uri("p1"), Term::Var("o"))});
+
+  // The edge extent fans out hard (one distinct subject feeding the join):
+  // the bound side of the bind-join would ship ~500 result rows back where
+  // collecting the raw 100-row extent ships it once — the edge collects
+  // despite bind_join = true.
+  PlanOptions collect_wins;
+  collect_wins.estimates = {Est(5, 5, 5), Est(100, 1, 100)};
+  PhysicalPlan coll = PlanPhysical(q, collect_wins);
+  ASSERT_EQ(coll.groups.size(), 1u);
+  ASSERT_EQ(coll.groups[0].steps.size(), 4u);
+  EXPECT_EQ(coll.groups[0].steps[2].kind, OpKind::kRemoteScan);
+  EXPECT_EQ(coll.groups[0].steps[2].pattern, 1u);
+  EXPECT_EQ(coll.groups[0].steps[3].kind, OpKind::kLocalJoin);
+
+  // Small running join against a huge extent: bind-join pushdown stays.
+  PlanOptions bind_wins;
+  bind_wins.estimates = {Est(10, 1, 10), Est(10000, 10000, 10000)};
+  PhysicalPlan bind = PlanPhysical(q, bind_wins);
+  ASSERT_EQ(bind.groups[0].steps.size(), 3u);
+  EXPECT_EQ(bind.groups[0].steps[2].kind, OpKind::kBindJoin);
+  EXPECT_EQ(bind.groups[0].steps[2].pattern, 1u);
+}
+
+TEST(CostPlannerTest, UnroutablePatternAlwaysBinds) {
+  // A RemoteScan of an unroutable pattern resolves no rows, so even when
+  // the cost model would prefer collecting its (tiny) extent, the edge must
+  // stay a bind-join.
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Uri("s"), Term::Uri("p0"), Term::Var("x")),
+       P(Term::Var("x"), Term::Var("p"), Term::Var("o"))});
+  PlanOptions opts;
+  opts.estimates = {Est(1000, 1, 1000), Est(5, 5, 5)};
+  PhysicalPlan plan = PlanPhysical(q, opts);
+  ASSERT_EQ(plan.groups.size(), 1u);
+  ASSERT_EQ(plan.groups[0].steps.size(), 3u);
+  EXPECT_EQ(plan.groups[0].steps[2].kind, OpKind::kBindJoin);
+  EXPECT_EQ(plan.groups[0].steps[2].pattern, 1u);
+}
+
+TEST(CostPlannerTest, GroupSuffixDeterministicAndOrdersByObservedCard) {
+  ConjunctiveQuery q(
+      {"x"},
+      {P(Term::Uri("s"), Term::Uri("p0"), Term::Var("x")),
+       P(Term::Var("x"), Term::Uri("p1"), Term::Var("o")),
+       P(Term::Var("x"), Term::Uri("p2"), Term::Var("o2"))});
+  PlanOptions opts;
+  opts.estimates = {Est(10, 1, 10), Est(500, 100, 100), Est(20, 20, 20)};
+
+  GroupSuffix s1 = PlanGroupSuffix(q, {0}, {1, 2}, /*prefix_card=*/8, opts);
+  GroupSuffix s2 = PlanGroupSuffix(q, {0}, {1, 2}, /*prefix_card=*/8, opts);
+  ASSERT_EQ(s1.patterns.size(), 2u);
+  // The smaller joined cardinality (pattern 2) extends the prefix first.
+  EXPECT_EQ(s1.patterns[0], 2u);
+  EXPECT_EQ(s1.patterns[1], 1u);
+  // Equal inputs -> equal suffixes (the adaptive splice must be replayable).
+  EXPECT_EQ(s1.patterns, s2.patterns);
+  EXPECT_EQ(s1.est_cards, s2.est_cards);
+  ASSERT_EQ(s1.steps.size(), s2.steps.size());
+  for (size_t i = 0; i < s1.steps.size(); ++i) {
+    EXPECT_EQ(s1.steps[i].kind, s2.steps[i].kind);
+    EXPECT_EQ(s1.steps[i].pattern, s2.steps[i].pattern);
+  }
+}
+
 }  // namespace
 }  // namespace gridvine

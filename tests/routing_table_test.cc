@@ -96,6 +96,68 @@ TEST(RoutingTableTest, NextHopAvoidsExcludedWhenPossible) {
   EXPECT_EQ(*hop, 1u);
 }
 
+TEST(RoutingTableTest, NextHopAvoidingSkipsWholeTriedSet) {
+  RoutingTable rt(4);
+  rt.SetPath(K("0"));
+  rt.AddRef(0, 1);
+  rt.AddRef(0, 2);
+  rt.AddRef(0, 3);
+  Rng rng(1);
+  // With two hops already tried, every retry must land on the one survivor —
+  // the single-exclude behaviour would happily re-pick `tried[0]`.
+  const NodeId tried[] = {1, 3};
+  for (int i = 0; i < 20; ++i) {
+    auto hop = rt.NextHopAvoiding(K("1"), &rng, tried, 2);
+    ASSERT_TRUE(hop.has_value());
+    EXPECT_EQ(*hop, 2u);
+  }
+  // All refs tried: falls back to avoiding only the most recent attempt.
+  const NodeId all_tried[] = {1, 2, 3};
+  for (int i = 0; i < 20; ++i) {
+    auto hop = rt.NextHopAvoiding(K("1"), &rng, all_tried, 3);
+    ASSERT_TRUE(hop.has_value());
+    EXPECT_NE(*hop, 3u);
+  }
+  // Single ref, already tried: still returns it rather than stalling.
+  RoutingTable rt2(4);
+  rt2.SetPath(K("0"));
+  rt2.AddRef(0, 5);
+  const NodeId tried5[] = {5};
+  auto hop = rt2.NextHopAvoiding(K("1"), &rng, tried5, 1);
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(*hop, 5u);
+}
+
+TEST(RoutingTableTest, NextHopAvoidingMatchesNextHopForOneExclude) {
+  // Draw-for-draw parity with single-exclude NextHop when |tried| <= 1, so
+  // enabling the failover path does not perturb seeded runs that never retry
+  // more than once.
+  RoutingTable a(4), b(4);
+  for (RoutingTable* rt : {&a, &b}) {
+    rt->SetPath(K("0101"));
+    rt->AddRef(0, 1);
+    rt->AddRef(0, 2);
+    rt->AddRef(0, 3);
+    rt->AddRef(2, 7);
+  }
+  Rng ra(99), rb(99);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId ex = NodeId(i % 4);  // cycles through refs and a non-ref
+    auto ha = a.NextHop(K("1111"), &ra, ex);
+    auto hb = b.NextHopAvoiding(K("1111"), &rb, &ex, 1);
+    ASSERT_TRUE(ha.has_value());
+    ASSERT_TRUE(hb.has_value());
+    EXPECT_EQ(*ha, *hb) << "i=" << i;
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto ha = a.NextHop(K("1111"), &ra);
+    auto hb = b.NextHopAvoiding(K("1111"), &rb, nullptr, 0);
+    ASSERT_TRUE(ha.has_value());
+    ASSERT_TRUE(hb.has_value());
+    EXPECT_EQ(*ha, *hb) << "i=" << i;
+  }
+}
+
 /// Reference model of the pre-flattening layout (one vector per level) used
 /// to differentially test the contiguous-block implementation under random
 /// operation sequences.

@@ -76,6 +76,11 @@ struct SelforgSoakOutcome {
   /// Some active mapping touches the evolved schema at the end — the
   /// re-derivation closed the hole the evolution tore open.
   bool evolved_relinked = false;
+  /// Every pre-seeded ground-truth mapping touching the evolved schema is
+  /// deprecated (or gone) in the final view. Like the erroneous catch this
+  /// is an end-state invariant: the per-round stale counter undercounts
+  /// whenever a deprecation push lands while its ack times out.
+  bool stale_severed = false;
   size_t total_created = 0;
   size_t total_deprecated = 0;
   size_t total_stale_deprecated = 0;
@@ -246,6 +251,18 @@ inline SelforgSoakOutcome RunSelforgSoak(const SelforgSoakScenario& sc) {
 
   auto bad = copy.Get("bad-1-2");
   out.erroneous_active = bad.ok() && !bad->deprecated();
+  if (sc.seed_mesh && sc.evolve_round >= 0) {
+    // rename_fraction=1.0 severed every mapping on schema 2, so each of the
+    // pre-evolution ground-truth edges must end up deprecated (a record can
+    // also vanish entirely if its replicas were all churned out mid-repair).
+    out.stale_severed = true;
+    for (int other : {0, 3, 4}) {
+      std::string id = other < 2 ? "gt-" + std::to_string(other) + "-2"
+                                 : "gt-2-" + std::to_string(other);
+      auto stale = copy.Get(id);
+      if (stale.ok() && !stale->deprecated()) out.stale_severed = false;
+    }
+  }
   for (const auto& schema : copy.Schemas()) {
     for (const auto& m : copy.MappingsFrom(schema)) {  // active only
       if (m.source_schema() == evolved_name ||
