@@ -107,6 +107,7 @@ struct ModeStats {
   std::vector<std::set<std::string>> row_sets;
   std::vector<size_t> hops;     ///< per-query message flights, from traces
   std::vector<size_t> retries;  ///< per-query retry markers, from traces
+  gridvine::bench::CriticalPathAgg cp;  ///< latency attribution, from traces
 
   double MeanLatency() const {
     return queries == 0 ? 0 : latency_sum / double(queries);
@@ -152,10 +153,11 @@ ModeStats RunMode(bool bind_join, size_t entities, size_t selectivity,
                      res.status.ToString().c_str());
         std::exit(1);
       }
-      auto ts = gridvine::bench::HopsAndRetries(net.tracer()->Snapshot(),
-                                                res.trace_id);
+      TraceAnalyzer an(net.tracer()->Snapshot());
+      auto ts = gridvine::bench::HopsAndRetries(an.spans(), res.trace_id);
       stats.hops.push_back(ts.hops);
       stats.retries.push_back(ts.retries);
+      stats.cp.Add(an.CriticalPathFor(res.trace_id));
       stats.rows_shipped += res.metrics.RowsShipped();
       stats.latency_sum += res.latency;
       ++stats.queries;
@@ -391,23 +393,33 @@ int main(int argc, char** argv) {
   std::printf("  differential check: %zu queries, result sets identical\n",
               bind.row_sets.size());
 
-  json.Add("bind_join", {{"rows_shipped", double(bind.rows_shipped)},
-                         {"messages", double(bind.messages)},
-                         {"bytes", double(bind.bytes)},
-                         {"mean_latency_s", bind.MeanLatency()},
-                         {"hops_p50", CountPercentile(bind.hops, 0.50)},
-                         {"hops_p90", CountPercentile(bind.hops, 0.90)},
-                         {"hops_p99", CountPercentile(bind.hops, 0.99)},
-                         {"retries_p99", CountPercentile(bind.retries, 0.99)}});
-  json.Add("collect",
-           {{"rows_shipped", double(collect.rows_shipped)},
-            {"messages", double(collect.messages)},
-            {"bytes", double(collect.bytes)},
-            {"mean_latency_s", collect.MeanLatency()},
-            {"hops_p50", CountPercentile(collect.hops, 0.50)},
-            {"hops_p90", CountPercentile(collect.hops, 0.90)},
-            {"hops_p99", CountPercentile(collect.hops, 0.99)},
-            {"retries_p99", CountPercentile(collect.retries, 0.99)}});
+  std::printf("  bind-join ");
+  bind.cp.Print("");
+  std::printf("  collect   ");
+  collect.cp.Print("");
+
+  std::vector<std::pair<std::string, double>> bind_row = {
+      {"rows_shipped", double(bind.rows_shipped)},
+      {"messages", double(bind.messages)},
+      {"bytes", double(bind.bytes)},
+      {"mean_latency_s", bind.MeanLatency()},
+      {"hops_p50", CountPercentile(bind.hops, 0.50)},
+      {"hops_p90", CountPercentile(bind.hops, 0.90)},
+      {"hops_p99", CountPercentile(bind.hops, 0.99)},
+      {"retries_p99", CountPercentile(bind.retries, 0.99)}};
+  bind.cp.AppendShares(&bind_row);
+  json.Add("bind_join", std::move(bind_row));
+  std::vector<std::pair<std::string, double>> collect_row = {
+      {"rows_shipped", double(collect.rows_shipped)},
+      {"messages", double(collect.messages)},
+      {"bytes", double(collect.bytes)},
+      {"mean_latency_s", collect.MeanLatency()},
+      {"hops_p50", CountPercentile(collect.hops, 0.50)},
+      {"hops_p90", CountPercentile(collect.hops, 0.90)},
+      {"hops_p99", CountPercentile(collect.hops, 0.99)},
+      {"retries_p99", CountPercentile(collect.retries, 0.99)}};
+  collect.cp.AppendShares(&collect_row);
+  json.Add("collect", std::move(collect_row));
   json.Add("summary", {{"rows_shipped_ratio", row_ratio},
                        {"message_delta",
                         double(collect.messages) - double(bind.messages)},

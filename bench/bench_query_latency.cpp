@@ -113,6 +113,7 @@ int main(int argc, char** argv) {
   retries.reserve(kQueries);
   size_t failed = 0;
   size_t empty = 0;
+  gridvine::bench::CriticalPathAgg cp_agg;
   for (size_t q = 0; q < kQueries; ++q) {
     size_t schema = size_t(rng.UniformInt(0, int64_t(workload.schemas().size()) - 1));
     auto gq = workload.MakeQuery(schema, &rng);
@@ -125,10 +126,11 @@ int main(int argc, char** argv) {
     }
     if (res.items.empty()) ++empty;
     latencies.push_back(res.latency);
-    auto ts = gridvine::bench::HopsAndRetries(net.tracer()->Snapshot(),
-                                              res.trace_id);
+    TraceAnalyzer an(net.tracer()->Snapshot());
+    auto ts = gridvine::bench::HopsAndRetries(an.spans(), res.trace_id);
     hops.push_back(ts.hops);
     retries.push_back(ts.retries);
+    cp_agg.Add(an.CriticalPathFor(res.trace_id));
   }
   std::sort(latencies.begin(), latencies.end());
   const double e1_run_s =
@@ -154,31 +156,35 @@ int main(int argc, char** argv) {
               "p99=%.0f\n",
               CountPercentile(retries, 0.50), CountPercentile(retries, 0.90),
               CountPercentile(retries, 0.99));
+  cp_agg.Print();
   std::printf("  queries failed: %zu, empty answers: %zu\n", failed, empty);
   std::printf("  network traffic: %llu messages, %.1f MB\n",
               (unsigned long long)net.network()->stats().messages_sent,
               double(net.network()->stats().bytes_sent) / 1e6);
-  json.Add("latency",
-           {{"within_1s", Fraction(latencies, 1.0)},
-            {"within_5s", Fraction(latencies, 5.0)},
-            {"p50_s", Percentile(latencies, 0.50)},
-            {"p90_s", Percentile(latencies, 0.90)},
-            {"p99_s", Percentile(latencies, 0.99)},
-            {"failed", double(failed)},
-            {"empty", double(empty)},
-            {"messages", double(net.network()->stats().messages_sent)},
-            {"hops_p50", CountPercentile(hops, 0.50)},
-            {"hops_p90", CountPercentile(hops, 0.90)},
-            {"hops_p99", CountPercentile(hops, 0.99)},
-            {"retries_p50", CountPercentile(retries, 0.50)},
-            {"retries_p90", CountPercentile(retries, 0.90)},
-            {"retries_p99", CountPercentile(retries, 0.99)},
-            {"queries_per_sec", e1_qps}});
+  std::vector<std::pair<std::string, double>> e1_row = {
+      {"within_1s", Fraction(latencies, 1.0)},
+      {"within_5s", Fraction(latencies, 5.0)},
+      {"p50_s", Percentile(latencies, 0.50)},
+      {"p90_s", Percentile(latencies, 0.90)},
+      {"p99_s", Percentile(latencies, 0.99)},
+      {"failed", double(failed)},
+      {"empty", double(empty)},
+      {"messages", double(net.network()->stats().messages_sent)},
+      {"hops_p50", CountPercentile(hops, 0.50)},
+      {"hops_p90", CountPercentile(hops, 0.90)},
+      {"hops_p99", CountPercentile(hops, 0.99)},
+      {"retries_p50", CountPercentile(retries, 0.50)},
+      {"retries_p90", CountPercentile(retries, 0.90)},
+      {"retries_p99", CountPercentile(retries, 0.99)},
+      {"queries_per_sec", e1_qps}};
+  cp_agg.AppendShares(&e1_row);
+  json.Add("latency", std::move(e1_row));
 
   // ---- E1b: the same workload at 100k peers on the sharded engine ----------
   //
-  // Tracing is unavailable in sharded mode (lanes never open flight spans),
-  // so this section records latency + throughput + memory, not hop traces.
+  // Tracing works in sharded mode too: every shard records into a private
+  // ring and net.tracer() is the merged causal view, so this section gets
+  // the same per-query hop counts and critical-path attribution as E1.
   const bool quick = std::getenv("GV_BENCH_QUICK") != nullptr;
   const size_t kScalePeers = EnvOr("GV_SCALE_PEERS", quick ? 20000 : 100000);
   const size_t kScaleQueries = EnvOr("GV_SCALE_QUERIES", quick ? 100 : 2000);
@@ -201,16 +207,21 @@ int main(int argc, char** argv) {
   auto t1 = std::chrono::steady_clock::now();
   const size_t events_before = snet.engine()->events_executed();
 
+  snet.tracer()->Enable(1 << 16);
+
   Rng srng(99);
   std::vector<double> slat;
   slat.reserve(kScaleQueries);
+  std::vector<size_t> shops;
   size_t sfailed = 0;
   size_t sempty = 0;
+  gridvine::bench::CriticalPathAgg scp_agg;
   for (size_t q = 0; q < kScaleQueries; ++q) {
     size_t schema =
         size_t(srng.UniformInt(0, int64_t(workload.schemas().size()) - 1));
     auto gq = workload.MakeQuery(schema, &srng);
     size_t issuer = size_t(srng.UniformInt(0, int64_t(snet.size()) - 1));
+    snet.tracer()->Clear();
     auto res = snet.SearchFor(issuer, gq.query);
     if (!res.status.ok()) {
       ++sfailed;
@@ -218,6 +229,10 @@ int main(int argc, char** argv) {
     }
     if (res.items.empty()) ++sempty;
     slat.push_back(res.latency);
+    TraceAnalyzer an(snet.tracer()->Snapshot());
+    shops.push_back(
+        gridvine::bench::HopsAndRetries(an.spans(), res.trace_id).hops);
+    scp_agg.Add(an.CriticalPathFor(res.trace_id));
   }
   auto t2 = std::chrono::steady_clock::now();
   std::sort(slat.begin(), slat.end());
@@ -240,24 +255,29 @@ int main(int argc, char** argv) {
               "%llu messages\n",
               build_s, run_s, events_per_sec, bytes_per_peer,
               (unsigned long long)sstats.messages_sent);
+  scp_agg.Print();
+  std::vector<std::pair<std::string, double>> e1b_row = {
+      {"peers", double(kScalePeers)},
+      {"shards", double(kShards)},
+      {"within_1s", Fraction(slat, 1.0)},
+      {"within_5s", Fraction(slat, 5.0)},
+      {"p50_s", Percentile(slat, 0.50)},
+      {"p90_s", Percentile(slat, 0.90)},
+      {"p99_s", Percentile(slat, 0.99)},
+      {"failed", double(sfailed)},
+      {"empty", double(sempty)},
+      {"messages", double(sstats.messages_sent)},
+      {"bytes_per_peer", bytes_per_peer},
+      {"events_per_sec", events_per_sec},
+      {"queries_per_sec", run_s > 0 ? double(kScaleQueries) / run_s : 0},
+      {"build_s", build_s},
+      {"run_s", run_s},
+      {"hops_p50", CountPercentile(shops, 0.50)},
+      {"hops_p90", CountPercentile(shops, 0.90)}};
+  scp_agg.AppendShares(&e1b_row);
   json.Add("scale_" + std::to_string(kScalePeers) + "/shards_" +
                std::to_string(kShards),
-           {{"peers", double(kScalePeers)},
-            {"shards", double(kShards)},
-            {"within_1s", Fraction(slat, 1.0)},
-            {"within_5s", Fraction(slat, 5.0)},
-            {"p50_s", Percentile(slat, 0.50)},
-            {"p90_s", Percentile(slat, 0.90)},
-            {"p99_s", Percentile(slat, 0.99)},
-            {"failed", double(sfailed)},
-            {"empty", double(sempty)},
-            {"messages", double(sstats.messages_sent)},
-            {"bytes_per_peer", bytes_per_peer},
-            {"events_per_sec", events_per_sec},
-            {"queries_per_sec",
-             run_s > 0 ? double(kScaleQueries) / run_s : 0},
-            {"build_s", build_s},
-            {"run_s", run_s}});
+           std::move(e1b_row));
   json.Finish();
   return 0;
 }

@@ -25,9 +25,11 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "common/trace.h"
 #include "gridvine/gridvine_network.h"
 #include "gridvine/query_frontend.h"
 #include "store/binding_codec.h"
+#include "trace_stats.h"
 
 using namespace gridvine;
 
@@ -73,6 +75,7 @@ struct ModeResult {
   uint64_t batch_items = 0;
   double wall_s = 0;
   std::vector<uint64_t> row_hashes;  // per arrival, for the recall check
+  gridvine::bench::CriticalPathAgg cp;
 };
 
 std::vector<Triple> MakeCorpus(size_t entities) {
@@ -136,6 +139,10 @@ ModeResult RunMode(const std::string& name, bool cache, bool batch,
   GridVineNetwork net(o);
   if (!net.InsertTriples(0, MakeCorpus(entities)).ok()) std::abort();
   net.Settle();
+  // Trace the whole serving run: tracing is a pure observer (the recall
+  // cross-check still holds), and the op.serve trees carry the admission
+  // queue spans the critical-path attribution needs.
+  net.tracer()->Enable(/*capacity_per_part=*/1 << 19);
 
   struct Done {
     double at = 0;
@@ -238,6 +245,17 @@ ModeResult RunMode(const std::string& name, bool cache, bool batch,
   }
   res.hit_rate = (hits + misses) > 0 ? double(hits) / double(hits + misses) : 0;
   res.messages = net.network()->stats().messages_sent;
+  // Latency attribution over every op.serve tree still in the ring. Under
+  // ring eviction the oldest trees lose spans; the aggregate stays useful
+  // because eviction is uncorrelated with where a query's time went.
+  {
+    TraceAnalyzer an(net.tracer()->Snapshot());
+    for (const auto& s : an.spans()) {
+      if (s.parent_id == 0 && s.name == "op.serve") {
+        res.cp.Add(an.CriticalPathFor(s.trace_id));
+      }
+    }
+  }
   if (completed + res.shed != done.size()) {
     std::fprintf(stderr, "E9: %zu arrivals unresolved\n",
                  done.size() - completed - size_t(res.shed));
@@ -286,6 +304,11 @@ int main(int argc, char** argv) {
                 r.p99_ms, (unsigned long long)r.shed,
                 (unsigned long long)r.messages);
   }
+  std::printf("\n");
+  for (const ModeResult& r : results) {
+    std::printf("  %-12s ", r.name.c_str());
+    r.cp.Print("");
+  }
 
   // Equal recall: every arrival returned bit-identical rows in every mode.
   bool recall_equal = true;
@@ -305,17 +328,20 @@ int main(int argc, char** argv) {
               speedup, off.p99_ms, full.p99_ms);
 
   for (const ModeResult& r : results) {
-    json.Add(r.name, {{"qps", r.qps},
-                      {"hit_rate", r.hit_rate},
-                      {"p50_ms", r.p50_ms},
-                      {"p95_ms", r.p95_ms},
-                      {"p99_ms", r.p99_ms},
-                      {"shed", double(r.shed)},
-                      {"messages", double(r.messages)},
-                      {"batch_items", double(r.batch_items)},
-                      {"peers", double(kPeers)},
-                      {"concurrency", double(kConcurrency)},
-                      {"wall_s", r.wall_s}});
+    std::vector<std::pair<std::string, double>> row = {
+        {"qps", r.qps},
+        {"hit_rate", r.hit_rate},
+        {"p50_ms", r.p50_ms},
+        {"p95_ms", r.p95_ms},
+        {"p99_ms", r.p99_ms},
+        {"shed", double(r.shed)},
+        {"messages", double(r.messages)},
+        {"batch_items", double(r.batch_items)},
+        {"peers", double(kPeers)},
+        {"concurrency", double(kConcurrency)},
+        {"wall_s", r.wall_s}};
+    r.cp.AppendShares(&row);
+    json.Add(r.name, std::move(row));
   }
   json.Add("summary", {{"qps_speedup", speedup},
                        {"equal_recall", recall_equal ? 1.0 : 0.0},

@@ -10,6 +10,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/trace.h"
@@ -47,6 +50,64 @@ inline double CountPercentile(std::vector<size_t> counts, double p) {
   size_t idx = size_t(p * double(counts.size() - 1));
   return double(counts[idx]);
 }
+
+/// Aggregates per-query TraceAnalyzer::CriticalPathFor results into
+/// time-weighted attribution shares — "where did the total latency go" over
+/// the whole run, not an average of per-query ratios (a 10 s straggler
+/// should weigh 100x a 100 ms query). AppendShares() emits the cp_* fields
+/// the bench JSON rows carry.
+class CriticalPathAgg {
+ public:
+  void Add(const TraceAnalyzer::CriticalPath& cp) {
+    if (cp.total <= 0) return;
+    ++queries_;
+    sum_.total += cp.total;
+    sum_.queue += cp.queue;
+    sum_.service += cp.service;
+    sum_.network += cp.network;
+    sum_.retry += cp.retry;
+    sum_.compute += cp.compute;
+    shares_.push_back(cp.network / cp.total);
+  }
+
+  size_t queries() const { return queries_; }
+  double total() const { return sum_.total; }
+  double Share(double part) const {
+    return sum_.total > 0 ? part / sum_.total : 0;
+  }
+
+  void AppendShares(std::vector<std::pair<std::string, double>>* out) const {
+    out->emplace_back("cp_queries", double(queries_));
+    out->emplace_back("cp_queue_share", Share(sum_.queue));
+    out->emplace_back("cp_service_share", Share(sum_.service));
+    out->emplace_back("cp_network_share", Share(sum_.network));
+    out->emplace_back("cp_retry_share", Share(sum_.retry));
+    out->emplace_back("cp_compute_share", Share(sum_.compute));
+    // The per-query network share distribution: a high p90 with a modest
+    // aggregate share means stragglers are network-bound.
+    std::vector<double> s = shares_;
+    std::sort(s.begin(), s.end());
+    auto pct = [&s](double p) {
+      return s.empty() ? 0.0 : s[size_t(p * double(s.size() - 1))];
+    };
+    out->emplace_back("cp_network_share_p50", pct(0.50));
+    out->emplace_back("cp_network_share_p90", pct(0.90));
+  }
+
+  void Print(const char* indent = "  ") const {
+    std::printf(
+        "%scritical path (time-weighted, %zu traced): queue=%.0f%% "
+        "service=%.0f%% network=%.0f%% retry=%.0f%% compute=%.0f%%\n",
+        indent, queries_, Share(sum_.queue) * 100, Share(sum_.service) * 100,
+        Share(sum_.network) * 100, Share(sum_.retry) * 100,
+        Share(sum_.compute) * 100);
+  }
+
+ private:
+  TraceAnalyzer::CriticalPath sum_;
+  std::vector<double> shares_;
+  size_t queries_ = 0;
+};
 
 }  // namespace bench
 }  // namespace gridvine

@@ -16,6 +16,7 @@
 //   stats
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -68,13 +69,28 @@ void PrintHelp() {
       "  trace on|off                               toggle span recording\n"
       "  trace dump [file]                          export Chrome trace "
       "JSON\n"
-      "  metrics [file]                             unified metrics JSON\n"
-      "  help | quit\n");
+      "  metrics [prefix|file]                      unified metrics JSON; a "
+      "prefix\n"
+      "                                             like 'gv.cache' filters "
+      "names,\n"
+      "                                             a path ('/' or .json) "
+      "writes\n"
+      "  health on [window_s]                       start the windowed "
+      "watchdog\n"
+      "  health                                     sample now + list "
+      "violations\n"
+      "  top [n]                                    busiest metrics in the "
+      "latest\n"
+      "                                             window (by |delta|)\n"
+      "  timeseries [file]                          windowed metrics "
+      "history JSON\n"
+      "  help | quit\n"
+      "flags: --shards N runs the deployment on the sharded engine\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   GridVineNetwork::Options options;
   options.num_peers = 32;
   options.key_depth = 24;
@@ -88,9 +104,24 @@ int main() {
   // Statistics too, so 'plan explain' and conjunctive queries show the
   // cost-based/adaptive pipeline (stale caches degrade to greedy).
   options.peer.stats.enabled = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      options.shards = uint32_t(std::max(1, std::atoi(argv[++i])));
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards N]\n", argv[0]);
+      return 2;
+    }
+  }
   GridVineNetwork net(options);
-  std::printf("GridVine shell — %zu simulated peers. Type 'help'.\n",
-              net.size());
+  if (options.shards > 1) {
+    std::printf(
+        "GridVine shell — %zu simulated peers on %u shards. Type 'help'.\n",
+        net.size(), options.shards);
+  } else {
+    std::printf("GridVine shell — %zu simulated peers. Type 'help'.\n",
+                net.size());
+  }
 
   size_t next_peer = 0;
   size_t last_peer = 0;  // most recent issuer — 'plan explain' reads its cache
@@ -227,7 +258,10 @@ int main() {
                   workload.schemas().size(), workload.TotalTriples(),
                   workload.AttributeFor(0, "organism").c_str());
     } else if (cmd == "stats") {
-      const auto& s = net.network()->stats();
+      // network() is null on the sharded engine; the aggregate view is the
+      // same counters folded across lanes.
+      const NetworkStats s = net.engine() ? net.engine()->AggregateStats()
+                                          : net.network()->stats();
       std::printf("messages sent/delivered/dropped: %llu/%llu/%llu, "
                   "bytes: %llu\n",
                   (unsigned long long)s.messages_sent,
@@ -351,15 +385,77 @@ int main() {
         std::printf("usage: trace on|off|dump [file]\n");
       }
     } else if (cmd == "metrics") {
+      std::string arg;
+      in >> arg;
+      bool is_file = arg.find('/') != std::string::npos ||
+                     (arg.size() > 5 &&
+                      arg.compare(arg.size() - 5, 5, ".json") == 0);
+      if (!arg.empty() && !is_file) {
+        // Prefix filter: 'metrics gv.cache' lists just that family.
+        size_t shown = 0;
+        for (const auto& [name, value] : net.CollectMetrics().Flatten()) {
+          if (name.compare(0, arg.size(), arg) != 0) continue;
+          std::printf("  %-40s %.6g\n", name.c_str(), value);
+          ++shown;
+        }
+        std::printf("%zu metric(s) matching '%s'\n", shown, arg.c_str());
+      } else {
+        std::string json = net.CollectMetrics().ToJson();
+        if (arg.empty()) {
+          std::printf("%s\n", json.c_str());
+        } else {
+          std::ofstream out(arg);
+          out << json << "\n";
+          std::printf("ok: metrics -> %s\n", arg.c_str());
+        }
+      }
+    } else if (cmd == "health") {
+      std::string arg;
+      in >> arg;
+      if (arg == "on") {
+        double window = 0.5;
+        in >> window;
+        net.EnableHealth(window);
+        std::printf("ok: health watchdog on (window %.3fs)\n", window);
+      } else if (arg.empty()) {
+        net.HealthTick();
+        const HealthWatchdog* wd = net.watchdog();
+        std::printf("health: %zu window(s) evaluated, %zu violation(s)\n",
+                    wd->windows_evaluated(), wd->violations().size());
+        size_t from = wd->violations().size() > 10
+                          ? wd->violations().size() - 10
+                          : 0;
+        for (size_t i = from; i < wd->violations().size(); ++i) {
+          const auto& v = wd->violations()[i];
+          std::printf("  [t=%.3f] %-14s %s\n", v.window_end, v.rule.c_str(),
+                      v.detail.c_str());
+        }
+      } else {
+        std::printf("usage: health [on [window_s]]\n");
+      }
+    } else if (cmd == "top") {
+      int n = 15;
+      in >> n;
+      net.HealthTick();
+      auto rows = net.timeseries()->LatestWindow();
+      std::printf("  %-40s %14s %14s\n", "metric", "value", "delta");
+      for (const auto& row : rows) {
+        if (n-- <= 0) break;
+        std::printf("  %-40s %14.6g %+14.6g\n", row.name.c_str(), row.value,
+                    row.delta);
+      }
+    } else if (cmd == "timeseries") {
       std::string file;
       in >> file;
-      std::string json = net.CollectMetrics().ToJson();
+      std::string json = net.timeseries()->ToJson(net.health_window());
       if (file.empty()) {
         std::printf("%s\n", json.c_str());
       } else {
         std::ofstream out(file);
-        out << json << "\n";
-        std::printf("ok: metrics -> %s\n", file.c_str());
+        out << json;
+        std::printf("ok: %zu sample(s) over %zu window(s) -> %s\n",
+                    net.timeseries()->size(), net.timeseries()->windows(),
+                    file.c_str());
       }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());

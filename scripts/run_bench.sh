@@ -109,6 +109,39 @@ EOF
     echo "python3 not found; skipping trace validation"
   fi
 fi
+# Sharded observability artifact: the same session shape on the 2-shard
+# engine with the windowed health layer on. The trace dump carries
+# otherData.shards=2, which switches the validator to the shard-merge checks
+# (shard-index span-id bits, strictly increasing merged (ts, order) keys),
+# and the timeseries dump is checked against the windowed-sample schema.
+if [[ "$quick" -eq 1 && -z "$filter" && -x "$shell_bin" ]]; then
+  artifact_dir="${GV_ARTIFACT_DIR:-$out_root}"
+  mkdir -p "$artifact_dir"
+  echo "== sharded trace + timeseries artifact -> $artifact_dir"
+  "$shell_bin" --shards 2 >/dev/null <<EOF
+trace on
+health on 0.25
+schema W w type,size
+triple <w:e1> <W#type> "gadget" .
+triple <w:e2> <W#type> "widget" .
+triple <w:e1> <W#size> "3" .
+triple <w:e2> <W#size> "5" .
+cquery SELECT ?x, ?l WHERE (?x, <W#type>, "gadget"), (?x, <W#size>, ?l)
+query SELECT ?x WHERE (?x, <W#type>, "widget")
+trace dump $artifact_dir/trace_sharded.json
+metrics $artifact_dir/metrics_sharded.json
+timeseries $artifact_dir/timeseries.json
+quit
+EOF
+  if command -v python3 >/dev/null 2>&1; then
+    python3 "$repo_root/scripts/validate_trace.py" \
+      "$artifact_dir/trace_sharded.json" \
+      "$artifact_dir/metrics_sharded.json" \
+      "$artifact_dir/timeseries.json"
+  else
+    echo "python3 not found; skipping sharded trace validation"
+  fi
+fi
 # Serving-throughput smoke: bench_serving ran in the loop above (flash-crowd
 # arrival process, four feature modes); validate that BENCH_serving.json
 # carries the metrics CI consumers graph and that the equal-recall
@@ -184,6 +217,42 @@ EOF
     mkdir -p "$GV_ARTIFACT_DIR"
     cp "$conjunctive_json" "$GV_ARTIFACT_DIR/"
   fi
+fi
+# Tracing-overhead gate: bench_sim_micro measures the relay hot path with no
+# tracer, an attached-but-disabled tracer, and an enabled one (plus the
+# 2-shard variant). Disabled tracing must stay under 3% overhead — the
+# observability layer may not tax untraced runs. The gate reads the median
+# of paired per-rep ratios and only binds on full runs; quick-mode windows
+# (~10 ms) are pure jitter.
+sim_micro_json="$out_root/BENCH_sim_micro.json"
+if [[ -f "$sim_micro_json" ]] && command -v python3 >/dev/null 2>&1; then
+  echo "== validating $(basename "$sim_micro_json")"
+  GV_BENCH_FULL="$((1 - quick))" python3 - "$sim_micro_json" <<'EOF'
+import json, os, sys
+
+doc = json.load(open(sys.argv[1]))
+rows = {r["name"]: r for r in doc["benchmarks"]}
+classic = rows.get("bench_sim_micro/tracing_overhead")
+sharded = rows.get("bench_sim_micro/tracing_overhead_sharded")
+if classic is None or sharded is None:
+    sys.exit("missing tracing_overhead row(s) in BENCH_sim_micro.json")
+for key in ["messages_per_sec_untraced", "messages_per_sec_disabled",
+            "messages_per_sec_enabled", "disabled_overhead_pct",
+            "enabled_overhead_pct"]:
+    if key not in classic:
+        sys.exit(f"tracing_overhead row missing key {key}")
+for key in ["shards", "messages_per_sec_untraced", "messages_per_sec_enabled",
+            "enabled_overhead_pct"]:
+    if key not in sharded:
+        sys.exit(f"tracing_overhead_sharded row missing key {key}")
+dis = classic["disabled_overhead_pct"]
+if os.environ.get("GV_BENCH_FULL") == "1" and dis >= 3.0:
+    sys.exit(f"attached-but-disabled tracer costs {dis:.1f}% on the relay "
+             f"hot path (gate is 3%)")
+print(f"  ok: disabled_overhead={dis:.1f}% "
+      f"enabled={classic['enabled_overhead_pct']:.1f}% "
+      f"sharded_enabled={sharded['enabled_overhead_pct']:.1f}%")
+EOF
 fi
 # Self-organization smoke: bench_selforg ran the schema-evolution scenario
 # in the loop above (quick mode shrinks the network). Validate that every

@@ -1,25 +1,41 @@
 #!/usr/bin/env python3
-"""Validates an exported Chrome trace (and optionally a metrics JSON).
+"""Validates an exported Chrome trace (and optional metrics / timeseries JSON).
 
-Usage: validate_trace.py TRACE_JSON [METRICS_JSON]
+Usage: validate_trace.py TRACE_JSON [METRICS_JSON] [TIMESERIES_JSON]
 
 Checks, exiting non-zero on the first violation:
   - the trace file is valid JSON with a non-empty "traceEvents" list;
   - every event carries args.span_id, span ids are unique;
-  - every non-zero args.parent_id refers to a recorded span with a smaller
-    id (creation order) and the same tid (= trace id) — which makes every
-    span tree acyclic by construction;
+  - every non-zero args.parent_id refers to a recorded span with the same
+    tid (= trace id) and a strictly smaller causal key (ts, then args.order)
+    -- the merge key shard rings are combined on, so parent chains strictly
+    decrease and cannot cycle;
+  - every span tree is acyclic by explicit parent-chain traversal (belt and
+    braces on top of the key argument);
+  - shard-merged traces ("otherData": {"shards": N}): span-id high bits name
+    a shard below N, and the merged event sequence is sorted by the causal
+    (ts, order) key -- the property that makes the merged trace identical to
+    the shards=1 trace of the same seed;
   - the optional metrics file is valid JSON with the counters / gauges /
-    histograms sections.
+    histograms sections;
+  - the optional timeseries file matches the MetricsTimeSeries::ToJson
+    schema: a numeric "window_s" and a "samples" list of {t, name, value}
+    rows with non-decreasing t.
 """
 
 import json
 import sys
 
+SHARD_ID_SHIFT = 48  # Tracer::kShardIdShift
+
 
 def fail(msg):
     print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def causal_key(ev):
+    return (ev["ts"], ev["args"].get("order", ev["args"]["span_id"]))
 
 
 def validate_trace(path):
@@ -28,6 +44,7 @@ def validate_trace(path):
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail(f"{path}: no traceEvents")
+    shards = doc.get("otherData", {}).get("shards", 1)
     by_id = {}
     for ev in events:
         args = ev.get("args", {})
@@ -36,6 +53,9 @@ def validate_trace(path):
             fail(f"{path}: event without a positive args.span_id: {ev}")
         if span_id in by_id:
             fail(f"{path}: duplicate span id {span_id}")
+        if shards > 1 and (span_id >> SHARD_ID_SHIFT) >= shards:
+            fail(f"{path}: span {span_id} names shard "
+                 f"{span_id >> SHARD_ID_SHIFT} of {shards}")
         by_id[span_id] = ev
     for ev in events:
         span_id = ev["args"]["span_id"]
@@ -45,15 +65,33 @@ def validate_trace(path):
         parent = by_id.get(parent_id)
         if parent is None:
             fail(f"{path}: span {span_id} has unknown parent {parent_id}")
-        if parent_id >= span_id:
-            fail(f"{path}: span {span_id} parent {parent_id} not older "
-                 "(cycle risk)")
+        if causal_key(parent) >= causal_key(ev):
+            fail(f"{path}: span {span_id} parent {parent_id} not causally "
+                 "before it (cycle risk)")
         if parent.get("tid") != ev.get("tid"):
             fail(f"{path}: span {span_id} crosses traces to parent "
                  f"{parent_id}")
+    # Explicit acyclicity: walk every parent chain once, memoizing spans
+    # already proven to reach a root.
+    ok = set()
+    for ev in events:
+        chain = []
+        span_id = ev["args"]["span_id"]
+        while span_id != 0 and span_id not in ok:
+            if span_id in chain:
+                fail(f"{path}: parent cycle through span {span_id}")
+            chain.append(span_id)
+            span_id = by_id[span_id]["args"].get("parent_id", 0)
+        ok.update(chain)
+    if shards > 1:
+        keys = [causal_key(ev) for ev in events]
+        for i in range(1, len(keys)):
+            if keys[i - 1] >= keys[i]:
+                fail(f"{path}: merged events out of (ts, order) key order at "
+                     f"index {i}")
     roots = sum(1 for ev in events if ev["args"].get("parent_id", 0) == 0)
     print(f"validate_trace: {path}: {len(events)} span(s), {roots} tree(s), "
-          "acyclic")
+          f"{shards} shard(s), acyclic")
 
 
 def validate_metrics(path):
@@ -67,6 +105,32 @@ def validate_metrics(path):
           "histogram(s)")
 
 
+def validate_timeseries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc.get("window_s"), (int, float)):
+        fail(f"{path}: missing numeric \"window_s\"")
+    samples = doc.get("samples")
+    if not isinstance(samples, list) or not samples:
+        fail(f"{path}: no samples")
+    last_t = None
+    names = set()
+    for row in samples:
+        if not isinstance(row.get("t"), (int, float)):
+            fail(f"{path}: sample without numeric t: {row}")
+        if not isinstance(row.get("name"), str) or not row["name"]:
+            fail(f"{path}: sample without a name: {row}")
+        if "value" not in row:
+            fail(f"{path}: sample without a value: {row}")
+        if last_t is not None and row["t"] < last_t:
+            fail(f"{path}: sample times go backwards at t={row['t']}")
+        last_t = row["t"]
+        names.add(row["name"])
+    windows = len({row["t"] for row in samples})
+    print(f"validate_trace: {path}: {len(samples)} sample(s), {windows} "
+          f"window(s), {len(names)} metric(s)")
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
@@ -74,6 +138,8 @@ def main():
     validate_trace(sys.argv[1])
     if len(sys.argv) > 2:
         validate_metrics(sys.argv[2])
+    if len(sys.argv) > 3:
+        validate_timeseries(sys.argv[3])
     print("validate_trace: OK")
 
 

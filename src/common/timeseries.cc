@@ -1,0 +1,209 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace gridvine {
+
+void MetricsTimeSeries::Record(double window_end, const MetricsRegistry& m) {
+  // Re-recording the same instant (e.g. a manual tick right after a timer
+  // tick) replaces that window instead of duplicating its rows.
+  while (!samples_.empty() && samples_.back().t == window_end) {
+    samples_.pop_back();
+  }
+  for (auto& [name, value] : m.Flatten()) {
+    if (samples_.size() == capacity_) {
+      samples_.pop_front();
+      ++evicted_;
+    }
+    samples_.push_back(Sample{window_end, std::move(name), value});
+  }
+}
+
+size_t MetricsTimeSeries::windows() const {
+  size_t n = 0;
+  double last = -1;
+  bool first = true;
+  for (const Sample& s : samples_) {
+    if (first || s.t != last) {
+      ++n;
+      last = s.t;
+      first = false;
+    }
+  }
+  return n;
+}
+
+std::vector<MetricsTimeSeries::WindowRow> MetricsTimeSeries::LatestWindow()
+    const {
+  std::vector<WindowRow> out;
+  if (samples_.empty()) return out;
+  const double t_last = samples_.back().t;
+  // Find the previous window's values for delta computation.
+  double t_prev = -1;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->t != t_last) {
+      t_prev = it->t;
+      break;
+    }
+  }
+  std::map<std::string, double, std::less<>> prev;
+  for (const Sample& s : samples_) {
+    if (s.t == t_prev) prev[s.name] = s.value;
+  }
+  for (const Sample& s : samples_) {
+    if (s.t != t_last) continue;
+    auto it = prev.find(s.name);
+    const double delta = it == prev.end() ? s.value : s.value - it->second;
+    out.push_back(WindowRow{s.name, s.value, delta});
+  }
+  std::sort(out.begin(), out.end(), [](const WindowRow& a, const WindowRow& b) {
+    const double da = std::fabs(a.delta), db = std::fabs(b.delta);
+    return da != db ? da > db : a.name < b.name;
+  });
+  return out;
+}
+
+std::vector<std::pair<double, double>> MetricsTimeSeries::Series(
+    std::string_view name) const {
+  std::vector<std::pair<double, double>> out;
+  for (const Sample& s : samples_) {
+    if (s.name == name) out.emplace_back(s.t, s.value);
+  }
+  return out;
+}
+
+std::string MetricsTimeSeries::ToJson(double window_s) const {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"window_s\": " << window_s << ",\n\"samples\": [\n";
+  size_t i = 0;
+  for (const Sample& s : samples_) {
+    os << "  {\"t\": " << s.t << ", \"name\": \"";
+    for (char c : s.name) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\", \"value\": ";
+    if (std::isfinite(s.value)) {
+      os << s.value;
+    } else {
+      os << "null";
+    }
+    os << "}" << (++i < samples_.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+double HealthWatchdog::Value(
+    const std::map<std::string, double, std::less<>>& row,
+    std::string_view name) const {
+  auto it = row.find(name);
+  return it == row.end() ? 0.0 : it->second;
+}
+
+void HealthWatchdog::Fire(double window_end, std::string rule,
+                          std::string detail) {
+  ++fired_[rule];
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    TraceCtx marker = tracer_->StartTrace("health.violation");
+    tracer_->Annotate(marker, "rule", rule);
+    tracer_->Annotate(marker, "window_end", window_end);
+    tracer_->EndSpan(marker);
+  }
+  violations_.push_back(Violation{window_end, std::move(rule),
+                                  std::move(detail)});
+}
+
+size_t HealthWatchdog::Evaluate(double window_end, MetricsRegistry* m) {
+  std::map<std::string, double, std::less<>> cur;
+  for (const auto& [name, value] : m->Flatten()) cur[name] = value;
+  const size_t before = violations_.size();
+  ++windows_evaluated_;
+
+  auto fmt = [](double v) {
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+  };
+
+  // Conservation is a cumulative invariant: every delivered or dropped
+  // message was once sent (or forged by duplication) — a per-window check
+  // would false-positive on messages in flight across the boundary.
+  {
+    const double sent = Value(cur, "net.messages_sent") +
+                        Value(cur, "net.messages_duplicated");
+    const double done = Value(cur, "net.messages_delivered") +
+                        Value(cur, "net.messages_dropped");
+    if (done > sent) {
+      Fire(window_end, "conservation",
+           "delivered+dropped " + fmt(done) + " > sent+duplicated " +
+               fmt(sent));
+    }
+  }
+
+  if (have_prev_) {
+    auto delta = [&](std::string_view name) {
+      return Value(cur, name) - Value(prev_, name);
+    };
+    // Retry-rate spike: overlay retries per message put on the wire.
+    {
+      const double sends = delta("net.messages_sent");
+      const double retries = delta("pgrid.retries");
+      if (sends >= double(opts_.retry_min_sends) &&
+          retries > opts_.retry_rate_threshold * sends) {
+        Fire(window_end, "retry_spike",
+             fmt(retries) + " retries / " + fmt(sends) + " sends in window");
+      }
+    }
+    // Cache hit-rate collapse — only meaningful once the cache has been hot.
+    {
+      const double hits = delta("gv.cache.hits");
+      const double lookups = hits + delta("gv.cache.misses");
+      if (hits > 0) cache_seen_hot_ = true;
+      if (cache_seen_hot_ && lookups >= double(opts_.cache_min_lookups) &&
+          hits < opts_.cache_collapse_threshold * lookups) {
+        Fire(window_end, "cache_collapse",
+             fmt(hits) + " hits / " + fmt(lookups) + " lookups in window");
+      }
+    }
+    // Frontend shed rate: admission control turning work away.
+    {
+      const double submitted = delta("gv.frontend.submitted");
+      const double shed = delta("gv.frontend.shed");
+      if (submitted >= double(opts_.shed_min_submitted) &&
+          shed > opts_.shed_rate_threshold * submitted) {
+        Fire(window_end, "shed_rate",
+             fmt(shed) + " shed / " + fmt(submitted) + " submitted in window");
+      }
+    }
+  }
+
+  prev_ = std::move(cur);
+  have_prev_ = true;
+  PublishMetrics(m);
+  return violations_.size() - before;
+}
+
+uint64_t HealthWatchdog::fired(std::string_view rule) const {
+  auto it = fired_.find(rule);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+void HealthWatchdog::PublishMetrics(MetricsRegistry* m) const {
+  // `=` not `+=`: these are cumulative totals, re-stamped on every snapshot
+  // (CollectMetrics clears the registry each time).
+  m->Counter("health.windows") = windows_evaluated_;
+  m->Counter("health.violations") = violations_.size();
+  for (const auto& [rule, count] : fired_) {
+    m->Counter("health." + rule) = count;
+  }
+}
+
+}  // namespace gridvine

@@ -1,5 +1,6 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -27,7 +28,8 @@ Tracer::Span* Tracer::Find(TraceCtx ctx) {
 TraceCtx Tracer::Open(std::string_view name, uint64_t trace_id,
                       uint64_t parent_id) {
   Span span;
-  span.span_id = next_id_++;
+  span.span_id = id_base_ | next_id_++;
+  span.order = NextOrder(span.span_id);
   span.trace_id = trace_id == 0 ? span.span_id : trace_id;
   span.parent_id = parent_id;
   span.name = name;
@@ -65,9 +67,25 @@ void Tracer::EndSpan(TraceCtx ctx) {
   if (span != nullptr && span->end < 0) span->end = Now();
 }
 
+void Tracer::EndSpanAt(TraceCtx ctx, double end) {
+  Span* span = Find(ctx);
+  if (span != nullptr && span->end < 0) span->end = end;
+}
+
 TraceCtx Tracer::Instant(std::string_view name, TraceCtx parent) {
   TraceCtx ctx = StartSpan(name, parent);
   EndSpan(ctx);
+  return ctx;
+}
+
+TraceCtx Tracer::Interval(std::string_view name, TraceCtx parent, double start,
+                          double end) {
+  TraceCtx ctx = StartSpan(name, parent);
+  Span* span = Find(ctx);
+  if (span != nullptr) {
+    span->start = start;
+    span->end = end < start ? start : end;
+  }
   return ctx;
 }
 
@@ -123,15 +141,29 @@ void AppendJsonNumber(std::ostringstream& os, double v) {
   }
 }
 
+/// Lexicographic causal merge key: simulated start time, then the
+/// content-derived order, then the id as a total-order backstop.
+bool CausallyBefore(const Tracer::Span& a, const Tracer::Span& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.order != b.order) return a.order < b.order;
+  return a.span_id < b.span_id;
+}
+
 }  // namespace
 
-std::string Tracer::ToChromeJson() const {
+std::string SpansToChromeJson(const std::vector<Tracer::Span>& spans,
+                              uint32_t shards) {
   std::ostringstream os;
   os.precision(15);
-  os << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
-  const std::vector<Span> spans = Snapshot();
+  os << "{\"displayTimeUnit\": \"ms\",\n";
+  if (shards > 1) {
+    // Tooling switch: validate_trace.py applies the shard-merge checks
+    // (monotone (ts, order) keys, graph-traversal acyclicity) when present.
+    os << "\"otherData\": {\"shards\": " << shards << "},\n";
+  }
+  os << "\"traceEvents\": [\n";
   for (size_t i = 0; i < spans.size(); ++i) {
-    const Span& s = spans[i];
+    const Tracer::Span& s = spans[i];
     const double end = s.end < 0 ? s.start : s.end;
     os << "  {\"name\": \"";
     AppendJsonEscaped(os, s.name);
@@ -141,9 +173,9 @@ std::string Tracer::ToChromeJson() const {
     os << ", \"dur\": ";
     AppendJsonNumber(os, (end - s.start) * 1e6);
     os << ", \"args\": {\"span_id\": " << s.span_id
-       << ", \"parent_id\": " << s.parent_id;
+       << ", \"parent_id\": " << s.parent_id << ", \"order\": " << s.order;
     if (s.end < 0) os << ", \"open\": 1";
-    for (const Annotation& a : s.annotations) {
+    for (const Tracer::Annotation& a : s.annotations) {
       os << ", \"";
       AppendJsonEscaped(os, a.key);
       os << "\": ";
@@ -159,6 +191,64 @@ std::string Tracer::ToChromeJson() const {
   }
   os << "]}\n";
   return os.str();
+}
+
+std::string Tracer::ToChromeJson() const {
+  return SpansToChromeJson(Snapshot(), 1);
+}
+
+size_t TraceView::size() const {
+  size_t n = 0;
+  for (const Tracer* t : parts_) n += t->size();
+  return n;
+}
+
+uint64_t TraceView::evicted() const {
+  uint64_t n = 0;
+  for (const Tracer* t : parts_) n += t->evicted();
+  return n;
+}
+
+TraceCtx TraceView::StartTrace(std::string_view name) {
+  if (parts_.empty()) return TraceCtx{};
+  return parts_[0]->StartTrace(name);
+}
+
+Tracer* TraceView::Owner(TraceCtx ctx) {
+  if (parts_.empty() || !ctx.valid()) return nullptr;
+  const uint64_t shard = ctx.span_id >> Tracer::kShardIdShift;
+  return shard < parts_.size() ? parts_[shard] : nullptr;
+}
+
+void TraceView::EndSpan(TraceCtx ctx) {
+  if (Tracer* t = Owner(ctx)) t->EndSpan(ctx);
+}
+
+void TraceView::Annotate(TraceCtx ctx, std::string_view key, double value) {
+  if (Tracer* t = Owner(ctx)) t->Annotate(ctx, key, value);
+}
+
+void TraceView::Annotate(TraceCtx ctx, std::string_view key,
+                         std::string_view value) {
+  if (Tracer* t = Owner(ctx)) t->Annotate(ctx, key, value);
+}
+
+std::vector<Tracer::Span> TraceView::Snapshot() const {
+  std::vector<Tracer::Span> out;
+  out.reserve(size());
+  for (const Tracer* t : parts_) {
+    std::vector<Tracer::Span> part = t->Snapshot();
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  // A full sort, not a k-way ring merge: retroactive Interval spans are
+  // recorded out of start order even within one ring.
+  std::sort(out.begin(), out.end(), CausallyBefore);
+  return out;
+}
+
+std::string TraceView::ToChromeJson() const {
+  return SpansToChromeJson(Snapshot(), parts());
 }
 
 TraceAnalyzer::TraceAnalyzer(std::vector<Tracer::Span> spans)
@@ -198,7 +288,8 @@ size_t TraceAnalyzer::OpenCount() const {
   return n;
 }
 
-std::string TraceAnalyzer::CheckConsistency() const {
+std::string TraceAnalyzer::CheckConsistency(uint64_t evicted) const {
+  orphan_warnings_ = 0;
   if (by_id_.size() != spans_.size()) {
     return "duplicate span ids in snapshot";
   }
@@ -212,23 +303,100 @@ std::string TraceAnalyzer::CheckConsistency() const {
       }
       continue;
     }
-    // Parents are always opened before their children, so parent_id <
-    // span_id; any parent chain therefore strictly decreases and cannot
-    // cycle.
-    if (s.parent_id >= s.span_id) {
-      return where + ": parent_id " + std::to_string(s.parent_id) +
-             " not older than the span (cycle?)";
-    }
     const Tracer::Span* parent = Find(s.parent_id);
     if (parent == nullptr) {
+      // A ring that evicted spans is expected to have dropped some parents;
+      // that is lossy, not corrupt. With no evictions it is a real orphan.
+      if (evicted > 0) {
+        ++orphan_warnings_;
+        continue;
+      }
       return where + ": orphan (parent " + std::to_string(s.parent_id) +
              " missing)";
+    }
+    // Parents are opened causally before their children, so the (start,
+    // order) key strictly increases parent -> child; any parent chain
+    // therefore strictly decreases and cannot cycle. (Numeric id order only
+    // holds within one ring — shard-merged snapshots interleave counters.)
+    if (parent->start > s.start ||
+        (parent->start == s.start && parent->order >= s.order)) {
+      return where + ": parent " + std::to_string(s.parent_id) +
+             " not causally before the span (cycle?)";
     }
     if (parent->trace_id != s.trace_id) {
       return where + ": trace id differs from parent's";
     }
   }
   return "";
+}
+
+TraceAnalyzer::Category TraceAnalyzer::CategoryOf(std::string_view name) {
+  if (name == "op.queue") return Category::kQueue;
+  if (name == "op.service") return Category::kService;
+  if (name == "op.backoff") return Category::kRetry;
+  // Operation/executor spans are peer compute; everything else is a message
+  // flight, named after its interned message type ("gv.query", ...).
+  if (name.substr(0, 3) == "op." || name.substr(0, 5) == "exec.") {
+    return Category::kCompute;
+  }
+  return Category::kNetwork;
+}
+
+TraceAnalyzer::CriticalPath TraceAnalyzer::CriticalPathFor(
+    uint64_t trace_id) const {
+  CriticalPath out;
+  const Tracer::Span* root = Find(trace_id);
+  if (root == nullptr || root->end < root->start) return out;
+  out.total = root->end - root->start;
+  if (out.total <= 0) return out;
+
+  // Clip every closed span of the trace to the root window; open spans are
+  // treated as running to the root's end (they were still active when the
+  // operation finished).
+  struct Active {
+    double lo, hi;
+    double start;  ///< unclipped, for the innermost comparison
+    uint64_t order;
+    Category cat;
+  };
+  std::vector<Active> acts;
+  std::vector<double> bounds;
+  for (const auto& s : spans_) {
+    if (s.trace_id != trace_id) continue;
+    double lo = std::max(s.start, root->start);
+    double hi = std::min(s.end < 0 ? root->end : s.end, root->end);
+    if (hi <= lo && s.span_id != root->span_id) continue;  // instants etc.
+    acts.push_back(Active{lo, hi, s.start, s.order, CategoryOf(s.name)});
+    bounds.push_back(lo);
+    bounds.push_back(hi);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  // Every elementary interval goes to the innermost span active across it:
+  // latest start, content order breaking ties — deterministic and, because
+  // the root is always active, exhaustive over [root.start, root.end].
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const double mid = 0.5 * (bounds[i] + bounds[i + 1]);
+    const Active* innermost = nullptr;
+    for (const Active& a : acts) {
+      if (a.lo > mid || a.hi <= mid) continue;
+      if (innermost == nullptr || a.start > innermost->start ||
+          (a.start == innermost->start && a.order > innermost->order)) {
+        innermost = &a;
+      }
+    }
+    if (innermost == nullptr) continue;
+    const double len = bounds[i + 1] - bounds[i];
+    switch (innermost->cat) {
+      case Category::kQueue: out.queue += len; break;
+      case Category::kService: out.service += len; break;
+      case Category::kNetwork: out.network += len; break;
+      case Category::kRetry: out.retry += len; break;
+      case Category::kCompute: out.compute += len; break;
+    }
+  }
+  return out;
 }
 
 }  // namespace gridvine

@@ -28,16 +28,29 @@ struct TraceCtx {
 /// Contracts:
 ///   - Disabled (the default), every call is a cheap early-out and performs
 ///     no allocation; the send+delivery hot path stays zero-alloc.
-///   - Span ids come from a plain counter, and no call draws from any Rng —
-///     enabling tracing never perturbs a seeded run.
+///   - Span ids come from a plain counter (optionally offset by a shard id
+///     base, see SetIdBase), and no call draws from any Rng — enabling
+///     tracing never perturbs a seeded run.
 ///   - The ring overwrites the oldest span once `capacity` is exceeded
 ///     (`evicted()` counts casualties); consistency checks require a
 ///     capacity that held the whole run.
+///
+/// Sharded runs give every shard its own Tracer (no locks, no sharing): ids
+/// carry the shard index in the high bits so they stay unique and
+/// deterministic for any shard count, and every span carries a
+/// content-derived `order` key — (creator actor, per-actor counter), the same
+/// shape as the engine's event subkeys but from separate counters — so the
+/// per-shard rings merge into one causally-ordered stream by sorting on
+/// (start, order). See TraceView for the merged read side.
 ///
 /// Timestamps come from the clock callback (normally Simulator::Now via
 /// SetClock); without one, spans sit at t = 0.
 class Tracer {
  public:
+  /// Span ids reserve the bits at and above this shift for the shard index
+  /// (SetIdBase); the low 48 bits are the shard-local counter.
+  static constexpr int kShardIdShift = 48;
+
   struct Annotation {
     std::string key;
     bool is_number = true;
@@ -49,6 +62,10 @@ class Tracer {
     uint64_t trace_id = 0;
     uint64_t span_id = 0;
     uint64_t parent_id = 0;  ///< 0 for a trace root
+    /// Merge key: strictly increases from parent to child within (start,
+    /// order) lexicographic order. Defaults to span_id; sharded engines
+    /// install a content-derived source (SetOrderSource).
+    uint64_t order = 0;
     std::string_view name;   ///< literal or interned — storage outlives us
     double start = 0;
     double end = -1;  ///< simulated seconds; -1 while open
@@ -62,6 +79,15 @@ class Tracer {
   /// The simulated-time source for span timestamps.
   void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
 
+  /// OR'd into every span id (shard index << kShardIdShift). The default 0
+  /// yields plain counters — bit-identical to the pre-sharding scheme.
+  void SetIdBase(uint64_t base) { id_base_ = base; }
+  /// Installs the content-derived span-order source. Without one, order =
+  /// span_id (correct for a single ring: creation order is causal order).
+  void SetOrderSource(std::function<uint64_t()> source) {
+    order_source_ = std::move(source);
+  }
+
   bool enabled() const { return enabled_; }
   void Enable(size_t capacity = kDefaultCapacity);
   void Disable() { enabled_ = false; }
@@ -73,8 +99,18 @@ class Tracer {
   /// Opens a child of `parent`; an invalid parent starts a new trace.
   TraceCtx StartSpan(std::string_view name, TraceCtx parent);
   void EndSpan(TraceCtx ctx);
+  /// Ends the span at an explicit simulated time (cross-shard flight spans:
+  /// the delivery happens on another shard whose clock this ring never sees).
+  void EndSpanAt(TraceCtx ctx, double end);
   /// Zero-duration marker span (retries, drops observed elsewhere).
   TraceCtx Instant(std::string_view name, TraceCtx parent);
+  /// Records a completed span over [start, end] — for intervals only known
+  /// in retrospect (retry backoff when the timer fires, service time when
+  /// the response is committed). The order key is drawn at the call, so
+  /// (start, order) parent-before-child holds as long as `start` is not
+  /// before the parent's start.
+  TraceCtx Interval(std::string_view name, TraceCtx parent, double start,
+                    double end);
 
   void Annotate(TraceCtx ctx, std::string_view key, double value);
   void Annotate(TraceCtx ctx, std::string_view key, std::string_view value);
@@ -86,14 +122,17 @@ class Tracer {
   std::vector<Span> Snapshot() const;
 
   /// Chrome trace_event JSON: one "X" (complete) event per span, ts/dur in
-  /// microseconds of simulated time, tid = trace id, span/parent ids and
-  /// annotations in args.
+  /// microseconds of simulated time, tid = trace id, span/parent ids, order
+  /// and annotations in args.
   std::string ToChromeJson() const;
 
  private:
   static constexpr size_t kDefaultCapacity = 1 << 20;
 
   double Now() const { return clock_ ? clock_() : 0.0; }
+  uint64_t NextOrder(uint64_t span_id) const {
+    return order_source_ ? order_source_() : span_id;
+  }
   /// Slot for a live ctx, or nullptr (ended span evicted, or stale ctx).
   Span* Find(TraceCtx ctx);
   TraceCtx Open(std::string_view name, uint64_t trace_id, uint64_t parent_id);
@@ -101,16 +140,74 @@ class Tracer {
   bool enabled_ = false;
   size_t capacity_ = kDefaultCapacity;
   uint64_t next_id_ = 1;
+  uint64_t id_base_ = 0;
   uint64_t evicted_ = 0;
   std::vector<Span> ring_;
   size_t head_ = 0;  ///< next slot to overwrite once the ring is full
   /// span_id -> ring slot, for EndSpan/Annotate on spans still buffered.
   std::unordered_map<uint64_t, size_t> index_;
   std::function<double()> clock_;
+  std::function<uint64_t()> order_source_;
 };
 
-/// Read-side helper over a span snapshot: per-trace counts and the
-/// structural consistency invariant the chaos harness asserts.
+/// Chrome trace_event JSON over an explicit span list; `shards` > 1 stamps
+/// otherData.shards so tooling (scripts/validate_trace.py) switches to the
+/// shard-merge checks. Tracer::ToChromeJson and TraceView::ToChromeJson both
+/// route here.
+std::string SpansToChromeJson(const std::vector<Tracer::Span>& spans,
+                              uint32_t shards);
+
+/// One logical tracer over N per-shard rings: the read/control surface
+/// callers (benches, the shell) use without caring which engine ran. Writes
+/// (Enable/Disable/Clear) fan out to every part; Snapshot() merges the rings
+/// into one causally-ordered stream by the (start, order) key — the same
+/// content-derived ordering the sharded engine uses for events, so the
+/// merged view of a shards=N run lists the same spans in the same order as
+/// the shards=1 run of that seed. A classic single-threaded run is just the
+/// one-part view.
+class TraceView {
+ public:
+  TraceView() = default;
+  explicit TraceView(std::vector<Tracer*> parts) : parts_(std::move(parts)) {}
+
+  void SetParts(std::vector<Tracer*> parts) { parts_ = std::move(parts); }
+  uint32_t parts() const { return uint32_t(parts_.size()); }
+
+  bool enabled() const { return !parts_.empty() && parts_[0]->enabled(); }
+  void Enable(size_t capacity_per_part = 1 << 20) {
+    for (Tracer* t : parts_) t->Enable(capacity_per_part);
+  }
+  void Disable() {
+    for (Tracer* t : parts_) t->Disable();
+  }
+  void Clear() {
+    for (Tracer* t : parts_) t->Clear();
+  }
+
+  size_t size() const;
+  uint64_t evicted() const;
+
+  /// Roots a new trace (on the first ring — external drivers run at
+  /// quiescent points, so the placement is deterministic).
+  TraceCtx StartTrace(std::string_view name);
+  /// Routed to the ring that owns ctx's span (shard index in the id bits).
+  void EndSpan(TraceCtx ctx);
+  void Annotate(TraceCtx ctx, std::string_view key, double value);
+  void Annotate(TraceCtx ctx, std::string_view key, std::string_view value);
+
+  /// All parts' spans merged by (start, order) — causal order: a parent
+  /// always precedes its children.
+  std::vector<Tracer::Span> Snapshot() const;
+  std::string ToChromeJson() const;
+
+ private:
+  Tracer* Owner(TraceCtx ctx);
+  std::vector<Tracer*> parts_;
+};
+
+/// Read-side helper over a span snapshot: per-trace counts, the structural
+/// consistency invariant the chaos harness asserts, and the critical-path
+/// latency attribution the benches report.
 class TraceAnalyzer {
  public:
   explicit TraceAnalyzer(std::vector<Tracer::Span> spans);
@@ -125,14 +222,44 @@ class TraceAnalyzer {
   size_t OpenCount() const;
 
   /// Structural invariants: unique span ids, every parent present with a
-  /// smaller id (creation order — hence acyclic) and the same trace id.
-  /// Returns the empty string when consistent, else a description of the
-  /// first violation. Only meaningful when the tracer evicted nothing.
-  std::string CheckConsistency() const;
+  /// strictly smaller (start, order) key — parents are opened causally
+  /// before their children, so any parent chain strictly decreases and
+  /// cannot cycle — and the same trace id. Returns the empty string when
+  /// consistent, else a description of the first violation.
+  ///
+  /// `evicted` is the tracer's eviction count: when the ring dropped spans,
+  /// a missing parent is the expected signature of eviction, not corruption —
+  /// such orphans are tallied in orphan_warnings() instead of failing.
+  std::string CheckConsistency(uint64_t evicted = 0) const;
+  /// Orphans excused by eviction during the last CheckConsistency call.
+  size_t orphan_warnings() const { return orphan_warnings_; }
+
+  /// Where a trace's end-to-end time went. Shares sum to 1 (of `total`)
+  /// when total > 0.
+  struct CriticalPath {
+    double total = 0;    ///< root span duration, simulated seconds
+    double queue = 0;    ///< frontend admission queue wait (op.queue)
+    double service = 0;  ///< responder service-model time (op.service)
+    double network = 0;  ///< message flights (spans named by message type)
+    double retry = 0;    ///< retry backoff waits (op.backoff)
+    double compute = 0;  ///< executor/peer work (all other op.*/exec.*)
+  };
+
+  /// Attribution category for a span name (the CriticalPath buckets).
+  enum class Category { kQueue, kService, kNetwork, kRetry, kCompute };
+  static Category CategoryOf(std::string_view name);
+
+  /// Walks the trace rooted at `trace_id` and attributes every instant of
+  /// [root.start, root.end] to the innermost span active then (latest
+  /// start; (start, order) breaks ties), bucketed by CategoryOf. Gaps where
+  /// only the root is active land in the root's own category. Zero result
+  /// when the root is missing or never closed.
+  CriticalPath CriticalPathFor(uint64_t trace_id) const;
 
  private:
   std::vector<Tracer::Span> spans_;
   std::unordered_map<uint64_t, size_t> by_id_;
+  mutable size_t orphan_warnings_ = 0;
 };
 
 }  // namespace gridvine

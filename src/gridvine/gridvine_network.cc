@@ -15,6 +15,7 @@ GridVineNetwork::GridVineNetwork(Options options)
     sopts.loss_probability = options_.loss_probability;
     sopts.latency = MakeLatency();
     engine_ = std::make_unique<ShardedNetwork>(std::move(sopts));
+    trace_view_.SetParts(engine_->TracerParts());
     // Each peer is built against its owner shard's simulator and lane; the
     // sequential construction order fixes the id <-> shard assignment.
     for (size_t i = 0; i < options_.num_peers; ++i) {
@@ -23,6 +24,7 @@ GridVineNetwork::GridVineNetwork(Options options)
           options_.peer, options_.overlay));
     }
   } else {
+    trace_view_.SetParts({&tracer_});
     tracer_.SetClock([this] { return sim_.Now(); });
     network_ = std::make_unique<Network>(&sim_, MakeLatency(), rng_.Fork(),
                                          options_.loss_probability);
@@ -71,7 +73,48 @@ MetricsRegistry& GridVineNetwork::CollectMetrics() {
     p->overlay()->PublishMetrics(&metrics_);
   }
   for (auto& source : metrics_sources_) source(&metrics_);
+  // Spans lost to ring wrap-around, summed across shards. Nonzero means
+  // exported traces may contain orphans (TraceAnalyzer downgrades those to
+  // warnings) — the signal to enlarge the ring.
+  metrics_.Counter("trace.evicted") = trace_view_.evicted();
+  if (health_enabled_) watchdog_.PublishMetrics(&metrics_);
   return metrics_;
+}
+
+void GridVineNetwork::EnableHealth(double window_s,
+                                   HealthWatchdog::Options opts) {
+  watchdog_ = HealthWatchdog(opts);
+  watchdog_.SetTracer(&trace_view_);
+  health_window_ = window_s;
+  health_enabled_ = true;
+  ScheduleHealthTick();
+}
+
+void GridVineNetwork::HealthTick() {
+  CollectMetrics();
+  watchdog_.Evaluate(Now(), &metrics_);
+  timeseries_.Record(Now(), metrics_);
+}
+
+void GridVineNetwork::ScheduleHealthTick() {
+  // The tick re-arms only while events remain, so drain loops (Settle,
+  // RunUntilIdle) still terminate; an idle deployment samples nothing.
+  // On the sharded engine the tick is a global task: shards are parked with
+  // clocks synced, so reading every peer's counters is race-free, and
+  // rescheduling from inside a global task is legal (the engine is
+  // quiescent there).
+  const SimTime at = Now() + health_window_;
+  if (engine_) {
+    engine_->ScheduleGlobal(at, [this] {
+      HealthTick();
+      if (engine_->pending() > 0) ScheduleHealthTick();
+    });
+  } else {
+    sim_.ScheduleAt(at, [this] {
+      HealthTick();
+      if (sim_.pending() > 0) ScheduleHealthTick();
+    });
+  }
 }
 
 size_t GridVineNetwork::MemoryFootprint(

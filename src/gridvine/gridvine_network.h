@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "gridvine/gridvine_peer.h"
 #include "pgrid/pgrid_builder.h"
@@ -48,7 +49,9 @@ class GridVineNetwork {
     /// > 1 runs the deployment on the sharded conservative-parallel engine
     /// (ShardedNetwork): peers are partitioned across this many event-queue
     /// shards with worker threads. Outcomes are bit-identical across shard
-    /// counts; tracing is unavailable and sim()/network() return null — use
+    /// counts, and tracing works the same as in classic mode — tracer()
+    /// returns a TraceView merging the per-shard span rings into one
+    /// causally ordered sequence. sim()/network() return null — use
     /// engine(). 1 (default) keeps the classic single-queue path.
     uint32_t shards = 1;
     /// Run the sharded engine even at shards == 1 (its threadless reference
@@ -76,11 +79,35 @@ class GridVineNetwork {
   SimTime Now() const { return engine_ ? engine_->Now() : sim_.Now(); }
 
   /// The deployment's tracer, pre-wired into the transport and clocked on
-  /// simulated time. Disabled (zero-cost) until tracer()->Enable().
-  Tracer* tracer() { return &tracer_; }
+  /// simulated time. Disabled (zero-cost) until tracer()->Enable(). In
+  /// classic mode this views the single ring; in sharded mode it merges the
+  /// per-shard rings (Snapshot() sorts by the causal (start, order) key, so
+  /// the merged sequence is identical for any shard count of the same seed).
+  /// Enable/Disable/Clear are quiescent-only on the sharded engine, same as
+  /// every other control call.
+  TraceView* tracer() { return &trace_view_; }
 
   /// Scratch registry for CollectMetrics; also usable directly.
   MetricsRegistry* metrics() { return &metrics_; }
+
+  // --- Time-series health layer -------------------------------------------
+
+  /// Starts the windowed health layer: every `window_s` simulated seconds a
+  /// tick collects a full metrics snapshot, evaluates the watchdog's
+  /// invariant rules over the window, and appends the snapshot to the
+  /// time series. Ticks ride the event loop (a global task on the sharded
+  /// engine), so windows land at deterministic simulated times; they stop
+  /// re-arming once the deployment goes idle — call HealthTick() for a
+  /// manual sample, or EnableHealth again to restart the cadence.
+  void EnableHealth(double window_s, HealthWatchdog::Options opts = {});
+
+  /// Samples one window right now: CollectMetrics + watchdog evaluation +
+  /// time-series append, stamped Now(). The shell's `health` refresh.
+  void HealthTick();
+
+  MetricsTimeSeries* timeseries() { return &timeseries_; }
+  HealthWatchdog* watchdog() { return &watchdog_; }
+  double health_window() const { return health_window_; }
 
   /// Clears the registry and republishes a fresh snapshot from the network
   /// and every peer (both layers); returns it.
@@ -185,6 +212,9 @@ class GridVineNetwork {
   /// Pumps the simulator one event at a time until `*done` or idle.
   void PumpUntil(const bool* done);
 
+  /// Arms the next health tick `health_window_` seconds out (engine-agnostic).
+  void ScheduleHealthTick();
+
   /// Runs `f` attributed to peer `peer_idx` — on the sharded engine, issuing
   /// work from outside an event must go through RunAsNode so the sends it
   /// triggers draw from that peer's streams. Direct call in single mode.
@@ -200,8 +230,15 @@ class GridVineNetwork {
   Options options_;
   Simulator sim_;
   Rng rng_;
-  Tracer tracer_;
+  Tracer tracer_;  // classic mode's single ring (inert when sharded)
+  /// What tracer() hands out: {&tracer_} in classic mode, the engine's
+  /// per-shard rings in sharded mode.
+  TraceView trace_view_;
   MetricsRegistry metrics_;
+  MetricsTimeSeries timeseries_;
+  HealthWatchdog watchdog_;
+  double health_window_ = 0;  // 0 until EnableHealth
+  bool health_enabled_ = false;
   std::unique_ptr<Network> network_;
   std::unique_ptr<ShardedNetwork> engine_;  // shards > 1 only
   std::vector<std::unique_ptr<GridVinePeer>> peers_;

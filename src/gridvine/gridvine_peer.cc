@@ -679,7 +679,11 @@ void GridVinePeer::IterativeExpand(uint64_t qid,
 
 void GridVinePeer::ArmDispatchTimer(uint64_t qid, uint64_t did, int attempt) {
   SimTime timeout = options_.query_retry.TimeoutFor(attempt, &rng_);
-  sim_->Schedule(timeout, [this, qid, did, attempt] {
+  // Captured for the retroactive backoff span: recomputing it at the fire as
+  // now - timeout is off by floating-point rounding, which can push the
+  // interval's start before its parent's.
+  SimTime armed_at = sim_->Now();
+  sim_->Schedule(timeout, [this, qid, did, attempt, armed_at] {
     auto it = pending_queries_.find(qid);
     if (it == pending_queries_.end() || it->second.closed) return;
     auto d = it->second.open_dispatches.find(did);
@@ -699,7 +703,12 @@ void GridVinePeer::ArmDispatchTimer(uint64_t qid, uint64_t did, int attempt) {
     Key route_key = d->second.route_key;
     std::shared_ptr<QueryRequest> req = d->second.req;
     if (Tracer* tr = LiveTracer()) {
-      if (d->second.span.valid()) tr->Instant("op.retry", d->second.span);
+      if (d->second.span.valid()) {
+        tr->Instant("op.retry", d->second.span);
+        // Retroactive: the whole timeout window just spent waiting before
+        // this retry — what the critical-path profiler books as backoff.
+        tr->Interval("op.backoff", d->second.span, armed_at, sim_->Now());
+      }
     }
     // Route can resolve synchronously and erase the dispatch; do not touch
     // `d` past this point.
@@ -1569,9 +1578,14 @@ SimTime GridVinePeer::ScanServeCost(bool cache_hit, size_t rows) const {
   return overhead + double(rows) * options_.service.per_row;
 }
 
-void GridVinePeer::SendResponse(NodeId to,
-                                std::shared_ptr<const MessageBody> body,
+void GridVinePeer::SendResponse(NodeId to, std::shared_ptr<MessageBody> body,
                                 SimTime cost) {
+  if (LiveTracer() != nullptr && !body->trace_ctx.valid()) {
+    // The causal parent is the request flight being handled right now; the
+    // deferred send below runs from a timer where the ambient ctx is gone,
+    // so stamp it on the body while it is still live.
+    body->trace_ctx = network_->ambient_ctx();
+  }
   if (batch_reply_sink_ != nullptr) {
     batch_reply_sink_->push_back(std::move(body));
     batch_sink_cost_ += cost;
@@ -1587,6 +1601,19 @@ void GridVinePeer::SendResponse(NodeId to,
   SimTime now = sim_->Now();
   SimTime start = busy_until_ > now ? busy_until_ : now;
   busy_until_ = start + cost;
+  if (Tracer* tr = LiveTracer()) {
+    if (body->trace_ctx.valid()) {
+      // The responder-side breakdown the critical-path profiler attributes:
+      // time parked behind earlier responses is queue-wait, the service time
+      // itself is op.service. Both hang off the request flight.
+      if (start > now) {
+        tr->Interval("op.queue", body->trace_ctx, now, start);
+      }
+      TraceCtx sv = tr->Interval("op.service", body->trace_ctx, start,
+                                 busy_until_);
+      tr->Annotate(sv, "cost", cost);
+    }
+  }
   sim_->Schedule(busy_until_ - now,
                  [this, to, body = std::move(body)]() mutable {
                    overlay_->SendDirect(to, std::move(body));

@@ -520,8 +520,10 @@ class GridVinePeer {
   /// Sends a response `cost` simulated seconds of service time from now,
   /// serialized through this peer's FIFO server (the service-time model).
   /// Immediate when the model is off; deposits into batch_reply_sink_ while
-  /// a batch envelope is being served.
-  void SendResponse(NodeId to, std::shared_ptr<const MessageBody> body,
+  /// a batch envelope is being served. Takes the body non-const so the
+  /// request's causal ctx can be stamped on it — the service model defers
+  /// the actual send to a timer, where the ambient delivery ctx is gone.
+  void SendResponse(NodeId to, std::shared_ptr<MessageBody> body,
                     SimTime cost);
   /// Service cost of answering one scan/bound-scan request.
   SimTime ScanServeCost(bool cache_hit, size_t rows) const;
@@ -532,6 +534,8 @@ class GridVinePeer {
   /// The network's tracer while tracing is live, else nullptr.
   Tracer* LiveTracer() const;
   TraceCtx ResponderParent(const TraceCtx& carried) const;
+  /// The frontend opens its "op.serve"/"op.queue" spans on the same tracer.
+  friend class QueryFrontend;
 
   Simulator* sim_;
   Network* network_;

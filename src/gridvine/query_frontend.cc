@@ -15,6 +15,7 @@ void QueryFrontend::Submit(const TriplePatternQuery& query,
   t.query = query;
   t.options = options;
   t.cb = std::move(cb);
+  OpenServeSpan(&t);
   Admit(std::move(t));
 }
 
@@ -27,7 +28,29 @@ void QueryFrontend::SubmitConjunctive(
   t.cquery = query;
   t.options = options;
   t.ccb = std::move(cb);
+  OpenServeSpan(&t);
   Admit(std::move(t));
+}
+
+void QueryFrontend::OpenServeSpan(Task* t) {
+  Tracer* tr = peer_->LiveTracer();
+  if (tr == nullptr) return;
+  t->serve_ctx = t->options.trace_parent.valid()
+                     ? tr->StartSpan("op.serve", t->options.trace_parent)
+                     : tr->StartTrace("op.serve");
+  tr->Annotate(t->serve_ctx, "kind",
+               t->conjunctive ? "conjunctive" : "pattern");
+  // The query tree (op.search / op.conjunctive and everything below) nests
+  // under the serve span, so one trace covers admission wait + execution.
+  t->options.trace_parent = t->serve_ctx;
+}
+
+void QueryFrontend::EndServeSpan(const TraceCtx& serve, const Status& status) {
+  if (!serve.valid()) return;
+  Tracer* tr = peer_->LiveTracer();
+  if (tr == nullptr) return;
+  if (!status.ok()) tr->Annotate(serve, "error", status.ToString());
+  tr->EndSpan(serve);
 }
 
 void QueryFrontend::Admit(Task t) {
@@ -40,6 +63,7 @@ void QueryFrontend::Admit(Task t) {
     Shed(std::move(t));
     return;
   }
+  t.enqueued_at = sim_->Now();
   queue_.push_back(std::move(t));
   stats_.max_queue_depth =
       std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
@@ -47,6 +71,12 @@ void QueryFrontend::Admit(Task t) {
 
 void QueryFrontend::Shed(Task t) {
   ++stats_.shed;
+  if (t.serve_ctx.valid()) {
+    if (Tracer* tr = peer_->LiveTracer()) {
+      tr->Annotate(t.serve_ctx, "shed", 1.0);
+      tr->EndSpan(t.serve_ctx);
+    }
+  }
   if (t.conjunctive) {
     GridVinePeer::ConjunctiveResult r;
     r.status = Status::Overload("admission queue full");
@@ -61,20 +91,31 @@ void QueryFrontend::Shed(Task t) {
 void QueryFrontend::StartTask(Task t) {
   ++active_;
   ++stats_.started;
+  if (t.serve_ctx.valid() && t.enqueued_at >= 0) {
+    // Retroactive: the admission wait is known only now that a slot freed.
+    if (Tracer* tr = peer_->LiveTracer()) {
+      tr->Interval("op.queue", t.serve_ctx, t.enqueued_at, sim_->Now());
+    }
+  }
   // The user callback runs before the slot is freed, so queries it submits
   // synchronously queue behind the zero-delay refill event below — strict
   // FIFO either way.
   if (t.conjunctive) {
     auto cb = std::move(t.ccb);
+    TraceCtx serve = t.serve_ctx;
     peer_->SearchForConjunctive(
-        t.cquery, t.options, [this, cb](GridVinePeer::ConjunctiveResult r) {
+        t.cquery, t.options,
+        [this, cb, serve](GridVinePeer::ConjunctiveResult r) {
+          EndServeSpan(serve, r.status);
           cb(std::move(r));
           OnTaskDone();
         });
   } else {
     auto cb = std::move(t.cb);
+    TraceCtx serve = t.serve_ctx;
     peer_->SearchFor(t.query, t.options,
-                     [this, cb](GridVinePeer::QueryResult r) {
+                     [this, cb, serve](GridVinePeer::QueryResult r) {
+                       EndServeSpan(serve, r.status);
                        cb(std::move(r));
                        OnTaskDone();
                      });

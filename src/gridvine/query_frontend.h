@@ -61,7 +61,17 @@ class QueryFrontend {
     GridVinePeer::QueryOptions options;
     GridVinePeer::QueryCallback cb;
     std::function<void(GridVinePeer::ConjunctiveResult)> ccb;
+    /// Root span covering the query's whole stay in the serving layer
+    /// (admission wait included); invalid while tracing is off.
+    TraceCtx serve_ctx{};
+    SimTime enqueued_at = -1;  ///< admission-queue entry time; -1 if direct
   };
+
+  /// Opens the "op.serve" span for `t` (a trace root unless the caller
+  /// supplied a parent) and reparents the query under it, so the frontend's
+  /// queue wait and the query tree share one end-to-end trace.
+  void OpenServeSpan(Task* t);
+  void EndServeSpan(const TraceCtx& serve, const Status& status);
 
   void Admit(Task t);
   void StartTask(Task t);

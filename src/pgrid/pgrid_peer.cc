@@ -266,7 +266,11 @@ void PGridPeer::ArmTimeout(uint64_t request_id) {
   int attempt_at_arm = it->second.attempts;
   // Capped exponential backoff with jitter from the peer's seeded stream.
   SimTime timeout = options_.retry.TimeoutFor(attempt_at_arm, &rng_);
-  sim_->Schedule(timeout, [this, request_id, attempt_at_arm] {
+  // Captured for the retroactive backoff span: now - timeout at the fire is
+  // off by floating-point rounding (the interval could start before its
+  // parent span).
+  SimTime armed_at = sim_->Now();
+  sim_->Schedule(timeout, [this, request_id, attempt_at_arm, armed_at] {
     auto it2 = pending_.find(request_id);
     // Already answered, or a newer attempt owns the timeout.
     if (it2 == pending_.end() || it2->second.attempts != attempt_at_arm) return;
@@ -279,7 +283,12 @@ void PGridPeer::ArmTimeout(uint64_t request_id) {
     if (Tracer* tr = LiveTracer()) {
       // Timer context, no ambient delivery: the marker must be parented
       // explicitly on the op span.
-      if (it2->second.span.valid()) tr->Instant("op.retry", it2->second.span);
+      if (it2->second.span.valid()) {
+        tr->Instant("op.retry", it2->second.span);
+        // Retroactive: the timeout window just waited through is backoff
+        // time on the op's critical path.
+        tr->Interval("op.backoff", it2->second.span, armed_at, sim_->Now());
+      }
     }
     if (it2->second.kind == Pending::Kind::kRetrieve) {
       SendRetrieveAttempt(request_id);

@@ -188,6 +188,13 @@ class Network {
   void CountSend(MsgType type, size_t bytes);
   void CountDrop(MsgType type, DropCause cause);
   NetworkStats stats_;
+  /// Protected (not private) so shard lanes carry their shard's tracer and
+  /// the sharded engine can publish the ambient flight ctx around OnMessage
+  /// exactly like Deliver() below does. Same single-writer rule as stats_:
+  /// one worker thread per lane.
+  Tracer* tracer_ = nullptr;
+  /// Flight ctx of the delivery whose OnMessage is on the stack right now.
+  TraceCtx delivery_ctx_{};
 
  private:
   struct NodeSlot {
@@ -233,9 +240,6 @@ class Network {
   double loss_probability_;
   std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<NodeSlot> nodes_;
-  Tracer* tracer_ = nullptr;
-  /// Flight ctx of the delivery whose OnMessage is on the stack right now.
-  TraceCtx delivery_ctx_{};
 };
 
 }  // namespace gridvine

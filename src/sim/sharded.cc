@@ -12,6 +12,16 @@ namespace gridvine {
 
 namespace {
 constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+std::string_view ShardDropCauseName(DropCause cause) {
+  switch (cause) {
+    case DropCause::kEndpoint: return "endpoint";
+    case DropCause::kLoss: return "loss";
+    case DropCause::kBurstLoss: return "burst";
+    case DropCause::kPartition: return "partition";
+  }
+  return "?";
+}
 }  // namespace
 
 void ShardSimulator::ScheduleAt(SimTime t, EventFn fn) {
@@ -58,12 +68,26 @@ ShardedNetwork::ShardedNetwork(Options opts)
 
   sims_.reserve(shards_);
   lanes_.reserve(shards_);
+  tracers_.reserve(shards_);
   for (uint32_t s = 0; s < shards_; ++s) {
     auto sim = std::make_unique<ShardSimulator>();
     sim->engine_ = this;
     lanes_.emplace_back(new ShardLane(this, s, sim.get()));
+    // The shard's private ring: shard index in the span-id high bits keeps
+    // ids unique for any shard count, the clock is the shard's own sim, and
+    // the order key is content-derived from the acting node. Inert (and
+    // alloc-free) until EnableTracing.
+    auto tracer = std::make_unique<Tracer>();
+    tracer->SetIdBase(uint64_t(s) << Tracer::kShardIdShift);
+    ShardSimulator* raw_sim = sim.get();
+    tracer->SetClock([raw_sim] { return raw_sim->Now(); });
+    tracer->SetOrderSource(
+        [this, raw_sim] { return NextTraceOrder(raw_sim->current_actor()); });
+    lanes_.back()->SetTracer(tracer.get());
+    tracers_.push_back(std::move(tracer));
     sims_.push_back(std::move(sim));
   }
+  trace_endbox_.resize(shards_);
   outbox_.resize(size_t(shards_) * shards_);
   shard_counters_.resize(shards_);
   finish_times_.resize(shards_);
@@ -98,6 +122,7 @@ NodeId ShardedNetwork::AddNode(NetworkNode* node) {
   nodes_.push_back(node);
   alive_.push_back(1);
   seq_.push_back(0);
+  trace_seq_.push_back(0);
   // Per-node stream derived from (seed, id) only — independent of shard
   // count and of every other node's draw history.
   node_rng_.emplace_back(Mix64(seed_ ^ (0x9E3779B97F4A7C15ULL * (id + 1))));
@@ -114,6 +139,33 @@ uint64_t ShardedNetwork::NextSubkey(uint32_t actor) {
     return (uint64_t(actor) << 32) | uint32_t(++external_seq_);
   }
   return (uint64_t(actor) << 32) | uint64_t(++seq_[actor]);
+}
+
+uint64_t ShardedNetwork::NextTraceOrder(uint32_t actor) {
+  if (actor == ShardSimulator::kExternalActor) {
+    // Plain low counter: external spans (trace roots the quiescent driver
+    // opens) sort before every node span at an equal timestamp.
+    return ++external_trace_seq_;
+  }
+  // actor + 1 so node 0's keys stay disjoint from the external counter.
+  return (uint64_t(actor + 1) << 32) | uint64_t(++trace_seq_[actor]);
+}
+
+void ShardedNetwork::EnableTracing(size_t capacity_per_shard) {
+  assert(!running_);
+  for (auto& t : tracers_) t->Enable(capacity_per_shard);
+}
+
+void ShardedNetwork::DisableTracing() {
+  assert(!running_);
+  for (auto& t : tracers_) t->Disable();
+}
+
+std::vector<Tracer*> ShardedNetwork::TracerParts() {
+  std::vector<Tracer*> parts;
+  parts.reserve(tracers_.size());
+  for (auto& t : tracers_) parts.push_back(t.get());
+  return parts;
 }
 
 void ShardedNetwork::ScheduleForNode(NodeId id, SimTime delay, EventFn fn) {
@@ -148,8 +200,31 @@ void ShardedNetwork::DoSend(uint32_t shard, ShardLane* lane, NodeId from,
   lane->stats_.bytes_sent += bytes;
   lane->CountSend(type, bytes);
 
+  // Flight span on the sender shard's ring, mirroring Network::Send: the
+  // explicit body ctx wins over the ambient delivery being handled. Opening
+  // a span draws no Rng and touches no event counters, so the traced run
+  // stays bit-identical to the untraced one.
+  Tracer* tracer = lane->tracer_;
+  TraceCtx flight{};
+  if (tracer != nullptr && tracer->enabled()) {
+    const TraceCtx parent =
+        body->trace_ctx.valid() ? body->trace_ctx : lane->delivery_ctx_;
+    if (parent.valid()) {
+      flight = tracer->StartSpan(type.name(), parent);
+      tracer->Annotate(flight, "from", double(from));
+      tracer->Annotate(flight, "to", double(to));
+      tracer->Annotate(flight, "bytes", double(bytes));
+    }
+  }
+  auto end_dropped = [&](DropCause cause) {
+    if (!flight.valid()) return;
+    tracer->Annotate(flight, "drop", ShardDropCauseName(cause));
+    tracer->EndSpan(flight);
+  };
+
   if (!IsAlive(from) || !IsAlive(to)) {
     lane->CountDrop(type, DropCause::kEndpoint);
+    end_dropped(DropCause::kEndpoint);
     return;
   }
 
@@ -160,6 +235,7 @@ void ShardedNetwork::DoSend(uint32_t shard, ShardLane* lane, NodeId from,
 
   if (loss_probability_ > 0 && rng->Bernoulli(loss_probability_)) {
     lane->CountDrop(type, DropCause::kLoss);
+    end_dropped(DropCause::kLoss);
     return;
   }
   // Same fixed consultation order as the single-threaded Network
@@ -169,34 +245,50 @@ void ShardedNetwork::DoSend(uint32_t shard, ShardLane* lane, NodeId from,
     DropCause cause;
     if (fault_plan_->ShouldDrop(now, from, to, rng, &cause)) {
       lane->CountDrop(type, cause);
+      end_dropped(cause);
       return;
     }
     if (fault_plan_->ShouldDuplicate(rng)) {
       ++lane->stats_.messages_duplicated;
+      // The extra copy gets its own flight span under the original's, same
+      // as the single-threaded transport.
+      TraceCtx dup{};
+      if (flight.valid()) {
+        dup = tracer->StartSpan(type.name(),
+                                TraceCtx{flight.trace_id, flight.span_id});
+        tracer->Annotate(dup, "duplicate", 1.0);
+      }
       SimTime dup_delay =
           latency_->Sample(rng) + fault_plan_->ExtraLatency(now, rng);
-      Dispatch(shard, from, to, now + dup_delay, NextSubkey(actor), body);
+      Dispatch(shard, from, to, now + dup_delay, NextSubkey(actor), body, dup);
     }
   }
 
   SimTime delay = latency_->Sample(rng);
   if (fault_plan_) delay += fault_plan_->ExtraLatency(now, rng);
-  Dispatch(shard, from, to, now + delay, NextSubkey(actor), std::move(body));
+  Dispatch(shard, from, to, now + delay, NextSubkey(actor), std::move(body),
+           flight);
 }
 
 void ShardedNetwork::Dispatch(uint32_t src_shard, NodeId from, NodeId to,
                               SimTime at, uint64_t subkey,
-                              std::shared_ptr<const MessageBody> body) {
+                              std::shared_ptr<const MessageBody> body,
+                              TraceCtx ctx) {
   const uint32_t dst = OwnerShard(to);
   if (dst == src_shard) {
-    sims_[dst]->ScheduleKeyedAt(at, subkey,
-                                ShardDelivery{this, from, to, std::move(body)});
+    if (ctx.valid()) {
+      sims_[dst]->ScheduleKeyedAt(
+          at, subkey, TracedShardDelivery{this, from, to, std::move(body), ctx});
+    } else {
+      sims_[dst]->ScheduleKeyedAt(
+          at, subkey, ShardDelivery{this, from, to, std::move(body)});
+    }
   } else {
     // Conservative guarantee: at >= send time + MinDelay >= epoch horizon,
     // so folding this in at the next barrier can never schedule into the
     // destination's past.
     outbox_[size_t(src_shard) * shards_ + dst].push_back(
-        PendingDelivery{at, subkey, from, to, std::move(body)});
+        PendingDelivery{at, subkey, from, to, std::move(body), ctx});
     ++shard_counters_[src_shard].cross_sent;
   }
 }
@@ -217,6 +309,46 @@ void ShardedNetwork::Deliver(NodeId from, NodeId to,
     sim->set_current_actor(prev);
   } else {
     lane->CountDrop(body->TypeTag(), DropCause::kEndpoint);
+  }
+}
+
+void ShardedNetwork::EndFlight(uint32_t dst, TraceCtx flight, SimTime at,
+                               int8_t cause) {
+  const uint64_t owner = flight.span_id >> Tracer::kShardIdShift;
+  if (owner == dst) {
+    // Own ring — apply in place (same worker thread).
+    Tracer* t = tracers_[dst].get();
+    if (cause >= 0) {
+      t->Annotate(flight, "drop", ShardDropCauseName(DropCause(cause)));
+    }
+    t->EndSpanAt(flight, at);
+  } else {
+    // Another shard's ring: hand off at the barrier, like cross-shard sends.
+    trace_endbox_[dst].push_back(TraceEndOp{flight, at, cause});
+  }
+}
+
+void ShardedNetwork::DeliverTraced(NodeId from, NodeId to,
+                                   std::shared_ptr<const MessageBody> body,
+                                   TraceCtx ctx) {
+  const uint32_t dst = OwnerShard(to);
+  ShardLane* lane = lanes_[dst].get();
+  ShardSimulator* sim = sims_[dst].get();
+  if (IsAlive(to)) {
+    ++lane->stats_.messages_delivered;
+    EndFlight(dst, ctx, sim->Now(), -1);
+    // Expose the flight ctx as the lane's ambient delivery context, so the
+    // handler's sends parent under this hop — mirrors Network::Deliver.
+    const uint32_t prev = sim->current_actor();
+    const TraceCtx prev_ctx = lane->delivery_ctx_;
+    sim->set_current_actor(to);
+    lane->delivery_ctx_ = ctx;
+    nodes_[to]->OnMessage(from, std::move(body));
+    lane->delivery_ctx_ = prev_ctx;
+    sim->set_current_actor(prev);
+  } else {
+    lane->CountDrop(body->TypeTag(), DropCause::kEndpoint);
+    EndFlight(dst, ctx, sim->Now(), int8_t(DropCause::kEndpoint));
   }
 }
 
@@ -282,11 +414,34 @@ void ShardedNetwork::DrainMailboxes() {
     if (box.empty()) continue;
     Simulator* dst = sims_[box_idx % shards_].get();
     for (PendingDelivery& p : box) {
-      dst->ScheduleKeyedAt(p.at, p.subkey,
-                           ShardDelivery{this, p.from, p.to,
-                                         std::move(p.body)});
+      if (p.ctx.valid()) {
+        dst->ScheduleKeyedAt(p.at, p.subkey,
+                             TracedShardDelivery{this, p.from, p.to,
+                                                 std::move(p.body), p.ctx});
+      } else {
+        dst->ScheduleKeyedAt(p.at, p.subkey,
+                             ShardDelivery{this, p.from, p.to,
+                                           std::move(p.body)});
+      }
     }
     box.clear();  // keeps capacity: steady-state drains allocate nothing
+  }
+  DrainTraceEnds();
+}
+
+void ShardedNetwork::DrainTraceEnds() {
+  for (auto& box : trace_endbox_) {
+    for (const TraceEndOp& op : box) {
+      const uint64_t owner = op.ctx.span_id >> Tracer::kShardIdShift;
+      if (owner >= tracers_.size()) continue;
+      Tracer* t = tracers_[owner].get();
+      if (op.drop_cause >= 0) {
+        t->Annotate(op.ctx, "drop",
+                    ShardDropCauseName(DropCause(op.drop_cause)));
+      }
+      t->EndSpanAt(op.ctx, op.at);
+    }
+    box.clear();
   }
 }
 
@@ -392,9 +547,13 @@ size_t ShardedNetwork::MemoryFootprint() const {
   size_t bytes = nodes_.capacity() * sizeof(NetworkNode*) +
                  alive_.capacity() * sizeof(uint8_t) +
                  seq_.capacity() * sizeof(uint32_t) +
+                 trace_seq_.capacity() * sizeof(uint32_t) +
                  node_rng_.capacity() * sizeof(SmallRng) +
                  global_tasks_.capacity() * sizeof(GlobalTask) +
                  shard_counters_.capacity() * sizeof(ShardCounters);
+  for (const auto& box : trace_endbox_) {
+    bytes += box.capacity() * sizeof(TraceEndOp);
+  }
   for (const auto& s : sims_) {
     bytes += sizeof(ShardSimulator) + s->MemoryFootprint();
   }

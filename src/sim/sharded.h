@@ -77,9 +77,23 @@ class ShardSimulator : public Simulator {
 /// (where the same epoch loop runs inline with no threads).
 /// tests/sharded_determinism_test.cc asserts this for shards in {1, 2, 4}.
 ///
-/// Out of scope in sharded mode: tracing (lanes never open flight spans) and
-/// mid-epoch liveness changes (SetAlive / ScheduleGlobal take effect at
-/// quiescent points only — between Run* calls or in a global task).
+/// Tracing works in sharded mode: each shard owns a private Tracer
+/// (EnableTracing), span ids carry the shard index in the high bits over a
+/// shard-local counter, and every span gets a content-derived order key —
+/// (creator actor, per-actor trace counter), separate from the event
+/// subkeys so traced and untraced runs stay bit-identical. Lanes open
+/// flight spans in DoSend exactly like the single-threaded Network; a
+/// flight that lands on another shard is closed through a per-shard end-op
+/// mailbox drained at the next barrier (same handoff discipline as
+/// cross-shard sends). Merge the rings with TraceView(TracerParts()):
+/// sorting by (start, order) reproduces the shards=1 span sequence of the
+/// same seed. Caveat: under ring eviction a cross-shard flight may be
+/// evicted before its barrier-deferred end lands (it exports as still
+/// open); size the ring to the run as usual.
+///
+/// Still out of scope: mid-epoch liveness changes (SetAlive /
+/// ScheduleGlobal take effect at quiescent points only — between Run*
+/// calls or in a global task).
 class ShardedNetwork {
  public:
   struct Options {
@@ -167,6 +181,18 @@ class ShardedNetwork {
   size_t events_executed() const;
   size_t pending() const;
 
+  // ---- tracing (quiescent-only control) ----
+
+  /// Enables the per-shard tracers (each ring gets `capacity_per_shard`
+  /// slots). Tracing draws no Rng and consumes no event subkeys, so a
+  /// traced run stays bit-identical to the untraced run of the same seed.
+  void EnableTracing(size_t capacity_per_shard = 1 << 20);
+  void DisableTracing();
+  /// Shard s's private ring (wired into its lane as Network::tracer()).
+  Tracer* TracerForShard(uint32_t s) { return tracers_[s].get(); }
+  /// All rings, for a merged TraceView.
+  std::vector<Tracer*> TracerParts();
+
   // ---- accounting ----
 
   /// Per-lane stats folded into one network-wide view. The drain invariant
@@ -195,13 +221,15 @@ class ShardedNetwork {
   class ShardLane;
 
   /// A message crossing shards: everything the destination queue needs to
-  /// schedule the delivery bit-identically to a same-shard send.
+  /// schedule the delivery bit-identically to a same-shard send. `ctx` is
+  /// the flight span (invalid when untraced).
   struct PendingDelivery {
     SimTime at;
     uint64_t subkey;
     NodeId from;
     NodeId to;
     std::shared_ptr<const MessageBody> body;
+    TraceCtx ctx{};
   };
 
   /// The scheduled half of a sharded send; mirrors Network::Delivery (32
@@ -213,6 +241,27 @@ class ShardedNetwork {
     NodeId to;
     std::shared_ptr<const MessageBody> body;
     void operator()() { engine->Deliver(from, to, std::move(body)); }
+  };
+
+  /// Delivery with its flight span aboard — scheduled only for traced
+  /// sends, mirroring Network::TracedDelivery (48 bytes, still inline).
+  struct TracedShardDelivery {
+    static constexpr bool kTriviallyRelocatable = true;
+    ShardedNetwork* engine;
+    NodeId from;
+    NodeId to;
+    std::shared_ptr<const MessageBody> body;
+    TraceCtx ctx;  ///< always valid here
+    void operator()() { engine->DeliverTraced(from, to, std::move(body), ctx); }
+  };
+
+  /// A flight span whose delivery landed off its owner shard: the end (and
+  /// drop cause, for deliveries to dead nodes) is applied to the owner ring
+  /// at the next barrier. drop_cause is -1 for a clean delivery.
+  struct TraceEndOp {
+    TraceCtx ctx;
+    SimTime at;
+    int8_t drop_cause;
   };
 
   struct GlobalTask {
@@ -228,6 +277,12 @@ class ShardedNetwork {
   /// Called only from the actor's own serialized events (worker thread) or
   /// from the coordinating thread while quiescent.
   uint64_t NextSubkey(uint32_t actor);
+  /// Next span-order key for `actor` — same (creator, counter) shape as the
+  /// event subkeys but from separate counters, so tracing never perturbs
+  /// event ordering. External (quiescent-driver) spans use a plain low
+  /// counter, sorting before any node's spans at an equal timestamp (the
+  /// driver roots a trace before the nodes it triggers extend it).
+  uint64_t NextTraceOrder(uint32_t actor);
   SmallRng* RngFor(uint32_t actor) {
     return actor == ShardSimulator::kExternalActor ? &external_rng_
                                                    : &node_rng_[actor];
@@ -236,9 +291,15 @@ class ShardedNetwork {
   void DoSend(uint32_t shard, ShardLane* lane, NodeId from, NodeId to,
               std::shared_ptr<const MessageBody> body);
   void Dispatch(uint32_t src_shard, NodeId from, NodeId to, SimTime at,
-                uint64_t subkey, std::shared_ptr<const MessageBody> body);
+                uint64_t subkey, std::shared_ptr<const MessageBody> body,
+                TraceCtx ctx);
   void Deliver(NodeId from, NodeId to,
                std::shared_ptr<const MessageBody> body);
+  void DeliverTraced(NodeId from, NodeId to,
+                     std::shared_ptr<const MessageBody> body, TraceCtx ctx);
+  /// Ends `flight` for a delivery observed on shard `dst` at time `at`:
+  /// directly when dst owns the span's ring, else via dst's end-op box.
+  void EndFlight(uint32_t dst, TraceCtx flight, SimTime at, int8_t cause);
 
   /// Pops every event strictly before `horizon` on shard `s`, tracking the
   /// current actor from each popped key.
@@ -246,6 +307,7 @@ class ShardedNetwork {
   /// One barrier-synchronized epoch across all shards (inline if shards==1).
   void RunEpochParallel(SimTime horizon);
   void DrainMailboxes();
+  void DrainTraceEnds();
   void AdvanceAll(SimTime t);
   /// The shared engine loop behind the public Run* entry points.
   size_t RunLoop(SimTime until, const bool* done, size_t max_events);
@@ -270,6 +332,16 @@ class ShardedNetwork {
   std::vector<SmallRng> node_rng_;
   SmallRng external_rng_;
   uint64_t external_seq_ = 0;
+
+  /// Per-shard span rings (always constructed; inert until EnableTracing).
+  std::vector<std::unique_ptr<Tracer>> tracers_;
+  /// Per-actor span-order counters — deliberately NOT seq_: event subkeys
+  /// must be identical traced vs untraced. Same ownership rule as seq_.
+  std::vector<uint32_t> trace_seq_;
+  uint64_t external_trace_seq_ = 0;
+  /// trace_endbox_[dst]: end-ops produced by dst's worker for spans other
+  /// shards own; drained by the coordinating thread at the barrier.
+  std::vector<std::vector<TraceEndOp>> trace_endbox_;
 
   /// outbox_[src * shards_ + dst]: written by src's worker during an epoch,
   /// drained by the coordinating thread at the barrier (the barrier's mutex

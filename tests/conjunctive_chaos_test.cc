@@ -88,6 +88,10 @@ struct ChaosConfig {
   /// go missing and sketches go stale — planning must degrade to the greedy
   /// rank, never produce wrong answers or leak prefetch state.
   bool stats = false;
+  /// Health mode: windowed metric snapshots + watchdog rules tick alongside
+  /// the chaos. Thresholds are set aggressively so the loss-driven retry
+  /// traffic must trip at least one rule during the run.
+  bool health = false;
 };
 
 void RunConjunctiveChaos(const ChaosConfig& cfg) {
@@ -122,6 +126,15 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
     ASSERT_TRUE(net.InsertTriple(0, hot).ok());
   }
   net.Settle();
+
+  if (cfg.health) {
+    HealthWatchdog::Options hopts;
+    hopts.retry_rate_threshold = 0.02;
+    hopts.retry_min_sends = 10;
+    hopts.shed_rate_threshold = 0.05;
+    hopts.shed_min_submitted = 3;
+    net.EnableHealth(/*window_s=*/1.0, hopts);
+  }
 
   // Fault windows from the PR 3 plan generator, placed over the op phase.
   // Base loss is expressed as one window spanning the whole op phase (rather
@@ -250,6 +263,20 @@ void RunConjunctiveChaos(const ChaosConfig& cfg) {
   EXPECT_EQ(n.drops_endpoint + n.drops_loss + n.drops_burst +
                 n.drops_partition,
             n.messages_dropped);
+
+  if (cfg.health) {
+    // The watchdog ticked throughout the run and the retry traffic the loss
+    // bursts force tripped at least one rule; conservation — which the wire
+    // invariant above checks the hard way — never fired.
+    const HealthWatchdog* dog = net.watchdog();
+    EXPECT_GT(dog->windows_evaluated(), 10u);
+    EXPECT_FALSE(dog->violations().empty());
+    EXPECT_EQ(dog->fired("conservation"), 0u);
+    EXPECT_GT(net.timeseries()->windows(), 10u);
+    // Violations surfaced as metrics on the snapshot path too.
+    MetricsRegistry& mr = net.CollectMetrics();
+    EXPECT_EQ(mr.Counter("health.violations"), dog->violations().size());
+  }
 }
 
 TEST(ConjunctiveChaosTest, LossBursts) {
@@ -293,6 +320,7 @@ TEST(ConjunctiveChaosTest, FlashCrowdServing) {
   cfg.churn = true;
   cfg.serving = true;
   cfg.burst = 3;
+  cfg.health = true;
   RunConjunctiveChaos(cfg);
 }
 

@@ -70,6 +70,42 @@ TEST(MetricsRegistryTest, FlattenContainsEveryMetric) {
   EXPECT_TRUE(saw_h_p50);
 }
 
+TEST(MetricsRegistryTest, EmptyHistogramExportsZeroPercentiles) {
+  MetricsRegistry m;
+  m.Histo("lat", {0.1, 1.0});  // created, never observed
+  std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  auto rows = m.Flatten();
+  for (const auto& [name, value] : rows) {
+    if (name == "lat.count" || name == "lat.p50" || name == "lat.p99") {
+      EXPECT_DOUBLE_EQ(value, 0.0) << name;
+    }
+  }
+}
+
+TEST(SampleStatsTest, SingleSampleAnswersItselfAtEveryPercentile) {
+  SampleStats s;
+  s.Add(3.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 3.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 3.25);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 3.25);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.25);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.25);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+TEST(SampleStatsTest, NearestRankP99WithFewerThanHundredSamples) {
+  // Nearest-rank: with 10 samples, p99 picks rank ceil(0.99 * 10) = 10 —
+  // the maximum, not an interpolated value beyond it.
+  SampleStats s;
+  for (int i = 1; i <= 10; ++i) s.Add(double(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.90), 9.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.95), 10.0);
+}
+
 TEST(MetricsRegistryTest, ReferencesStableAcrossInserts) {
   MetricsRegistry m;
   uint64_t& c = m.Counter("first");

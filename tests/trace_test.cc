@@ -149,6 +149,151 @@ TEST(TracerTest, ChromeJsonShape) {
   EXPECT_NE(json.find("\"rows\""), std::string::npos);
 }
 
+TEST(TracerTest, EndSpanAtUsesExplicitTime) {
+  Tracer t;
+  double now = 1.0;
+  t.SetClock([&now] { return now; });
+  t.Enable();
+  TraceCtx s = t.StartTrace("op");
+  t.EndSpanAt(s, 4.5);  // the ending shard's clock, not ours
+  auto spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 4.5);
+}
+
+TEST(TracerTest, IntervalRecordsRetroactiveSpan) {
+  Tracer t;
+  double now = 5.0;
+  t.SetClock([&now] { return now; });
+  t.Enable();
+  TraceCtx root = t.StartTrace("op.dispatch");
+  TraceCtx back = t.Interval("op.backoff", root, 5.5, 7.25);
+  ASSERT_TRUE(back.valid());
+  t.EndSpan(root);
+  TraceAnalyzer ta(t.Snapshot());
+  const Tracer::Span* s = ta.Find(back.span_id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->parent_id, root.span_id);
+  EXPECT_DOUBLE_EQ(s->start, 5.5);
+  EXPECT_DOUBLE_EQ(s->end, 7.25);
+  EXPECT_EQ(ta.OpenCount(), 0u);
+  EXPECT_EQ(ta.CheckConsistency(), "");
+}
+
+TEST(TracerTest, IdBasePutsShardIndexInHighBits) {
+  Tracer t;
+  t.SetIdBase(uint64_t(3) << Tracer::kShardIdShift);
+  t.Enable();
+  TraceCtx s = t.StartTrace("op");
+  EXPECT_EQ(s.span_id >> Tracer::kShardIdShift, 3u);
+  t.EndSpan(s);
+  // Without an order source the order key falls back to the span id.
+  EXPECT_EQ(t.Snapshot()[0].order, s.span_id);
+}
+
+TEST(TracerTest, OrderSourceStampsContentDerivedKeys) {
+  Tracer t;
+  uint64_t order = 100;
+  t.SetOrderSource([&order] { return ++order; });
+  t.Enable();
+  TraceCtx a = t.StartTrace("op");
+  TraceCtx b = t.StartSpan("hop", a);
+  t.EndSpan(b);
+  t.EndSpan(a);
+  auto spans = t.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].order, 101u);
+  EXPECT_EQ(spans[1].order, 102u);
+}
+
+TEST(TraceViewTest, MergesShardRingsInCausalOrder) {
+  Tracer shard0, shard1;
+  double now = 0.0;
+  uint64_t order = 0;
+  for (Tracer* t : {&shard0, &shard1}) {
+    t->SetClock([&now] { return now; });
+    t->SetOrderSource([&order] { return ++order; });
+  }
+  shard1.SetIdBase(uint64_t(1) << Tracer::kShardIdShift);
+  TraceView view({&shard0, &shard1});
+  view.Enable();
+  EXPECT_TRUE(view.enabled());
+  EXPECT_EQ(view.parts(), 2u);
+
+  now = 1.0;
+  TraceCtx root = view.StartTrace("op.search");  // lands on shard 0
+  now = 2.0;
+  TraceCtx hop = shard1.StartSpan("QUERY", root);  // cross-shard child
+  now = 3.0;
+  shard1.EndSpan(hop);
+  view.EndSpan(root);  // routed to shard 0 by the id bits
+  EXPECT_EQ(view.size(), 2u);
+
+  auto spans = view.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "op.search");  // parent precedes child
+  EXPECT_EQ(spans[1].name, "QUERY");
+  EXPECT_EQ(spans[1].parent_id, root.span_id);
+  EXPECT_DOUBLE_EQ(spans[0].end, 3.0);
+  TraceAnalyzer ta(std::move(spans));
+  EXPECT_EQ(ta.CheckConsistency(), "");
+
+  std::string json = view.ToChromeJson();
+  EXPECT_NE(json.find("\"shards\": 2"), std::string::npos);
+}
+
+TEST(TraceAnalyzerTest, EvictionDowngradesOrphansToWarnings) {
+  Tracer t;
+  t.Enable(/*capacity=*/2);
+  TraceCtx root = t.StartTrace("op");
+  TraceCtx a = t.StartSpan("hop", root);
+  TraceCtx b = t.StartSpan("hop", root);  // evicts the root span
+  t.EndSpan(a);
+  t.EndSpan(b);
+  ASSERT_EQ(t.evicted(), 1u);
+  TraceAnalyzer ta(t.Snapshot());
+  // Strict mode: a missing parent is corruption.
+  EXPECT_NE(ta.CheckConsistency(), "");
+  // Eviction-aware mode: the same orphans are expected casualties.
+  EXPECT_EQ(ta.CheckConsistency(t.evicted()), "");
+  EXPECT_EQ(ta.orphan_warnings(), 2u);
+}
+
+TEST(TraceAnalyzerTest, CriticalPathAttributesInnermostSpans) {
+  // Synthetic tree over [0, 10]: queue [0,2], flight [2,5], service [5,6],
+  // backoff [6,7], executor [7,9]; [9,10] only the root is active.
+  std::vector<Tracer::Span> spans(6);
+  spans[0] = {1, 1, 0, 1, "op.search", 0, 10, {}};
+  spans[1] = {1, 2, 1, 2, "op.queue", 0, 2, {}};
+  spans[2] = {1, 3, 1, 3, "QUERY", 2, 5, {}};
+  spans[3] = {1, 4, 1, 4, "op.service", 5, 6, {}};
+  spans[4] = {1, 5, 1, 5, "op.backoff", 6, 7, {}};
+  spans[5] = {1, 6, 1, 6, "exec.scan", 7, 9, {}};
+  TraceAnalyzer ta(std::move(spans));
+  auto cp = ta.CriticalPathFor(1);
+  EXPECT_DOUBLE_EQ(cp.total, 10.0);
+  EXPECT_DOUBLE_EQ(cp.queue, 2.0);
+  EXPECT_DOUBLE_EQ(cp.network, 3.0);
+  EXPECT_DOUBLE_EQ(cp.service, 1.0);
+  EXPECT_DOUBLE_EQ(cp.retry, 1.0);
+  // exec.scan's 2s plus the root-only gap [9,10] (root is op.* = compute).
+  EXPECT_DOUBLE_EQ(cp.compute, 3.0);
+  EXPECT_DOUBLE_EQ(cp.queue + cp.service + cp.network + cp.retry + cp.compute,
+                   cp.total);
+}
+
+TEST(TraceAnalyzerTest, CategoryOfBucketsSpanNames) {
+  using Cat = TraceAnalyzer::Category;
+  EXPECT_EQ(TraceAnalyzer::CategoryOf("op.queue"), Cat::kQueue);
+  EXPECT_EQ(TraceAnalyzer::CategoryOf("op.service"), Cat::kService);
+  EXPECT_EQ(TraceAnalyzer::CategoryOf("op.backoff"), Cat::kRetry);
+  EXPECT_EQ(TraceAnalyzer::CategoryOf("op.search"), Cat::kCompute);
+  EXPECT_EQ(TraceAnalyzer::CategoryOf("exec.bind_join"), Cat::kCompute);
+  EXPECT_EQ(TraceAnalyzer::CategoryOf("QUERY"), Cat::kNetwork);
+  EXPECT_EQ(TraceAnalyzer::CategoryOf("ANSWER"), Cat::kNetwork);
+}
+
 TEST(TraceAnalyzerTest, DetectsOrphanParent) {
   std::vector<Tracer::Span> spans(1);
   spans[0].trace_id = 5;
@@ -162,8 +307,8 @@ TEST(TraceAnalyzerTest, DetectsOrphanParent) {
 
 TEST(TraceAnalyzerTest, DetectsCrossTraceParent) {
   std::vector<Tracer::Span> spans(2);
-  spans[0] = {1, 1, 0, "root", 0, 1, {}};
-  spans[1] = {9, 2, 1, "hop", 0, 1, {}};  // parent in trace 1, claims trace 9
+  spans[0] = {1, 1, 0, 1, "root", 0, 1, {}};
+  spans[1] = {9, 2, 1, 2, "hop", 0, 1, {}};  // parent in trace 1, claims trace 9
   TraceAnalyzer ta(std::move(spans));
   EXPECT_NE(ta.CheckConsistency(), "");
 }
